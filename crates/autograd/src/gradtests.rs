@@ -1,0 +1,348 @@
+//! Gradient checks for every differentiable op, plus property tests over the
+//! tape machinery.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{Initializer, Tensor};
+
+use crate::{gradient_check, Graph, ParamId, ParamStore, VarId};
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+fn store_with(shape: (usize, usize), seed: u64) -> (ParamStore, ParamId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let w = store.add("w", Initializer::Uniform(0.8).init(shape.0, shape.1, &mut rng));
+    (store, w)
+}
+
+fn check(shape: (usize, usize), seed: u64, build: impl Fn(&mut Graph, VarId) -> VarId) {
+    let (mut store, w) = store_with(shape, seed);
+    gradient_check(&mut store, w, EPS, TOL, |g| {
+        let wv = g.param(w);
+        build(g, wv)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_add() {
+    check((2, 3), 1, |g, w| {
+        let c = g.constant(Tensor::full(2, 3, 0.5));
+        let y = g.add(w, c);
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_sub_both_sides() {
+    let (mut store, w) = store_with((2, 2), 2);
+    // loss = sum((c - w)^2): w appears on the rhs of sub
+    gradient_check(&mut store, w, EPS, TOL, |g| {
+        let wv = g.param(w);
+        let c = g.constant(Tensor::full(2, 2, 0.3));
+        let d = g.sub(c, wv);
+        let sq = g.mul(d, d);
+        g.sum_all(sq)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_mul() {
+    check((3, 2), 3, |g, w| {
+        let c = g.constant(Tensor::from_rows(&[&[1.0, -1.0], &[2.0, 0.5], &[0.1, 3.0]]));
+        let y = g.mul(w, c);
+        let yy = g.mul(y, y);
+        g.sum_all(yy)
+    });
+}
+
+#[test]
+fn grad_scale_and_add_scalar() {
+    check((2, 2), 4, |g, w| {
+        let y = g.scale(w, -2.5);
+        let z = g.add_scalar(y, 1.0);
+        let sq = g.mul(z, z);
+        g.mean_all(sq)
+    });
+}
+
+#[test]
+fn grad_matmul_left() {
+    check((2, 3), 5, |g, w| {
+        let b = g.constant(Tensor::from_rows(&[&[1.0, 0.5], &[-1.0, 2.0], &[0.3, 0.3]]));
+        let y = g.matmul(w, b);
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_matmul_right() {
+    check((3, 2), 6, |g, w| {
+        let a = g.constant(Tensor::from_rows(&[&[1.0, 0.5, -0.5], &[-1.0, 2.0, 0.0]]));
+        let y = g.matmul(a, w);
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_matmul_bt() {
+    check((2, 3), 7, |g, w| {
+        let b = g.constant(Tensor::from_rows(&[&[0.2, -0.4, 1.0], &[1.5, 0.0, -0.3]]));
+        let y = g.matmul_bt(w, b); // 2x2
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_transpose() {
+    check((2, 3), 8, |g, w| {
+        let t = g.transpose(w);
+        let sq = g.mul(t, t);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_sigmoid() {
+    check((2, 3), 9, |g, w| {
+        let y = g.sigmoid(w);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_tanh() {
+    check((2, 3), 10, |g, w| {
+        let y = g.tanh(w);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_relu() {
+    // keep weights away from the kink at 0 for a clean finite difference
+    let mut store = ParamStore::new();
+    let w = store.add(
+        "w",
+        Tensor::from_rows(&[&[0.5, -0.5, 1.5], &[-1.5, 0.7, -0.2]]),
+    );
+    gradient_check(&mut store, w, 1e-3, TOL, |g| {
+        let wv = g.param(w);
+        let y = g.relu(wv);
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_gelu() {
+    check((2, 3), 12, |g, w| {
+        let y = g.gelu(w);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_softmax_rows() {
+    check((2, 4), 13, |g, w| {
+        let s = g.softmax_rows(w);
+        let c = g.constant(Tensor::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0],
+            &[4.0, 3.0, 2.0, 1.0],
+        ]));
+        let weighted = g.mul(s, c);
+        g.sum_all(weighted)
+    });
+}
+
+#[test]
+fn grad_concat_and_slice_cols() {
+    check((2, 4), 14, |g, w| {
+        let left = g.slice_cols(w, 0, 2);
+        let right = g.slice_cols(w, 2, 4);
+        let swapped = g.concat_cols(&[right, left]);
+        let sq = g.mul(swapped, swapped);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_concat_and_slice_rows() {
+    check((4, 2), 15, |g, w| {
+        let top = g.slice_rows(w, 0, 1);
+        let bottom = g.slice_rows(w, 1, 4);
+        let swapped = g.concat_rows(&[bottom, top]);
+        let t = g.tanh(swapped);
+        g.sum_all(t)
+    });
+}
+
+#[test]
+fn grad_add_row_broadcast_bias() {
+    let (mut store, _) = store_with((1, 1), 0);
+    let mut rng = StdRng::seed_from_u64(16);
+    let bias = store.add("bias", Initializer::Uniform(0.5).init(1, 3, &mut rng));
+    gradient_check(&mut store, bias, EPS, TOL, |g| {
+        let x = g.constant(Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 1.0]]));
+        let b = g.param(bias);
+        let y = g.add_row_broadcast(x, b);
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_embedding_table() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut store = ParamStore::new();
+    let table = store.add("emb", Initializer::Uniform(0.8).init(5, 3, &mut rng));
+    gradient_check(&mut store, table, EPS, TOL, |g| {
+        let t = g.param(table);
+        let e = g.embedding(t, &[0, 2, 2, 4]);
+        let sq = g.mul(e, e);
+        g.sum_all(sq)
+    })
+    .unwrap();
+}
+
+#[test]
+fn grad_mean_rows() {
+    check((3, 2), 18, |g, w| {
+        let m = g.mean_rows(w);
+        let sq = g.mul(m, m);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_cross_entropy() {
+    check((3, 4), 19, |g, w| g.cross_entropy(w, &[1, 3, 0]));
+}
+
+#[test]
+fn grad_cross_entropy_through_matmul() {
+    check((4, 3), 20, |g, w| {
+        let x = g.constant(Tensor::from_rows(&[
+            &[1.0, 0.0, -1.0, 0.5],
+            &[0.0, 1.0, 0.5, -0.5],
+        ]));
+        let logits = g.matmul(x, w);
+        g.cross_entropy(logits, &[2, 0])
+    });
+}
+
+#[test]
+fn grad_layer_norm_input() {
+    check((3, 4), 21, |g, w| {
+        let gamma = g.constant(Tensor::from_rows(&[&[1.0, 0.5, 2.0, 1.5]]));
+        let beta = g.constant(Tensor::from_rows(&[&[0.1, -0.1, 0.0, 0.2]]));
+        let y = g.layer_norm_rows(w, gamma, beta, 1e-5);
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_layer_norm_gamma_beta() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut store = ParamStore::new();
+    let gamma = store.add("gamma", Initializer::Uniform(0.8).init(1, 4, &mut rng));
+    let beta = store.add("beta", Initializer::Uniform(0.8).init(1, 4, &mut rng));
+    let x = Tensor::from_rows(&[&[1.0, -2.0, 0.5, 3.0], &[0.0, 1.0, -1.0, 2.0]]);
+    for target in [gamma, beta] {
+        let x = x.clone();
+        gradient_check(&mut store, target, EPS, TOL, move |g| {
+            let xv = g.constant(x.clone());
+            let gm = g.param(gamma);
+            let bt = g.param(beta);
+            let y = g.layer_norm_rows(xv, gm, bt, 1e-5);
+            let sq = g.mul(y, y);
+            g.sum_all(sq)
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn grad_composite_mlp() {
+    // Two-layer MLP with every layer type the transformer uses.
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut store = ParamStore::new();
+    let w1 = store.add("w1", Initializer::XavierUniform.init(3, 4, &mut rng));
+    let b1 = store.add("b1", Initializer::Uniform(0.1).init(1, 4, &mut rng));
+    let w2 = store.add("w2", Initializer::XavierUniform.init(4, 2, &mut rng));
+    let x = Tensor::from_rows(&[&[0.5, -0.3, 0.8], &[1.0, 0.1, -0.7]]);
+    for target in [w1, b1, w2] {
+        let x = x.clone();
+        gradient_check(&mut store, target, EPS, TOL, move |g| {
+            let xv = g.constant(x.clone());
+            let w1v = g.param(w1);
+            let b1v = g.param(b1);
+            let w2v = g.param(w2);
+            let h = g.matmul(xv, w1v);
+            let h = g.add_row_broadcast(h, b1v);
+            let h = g.gelu(h);
+            let logits = g.matmul(h, w2v);
+            g.cross_entropy(logits, &[0, 1])
+        })
+        .unwrap();
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn chain_rule_scale_composition(a in -3.0f32..3.0, b in -3.0f32..3.0) {
+            // loss = sum(b * (a * w)); d/dw = a*b everywhere
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::ones(2, 2));
+            let mut g = Graph::new(&store);
+            let wv = g.param(w);
+            let y = g.scale(wv, a);
+            let z = g.scale(y, b);
+            let loss = g.sum_all(z);
+            let grads = g.backward(loss);
+            let d = grads.for_param(w).unwrap();
+            for &v in d.as_slice() {
+                prop_assert!((v - a * b).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn sum_all_gradient_is_ones(r in 1usize..5, c in 1usize..5) {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::full(r, c, 0.7));
+            let mut g = Graph::new(&store);
+            let wv = g.param(w);
+            let loss = g.sum_all(wv);
+            let grads = g.backward(loss);
+            let d = grads.for_param(w).unwrap();
+            prop_assert!(d.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        }
+
+        #[test]
+        fn mean_all_gradient_is_inverse_count(r in 1usize..5, c in 1usize..5) {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::full(r, c, -0.2));
+            let mut g = Graph::new(&store);
+            let wv = g.param(w);
+            let loss = g.mean_all(wv);
+            let grads = g.backward(loss);
+            let d = grads.for_param(w).unwrap();
+            let expected = 1.0 / (r * c) as f32;
+            prop_assert!(d.as_slice().iter().all(|&v| (v - expected).abs() < 1e-6));
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The tape: graph construction, parameter binding, and the backward pass.
+
+use tensor::Tensor;
+
+use crate::ops::Op;
+use crate::param::{ParamId, ParamStore};
+
+/// Handle to a node (an intermediate value) inside a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub op: Op,
+}
+
+/// A single forward pass: a Wengert list of operations.
+///
+/// Build one graph per minibatch (or per example, when sequences have
+/// ragged lengths), compute a scalar loss, call [`Graph::backward`], and
+/// feed the resulting [`Gradients`] to an optimizer.
+///
+/// # Examples
+///
+/// ```
+/// use autograd::{Graph, ParamStore};
+/// use tensor::Tensor;
+///
+/// let mut store = ParamStore::new();
+/// let w = store.add("w", Tensor::from_rows(&[&[2.0]]));
+///
+/// let mut g = Graph::new(&store);
+/// let wv = g.param(w);
+/// let x = g.constant(Tensor::from_rows(&[&[3.0]]));
+/// let y = g.mul(wv, x); // y = w * x
+/// let loss = g.sum_all(y);
+/// let grads = g.backward(loss);
+/// // dy/dw = x = 3
+/// assert_eq!(grads.for_param(w).unwrap().get(0, 0), 3.0);
+/// ```
+pub struct Graph<'s> {
+    store: &'s ParamStore,
+    pub(crate) nodes: Vec<Node>,
+    bindings: Vec<(ParamId, VarId)>,
+}
+
+impl<'s> Graph<'s> {
+    /// Creates an empty graph over a parameter store.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Self { store, nodes: Vec::new(), bindings: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a leaf node holding a constant (no gradient is reported for it,
+    /// though one is still accumulated internally).
+    pub fn constant(&mut self, value: Tensor) -> VarId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Binds a parameter into the graph, copying its current value.
+    ///
+    /// Binding the same `ParamId` twice returns the same node, so tied
+    /// weights (e.g. the MLM output head reusing the embedding table)
+    /// accumulate their gradients automatically.
+    pub fn param(&mut self, id: ParamId) -> VarId {
+        if let Some(&(_, var)) = self.bindings.iter().find(|(p, _)| *p == id) {
+            return var;
+        }
+        let var = self.push(self.store.get(id).clone(), Op::Leaf);
+        self.bindings.push((id, var));
+        var
+    }
+
+    /// The value computed at `var` during the forward pass.
+    pub fn value(&self, var: VarId) -> &Tensor {
+        &self.nodes[var.0].value
+    }
+
+    pub(crate) fn push(&mut self, value: Tensor, op: Op) -> VarId {
+        let id = VarId(self.nodes.len());
+        self.nodes.push(Node { value, op });
+        id
+    }
+
+    /// Runs the backward pass from a scalar loss node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a `1 × 1` tensor.
+    pub fn backward(&self, loss: VarId) -> Gradients {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar loss"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::ones(1, 1));
+
+        for idx in (0..=loss.0).rev() {
+            let Some(grad) = grads[idx].take() else { continue };
+            self.nodes[idx].op.backward(&grad, idx, &self.nodes, &mut grads);
+            grads[idx] = Some(grad);
+        }
+
+        Gradients { grads, bindings: self.bindings.clone() }
+    }
+}
+
+/// Result of a backward pass: one gradient per reached node, plus the
+/// parameter bindings needed to map them back to the [`ParamStore`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+    bindings: Vec<(ParamId, VarId)>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. any graph node (if it was reached).
+    pub fn for_var(&self, var: VarId) -> Option<&Tensor> {
+        self.grads.get(var.0).and_then(Option::as_ref)
+    }
+
+    /// Gradient for a bound parameter, or `None` if the parameter did not
+    /// influence the loss in this graph.
+    pub fn for_param(&self, id: ParamId) -> Option<&Tensor> {
+        self.bindings
+            .iter()
+            .find(|(p, _)| *p == id)
+            .and_then(|&(_, v)| self.for_var(v))
+    }
+
+    /// Iterator over `(param, gradient)` pairs for every bound parameter
+    /// that received a gradient.
+    pub fn param_grads(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.bindings
+            .iter()
+            .filter_map(move |&(p, v)| self.for_var(v).map(|g| (p, g)))
+    }
+}
+
+pub(crate) fn accumulate(grads: &mut [Option<Tensor>], target: usize, delta: Tensor) {
+    match &mut grads[target] {
+        Some(existing) => existing.axpy(1.0, &delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_binding_is_cached() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::ones(1, 1));
+        let mut g = Graph::new(&store);
+        let a = g.param(w);
+        let b = g.param(w);
+        assert_eq!(a, b);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn unused_param_has_no_gradient() {
+        let mut store = ParamStore::new();
+        let used = store.add("used", Tensor::ones(1, 1));
+        let unused = store.add("unused", Tensor::ones(1, 1));
+        let mut g = Graph::new(&store);
+        let u = g.param(used);
+        let _ = g.param(unused);
+        let loss = g.sum_all(u);
+        let grads = g.backward(loss);
+        assert!(grads.for_param(used).is_some());
+        assert!(grads.for_param(unused).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::zeros(2, 2));
+        let _ = g.backward(x);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // y = w + w  =>  dy/dw = 2
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::ones(1, 1));
+        let mut g = Graph::new(&store);
+        let wv = g.param(w);
+        let y = g.add(wv, wv);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.for_param(w).unwrap().get(0, 0), 2.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Reverse-mode automatic differentiation over the [`tensor`] crate.
+//!
+//! This is the substrate under the paper's neural models (the 2-layer LSTM
+//! and the BERT/RoBERTa-style transformer encoders). It is a classic
+//! tape/Wengert-list design specialised to 2-D tensors:
+//!
+//! * Model parameters live in a [`ParamStore`], owned by the model and keyed
+//!   by [`ParamId`]. The store outlives any single forward pass.
+//! * Each forward pass builds a fresh [`Graph`]: every operation appends a
+//!   node holding its output value and enough cached state to run its local
+//!   backward rule. Parameters are *bound* into the graph with
+//!   [`Graph::param`], which records the `ParamId → node` mapping.
+//! * [`Graph::backward`] walks the tape in reverse and returns
+//!   [`Gradients`], from which the optimizer reads one gradient per bound
+//!   parameter.
+//!
+//! Because a `Graph` only borrows the store immutably, minibatch data
+//! parallelism is trivial: each worker thread builds its own graph against
+//! the shared store and the per-parameter gradients are summed afterwards.
+//!
+//! Every differentiable op is validated against central finite differences
+//! in this crate's tests (see the `check` module).
+
+mod check;
+mod graph;
+mod ops;
+mod param;
+
+pub use check::{finite_difference, gradient_check};
+pub use graph::{Gradients, Graph, VarId};
+pub use param::{ParamId, ParamStore};
+
+#[cfg(test)]
+mod gradtests;

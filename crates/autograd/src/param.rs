@@ -1,0 +1,135 @@
+//! Persistent parameter storage shared across forward passes.
+
+use tensor::Tensor;
+
+/// Opaque handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Index of this parameter inside its store.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Owns every trainable tensor of a model.
+///
+/// Layers register their weights at construction time and keep only the
+/// returned [`ParamId`]s; forward passes bind ids into a
+/// [`Graph`](crate::Graph) and optimizers mutate the store through
+/// [`ParamStore::get_mut`].
+///
+/// # Examples
+///
+/// ```
+/// use autograd::ParamStore;
+/// use tensor::Tensor;
+///
+/// let mut store = ParamStore::new();
+/// let w = store.add("dense.weight", Tensor::zeros(4, 2));
+/// assert_eq!(store.get(w).shape(), (4, 2));
+/// assert_eq!(store.name(w), "dense.weight");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ParamStore {
+    tensors: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter under a diagnostic name and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = ParamId(self.tensors.len());
+        self.tensors.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Immutable access to a parameter's current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` comes from a different store.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access for optimizer updates.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// Diagnostic name the parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// Iterator over `(id, name, tensor)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.tensors
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (t, n))| (ParamId(i), n.as_str(), t))
+    }
+
+    /// All parameter ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.tensors.len()).map(ParamId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Tensor::zeros(2, 2));
+        let b = s.add("b", Tensor::ones(1, 3));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 7);
+        assert_eq!(s.get(a).shape(), (2, 2));
+        assert_eq!(s.get(b).sum(), 3.0);
+        assert_eq!(s.name(b), "b");
+    }
+
+    #[test]
+    fn mutation_via_get_mut() {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Tensor::zeros(1, 1));
+        s.get_mut(a).set(0, 0, 5.0);
+        assert_eq!(s.get(a).get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn iter_preserves_registration_order() {
+        let mut s = ParamStore::new();
+        s.add("first", Tensor::zeros(1, 1));
+        s.add("second", Tensor::zeros(1, 1));
+        let names: Vec<_> = s.iter().map(|(_, n, _)| n.to_string()).collect();
+        assert_eq!(names, ["first", "second"]);
+    }
+}

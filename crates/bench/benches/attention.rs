@@ -1,0 +1,50 @@
+//! Criterion bench: transformer building blocks — attention forward, a
+//! full encoder layer, and an LSTM step — at recipe-sized sequence lengths.
+
+use autograd::{Graph, ParamStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nn::{LstmLayer, MultiHeadAttention};
+use nn::transformer::EncoderLayer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::Initializer;
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let d_model = 128;
+    let mut store = ParamStore::new();
+    let attn = MultiHeadAttention::new(&mut store, "attn", d_model, 4, &mut rng);
+    let encoder = EncoderLayer::new(&mut store, "layer", d_model, 4, 256, 0.0, &mut rng);
+    let lstm = LstmLayer::new(&mut store, "lstm", d_model, d_model, &mut rng);
+
+    let mut group = c.benchmark_group("sequence_blocks");
+    for &seq in &[16usize, 32, 48] {
+        let x = Initializer::Uniform(1.0).init(seq, d_model, &mut rng);
+        group.bench_with_input(BenchmarkId::new("attention_fwd", seq), &seq, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::new(&store);
+                let xv = g.constant(x.clone());
+                attn.forward(&mut g, xv)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("encoder_layer_fwd", seq), &seq, |b, _| {
+            let mut drng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut g = Graph::new(&store);
+                let xv = g.constant(x.clone());
+                encoder.forward(&mut g, xv, false, &mut drng)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lstm_layer_fwd", seq), &seq, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::new(&store);
+                let xv = g.constant(x.clone());
+                lstm.forward(&mut g, xv)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

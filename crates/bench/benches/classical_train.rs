@@ -1,0 +1,55 @@
+//! Criterion bench: training throughput of the statistical classifiers on
+//! sparse TF-IDF features.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuisine::{Pipeline, PipelineConfig, Scale};
+use ml::{
+    Classifier, LinearSvm, LogisticRegression, MultinomialNb, RandomForest,
+    RandomForestConfig,
+};
+
+fn bench_classical(c: &mut Criterion) {
+    let mut config = PipelineConfig::new(Scale::Custom(0.005), 1);
+    config.models.vocab_max_size = 800;
+    let pipeline = Pipeline::prepare(&config);
+    let (train_x, _, _, _) = pipeline.tfidf_features(&config);
+    let train_y = pipeline.labels_of(&pipeline.data.split.train);
+
+    let mut group = c.benchmark_group("classical_fit");
+    group.sample_size(10);
+    group.bench_function("naive_bayes", |b| {
+        b.iter(|| {
+            let mut m = MultinomialNb::default();
+            m.fit(&train_x, &train_y);
+            m
+        })
+    });
+    group.bench_function("logreg", |b| {
+        b.iter(|| {
+            let mut m = LogisticRegression::default();
+            m.fit(&train_x, &train_y);
+            m
+        })
+    });
+    group.bench_function("svm", |b| {
+        b.iter(|| {
+            let mut m = LinearSvm::default();
+            m.fit(&train_x, &train_y);
+            m
+        })
+    });
+    group.bench_function("random_forest_10", |b| {
+        b.iter(|| {
+            let mut m = RandomForest::new(RandomForestConfig {
+                n_trees: 10,
+                ..Default::default()
+            });
+            m.fit(&train_x, &train_y);
+            m
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classical);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: dense matmul kernels — the hot path of the neural
+//! models' forward and backward passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{matmul, matmul_a_bt, matmul_at_b, Initializer};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = Initializer::XavierUniform.init(n, n, &mut rng);
+        let b = Initializer::XavierUniform.init(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("a_b", n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("at_b", n), &n, |bench, _| {
+            bench.iter(|| matmul_at_b(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt", n), &n, |bench, _| {
+            bench.iter(|| matmul_a_bt(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

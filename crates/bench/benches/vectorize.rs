@@ -1,0 +1,35 @@
+//! Criterion bench: TF-IDF vectorization throughput on recipe documents —
+//! the front of the statistical pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recipedb::{generate, GeneratorConfig};
+use textproc::{TfIdfConfig, TfIdfVectorizer};
+
+fn bench_vectorize(c: &mut Criterion) {
+    let dataset = generate(&GeneratorConfig { seed: 1, scale: 0.01, ..Default::default() });
+    let docs: Vec<Vec<String>> = dataset
+        .recipes
+        .iter()
+        .map(|r| r.tokens.iter().map(|&t| dataset.table.name(t).to_string()).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("tfidf");
+    for &n in &[200usize, 800] {
+        let subset: Vec<Vec<String>> = docs.iter().take(n).cloned().collect();
+        group.bench_with_input(BenchmarkId::new("fit_transform", n), &subset, |b, docs| {
+            b.iter(|| {
+                let mut v = TfIdfVectorizer::new(TfIdfConfig::default());
+                v.fit_transform(docs)
+            })
+        });
+        let mut fitted = TfIdfVectorizer::new(TfIdfConfig::default());
+        fitted.fit(&subset);
+        group.bench_with_input(BenchmarkId::new("transform", n), &subset, |b, docs| {
+            b.iter(|| fitted.transform(docs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vectorize);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Shared helpers for the table/figure harness binaries.
+//!
+//! Every binary accepts `--scale small|medium|paper|<fraction>` and
+//! `--seed <n>`; run them with `cargo run --release -p bench --bin <name>`.
+
+use cuisine::{PipelineConfig, Scale};
+
+/// Command-line options shared by all harness binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Seed.
+    pub seed: u64,
+    /// Remaining `key=value` / flag arguments.
+    pub rest: Vec<String>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, panicking with usage help on bad input.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut scale = Scale::Small;
+        let mut seed = 2020;
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    scale = parse_scale(&v);
+                }
+                "--seed" => {
+                    seed = it
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed must be an integer");
+                }
+                _ => rest.push(arg),
+            }
+        }
+        Self { scale, seed, rest }
+    }
+
+    /// The pipeline config these options select.
+    pub fn config(&self) -> PipelineConfig {
+        PipelineConfig::new(self.scale, self.seed)
+    }
+
+    /// Value of a `--key value` pair in the remaining args.
+    pub fn value_of(&self, key: &str) -> Option<&str> {
+        self.rest
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Whether a bare flag is present in the remaining args.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+}
+
+fn parse_scale(v: &str) -> Scale {
+    match v {
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "paper" => Scale::Paper,
+        other => Scale::Custom(
+            other
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad scale {other:?}: use small|medium|paper|fraction")),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessArgs {
+        HarnessArgs::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.seed, 2020);
+    }
+
+    #[test]
+    fn scale_variants() {
+        assert_eq!(parse(&["--scale", "paper"]).scale, Scale::Paper);
+        assert_eq!(parse(&["--scale", "medium"]).scale, Scale::Medium);
+        assert_eq!(parse(&["--scale", "0.05"]).scale, Scale::Custom(0.05));
+    }
+
+    #[test]
+    fn seed_and_rest() {
+        let a = parse(&["--seed", "7", "--which", "train", "--csv"]);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.value_of("--which"), Some("train"));
+        assert!(a.has_flag("--csv"));
+        assert!(!a.has_flag("--nope"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad scale")]
+    fn bad_scale_panics() {
+        let _ = parse(&["--scale", "banana"]);
+    }
+}

@@ -1,0 +1,10 @@
+//! Downstream applications the paper motivates: recipe recommendation
+//! ("applications for recipe recommendation") and novel recipe generation
+//! ("generation of novel recipes"), both built on the classification
+//! pipeline's representations.
+
+pub mod generate;
+pub mod recommend;
+
+pub use generate::{MarkovRecipeGenerator, MarkovRecipeGeneratorConfig};
+pub use recommend::RecipeRecommender;

@@ -1,0 +1,161 @@
+//! Content-based recipe recommendation: cosine similarity over TF-IDF
+//! vectors with an inverted index, so a query touches only recipes that
+//! share at least one feature.
+
+use textproc::CsrMatrix;
+
+/// A fitted recommender over a recipe corpus.
+///
+/// Build once from the corpus TF-IDF matrix; query with any row of a
+/// compatible matrix (same vectorizer) or by corpus index.
+pub struct RecipeRecommender {
+    /// Inverted index: `postings[term]` = `(recipe, weight)` pairs.
+    postings: Vec<Vec<(u32, f32)>>,
+    /// Per-recipe L2 norms, for cosine normalization.
+    norms: Vec<f32>,
+    rows: usize,
+}
+
+impl RecipeRecommender {
+    /// Indexes a corpus matrix (rows = recipes, columns = TF-IDF terms).
+    pub fn fit(corpus: &CsrMatrix) -> Self {
+        let mut postings: Vec<Vec<(u32, f32)>> = vec![Vec::new(); corpus.cols()];
+        let mut norms = Vec::with_capacity(corpus.rows());
+        for r in 0..corpus.rows() {
+            let (idx, vals) = corpus.row(r);
+            for (&c, &v) in idx.iter().zip(vals) {
+                postings[c as usize].push((r as u32, v));
+            }
+            norms.push(corpus.row_norm(r).max(f32::MIN_POSITIVE));
+        }
+        Self { postings, norms, rows: corpus.rows() }
+    }
+
+    /// Number of indexed recipes.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The `k` most cosine-similar indexed recipes to a query row,
+    /// `(recipe, similarity)` descending. The query is `(term, weight)`
+    /// pairs (one CSR row of a compatible matrix).
+    ///
+    /// `exclude` (typically the query's own corpus index) is skipped.
+    pub fn recommend(
+        &self,
+        query: (&[u32], &[f32]),
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Vec<(usize, f32)> {
+        let (idx, vals) = query;
+        let query_norm = vals
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
+            .max(f32::MIN_POSITIVE);
+
+        let mut scores = vec![0.0f32; self.rows];
+        for (&term, &weight) in idx.iter().zip(vals) {
+            if let Some(postings) = self.postings.get(term as usize) {
+                for &(recipe, w) in postings {
+                    scores[recipe as usize] += weight * w;
+                }
+            }
+        }
+
+        let mut ranked: Vec<(usize, f32)> = scores
+            .into_iter()
+            .enumerate()
+            .filter(|&(r, s)| s > 0.0 && Some(r) != exclude)
+            .map(|(r, s)| (r, s / (query_norm * self.norms[r])))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Recommends neighbours of an indexed recipe by its corpus row.
+    pub fn recommend_for_indexed(
+        &self,
+        corpus: &CsrMatrix,
+        row: usize,
+        k: usize,
+    ) -> Vec<(usize, f32)> {
+        self.recommend(corpus.row(row), k, Some(row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textproc::CsrBuilder;
+
+    /// three "pasta" recipes sharing terms, one unrelated "soup" recipe
+    fn corpus() -> CsrMatrix {
+        let mut b = CsrBuilder::new(6);
+        b.push_sorted_row([(0, 1.0), (1, 1.0)]); // pasta tomato
+        b.push_sorted_row([(0, 1.0), (1, 0.8), (2, 0.5)]); // pasta tomato basil
+        b.push_sorted_row([(0, 0.9), (2, 1.0)]); // pasta basil
+        b.push_sorted_row([(4, 1.0), (5, 1.0)]); // soup leek
+        b.build()
+    }
+
+    #[test]
+    fn similar_recipes_rank_first() {
+        let c = corpus();
+        let rec = RecipeRecommender::fit(&c);
+        let out = rec.recommend_for_indexed(&c, 0, 2);
+        assert_eq!(out[0].0, 1, "most similar to recipe 0 must be recipe 1");
+        assert_eq!(out[1].0, 2);
+    }
+
+    #[test]
+    fn disjoint_recipes_never_recommended() {
+        let c = corpus();
+        let rec = RecipeRecommender::fit(&c);
+        let out = rec.recommend_for_indexed(&c, 0, 10);
+        assert!(out.iter().all(|&(r, _)| r != 3), "soup shares no terms with pasta");
+    }
+
+    #[test]
+    fn identical_recipe_has_cosine_one() {
+        let c = corpus();
+        let rec = RecipeRecommender::fit(&c);
+        let out = rec.recommend(c.row(0), 1, None);
+        assert_eq!(out[0].0, 0);
+        assert!((out[0].1 - 1.0).abs() < 1e-5, "self-similarity {}", out[0].1);
+    }
+
+    #[test]
+    fn exclusion_skips_self() {
+        let c = corpus();
+        let rec = RecipeRecommender::fit(&c);
+        let out = rec.recommend(c.row(0), 10, Some(0));
+        assert!(out.iter().all(|&(r, _)| r != 0));
+    }
+
+    #[test]
+    fn scores_are_descending_and_bounded() {
+        let c = corpus();
+        let rec = RecipeRecommender::fit(&c);
+        let out = rec.recommend_for_indexed(&c, 1, 10);
+        for w in out.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(out.iter().all(|&(_, s)| (0.0..=1.0 + 1e-5).contains(&s)));
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let c = corpus();
+        let rec = RecipeRecommender::fit(&c);
+        let out = rec.recommend((&[], &[]), 5, None);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Pipeline and model configuration with small/paper scale presets.
+
+use nn::{BertConfig, LstmConfig, PretrainConfig, TrainerConfig, Word2VecConfig};
+use nn::LrSchedule;
+use recipedb::{GeneratorConfig, SignalProfile};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// ~2% of RecipeDB (≈2.4k recipes): the full pipeline end to end in
+    /// minutes on a laptop. Used by tests and the default harness runs.
+    Small,
+    /// ~10% of RecipeDB (≈12k recipes): a middle ground for overnight runs.
+    Medium,
+    /// Full 118k-recipe corpus with bigger neural models. Hours on CPU.
+    Paper,
+    /// Custom fraction of the paper corpus, in `(0, 1]`.
+    Custom(f64),
+}
+
+impl Scale {
+    /// The generator fraction this scale maps to.
+    pub fn fraction(self) -> f64 {
+        match self {
+            Scale::Small => 0.02,
+            Scale::Medium => 0.1,
+            Scale::Paper => 1.0,
+            Scale::Custom(f) => f,
+        }
+    }
+}
+
+/// Hyperparameters for every model of Table IV, preset per scale.
+#[derive(Debug, Clone)]
+pub struct ModelHyperparams {
+    /// TF-IDF minimum document frequency.
+    pub tfidf_min_df: u64,
+    /// Sequence-vocabulary minimum token frequency.
+    pub vocab_min_freq: u64,
+    /// Cap on the sequence vocabulary (most-frequent first).
+    pub vocab_max_size: usize,
+    /// Random Forest tree count.
+    pub rf_trees: usize,
+    /// LSTM model shape.
+    pub lstm: LstmConfig,
+    /// LSTM training run.
+    pub lstm_trainer: TrainerConfig,
+    /// Initialise the LSTM's embeddings with skip-gram vectors trained on
+    /// the training split (§IV's "word embedding" vectorization).
+    pub lstm_word2vec: bool,
+    /// Skip-gram settings used when `lstm_word2vec` is set.
+    pub word2vec: Word2VecConfig,
+    /// Transformer model shape (shared by BERT and RoBERTa).
+    pub bert: BertConfig,
+    /// Fine-tuning run (shared).
+    pub finetune: TrainerConfig,
+    /// BERT-style pre-training epochs.
+    pub bert_pretrain_epochs: usize,
+    /// RoBERTa-style pre-training epochs (before its own 2× multiplier).
+    pub roberta_pretrain_epochs: usize,
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Dataset generation settings.
+    pub generator: GeneratorConfig,
+    /// Split / shuffling seed.
+    pub seed: u64,
+    /// Model hyperparameters.
+    pub models: ModelHyperparams,
+}
+
+impl PipelineConfig {
+    /// Builds the preset configuration for a scale.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let fraction = scale.fraction();
+        let generator = GeneratorConfig {
+            seed,
+            scale: fraction,
+            signal: SignalProfile::default(),
+        };
+
+        let small = fraction <= 0.05;
+        let classes = recipedb::NUM_CUISINES;
+
+        let vocab_max_size = if small { 4_000 } else { 12_000 };
+        let lstm = LstmConfig {
+            vocab: vocab_max_size + 5,
+            emb_dim: if small { 48 } else { 96 },
+            hidden: if small { 96 } else { 192 },
+            layers: 2,
+            dropout: 0.2,
+            classes,
+            pooling: nn::lstm::LstmPooling::LastHidden,
+        };
+        let lstm_trainer = TrainerConfig {
+            epochs: if small { 30 } else { 8 },
+            batch_size: 32,
+            schedule: LrSchedule::Constant(4e-3),
+            grad_clip: 1.0,
+            threads: 0,
+            seed,
+            early_stop_patience: 0,
+        };
+        let bert = BertConfig {
+            vocab: vocab_max_size + 5,
+            d_model: if small { 96 } else { 160 },
+            heads: 4,
+            layers: if small { 3 } else { 4 },
+            d_ff: if small { 192 } else { 320 },
+            max_len: 48,
+            dropout: 0.1,
+            classes,
+        };
+        let finetune = TrainerConfig {
+            epochs: if small { 14 } else { 4 },
+            batch_size: 32,
+            schedule: LrSchedule::LinearWarmupDecay {
+                peak: 8e-4,
+                warmup: 50,
+                total: 2_000,
+            },
+            grad_clip: 1.0,
+            threads: 0,
+            seed,
+            early_stop_patience: 0,
+        };
+
+        Self {
+            generator,
+            seed,
+            models: ModelHyperparams {
+                tfidf_min_df: 2,
+                vocab_min_freq: 2,
+                vocab_max_size,
+                rf_trees: if small { 40 } else { 120 },
+                lstm,
+                lstm_trainer,
+                lstm_word2vec: false,
+                word2vec: Word2VecConfig {
+                    dim: lstm.emb_dim,
+                    epochs: 5,
+                    seed,
+                    ..Default::default()
+                },
+                bert,
+                finetune,
+                bert_pretrain_epochs: 4,
+                roberta_pretrain_epochs: 4,
+            },
+        }
+    }
+
+    /// BERT-style pre-training schedule for this config.
+    pub fn bert_pretrain(&self) -> PretrainConfig {
+        PretrainConfig::bert_style(self.models.bert_pretrain_epochs, self.seed)
+    }
+
+    /// RoBERTa-style pre-training schedule for this config (dynamic
+    /// masking, 2× the epochs via `roberta_style`).
+    pub fn roberta_pretrain(&self) -> PretrainConfig {
+        PretrainConfig::roberta_style(self.models.roberta_pretrain_epochs, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_fractions() {
+        assert_eq!(Scale::Small.fraction(), 0.02);
+        assert_eq!(Scale::Paper.fraction(), 1.0);
+        assert_eq!(Scale::Custom(0.3).fraction(), 0.3);
+    }
+
+    #[test]
+    fn small_preset_is_smaller_than_paper() {
+        let s = PipelineConfig::new(Scale::Small, 0);
+        let p = PipelineConfig::new(Scale::Paper, 0);
+        assert!(s.models.bert.d_model < p.models.bert.d_model);
+        assert!(s.models.vocab_max_size < p.models.vocab_max_size);
+        assert!(s.generator.scale < p.generator.scale);
+    }
+
+    #[test]
+    fn vocab_sizes_are_consistent() {
+        let c = PipelineConfig::new(Scale::Small, 0);
+        assert_eq!(c.models.lstm.vocab, c.models.vocab_max_size + 5);
+        assert_eq!(c.models.bert.vocab, c.models.vocab_max_size + 5);
+    }
+
+    #[test]
+    fn roberta_pretrains_longer_than_bert() {
+        let c = PipelineConfig::new(Scale::Small, 0);
+        assert!(c.roberta_pretrain().epochs > c.bert_pretrain().epochs);
+    }
+
+    #[test]
+    fn masking_strategies_follow_the_paper() {
+        use textproc::masking::MaskingStrategy;
+        let c = PipelineConfig::new(Scale::Small, 0);
+        assert_eq!(c.bert_pretrain().masking.strategy, MaskingStrategy::Static);
+        assert_eq!(c.roberta_pretrain().masking.strategy, MaskingStrategy::Dynamic);
+    }
+
+    #[test]
+    fn medium_scale_sits_between_small_and_paper() {
+        let f = Scale::Medium.fraction();
+        assert!(Scale::Small.fraction() < f && f < Scale::Paper.fraction());
+    }
+}

@@ -1,0 +1,255 @@
+//! The seven Table IV experiments, runnable individually or as a batch.
+
+use std::time::Instant;
+
+use metrics::ClassificationReport;
+use ml::{
+    AdaBoost, AdaBoostConfig, Classifier, DecisionTreeConfig, LinearSvm, LogisticRegression,
+    MultinomialNb, RandomForest, RandomForestConfig,
+};
+use nn::{train_word2vec, AdamW, BertClassifier, LstmClassifier, Trainer, TrainHistory};
+
+use crate::config::PipelineConfig;
+use crate::pipeline::Pipeline;
+
+/// The models evaluated in Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// One-vs-rest logistic regression on TF-IDF.
+    LogReg,
+    /// Multinomial Naive Bayes on TF-IDF.
+    NaiveBayes,
+    /// One-vs-all linear SVM on TF-IDF.
+    SvmLinear,
+    /// Random Forest (with an AdaBoost variant in the harness) on TF-IDF.
+    RandomForest,
+    /// 2-layer LSTM on id sequences.
+    Lstm,
+    /// Transformer, MLM-pretrained with static masking (BERT recipe).
+    Bert,
+    /// Transformer, MLM-pretrained with dynamic masking and a longer
+    /// schedule (RoBERTa recipe).
+    Roberta,
+}
+
+impl ModelKind {
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::LogReg => "LogReg",
+            ModelKind::NaiveBayes => "Naive Bayes",
+            ModelKind::SvmLinear => "SVM (linear)",
+            ModelKind::RandomForest => "Random Forest",
+            ModelKind::Lstm => "LSTM",
+            ModelKind::Bert => "BERT",
+            ModelKind::Roberta => "RoBERTa",
+        }
+    }
+
+    /// Whether the model consumes id sequences (vs TF-IDF vectors).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, ModelKind::Lstm | ModelKind::Bert | ModelKind::Roberta)
+    }
+}
+
+/// All seven models in Table IV order.
+pub const ALL_MODELS: [ModelKind; 7] = [
+    ModelKind::LogReg,
+    ModelKind::NaiveBayes,
+    ModelKind::SvmLinear,
+    ModelKind::RandomForest,
+    ModelKind::Lstm,
+    ModelKind::Bert,
+    ModelKind::Roberta,
+];
+
+/// Outcome of one experiment.
+pub struct ExperimentResult {
+    /// Which model ran.
+    pub kind: ModelKind,
+    /// Test-set metrics (one row of Table IV).
+    pub report: ClassificationReport,
+    /// Training wall-clock seconds.
+    pub train_seconds: f64,
+    /// Fine-tuning / training loss history (neural models only).
+    pub history: Option<TrainHistory>,
+    /// Mean MLM loss per pre-training epoch (transformers only).
+    pub pretrain_losses: Option<Vec<f64>>,
+}
+
+/// Runs one model end to end.
+pub fn run_model(pipeline: &Pipeline, kind: ModelKind, config: &PipelineConfig) -> ExperimentResult {
+    if kind.is_sequential() {
+        run_sequential(pipeline, kind, config)
+    } else {
+        run_statistical(pipeline, kind, config)
+    }
+}
+
+/// Runs every Table IV model in order.
+pub fn run_all_models(pipeline: &Pipeline, config: &PipelineConfig) -> Vec<ExperimentResult> {
+    ALL_MODELS.iter().map(|&k| run_model(pipeline, k, config)).collect()
+}
+
+fn run_statistical(
+    pipeline: &Pipeline,
+    kind: ModelKind,
+    config: &PipelineConfig,
+) -> ExperimentResult {
+    let (train_x, _, test_x, _) = pipeline.tfidf_features(config);
+    let train_y = pipeline.labels_of(&pipeline.data.split.train);
+
+    let started = Instant::now();
+    let model: Box<dyn Classifier> = match kind {
+        ModelKind::LogReg => {
+            let mut m = LogisticRegression::default();
+            m.fit(&train_x, &train_y);
+            Box::new(m)
+        }
+        ModelKind::NaiveBayes => {
+            let mut m = MultinomialNb::default();
+            m.fit(&train_x, &train_y);
+            Box::new(m)
+        }
+        ModelKind::SvmLinear => {
+            let mut m = LinearSvm::default();
+            m.fit(&train_x, &train_y);
+            Box::new(m)
+        }
+        ModelKind::RandomForest => {
+            let mut m = RandomForest::new(RandomForestConfig {
+                n_trees: config.models.rf_trees,
+                seed: config.seed,
+                ..Default::default()
+            });
+            m.fit(&train_x, &train_y);
+            Box::new(m)
+        }
+        _ => unreachable!("sequential model routed to statistical runner"),
+    };
+    let train_seconds = started.elapsed().as_secs_f64();
+
+    let probs = model.predict_proba(&test_x);
+    let pred: Vec<usize> = probs
+        .iter()
+        .map(|row| {
+            row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
+        })
+        .collect();
+    let report = pipeline.evaluate_test(&pred, Some(&probs));
+    ExperimentResult { kind, report, train_seconds, history: None, pretrain_losses: None }
+}
+
+fn run_sequential(
+    pipeline: &Pipeline,
+    kind: ModelKind,
+    config: &PipelineConfig,
+) -> ExperimentResult {
+    let train = pipeline.examples_of(&pipeline.data.split.train);
+    let val = pipeline.examples_of(&pipeline.data.split.val);
+    let test = pipeline.examples_of(&pipeline.data.split.test);
+
+    let started = Instant::now();
+    let (report, history, pretrain_losses) = match kind {
+        ModelKind::Lstm => {
+            let mut rng = pipeline.rng(config, 1);
+            let mut model = LstmClassifier::new(config.models.lstm, &mut rng);
+            if config.models.lstm_word2vec {
+                // §IV: sequential models consume word embeddings — train
+                // skip-gram vectors on the training split and initialise
+                // the LSTM's table with them
+                let corpus: Vec<Vec<usize>> =
+                    train.iter().map(|(ids, _)| ids.clone()).collect();
+                let mut table = train_word2vec(
+                    &corpus,
+                    config.models.lstm.vocab,
+                    &config.models.word2vec,
+                )
+                .into_table();
+                // rescale to the layer's expected N(0, 0.02) magnitude so
+                // large skip-gram norms do not saturate the LSTM gates
+                let std = (table.norm_sq() / table.len() as f32).sqrt();
+                if std > 0.0 {
+                    table.scale(0.02 / std);
+                }
+                model.set_pretrained_embeddings(table);
+            }
+            let trainer = Trainer::new(config.models.lstm_trainer);
+            let mut opt = AdamW::default();
+            let history = trainer.fit(&mut model, &mut opt, &train, Some(&val));
+            let (_, _, pred, probs) = trainer.evaluate(&model, &test);
+            (pipeline.evaluate_test(&pred, Some(&probs)), Some(history), None)
+        }
+        ModelKind::Bert | ModelKind::Roberta => {
+            let mut rng = pipeline.rng(config, if kind == ModelKind::Bert { 2 } else { 3 });
+            let mut model = BertClassifier::new(config.models.bert, &mut rng);
+
+            // MLM pre-training is self-supervised: like the paper's BERT
+            // (pre-trained on a corpus far larger than the labelled set),
+            // it may see every recipe's *tokens* — labels are never used
+            let pretrain_cfg = if kind == ModelKind::Bert {
+                config.bert_pretrain()
+            } else {
+                config.roberta_pretrain()
+            };
+            let corpus: Vec<Vec<usize>> = pipeline.data.sequences.clone();
+            let stats = model.pretrain_mlm(&corpus, &pipeline.data.vocab, &pretrain_cfg);
+
+            let trainer = Trainer::new(config.models.finetune);
+            let mut opt = AdamW::default();
+            let history = trainer.fit(&mut model, &mut opt, &train, Some(&val));
+            let (_, _, pred, probs) = trainer.evaluate(&model, &test);
+            (
+                pipeline.evaluate_test(&pred, Some(&probs)),
+                Some(history),
+                Some(stats.epoch_losses),
+            )
+        }
+        _ => unreachable!("statistical model routed to sequential runner"),
+    };
+    let train_seconds = started.elapsed().as_secs_f64();
+    ExperimentResult { kind, report, train_seconds, history, pretrain_losses }
+}
+
+/// Runs the harness's AdaBoost variant (the paper folds it into its
+/// "Random Forest with Boosting" section).
+pub fn run_adaboost(pipeline: &Pipeline, config: &PipelineConfig) -> ExperimentResult {
+    let (train_x, _, test_x, _) = pipeline.tfidf_features(config);
+    let train_y = pipeline.labels_of(&pipeline.data.split.train);
+    let started = Instant::now();
+    let mut model = AdaBoost::new(AdaBoostConfig {
+        n_rounds: 25,
+        tree: DecisionTreeConfig { max_depth: 4, max_features: Some(64), ..Default::default() },
+        seed: config.seed,
+    });
+    model.fit(&train_x, &train_y);
+    let train_seconds = started.elapsed().as_secs_f64();
+    let probs = model.predict_proba(&test_x);
+    let pred: Vec<usize> = probs
+        .iter()
+        .map(|row| {
+            row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
+        })
+        .collect();
+    let report = pipeline.evaluate_test(&pred, Some(&probs));
+    ExperimentResult {
+        kind: ModelKind::RandomForest,
+        report,
+        train_seconds,
+        history: None,
+        pretrain_losses: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_names_and_order() {
+        assert_eq!(ALL_MODELS.len(), 7);
+        assert_eq!(ModelKind::Roberta.name(), "RoBERTa");
+        assert!(ModelKind::Lstm.is_sequential());
+        assert!(!ModelKind::LogReg.is_sequential());
+    }
+}

@@ -1,0 +1,34 @@
+//! End-to-end cuisine classification from sequentially structured recipes —
+//! the public API of this reproduction of Sharma, Upadhyay & Bagler (2020).
+//!
+//! The paper's claim: a recipe is an *ordered* chain of ingredients,
+//! cooking processes and utensils, and classifiers that see the order
+//! (LSTM, BERT, RoBERTa) beat bag-of-words statistical models (TF-IDF +
+//! LR/NB/SVM/RF) at predicting the recipe's cuisine, with RoBERTa best at
+//! 73.30% over 26 cuisines.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use cuisine::{ModelKind, Pipeline, PipelineConfig, Scale};
+//!
+//! let config = PipelineConfig::new(Scale::Small, 42);
+//! let pipeline = Pipeline::prepare(&config);
+//! let result = pipeline.run(ModelKind::LogReg, &config);
+//! println!("{}", result.report);
+//! ```
+//!
+//! The experiment harness in the `bench` crate regenerates every table and
+//! figure of the paper from this API; see `DESIGN.md` for the map.
+
+pub mod apps;
+mod config;
+mod experiments;
+mod paper;
+mod pipeline;
+pub mod report;
+
+pub use config::{ModelHyperparams, PipelineConfig, Scale};
+pub use experiments::{run_adaboost, run_all_models, ExperimentResult, ModelKind, ALL_MODELS};
+pub use paper::{paper_row, PaperRow, PAPER_TABLE4};
+pub use pipeline::{Pipeline, PreparedData};

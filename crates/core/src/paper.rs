@@ -1,0 +1,74 @@
+//! The paper's published numbers, kept as data so harnesses and tests can
+//! print paper-vs-measured comparisons.
+
+use crate::experiments::ModelKind;
+
+/// One row of the paper's Table IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Which model the row describes.
+    pub model: ModelKind,
+    /// Accuracy in percent.
+    pub accuracy_pct: f64,
+    /// Reported loss.
+    pub loss: f64,
+    /// Macro precision.
+    pub precision: f64,
+    /// Macro recall.
+    pub recall: f64,
+    /// Macro F1.
+    pub f1: f64,
+}
+
+/// Table IV of the paper, verbatim.
+pub const PAPER_TABLE4: [PaperRow; 7] = [
+    PaperRow { model: ModelKind::LogReg, accuracy_pct: 57.70, loss: 1.51, precision: 0.56, recall: 0.57, f1: 0.56 },
+    PaperRow { model: ModelKind::NaiveBayes, accuracy_pct: 51.64, loss: 7.14, precision: 0.50, recall: 0.51, f1: 0.50 },
+    PaperRow { model: ModelKind::SvmLinear, accuracy_pct: 56.60, loss: 2.97, precision: 0.54, recall: 0.56, f1: 0.54 },
+    PaperRow { model: ModelKind::RandomForest, accuracy_pct: 50.37, loss: 2.32, precision: 0.48, recall: 0.50, f1: 0.49 },
+    PaperRow { model: ModelKind::Lstm, accuracy_pct: 53.61, loss: 1.65, precision: 0.53, recall: 0.54, f1: 0.53 },
+    PaperRow { model: ModelKind::Bert, accuracy_pct: 68.71, loss: 0.21, precision: 0.58, recall: 0.60, f1: 0.57 },
+    PaperRow { model: ModelKind::Roberta, accuracy_pct: 73.30, loss: 0.10, precision: 0.67, recall: 0.71, f1: 0.69 },
+];
+
+/// Looks up the paper's row for a model.
+pub fn paper_row(model: ModelKind) -> &'static PaperRow {
+    PAPER_TABLE4
+        .iter()
+        .find(|r| r.model == model)
+        .expect("every model kind has a paper row")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_has_a_row() {
+        for kind in crate::ALL_MODELS {
+            let row = paper_row(kind);
+            assert_eq!(row.model, kind);
+        }
+    }
+
+    #[test]
+    fn paper_ordering_matches_the_text() {
+        // RoBERTa > BERT > LR > SVM > LSTM > NB > RF
+        let acc = |m: ModelKind| paper_row(m).accuracy_pct;
+        assert!(acc(ModelKind::Roberta) > acc(ModelKind::Bert));
+        assert!(acc(ModelKind::Bert) > acc(ModelKind::LogReg));
+        assert!(acc(ModelKind::LogReg) > acc(ModelKind::SvmLinear));
+        assert!(acc(ModelKind::SvmLinear) > acc(ModelKind::Lstm));
+        assert!(acc(ModelKind::Lstm) > acc(ModelKind::NaiveBayes));
+        assert!(acc(ModelKind::NaiveBayes) > acc(ModelKind::RandomForest));
+    }
+
+    #[test]
+    fn transformer_losses_are_lowest() {
+        for row in &PAPER_TABLE4 {
+            if !matches!(row.model, ModelKind::Bert | ModelKind::Roberta) {
+                assert!(row.loss > paper_row(ModelKind::Bert).loss);
+            }
+        }
+    }
+}

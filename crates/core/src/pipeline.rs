@@ -1,0 +1,207 @@
+//! The end-to-end pipeline: generate → preprocess → vectorize/encode →
+//! train → evaluate, mirroring the paper's flow diagram.
+
+use metrics::ClassificationReport;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recipedb::{generate, train_val_test_split, Dataset, Split};
+use textproc::{clean_text, lemmatize, CsrMatrix, TfIdfConfig, TfIdfVectorizer, Vocabulary};
+
+use crate::config::PipelineConfig;
+use crate::experiments::{ExperimentResult, ModelKind};
+
+/// The dataset after preprocessing: token documents, sequence encodings
+/// and the train/val/test split.
+pub struct PreparedData {
+    /// The generated corpus.
+    pub dataset: Dataset,
+    /// Stratified 7:1:2 split (indices into `dataset.recipes`).
+    pub split: Split,
+    /// Per-recipe token documents (cleaned, lemmatized entity names).
+    pub docs: Vec<Vec<String>>,
+    /// Per-recipe class labels.
+    pub labels: Vec<usize>,
+    /// Sequence vocabulary over the *training* documents.
+    pub vocab: Vocabulary,
+    /// Per-recipe token-id sequences (content ids, no specials).
+    pub sequences: Vec<Vec<usize>>,
+}
+
+/// A prepared pipeline, ready to run any of the paper's models.
+pub struct Pipeline {
+    /// The preprocessed data.
+    pub data: PreparedData,
+}
+
+impl Pipeline {
+    /// Generates the corpus and runs all preprocessing (§IV).
+    pub fn prepare(config: &PipelineConfig) -> Self {
+        let dataset = generate(&config.generator);
+        let split = train_val_test_split(&dataset, config.seed);
+
+        // §IV: strip digits/symbols, tokenize (entity-level — each
+        // ingredient/process/utensil is one feature), lemmatize.
+        let docs: Vec<Vec<String>> = dataset
+            .recipes
+            .iter()
+            .map(|r| {
+                r.tokens
+                    .iter()
+                    .map(|&t| {
+                        let cleaned = clean_text(dataset.table.name(t));
+                        // lemmatize per word inside multi-word entities,
+                        // keeping the entity as a single feature
+                        cleaned
+                            .split(' ')
+                            .map(lemmatize)
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    })
+                    .collect()
+            })
+            .collect();
+        let labels = dataset.labels();
+
+        // sequence vocabulary fit on training documents only
+        let vocab = Vocabulary::build(
+            split.train.iter().map(|&i| docs[i].iter().map(String::as_str)),
+            config.models.vocab_min_freq,
+            Some(config.models.vocab_max_size),
+        );
+        let sequences: Vec<Vec<usize>> = docs
+            .iter()
+            .map(|doc| doc.iter().map(|t| vocab.lookup_or_unk(t) as usize).collect())
+            .collect();
+
+        Self { data: PreparedData { dataset, split, docs, labels, vocab, sequences } }
+    }
+
+    /// TF-IDF features for the three split parts: `(train, val, test)`,
+    /// with the vectorizer fit on train only.
+    pub fn tfidf_features(
+        &self,
+        config: &PipelineConfig,
+    ) -> (CsrMatrix, CsrMatrix, CsrMatrix, TfIdfVectorizer) {
+        let d = &self.data;
+        let mut vectorizer = TfIdfVectorizer::new(TfIdfConfig {
+            min_df: config.models.tfidf_min_df,
+            ..Default::default()
+        });
+        let train_docs: Vec<Vec<&str>> = d
+            .split
+            .train
+            .iter()
+            .map(|&i| d.docs[i].iter().map(String::as_str).collect())
+            .collect();
+        let train = vectorizer.fit_transform(&train_docs);
+        let to_mat = |idx: &[usize]| {
+            let docs: Vec<Vec<&str>> = idx
+                .iter()
+                .map(|&i| d.docs[i].iter().map(String::as_str).collect())
+                .collect();
+            vectorizer.transform(&docs)
+        };
+        let val = to_mat(&d.split.val);
+        let test = to_mat(&d.split.test);
+        (train, val, test, vectorizer)
+    }
+
+    /// Labels of a split part.
+    pub fn labels_of(&self, part: &[usize]) -> Vec<usize> {
+        part.iter().map(|&i| self.data.labels[i]).collect()
+    }
+
+    /// `(sequence, label)` examples of a split part, for the neural models.
+    pub fn examples_of(&self, part: &[usize]) -> Vec<(Vec<usize>, usize)> {
+        part.iter()
+            .map(|&i| (self.data.sequences[i].clone(), self.data.labels[i]))
+            .collect()
+    }
+
+    /// Runs one of the paper's seven models end to end (train on the train
+    /// split, report on the test split).
+    pub fn run(&self, kind: ModelKind, config: &PipelineConfig) -> ExperimentResult {
+        crate::experiments::run_model(self, kind, config)
+    }
+
+    /// Evaluates a prediction set against the test split.
+    pub fn evaluate_test(
+        &self,
+        pred: &[usize],
+        probs: Option<&[Vec<f64>]>,
+    ) -> ClassificationReport {
+        let gold = self.labels_of(&self.data.split.test);
+        ClassificationReport::evaluate(recipedb::NUM_CUISINES, &gold, pred, probs)
+    }
+
+    /// A deterministic RNG derived from the pipeline seed and a tag.
+    pub fn rng(&self, config: &PipelineConfig, tag: u64) -> StdRng {
+        StdRng::seed_from_u64(config.seed.wrapping_mul(0x0100_0000_01B3).wrapping_add(tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+
+    fn tiny_pipeline() -> (Pipeline, PipelineConfig) {
+        let mut config = PipelineConfig::new(Scale::Custom(0.004), 7);
+        config.models.vocab_max_size = 600;
+        (Pipeline::prepare(&config), config)
+    }
+
+    #[test]
+    fn prepare_aligns_all_views() {
+        let (p, _) = tiny_pipeline();
+        let n = p.data.dataset.len();
+        assert_eq!(p.data.docs.len(), n);
+        assert_eq!(p.data.labels.len(), n);
+        assert_eq!(p.data.sequences.len(), n);
+        assert_eq!(p.data.split.len(), n);
+    }
+
+    #[test]
+    fn documents_are_entity_level() {
+        let (p, _) = tiny_pipeline();
+        // documents keep multi-word entity names as single tokens
+        let multi = p
+            .data
+            .docs
+            .iter()
+            .flatten()
+            .any(|t| t.contains(' '));
+        assert!(multi, "expected multi-word entity features");
+    }
+
+    #[test]
+    fn tfidf_shapes_match_split() {
+        let (p, config) = tiny_pipeline();
+        let (train, val, test, vec) = p.tfidf_features(&config);
+        assert_eq!(train.rows(), p.data.split.train.len());
+        assert_eq!(val.rows(), p.data.split.val.len());
+        assert_eq!(test.rows(), p.data.split.test.len());
+        assert_eq!(train.cols(), vec.vocab_size());
+        assert!(train.sparsity() > 0.9, "sparsity {}", train.sparsity());
+    }
+
+    #[test]
+    fn sequences_use_vocab_ids() {
+        let (p, _) = tiny_pipeline();
+        let vocab_len = p.data.vocab.len();
+        for seq in &p.data.sequences {
+            assert!(!seq.is_empty());
+            assert!(seq.iter().all(|&id| id < vocab_len));
+        }
+    }
+
+    #[test]
+    fn examples_align_with_labels() {
+        let (p, _) = tiny_pipeline();
+        let ex = p.examples_of(&p.data.split.val);
+        assert_eq!(ex.len(), p.data.split.val.len());
+        for ((_, label), &idx) in ex.iter().zip(&p.data.split.val) {
+            assert_eq!(*label, p.data.labels[idx]);
+        }
+    }
+}

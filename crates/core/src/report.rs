@@ -1,0 +1,280 @@
+//! Table and figure renderers: ASCII tables comparing paper vs measured,
+//! bar charts, loss-curve plots, CSV output.
+
+use std::fmt::Write as _;
+
+use recipedb::{cumulative_spectrum, DatasetStats, CUISINES};
+
+use crate::experiments::ExperimentResult;
+use crate::paper::paper_row;
+
+/// Renders Table II (cuisine → recipe counts), paper vs generated.
+pub fn render_table2(stats: &DatasetStats, scale: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table II — dataset information (scale {scale})");
+    let _ = writeln!(out, "{:<24} {:>10} {:>10}", "Cuisine", "paper", "generated");
+    for (i, info) in CUISINES.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>10}",
+            info.name, info.paper_count, stats.per_cuisine[i]
+        );
+    }
+    let total_gen: usize = stats.per_cuisine.iter().sum();
+    let total_paper: u32 = CUISINES.iter().map(|c| c.paper_count).sum();
+    let _ = writeln!(out, "{:<24} {:>10} {:>10}", "TOTAL", total_paper, total_gen);
+    out
+}
+
+/// Renders Table III (cumulative feature-frequency spectrum), paper vs
+/// generated. Bounds are scaled by the corpus fraction so a 2% corpus is
+/// compared against 2%-scaled thresholds.
+pub fn render_table3(stats: &DatasetStats, scale: f64) -> String {
+    let (high, low) = cumulative_spectrum(stats);
+    let mut out = String::new();
+    let _ = writeln!(out, "Table III — feature frequency distribution (scale {scale})");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>12} {:>12}   {:>10} {:>12} {:>12}",
+        "freq >", "paper #", "generated #", "freq <", "paper #", "generated #"
+    );
+    for (h, l) in recipedb::PAPER_TABLE3_HIGH.iter().zip(recipedb::PAPER_TABLE3_LOW.iter()) {
+        let gh = high.iter().find(|r| r.bound == h.bound).map_or(0, |r| r.count);
+        let gl = low.iter().find(|r| r.bound == l.bound).map_or(0, |r| r.count);
+        let _ = writeln!(
+            out,
+            "{:>12} {:>12} {:>12}   {:>10} {:>12} {:>12}",
+            h.bound, h.count, gh, l.bound, l.count, gl
+        );
+    }
+    let _ = writeln!(
+        out,
+        "top feature frequency: paper 188,004 | generated {}",
+        stats.top_features(1).first().map_or(0, |&(_, f)| f)
+    );
+    let _ = writeln!(out, "sparsity: paper 99.50% | generated {:.2}%", stats.sparsity * 100.0);
+    out
+}
+
+/// Renders Table IV (performance metrics), paper vs measured.
+pub fn render_table4(results: &[ExperimentResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table IV — performance metrics (paper → measured)");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>16} {:>14} {:>16} {:>14} {:>14} {:>9}",
+        "Model", "Accuracy %", "Loss", "Precision", "Recall", "F1", "sec"
+    );
+    for r in results {
+        let p = paper_row(r.kind);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7.2} → {:>6.2} {:>6.2} → {:>5.2} {:>8.2} → {:>5.2} {:>6.2} → {:>5.2} {:>6.2} → {:>5.2} {:>9.1}",
+            r.kind.name(),
+            p.accuracy_pct,
+            r.report.accuracy_pct(),
+            p.loss,
+            r.report.loss.unwrap_or(f64::NAN),
+            p.precision,
+            r.report.precision,
+            p.recall,
+            r.report.recall,
+            p.f1,
+            r.report.f1,
+            r.train_seconds,
+        );
+    }
+    out
+}
+
+/// Renders the `Normalized_Model_Accuracy` figure: accuracies normalized
+/// to the best model, as an ASCII bar chart (paper and measured bars).
+pub fn render_accuracy_figure(results: &[ExperimentResult]) -> String {
+    let best_measured = results
+        .iter()
+        .map(|r| r.report.accuracy)
+        .fold(f64::MIN, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let best_paper = results
+        .iter()
+        .map(|r| paper_row(r.kind).accuracy_pct)
+        .fold(f64::MIN, f64::max);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure — normalized model accuracy (█ measured, ░ paper)");
+    for r in results {
+        let m_norm = r.report.accuracy / best_measured;
+        let p_norm = paper_row(r.kind).accuracy_pct / best_paper;
+        let m_bar = "█".repeat((m_norm * 40.0).round() as usize);
+        let p_bar = "░".repeat((p_norm * 40.0).round() as usize);
+        let _ = writeln!(out, "{:<14} {:<42} {:.3}", r.kind.name(), m_bar, m_norm);
+        let _ = writeln!(out, "{:<14} {:<42} {:.3}", "", p_bar, p_norm);
+    }
+    out
+}
+
+/// Renders loss-vs-epoch curves (the paper's `loss_training` /
+/// `loss_val` figures) for the neural models.
+pub fn render_loss_curves(results: &[ExperimentResult], which: LossKindSel) -> String {
+    let mut out = String::new();
+    let title = match which {
+        LossKindSel::Train => "training",
+        LossKindSel::Validation => "validation",
+    };
+    let _ = writeln!(out, "Figure — {title} loss per epoch");
+    for r in results {
+        let Some(history) = &r.history else { continue };
+        let series: Vec<f64> = match which {
+            LossKindSel::Train => history.train_losses(),
+            LossKindSel::Validation => history.val_losses(),
+        };
+        if series.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{}:", r.kind.name());
+        let max = series.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+        for (epoch, &loss) in series.iter().enumerate() {
+            let bar = "▇".repeat(((loss / max) * 40.0).round() as usize);
+            let _ = writeln!(out, "  epoch {epoch:>2} {bar} {loss:.4}");
+        }
+    }
+    out
+}
+
+/// Which loss series to plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKindSel {
+    /// Training loss per epoch.
+    Train,
+    /// Validation loss per epoch.
+    Validation,
+}
+
+/// Writes Table IV as CSV (`model,paper_acc,acc,paper_loss,loss,...`).
+pub fn table4_csv(results: &[ExperimentResult]) -> String {
+    let mut out = String::from(
+        "model,paper_accuracy_pct,accuracy_pct,paper_loss,loss,paper_precision,precision,paper_recall,recall,paper_f1,f1,train_seconds\n",
+    );
+    for r in results {
+        let p = paper_row(r.kind);
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{},{:.4},{},{:.4},{},{:.4},{},{:.4},{:.2}",
+            r.kind.name(),
+            p.accuracy_pct,
+            r.report.accuracy_pct(),
+            p.loss,
+            r.report.loss.unwrap_or(f64::NAN),
+            p.precision,
+            r.report.precision,
+            p.recall,
+            r.report.recall,
+            p.f1,
+            r.report.f1,
+            r.train_seconds,
+        );
+    }
+    out
+}
+
+/// Renders the rank-frequency view behind the paper's feature figures:
+/// the top-`k` features with counts and a log-scale bar.
+pub fn render_feature_figure(stats: &DatasetStats, names: &dyn Fn(u32) -> String, k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure — feature frequency (top {k})");
+    let top = stats.top_features(k);
+    let max = top.first().map_or(1, |&(_, f)| f) as f64;
+    for (id, freq) in top {
+        let bar_len = ((freq as f64).ln() / max.ln() * 40.0).round() as usize;
+        let _ = writeln!(
+            out,
+            "{:<28} {:<42} {freq}",
+            names(id.0),
+            "▇".repeat(bar_len)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ModelKind;
+    use metrics::ClassificationReport;
+
+    fn fake_result(kind: ModelKind, acc_pairs: &[(usize, usize)]) -> ExperimentResult {
+        let gold: Vec<usize> = acc_pairs.iter().map(|&(g, _)| g).collect();
+        let pred: Vec<usize> = acc_pairs.iter().map(|&(_, p)| p).collect();
+        ExperimentResult {
+            kind,
+            report: ClassificationReport::evaluate(26, &gold, &pred, None),
+            train_seconds: 1.0,
+            history: None,
+            pretrain_losses: None,
+        }
+    }
+
+    #[test]
+    fn table4_renders_every_model() {
+        let results: Vec<ExperimentResult> = crate::ALL_MODELS
+            .iter()
+            .map(|&k| fake_result(k, &[(0, 0), (1, 1), (2, 0)]))
+            .collect();
+        let rendered = render_table4(&results);
+        for k in crate::ALL_MODELS {
+            assert!(rendered.contains(k.name()), "missing {}", k.name());
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let results = vec![fake_result(ModelKind::LogReg, &[(0, 0)])];
+        let csv = table4_csv(&results);
+        assert!(csv.starts_with("model,"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn loss_curves_render_histories() {
+        use nn::{EpochStats, TrainHistory};
+        let mut r = fake_result(ModelKind::Lstm, &[(0, 0)]);
+        r.history = Some(TrainHistory {
+            epochs: vec![
+                EpochStats { epoch: 0, train_loss: 2.0, val_loss: Some(2.1), val_accuracy: Some(0.3) },
+                EpochStats { epoch: 1, train_loss: 1.0, val_loss: Some(1.5), val_accuracy: Some(0.5) },
+            ],
+        });
+        let train = render_loss_curves(&[r], LossKindSel::Train);
+        assert!(train.contains("LSTM"));
+        assert!(train.contains("epoch  0"));
+        assert!(train.contains("2.0000"));
+        // models without history are skipped silently
+        let empty = render_loss_curves(
+            &[fake_result(ModelKind::LogReg, &[(0, 0)])],
+            LossKindSel::Validation,
+        );
+        assert!(!empty.contains("LogReg"));
+    }
+
+    #[test]
+    fn feature_figure_renders_top_k() {
+        use recipedb::{generate, DatasetStats, GeneratorConfig};
+        let d = generate(&GeneratorConfig { seed: 0, scale: 0.002, ..Default::default() });
+        let stats = DatasetStats::compute(&d);
+        let table = d.table.clone();
+        let names = move |id: u32| table.name(recipedb::EntityId(id)).to_string();
+        let fig = render_feature_figure(&stats, &names, 5);
+        assert!(fig.contains("add"), "most frequent feature must appear:\n{fig}");
+        assert_eq!(fig.lines().count(), 6); // header + 5 rows
+    }
+
+    #[test]
+    fn accuracy_figure_normalizes_to_best() {
+        let results = vec![
+            fake_result(ModelKind::LogReg, &[(0, 0), (1, 1)]),
+            fake_result(ModelKind::Roberta, &[(0, 0), (1, 0)]),
+        ];
+        let fig = render_accuracy_figure(&results);
+        assert!(fig.contains("1.000"), "best model must normalize to 1.0:\n{fig}");
+    }
+}

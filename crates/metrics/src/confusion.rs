@@ -1,0 +1,241 @@
+//! Confusion matrices over integer class labels.
+
+use std::fmt;
+
+/// A `k × k` confusion matrix: `m[gold][pred]` counts test examples with
+/// gold label `gold` that the model predicted as `pred`.
+///
+/// # Examples
+///
+/// ```
+/// use metrics::ConfusionMatrix;
+///
+/// let m = ConfusionMatrix::from_pairs(3, &[0, 1, 2, 2], &[0, 1, 2, 0]);
+/// assert_eq!(m.count(2, 0), 1);
+/// assert_eq!(m.total(), 4);
+/// assert_eq!(m.true_positives(2), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<u64>,
+    classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `classes` labels.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "at least one class required");
+        Self { counts: vec![0; classes * classes], classes }
+    }
+
+    /// Builds a matrix from parallel slices of gold and predicted labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or any label is out of range.
+    pub fn from_pairs(classes: usize, gold: &[usize], pred: &[usize]) -> Self {
+        assert_eq!(gold.len(), pred.len(), "gold/pred length mismatch");
+        let mut m = Self::new(classes);
+        for (&g, &p) in gold.iter().zip(pred) {
+            m.record(g, p);
+        }
+        m
+    }
+
+    /// Records one `(gold, predicted)` observation.
+    pub fn record(&mut self, gold: usize, pred: usize) {
+        assert!(gold < self.classes, "gold label {gold} out of range");
+        assert!(pred < self.classes, "predicted label {pred} out of range");
+        self.counts[gold * self.classes + pred] += 1;
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Count of examples with the given gold label predicted as `pred`.
+    pub fn count(&self, gold: usize, pred: usize) -> u64 {
+        self.counts[gold * self.classes + pred]
+    }
+
+    /// Total number of recorded examples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Diagonal entry for `class`.
+    pub fn true_positives(&self, class: usize) -> u64 {
+        self.count(class, class)
+    }
+
+    /// Off-diagonal column sum: examples wrongly predicted as `class`.
+    pub fn false_positives(&self, class: usize) -> u64 {
+        (0..self.classes)
+            .filter(|&g| g != class)
+            .map(|g| self.count(g, class))
+            .sum()
+    }
+
+    /// Off-diagonal row sum: examples of `class` predicted as something else.
+    pub fn false_negatives(&self, class: usize) -> u64 {
+        (0..self.classes)
+            .filter(|&p| p != class)
+            .map(|p| self.count(class, p))
+            .sum()
+    }
+
+    /// Number of gold examples of `class` (row sum).
+    pub fn support(&self, class: usize) -> u64 {
+        (0..self.classes).map(|p| self.count(class, p)).sum()
+    }
+
+    /// Overall accuracy (diagonal mass over total); `0.0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.true_positives(c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision for one class; `0.0` when the class was never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.true_positives(class);
+        let denom = tp + self.false_positives(class);
+        if denom == 0 {
+            0.0
+        } else {
+            tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall for one class; `0.0` when the class has no gold examples.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.true_positives(class);
+        let denom = tp + self.false_negatives(class);
+        if denom == 0 {
+            0.0
+        } else {
+            tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 for one class (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// The `k` most confused off-diagonal pairs, most frequent first, as
+    /// `(gold, pred, count)` triples. Useful for error analysis of
+    /// neighbouring cuisines (e.g. Thai vs Southeast Asian).
+    pub fn top_confusions(&self, k: usize) -> Vec<(usize, usize, u64)> {
+        let mut pairs: Vec<(usize, usize, u64)> = (0..self.classes)
+            .flat_map(|g| (0..self.classes).map(move |p| (g, p)))
+            .filter(|&(g, p)| g != p)
+            .map(|(g, p)| (g, p, self.count(g, p)))
+            .filter(|&(_, _, c)| c > 0)
+            .collect();
+        pairs.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+        pairs.truncate(k);
+        pairs
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion matrix ({} classes, {} examples)", self.classes, self.total())?;
+        let shown = self.classes.min(12);
+        for g in 0..shown {
+            for p in 0..shown {
+                write!(f, "{:>7}", self.count(g, p))?;
+            }
+            if self.classes > shown {
+                write!(f, " …")?;
+            }
+            writeln!(f)?;
+        }
+        if self.classes > shown {
+            writeln!(f, "  … ({} more rows)", self.classes - shown)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::from_pairs(3, &[0, 1, 2], &[0, 1, 2]);
+        assert_eq!(m.accuracy(), 1.0);
+        for c in 0..3 {
+            assert_eq!(m.precision(c), 1.0);
+            assert_eq!(m.recall(c), 1.0);
+            assert_eq!(m.f1(c), 1.0);
+        }
+    }
+
+    #[test]
+    fn all_wrong_predictions() {
+        let m = ConfusionMatrix::from_pairs(2, &[0, 1], &[1, 0]);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(0), 0.0);
+    }
+
+    #[test]
+    fn per_class_counts() {
+        // gold 0 predicted as 1 twice; gold 1 predicted correctly once.
+        let m = ConfusionMatrix::from_pairs(2, &[0, 0, 1], &[1, 1, 1]);
+        assert_eq!(m.true_positives(1), 1);
+        assert_eq!(m.false_positives(1), 2);
+        assert_eq!(m.false_negatives(0), 2);
+        assert_eq!(m.support(0), 2);
+        assert!((m.precision(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.recall(1), 1.0);
+    }
+
+    #[test]
+    fn never_predicted_class_has_zero_precision() {
+        let m = ConfusionMatrix::from_pairs(3, &[2, 2], &[0, 1]);
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.recall(2), 0.0);
+        assert_eq!(m.f1(2), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let m = ConfusionMatrix::new(4);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.total(), 0);
+        assert!(m.top_confusions(5).is_empty());
+    }
+
+    #[test]
+    fn top_confusions_ranked() {
+        let m = ConfusionMatrix::from_pairs(
+            3,
+            &[0, 0, 0, 1, 2],
+            &[1, 1, 2, 0, 0],
+        );
+        let top = m.top_confusions(2);
+        assert_eq!(top[0], (0, 1, 2));
+        assert_eq!(top[0].2, 2);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 5);
+    }
+}

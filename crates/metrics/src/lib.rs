@@ -1,0 +1,17 @@
+//! Classification metrics used throughout the reproduction.
+//!
+//! Table IV of the paper reports five numbers per model — accuracy, loss,
+//! precision, recall and F1 — where precision/recall/F1 are macro-averaged
+//! over the 26 cuisine classes. This crate computes all of them from
+//! `(gold, predicted)` label pairs plus (for the loss) predicted class
+//! probabilities.
+
+mod classification;
+mod confusion;
+mod report;
+
+pub use classification::{
+    accuracy, log_loss, macro_f1, macro_precision, macro_recall, ClassMetrics,
+};
+pub use confusion::ConfusionMatrix;
+pub use report::ClassificationReport;

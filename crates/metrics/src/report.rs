@@ -1,0 +1,199 @@
+//! The five-number summary reported per model in Table IV.
+
+use std::fmt;
+
+use crate::{
+    accuracy, log_loss, macro_f1, macro_precision, macro_recall, ConfusionMatrix,
+};
+
+/// Accuracy, loss and macro precision/recall/F1 for one evaluated model —
+/// exactly one row of the paper's Table IV.
+///
+/// # Examples
+///
+/// ```
+/// use metrics::ClassificationReport;
+///
+/// let gold = [0, 1, 1];
+/// let pred = [0, 1, 0];
+/// let probs = vec![vec![0.9, 0.1], vec![0.2, 0.8], vec![0.6, 0.4]];
+/// let report = ClassificationReport::evaluate(2, &gold, &pred, Some(&probs));
+/// assert!((report.accuracy - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationReport {
+    /// Overall accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Mean cross-entropy of the gold labels, when probabilities were given.
+    pub loss: Option<f64>,
+    /// Macro-averaged precision.
+    pub precision: f64,
+    /// Macro-averaged recall.
+    pub recall: f64,
+    /// Macro-averaged F1.
+    pub f1: f64,
+    /// The underlying confusion matrix, kept for error analysis.
+    pub confusion: ConfusionMatrix,
+}
+
+impl ClassificationReport {
+    /// Evaluates predictions against gold labels. `probs`, when provided,
+    /// must hold one probability row per example and enables the loss.
+    pub fn evaluate(
+        classes: usize,
+        gold: &[usize],
+        pred: &[usize],
+        probs: Option<&[Vec<f64>]>,
+    ) -> Self {
+        let confusion = ConfusionMatrix::from_pairs(classes, gold, pred);
+        Self {
+            accuracy: accuracy(gold, pred),
+            loss: probs.map(|p| log_loss(gold, p)),
+            precision: macro_precision(&confusion),
+            recall: macro_recall(&confusion),
+            f1: macro_f1(&confusion),
+            confusion,
+        }
+    }
+
+    /// Accuracy as a percentage, the unit Table IV uses.
+    pub fn accuracy_pct(&self) -> f64 {
+        self.accuracy * 100.0
+    }
+}
+
+impl ClassificationReport {
+    /// Renders a per-class precision/recall/F1/support table, one row per
+    /// class, using `names` to label classes.
+    pub fn per_class_table(&self, names: &dyn Fn(usize) -> String) -> String {
+        use crate::ClassMetrics;
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<26} {:>10} {:>10} {:>10} {:>9}",
+            "class", "precision", "recall", "F1", "support"
+        );
+        for m in ClassMetrics::per_class(&self.confusion) {
+            let _ = writeln!(
+                out,
+                "{:<26} {:>10.3} {:>10.3} {:>10.3} {:>9}",
+                names(m.class),
+                m.precision,
+                m.recall,
+                m.f1,
+                m.support
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for ClassificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accuracy {:.2}%  loss {}  precision {:.2}  recall {:.2}  F1 {:.2}",
+            self.accuracy_pct(),
+            match self.loss {
+                Some(l) => format!("{l:.2}"),
+                None => "n/a".to_string(),
+            },
+            self.precision,
+            self.recall,
+            self.f1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_without_probs_has_no_loss() {
+        let r = ClassificationReport::evaluate(2, &[0, 1], &[0, 1], None);
+        assert_eq!(r.loss, None);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.f1, 1.0);
+    }
+
+    #[test]
+    fn evaluate_with_probs_computes_loss() {
+        let probs = vec![vec![0.8, 0.2], vec![0.3, 0.7]];
+        let r = ClassificationReport::evaluate(2, &[0, 1], &[0, 1], Some(&probs));
+        let expected = -(0.8f64.ln() + 0.7f64.ln()) / 2.0;
+        assert!((r.loss.unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let r = ClassificationReport::evaluate(2, &[0, 1, 1, 0], &[0, 1, 0, 0], None);
+        let s = r.to_string();
+        assert!(s.contains("accuracy 75.00%"), "got: {s}");
+        assert!(s.contains("loss n/a"));
+    }
+
+    #[test]
+    fn per_class_table_renders_all_classes() {
+        let r = ClassificationReport::evaluate(3, &[0, 1, 2, 2], &[0, 1, 2, 1], None);
+        let table = r.per_class_table(&|c| format!("class-{c}"));
+        assert_eq!(table.lines().count(), 4); // header + 3 classes
+        assert!(table.contains("class-2"));
+        assert!(table.contains("0.500")); // class 2 recall
+    }
+
+    #[test]
+    fn confusion_matrix_retained() {
+        let r = ClassificationReport::evaluate(3, &[0, 1, 2], &[0, 2, 2], None);
+        assert_eq!(r.confusion.count(1, 2), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn labels(classes: usize) -> impl Strategy<Value = Vec<usize>> {
+        proptest::collection::vec(0..classes, 1..60)
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_are_bounded(gold in labels(5), seed in 0u64..100) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let pred: Vec<usize> = gold.iter().map(|_| rng.gen_range(0..5)).collect();
+            let r = ClassificationReport::evaluate(5, &gold, &pred, None);
+            prop_assert!((0.0..=1.0).contains(&r.accuracy));
+            prop_assert!((0.0..=1.0).contains(&r.precision));
+            prop_assert!((0.0..=1.0).contains(&r.recall));
+            prop_assert!((0.0..=1.0).contains(&r.f1));
+        }
+
+        #[test]
+        fn identical_predictions_are_perfect(gold in labels(4)) {
+            let r = ClassificationReport::evaluate(4, &gold, &gold, None);
+            prop_assert_eq!(r.accuracy, 1.0);
+            // macro metrics: classes absent from gold score 0 precision/recall,
+            // so only assert on classes that appear.
+            let present: std::collections::HashSet<_> = gold.iter().copied().collect();
+            for c in &present {
+                prop_assert_eq!(r.confusion.recall(*c), 1.0);
+                prop_assert_eq!(r.confusion.precision(*c), 1.0);
+            }
+        }
+
+        #[test]
+        fn confusion_total_matches_examples(gold in labels(3), seed in 0u64..100) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let pred: Vec<usize> = gold.iter().map(|_| rng.gen_range(0..3)).collect();
+            let m = ConfusionMatrix::from_pairs(3, &gold, &pred);
+            prop_assert_eq!(m.total() as usize, gold.len());
+            let support_sum: u64 = (0..3).map(|c| m.support(c)).sum();
+            prop_assert_eq!(support_sum as usize, gold.len());
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! AdaBoost with the SAMME multi-class rule (§V.D's "RF with AdaBoost").
+//!
+//! Boosts shallow presence-split [`DecisionTree`]s: each round fits a
+//! weighted stump-like tree, upweights its mistakes, and earns a vote
+//! `α = ln((1−ε)/ε) + ln(K−1)`. Rounds that do no better than chance
+//! (`ε ≥ 1 − 1/K`) stop the ensemble early.
+
+use textproc::CsrMatrix;
+
+use crate::traits::{validate_fit, Classifier};
+use crate::tree::{DecisionTree, DecisionTreeConfig};
+
+/// AdaBoost hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaBoostConfig {
+    /// Maximum boosting rounds.
+    pub n_rounds: usize,
+    /// Weak-learner settings (shallow trees).
+    pub tree: DecisionTreeConfig,
+    /// Seed offset for per-round feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for AdaBoostConfig {
+    fn default() -> Self {
+        Self {
+            n_rounds: 30,
+            tree: DecisionTreeConfig { max_depth: 3, ..Default::default() },
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted SAMME AdaBoost ensemble.
+///
+/// # Examples
+///
+/// ```
+/// use ml::{AdaBoost, Classifier};
+/// use textproc::CsrBuilder;
+///
+/// let mut b = CsrBuilder::new(2);
+/// for _ in 0..5 {
+///     b.push_sorted_row([(0, 1.0)]);
+///     b.push_sorted_row([(1, 1.0)]);
+/// }
+/// let x = b.build();
+/// let y: Vec<usize> = (0..10).map(|i| i % 2).collect();
+/// let mut ada = AdaBoost::default();
+/// ada.fit(&x, &y);
+/// assert_eq!(ada.predict(&x), y);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AdaBoost {
+    config: AdaBoostConfig,
+    rounds: Vec<(DecisionTree, f64)>,
+    classes: usize,
+}
+
+impl AdaBoost {
+    /// Creates an unfitted ensemble.
+    pub fn new(config: AdaBoostConfig) -> Self {
+        assert!(config.n_rounds > 0, "need at least one boosting round");
+        Self { config, rounds: Vec::new(), classes: 0 }
+    }
+
+    /// Number of boosting rounds actually kept.
+    pub fn n_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The vote weight of each kept round.
+    pub fn alphas(&self) -> Vec<f64> {
+        self.rounds.iter().map(|&(_, a)| a).collect()
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn fit(&mut self, x: &CsrMatrix, y: &[usize]) {
+        let classes = validate_fit(x, y);
+        self.classes = classes;
+        self.rounds.clear();
+
+        let n = y.len();
+        let k = classes as f64;
+        let mut weights = vec![1.0 / n as f64; n];
+
+        for round in 0..self.config.n_rounds {
+            let mut tree = DecisionTree::new(DecisionTreeConfig {
+                seed: self.config.seed.wrapping_add(round as u64),
+                ..self.config.tree
+            });
+            tree.fit_weighted(x, y, &weights);
+            let preds = tree.predict(x);
+
+            let err: f64 = preds
+                .iter()
+                .zip(y)
+                .zip(&weights)
+                .filter(|((p, g), _)| p != g)
+                .map(|(_, &w)| w)
+                .sum();
+
+            if err <= 1e-12 {
+                // perfect weak learner — give it a large but finite vote
+                self.rounds.push((tree, 10.0 + (k - 1.0).ln()));
+                break;
+            }
+            if err >= 1.0 - 1.0 / k {
+                // no better than chance: SAMME cannot use this round
+                if self.rounds.is_empty() {
+                    // keep one round anyway so the model can predict
+                    self.rounds.push((tree, 1.0));
+                }
+                break;
+            }
+
+            let alpha = ((1.0 - err) / err).ln() + (k - 1.0).ln();
+            for ((p, g), w) in preds.iter().zip(y).zip(&mut weights) {
+                if p != g {
+                    *w *= alpha.exp();
+                }
+            }
+            let z: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= z;
+            }
+            self.rounds.push((tree, alpha));
+        }
+    }
+
+    fn predict_proba(&self, x: &CsrMatrix) -> Vec<Vec<f64>> {
+        assert!(!self.rounds.is_empty(), "fit must be called before prediction");
+        let mut votes = vec![vec![0.0f64; self.classes]; x.rows()];
+        for (tree, alpha) in &self.rounds {
+            for (row, pred) in votes.iter_mut().zip(tree.predict(x)) {
+                row[pred] += alpha;
+            }
+        }
+        for row in &mut votes {
+            let z: f64 = row.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+        }
+        votes
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textproc::CsrBuilder;
+
+    /// Data a depth-1 tree cannot solve but boosted stumps can.
+    fn staged() -> (CsrMatrix, Vec<usize>) {
+        let mut b = CsrBuilder::new(3);
+        let mut y = Vec::new();
+        for _ in 0..10 {
+            b.push_sorted_row([(0, 1.0)]);
+            y.push(0);
+            b.push_sorted_row([(0, 1.0), (1, 1.0)]);
+            y.push(1);
+            b.push_sorted_row([(0, 1.0), (1, 1.0), (2, 1.0)]);
+            y.push(2);
+        }
+        (b.build(), y)
+    }
+
+    #[test]
+    fn boosting_solves_what_stumps_cannot() {
+        let (x, y) = staged();
+        let mut stump = DecisionTree::new(DecisionTreeConfig { max_depth: 1, ..Default::default() });
+        stump.fit(&x, &y);
+        let stump_acc = stump.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(stump_acc < y.len());
+
+        let mut ada = AdaBoost::new(AdaBoostConfig {
+            n_rounds: 20,
+            tree: DecisionTreeConfig { max_depth: 1, ..Default::default() },
+            seed: 0,
+        });
+        ada.fit(&x, &y);
+        assert_eq!(ada.predict(&x), y);
+        assert!(ada.n_rounds() > 1);
+    }
+
+    #[test]
+    fn alphas_are_positive() {
+        let (x, y) = staged();
+        let mut ada = AdaBoost::default();
+        ada.fit(&x, &y);
+        assert!(ada.alphas().iter().all(|&a| a > 0.0));
+    }
+
+    #[test]
+    fn perfect_learner_stops_early() {
+        let mut b = CsrBuilder::new(2);
+        b.push_sorted_row([(0, 1.0)]);
+        b.push_sorted_row([(1, 1.0)]);
+        let x = b.build();
+        let mut ada = AdaBoost::new(AdaBoostConfig { n_rounds: 50, ..Default::default() });
+        ada.fit(&x, &[0, 1]);
+        assert_eq!(ada.n_rounds(), 1, "separable data needs one round");
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let (x, y) = staged();
+        let mut ada = AdaBoost::default();
+        ada.fit(&x, &y);
+        for row in ada.predict_proba(&x) {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one boosting round")]
+    fn zero_rounds_rejected() {
+        let _ = AdaBoost::new(AdaBoostConfig { n_rounds: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,161 @@
+//! K-fold cross-validation utilities.
+//!
+//! The paper reports a single 7:1:2 split; reviewers of this reproduction
+//! will want variance estimates, so the harness exposes stratified k-fold
+//! scoring for the statistical models.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use textproc::CsrMatrix;
+
+use crate::traits::Classifier;
+
+/// One train/test fold as index sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Held-out indices.
+    pub test: Vec<usize>,
+}
+
+/// Builds `k` stratified folds over labels: each fold's test set holds
+/// every class in proportion.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > y.len()`.
+pub fn stratified_kfold(y: &[usize], k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(k <= y.len(), "more folds than examples");
+    let classes = y.iter().copied().max().map_or(0, |m| m + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // round-robin deal each class's shuffled examples into folds
+    let mut fold_tests: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for class in 0..classes {
+        let mut idx: Vec<usize> =
+            (0..y.len()).filter(|&i| y[i] == class).collect();
+        idx.shuffle(&mut rng);
+        for (j, i) in idx.into_iter().enumerate() {
+            fold_tests[j % k].push(i);
+        }
+    }
+
+    fold_tests
+        .into_iter()
+        .map(|test| {
+            let in_test: std::collections::HashSet<usize> = test.iter().copied().collect();
+            let train = (0..y.len()).filter(|i| !in_test.contains(i)).collect();
+            Fold { train, test }
+        })
+        .collect()
+}
+
+/// Per-fold accuracies of a classifier built by `make_model` for each fold.
+pub fn cross_val_accuracy<M: Classifier>(
+    x: &CsrMatrix,
+    y: &[usize],
+    k: usize,
+    seed: u64,
+    mut make_model: impl FnMut() -> M,
+) -> Vec<f64> {
+    stratified_kfold(y, k, seed)
+        .into_iter()
+        .map(|fold| {
+            let train_x = x.select_rows(&fold.train);
+            let train_y: Vec<usize> = fold.train.iter().map(|&i| y[i]).collect();
+            let test_x = x.select_rows(&fold.test);
+            let test_y: Vec<usize> = fold.test.iter().map(|&i| y[i]).collect();
+            let mut model = make_model();
+            model.fit(&train_x, &train_y);
+            let pred = model.predict(&test_x);
+            metrics::accuracy(&test_y, &pred)
+        })
+        .collect()
+}
+
+/// Mean and (population) standard deviation of a score list.
+pub fn mean_std(scores: &[f64]) -> (f64, f64) {
+    if scores.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+    let var =
+        scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / scores.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultinomialNb;
+    use textproc::CsrBuilder;
+
+    fn labels() -> Vec<usize> {
+        (0..30).map(|i| i % 3).collect()
+    }
+
+    #[test]
+    fn folds_partition_the_data() {
+        let y = labels();
+        let folds = stratified_kfold(&y, 5, 0);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![false; y.len()];
+        for fold in &folds {
+            for &i in &fold.test {
+                assert!(!seen[i], "index {i} in two test folds");
+                seen[i] = true;
+            }
+            // train and test are disjoint and cover everything
+            assert_eq!(fold.train.len() + fold.test.len(), y.len());
+        }
+        assert!(seen.iter().all(|&s| s), "some index never held out");
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let y = labels();
+        for fold in stratified_kfold(&y, 5, 1) {
+            for class in 0..3 {
+                let count = fold.test.iter().filter(|&&i| y[i] == class).count();
+                assert_eq!(count, 2, "class {class} not proportionally held out");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let y = labels();
+        assert_eq!(stratified_kfold(&y, 3, 9), stratified_kfold(&y, 3, 9));
+        assert_ne!(stratified_kfold(&y, 3, 9), stratified_kfold(&y, 3, 10));
+    }
+
+    #[test]
+    fn cross_val_on_separable_data_is_perfect() {
+        let y = labels();
+        let mut b = CsrBuilder::new(3);
+        for &label in &y {
+            b.push_sorted_row([(label, 1.0)]);
+        }
+        let x = b.build();
+        let scores = cross_val_accuracy(&x, &y, 5, 0, MultinomialNb::default);
+        assert_eq!(scores.len(), 5);
+        assert!(scores.iter().all(|&s| s == 1.0), "scores {scores:?}");
+    }
+
+    #[test]
+    fn mean_std_hand_checked() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn single_fold_rejected() {
+        let _ = stratified_kfold(&labels(), 1, 0);
+    }
+}

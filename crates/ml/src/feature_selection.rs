@@ -1,0 +1,196 @@
+//! Feature-selection statistics: per-feature χ² scores against class
+//! labels and per-class most-discriminative features.
+//!
+//! §VII of the paper asks "what features aid or hinder the classification
+//! of a recipe which could help one to uniquely distinguish between the
+//! cuisines?" — these are the standard tools for answering it on sparse
+//! text features.
+
+use textproc::CsrMatrix;
+
+/// χ² score per feature (presence vs class), higher = more informative.
+///
+/// Uses the one-vs-rest 2×2 contingency table per (feature, class) and
+/// sums over classes, the scikit-learn `chi2` convention adapted to
+/// presence counts.
+///
+/// # Panics
+///
+/// Panics if `x.rows() != y.len()`.
+pub fn chi2_scores(x: &CsrMatrix, y: &[usize]) -> Vec<f64> {
+    assert_eq!(x.rows(), y.len(), "document/label count mismatch");
+    let n = x.rows() as f64;
+    if n == 0.0 {
+        return vec![0.0; x.cols()];
+    }
+    let classes = y.iter().copied().max().map_or(0, |m| m + 1);
+
+    // class sizes and per-(feature, class) presence counts
+    let mut class_sizes = vec![0.0f64; classes];
+    for &label in y {
+        class_sizes[label] += 1.0;
+    }
+    let mut present = vec![0.0f64; x.cols() * classes];
+    let mut feature_total = vec![0.0f64; x.cols()];
+    for r in 0..x.rows() {
+        let (idx, _) = x.row(r);
+        for &c in idx {
+            present[c as usize * classes + y[r]] += 1.0;
+            feature_total[c as usize] += 1.0;
+        }
+    }
+
+    (0..x.cols())
+        .map(|f| {
+            let ft = feature_total[f];
+            if ft == 0.0 || ft == n {
+                return 0.0; // constant feature carries no information
+            }
+            let mut chi2 = 0.0;
+            for k in 0..classes {
+                let observed = present[f * classes + k];
+                let expected = ft * class_sizes[k] / n;
+                if expected > 0.0 {
+                    chi2 += (observed - expected).powi(2) / expected;
+                }
+                // complementary cell (absent, class k)
+                let observed_abs = class_sizes[k] - observed;
+                let expected_abs = (n - ft) * class_sizes[k] / n;
+                if expected_abs > 0.0 {
+                    chi2 += (observed_abs - expected_abs).powi(2) / expected_abs;
+                }
+            }
+            chi2
+        })
+        .collect()
+}
+
+/// The `k` features with the highest χ² scores, `(column, score)`,
+/// descending.
+pub fn top_chi2(x: &CsrMatrix, y: &[usize], k: usize) -> Vec<(u32, f64)> {
+    let scores = chi2_scores(x, y);
+    let mut ranked: Vec<(u32, f64)> = scores
+        .into_iter()
+        .enumerate()
+        .map(|(c, s)| (c as u32, s))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+/// Per-class signature features: for one class, the `k` features whose
+/// presence rate most exceeds their global presence rate (lift),
+/// descending. Features occurring fewer than `min_count` times are
+/// ignored.
+pub fn class_signatures(
+    x: &CsrMatrix,
+    y: &[usize],
+    class: usize,
+    k: usize,
+    min_count: u64,
+) -> Vec<(u32, f64)> {
+    assert_eq!(x.rows(), y.len(), "document/label count mismatch");
+    let n_class = y.iter().filter(|&&l| l == class).count() as f64;
+    let n = x.rows() as f64;
+    if n_class == 0.0 {
+        return Vec::new();
+    }
+
+    let mut in_class = vec![0u64; x.cols()];
+    let mut total = vec![0u64; x.cols()];
+    for r in 0..x.rows() {
+        let (idx, _) = x.row(r);
+        for &c in idx {
+            total[c as usize] += 1;
+            if y[r] == class {
+                in_class[c as usize] += 1;
+            }
+        }
+    }
+
+    let mut ranked: Vec<(u32, f64)> = (0..x.cols())
+        .filter(|&c| total[c] >= min_count)
+        .map(|c| {
+            let rate_class = in_class[c] as f64 / n_class;
+            let rate_global = total[c] as f64 / n;
+            (c as u32, rate_class / rate_global.max(1e-12))
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textproc::CsrBuilder;
+
+    /// feature 0 → class 0, feature 1 → class 1, feature 2 everywhere
+    fn data() -> (CsrMatrix, Vec<usize>) {
+        let mut b = CsrBuilder::new(3);
+        let mut y = Vec::new();
+        for i in 0..20 {
+            if i % 2 == 0 {
+                b.push_sorted_row([(0, 1.0), (2, 1.0)]);
+                y.push(0);
+            } else {
+                b.push_sorted_row([(1, 1.0), (2, 1.0)]);
+                y.push(1);
+            }
+        }
+        (b.build(), y)
+    }
+
+    #[test]
+    fn discriminative_features_score_high() {
+        let (x, y) = data();
+        let scores = chi2_scores(&x, &y);
+        assert!(scores[0] > scores[2], "scores {scores:?}");
+        assert!(scores[1] > scores[2]);
+        // the ubiquitous feature is uninformative
+        assert!(scores[2] < 1e-9);
+    }
+
+    #[test]
+    fn perfectly_predictive_feature_has_max_chi2() {
+        let (x, y) = data();
+        let scores = chi2_scores(&x, &y);
+        // perfect 2-class separation on 20 samples gives χ² = n = 20
+        assert!((scores[0] - 20.0).abs() < 1e-9, "scores {scores:?}");
+    }
+
+    #[test]
+    fn top_chi2_ranks_descending() {
+        let (x, y) = data();
+        let top = top_chi2(&x, &y, 2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].1 >= top[1].1);
+        assert!(top.iter().all(|&(c, _)| c == 0 || c == 1));
+    }
+
+    #[test]
+    fn class_signatures_find_the_marker() {
+        let (x, y) = data();
+        let sig = class_signatures(&x, &y, 0, 1, 1);
+        assert_eq!(sig[0].0, 0, "class 0's signature must be feature 0");
+        assert!(sig[0].1 > 1.5, "lift {}, expected ~2", sig[0].1);
+    }
+
+    #[test]
+    fn min_count_filters_rare_features() {
+        let mut b = CsrBuilder::new(2);
+        b.push_sorted_row([(0, 1.0), (1, 1.0)]);
+        b.push_sorted_row([(0, 1.0)]);
+        let x = b.build();
+        let sig = class_signatures(&x, &[0, 1], 0, 5, 2);
+        assert!(sig.iter().all(|&(c, _)| c == 0), "rare feature 1 must be filtered");
+    }
+
+    #[test]
+    fn empty_class_gives_no_signatures() {
+        let (x, y) = data();
+        assert!(class_signatures(&x, &y, 7, 3, 1).is_empty());
+    }
+}

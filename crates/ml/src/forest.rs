@@ -1,0 +1,238 @@
+//! Random Forest (§V.D): bagged presence-split trees with per-node feature
+//! subsampling, trained in parallel with crossbeam scoped threads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use textproc::CsrMatrix;
+
+use crate::traits::{validate_fit, Classifier};
+use crate::tree::{DecisionTree, DecisionTreeConfig};
+
+/// Random Forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree settings (`max_features` defaults to √vocab when `None`).
+    pub tree: DecisionTreeConfig,
+    /// Bootstrap-sampling seed.
+    pub seed: u64,
+    /// Worker threads (`0` → one per available core, capped at `n_trees`).
+    pub threads: usize,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 50,
+            tree: DecisionTreeConfig { max_depth: 25, ..Default::default() },
+            seed: 0,
+            threads: 0,
+        }
+    }
+}
+
+/// A fitted Random Forest that averages tree leaf distributions.
+///
+/// # Examples
+///
+/// ```
+/// use ml::{Classifier, RandomForest, RandomForestConfig};
+/// use textproc::CsrBuilder;
+///
+/// let mut b = CsrBuilder::new(2);
+/// for _ in 0..5 {
+///     b.push_sorted_row([(0, 1.0)]);
+///     b.push_sorted_row([(1, 1.0)]);
+/// }
+/// let x = b.build();
+/// let y: Vec<usize> = (0..10).map(|i| i % 2).collect();
+/// let mut rf = RandomForest::new(RandomForestConfig { n_trees: 5, ..Default::default() });
+/// rf.fit(&x, &y);
+/// assert_eq!(rf.predict(&x), y);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RandomForest {
+    config: RandomForestConfig,
+    trees: Vec<DecisionTree>,
+    classes: usize,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest.
+    pub fn new(config: RandomForestConfig) -> Self {
+        assert!(config.n_trees > 0, "forest needs at least one tree");
+        Self { config, trees: Vec::new(), classes: 0 }
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &CsrMatrix, y: &[usize]) {
+        let classes = validate_fit(x, y);
+        self.classes = classes;
+
+        let max_features = self
+            .config
+            .tree
+            .max_features
+            .unwrap_or_else(|| (x.cols() as f64).sqrt().ceil() as usize)
+            .max(1);
+        let base = DecisionTreeConfig { max_features: Some(max_features), ..self.config.tree };
+
+        let n_threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |p| p.get())
+        } else {
+            self.config.threads
+        }
+        .min(self.config.n_trees)
+        .max(1);
+
+        // Pre-draw per-tree seeds so results are independent of thread count.
+        let mut seed_rng = StdRng::seed_from_u64(self.config.seed);
+        let tree_seeds: Vec<u64> = (0..self.config.n_trees).map(|_| seed_rng.gen()).collect();
+
+        let mut trees: Vec<Option<DecisionTree>> = vec![None; self.config.n_trees];
+        let chunk = self.config.n_trees.div_ceil(n_threads);
+        crossbeam::scope(|scope| {
+            for (t, slot_chunk) in trees.chunks_mut(chunk).enumerate() {
+                let seeds = &tree_seeds;
+                let start = t * chunk;
+                scope.spawn(move |_| {
+                    for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                        let seed = seeds[start + j];
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        // bootstrap sample with replacement
+                        let idx: Vec<usize> =
+                            (0..x.rows()).map(|_| rng.gen_range(0..x.rows())).collect();
+                        let bx = x.select_rows(&idx);
+                        let by: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+                        let mut tree = DecisionTree::new(DecisionTreeConfig {
+                            seed,
+                            ..base
+                        });
+                        tree.fit(&bx, &by);
+                        *slot = Some(tree);
+                    }
+                });
+            }
+        })
+        .expect("forest worker thread panicked");
+
+        self.trees = trees.into_iter().map(|t| t.expect("tree trained")).collect();
+    }
+
+    fn predict_proba(&self, x: &CsrMatrix) -> Vec<Vec<f64>> {
+        assert!(!self.trees.is_empty(), "fit must be called before prediction");
+        let mut acc = vec![vec![0.0f64; self.classes]; x.rows()];
+        for tree in &self.trees {
+            for (row_acc, probs) in acc.iter_mut().zip(tree.predict_proba(x)) {
+                // trees trained on label subsets may expose fewer classes
+                for (a, p) in row_acc.iter_mut().zip(probs) {
+                    *a += p;
+                }
+            }
+        }
+        let n = self.trees.len() as f64;
+        for row in &mut acc {
+            for v in row.iter_mut() {
+                *v /= n;
+            }
+        }
+        acc
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textproc::CsrBuilder;
+
+    fn noisy_data(seed: u64) -> (CsrMatrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = CsrBuilder::new(10);
+        let mut y = Vec::new();
+        for i in 0..120 {
+            let class = i % 3;
+            let signal = class; // features 0..3 are the class signal
+            let noise = rng.gen_range(3..10usize);
+            b.push_unsorted_row([(signal, 1.0), (noise, 1.0)]);
+            y.push(class);
+        }
+        (b.build(), y)
+    }
+
+    #[test]
+    fn forest_learns_noisy_data() {
+        let (x, y) = noisy_data(1);
+        let mut rf = RandomForest::new(RandomForestConfig {
+            n_trees: 15,
+            ..Default::default()
+        });
+        rf.fit(&x, &y);
+        let acc = rf.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.9, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_regardless_of_thread_count() {
+        let (x, y) = noisy_data(2);
+        let mut one = RandomForest::new(RandomForestConfig {
+            n_trees: 8,
+            threads: 1,
+            ..Default::default()
+        });
+        let mut many = RandomForest::new(RandomForestConfig {
+            n_trees: 8,
+            threads: 4,
+            ..Default::default()
+        });
+        one.fit(&x, &y);
+        many.fit(&x, &y);
+        assert_eq!(one.predict(&x), many.predict(&x));
+        let po = one.predict_proba(&x);
+        let pm = many.predict_proba(&x);
+        for (a, b) in po.iter().zip(&pm) {
+            for (u, v) in a.iter().zip(b) {
+                assert!((u - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_average_trees() {
+        let (x, y) = noisy_data(3);
+        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 5, ..Default::default() });
+        rf.fit(&x, &y);
+        for row in rf.predict_proba(&x) {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn more_trees_do_not_hurt_training_accuracy_much() {
+        let (x, y) = noisy_data(4);
+        let acc = |n: usize| {
+            let mut rf = RandomForest::new(RandomForestConfig { n_trees: n, ..Default::default() });
+            rf.fit(&x, &y);
+            rf.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64
+        };
+        assert!(acc(20) + 0.05 >= acc(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let _ = RandomForest::new(RandomForestConfig { n_trees: 0, ..Default::default() });
+    }
+}

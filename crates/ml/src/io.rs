@@ -1,0 +1,147 @@
+//! Model persistence: save and load fitted linear models and Naive Bayes
+//! as JSON, so a trained cuisine classifier can ship without its training
+//! corpus.
+//!
+//! Only the cheap, deployment-relevant models are serializable; forests
+//! and boosted ensembles retrain in seconds at these scales.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::sgd::LinearModel;
+
+/// Serializable snapshot of a one-vs-rest linear model (LR or SVM).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LinearModelSnapshot {
+    /// Format tag for forward compatibility.
+    pub format: String,
+    /// `classes × vocab` weights.
+    pub weights: Vec<Vec<f32>>,
+    /// Per-class bias.
+    pub bias: Vec<f32>,
+}
+
+const LINEAR_FORMAT: &str = "cuisine-linear-v1";
+
+impl LinearModelSnapshot {
+    /// Captures a fitted model.
+    pub fn of(model: &LinearModel) -> Self {
+        Self {
+            format: LINEAR_FORMAT.to_string(),
+            weights: model.weights.clone(),
+            bias: model.bias.clone(),
+        }
+    }
+
+    /// Restores the model.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a format-tag mismatch or inconsistent shapes.
+    pub fn restore(self) -> io::Result<LinearModel> {
+        if self.format != LINEAR_FORMAT {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported linear model format {:?}", self.format),
+            ));
+        }
+        if self.weights.len() != self.bias.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "weight/bias class count mismatch",
+            ));
+        }
+        let width = self.weights.first().map_or(0, Vec::len);
+        if self.weights.iter().any(|w| w.len() != width) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "ragged weight rows"));
+        }
+        Ok(LinearModel { weights: self.weights, bias: self.bias })
+    }
+}
+
+/// Writes a fitted linear model to a JSON file.
+pub fn save_linear(model: &LinearModel, path: &Path) -> io::Result<()> {
+    let w = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(w, &LinearModelSnapshot::of(model))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Reads a linear model back from a JSON file.
+pub fn load_linear(path: &Path) -> io::Result<LinearModel> {
+    let r = BufReader::new(File::open(path)?);
+    let snapshot: LinearModelSnapshot = serde_json::from_reader(r)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    snapshot.restore()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sgd::{train_ovr, LossKind, SgdConfig};
+    use textproc::CsrBuilder;
+
+    fn trained() -> (LinearModel, textproc::CsrMatrix) {
+        let mut b = CsrBuilder::new(3);
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let k = i % 3;
+            b.push_sorted_row([(k, 1.0)]);
+            y.push(k);
+        }
+        let x = b.build();
+        (train_ovr(&x, &y, 3, LossKind::Logistic, &SgdConfig::default()), x)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let (model, x) = trained();
+        let path = std::env::temp_dir().join("ml_io_roundtrip.json");
+        save_linear(&model, &path).unwrap();
+        let restored = load_linear(&path).unwrap();
+        for r in 0..x.rows() {
+            assert_eq!(model.decision_row(&x, r), restored.decision_row(&x, r));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_format_rejected() {
+        let snapshot = LinearModelSnapshot {
+            format: "something-else".into(),
+            weights: vec![vec![0.0]],
+            bias: vec![0.0],
+        };
+        assert!(snapshot.restore().is_err());
+    }
+
+    #[test]
+    fn ragged_weights_rejected() {
+        let snapshot = LinearModelSnapshot {
+            format: LINEAR_FORMAT.into(),
+            weights: vec![vec![0.0, 1.0], vec![0.0]],
+            bias: vec![0.0, 0.0],
+        };
+        assert!(snapshot.restore().is_err());
+    }
+
+    #[test]
+    fn class_count_mismatch_rejected() {
+        let snapshot = LinearModelSnapshot {
+            format: LINEAR_FORMAT.into(),
+            weights: vec![vec![0.0]],
+            bias: vec![0.0, 1.0],
+        };
+        assert!(snapshot.restore().is_err());
+    }
+
+    #[test]
+    fn garbage_file_is_an_error() {
+        let path = std::env::temp_dir().join("ml_io_garbage.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(load_linear(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,218 @@
+//! Multinomial Naive Bayes (§V.A).
+//!
+//! The paper's NB maximises the posterior `P(C_k | x) ∝ P(C_k) · P(x | C_k)`
+//! under the naive independence assumption. For text this is the
+//! multinomial variant: per-class term distributions with Laplace (add-α)
+//! smoothing, trained on (possibly TF-IDF-weighted) counts.
+
+use textproc::CsrMatrix;
+
+use crate::traits::{softmax, validate_fit, Classifier};
+
+/// Naive Bayes hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultinomialNbConfig {
+    /// Laplace smoothing strength α.
+    pub alpha: f64,
+}
+
+impl Default for MultinomialNbConfig {
+    fn default() -> Self {
+        // TF-IDF "counts" are L2-normalized (each document's weights sum to
+        // ~unit norm), so per-class term masses are tiny compared to raw
+        // counts; α = 1 would drown them.
+        Self { alpha: 0.25 }
+    }
+}
+
+/// Multinomial Naive Bayes classifier.
+///
+/// # Examples
+///
+/// ```
+/// use ml::{Classifier, MultinomialNb};
+/// use textproc::CsrBuilder;
+///
+/// let mut b = CsrBuilder::new(2);
+/// b.push_sorted_row([(0, 2.0)]); // class 0 uses feature 0
+/// b.push_sorted_row([(1, 2.0)]); // class 1 uses feature 1
+/// let x = b.build();
+///
+/// let mut nb = MultinomialNb::default();
+/// nb.fit(&x, &[0, 1]);
+/// assert_eq!(nb.predict(&x), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultinomialNb {
+    config: MultinomialNbConfig,
+    /// `log P(C_k)`.
+    log_prior: Vec<f64>,
+    /// `log P(t | C_k)` as `classes × vocab`.
+    log_likelihood: Vec<Vec<f64>>,
+    classes: usize,
+}
+
+impl MultinomialNb {
+    /// Creates an unfitted model.
+    pub fn new(config: MultinomialNbConfig) -> Self {
+        assert!(config.alpha > 0.0, "smoothing alpha must be positive");
+        Self { config, log_prior: Vec::new(), log_likelihood: Vec::new(), classes: 0 }
+    }
+
+    /// Joint log-probability scores `log P(C_k) + Σ x_t · log P(t | C_k)`.
+    fn scores(&self, x: &CsrMatrix, row: usize) -> Vec<f64> {
+        assert!(self.classes > 0, "fit must be called before prediction");
+        let (idx, vals) = x.row(row);
+        (0..self.classes)
+            .map(|k| {
+                let mut s = self.log_prior[k];
+                let ll = &self.log_likelihood[k];
+                for (&c, &v) in idx.iter().zip(vals) {
+                    s += v as f64 * ll[c as usize];
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+impl Default for MultinomialNb {
+    fn default() -> Self {
+        Self::new(MultinomialNbConfig::default())
+    }
+}
+
+impl Classifier for MultinomialNb {
+    fn fit(&mut self, x: &CsrMatrix, y: &[usize]) {
+        let classes = validate_fit(x, y);
+        let vocab = x.cols();
+        let alpha = self.config.alpha;
+
+        let mut class_counts = vec![0u64; classes];
+        let mut term_counts = vec![vec![0.0f64; vocab]; classes];
+        for (r, &label) in y.iter().enumerate() {
+            class_counts[label] += 1;
+            let (idx, vals) = x.row(r);
+            for (&c, &v) in idx.iter().zip(vals) {
+                term_counts[label][c as usize] += v as f64;
+            }
+        }
+
+        let n = y.len() as f64;
+        self.log_prior = class_counts
+            .iter()
+            .map(|&c| ((c as f64).max(f64::MIN_POSITIVE) / n).ln())
+            .collect();
+        self.log_likelihood = term_counts
+            .into_iter()
+            .map(|counts| {
+                let total: f64 = counts.iter().sum::<f64>() + alpha * vocab as f64;
+                counts
+                    .into_iter()
+                    .map(|c| ((c + alpha) / total).ln())
+                    .collect()
+            })
+            .collect();
+        self.classes = classes;
+    }
+
+    fn predict_proba(&self, x: &CsrMatrix) -> Vec<Vec<f64>> {
+        (0..x.rows()).map(|r| softmax(&self.scores(x, r))).collect()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textproc::CsrBuilder;
+
+    fn toy() -> (CsrMatrix, Vec<usize>) {
+        // class 0 documents use features {0,1}; class 1 documents use {2,3}
+        let mut b = CsrBuilder::new(4);
+        b.push_sorted_row([(0, 3.0), (1, 1.0)]);
+        b.push_sorted_row([(0, 1.0), (1, 2.0)]);
+        b.push_sorted_row([(2, 2.0), (3, 2.0)]);
+        b.push_sorted_row([(2, 1.0), (3, 3.0)]);
+        (b.build(), vec![0, 0, 1, 1])
+    }
+
+    #[test]
+    fn separable_data_is_learned() {
+        let (x, y) = toy();
+        let mut nb = MultinomialNb::default();
+        nb.fit(&x, &y);
+        assert_eq!(nb.predict(&x), y);
+        assert_eq!(nb.num_classes(), 2);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_favor_gold() {
+        let (x, y) = toy();
+        let mut nb = MultinomialNb::default();
+        nb.fit(&x, &y);
+        for (r, probs) in nb.predict_proba(&x).iter().enumerate() {
+            assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(probs[y[r]] > 0.5);
+        }
+    }
+
+    #[test]
+    fn priors_reflect_class_imbalance() {
+        let mut b = CsrBuilder::new(2);
+        for _ in 0..9 {
+            b.push_sorted_row([(0, 1.0)]);
+        }
+        b.push_sorted_row([(1, 1.0)]);
+        let x = b.build();
+        let mut y = vec![0usize; 9];
+        y.push(1);
+        let mut nb = MultinomialNb::default();
+        nb.fit(&x, &y);
+        // an empty document must be predicted as the majority class
+        let mut be = CsrBuilder::new(2);
+        be.push_sorted_row([]);
+        assert_eq!(nb.predict(&be.build()), vec![0]);
+    }
+
+    #[test]
+    fn higher_alpha_flattens_likelihoods() {
+        let (x, y) = toy();
+        let mut sharp = MultinomialNb::new(MultinomialNbConfig { alpha: 0.01 });
+        let mut smooth = MultinomialNb::new(MultinomialNbConfig { alpha: 100.0 });
+        sharp.fit(&x, &y);
+        smooth.fit(&x, &y);
+        let ps = sharp.predict_proba(&x);
+        let pm = smooth.predict_proba(&x);
+        assert!(ps[0][0] > pm[0][0], "more smoothing must reduce confidence");
+    }
+
+    #[test]
+    fn unseen_class_in_test_is_fine() {
+        // fitting with labels {0,2} creates 3 classes; class 1 just has
+        // zero prior mass from counts
+        let (x, _) = toy();
+        let mut nb = MultinomialNb::default();
+        nb.fit(&x, &[0, 0, 2, 2]);
+        assert_eq!(nb.num_classes(), 3);
+        let preds = nb.predict(&x);
+        assert!(preds.iter().all(|&p| p == 0 || p == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_rejected() {
+        let _ = MultinomialNb::new(MultinomialNbConfig { alpha: 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "fit must be called")]
+    fn predict_before_fit_panics() {
+        let (x, _) = toy();
+        let nb = MultinomialNb::default();
+        let _ = nb.predict(&x);
+    }
+}

@@ -1,0 +1,98 @@
+//! The common classifier interface.
+
+use textproc::CsrMatrix;
+
+/// A multi-class classifier over sparse document rows.
+///
+/// `fit` must be called before `predict`/`predict_proba`; implementations
+/// panic otherwise (training is never implicit).
+pub trait Classifier {
+    /// Trains on documents `x` with labels `y` (`0..num_classes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != y.len()` or `x` is empty.
+    fn fit(&mut self, x: &CsrMatrix, y: &[usize]);
+
+    /// Predicts one label per document row.
+    fn predict(&self, x: &CsrMatrix) -> Vec<usize> {
+        self.predict_proba(x)
+            .into_iter()
+            .map(|row| argmax(&row))
+            .collect()
+    }
+
+    /// Per-document class probability rows (each sums to ~1).
+    fn predict_proba(&self, x: &CsrMatrix) -> Vec<Vec<f64>>;
+
+    /// Number of classes seen at fit time.
+    fn num_classes(&self) -> usize;
+}
+
+/// Index of the largest value (first on ties).
+pub(crate) fn argmax(row: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Validates fit inputs; shared by every implementation.
+pub(crate) fn validate_fit(x: &CsrMatrix, y: &[usize]) -> usize {
+    assert!(x.rows() > 0, "cannot fit on an empty matrix");
+    assert_eq!(x.rows(), y.len(), "document/label count mismatch");
+    // A single class is allowed: Random Forest bootstrap samples and some
+    // degenerate fixtures are legitimately single-class.
+    y.iter().copied().max().expect("non-empty labels") + 1
+}
+
+/// Softmax over a score row (used by margin-based models to report
+/// pseudo-probabilities).
+pub(crate) fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textproc::CsrBuilder;
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[-1.0]), 0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn validate_counts_classes() {
+        let mut b = CsrBuilder::new(2);
+        b.push_sorted_row([(0, 1.0)]);
+        b.push_sorted_row([(1, 1.0)]);
+        let m = b.build();
+        assert_eq!(validate_fit(&m, &[0, 2]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn validate_rejects_mismatched_labels() {
+        let mut b = CsrBuilder::new(2);
+        b.push_sorted_row([(0, 1.0)]);
+        let m = b.build();
+        validate_fit(&m, &[0, 1]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Multi-head scaled dot-product self-attention (Vaswani et al.), the
+//! mechanism the paper credits for the transformers' win: every position
+//! attends to every other position in both directions, which is what lets
+//! the models exploit recipe-wide ordering.
+
+use autograd::{Graph, ParamStore, VarId};
+use rand::Rng;
+
+use crate::layers::Linear;
+
+/// Multi-head self-attention over a `seq × d_model` block.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    d_model: usize,
+}
+
+impl MultiHeadAttention {
+    /// Registers projection weights. `d_model` must divide evenly into
+    /// `heads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model % heads != 0`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(heads > 0 && d_model % heads == 0, "d_model must be divisible by heads");
+        Self {
+            wq: Linear::new(store, &format!("{name}.q"), d_model, d_model, rng),
+            wk: Linear::new(store, &format!("{name}.k"), d_model, d_model, rng),
+            wv: Linear::new(store, &format!("{name}.v"), d_model, d_model, rng),
+            wo: Linear::new(store, &format!("{name}.o"), d_model, d_model, rng),
+            heads,
+            d_model,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Bidirectional self-attention: `seq × d_model` → `seq × d_model`.
+    pub fn forward(&self, g: &mut Graph, x: VarId) -> VarId {
+        debug_assert_eq!(g.value(x).cols(), self.d_model, "attention input width");
+        let q = self.wq.forward(g, x);
+        let k = self.wk.forward(g, x);
+        let v = self.wv.forward(g, x);
+
+        let d_head = self.d_model / self.heads;
+        let scale = 1.0 / (d_head as f32).sqrt();
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let lo = h * d_head;
+            let hi = lo + d_head;
+            let qh = g.slice_cols(q, lo, hi);
+            let kh = g.slice_cols(k, lo, hi);
+            let vh = g.slice_cols(v, lo, hi);
+            let scores = g.matmul_bt(qh, kh);
+            let scores = g.scale(scores, scale);
+            let attn = g.softmax_rows(scores);
+            head_outputs.push(g.matmul(attn, vh));
+        }
+        let concat = g.concat_cols(&head_outputs);
+        self.wo.forward(g, concat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::{gradient_check, ParamStore};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::{Initializer, Tensor};
+
+    fn attn(d: usize, heads: usize, seed: u64) -> (ParamStore, MultiHeadAttention) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let a = MultiHeadAttention::new(&mut store, "attn", d, heads, &mut rng);
+        (store, a)
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let (store, a) = attn(8, 2, 0);
+        let mut g = Graph::new(&store);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = g.constant(Initializer::Uniform(1.0).init(5, 8, &mut rng));
+        let y = a.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), (5, 8));
+    }
+
+    #[test]
+    fn single_position_attends_to_itself() {
+        let (store, a) = attn(4, 1, 2);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::from_rows(&[&[1.0, -0.5, 0.3, 0.8]]));
+        let y = a.forward(&mut g, x);
+        // with one position, attention weights are exactly [1.0], so the
+        // output is just Wo(Wv(x)) — finite and deterministic
+        assert!(!g.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn attention_is_permutation_sensitive_via_values() {
+        // attention without positions is permutation-EQUIVARIANT: permuting
+        // the input permutes the output rows. Check exactly that.
+        let (store, a) = attn(6, 2, 3);
+        let mut g = Graph::new(&store);
+        let mut rng = StdRng::seed_from_u64(4);
+        let x0 = Initializer::Uniform(1.0).init(3, 6, &mut rng);
+        let mut x1 = x0.clone();
+        // swap rows 0 and 2
+        let r0 = x0.row(0).to_vec();
+        let r2 = x0.row(2).to_vec();
+        x1.set_row(0, &r2);
+        x1.set_row(2, &r0);
+
+        let xa = g.constant(x0);
+        let xb = g.constant(x1);
+        let ya = a.forward(&mut g, xa);
+        let yb = a.forward(&mut g, xb);
+        let out_a = g.value(ya);
+        let out_b = g.value(yb);
+        for c in 0..6 {
+            assert!((out_a.get(0, c) - out_b.get(2, c)).abs() < 1e-4);
+            assert!((out_a.get(2, c) - out_b.get(0, c)).abs() < 1e-4);
+            assert!((out_a.get(1, c) - out_b.get(1, c)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn heads_must_divide_dimension() {
+        let result = std::panic::catch_unwind(|| attn(7, 2, 0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn attention_gradient_checks() {
+        let (mut store, a) = attn(4, 2, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Initializer::Uniform(0.8).init(3, 4, &mut rng);
+        for target in [a.wq.weight(), a.wk.weight(), a.wv.weight(), a.wo.weight()] {
+            let a = a.clone();
+            let x = x.clone();
+            gradient_check(&mut store, target, 1e-2, 3e-2, move |g| {
+                let xv = g.constant(x.clone());
+                let y = a.forward(g, xv);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            })
+            .unwrap();
+        }
+    }
+}

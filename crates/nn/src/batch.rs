@@ -1,0 +1,93 @@
+//! Shuffled minibatch iteration over example indices.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Yields shuffled index minibatches, reshuffling every epoch with a seed
+/// derived from `(base_seed, epoch)` so runs are reproducible and epochs
+/// differ.
+#[derive(Debug, Clone)]
+pub struct BatchIterator {
+    n: usize,
+    batch_size: usize,
+    seed: u64,
+}
+
+impl BatchIterator {
+    /// Creates an iterator over `n` examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(n: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self { n, batch_size, seed }
+    }
+
+    /// Number of batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.n.div_ceil(self.batch_size)
+    }
+
+    /// The shuffled batches of one epoch.
+    pub fn epoch(&self, epoch: usize) -> Vec<Vec<usize>> {
+        let mut order: Vec<usize> = (0..self.n).collect();
+        let mut rng = StdRng::seed_from_u64(
+            self.seed.wrapping_mul(0x517C_C1B7_2722_0A95).wrapping_add(epoch as u64),
+        );
+        order.shuffle(&mut rng);
+        order
+            .chunks(self.batch_size)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_indices_once() {
+        let it = BatchIterator::new(10, 3, 0);
+        let batches = it.epoch(0);
+        assert_eq!(batches.len(), 4);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn epochs_shuffle_differently() {
+        let it = BatchIterator::new(50, 50, 1);
+        assert_ne!(it.epoch(0), it.epoch(1));
+    }
+
+    #[test]
+    fn same_epoch_is_deterministic() {
+        let it = BatchIterator::new(20, 7, 9);
+        assert_eq!(it.epoch(3), it.epoch(3));
+    }
+
+    #[test]
+    fn last_batch_may_be_short() {
+        let it = BatchIterator::new(10, 4, 0);
+        let batches = it.epoch(0);
+        assert_eq!(batches.iter().map(Vec::len).sum::<usize>(), 10);
+        assert_eq!(batches.last().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_dataset_has_no_batches() {
+        let it = BatchIterator::new(0, 4, 0);
+        assert!(it.epoch(0).is_empty());
+        assert_eq!(it.batches_per_epoch(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let _ = BatchIterator::new(10, 0, 0);
+    }
+}

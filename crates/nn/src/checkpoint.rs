@@ -1,0 +1,189 @@
+//! Checkpointing: save and restore a model's [`ParamStore`] so MLM
+//! pre-training and fine-tuning can run as separate invocations (the
+//! BERT/RoBERTa workflow at paper scale).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::Path;
+
+use autograd::ParamStore;
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Checkpoint {
+    format: String,
+    params: Vec<ParamRecord>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ParamRecord {
+    name: String,
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+const FORMAT: &str = "cuisine-checkpoint-v1";
+
+/// Writes every parameter (name, shape, values) to a JSON checkpoint.
+pub fn save_checkpoint(store: &ParamStore, path: &Path) -> io::Result<()> {
+    let checkpoint = Checkpoint {
+        format: FORMAT.to_string(),
+        params: store
+            .iter()
+            .map(|(_, name, tensor)| ParamRecord {
+                name: name.to_string(),
+                rows: tensor.rows(),
+                cols: tensor.cols(),
+                data: tensor.as_slice().to_vec(),
+            })
+            .collect(),
+    };
+    let w = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(w, &checkpoint)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Loads a checkpoint into an existing store built by the same model
+/// constructor: every parameter's name and shape must match exactly, which
+/// catches architecture drift at load time rather than silently.
+///
+/// # Errors
+///
+/// `InvalidData` on format mismatch, parameter count/name/shape mismatch,
+/// or corrupt JSON.
+pub fn load_checkpoint(store: &mut ParamStore, path: &Path) -> io::Result<()> {
+    let r = BufReader::new(File::open(path)?);
+    let checkpoint: Checkpoint = serde_json::from_reader(r)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if checkpoint.format != FORMAT {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint format {:?}", checkpoint.format),
+        ));
+    }
+    if checkpoint.params.len() != store.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "checkpoint has {} parameters, model has {}",
+                checkpoint.params.len(),
+                store.len()
+            ),
+        ));
+    }
+    // validate everything before mutating anything
+    for (record, id) in checkpoint.params.iter().zip(store.ids().collect::<Vec<_>>()) {
+        if record.name != store.name(id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("parameter name mismatch: {:?} vs {:?}", record.name, store.name(id)),
+            ));
+        }
+        if store.get(id).shape() != (record.rows, record.cols)
+            || record.data.len() != record.rows * record.cols
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shape mismatch for parameter {:?}", record.name),
+            ));
+        }
+    }
+    let ids: Vec<_> = store.ids().collect();
+    for (record, id) in checkpoint.params.into_iter().zip(ids) {
+        *store.get_mut(id) = Tensor::from_vec(record.rows, record.cols, record.data);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstm::{LstmClassifier, LstmConfig};
+    use crate::trainer::SequenceModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> LstmClassifier {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LstmClassifier::new(
+            LstmConfig {
+                vocab: 12,
+                emb_dim: 4,
+                hidden: 6,
+                layers: 1,
+                dropout: 0.0,
+                classes: 2,
+                pooling: crate::lstm::LstmPooling::LastHidden,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn roundtrip_restores_weights() {
+        let a = model(1);
+        let path = std::env::temp_dir().join("nn_checkpoint_roundtrip.json");
+        save_checkpoint(a.store(), &path).unwrap();
+
+        let mut b = model(2); // different init
+        load_checkpoint(b.store_mut(), &path).unwrap();
+
+        for (id, _, tensor) in a.store().iter() {
+            assert_eq!(tensor, b.store().get(id));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn restored_model_predicts_identically() {
+        use autograd::Graph;
+        let a = model(3);
+        let path = std::env::temp_dir().join("nn_checkpoint_identical.json");
+        save_checkpoint(a.store(), &path).unwrap();
+        let mut b = model(4);
+        load_checkpoint(b.store_mut(), &path).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ga = Graph::new(a.store());
+        let la = a.logits(&mut ga, &[1, 2, 3], false, &mut rng);
+        let mut gb = Graph::new(b.store());
+        let lb = b.logits(&mut gb, &[1, 2, 3], false, &mut rng);
+        assert_eq!(ga.value(la), gb.value(lb));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn architecture_mismatch_is_rejected() {
+        let a = model(5);
+        let path = std::env::temp_dir().join("nn_checkpoint_mismatch.json");
+        save_checkpoint(a.store(), &path).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut other = LstmClassifier::new(
+            LstmConfig {
+                vocab: 12,
+                emb_dim: 4,
+                hidden: 8,
+                layers: 1,
+                dropout: 0.0,
+                classes: 2,
+                pooling: crate::lstm::LstmPooling::LastHidden,
+            },
+            &mut rng,
+        );
+        let err = load_checkpoint(other.store_mut(), &path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error() {
+        let path = std::env::temp_dir().join("nn_checkpoint_corrupt.json");
+        std::fs::write(&path, "{}").unwrap();
+        let mut m = model(7);
+        assert!(load_checkpoint(m.store_mut(), &path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

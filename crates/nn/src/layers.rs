@@ -1,0 +1,222 @@
+//! Basic layers: linear, embedding, layer norm.
+//!
+//! A layer owns only [`ParamId`]s; the tensors live in the model's
+//! [`ParamStore`]. `forward` binds the parameters into the current graph
+//! and appends the layer's computation.
+
+use autograd::{Graph, ParamId, ParamStore, VarId};
+use rand::Rng;
+use tensor::{Initializer, Tensor};
+
+/// Fully-connected layer `y = x · W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a Xavier-initialised `in_dim × out_dim` layer.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.add(
+            format!("{name}.weight"),
+            Initializer::XavierUniform.init(in_dim, out_dim, rng),
+        );
+        let b = store.add(format!("{name}.bias"), Tensor::zeros(1, out_dim));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Applies the layer to `x` (`rows × in_dim` → `rows × out_dim`).
+    pub fn forward(&self, g: &mut Graph, x: VarId) -> VarId {
+        debug_assert_eq!(g.value(x).cols(), self.in_dim, "linear input width mismatch");
+        let w = g.param(self.w);
+        let b = g.param(self.b);
+        let xw = g.matmul(x, w);
+        g.add_row_broadcast(xw, b)
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The weight parameter id (for weight tying and inspection).
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+}
+
+/// Token-embedding table.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers a `vocab × dim` table initialised N(0, 0.02) (BERT's
+    /// initialisation).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let table = store.add(
+            format!("{name}.table"),
+            Initializer::Normal(0.02).init(vocab, dim, rng),
+        );
+        Self { table, vocab, dim }
+    }
+
+    /// Looks up `ids`, producing `ids.len() × dim`.
+    pub fn forward(&self, g: &mut Graph, ids: &[usize]) -> VarId {
+        let t = g.param(self.table);
+        g.embedding(t, ids)
+    }
+
+    /// Binds the raw table into the graph (for tied output projections).
+    pub fn table_var(&self, g: &mut Graph) -> VarId {
+        g.param(self.table)
+    }
+
+    /// The table's parameter id (for loading pre-trained vectors).
+    pub fn table_id(&self) -> ParamId {
+        self.table
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Row-wise layer normalisation with learnable scale and shift.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers `gamma = 1`, `beta = 0` over `dim` columns.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.add(format!("{name}.gamma"), Tensor::ones(1, dim));
+        let beta = store.add(format!("{name}.beta"), Tensor::zeros(1, dim));
+        Self { gamma, beta, eps: 1e-5 }
+    }
+
+    /// Normalises every row of `x`.
+    pub fn forward(&self, g: &mut Graph, x: VarId) -> VarId {
+        let gamma = g.param(self.gamma);
+        let beta = g.param(self.beta);
+        g.layer_norm_rows(x, gamma, beta, self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::gradient_check;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "fc", 3, 5, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::ones(2, 3));
+        let y = lin.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), (2, 5));
+    }
+
+    #[test]
+    fn linear_bias_is_added() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "fc", 2, 2, &mut rng);
+        // zero input → output equals bias
+        store.get_mut(lin.b).set(0, 1, 7.0);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::zeros(1, 2));
+        let y = lin.forward(&mut g, x);
+        assert_eq!(g.value(y).get(0, 1), 7.0);
+    }
+
+    #[test]
+    fn embedding_lookup_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "emb", 10, 4, &mut rng);
+        let mut g = Graph::new(&store);
+        let e = emb.forward(&mut g, &[1, 5, 1]);
+        assert_eq!(g.value(e).shape(), (3, 4));
+        assert_eq!(g.value(e).row(0), g.value(e).row(2));
+    }
+
+    #[test]
+    fn layer_norm_rows_standardized() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::from_rows(&[&[10.0, 20.0, 30.0, 40.0]]));
+        let y = ln.forward(&mut g, x);
+        let row = g.value(y).row(0).to_vec();
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-4);
+    }
+
+    #[test]
+    fn linear_layer_gradient_checks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "fc", 3, 2, &mut rng);
+        let x = Tensor::from_rows(&[&[0.5, -1.0, 0.2], &[1.5, 0.3, -0.4]]);
+        for target in [lin.w, lin.b] {
+            let lin = lin.clone();
+            let x = x.clone();
+            gradient_check(&mut store, target, 1e-2, 2e-2, move |g| {
+                let xv = g.constant(x.clone());
+                let y = lin.forward(g, xv);
+                g.cross_entropy(y, &[0, 1])
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn tied_table_binding_is_shared() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "emb", 6, 3, &mut rng);
+        let mut g = Graph::new(&store);
+        let a = emb.table_var(&mut g);
+        let e = emb.forward(&mut g, &[0]);
+        let b = emb.table_var(&mut g);
+        assert_eq!(a, b, "table must bind once per graph");
+        assert_eq!(g.value(e).shape(), (1, 3));
+    }
+}

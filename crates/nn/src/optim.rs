@@ -1,0 +1,219 @@
+//! Optimizers: plain SGD and AdamW.
+
+use autograd::{ParamId, ParamStore};
+use tensor::Tensor;
+
+/// An optimizer applies accumulated gradients to a parameter store.
+pub trait Optimizer {
+    /// Applies one update step. `grads` holds `(param, gradient)` pairs
+    /// (already summed over the batch); `lr` is the current learning rate.
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)], lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates SGD; `momentum = 0` is plain gradient descent.
+    pub fn new(momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self { momentum, velocity: Vec::new() }
+    }
+
+    fn slot(&mut self, id: ParamId) -> &mut Option<Tensor> {
+        if self.velocity.len() <= id.index() {
+            self.velocity.resize(id.index() + 1, None);
+        }
+        &mut self.velocity[id.index()]
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)], lr: f32) {
+        for (id, grad) in grads {
+            if self.momentum > 0.0 {
+                let momentum = self.momentum;
+                let slot = self.slot(*id);
+                let v = slot.get_or_insert_with(|| {
+                    Tensor::zeros(grad.rows(), grad.cols())
+                });
+                v.scale(momentum);
+                v.axpy(1.0, grad);
+                store.get_mut(*id).axpy(-lr, v);
+            } else {
+                store.get_mut(*id).axpy(-lr, grad);
+            }
+        }
+    }
+}
+
+/// AdamW hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamWConfig {
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for AdamWConfig {
+    fn default() -> Self {
+        Self { beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.01 }
+    }
+}
+
+/// AdamW (Adam with decoupled weight decay) — the optimizer of the BERT
+/// family.
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    config: AdamWConfig,
+    moments: Vec<Option<(Tensor, Tensor)>>,
+    t: i32,
+}
+
+impl AdamW {
+    /// Creates a fresh optimizer.
+    pub fn new(config: AdamWConfig) -> Self {
+        Self { config, moments: Vec::new(), t: 0 }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> i32 {
+        self.t
+    }
+}
+
+impl Default for AdamW {
+    fn default() -> Self {
+        Self::new(AdamWConfig::default())
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)], lr: f32) {
+        self.t += 1;
+        let AdamWConfig { beta1, beta2, eps, weight_decay } = self.config;
+        let bias1 = 1.0 - beta1.powi(self.t);
+        let bias2 = 1.0 - beta2.powi(self.t);
+
+        for (id, grad) in grads {
+            if self.moments.len() <= id.index() {
+                self.moments.resize(id.index() + 1, None);
+            }
+            let (m, v) = self.moments[id.index()].get_or_insert_with(|| {
+                (
+                    Tensor::zeros(grad.rows(), grad.cols()),
+                    Tensor::zeros(grad.rows(), grad.cols()),
+                )
+            });
+
+            m.scale(beta1);
+            m.axpy(1.0 - beta1, grad);
+            v.zip_inplace(grad, move |v, g| beta2 * v + (1.0 - beta2) * g * g);
+
+            let param = store.get_mut(*id);
+            let p = param.as_mut_slice();
+            let ms = m.as_slice();
+            let vs = v.as_slice();
+            for i in 0..p.len() {
+                let m_hat = ms[i] / bias1;
+                let v_hat = vs[i] / bias2;
+                p[i] -= lr * (m_hat / (v_hat.sqrt() + eps) + weight_decay * p[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_setup() -> (ParamStore, ParamId) {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[5.0, -5.0]]));
+        (store, w)
+    }
+
+    /// gradient of loss = 0.5 * w² is w itself
+    fn grad_of(store: &ParamStore, w: ParamId) -> Vec<(ParamId, Tensor)> {
+        vec![(w, store.get(w).clone())]
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let (mut store, w) = quadratic_setup();
+        let mut opt = Sgd::new(0.0);
+        for _ in 0..100 {
+            let g = grad_of(&store, w);
+            opt.step(&mut store, &g, 0.1);
+        }
+        assert!(store.get(w).norm() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let (mut store_a, wa) = quadratic_setup();
+        let (mut store_b, wb) = quadratic_setup();
+        let mut plain = Sgd::new(0.0);
+        let mut heavy = Sgd::new(0.9);
+        for _ in 0..10 {
+            let ga = grad_of(&store_a, wa);
+            plain.step(&mut store_a, &ga, 0.05);
+            let gb = grad_of(&store_b, wb);
+            heavy.step(&mut store_b, &gb, 0.05);
+        }
+        assert!(
+            store_b.get(wb).norm() < store_a.get(wa).norm(),
+            "momentum should make faster progress on a quadratic"
+        );
+    }
+
+    #[test]
+    fn adamw_descends_quadratic() {
+        let (mut store, w) = quadratic_setup();
+        let mut opt = AdamW::default();
+        for _ in 0..300 {
+            let g = grad_of(&store, w);
+            opt.step(&mut store, &g, 0.05);
+        }
+        assert!(store.get(w).norm() < 0.1, "norm {}", store.get(w).norm());
+    }
+
+    #[test]
+    fn adamw_weight_decay_shrinks_without_gradient() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[2.0]]));
+        let mut opt = AdamW::new(AdamWConfig { weight_decay: 0.1, ..Default::default() });
+        // zero gradient: only decay acts
+        let zero = vec![(w, Tensor::zeros(1, 1))];
+        let before = store.get(w).get(0, 0);
+        for _ in 0..10 {
+            opt.step(&mut store, &zero, 0.1);
+        }
+        assert!(store.get(w).get(0, 0) < before);
+    }
+
+    #[test]
+    fn adamw_step_counter() {
+        let (mut store, w) = quadratic_setup();
+        let mut opt = AdamW::default();
+        assert_eq!(opt.steps(), 0);
+        let g = grad_of(&store, w);
+        opt.step(&mut store, &g, 0.01);
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be")]
+    fn invalid_momentum_rejected() {
+        let _ = Sgd::new(1.5);
+    }
+}

@@ -1,0 +1,93 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule over optimizer steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed rate.
+    Constant(f32),
+    /// Linear warmup to `peak` over `warmup` steps, then linear decay to 0
+    /// at `total` steps — the BERT fine-tuning schedule.
+    LinearWarmupDecay {
+        /// Peak learning rate reached after warmup.
+        peak: f32,
+        /// Warmup steps.
+        warmup: usize,
+        /// Total steps (decay hits 0 here).
+        total: usize,
+    },
+    /// `base / (1 + step / period)` inverse decay.
+    InverseDecay {
+        /// Initial rate.
+        base: f32,
+        /// Steps per halving-ish period.
+        period: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at a (0-indexed) optimizer step.
+    pub fn at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::LinearWarmupDecay { peak, warmup, total } => {
+                if warmup > 0 && step < warmup {
+                    peak * (step + 1) as f32 / warmup as f32
+                } else if step >= total {
+                    0.0
+                } else if total > warmup {
+                    peak * (total - step) as f32 / (total - warmup) as f32
+                } else {
+                    peak
+                }
+            }
+            LrSchedule::InverseDecay { base, period } => {
+                base / (1.0 + step as f32 / period.max(1) as f32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.1);
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(1000), 0.1);
+    }
+
+    #[test]
+    fn warmup_rises_then_decays() {
+        let s = LrSchedule::LinearWarmupDecay { peak: 1.0, warmup: 10, total: 110 };
+        assert!(s.at(0) < s.at(5));
+        assert!(s.at(5) < s.at(9));
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+        assert!(s.at(50) < 1.0);
+        assert!(s.at(109) > 0.0);
+        assert_eq!(s.at(110), 0.0);
+        assert_eq!(s.at(9999), 0.0);
+    }
+
+    #[test]
+    fn warmup_peak_is_never_exceeded() {
+        let s = LrSchedule::LinearWarmupDecay { peak: 0.5, warmup: 4, total: 20 };
+        for step in 0..25 {
+            assert!(s.at(step) <= 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn inverse_decay_halves_at_period() {
+        let s = LrSchedule::InverseDecay { base: 1.0, period: 100 };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(100) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_peak() {
+        let s = LrSchedule::LinearWarmupDecay { peak: 0.3, warmup: 0, total: 10 };
+        assert!((s.at(0) - 0.3).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,456 @@
+//! Generic training loop for sequence classifiers, with crossbeam
+//! data-parallel gradient computation and per-epoch loss tracking (the
+//! paper's training/validation loss-curve figures come straight from
+//! [`TrainHistory`]).
+
+use autograd::{Graph, ParamId, ParamStore, VarId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{softmax_rows, Tensor};
+
+use crate::batch::BatchIterator;
+use crate::optim::Optimizer;
+use crate::schedule::LrSchedule;
+
+/// A model trainable by [`Trainer`]: anything that can map a token-id
+/// sequence to a `1 × classes` logit row on a caller-provided graph.
+pub trait SequenceModel {
+    /// The parameter store (read side, for forward passes).
+    fn store(&self) -> &ParamStore;
+    /// The parameter store (write side, for the optimizer).
+    fn store_mut(&mut self) -> &mut ParamStore;
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+    /// Builds the forward pass for one sequence, returning the logit row.
+    /// `train` enables dropout; `rng` drives it.
+    fn logits(&self, g: &mut Graph, ids: &[usize], train: bool, rng: &mut StdRng) -> VarId;
+}
+
+/// One labelled example: token ids plus a class label.
+pub type Example = (Vec<usize>, usize);
+
+/// Trainer hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerConfig {
+    /// Passes over the training data.
+    pub epochs: usize,
+    /// Examples per optimizer step.
+    pub batch_size: usize,
+    /// Learning-rate schedule (indexed by optimizer step).
+    pub schedule: LrSchedule,
+    /// Elementwise gradient clip (`0` disables).
+    pub grad_clip: f32,
+    /// Worker threads (`0` → one per core).
+    pub threads: usize,
+    /// Shuffling / dropout seed.
+    pub seed: u64,
+    /// Stop after this many epochs without val-loss improvement
+    /// (`0` disables; requires validation data).
+    pub early_stop_patience: usize,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 5,
+            batch_size: 16,
+            schedule: LrSchedule::Constant(1e-3),
+            grad_clip: 1.0,
+            threads: 0,
+            seed: 0,
+            early_stop_patience: 0,
+        }
+    }
+}
+
+/// Metrics recorded after each epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// 0-indexed epoch.
+    pub epoch: usize,
+    /// Mean training cross-entropy over the epoch.
+    pub train_loss: f64,
+    /// Mean validation cross-entropy (when validation data was given).
+    pub val_loss: Option<f64>,
+    /// Validation accuracy (when validation data was given).
+    pub val_accuracy: Option<f64>,
+}
+
+/// Full training trace — the source of the paper's loss-curve figures.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainHistory {
+    /// Per-epoch stats in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainHistory {
+    /// Training-loss series.
+    pub fn train_losses(&self) -> Vec<f64> {
+        self.epochs.iter().map(|e| e.train_loss).collect()
+    }
+
+    /// Validation-loss series (empty entries skipped).
+    pub fn val_losses(&self) -> Vec<f64> {
+        self.epochs.iter().filter_map(|e| e.val_loss).collect()
+    }
+
+    /// Best validation accuracy seen.
+    pub fn best_val_accuracy(&self) -> Option<f64> {
+        self.epochs
+            .iter()
+            .filter_map(|e| e.val_accuracy)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+/// The training loop.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainerConfig) -> Self {
+        assert!(config.batch_size > 0, "batch size must be positive");
+        Self { config }
+    }
+
+    /// Trains `model` in place, returning the per-epoch history.
+    pub fn fit<M: SequenceModel + Sync>(
+        &self,
+        model: &mut M,
+        optimizer: &mut impl Optimizer,
+        train: &[Example],
+        val: Option<&[Example]>,
+    ) -> TrainHistory {
+        assert!(!train.is_empty(), "no training data");
+        let batches = BatchIterator::new(train.len(), self.config.batch_size, self.config.seed);
+        let mut history = TrainHistory::default();
+        let mut step = 0usize;
+        let mut best_val = f64::INFINITY;
+        let mut stale = 0usize;
+
+        for epoch in 0..self.config.epochs {
+            let mut epoch_loss = 0.0;
+            let mut seen = 0usize;
+            for batch in batches.epoch(epoch) {
+                let lr = self.config.schedule.at(step);
+                step += 1;
+                let (grads, loss) = self.batch_gradients(model, train, &batch, epoch, step);
+                epoch_loss += loss * batch.len() as f64;
+                seen += batch.len();
+                optimizer.step(model.store_mut(), &grads, lr);
+            }
+            let train_loss = epoch_loss / seen.max(1) as f64;
+
+            let (val_loss, val_accuracy) = match val {
+                Some(v) if !v.is_empty() => {
+                    let (loss, acc, _, _) = self.evaluate(model, v);
+                    (Some(loss), Some(acc))
+                }
+                _ => (None, None),
+            };
+            history.epochs.push(EpochStats { epoch, train_loss, val_loss, val_accuracy });
+
+            if self.config.early_stop_patience > 0 {
+                if let Some(vl) = val_loss {
+                    if vl + 1e-6 < best_val {
+                        best_val = vl;
+                        stale = 0;
+                    } else {
+                        stale += 1;
+                        if stale >= self.config.early_stop_patience {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        history
+    }
+
+    /// Computes summed gradients and mean loss for one minibatch, sharded
+    /// over worker threads.
+    fn batch_gradients<M: SequenceModel + Sync>(
+        &self,
+        model: &M,
+        data: &[Example],
+        batch: &[usize],
+        epoch: usize,
+        step: usize,
+    ) -> (Vec<(ParamId, Tensor)>, f64) {
+        let n_threads = self.threads().min(batch.len()).max(1);
+        let chunk = batch.len().div_ceil(n_threads);
+        let seed_base = self
+            .config
+            .seed
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add((epoch * 1_000_003 + step) as u64);
+
+        let results: Vec<(Vec<(ParamId, Tensor)>, f64, usize)> =
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = batch
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(w, shard)| {
+                        scope.spawn(move |_| {
+                            let mut rng =
+                                StdRng::seed_from_u64(seed_base.wrapping_add(w as u64));
+                            shard_gradients(model, data, shard, true, &mut rng)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("training scope failed");
+
+        let total: usize = results.iter().map(|(_, _, n)| n).sum();
+        let mut merged: Vec<(ParamId, Tensor)> = Vec::new();
+        let mut loss_sum = 0.0;
+        for (grads, loss, n) in results {
+            loss_sum += loss * n as f64;
+            // shard CE is a mean over its n examples; reweight to a mean
+            // over the whole batch
+            let scale = n as f32 / total as f32;
+            for (p, mut t) in grads {
+                t.scale(scale);
+                match merged.iter_mut().find(|(q, _)| *q == p) {
+                    Some((_, acc)) => acc.axpy(1.0, &t),
+                    None => merged.push((p, t)),
+                }
+            }
+        }
+        if self.config.grad_clip > 0.0 {
+            for (_, t) in &mut merged {
+                t.clip_inplace(self.config.grad_clip);
+            }
+        }
+        (merged, loss_sum / total.max(1) as f64)
+    }
+
+    /// Evaluates on labelled data: `(mean loss, accuracy, predictions,
+    /// probability rows)`.
+    pub fn evaluate<M: SequenceModel + Sync>(
+        &self,
+        model: &M,
+        data: &[Example],
+    ) -> (f64, f64, Vec<usize>, Vec<Vec<f64>>) {
+        let probs = self.predict_proba(model, data);
+        let mut loss = 0.0;
+        let mut correct = 0usize;
+        let mut preds = Vec::with_capacity(data.len());
+        for ((_, label), row) in data.iter().zip(&probs) {
+            loss -= row[*label].max(1e-12).ln();
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if pred == *label {
+                correct += 1;
+            }
+            preds.push(pred);
+        }
+        let n = data.len().max(1) as f64;
+        (loss / n, correct as f64 / n, preds, probs)
+    }
+
+    /// Class-probability rows for each example (eval mode, parallel).
+    pub fn predict_proba<M: SequenceModel + Sync>(
+        &self,
+        model: &M,
+        data: &[Example],
+    ) -> Vec<Vec<f64>> {
+        if data.is_empty() {
+            return Vec::new();
+        }
+        let n_threads = self.threads().min(data.len()).max(1);
+        let chunk = data.len().div_ceil(n_threads);
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        let mut rng = StdRng::seed_from_u64(0);
+                        let mut out = Vec::with_capacity(shard.len());
+                        for (ids, _) in shard {
+                            let mut g = Graph::new(model.store());
+                            let logits = model.logits(&mut g, ids, false, &mut rng);
+                            let probs = softmax_rows(g.value(logits));
+                            out.push(probs.row(0).iter().map(|&p| p as f64).collect());
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("eval worker panicked"))
+                .collect()
+        })
+        .expect("eval scope failed")
+    }
+
+    fn threads(&self) -> usize {
+        if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |p| p.get())
+        } else {
+            self.config.threads
+        }
+    }
+}
+
+/// Gradients and mean loss of one shard, computed on a single graph so the
+/// parameters are bound once for the whole shard.
+fn shard_gradients<M: SequenceModel>(
+    model: &M,
+    data: &[Example],
+    shard: &[usize],
+    train: bool,
+    rng: &mut StdRng,
+) -> (Vec<(ParamId, Tensor)>, f64, usize) {
+    let mut g = Graph::new(model.store());
+    let mut logit_rows = Vec::with_capacity(shard.len());
+    let mut labels = Vec::with_capacity(shard.len());
+    for &i in shard {
+        let (ids, label) = &data[i];
+        logit_rows.push(model.logits(&mut g, ids, train, rng));
+        labels.push(*label);
+    }
+    let all_logits = g.concat_rows(&logit_rows);
+    let loss = g.cross_entropy(all_logits, &labels);
+    let loss_value = g.value(loss).get(0, 0) as f64;
+    let grads = g.backward(loss);
+    let collected: Vec<(ParamId, Tensor)> =
+        grads.param_grads().map(|(p, t)| (p, t.clone())).collect();
+    (collected, loss_value, shard.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstm::{LstmClassifier, LstmConfig};
+    use crate::optim::AdamW;
+
+    fn toy_model(seed: u64) -> LstmClassifier {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LstmClassifier::new(
+            LstmConfig {
+                vocab: 12,
+                emb_dim: 8,
+                hidden: 10,
+                layers: 1,
+                dropout: 0.0,
+                classes: 2,
+                pooling: crate::lstm::LstmPooling::LastHidden,
+            },
+            &mut rng,
+        )
+    }
+
+    fn order_task() -> Vec<Example> {
+        // label = whether token 1 precedes token 2
+        vec![
+            (vec![1, 2, 3], 0),
+            (vec![1, 3, 2], 0),
+            (vec![2, 1, 3], 1),
+            (vec![2, 3, 1], 1),
+            (vec![1, 2], 0),
+            (vec![2, 1], 1),
+        ]
+    }
+
+    #[test]
+    fn training_learns_order_task() {
+        let mut model = toy_model(0);
+        let data = order_task();
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 40,
+            batch_size: 3,
+            schedule: LrSchedule::Constant(0.02),
+            threads: 2,
+            ..Default::default()
+        });
+        let mut opt = AdamW::default();
+        let history = trainer.fit(&mut model, &mut opt, &data, Some(&data));
+        let (_, acc, _, _) = trainer.evaluate(&model, &data);
+        assert!(acc >= 0.99, "accuracy {acc}, history {history:?}");
+        assert!(history.epochs.len() == 40);
+        let first = history.epochs.first().unwrap().train_loss;
+        let last = history.epochs.last().unwrap().train_loss;
+        assert!(last < first, "loss rose: {first} → {last}");
+    }
+
+    #[test]
+    fn history_records_validation() {
+        let mut model = toy_model(1);
+        let data = order_task();
+        let trainer = Trainer::new(TrainerConfig { epochs: 2, ..Default::default() });
+        let mut opt = AdamW::default();
+        let history = trainer.fit(&mut model, &mut opt, &data, Some(&data));
+        assert!(history.epochs.iter().all(|e| e.val_loss.is_some()));
+        assert!(history.best_val_accuracy().is_some());
+        assert_eq!(history.train_losses().len(), 2);
+    }
+
+    #[test]
+    fn no_validation_means_no_val_stats() {
+        let mut model = toy_model(2);
+        let data = order_task();
+        let trainer = Trainer::new(TrainerConfig { epochs: 1, ..Default::default() });
+        let mut opt = AdamW::default();
+        let history = trainer.fit(&mut model, &mut opt, &data, None);
+        assert!(history.epochs[0].val_loss.is_none());
+        assert!(history.val_losses().is_empty());
+    }
+
+    #[test]
+    fn early_stopping_cuts_epochs() {
+        let mut model = toy_model(3);
+        let data = order_task();
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 100,
+            batch_size: 6,
+            schedule: LrSchedule::Constant(0.0), // frozen → val never improves
+            early_stop_patience: 3,
+            ..Default::default()
+        });
+        let mut opt = AdamW::default();
+        let history = trainer.fit(&mut model, &mut opt, &data, Some(&data));
+        assert!(history.epochs.len() <= 5, "ran {} epochs", history.epochs.len());
+    }
+
+    #[test]
+    fn gradients_independent_of_thread_count() {
+        let model = toy_model(4);
+        let data = order_task();
+        let config_one = TrainerConfig { threads: 1, ..Default::default() };
+        let config_many = TrainerConfig { threads: 3, ..Default::default() };
+        let batch: Vec<usize> = (0..data.len()).collect();
+        // dropout is 0 so per-worker RNG divergence cannot matter
+        let (g1, l1) =
+            Trainer::new(config_one).batch_gradients(&model, &data, &batch, 0, 0);
+        let (g2, l2) =
+            Trainer::new(config_many).batch_gradients(&model, &data, &batch, 0, 0);
+        assert!((l1 - l2).abs() < 1e-6);
+        for (p, t) in &g1 {
+            let other = &g2.iter().find(|(q, _)| q == p).expect("param present").1;
+            assert!(
+                t.max_abs_diff(other).unwrap() < 1e-4,
+                "gradient mismatch for param {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_proba_rows_are_distributions() {
+        let model = toy_model(5);
+        let data = order_task();
+        let trainer = Trainer::new(TrainerConfig::default());
+        for row in trainer.predict_proba(&model, &data) {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-5);
+        }
+    }
+}

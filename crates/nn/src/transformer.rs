@@ -1,0 +1,222 @@
+//! Transformer encoder stack: post-LN layers with GELU feed-forwards and
+//! learned positional embeddings, as in BERT.
+
+use autograd::{Graph, ParamStore, VarId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::attention::MultiHeadAttention;
+use crate::layers::{Embedding, LayerNorm, Linear};
+
+/// One post-LN encoder layer:
+/// `x = LN(x + Attn(x)); x = LN(x + FF(x))` with `FF = W₂·gelu(W₁·x)`.
+#[derive(Debug, Clone)]
+pub struct EncoderLayer {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+    ln2: LayerNorm,
+    dropout: f32,
+}
+
+impl EncoderLayer {
+    /// Registers one layer's parameters.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        d_ff: usize,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            attn: MultiHeadAttention::new(store, &format!("{name}.attn"), d_model, heads, rng),
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), d_model),
+            ff1: Linear::new(store, &format!("{name}.ff1"), d_model, d_ff, rng),
+            ff2: Linear::new(store, &format!("{name}.ff2"), d_ff, d_model, rng),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), d_model),
+            dropout,
+        }
+    }
+
+    /// Applies the layer to a `seq × d_model` block.
+    pub fn forward(&self, g: &mut Graph, x: VarId, train: bool, rng: &mut StdRng) -> VarId {
+        let mut attn_out = self.attn.forward(g, x);
+        if train && self.dropout > 0.0 {
+            attn_out = g.dropout(attn_out, self.dropout, rng);
+        }
+        let res1 = g.add(x, attn_out);
+        let x = self.ln1.forward(g, res1);
+
+        let h = self.ff1.forward(g, x);
+        let h = g.gelu(h);
+        let mut ff_out = self.ff2.forward(g, h);
+        if train && self.dropout > 0.0 {
+            ff_out = g.dropout(ff_out, self.dropout, rng);
+        }
+        let res2 = g.add(x, ff_out);
+        self.ln2.forward(g, res2)
+    }
+}
+
+/// Token + position embeddings feeding a stack of encoder layers.
+#[derive(Debug, Clone)]
+pub struct TransformerEncoder {
+    tok: Embedding,
+    pos: Embedding,
+    emb_ln: LayerNorm,
+    layers: Vec<EncoderLayer>,
+    max_len: usize,
+    dropout: f32,
+}
+
+impl TransformerEncoder {
+    /// Registers the full encoder.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        d_model: usize,
+        heads: usize,
+        d_ff: usize,
+        n_layers: usize,
+        max_len: usize,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(n_layers > 0, "need at least one encoder layer");
+        let tok = Embedding::new(store, &format!("{name}.tok"), vocab, d_model, rng);
+        let pos = Embedding::new(store, &format!("{name}.pos"), max_len, d_model, rng);
+        let emb_ln = LayerNorm::new(store, &format!("{name}.emb_ln"), d_model);
+        let layers = (0..n_layers)
+            .map(|l| {
+                EncoderLayer::new(
+                    store,
+                    &format!("{name}.layer{l}"),
+                    d_model,
+                    heads,
+                    d_ff,
+                    dropout,
+                    rng,
+                )
+            })
+            .collect();
+        Self { tok, pos, emb_ln, layers, max_len, dropout }
+    }
+
+    /// Maximum sequence length (positions available).
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// The token-embedding sub-module (for weight tying).
+    pub fn token_embedding(&self) -> &Embedding {
+        &self.tok
+    }
+
+    /// Encodes `ids` (already truncated to `max_len`) into a
+    /// `len × d_model` block of contextual vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty or longer than `max_len`.
+    pub fn forward(&self, g: &mut Graph, ids: &[usize], train: bool, rng: &mut StdRng) -> VarId {
+        assert!(!ids.is_empty(), "cannot encode an empty sequence");
+        assert!(
+            ids.len() <= self.max_len,
+            "sequence of {} exceeds max_len {}",
+            ids.len(),
+            self.max_len
+        );
+        let tok = self.tok.forward(g, ids);
+        let positions: Vec<usize> = (0..ids.len()).collect();
+        let pos = self.pos.forward(g, &positions);
+        let sum = g.add(tok, pos);
+        let mut x = self.emb_ln.forward(g, sum);
+        if train && self.dropout > 0.0 {
+            x = g.dropout(x, self.dropout, rng);
+        }
+        for layer in &self.layers {
+            x = layer.forward(g, x, train, rng);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn encoder(seed: u64) -> (ParamStore, TransformerEncoder) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let enc = TransformerEncoder::new(
+            &mut store, "enc", 30, 8, 2, 16, 2, 12, 0.0, &mut rng,
+        );
+        (store, enc)
+    }
+
+    #[test]
+    fn encodes_to_model_width() {
+        let (store, enc) = encoder(0);
+        let mut g = Graph::new(&store);
+        let mut rng = StdRng::seed_from_u64(1);
+        let y = enc.forward(&mut g, &[2, 5, 9, 7], false, &mut rng);
+        assert_eq!(g.value(y).shape(), (4, 8));
+        assert!(!g.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn position_embeddings_break_permutation_equivariance() {
+        // unlike bare attention, the encoder must distinguish orders
+        let (store, enc) = encoder(2);
+        let mut g = Graph::new(&store);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ab = enc.forward(&mut g, &[5, 9], false, &mut rng);
+        let ba = enc.forward(&mut g, &[9, 5], false, &mut rng);
+        // row 0 of [5,9] vs row 1 of [9,5] both encode token 5 — but with
+        // different positions, so they must differ
+        let a = g.value(ab).row(0).to_vec();
+        let b = g.value(ba).row(1).to_vec();
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-3, "encoder ignored position (diff {diff})");
+    }
+
+    #[test]
+    fn eval_forward_is_deterministic() {
+        let (store, enc) = encoder(4);
+        let mut g = Graph::new(&store);
+        let mut rng = StdRng::seed_from_u64(5);
+        let y1 = enc.forward(&mut g, &[1, 2, 3], false, &mut rng);
+        let y2 = enc.forward(&mut g, &[1, 2, 3], false, &mut rng);
+        assert_eq!(g.value(y1), g.value(y2));
+    }
+
+    #[test]
+    fn dropout_changes_training_forward() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let enc = TransformerEncoder::new(
+            &mut store, "enc", 30, 8, 2, 16, 1, 12, 0.5, &mut rng,
+        );
+        let mut g = Graph::new(&store);
+        let mut drng = StdRng::seed_from_u64(7);
+        let y1 = enc.forward(&mut g, &[1, 2, 3], true, &mut drng);
+        let y2 = enc.forward(&mut g, &[1, 2, 3], true, &mut drng);
+        assert_ne!(g.value(y1), g.value(y2), "dropout must vary between passes");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_len")]
+    fn over_length_sequence_panics() {
+        let (store, enc) = encoder(8);
+        let mut g = Graph::new(&store);
+        let mut rng = StdRng::seed_from_u64(9);
+        let ids: Vec<usize> = (0..13).collect();
+        let _ = enc.forward(&mut g, &ids, false, &mut rng);
+    }
+}

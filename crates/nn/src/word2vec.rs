@@ -1,0 +1,281 @@
+//! Skip-gram word embeddings with negative sampling (word2vec).
+//!
+//! §IV of the paper names two vectorization techniques: TF-IDF for the
+//! statistical models and *word embeddings* — "word representation as
+//! vectors such that semantically similar words have similar vectors" —
+//! for the sequential models. The LSTM/BERT classifiers learn embeddings
+//! end-to-end, but this module provides the classic pre-trained variant so
+//! the embedding-initialisation ablation can quantify what task-external
+//! embeddings contribute.
+//!
+//! Classic SGNS: for each `(center, context)` pair within a window,
+//! maximise `log σ(v_ctx · u_c)` plus `k` negative samples drawn from the
+//! unigram distribution raised to the ¾ power.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Tensor;
+
+/// Skip-gram training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Word2VecConfig {
+    /// Embedding width.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 10%).
+    pub learning_rate: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Self { dim: 64, window: 4, negatives: 5, epochs: 5, learning_rate: 0.025, seed: 0 }
+    }
+}
+
+/// Trained embeddings: an input (`center`) matrix, one row per vocabulary
+/// id. Row 0..5 correspond to the special tokens and stay near their
+/// random initialisation (they never occur in corpora).
+#[derive(Debug, Clone)]
+pub struct WordEmbeddings {
+    table: Tensor,
+}
+
+impl WordEmbeddings {
+    /// The `vocab × dim` embedding matrix (input vectors).
+    pub fn table(&self) -> &Tensor {
+        &self.table
+    }
+
+    /// Consumes self, returning the matrix (e.g. to initialise an
+    /// [`Embedding`](crate::layers::Embedding) layer's parameter).
+    pub fn into_table(self) -> Tensor {
+        self.table
+    }
+
+    /// Embedding vector of one id.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        self.table.row(id)
+    }
+
+    /// Cosine similarity between two ids' vectors.
+    pub fn cosine(&self, a: usize, b: usize) -> f32 {
+        let (va, vb) = (self.vector(a), self.vector(b));
+        let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// The `k` nearest ids to `id` by cosine similarity (excluding
+    /// itself), most similar first.
+    pub fn nearest(&self, id: usize, k: usize) -> Vec<(usize, f32)> {
+        let mut sims: Vec<(usize, f32)> = (0..self.table.rows())
+            .filter(|&j| j != id)
+            .map(|j| (j, self.cosine(id, j)))
+            .collect();
+        sims.sort_by(|a, b| b.1.total_cmp(&a.1));
+        sims.truncate(k);
+        sims
+    }
+}
+
+/// Trains skip-gram embeddings over id sequences (`vocab_size` must bound
+/// every id).
+///
+/// # Panics
+///
+/// Panics if `sequences` is empty or contains out-of-range ids.
+pub fn train_word2vec(
+    sequences: &[Vec<usize>],
+    vocab_size: usize,
+    config: &Word2VecConfig,
+) -> WordEmbeddings {
+    assert!(!sequences.is_empty(), "no training sequences");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // unigram^(3/4) negative-sampling distribution
+    let mut counts = vec![0u64; vocab_size];
+    for seq in sequences {
+        for &id in seq {
+            assert!(id < vocab_size, "id {id} out of range {vocab_size}");
+            counts[id] += 1;
+        }
+    }
+    let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75).max(1e-9)).collect();
+    let neg_dist = WeightedIndex::new(&weights).expect("valid negative distribution");
+
+    // init: input vectors uniform small, output vectors zero (word2vec's
+    // original choice)
+    let bound = 0.5 / config.dim as f32;
+    let mut input: Vec<f32> = (0..vocab_size * config.dim)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
+    let mut output = vec![0.0f32; vocab_size * config.dim];
+
+    let total_steps = config.epochs.max(1);
+    for epoch in 0..config.epochs {
+        let lr = config.learning_rate
+            * (1.0 - 0.9 * epoch as f32 / total_steps as f32);
+        for seq in sequences {
+            for (center_pos, &center) in seq.iter().enumerate() {
+                let window = rng.gen_range(1..=config.window.max(1));
+                let lo = center_pos.saturating_sub(window);
+                let hi = (center_pos + window + 1).min(seq.len());
+                for ctx_pos in lo..hi {
+                    if ctx_pos == center_pos {
+                        continue;
+                    }
+                    let context = seq[ctx_pos];
+                    sgns_update(
+                        &mut input,
+                        &mut output,
+                        config.dim,
+                        center,
+                        context,
+                        true,
+                        lr,
+                    );
+                    for _ in 0..config.negatives {
+                        let neg = neg_dist.sample(&mut rng);
+                        if neg == context {
+                            continue;
+                        }
+                        sgns_update(
+                            &mut input,
+                            &mut output,
+                            config.dim,
+                            center,
+                            neg,
+                            false,
+                            lr,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    WordEmbeddings { table: Tensor::from_vec(vocab_size, config.dim, input) }
+}
+
+/// One SGNS gradient step on a `(center, target)` pair.
+#[inline]
+fn sgns_update(
+    input: &mut [f32],
+    output: &mut [f32],
+    dim: usize,
+    center: usize,
+    target: usize,
+    positive: bool,
+    lr: f32,
+) {
+    let ci = center * dim;
+    let ti = target * dim;
+    let mut dot = 0.0f32;
+    for d in 0..dim {
+        dot += input[ci + d] * output[ti + d];
+    }
+    let pred = 1.0 / (1.0 + (-dot).exp());
+    let grad = lr * (f32::from(positive) - pred);
+    for d in 0..dim {
+        let in_v = input[ci + d];
+        let out_v = output[ti + d];
+        input[ci + d] += grad * out_v;
+        output[ti + d] += grad * in_v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Corpus with two disjoint topic clusters: ids 1-3 co-occur, ids 4-6
+    /// co-occur, never across.
+    fn clustered_corpus() -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for i in 0..80 {
+            if i % 2 == 0 {
+                out.push(vec![1, 2, 3, 1, 3, 2]);
+            } else {
+                out.push(vec![4, 5, 6, 4, 6, 5]);
+            }
+        }
+        out
+    }
+
+    fn small_config() -> Word2VecConfig {
+        Word2VecConfig { dim: 16, epochs: 8, seed: 3, ..Default::default() }
+    }
+
+    #[test]
+    fn cooccurring_tokens_become_similar() {
+        let emb = train_word2vec(&clustered_corpus(), 8, &small_config());
+        let within = emb.cosine(1, 2);
+        let across = emb.cosine(1, 5);
+        assert!(
+            within > across + 0.2,
+            "within-cluster sim {within} not above cross-cluster {across}"
+        );
+    }
+
+    #[test]
+    fn nearest_neighbors_come_from_the_same_cluster() {
+        let emb = train_word2vec(&clustered_corpus(), 8, &small_config());
+        let nearest: Vec<usize> = emb.nearest(1, 2).into_iter().map(|(i, _)| i).collect();
+        for n in &nearest {
+            assert!(
+                [2usize, 3].contains(n),
+                "unexpected neighbor {n} for token 1: {nearest:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = train_word2vec(&clustered_corpus(), 8, &small_config());
+        let b = train_word2vec(&clustered_corpus(), 8, &small_config());
+        assert_eq!(a.table(), b.table());
+    }
+
+    #[test]
+    fn table_shape() {
+        let emb = train_word2vec(&clustered_corpus(), 10, &small_config());
+        assert_eq!(emb.table().shape(), (10, 16));
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let emb = train_word2vec(&clustered_corpus(), 8, &small_config());
+        for a in 0..8 {
+            for b in 0..8 {
+                let c = emb.cosine(a, b);
+                assert!((-1.0001..=1.0001).contains(&c), "cosine({a},{b}) = {c}");
+            }
+        }
+        assert!((emb.cosine(1, 1) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training sequences")]
+    fn empty_corpus_panics() {
+        let _ = train_word2vec(&[], 8, &small_config());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_id_panics() {
+        let _ = train_word2vec(&[vec![99]], 8, &small_config());
+    }
+}

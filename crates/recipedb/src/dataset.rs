@@ -1,0 +1,137 @@
+//! Recipe records and the in-memory dataset.
+
+use serde::{Deserialize, Serialize};
+
+use crate::entities::{EntityId, EntityKind, EntityTable};
+use crate::taxonomy::{Continent, CuisineId};
+
+/// Unique recipe identifier (stable across splits and serialization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecipeId(pub u32);
+
+/// One recipe: a cuisine label and the *ordered* entity sequence —
+/// ingredients first, then the chain of cooking processes, then utensils,
+/// mirroring the paper's Table I rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recipe {
+    /// Stable identifier.
+    pub id: RecipeId,
+    /// Class label (one of the 26 cuisines).
+    pub cuisine: CuisineId,
+    /// Ordered entity sequence.
+    pub tokens: Vec<EntityId>,
+}
+
+impl Recipe {
+    /// Continental region of the recipe's cuisine.
+    pub fn continent(&self) -> Continent {
+        self.cuisine.info().continent
+    }
+
+    /// Number of tokens of one kind in the sequence.
+    pub fn count_kind(&self, table: &EntityTable, kind: EntityKind) -> usize {
+        self.tokens.iter().filter(|&&t| table.kind(t) == kind).count()
+    }
+
+    /// Renders the sequence as whitespace-separated entity names — the
+    /// "unstructured text" view that the TF-IDF pipeline consumes.
+    pub fn to_text(&self, table: &EntityTable) -> String {
+        let mut out = String::new();
+        for (i, &t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(table.name(t));
+        }
+        out
+    }
+}
+
+/// A corpus of recipes plus the entity vocabulary they index into.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The entity vocabulary.
+    pub table: EntityTable,
+    /// All recipes, in generation order.
+    pub recipes: Vec<Recipe>,
+}
+
+impl Dataset {
+    /// Number of recipes.
+    pub fn len(&self) -> usize {
+        self.recipes.len()
+    }
+
+    /// Whether the dataset holds no recipes.
+    pub fn is_empty(&self) -> bool {
+        self.recipes.is_empty()
+    }
+
+    /// Recipes of one cuisine.
+    pub fn of_cuisine(&self, cuisine: CuisineId) -> impl Iterator<Item = &Recipe> {
+        self.recipes.iter().filter(move |r| r.cuisine == cuisine)
+    }
+
+    /// Class labels (cuisine indices) aligned with `recipes`.
+    pub fn labels(&self) -> Vec<usize> {
+        self.recipes.iter().map(|r| r.cuisine.index()).collect()
+    }
+
+    /// Mean token-sequence length.
+    pub fn mean_length(&self) -> f64 {
+        if self.recipes.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.recipes.iter().map(|r| r.tokens.len()).sum();
+        total as f64 / self.recipes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let table = EntityTable::synthesize(10, 5, 3);
+        let recipes = vec![
+            Recipe { id: RecipeId(0), cuisine: CuisineId(0), tokens: vec![EntityId(0), EntityId(10)] },
+            Recipe { id: RecipeId(1), cuisine: CuisineId(3), tokens: vec![EntityId(1), EntityId(11), EntityId(15)] },
+        ];
+        Dataset { table, recipes }
+    }
+
+    #[test]
+    fn to_text_joins_names() {
+        let d = tiny();
+        let text = d.recipes[0].to_text(&d.table);
+        assert_eq!(text, "onion add");
+    }
+
+    #[test]
+    fn count_kind_splits_sequence() {
+        let d = tiny();
+        let r = &d.recipes[1];
+        assert_eq!(r.count_kind(&d.table, EntityKind::Ingredient), 1);
+        assert_eq!(r.count_kind(&d.table, EntityKind::Process), 1);
+        assert_eq!(r.count_kind(&d.table, EntityKind::Utensil), 1);
+    }
+
+    #[test]
+    fn labels_align() {
+        let d = tiny();
+        assert_eq!(d.labels(), vec![0, 3]);
+    }
+
+    #[test]
+    fn mean_length() {
+        let d = tiny();
+        assert!((d.mean_length() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn of_cuisine_filters() {
+        let d = tiny();
+        assert_eq!(d.of_cuisine(CuisineId(3)).count(), 1);
+        assert_eq!(d.of_cuisine(CuisineId(9)).count(), 0);
+    }
+}

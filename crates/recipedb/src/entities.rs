@@ -1,0 +1,357 @@
+//! Entity registry: the ingredients, cooking processes and utensils that
+//! recipes are sequences of.
+//!
+//! RecipeDB's vocabulary is ~20.4k entities: 20,280 unique ingredients
+//! (dominated by rare compositional names such as *"lasagna noodle wheat"*),
+//! 256 unique processes and 69 unique utensils. We synthesise the same
+//! counts with the same compositional flavour: a modest list of base food
+//! words combined with modifiers and varieties yields tens of thousands of
+//! distinct, plausible ingredient names, deterministically enumerated.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of cooking entity a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntityKind {
+    /// A food item ("red lentil", "basmati rice").
+    Ingredient,
+    /// A cooking action ("stir", "simmer").
+    Process,
+    /// Cookware ("skillet", "saucepan").
+    Utensil,
+}
+
+impl EntityKind {
+    /// Lowercase display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntityKind::Ingredient => "ingredient",
+            EntityKind::Process => "process",
+            EntityKind::Utensil => "utensil",
+        }
+    }
+}
+
+/// Index into an [`EntityTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// The id as a `usize` (vocabulary index for vectorizers).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The full entity vocabulary, with ingredients first, then processes, then
+/// utensils, so each kind occupies a contiguous id range.
+#[derive(Debug, Clone)]
+pub struct EntityTable {
+    names: Vec<String>,
+    ingredients: usize,
+    processes: usize,
+    utensils: usize,
+    by_name: HashMap<String, EntityId>,
+}
+
+impl EntityTable {
+    /// Builds a table with the requested counts per kind, synthesising
+    /// compositional names deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kind's requested count exceeds what the base word lists
+    /// can compose (ingredients: ~1.9M; processes: 384; utensils: 125).
+    pub fn synthesize(ingredients: usize, processes: usize, utensils: usize) -> Self {
+        let mut names = Vec::with_capacity(ingredients + processes + utensils);
+        names.extend(compose_ingredients(ingredients));
+        names.extend(compose_processes(processes));
+        names.extend(compose_utensils(utensils));
+        let by_name = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), EntityId(i as u32)))
+            .collect();
+        Self { names, ingredients, processes, utensils, by_name }
+    }
+
+    /// Total entity count.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Number of ingredient entities.
+    pub fn num_ingredients(&self) -> usize {
+        self.ingredients
+    }
+
+    /// Number of process entities.
+    pub fn num_processes(&self) -> usize {
+        self.processes
+    }
+
+    /// Number of utensil entities.
+    pub fn num_utensils(&self) -> usize {
+        self.utensils
+    }
+
+    /// Name of an entity.
+    pub fn name(&self, id: EntityId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Kind of an entity, derived from its id range.
+    pub fn kind(&self, id: EntityId) -> EntityKind {
+        let i = id.index();
+        if i < self.ingredients {
+            EntityKind::Ingredient
+        } else if i < self.ingredients + self.processes {
+            EntityKind::Process
+        } else {
+            EntityKind::Utensil
+        }
+    }
+
+    /// Looks an entity up by exact name.
+    pub fn find(&self, name: &str) -> Option<EntityId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Ids of every entity of one kind, in id order.
+    pub fn ids_of_kind(&self, kind: EntityKind) -> std::ops::Range<u32> {
+        let (start, end) = match kind {
+            EntityKind::Ingredient => (0, self.ingredients),
+            EntityKind::Process => (self.ingredients, self.ingredients + self.processes),
+            EntityKind::Utensil => {
+                (self.ingredients + self.processes, self.len())
+            }
+        };
+        start as u32..end as u32
+    }
+}
+
+const BASE_FOODS: &[&str] = &[
+    "onion", "garlic", "tomato", "chicken", "beef", "pork", "lamb", "rice",
+    "lentil", "chickpea", "potato", "carrot", "celery", "pepper", "chili",
+    "ginger", "turmeric", "cumin", "coriander", "basil", "oregano", "thyme",
+    "rosemary", "parsley", "cilantro", "mint", "dill", "sage", "paprika",
+    "cinnamon", "clove", "cardamom", "nutmeg", "saffron", "vanilla", "sugar",
+    "salt", "butter", "cream", "milk", "yogurt", "cheese", "egg", "flour",
+    "cornmeal", "oat", "barley", "quinoa", "noodle", "pasta", "bread",
+    "tortilla", "bean", "pea", "corn", "squash", "zucchini", "eggplant",
+    "spinach", "kale", "cabbage", "lettuce", "cucumber", "radish", "beet",
+    "turnip", "mushroom", "leek", "shallot", "scallion", "lime", "lemon",
+    "orange", "apple", "pear", "peach", "plum", "cherry", "grape", "raisin",
+    "date", "fig", "apricot", "mango", "pineapple", "banana", "coconut",
+    "almond", "walnut", "pecan", "cashew", "peanut", "pistachio", "sesame",
+    "honey", "molasses", "vinegar", "wine", "beer", "broth", "stock",
+    "shrimp", "crab", "lobster", "salmon", "tuna", "cod", "anchovy",
+    "sardine", "mussel", "clam", "oyster", "squid", "octopus", "tofu",
+    "tempeh", "miso", "soy", "mirin", "sake", "fish", "duck", "turkey",
+    "bacon", "ham", "sausage", "chorizo", "salami", "prosciutto", "avocado",
+    "olive", "caper", "artichoke", "asparagus", "broccoli", "cauliflower",
+    "fennel", "okra", "plantain", "yam", "cassava", "taro", "seaweed",
+    "wasabi", "horseradish", "mustard", "ketchup", "mayonnaise", "tahini",
+    "hummus", "salsa", "pesto", "curry", "masala", "garam", "berbere",
+    "harissa", "sumac", "zaatar", "lemongrass", "galangal", "tamarind",
+    "jaggery", "ghee", "paneer", "mozzarella", "parmesan", "cheddar",
+    "feta", "ricotta", "gouda", "brie", "oil", "lard", "margarine",
+    "shortening", "gelatin", "yeast", "baking-soda", "cocoa", "chocolate",
+    "espresso", "tea", "buttermilk",
+];
+
+const MODIFIERS: &[&str] = &[
+    "fresh", "dried", "smoked", "ground", "roasted", "toasted", "pickled",
+    "fermented", "cured", "salted", "unsalted", "sweet", "sour", "spicy",
+    "hot", "mild", "raw", "cooked", "frozen", "canned", "organic", "wild",
+    "baby", "mature", "aged", "young", "whole", "split", "cracked",
+    "rolled", "steel-cut", "stone-ground", "cold-pressed", "extra-virgin",
+    "light", "dark", "golden", "crushed", "minced", "shredded", "grated",
+    "sliced", "diced", "julienned", "pureed", "candied", "glazed", "brined",
+];
+
+const VARIETIES: &[&str] = &[
+    "red", "green", "yellow", "white", "black", "brown", "purple", "pink",
+    "blood", "heirloom", "roma", "cherry", "thai", "bird-eye", "serrano",
+    "jalapeno", "habanero", "poblano", "basmati", "jasmine", "arborio",
+    "long-grain", "short-grain", "wheat", "rye", "sourdough", "multigrain",
+    "winter", "summer", "spring",
+];
+
+fn compose_ingredients(count: usize) -> Vec<String> {
+    // Enumerate in a fixed order of increasing name complexity so low ids
+    // (which the frequency plan makes common) get short, natural names like
+    // the real head of RecipeDB ('onion', 'garlic', 'water', …) while the
+    // long tail gets compositional oddities like the paper's example
+    // 'lasagna noodle wheat'.
+    let max =
+        BASE_FOODS.len() * (1 + MODIFIERS.len() + VARIETIES.len() + MODIFIERS.len() * VARIETIES.len());
+    assert!(count <= max, "cannot compose {count} ingredient names (max {max})");
+    let mut out = Vec::with_capacity(count);
+    // 1. bare bases
+    for b in BASE_FOODS {
+        if out.len() == count {
+            return out;
+        }
+        out.push((*b).to_string());
+    }
+    // 2. variety + base
+    for v in VARIETIES {
+        for b in BASE_FOODS {
+            if out.len() == count {
+                return out;
+            }
+            out.push(format!("{v} {b}"));
+        }
+    }
+    // 3. modifier + base
+    for m in MODIFIERS {
+        for b in BASE_FOODS {
+            if out.len() == count {
+                return out;
+            }
+            out.push(format!("{m} {b}"));
+        }
+    }
+    // 4. modifier + variety + base
+    for m in MODIFIERS {
+        for v in VARIETIES {
+            for b in BASE_FOODS {
+                if out.len() == count {
+                    return out;
+                }
+                out.push(format!("{m} {v} {b}"));
+            }
+        }
+    }
+    out
+}
+
+const BASE_PROCESSES: &[&str] = &[
+    "add", "stir", "heat", "cook", "mix", "combine", "pour", "season",
+    "garnish", "serve", "simmer", "boil", "fry", "saute", "bake", "roast",
+    "grill", "broil", "steam", "poach", "blanch", "braise", "stew", "toast",
+    "chop", "slice", "dice", "mince", "grate", "shred", "peel", "cut",
+    "trim", "core", "seed", "mash", "puree", "blend", "whisk", "beat",
+    "fold", "knead", "roll", "press", "spread", "sprinkle", "drizzle",
+    "coat", "dip", "marinate", "brine", "cure", "smoke", "chill", "freeze",
+    "thaw", "rest", "cool", "warm", "reheat", "reduce", "thicken", "strain",
+    "drain",
+];
+
+const PROCESS_SUFFIXES: &[&str] = &["", " well", " gently", " thoroughly"];
+
+fn compose_processes(count: usize) -> Vec<String> {
+    let max = BASE_PROCESSES.len() * PROCESS_SUFFIXES.len();
+    assert!(count <= max, "cannot compose {count} process names (max {max})");
+    let mut out = Vec::with_capacity(count);
+    for suffix in PROCESS_SUFFIXES {
+        for p in BASE_PROCESSES {
+            if out.len() == count {
+                return out;
+            }
+            out.push(format!("{p}{suffix}"));
+        }
+    }
+    out
+}
+
+const BASE_UTENSILS: &[&str] = &[
+    "pot", "pan", "skillet", "saucepan", "bowl", "processor", "blender",
+    "oven", "grill-pan", "wok", "griddle", "stockpot", "roaster", "steamer",
+    "colander", "sieve", "whisk-tool", "spatula", "ladle", "tongs",
+    "knife", "board", "grater", "peeler", "masher", "mortar", "rolling-pin",
+    "sheet", "rack", "dish", "casserole", "ramekin", "mold", "tin",
+    "thermometer", "scale", "mixer", "juicer", "press-tool", "skewer",
+    "foil", "parchment", "twine", "mandoline", "zester",
+];
+
+const UTENSIL_SIZES: &[&str] = &["", "large ", "small "];
+
+fn compose_utensils(count: usize) -> Vec<String> {
+    let max = BASE_UTENSILS.len() * UTENSIL_SIZES.len();
+    assert!(count <= max, "cannot compose {count} utensil names (max {max})");
+    let mut out = Vec::with_capacity(count);
+    for size in UTENSIL_SIZES {
+        for u in BASE_UTENSILS {
+            if out.len() == count {
+                return out;
+            }
+            out.push(format!("{size}{u}"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_table_builds() {
+        let t = EntityTable::synthesize(20_280, 256, 69);
+        assert_eq!(t.len(), 20_605);
+        assert_eq!(t.num_ingredients(), 20_280);
+        assert_eq!(t.num_processes(), 256);
+        assert_eq!(t.num_utensils(), 69);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let t = EntityTable::synthesize(5_000, 256, 69);
+        assert_eq!(t.by_name.len(), t.len(), "duplicate names synthesised");
+    }
+
+    #[test]
+    fn kind_ranges_are_contiguous() {
+        let t = EntityTable::synthesize(100, 20, 10);
+        assert_eq!(t.kind(EntityId(0)), EntityKind::Ingredient);
+        assert_eq!(t.kind(EntityId(99)), EntityKind::Ingredient);
+        assert_eq!(t.kind(EntityId(100)), EntityKind::Process);
+        assert_eq!(t.kind(EntityId(119)), EntityKind::Process);
+        assert_eq!(t.kind(EntityId(120)), EntityKind::Utensil);
+        assert_eq!(t.kind(EntityId(129)), EntityKind::Utensil);
+    }
+
+    #[test]
+    fn head_entities_have_simple_names() {
+        let t = EntityTable::synthesize(1_000, 64, 45);
+        // The first ingredient ids are bare base foods.
+        assert_eq!(t.name(EntityId(0)), "onion");
+        // The first process is 'add' — the paper's most frequent token.
+        let first_process = t.ids_of_kind(EntityKind::Process).start;
+        assert_eq!(t.name(EntityId(first_process)), "add");
+    }
+
+    #[test]
+    fn find_roundtrips() {
+        let t = EntityTable::synthesize(500, 64, 45);
+        let id = t.find("garlic").expect("garlic exists");
+        assert_eq!(t.name(id), "garlic");
+        assert_eq!(t.kind(id), EntityKind::Ingredient);
+        assert!(t.find("not a real entity").is_none());
+    }
+
+    #[test]
+    fn ids_of_kind_cover_table() {
+        let t = EntityTable::synthesize(200, 30, 15);
+        let total: usize = [EntityKind::Ingredient, EntityKind::Process, EntityKind::Utensil]
+            .iter()
+            .map(|&k| t.ids_of_kind(k).len())
+            .sum();
+        assert_eq!(total, t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot compose")]
+    fn impossible_count_panics() {
+        let _ = EntityTable::synthesize(10, 10_000, 10);
+    }
+}

@@ -1,0 +1,149 @@
+//! JSONL persistence for recipe corpora.
+//!
+//! One JSON object per line, mirroring how the paper's artifact repository
+//! distributes its processed dataset. Only recipes are serialized; the
+//! entity table is deterministic (see
+//! [`EntityTable::synthesize`](crate::EntityTable::synthesize)) and is
+//! reconstructed on load from the header line.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, Recipe};
+use crate::entities::EntityTable;
+
+/// First line of a JSONL corpus file: the vocabulary shape needed to
+/// rebuild the [`EntityTable`].
+#[derive(Debug, Serialize, Deserialize, PartialEq, Eq)]
+struct Header {
+    format: String,
+    ingredients: usize,
+    processes: usize,
+    utensils: usize,
+    recipes: usize,
+}
+
+const FORMAT: &str = "recipedb-jsonl-v1";
+
+/// Writes a dataset as JSONL: a header line followed by one recipe per line.
+pub fn write_jsonl(dataset: &Dataset, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let header = Header {
+        format: FORMAT.to_string(),
+        ingredients: dataset.table.num_ingredients(),
+        processes: dataset.table.num_processes(),
+        utensils: dataset.table.num_utensils(),
+        recipes: dataset.recipes.len(),
+    };
+    serde_json::to_writer(&mut w, &header)?;
+    w.write_all(b"\n")?;
+    for recipe in &dataset.recipes {
+        serde_json::to_writer(&mut w, recipe)?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Reads a dataset previously written by [`write_jsonl`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a missing/garbled header, a format-version
+/// mismatch, or a recipe count that disagrees with the header.
+pub fn read_jsonl(path: &Path) -> io::Result<Dataset> {
+    let mut lines = BufReader::new(File::open(path)?).lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty corpus file"))??;
+    let header: Header = serde_json::from_str(&header_line)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad header: {e}")))?;
+    if header.format != FORMAT {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported corpus format {:?}", header.format),
+        ));
+    }
+
+    let table = EntityTable::synthesize(header.ingredients, header.processes, header.utensils);
+    let mut recipes = Vec::with_capacity(header.recipes);
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let recipe: Recipe = serde_json::from_str(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad recipe: {e}")))?;
+        recipes.push(recipe);
+    }
+    if recipes.len() != header.recipes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("header promised {} recipes, found {}", header.recipes, recipes.len()),
+        ));
+    }
+    Ok(Dataset { table, recipes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::RecipeId;
+    use crate::entities::EntityId;
+    use crate::taxonomy::CuisineId;
+
+    fn sample() -> Dataset {
+        let table = EntityTable::synthesize(50, 10, 5);
+        let recipes = vec![
+            Recipe {
+                id: RecipeId(0),
+                cuisine: CuisineId(12),
+                tokens: vec![EntityId(3), EntityId(50), EntityId(60)],
+            },
+            Recipe { id: RecipeId(1), cuisine: CuisineId(0), tokens: vec![EntityId(7)] },
+        ];
+        Dataset { table, recipes }
+    }
+
+    #[test]
+    fn roundtrip_preserves_recipes() {
+        let dir = std::env::temp_dir().join("recipedb_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        let d = sample();
+        write_jsonl(&d, &path).unwrap();
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back.recipes, d.recipes);
+        assert_eq!(back.table.len(), d.table.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir().join("recipedb_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.jsonl");
+        std::fs::write(&path, "not json\n").unwrap();
+        let err = read_jsonl(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_truncated_corpus() {
+        let dir = std::env::temp_dir().join("recipedb_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.jsonl");
+        let d = sample();
+        write_jsonl(&d, &path).unwrap();
+        // drop the last line
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let truncated: Vec<&str> = contents.lines().collect();
+        std::fs::write(&path, truncated[..truncated.len() - 1].join("\n")).unwrap();
+        let err = read_jsonl(&path).unwrap_err();
+        assert!(err.to_string().contains("promised"), "got: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests over the dataset substrate.
+
+use proptest::prelude::*;
+
+use crate::{
+    generate, train_val_test_split, DatasetStats, EntityTable, FrequencyPlan,
+    GeneratorConfig, CuisineId,
+};
+
+proptest! {
+    // generation is expensive; keep the case count low
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generator_is_deterministic_per_seed(seed in 0u64..500) {
+        let config = GeneratorConfig { seed, scale: 0.002, ..Default::default() };
+        let a = generate(&config);
+        let b = generate(&config);
+        prop_assert_eq!(a.recipes, b.recipes);
+    }
+
+    #[test]
+    fn every_recipe_has_tokens_and_valid_labels(seed in 0u64..500) {
+        let config = GeneratorConfig { seed, scale: 0.002, ..Default::default() };
+        let d = generate(&config);
+        for r in &d.recipes {
+            prop_assert!(!r.tokens.is_empty());
+            prop_assert!(r.cuisine.index() < 26);
+            for &t in &r.tokens {
+                prop_assert!(t.index() < d.table.len());
+            }
+        }
+    }
+
+    #[test]
+    fn split_parts_partition_any_seed(gen_seed in 0u64..100, split_seed in 0u64..100) {
+        let config = GeneratorConfig { seed: gen_seed, scale: 0.002, ..Default::default() };
+        let d = generate(&config);
+        let s = train_val_test_split(&d, split_seed);
+        prop_assert_eq!(s.len(), d.len());
+        let mut all: Vec<usize> =
+            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), d.len());
+    }
+
+    #[test]
+    fn stats_token_accounting_balances(seed in 0u64..500) {
+        let config = GeneratorConfig { seed, scale: 0.002, ..Default::default() };
+        let d = generate(&config);
+        let stats = DatasetStats::compute(&d);
+        let freq_sum: u64 = stats.frequencies.values().sum();
+        prop_assert_eq!(freq_sum, stats.total_tokens);
+        let by_kind = stats.mass_by_kind(&d);
+        prop_assert_eq!(by_kind.0 + by_kind.1 + by_kind.2, stats.total_tokens);
+    }
+}
+
+proptest! {
+    #[test]
+    fn plan_is_monotone_at_any_scale(scale in 0.01f64..1.0) {
+        let table = EntityTable::synthesize(3_000, 128, 45);
+        let plan = FrequencyPlan::scaled(&table, scale);
+        let freqs: Vec<u64> = plan.by_rank().iter().map(|&id| plan.target(id)).collect();
+        for w in freqs.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn cuisine_ids_roundtrip(idx in 0u8..26) {
+        let id = CuisineId(idx);
+        prop_assert_eq!(id.index(), idx as usize);
+        prop_assert!(!id.name().is_empty());
+    }
+}

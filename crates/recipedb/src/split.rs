@@ -1,0 +1,150 @@
+//! Stratified train/validation/test splitting.
+//!
+//! The paper divides RecipeDB 7:1:2 into train/validation/test. We stratify
+//! by cuisine so every class keeps the same proportions in each part —
+//! important because the class sizes span 460 (Central American) to 16,582
+//! (Italian).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::taxonomy::CuisineId;
+
+/// Index-based view of a dataset split. Indices refer to
+/// `Dataset::recipes` positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training indices (~70%).
+    pub train: Vec<usize>,
+    /// Validation indices (~10%).
+    pub val: Vec<usize>,
+    /// Test indices (~20%).
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// Total number of indices across all three parts.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// Whether the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Stratified 7:1:2 split, deterministic per seed.
+///
+/// Within each cuisine the recipes are shuffled and divided 70/10/20 (with
+/// remainders going to train). Classes with fewer than 10 recipes still
+/// contribute at least one test example when they have ≥2 recipes.
+pub fn train_val_test_split(dataset: &Dataset, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut split = Split { train: Vec::new(), val: Vec::new(), test: Vec::new() };
+
+    for cuisine in CuisineId::all() {
+        let mut idx: Vec<usize> = dataset
+            .recipes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.cuisine == cuisine)
+            .map(|(i, _)| i)
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        idx.shuffle(&mut rng);
+
+        let n = idx.len();
+        let n_test = ((n as f64 * 0.2).round() as usize).clamp(usize::from(n >= 2), n);
+        let n_val = ((n as f64 * 0.1).round() as usize).min(n - n_test);
+
+        split.test.extend(&idx[..n_test]);
+        split.val.extend(&idx[n_test..n_test + n_val]);
+        split.train.extend(&idx[n_test + n_val..]);
+    }
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Recipe, RecipeId};
+    use crate::entities::{EntityId, EntityTable};
+
+    fn dataset_with_counts(counts: &[(u8, usize)]) -> Dataset {
+        let table = EntityTable::synthesize(10, 5, 3);
+        let mut recipes = Vec::new();
+        let mut id = 0u32;
+        for &(cuisine, n) in counts {
+            for _ in 0..n {
+                recipes.push(Recipe {
+                    id: RecipeId(id),
+                    cuisine: CuisineId(cuisine),
+                    tokens: vec![EntityId(0)],
+                });
+                id += 1;
+            }
+        }
+        Dataset { table, recipes }
+    }
+
+    #[test]
+    fn parts_are_disjoint_and_cover() {
+        let d = dataset_with_counts(&[(0, 100), (1, 50), (2, 10)]);
+        let s = train_val_test_split(&d, 42);
+        assert_eq!(s.len(), 160);
+        let mut all: Vec<usize> =
+            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 160, "overlapping split parts");
+    }
+
+    #[test]
+    fn ratios_approximate_7_1_2() {
+        let d = dataset_with_counts(&[(0, 1000)]);
+        let s = train_val_test_split(&d, 1);
+        assert_eq!(s.test.len(), 200);
+        assert_eq!(s.val.len(), 100);
+        assert_eq!(s.train.len(), 700);
+    }
+
+    #[test]
+    fn stratification_preserves_class_ratio() {
+        let d = dataset_with_counts(&[(0, 900), (1, 100)]);
+        let s = train_val_test_split(&d, 7);
+        let class1_in_test =
+            s.test.iter().filter(|&&i| d.recipes[i].cuisine == CuisineId(1)).count();
+        assert_eq!(class1_in_test, 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = dataset_with_counts(&[(0, 50), (5, 50)]);
+        let a = train_val_test_split(&d, 3);
+        let b = train_val_test_split(&d, 3);
+        assert_eq!(a, b);
+        let c = train_val_test_split(&d, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tiny_class_keeps_a_test_example() {
+        let d = dataset_with_counts(&[(0, 3)]);
+        let s = train_val_test_split(&d, 0);
+        assert!(!s.test.is_empty());
+        assert!(!s.train.is_empty());
+    }
+
+    #[test]
+    fn single_recipe_class_goes_to_train() {
+        let d = dataset_with_counts(&[(0, 1)]);
+        let s = train_val_test_split(&d, 0);
+        assert_eq!(s.train.len(), 1);
+        assert!(s.test.is_empty());
+    }
+}

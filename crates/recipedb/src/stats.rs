@@ -1,0 +1,277 @@
+//! Dataset statistics: everything needed to regenerate the paper's Tables
+//! II and III and its feature-frequency figures.
+
+use std::collections::HashMap;
+
+use crate::dataset::Dataset;
+use crate::entities::{EntityId, EntityKind};
+use crate::taxonomy::{CuisineId, NUM_CUISINES};
+
+/// One row of a cumulative frequency spectrum: `count` features sit on the
+/// given side of `bound`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpectrumRow {
+    /// The frequency bound.
+    pub bound: u64,
+    /// Number of features beyond the bound.
+    pub count: usize,
+}
+
+/// The paper's Table III high-frequency rows (`count` features occur more
+/// than `bound` times).
+pub const PAPER_TABLE3_HIGH: [SpectrumRow; 10] = [
+    SpectrumRow { bound: 1_000, count: 304 },
+    SpectrumRow { bound: 5_000, count: 106 },
+    SpectrumRow { bound: 10_000, count: 57 },
+    SpectrumRow { bound: 15_000, count: 43 },
+    SpectrumRow { bound: 20_000, count: 34 },
+    SpectrumRow { bound: 25_000, count: 24 },
+    SpectrumRow { bound: 30_000, count: 19 },
+    SpectrumRow { bound: 35_000, count: 17 },
+    SpectrumRow { bound: 40_000, count: 13 },
+    SpectrumRow { bound: 45_000, count: 12 },
+];
+
+/// The paper's Table III low-frequency rows (`count` features occur fewer
+/// than `bound` times, among features that occur at all).
+pub const PAPER_TABLE3_LOW: [SpectrumRow; 10] = [
+    SpectrumRow { bound: 2, count: 11_738 },
+    SpectrumRow { bound: 3, count: 14_015 },
+    SpectrumRow { bound: 4, count: 15_002 },
+    SpectrumRow { bound: 5, count: 15_620 },
+    SpectrumRow { bound: 6, count: 16_073 },
+    SpectrumRow { bound: 7, count: 16_394 },
+    SpectrumRow { bound: 8, count: 16_627 },
+    SpectrumRow { bound: 10, count: 17_016 },
+    SpectrumRow { bound: 15, count: 17_314 },
+    SpectrumRow { bound: 20, count: 17_519 },
+];
+
+/// Aggregate statistics of a generated corpus.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Recipes per cuisine (Table II).
+    pub per_cuisine: [usize; NUM_CUISINES],
+    /// Corpus frequency of every entity id.
+    pub frequencies: HashMap<EntityId, u64>,
+    /// Total token count.
+    pub total_tokens: u64,
+    /// Number of distinct entities that occur at least once.
+    pub distinct_features: usize,
+    /// Mean recipe length in tokens.
+    pub mean_recipe_length: f64,
+    /// Document-term sparsity ratio: 1 − (mean distinct entities per recipe
+    /// / distinct features). The paper reports 99.50%.
+    pub sparsity: f64,
+}
+
+impl DatasetStats {
+    /// Computes all statistics in one pass over the corpus.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let mut per_cuisine = [0usize; NUM_CUISINES];
+        let mut frequencies: HashMap<EntityId, u64> = HashMap::new();
+        let mut total_tokens = 0u64;
+        let mut distinct_per_recipe_sum = 0usize;
+
+        let mut seen = Vec::new();
+        for recipe in &dataset.recipes {
+            per_cuisine[recipe.cuisine.index()] += 1;
+            total_tokens += recipe.tokens.len() as u64;
+            seen.clear();
+            for &t in &recipe.tokens {
+                *frequencies.entry(t).or_insert(0) += 1;
+                if !seen.contains(&t) {
+                    seen.push(t);
+                }
+            }
+            distinct_per_recipe_sum += seen.len();
+        }
+
+        let distinct_features = frequencies.len();
+        let n = dataset.recipes.len().max(1);
+        let mean_distinct = distinct_per_recipe_sum as f64 / n as f64;
+        let sparsity = if distinct_features == 0 {
+            0.0
+        } else {
+            1.0 - mean_distinct / distinct_features as f64
+        };
+
+        Self {
+            per_cuisine,
+            frequencies,
+            total_tokens,
+            distinct_features,
+            mean_recipe_length: total_tokens as f64 / n as f64,
+            sparsity,
+        }
+    }
+
+    /// Number of features occurring strictly more than `bound` times.
+    pub fn features_above(&self, bound: u64) -> usize {
+        self.frequencies.values().filter(|&&f| f > bound).count()
+    }
+
+    /// Number of features occurring strictly fewer than `bound` times
+    /// (among features that occur at all).
+    pub fn features_below(&self, bound: u64) -> usize {
+        self.frequencies.values().filter(|&&f| f < bound).count()
+    }
+
+    /// The `k` most frequent entities with their counts, descending.
+    pub fn top_features(&self, k: usize) -> Vec<(EntityId, u64)> {
+        let mut v: Vec<(EntityId, u64)> =
+            self.frequencies.iter().map(|(&id, &f)| (id, f)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Corpus frequency per kind: `(ingredients, processes, utensils)`.
+    pub fn mass_by_kind(&self, dataset: &Dataset) -> (u64, u64, u64) {
+        let mut m = (0u64, 0u64, 0u64);
+        for (&id, &f) in &self.frequencies {
+            match dataset.table.kind(id) {
+                EntityKind::Ingredient => m.0 += f,
+                EntityKind::Process => m.1 += f,
+                EntityKind::Utensil => m.2 += f,
+            }
+        }
+        m
+    }
+
+    /// Recipes in a specific cuisine.
+    pub fn cuisine_count(&self, cuisine: CuisineId) -> usize {
+        self.per_cuisine[cuisine.index()]
+    }
+}
+
+/// Histogram of recipe lengths in fixed-width buckets:
+/// `(bucket_start, count)` pairs covering every recipe.
+pub fn length_histogram(dataset: &Dataset, bucket_width: usize) -> Vec<(usize, usize)> {
+    assert!(bucket_width > 0, "bucket width must be positive");
+    let mut buckets: Vec<usize> = Vec::new();
+    for r in &dataset.recipes {
+        let b = r.tokens.len() / bucket_width;
+        if buckets.len() <= b {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (i * bucket_width, c))
+        .collect()
+}
+
+/// Cumulative spectrum of a frequency map at the paper's Table III bounds:
+/// `(high_rows, low_rows)` matching the layout of [`PAPER_TABLE3_HIGH`] and
+/// [`PAPER_TABLE3_LOW`].
+pub fn cumulative_spectrum(stats: &DatasetStats) -> (Vec<SpectrumRow>, Vec<SpectrumRow>) {
+    let high = PAPER_TABLE3_HIGH
+        .iter()
+        .map(|row| SpectrumRow { bound: row.bound, count: stats.features_above(row.bound) })
+        .collect();
+    let low = PAPER_TABLE3_LOW
+        .iter()
+        .map(|row| SpectrumRow { bound: row.bound, count: stats.features_below(row.bound) })
+        .collect();
+    (high, low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Recipe, RecipeId};
+    use crate::entities::{EntityId, EntityTable};
+
+    fn make(recipes: Vec<Vec<u32>>) -> Dataset {
+        let table = EntityTable::synthesize(20, 5, 3);
+        let recipes = recipes
+            .into_iter()
+            .enumerate()
+            .map(|(i, toks)| Recipe {
+                id: RecipeId(i as u32),
+                cuisine: CuisineId((i % 3) as u8),
+                tokens: toks.into_iter().map(EntityId).collect(),
+            })
+            .collect();
+        Dataset { table, recipes }
+    }
+
+    #[test]
+    fn frequencies_counted() {
+        let d = make(vec![vec![0, 0, 1], vec![1, 2]]);
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.frequencies[&EntityId(0)], 2);
+        assert_eq!(s.frequencies[&EntityId(1)], 2);
+        assert_eq!(s.frequencies[&EntityId(2)], 1);
+        assert_eq!(s.total_tokens, 5);
+        assert_eq!(s.distinct_features, 3);
+    }
+
+    #[test]
+    fn spectrum_bounds() {
+        let d = make(vec![vec![0, 0, 0, 1], vec![0, 1, 2]]);
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.features_above(1), 2); // 0 (4x) and 1 (2x)
+        assert_eq!(s.features_above(3), 1); // just 0
+        assert_eq!(s.features_below(2), 1); // just 2 (1x)
+    }
+
+    #[test]
+    fn top_features_ordered() {
+        let d = make(vec![vec![5, 5, 5, 7, 7, 9]]);
+        let s = DatasetStats::compute(&d);
+        let top = s.top_features(2);
+        assert_eq!(top[0], (EntityId(5), 3));
+        assert_eq!(top[1], (EntityId(7), 2));
+    }
+
+    #[test]
+    fn per_cuisine_counts() {
+        let d = make(vec![vec![0], vec![1], vec![2], vec![3]]);
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.cuisine_count(CuisineId(0)), 2);
+        assert_eq!(s.cuisine_count(CuisineId(1)), 1);
+    }
+
+    #[test]
+    fn sparsity_increases_with_vocab() {
+        // one recipe using 2 of 3 occurring features → sparsity 1 - 2/3
+        let d = make(vec![vec![0, 1], vec![2]]);
+        let s = DatasetStats::compute(&d);
+        let mean_distinct = (2.0 + 1.0) / 2.0;
+        assert!((s.sparsity - (1.0 - mean_distinct / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_histogram_counts_every_recipe() {
+        let d = make(vec![vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3, 4]]);
+        let hist = length_histogram(&d, 2);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 4);
+        // lengths 1, 2, 3, 5 with width 2 → buckets 0, 1, 1, 2
+        assert_eq!(hist[0], (0, 1));
+        assert_eq!(hist[1], (2, 2));
+        assert_eq!(hist[2], (4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_width_panics() {
+        let d = make(vec![vec![0]]);
+        let _ = length_histogram(&d, 0);
+    }
+
+    #[test]
+    fn paper_constants_are_consistent() {
+        // high rows must be decreasing in count, low rows increasing
+        for w in PAPER_TABLE3_HIGH.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+        for w in PAPER_TABLE3_LOW.windows(2) {
+            assert!(w[0].count <= w[1].count);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The 26-cuisine, 6-continent taxonomy of RecipeDB with the exact recipe
+//! counts published in the paper's Table II.
+
+use serde::{Deserialize, Serialize};
+
+/// Continental region a cuisine belongs to (the `Continent` column of
+/// RecipeDB, visible in the paper's Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Continent {
+    /// Middle Eastern and African cuisines (RecipeDB files both under
+    /// "African", as Table I's Middle Eastern row shows).
+    African,
+    /// East, South and Southeast Asian cuisines.
+    Asian,
+    /// European cuisines.
+    European,
+    /// Central/South American, Mexican and Caribbean cuisines.
+    LatinAmerican,
+    /// US and Canadian cuisines.
+    NorthAmerican,
+    /// Australian cuisine.
+    Oceanic,
+}
+
+impl Continent {
+    /// Human-readable name matching RecipeDB's column values.
+    pub fn name(self) -> &'static str {
+        match self {
+            Continent::African => "African",
+            Continent::Asian => "Asian",
+            Continent::European => "European",
+            Continent::LatinAmerican => "Latin American",
+            Continent::NorthAmerican => "North American",
+            Continent::Oceanic => "Oceanic",
+        }
+    }
+
+    /// All continents in declaration order.
+    pub fn all() -> [Continent; 6] {
+        [
+            Continent::African,
+            Continent::Asian,
+            Continent::European,
+            Continent::LatinAmerican,
+            Continent::NorthAmerican,
+            Continent::Oceanic,
+        ]
+    }
+}
+
+/// Index into [`CUISINES`]; the class label of the classification task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CuisineId(pub u8);
+
+impl CuisineId {
+    /// The cuisine's static metadata.
+    pub fn info(self) -> &'static CuisineInfo {
+        &CUISINES[self.0 as usize]
+    }
+
+    /// Cuisine name as printed in Table II.
+    pub fn name(self) -> &'static str {
+        self.info().name
+    }
+
+    /// Class index as `usize` (for metrics and one-hot targets).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all 26 cuisine ids.
+    pub fn all() -> impl Iterator<Item = CuisineId> {
+        (0..NUM_CUISINES as u8).map(CuisineId)
+    }
+}
+
+/// Static description of one cuisine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CuisineInfo {
+    /// Name exactly as in Table II.
+    pub name: &'static str,
+    /// Continental region.
+    pub continent: Continent,
+    /// Recipe count published in Table II.
+    pub paper_count: u32,
+}
+
+/// Number of cuisine classes.
+pub const NUM_CUISINES: usize = 26;
+
+/// The paper's Table II, verbatim.
+///
+/// Note: these counts sum to 118,171 while the paper's prose says 118,071
+/// recipes and quotes split sizes summing to 118,051 — the source tables are
+/// internally inconsistent by ~0.1%. We treat Table II as ground truth.
+pub const CUISINES: [CuisineInfo; NUM_CUISINES] = [
+    CuisineInfo { name: "Australian", continent: Continent::Oceanic, paper_count: 5823 },
+    CuisineInfo { name: "Belgian", continent: Continent::European, paper_count: 1060 },
+    CuisineInfo { name: "Canadian", continent: Continent::NorthAmerican, paper_count: 6700 },
+    CuisineInfo { name: "Caribbean", continent: Continent::LatinAmerican, paper_count: 3026 },
+    CuisineInfo { name: "Central American", continent: Continent::LatinAmerican, paper_count: 460 },
+    CuisineInfo { name: "Chinese and Mongolian", continent: Continent::Asian, paper_count: 5896 },
+    CuisineInfo { name: "Deutschland", continent: Continent::European, paper_count: 4323 },
+    CuisineInfo { name: "Eastern European", continent: Continent::European, paper_count: 2503 },
+    CuisineInfo { name: "French", continent: Continent::European, paper_count: 6381 },
+    CuisineInfo { name: "Greek", continent: Continent::European, paper_count: 4185 },
+    CuisineInfo { name: "Indian Subcontinent", continent: Continent::Asian, paper_count: 6464 },
+    CuisineInfo { name: "Irish", continent: Continent::European, paper_count: 2532 },
+    CuisineInfo { name: "Italian", continent: Continent::European, paper_count: 16582 },
+    CuisineInfo { name: "Japanese", continent: Continent::Asian, paper_count: 2041 },
+    CuisineInfo { name: "Korean", continent: Continent::Asian, paper_count: 668 },
+    CuisineInfo { name: "Mexican", continent: Continent::LatinAmerican, paper_count: 14463 },
+    CuisineInfo { name: "Middle Eastern", continent: Continent::African, paper_count: 3905 },
+    CuisineInfo { name: "Northern Africa", continent: Continent::African, paper_count: 1611 },
+    CuisineInfo { name: "Rest Africa", continent: Continent::African, paper_count: 2740 },
+    CuisineInfo { name: "Scandinavian", continent: Continent::European, paper_count: 2811 },
+    CuisineInfo { name: "South American", continent: Continent::LatinAmerican, paper_count: 7176 },
+    CuisineInfo { name: "Southeast Asian", continent: Continent::Asian, paper_count: 1940 },
+    CuisineInfo { name: "Spanish and Portuguese", continent: Continent::European, paper_count: 2844 },
+    CuisineInfo { name: "Thai", continent: Continent::Asian, paper_count: 2605 },
+    CuisineInfo { name: "UK", continent: Continent::European, paper_count: 4401 },
+    CuisineInfo { name: "US", continent: Continent::NorthAmerican, paper_count: 5031 },
+];
+
+/// Sum of the Table II counts (the generated corpus size at paper scale).
+pub fn paper_total_recipes() -> u32 {
+    CUISINES.iter().map(|c| c.paper_count).sum()
+}
+
+/// Cuisines sharing a continent with `cuisine`, excluding itself — the
+/// "sibling" set used to plant confusable signal.
+pub fn siblings(cuisine: CuisineId) -> Vec<CuisineId> {
+    let continent = cuisine.info().continent;
+    CuisineId::all()
+        .filter(|&c| c != cuisine && c.info().continent == continent)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_six_cuisines() {
+        assert_eq!(CUISINES.len(), 26);
+        assert_eq!(CuisineId::all().count(), 26);
+    }
+
+    #[test]
+    fn counts_match_paper_table2_sum() {
+        // Table II sums to 118,171 (see the doc comment for the known
+        // inconsistency with the prose's 118,071).
+        assert_eq!(paper_total_recipes(), 118_171);
+    }
+
+    #[test]
+    fn specific_counts_spot_checked() {
+        let by_name = |n: &str| {
+            CUISINES.iter().find(|c| c.name == n).expect("cuisine present").paper_count
+        };
+        assert_eq!(by_name("Italian"), 16_582);
+        assert_eq!(by_name("Mexican"), 14_463);
+        assert_eq!(by_name("Central American"), 460);
+        assert_eq!(by_name("Korean"), 668);
+    }
+
+    #[test]
+    fn every_continent_is_populated() {
+        for cont in Continent::all() {
+            assert!(
+                CUISINES.iter().any(|c| c.continent == cont),
+                "continent {cont:?} has no cuisines"
+            );
+        }
+    }
+
+    #[test]
+    fn siblings_share_continent_and_exclude_self() {
+        let italian = CuisineId::all().find(|c| c.name() == "Italian").unwrap();
+        let sibs = siblings(italian);
+        assert!(!sibs.contains(&italian));
+        assert!(sibs.iter().all(|s| s.info().continent == Continent::European));
+        // 10 European cuisines total → 9 siblings
+        assert_eq!(sibs.len(), 9);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = CUISINES.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_CUISINES);
+    }
+}

@@ -1,0 +1,374 @@
+//! Corpus frequency calibration: a target frequency for every entity such
+//! that the generated corpus reproduces the paper's Table III spectrum.
+//!
+//! Table III gives two cumulative views of the RecipeDB vocabulary:
+//!
+//! * the head — 304 features above 1,000 occurrences, thinning to 12 above
+//!   45,000, with the top process `add` at 188,004 occurrences;
+//! * the tail — 11,738 features occurring exactly once, 17,519 below 20.
+//!
+//! [`FrequencyPlan`] assigns each entity id a target frequency honouring
+//! those anchors: the tail bucket sizes are reproduced *exactly* (the
+//! generator injects tail entities by quota), while head frequencies follow
+//! a log-linear interpolation through the published anchor ranks (the
+//! generator samples head entities with probability proportional to their
+//! target, so realized counts concentrate around it).
+
+use crate::entities::{EntityId, EntityKind, EntityTable};
+
+/// Unique ingredients in RecipeDB per the paper's §III.
+pub const PLAN_TOTAL_INGREDIENTS: usize = 20_280;
+/// Unique cooking processes in RecipeDB per the paper's §III.
+pub const PLAN_TOTAL_PROCESSES: usize = 256;
+/// Unique utensils in RecipeDB per the paper's §III.
+pub const PLAN_TOTAL_UTENSILS: usize = 69;
+
+/// Occurrences of the most frequent feature (`add`), per the paper's §III.
+pub const TOP_FREQUENCY: u64 = 188_004;
+
+/// Head anchors from Table III as `(rank_bound, frequency_bound)`: exactly
+/// `rank_bound` features have frequency strictly above `frequency_bound`.
+const HEAD_ANCHORS: [(usize, u64); 10] = [
+    (12, 45_000),
+    (13, 40_000),
+    (17, 35_000),
+    (19, 30_000),
+    (24, 25_000),
+    (34, 20_000),
+    (43, 15_000),
+    (57, 10_000),
+    (106, 5_000),
+    (304, 1_000),
+];
+
+/// Tail buckets from Table III as `(frequency, number_of_features)`.
+/// The `<8 … <20` cumulative rows are split into per-frequency counts with a
+/// decreasing profile.
+const TAIL_BUCKETS: [(u64, usize); 19] = [
+    (1, 11_738),
+    (2, 2_277),
+    (3, 987),
+    (4, 618),
+    (5, 453),
+    (6, 321),
+    (7, 233),
+    (8, 220),
+    (9, 169),
+    (10, 80),
+    (11, 70),
+    (12, 60),
+    (13, 50),
+    (14, 38),
+    (15, 55),
+    (16, 48),
+    (17, 40),
+    (18, 33),
+    (19, 29),
+];
+
+/// Number of entities the tail buckets account for (17,519 — Table III's
+/// `<20` row).
+pub fn tail_entity_count() -> usize {
+    TAIL_BUCKETS.iter().map(|&(_, n)| n).sum()
+}
+
+/// A target corpus frequency for every entity in an [`EntityTable`].
+#[derive(Debug, Clone)]
+pub struct FrequencyPlan {
+    targets: Vec<u64>,
+    by_rank: Vec<EntityId>,
+    scale: f64,
+    head_count: usize,
+}
+
+impl FrequencyPlan {
+    /// Calibrates a plan at full paper scale (118k recipes, 2.8M tokens).
+    pub fn paper(table: &EntityTable) -> Self {
+        Self::scaled(table, 1.0)
+    }
+
+    /// Calibrates a plan whose token mass is `scale` times the paper's.
+    /// Tail quotas round down (rare entities vanish first, exactly as a
+    /// subsampled corpus would behave).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn scaled(table: &EntityTable, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+
+        let ranked = rank_entities(table);
+        let tail_count = tail_entity_count().min(ranked.len().saturating_sub(HEAD_ANCHORS[9].0));
+        let head_count = ranked.len() - tail_count;
+
+        let mut targets = vec![0u64; table.len()];
+        for (rank, &id) in ranked.iter().enumerate() {
+            let full = if rank < head_count {
+                head_frequency(rank, head_count)
+            } else {
+                tail_frequency(rank - head_count)
+            };
+            let scaled = (full as f64 * scale).round() as u64;
+            targets[id.index()] = scaled;
+        }
+        Self { targets, by_rank: ranked, scale, head_count }
+    }
+
+    /// Target corpus frequency for an entity (possibly 0 at small scales).
+    pub fn target(&self, id: EntityId) -> u64 {
+        self.targets[id.index()]
+    }
+
+    /// Scale factor the plan was built with.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Entities ordered from most to least frequent.
+    pub fn by_rank(&self) -> &[EntityId] {
+        &self.by_rank
+    }
+
+    /// Sum of all target frequencies — the planned corpus token mass.
+    pub fn total_tokens(&self) -> u64 {
+        self.targets.iter().sum()
+    }
+
+    /// Planned token mass contributed by one entity kind.
+    pub fn kind_mass(&self, table: &EntityTable, kind: EntityKind) -> u64 {
+        table.ids_of_kind(kind).map(|i| self.targets[i as usize]).sum()
+    }
+
+    /// The `k` highest-target entities of a kind, most frequent first.
+    pub fn head_of_kind(&self, table: &EntityTable, kind: EntityKind, k: usize) -> Vec<EntityId> {
+        self.by_rank
+            .iter()
+            .copied()
+            .filter(|&id| table.kind(id) == kind)
+            .take(k)
+            .collect()
+    }
+
+    /// Entities whose planned frequency is below 20 — the quota-injected
+    /// tail — as `(entity, quota)` pairs, skipping zero quotas.
+    pub fn tail_quotas(&self) -> Vec<(EntityId, u64)> {
+        self.by_rank[self.head_count..]
+            .iter()
+            .map(|&id| (id, self.targets[id.index()]))
+            .filter(|&(_, q)| q > 0)
+            .collect()
+    }
+
+    /// Number of entities whose target lies in the head (sampled, not
+    /// quota-injected).
+    pub fn head_count(&self) -> usize {
+        self.head_count
+    }
+}
+
+/// Interleaves kinds into a global frequency ranking.
+///
+/// Real RecipeDB's extreme head is dominated by processes (`add`, `stir`,
+/// `heat` occur in nearly every recipe) with staple ingredients and the
+/// common cookware mixed in; the rare tail is exclusively compositional
+/// ingredient names. We reproduce that: rank 0 is the first process
+/// (`add`); every 3rd rank is a process and every 9th a utensil until each
+/// kind is exhausted; every other rank is an ingredient in id order.
+fn rank_entities(table: &EntityTable) -> Vec<EntityId> {
+    let mut processes = table.ids_of_kind(EntityKind::Process);
+    let mut utensils = table.ids_of_kind(EntityKind::Utensil);
+    let mut ingredients = table.ids_of_kind(EntityKind::Ingredient);
+
+    let mut out = Vec::with_capacity(table.len());
+    let mut rank = 0usize;
+    while out.len() < table.len() {
+        let pick = if rank % 3 == 0 {
+            processes.next().or_else(|| ingredients.next()).or_else(|| utensils.next())
+        } else if rank % 9 == 4 {
+            utensils.next().or_else(|| ingredients.next()).or_else(|| processes.next())
+        } else {
+            ingredients.next().or_else(|| processes.next()).or_else(|| utensils.next())
+        };
+        // One of the three iterators must still be non-empty here.
+        out.push(EntityId(pick.expect("ranking exhausted prematurely")));
+        rank += 1;
+    }
+    out
+}
+
+/// Piecewise log-linear interpolation that satisfies every head anchor *by
+/// construction*: each anchor `(n, f)` bounds a rank interval whose values
+/// must lie in `(f, f_prev]`, and we interpolate strictly inside that band.
+fn head_frequency(rank: usize, head_count: usize) -> u64 {
+    debug_assert!(rank < head_count);
+    // Segments as (start_rank, end_rank_exclusive, start_freq, end_freq):
+    // values run log-linearly from start_freq at start_rank down to
+    // end_freq at end_rank - 1, and every value stays within the anchor
+    // band because start/end are pulled 1-2% inside it.
+    let mut prev_rank = 0usize;
+    let mut prev_freq = TOP_FREQUENCY as f64;
+    for &(n, f) in &HEAD_ANCHORS {
+        let n = n.min(head_count);
+        if rank < n {
+            // Band (f, prev_freq]: interpolate from prev_freq (at prev_rank)
+            // to just above f (at n - 1).
+            let end = f as f64 * 1.01;
+            return interp_log(rank, prev_rank, n - 1, prev_freq, end);
+        }
+        prev_rank = n;
+        prev_freq = f as f64 * 0.99;
+        if n == head_count {
+            break;
+        }
+    }
+    // Final stretch below the last anchor, down to frequency 20.
+    interp_log(rank, prev_rank, head_count - 1, prev_freq, 20.0)
+}
+
+/// Log-linear interpolation of `rank` in `[r0, r1]` between `f0` and `f1`.
+fn interp_log(rank: usize, r0: usize, r1: usize, f0: f64, f1: f64) -> u64 {
+    if r1 <= r0 {
+        return f1.round() as u64;
+    }
+    let t = (rank - r0) as f64 / (r1 - r0) as f64;
+    (f0.ln() + t * (f1.ln() - f0.ln())).exp().round() as u64
+}
+
+/// Exact tail frequencies: walks the buckets from frequency 19 down to 1
+/// (tail ranks are ordered most- to least-frequent).
+fn tail_frequency(tail_rank: usize) -> u64 {
+    let mut remaining = tail_rank;
+    for &(freq, count) in TAIL_BUCKETS.iter().rev() {
+        if remaining < count {
+            return freq;
+        }
+        remaining -= count;
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_table() -> EntityTable {
+        EntityTable::synthesize(
+            PLAN_TOTAL_INGREDIENTS,
+            PLAN_TOTAL_PROCESSES,
+            PLAN_TOTAL_UTENSILS,
+        )
+    }
+
+    #[test]
+    fn tail_bucket_totals_match_table3() {
+        assert_eq!(tail_entity_count(), 17_519);
+        // cumulative spot checks against the published "<k" rows
+        let below = |k: u64| -> usize {
+            TAIL_BUCKETS.iter().filter(|&&(f, _)| f < k).map(|&(_, n)| n).sum()
+        };
+        assert_eq!(below(2), 11_738);
+        assert_eq!(below(3), 14_015);
+        assert_eq!(below(4), 15_002);
+        assert_eq!(below(5), 15_620);
+        assert_eq!(below(6), 16_073);
+        assert_eq!(below(7), 16_394);
+        assert_eq!(below(8), 16_627);
+        assert_eq!(below(10), 17_016);
+        assert_eq!(below(15), 17_314);
+        assert_eq!(below(20), 17_519);
+    }
+
+    #[test]
+    fn head_anchors_reproduced() {
+        let table = paper_table();
+        let plan = FrequencyPlan::paper(&table);
+        let mut freqs: Vec<u64> = plan.by_rank().iter().map(|&id| plan.target(id)).collect();
+        // ranking must be monotone non-increasing
+        for w in freqs.windows(2) {
+            assert!(w[0] >= w[1], "plan frequencies not sorted: {} < {}", w[0], w[1]);
+        }
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let above = |t: u64| freqs.iter().filter(|&&f| f > t).count();
+        assert_eq!(above(45_000), 12);
+        assert_eq!(above(40_000), 13);
+        assert_eq!(above(35_000), 17);
+        assert_eq!(above(30_000), 19);
+        assert_eq!(above(25_000), 24);
+        assert_eq!(above(20_000), 34);
+        assert_eq!(above(15_000), 43);
+        assert_eq!(above(10_000), 57);
+        assert_eq!(above(5_000), 106);
+        assert_eq!(above(1_000), 304);
+    }
+
+    #[test]
+    fn top_entity_is_add_at_paper_frequency() {
+        let table = paper_table();
+        let plan = FrequencyPlan::paper(&table);
+        let top = plan.by_rank()[0];
+        assert_eq!(table.name(top), "add");
+        assert_eq!(plan.target(top), TOP_FREQUENCY);
+    }
+
+    #[test]
+    fn tail_quotas_match_buckets_exactly() {
+        let table = paper_table();
+        let plan = FrequencyPlan::paper(&table);
+        let quotas = plan.tail_quotas();
+        assert_eq!(quotas.len(), 17_519);
+        let hapax = quotas.iter().filter(|&&(_, q)| q == 1).count();
+        assert_eq!(hapax, 11_738);
+    }
+
+    #[test]
+    fn total_token_mass_is_plausible() {
+        let table = paper_table();
+        let plan = FrequencyPlan::paper(&table);
+        let total = plan.total_tokens();
+        // ~24 tokens per recipe × 118k recipes → 2–4M tokens
+        assert!(
+            (1_500_000..5_000_000).contains(&total),
+            "token mass {total} outside plausible range"
+        );
+    }
+
+    #[test]
+    fn processes_and_utensils_never_in_tail() {
+        let table = paper_table();
+        let plan = FrequencyPlan::paper(&table);
+        for (id, _) in plan.tail_quotas() {
+            assert_eq!(
+                table.kind(id),
+                EntityKind::Ingredient,
+                "non-ingredient {} in tail",
+                table.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_plan_shrinks_mass_proportionally() {
+        let table = EntityTable::synthesize(2_000, 128, 45);
+        let full = FrequencyPlan::scaled(&table, 1.0);
+        let tenth = FrequencyPlan::scaled(&table, 0.1);
+        let ratio = tenth.total_tokens() as f64 / full.total_tokens() as f64;
+        assert!((0.05..0.2).contains(&ratio), "scaled ratio {ratio}");
+    }
+
+    #[test]
+    fn head_of_kind_returns_most_frequent() {
+        let table = paper_table();
+        let plan = FrequencyPlan::paper(&table);
+        let top_proc = plan.head_of_kind(&table, EntityKind::Process, 3);
+        assert_eq!(table.name(top_proc[0]), "add");
+        assert!(plan.target(top_proc[0]) >= plan.target(top_proc[1]));
+        assert!(plan.target(top_proc[1]) >= plan.target(top_proc[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn zero_scale_panics() {
+        let table = EntityTable::synthesize(100, 30, 10);
+        let _ = FrequencyPlan::scaled(&table, 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Random weight initialisation.
+//!
+//! All initialisers take an explicit RNG so every experiment in the
+//! reproduction is deterministic per seed.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Weight-initialisation schemes used by the neural models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// All zeros (biases).
+    Zeros,
+    /// Uniform in `[-a, a]`.
+    Uniform(f32),
+    /// Normal with mean 0 and the given standard deviation.
+    Normal(f32),
+    /// Xavier/Glorot uniform: `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Xavier/Glorot normal: `sigma = sqrt(2 / (fan_in + fan_out))`.
+    XavierNormal,
+}
+
+impl Initializer {
+    /// Creates an initialised `rows × cols` tensor. For the Xavier schemes
+    /// `rows` is treated as fan-in and `cols` as fan-out.
+    pub fn init(self, rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+        match self {
+            Initializer::Zeros => Tensor::zeros(rows, cols),
+            Initializer::Uniform(a) => uniform(rows, cols, a, rng),
+            Initializer::Normal(sigma) => normal(rows, cols, sigma, rng),
+            Initializer::XavierUniform => xavier_uniform(rows, cols, rng),
+            Initializer::XavierNormal => xavier_normal(rows, cols, rng),
+        }
+    }
+}
+
+fn uniform(rows: usize, cols: usize, a: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(a >= 0.0, "uniform bound must be non-negative");
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..=a)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn normal(rows: usize, cols: usize, sigma: f32, rng: &mut impl Rng) -> Tensor {
+    // Box-Muller transform; rand's `Standard` on f32 gives [0, 1).
+    let dist = rand::distributions::Uniform::new(f32::EPSILON, 1.0f32);
+    let data = (0..rows * cols)
+        .map(|_| {
+            let u1: f32 = dist.sample(rng);
+            let u2: f32 = dist.sample(rng);
+            sigma * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot uniform initialisation for a `fan_in × fan_out` matrix.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(fan_in, fan_out, a, rng)
+}
+
+/// Xavier/Glorot normal initialisation for a `fan_in × fan_out` matrix.
+pub fn xavier_normal(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let sigma = (2.0 / (fan_in + fan_out) as f32).sqrt();
+    normal(fan_in, fan_out, sigma, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Initializer::XavierUniform.init(4, 4, &mut StdRng::seed_from_u64(7));
+        let b = Initializer::XavierUniform.init(4, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = Initializer::XavierUniform.init(4, 4, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform(100, 100, &mut rng);
+        let bound = (6.0f32 / 200.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Initializer::Normal(0.5).init(200, 200, &mut rng);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zeros_initializer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Initializer::Zeros.init(3, 3, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

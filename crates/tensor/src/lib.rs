@@ -1,0 +1,31 @@
+//! Dense `f32` matrix/tensor substrate used by the autograd and neural-network
+//! crates.
+//!
+//! The paper's neural models (a 2-layer LSTM and BERT/RoBERTa-style
+//! transformer encoders) only ever need rank-2 dense math on CPU: activations
+//! are `[seq_len, hidden]` or `[batch, features]` matrices. This crate
+//! therefore provides a deliberately simple, cache-friendly 2-D [`Tensor`]
+//! in row-major layout together with the kernels those models are hot on:
+//! blocked matrix multiplication (including transposed variants that avoid
+//! materialising transposes), elementwise maps, row-wise softmax, and
+//! reductions.
+//!
+//! Design notes (following the Rust performance-book guidance):
+//! * a `Tensor` is a single heap allocation (`Vec<f32>`) plus two `usize`
+//!   dimensions — no `Rc`, no generic element type, no views with lifetimes;
+//! * hot kernels take `&mut` outputs so callers can reuse workhorse buffers;
+//! * all indexing goes through `#[inline]` accessors that bounds-check in
+//!   debug builds only where possible.
+
+mod init;
+mod matmul;
+mod ops;
+mod tensor;
+
+pub use init::{xavier_normal, xavier_uniform, Initializer};
+pub use matmul::{matmul, matmul_at_b, matmul_a_bt, matmul_into};
+pub use ops::{log_softmax_rows, softmax_rows, softmax_rows_into};
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod proptests;

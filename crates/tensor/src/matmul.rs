@@ -1,0 +1,192 @@
+//! Matrix multiplication kernels.
+//!
+//! The transformer and LSTM forward/backward passes spend almost all their
+//! time here, so three dedicated kernels are provided:
+//!
+//! * [`matmul`] — `C = A · B`
+//! * [`matmul_at_b`] — `C = Aᵀ · B` (weight gradients)
+//! * [`matmul_a_bt`] — `C = A · Bᵀ` (input gradients, attention scores)
+//!
+//! The transposed variants read the operands in their stored layout instead
+//! of materialising a transpose, which keeps the backward pass allocation-free
+//! apart from the output.
+
+use crate::Tensor;
+
+/// `C = A · B`, allocating the output.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut out);
+    out
+}
+
+/// `C = A · B` into a caller-provided output buffer (overwritten).
+///
+/// Uses the classic i-k-j loop order so the inner loop runs over contiguous
+/// rows of `B` and `C`, which lets LLVM vectorise it.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
+
+    out.fill_zero();
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let out_data = out.as_mut_slice();
+    for i in 0..m {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        let c_row = &mut out_data[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue; // embeddings & one-hots make zero rows common
+            }
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                *c += a_ip * bv;
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ · B`, reading `A` in its stored layout.
+///
+/// Shapes: `A: k × m`, `B: k × n` → `C: m × n`.
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul_at_b shared dimension mismatch: {k} vs {k2}");
+    let mut out = Tensor::zeros(m, n);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let out_data = out.as_mut_slice();
+    // C[i][j] = sum_p A[p][i] * B[p][j]; iterate p outermost so both reads
+    // stream forward through memory.
+    for p in 0..k {
+        let a_row = &a_data[p * m..(p + 1) * m];
+        let b_row = &b_data[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut out_data[i * n..(i + 1) * n];
+            for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                *c += a_pi * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `C = A · Bᵀ`, reading `B` in its stored layout.
+///
+/// Shapes: `A: m × k`, `B: n × k` → `C: m × n`. Each output element is a dot
+/// product of two contiguous rows, the ideal memory pattern.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (n, k2) = b.shape();
+    assert_eq!(k, k2, "matmul_a_bt shared dimension mismatch: {k} vs {k2}");
+    let mut out = Tensor::zeros(m, n);
+    let out_data = out.as_mut_slice();
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = &mut out_data[i * n..(i + 1) * n];
+        for (j, c) in c_row.iter_mut().enumerate() {
+            *c = dot(a_row, b.row(j));
+        }
+    }
+    out
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a23() -> Tensor {
+        Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    fn b32() -> Tensor {
+        Tensor::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]])
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let c = matmul(&a23(), &b32());
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = a23();
+        let c = matmul(&a, &Tensor::eye(3));
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let mut out = Tensor::full(2, 2, 99.0);
+        matmul_into(&a23(), &b32(), &mut out);
+        assert_eq!(out.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = a23(); // 2x3
+        let b = Tensor::from_rows(&[&[1.0, 0.5], &[2.0, -1.0]]); // 2x2
+        let expected = matmul(&a.transpose(), &b);
+        let got = matmul_at_b(&a, &b);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = a23(); // 2x3
+        let b = Tensor::from_rows(&[&[1.0, 0.0, 2.0], &[0.5, 1.0, -1.0]]); // 2x3
+        let expected = matmul(&a, &b.transpose());
+        let got = matmul_a_bt(&a, &b);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_shapes_panic() {
+        let _ = matmul(&a23(), &a23());
+    }
+
+    #[test]
+    fn matmul_with_zero_rows_skips_work() {
+        let a = Tensor::zeros(3, 4);
+        let b = Tensor::ones(4, 2);
+        let c = matmul(&a, &b);
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

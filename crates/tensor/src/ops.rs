@@ -1,0 +1,104 @@
+//! Row-wise softmax and log-softmax.
+//!
+//! Both are numerically stabilised by subtracting the per-row maximum before
+//! exponentiation, the standard trick that keeps logits of any magnitude
+//! finite.
+
+use crate::Tensor;
+
+/// Row-wise softmax, allocating the output.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    softmax_rows_in_place(&mut out);
+    out
+}
+
+/// Row-wise softmax into a caller-provided buffer.
+///
+/// # Panics
+///
+/// Panics if `out` does not match `x`'s shape.
+pub fn softmax_rows_into(x: &Tensor, out: &mut Tensor) {
+    assert_eq!(x.shape(), out.shape(), "softmax output shape mismatch");
+    out.as_mut_slice().copy_from_slice(x.as_slice());
+    softmax_rows_in_place(out);
+}
+
+fn softmax_rows_in_place(x: &mut Tensor) {
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Row-wise log-softmax, allocating the output.
+///
+/// `log_softmax(x)_i = x_i - max - log(sum_j exp(x_j - max))`.
+pub fn log_softmax_rows(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum: f32 = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+        for v in row.iter_mut() {
+            *v = *v - max - log_sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let s = softmax_rows(&x);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax_rows(&Tensor::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let b = softmax_rows(&Tensor::from_rows(&[&[101.0, 102.0, 103.0]]));
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_handles_huge_logits() {
+        let s = softmax_rows(&Tensor::from_rows(&[&[1000.0, 0.0]]));
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!(!s.has_non_finite());
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = Tensor::from_rows(&[&[0.3, -1.2, 2.0, 0.0]]);
+        let ls = log_softmax_rows(&x);
+        let s = softmax_rows(&x);
+        for c in 0..4 {
+            assert!((ls.get(0, c) - s.get(0, c).ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_probs() {
+        let s = softmax_rows(&Tensor::zeros(1, 4));
+        for c in 0..4 {
+            assert!((s.get(0, c) - 0.25).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests over tensor algebra invariants.
+
+use proptest::prelude::*;
+
+use crate::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, Tensor};
+
+fn small_dim() -> impl Strategy<Value = usize> {
+    1usize..8
+}
+
+fn tensor_of(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn transpose_involution((r, c) in (small_dim(), small_dim()), seed in 0u64..1000) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let t = crate::Initializer::Uniform(5.0).init(r, c, &mut rng);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn matmul_identity_right((r, c) in (small_dim(), small_dim())) {
+        let t = Tensor::full(r, c, 1.5);
+        prop_assert_eq!(matmul(&t, &Tensor::eye(c)), t);
+    }
+
+    #[test]
+    fn matmul_transposed_variants_agree(
+        m in small_dim(), k in small_dim(), n in small_dim(), seed in 0u64..1000,
+    ) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = crate::Initializer::Uniform(2.0).init(m, k, &mut rng);
+        let b = crate::Initializer::Uniform(2.0).init(k, n, &mut rng);
+        let c = matmul(&a, &b);
+        let via_at = matmul_at_b(&a.transpose(), &b);
+        let via_bt = matmul_a_bt(&a, &b.transpose());
+        prop_assert!(c.max_abs_diff(&via_at).unwrap() < 1e-4);
+        prop_assert!(c.max_abs_diff(&via_bt).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in small_dim(), k in small_dim(), n in small_dim(), seed in 0u64..500,
+    ) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = crate::Initializer::Uniform(2.0).init(m, k, &mut rng);
+        let b1 = crate::Initializer::Uniform(2.0).init(k, n, &mut rng);
+        let b2 = crate::Initializer::Uniform(2.0).init(k, n, &mut rng);
+        let lhs = matmul(&a, &(&b1 + &b2));
+        let rhs = &matmul(&a, &b1) + &matmul(&a, &b2);
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_distributions(t in small_dim().prop_flat_map(|r| {
+        small_dim().prop_flat_map(move |c| tensor_of(r, c))
+    })) {
+        let s = softmax_rows(&t);
+        for row in 0..s.rows() {
+            let sum: f32 = s.row(row).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(row).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn sum_rows_plus_sum_cols_consistent(t in small_dim().prop_flat_map(|r| {
+        small_dim().prop_flat_map(move |c| tensor_of(r, c))
+    })) {
+        let total = t.sum();
+        prop_assert!((t.sum_rows().sum() - total).abs() < 1e-3);
+        prop_assert!((t.sum_cols().sum() - total).abs() < 1e-3);
+    }
+}

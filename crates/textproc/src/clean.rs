@@ -1,0 +1,77 @@
+//! Text cleaning: the paper's "digits or symbols were omitted from the
+//! items to only keep words" step.
+
+/// Lowercases and strips every character that is not an ASCII letter,
+/// hyphen, or whitespace, then collapses runs of whitespace to single
+/// spaces.
+///
+/// # Examples
+///
+/// ```
+/// use textproc::clean_text;
+///
+/// assert_eq!(clean_text("2 cups Red Lentil!"), "cups red lentil");
+/// assert_eq!(clean_text("stir-fry  (5 min)"), "stir-fry min");
+/// ```
+pub fn clean_text(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut last_space = true;
+    for ch in input.chars() {
+        if ch.is_ascii_alphabetic() || ch == '-' {
+            out.push(ch.to_ascii_lowercase());
+            last_space = false;
+        } else if ch.is_whitespace() && !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    // collapse hyphens that lost their neighbours ("5-6" → "-")
+    out.split(' ')
+        .filter(|w| w.chars().any(|c| c.is_ascii_alphabetic()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_digits_and_symbols() {
+        assert_eq!(clean_text("1/2 tsp. salt #organic"), "tsp salt organic");
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(clean_text("Basmati RICE"), "basmati rice");
+    }
+
+    #[test]
+    fn collapses_whitespace() {
+        assert_eq!(clean_text("a   b\t\nc"), "a b c");
+    }
+
+    #[test]
+    fn keeps_hyphenated_words() {
+        assert_eq!(clean_text("stir-fry extra-virgin"), "stir-fry extra-virgin");
+    }
+
+    #[test]
+    fn drops_pure_symbol_words() {
+        assert_eq!(clean_text("5-6 --- abc"), "abc");
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert_eq!(clean_text(""), "");
+        assert_eq!(clean_text("123 !@# 456"), "");
+    }
+
+    #[test]
+    fn unicode_is_dropped() {
+        assert_eq!(clean_text("café 完成 jalapeño"), "caf jalapeo");
+    }
+}

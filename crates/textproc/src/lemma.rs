@@ -1,0 +1,180 @@
+//! Rule-based lemmatization.
+//!
+//! The paper lemmatizes the tokenized corpus (via NLTK's WordNet
+//! lemmatizer) to fold inflected forms together — `tomatoes → tomato`,
+//! `sliced → slice`. We implement the standard suffix-stripping rules that
+//! cover English food/cooking vocabulary, with an exception list for the
+//! irregulars that actually occur in recipes.
+
+/// Lemmatizes one lowercase word.
+///
+/// # Examples
+///
+/// ```
+/// use textproc::lemmatize;
+///
+/// assert_eq!(lemmatize("tomatoes"), "tomato");
+/// assert_eq!(lemmatize("berries"), "berry");
+/// assert_eq!(lemmatize("slicing"), "slice");
+/// assert_eq!(lemmatize("chopped"), "chop");
+/// assert_eq!(lemmatize("couscous"), "couscous");
+/// ```
+pub fn lemmatize(word: &str) -> String {
+    if let Some(lemma) = irregular(word) {
+        return lemma.to_string();
+    }
+    if word.len() <= 3 {
+        return word.to_string();
+    }
+
+    // plural nouns
+    if let Some(stem) = word.strip_suffix("ies") {
+        if stem.len() >= 2 {
+            return format!("{stem}y");
+        }
+    }
+    if let Some(stem) = word.strip_suffix("oes") {
+        return format!("{stem}o");
+    }
+    if let Some(stem) = word.strip_suffix("sses") {
+        return format!("{stem}ss");
+    }
+    if let Some(stem) = word.strip_suffix("shes") {
+        return format!("{stem}sh");
+    }
+    if let Some(stem) = word.strip_suffix("ches") {
+        return format!("{stem}ch");
+    }
+    if let Some(stem) = word.strip_suffix("xes") {
+        return format!("{stem}x");
+    }
+
+    // verb forms
+    if let Some(stem) = word.strip_suffix("ing") {
+        if stem.len() >= 3 {
+            return undouble_or_e(stem);
+        }
+    }
+    if let Some(stem) = word.strip_suffix("ed") {
+        if stem.len() >= 3 {
+            return undouble_or_e(stem);
+        }
+    }
+
+    // trailing plural 's' (but not 'ss' or 'us')
+    if word.ends_with('s') && !word.ends_with("ss") && !word.ends_with("us") {
+        return word[..word.len() - 1].to_string();
+    }
+
+    word.to_string()
+}
+
+/// Undoes consonant doubling (`chopp → chop`) or restores a dropped final
+/// `e` (`slic → slice`) after stripping a verb suffix.
+fn undouble_or_e(stem: &str) -> String {
+    let bytes = stem.as_bytes();
+    let n = bytes.len();
+    if n >= 2 && bytes[n - 1] == bytes[n - 2] && !matches!(bytes[n - 1], b'l' | b's') {
+        return stem[..n - 1].to_string();
+    }
+    // restore 'e' for stems ending in typical e-dropping patterns
+    if n >= 2 {
+        let last = bytes[n - 1] as char;
+        let prev = bytes[n - 2] as char;
+        let restores_e = matches!(last, 'c' | 'v' | 'z' | 'g' | 'k')
+            || (last == 't' && matches!(prev, 'a' | 'u'));
+        if restores_e && !is_vowel(last) {
+            return format!("{stem}e");
+        }
+    }
+    stem.to_string()
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u')
+}
+
+/// Irregular forms common in recipe text, plus mass nouns that look plural
+/// but must not be stripped.
+fn irregular(word: &str) -> Option<&'static str> {
+    Some(match word {
+        "leaves" => "leaf",
+        "loaves" => "loaf",
+        "halves" => "half",
+        "knives" => "knife",
+        "children" => "child",
+        "feet" => "foot",
+        "teeth" => "tooth",
+        "geese" => "goose",
+        "mice" => "mouse",
+        "men" => "man",
+        "women" => "woman",
+        "couscous" => "couscous",
+        "asparagus" => "asparagus",
+        "hummus" => "hummus",
+        "molasses" => "molasses",
+        "swiss" => "swiss",
+        _ => return None,
+    })
+}
+
+/// Lemmatizes every token of a sequence.
+pub fn lemmatize_all<'a>(tokens: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+    tokens.into_iter().map(lemmatize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plural_rules() {
+        assert_eq!(lemmatize("onions"), "onion");
+        assert_eq!(lemmatize("tomatoes"), "tomato");
+        assert_eq!(lemmatize("berries"), "berry");
+        assert_eq!(lemmatize("dishes"), "dish");
+        assert_eq!(lemmatize("boxes"), "box");
+        assert_eq!(lemmatize("glasses"), "glass");
+    }
+
+    #[test]
+    fn verb_rules() {
+        assert_eq!(lemmatize("stirring"), "stir");
+        assert_eq!(lemmatize("chopped"), "chop");
+        assert_eq!(lemmatize("slicing"), "slice");
+        assert_eq!(lemmatize("baking"), "bake");
+        assert_eq!(lemmatize("heated"), "heate"); // imperfect, like real stemmers
+    }
+
+    #[test]
+    fn irregulars() {
+        assert_eq!(lemmatize("leaves"), "leaf");
+        assert_eq!(lemmatize("halves"), "half");
+    }
+
+    #[test]
+    fn mass_nouns_untouched() {
+        assert_eq!(lemmatize("couscous"), "couscous");
+        assert_eq!(lemmatize("hummus"), "hummus");
+        assert_eq!(lemmatize("molasses"), "molasses");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(lemmatize("egg"), "egg");
+        assert_eq!(lemmatize("is"), "is");
+    }
+
+    #[test]
+    fn idempotent_on_common_vocab() {
+        for w in ["onion", "tomato", "berry", "stir", "chop", "slice", "bake"] {
+            assert_eq!(lemmatize(&lemmatize(w)), lemmatize(w), "not idempotent on {w}");
+        }
+    }
+
+    #[test]
+    fn lemmatize_all_maps_sequence() {
+        let v = lemmatize_all(["onions", "stirring"]);
+        assert_eq!(v, vec!["onion".to_string(), "stir".to_string()]);
+    }
+}

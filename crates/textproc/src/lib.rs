@@ -1,0 +1,38 @@
+//! Text preprocessing for recipe sequences, implementing §IV of the paper.
+//!
+//! The paper preprocesses RecipeDB's structured sequential lists by
+//! stripping digits and symbols, tokenizing, and lemmatizing, producing
+//! 20,400 distinct entities. It then branches:
+//!
+//! * **statistical models** consume TF-IDF vectors ([`TfIdfVectorizer`]
+//!   over the sparse [`CsrMatrix`]);
+//! * **sequential models** consume padded id sequences
+//!   ([`SequenceEncoder`]) over a [`Vocabulary`] with the usual special
+//!   tokens, plus masked-language-model corruption ([`masking`]) for
+//!   transformer pre-training — static masking for the BERT recipe, dynamic
+//!   re-masking per epoch for the RoBERTa recipe.
+//!
+//! A byte-pair-encoding subword tokenizer ([`BpeTokenizer`]) is provided
+//! for the open-vocabulary ablation (RecipeDB's 11.7k hapax ingredients are
+//! OOV at entity level).
+
+mod clean;
+mod lemma;
+pub mod masking;
+mod ngrams;
+mod sequence;
+mod sparse;
+mod tfidf;
+mod tokenize;
+mod vocab;
+mod wordpiece;
+
+pub use clean::clean_text;
+pub use lemma::{lemmatize, lemmatize_all};
+pub use ngrams::{ngram_tokens, with_ngrams};
+pub use sequence::{EncodedSequence, SequenceEncoder};
+pub use sparse::{CsrBuilder, CsrMatrix};
+pub use tfidf::{CountVectorizer, TfIdfConfig, TfIdfVectorizer};
+pub use tokenize::tokenize;
+pub use vocab::{Vocabulary, CLS_TOKEN, MASK_TOKEN, PAD_TOKEN, SEP_TOKEN, UNK_TOKEN};
+pub use wordpiece::BpeTokenizer;

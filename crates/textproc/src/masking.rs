@@ -1,0 +1,234 @@
+//! Masked-language-model corruption for transformer pre-training.
+//!
+//! Implements the BERT recipe: select 15% of content positions; of those,
+//! 80% become `[MASK]`, 10% a random vocabulary token, 10% stay unchanged.
+//! The BERT/RoBERTa distinction the paper leans on is reproduced through
+//! *when* masks are drawn:
+//!
+//! * [`MaskingStrategy::Static`] — masks are a pure function of
+//!   `(seed, sequence index)`, so every epoch sees identical corruption
+//!   (BERT's preprocessing-time masking);
+//! * [`MaskingStrategy::Dynamic`] — masks also hash the epoch, so each
+//!   epoch re-corrupts differently (RoBERTa's on-the-fly masking).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::Vocabulary;
+
+/// When mask patterns are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskingStrategy {
+    /// Same masks every epoch (BERT).
+    Static,
+    /// Fresh masks every epoch (RoBERTa).
+    Dynamic,
+}
+
+/// MLM corruption parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskingConfig {
+    /// Fraction of content positions selected for prediction.
+    pub mask_prob: f64,
+    /// Of selected positions, fraction replaced by `[MASK]`.
+    pub replace_with_mask: f64,
+    /// Of selected positions, fraction replaced by a random token.
+    pub replace_with_random: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Static or dynamic masking.
+    pub strategy: MaskingStrategy,
+}
+
+impl Default for MaskingConfig {
+    fn default() -> Self {
+        Self {
+            mask_prob: 0.15,
+            replace_with_mask: 0.8,
+            replace_with_random: 0.1,
+            seed: 0,
+            strategy: MaskingStrategy::Dynamic,
+        }
+    }
+}
+
+/// One corrupted training example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedExample {
+    /// Corrupted input ids (same length as the original).
+    pub input: Vec<u32>,
+    /// `(position, original_id)` pairs the model must reconstruct.
+    pub targets: Vec<(usize, u32)>,
+}
+
+/// Applies MLM corruption to one encoded sequence.
+///
+/// `ids` is the padded id array; only positions `< active_len` that are not
+/// special tokens are candidates. `vocab_size` bounds the random-replacement
+/// draw (specials are excluded from it). At least one position is always
+/// selected when any candidate exists, so every example trains the head.
+pub fn mask_sequence(
+    ids: &[u32],
+    active_len: usize,
+    vocab: &Vocabulary,
+    config: &MaskingConfig,
+    sequence_index: usize,
+    epoch: usize,
+) -> MaskedExample {
+    let epoch_component = match config.strategy {
+        MaskingStrategy::Static => 0,
+        MaskingStrategy::Dynamic => epoch as u64,
+    };
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(sequence_index as u64)
+            .wrapping_add(epoch_component.wrapping_mul(0x1000_0000_1B3)),
+    );
+
+    let candidates: Vec<usize> = (0..active_len.min(ids.len()))
+        .filter(|&i| !vocab.is_special(ids[i]))
+        .collect();
+
+    let mut input = ids.to_vec();
+    let mut targets = Vec::new();
+    for &pos in &candidates {
+        if rng.gen::<f64>() >= config.mask_prob {
+            continue;
+        }
+        targets.push((pos, ids[pos]));
+        let roll: f64 = rng.gen();
+        if roll < config.replace_with_mask {
+            input[pos] = Vocabulary::MASK;
+        } else if roll < config.replace_with_mask + config.replace_with_random {
+            input[pos] = random_content_id(vocab, &mut rng);
+        } // else: keep the original token
+    }
+
+    // guarantee at least one target
+    if targets.is_empty() {
+        if let Some(&pos) = candidates.first() {
+            targets.push((pos, ids[pos]));
+            input[pos] = Vocabulary::MASK;
+        }
+    }
+
+    MaskedExample { input, targets }
+}
+
+fn random_content_id(vocab: &Vocabulary, rng: &mut StdRng) -> u32 {
+    let range = vocab.content_ids();
+    if range.is_empty() {
+        Vocabulary::UNK
+    } else {
+        rng.gen_range(range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::from_tokens((0..100).map(|i| format!("tok{i}")))
+    }
+
+    fn sample_ids() -> Vec<u32> {
+        // [CLS] 20 content tokens [SEP] [PAD]*2
+        let mut ids = vec![Vocabulary::CLS];
+        ids.extend(5..25u32);
+        ids.push(Vocabulary::SEP);
+        ids.extend([Vocabulary::PAD, Vocabulary::PAD]);
+        ids
+    }
+
+    #[test]
+    fn specials_and_padding_never_masked() {
+        let v = vocab();
+        let ids = sample_ids();
+        let cfg = MaskingConfig { mask_prob: 1.0, ..Default::default() };
+        let ex = mask_sequence(&ids, 22, &v, &cfg, 0, 0);
+        assert_eq!(ex.input[0], Vocabulary::CLS);
+        assert_eq!(ex.input[21], Vocabulary::SEP);
+        assert_eq!(ex.input[22], Vocabulary::PAD);
+        assert!(ex.targets.iter().all(|&(p, _)| (1..21).contains(&p)));
+    }
+
+    #[test]
+    fn full_masking_targets_all_content() {
+        let v = vocab();
+        let ids = sample_ids();
+        let cfg = MaskingConfig {
+            mask_prob: 1.0,
+            replace_with_mask: 1.0,
+            replace_with_random: 0.0,
+            ..Default::default()
+        };
+        let ex = mask_sequence(&ids, 22, &v, &cfg, 0, 0);
+        assert_eq!(ex.targets.len(), 20);
+        assert!(ex.input[1..21].iter().all(|&i| i == Vocabulary::MASK));
+    }
+
+    #[test]
+    fn targets_store_original_ids() {
+        let v = vocab();
+        let ids = sample_ids();
+        let cfg = MaskingConfig { mask_prob: 1.0, ..Default::default() };
+        let ex = mask_sequence(&ids, 22, &v, &cfg, 3, 1);
+        for &(pos, original) in &ex.targets {
+            assert_eq!(original, ids[pos]);
+        }
+    }
+
+    #[test]
+    fn static_masking_identical_across_epochs() {
+        let v = vocab();
+        let ids = sample_ids();
+        let cfg = MaskingConfig { strategy: MaskingStrategy::Static, ..Default::default() };
+        let e0 = mask_sequence(&ids, 22, &v, &cfg, 7, 0);
+        let e5 = mask_sequence(&ids, 22, &v, &cfg, 7, 5);
+        assert_eq!(e0, e5);
+    }
+
+    #[test]
+    fn dynamic_masking_differs_across_epochs() {
+        let v = vocab();
+        let ids = sample_ids();
+        let cfg = MaskingConfig { strategy: MaskingStrategy::Dynamic, ..Default::default() };
+        let e0 = mask_sequence(&ids, 22, &v, &cfg, 7, 0);
+        let e1 = mask_sequence(&ids, 22, &v, &cfg, 7, 1);
+        assert_ne!(e0, e1, "dynamic masking must vary per epoch");
+    }
+
+    #[test]
+    fn different_sequences_get_different_masks() {
+        let v = vocab();
+        let ids = sample_ids();
+        let cfg = MaskingConfig::default();
+        let a = mask_sequence(&ids, 22, &v, &cfg, 0, 0);
+        let b = mask_sequence(&ids, 22, &v, &cfg, 1, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn at_least_one_target_guaranteed() {
+        let v = vocab();
+        let ids = sample_ids();
+        let cfg = MaskingConfig { mask_prob: 0.0, ..Default::default() };
+        let ex = mask_sequence(&ids, 22, &v, &cfg, 0, 0);
+        assert_eq!(ex.targets.len(), 1);
+    }
+
+    #[test]
+    fn masking_rate_is_approximately_15_percent() {
+        let v = vocab();
+        let ids = sample_ids();
+        let cfg = MaskingConfig::default();
+        let total: usize = (0..500)
+            .map(|i| mask_sequence(&ids, 22, &v, &cfg, i, 0).targets.len())
+            .sum();
+        let rate = total as f64 / (500.0 * 20.0);
+        assert!((0.12..0.19).contains(&rate), "masking rate {rate}");
+    }
+}

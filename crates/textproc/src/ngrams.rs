@@ -1,0 +1,91 @@
+//! N-gram augmentation for bag-of-features models.
+//!
+//! TF-IDF destroys token order; appending order-preserving n-gram tokens
+//! (`"stir→heat"`) to each document restores *local* order information to
+//! the statistical models. The reproduction uses this for the ablation
+//! that asks how much of the transformers' advantage is local ordering a
+//! bag model could recover.
+
+/// Joins adjacent tokens into n-gram tokens with the `→` separator.
+///
+/// # Examples
+///
+/// ```
+/// use textproc::ngram_tokens;
+///
+/// let doc = ["stir", "heat", "serve"];
+/// assert_eq!(
+///     ngram_tokens(&doc, 2),
+///     vec!["stir→heat".to_string(), "heat→serve".to_string()]
+/// );
+/// assert!(ngram_tokens(&doc, 4).is_empty());
+/// ```
+pub fn ngram_tokens<S: AsRef<str>>(tokens: &[S], n: usize) -> Vec<String> {
+    assert!(n >= 1, "n-gram order must be at least 1");
+    if tokens.len() < n {
+        return Vec::new();
+    }
+    tokens
+        .windows(n)
+        .map(|w| {
+            let parts: Vec<&str> = w.iter().map(AsRef::as_ref).collect();
+            parts.join("→")
+        })
+        .collect()
+}
+
+/// Augments a document with all n-gram orders in `1..=max_n`: the original
+/// unigrams followed by bigrams, trigrams, … as additional tokens.
+pub fn with_ngrams<S: AsRef<str>>(tokens: &[S], max_n: usize) -> Vec<String> {
+    assert!(max_n >= 1, "max n-gram order must be at least 1");
+    let mut out: Vec<String> =
+        tokens.iter().map(|t| t.as_ref().to_string()).collect();
+    for n in 2..=max_n {
+        out.extend(ngram_tokens(tokens, n));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unigrams_are_identity() {
+        let doc = ["a", "b"];
+        assert_eq!(ngram_tokens(&doc, 1), vec!["a", "b"]);
+        assert_eq!(with_ngrams(&doc, 1), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn bigrams_preserve_order() {
+        let ab = ngram_tokens(&["a", "b"], 2);
+        let ba = ngram_tokens(&["b", "a"], 2);
+        assert_ne!(ab, ba, "bigrams must be order-sensitive");
+    }
+
+    #[test]
+    fn augmented_doc_contains_both_levels() {
+        let doc = with_ngrams(&["x", "y", "z"], 2);
+        assert_eq!(doc, vec!["x", "y", "z", "x→y", "y→z"]);
+    }
+
+    #[test]
+    fn trigram_augmentation() {
+        let doc = with_ngrams(&["a", "b", "c"], 3);
+        assert!(doc.contains(&"a→b→c".to_string()));
+        assert_eq!(doc.len(), 3 + 2 + 1);
+    }
+
+    #[test]
+    fn short_docs_are_safe() {
+        assert!(ngram_tokens(&[] as &[&str], 2).is_empty());
+        assert_eq!(with_ngrams(&["solo"], 3), vec!["solo"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_order_rejected() {
+        let _ = ngram_tokens(&["a"], 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Encoding token sequences into fixed-shape id arrays for the neural
+//! models: `[CLS] tokens… [SEP]` with truncation and padding.
+
+use crate::vocab::Vocabulary;
+
+/// An encoded sequence: ids padded to a fixed length plus the count of
+/// real (non-pad) positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedSequence {
+    /// Token ids, length == `max_len`.
+    pub ids: Vec<u32>,
+    /// Number of non-padding positions (including `[CLS]`/`[SEP]`).
+    pub len: usize,
+}
+
+impl EncodedSequence {
+    /// The real (unpadded) id prefix.
+    pub fn active(&self) -> &[u32] {
+        &self.ids[..self.len]
+    }
+
+    /// Attention mask: 1.0 for real positions, 0.0 for padding.
+    pub fn attention_mask(&self) -> Vec<f32> {
+        (0..self.ids.len())
+            .map(|i| if i < self.len { 1.0 } else { 0.0 })
+            .collect()
+    }
+}
+
+/// Turns token sequences into padded id arrays over a [`Vocabulary`].
+#[derive(Debug, Clone)]
+pub struct SequenceEncoder {
+    max_len: usize,
+    add_special: bool,
+}
+
+impl SequenceEncoder {
+    /// Creates an encoder for sequences of exactly `max_len` ids, wrapping
+    /// content in `[CLS] … [SEP]` when `add_special` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len` is too small to hold the special tokens.
+    pub fn new(max_len: usize, add_special: bool) -> Self {
+        assert!(max_len >= if add_special { 3 } else { 1 }, "max_len too small");
+        Self { max_len, add_special }
+    }
+
+    /// Target length of every encoded sequence.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Encodes one token sequence: lookup (OOV → `[UNK]`), truncate to fit,
+    /// wrap in specials, pad with `[PAD]`.
+    pub fn encode<'a>(
+        &self,
+        vocab: &Vocabulary,
+        tokens: impl IntoIterator<Item = &'a str>,
+    ) -> EncodedSequence {
+        let budget = if self.add_special { self.max_len - 2 } else { self.max_len };
+        let mut ids = Vec::with_capacity(self.max_len);
+        if self.add_special {
+            ids.push(Vocabulary::CLS);
+        }
+        for t in tokens.into_iter().take(budget) {
+            ids.push(vocab.lookup_or_unk(t));
+        }
+        if self.add_special {
+            ids.push(Vocabulary::SEP);
+        }
+        let len = ids.len();
+        ids.resize(self.max_len, Vocabulary::PAD);
+        EncodedSequence { ids, len }
+    }
+
+    /// Encodes pre-mapped ids (already vocabulary indices), with the same
+    /// truncate/wrap/pad treatment.
+    pub fn encode_ids(&self, content: &[u32]) -> EncodedSequence {
+        let budget = if self.add_special { self.max_len - 2 } else { self.max_len };
+        let mut ids = Vec::with_capacity(self.max_len);
+        if self.add_special {
+            ids.push(Vocabulary::CLS);
+        }
+        ids.extend(content.iter().take(budget));
+        if self.add_special {
+            ids.push(Vocabulary::SEP);
+        }
+        let len = ids.len();
+        ids.resize(self.max_len, Vocabulary::PAD);
+        EncodedSequence { ids, len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::from_tokens(["onion".into(), "stir".into(), "add".into()])
+    }
+
+    #[test]
+    fn encodes_with_specials() {
+        let enc = SequenceEncoder::new(6, true);
+        let e = enc.encode(&vocab(), ["onion", "stir"]);
+        assert_eq!(e.ids[0], Vocabulary::CLS);
+        assert_eq!(e.ids[3], Vocabulary::SEP);
+        assert_eq!(e.len, 4);
+        assert_eq!(e.ids.len(), 6);
+        assert_eq!(e.ids[4], Vocabulary::PAD);
+    }
+
+    #[test]
+    fn truncates_long_sequences() {
+        let enc = SequenceEncoder::new(4, true);
+        let e = enc.encode(&vocab(), ["onion", "stir", "add", "onion", "stir"]);
+        assert_eq!(e.len, 4);
+        assert_eq!(e.ids[3], Vocabulary::SEP, "SEP must survive truncation");
+    }
+
+    #[test]
+    fn oov_becomes_unk() {
+        let enc = SequenceEncoder::new(4, false);
+        let e = enc.encode(&vocab(), ["mystery"]);
+        assert_eq!(e.ids[0], Vocabulary::UNK);
+    }
+
+    #[test]
+    fn no_specials_mode() {
+        let enc = SequenceEncoder::new(3, false);
+        let e = enc.encode(&vocab(), ["onion"]);
+        assert_eq!(e.len, 1);
+        assert_ne!(e.ids[0], Vocabulary::CLS);
+    }
+
+    #[test]
+    fn attention_mask_matches_len() {
+        let enc = SequenceEncoder::new(5, true);
+        let e = enc.encode(&vocab(), ["onion"]);
+        assert_eq!(e.attention_mask(), vec![1.0, 1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(e.active().len(), 3);
+    }
+
+    #[test]
+    fn encode_ids_matches_encode() {
+        let v = vocab();
+        let enc = SequenceEncoder::new(6, true);
+        let by_tokens = enc.encode(&v, ["onion", "add"]);
+        let raw = [v.id("onion").unwrap(), v.id("add").unwrap()];
+        let by_ids = enc.encode_ids(&raw);
+        assert_eq!(by_tokens, by_ids);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_len too small")]
+    fn tiny_max_len_panics() {
+        let _ = SequenceEncoder::new(2, true);
+    }
+}

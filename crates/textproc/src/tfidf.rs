@@ -1,0 +1,322 @@
+//! Count and TF-IDF vectorization into CSR matrices.
+//!
+//! The paper feeds the statistical models (LR, NB, SVM, RF) TF-IDF vectors
+//! "because of its weighted function which reduces the effect of high
+//! frequency yet less meaningful words" — exactly what the `add`-heavy
+//! process head of RecipeDB needs. We use smoothed IDF and optional L2 row
+//! normalization, matching scikit-learn's `TfidfVectorizer` defaults (the
+//! toolkit behind the paper's baselines).
+
+use std::collections::HashMap;
+
+use crate::sparse::{CsrBuilder, CsrMatrix};
+
+/// Raw term-count vectorizer: learns a term → column mapping on `fit`, then
+/// turns token documents into sparse count rows.
+#[derive(Debug, Clone)]
+pub struct CountVectorizer {
+    vocab: HashMap<String, u32>,
+    terms: Vec<String>,
+    min_df: u64,
+}
+
+impl CountVectorizer {
+    /// Creates a vectorizer keeping terms appearing in at least `min_df`
+    /// documents.
+    pub fn new(min_df: u64) -> Self {
+        Self { vocab: HashMap::new(), terms: Vec::new(), min_df: min_df.max(1) }
+    }
+
+    /// Learns the vocabulary from tokenized documents. Terms get columns in
+    /// descending document-frequency order (ties by first appearance).
+    pub fn fit<'a>(
+        &mut self,
+        docs: impl IntoIterator<Item = impl IntoIterator<Item = &'a str>>,
+    ) -> &mut Self {
+        let mut df: HashMap<&str, (u64, usize)> = HashMap::new();
+        let mut order = 0usize;
+        for doc in docs {
+            let mut seen: Vec<&str> = Vec::new();
+            for t in doc {
+                if !seen.contains(&t) {
+                    seen.push(t);
+                }
+            }
+            for t in seen {
+                let e = df.entry(t).or_insert((0, order));
+                e.0 += 1;
+                order += 1;
+            }
+        }
+        let mut ranked: Vec<(&str, u64, usize)> = df
+            .into_iter()
+            .filter(|&(_, (f, _))| f >= self.min_df)
+            .map(|(t, (f, o))| (t, f, o))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.2.cmp(&b.2)));
+        self.terms = ranked.iter().map(|(t, _, _)| t.to_string()).collect();
+        self.vocab = self
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+        self
+    }
+
+    /// Vocabulary size after `fit`.
+    pub fn vocab_size(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Column of a term, if in-vocabulary.
+    pub fn column(&self, term: &str) -> Option<u32> {
+        self.vocab.get(term).copied()
+    }
+
+    /// Term at a column.
+    pub fn term(&self, col: u32) -> &str {
+        &self.terms[col as usize]
+    }
+
+    /// Transforms documents into a sparse count matrix. Out-of-vocabulary
+    /// tokens are dropped.
+    pub fn transform<'a>(
+        &self,
+        docs: impl IntoIterator<Item = impl IntoIterator<Item = &'a str>>,
+    ) -> CsrMatrix {
+        let mut b = CsrBuilder::new(self.terms.len());
+        for doc in docs {
+            let mut counts: HashMap<u32, f32> = HashMap::new();
+            for t in doc {
+                if let Some(&c) = self.vocab.get(t) {
+                    *counts.entry(c).or_insert(0.0) += 1.0;
+                }
+            }
+            b.push_unsorted_row(counts.into_iter().map(|(c, v)| (c as usize, v)));
+        }
+        b.build()
+    }
+}
+
+/// TF-IDF weighting options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TfIdfConfig {
+    /// Minimum document frequency for a term to be kept.
+    pub min_df: u64,
+    /// Use `1 + ln(tf)` instead of raw term frequency.
+    pub sublinear_tf: bool,
+    /// L2-normalize each document row.
+    pub l2_normalize: bool,
+}
+
+impl Default for TfIdfConfig {
+    fn default() -> Self {
+        Self { min_df: 1, sublinear_tf: false, l2_normalize: true }
+    }
+}
+
+/// TF-IDF vectorizer with smoothed IDF:
+/// `idf(t) = ln((1 + n) / (1 + df(t))) + 1`.
+#[derive(Debug, Clone)]
+pub struct TfIdfVectorizer {
+    counter: CountVectorizer,
+    idf: Vec<f32>,
+    config: TfIdfConfig,
+}
+
+impl TfIdfVectorizer {
+    /// Creates an unfitted vectorizer.
+    pub fn new(config: TfIdfConfig) -> Self {
+        Self { counter: CountVectorizer::new(config.min_df), idf: Vec::new(), config }
+    }
+
+    /// Learns vocabulary and IDF weights. Documents must be re-iterable, so
+    /// this takes a slice of token vectors.
+    pub fn fit<S: AsRef<str>>(&mut self, docs: &[Vec<S>]) -> &mut Self {
+        self.counter.fit(docs.iter().map(|d| d.iter().map(AsRef::as_ref)));
+        let n = docs.len() as f32;
+        let mut df = vec![0u64; self.counter.vocab_size()];
+        for doc in docs {
+            let mut seen = vec![false; df.len()];
+            for t in doc {
+                if let Some(c) = self.counter.column(t.as_ref()) {
+                    if !seen[c as usize] {
+                        seen[c as usize] = true;
+                        df[c as usize] += 1;
+                    }
+                }
+            }
+        }
+        self.idf = df
+            .iter()
+            .map(|&d| ((1.0 + n) / (1.0 + d as f32)).ln() + 1.0)
+            .collect();
+        self
+    }
+
+    /// Vocabulary size after `fit`.
+    pub fn vocab_size(&self) -> usize {
+        self.counter.vocab_size()
+    }
+
+    /// IDF weight of a column.
+    pub fn idf(&self, col: u32) -> f32 {
+        self.idf[col as usize]
+    }
+
+    /// Column of a term, if in-vocabulary.
+    pub fn column(&self, term: &str) -> Option<u32> {
+        self.counter.column(term)
+    }
+
+    /// Term at a column.
+    pub fn term(&self, col: u32) -> &str {
+        self.counter.term(col)
+    }
+
+    /// Transforms documents into TF-IDF rows.
+    pub fn transform<S: AsRef<str>>(&self, docs: &[Vec<S>]) -> CsrMatrix {
+        let mut b = CsrBuilder::new(self.vocab_size());
+        for doc in docs {
+            let mut counts: HashMap<u32, f32> = HashMap::new();
+            for t in doc {
+                if let Some(c) = self.counter.column(t.as_ref()) {
+                    *counts.entry(c).or_insert(0.0) += 1.0;
+                }
+            }
+            let mut entries: Vec<(usize, f32)> = counts
+                .into_iter()
+                .map(|(c, tf)| {
+                    let tf = if self.config.sublinear_tf { 1.0 + tf.ln() } else { tf };
+                    (c as usize, tf * self.idf[c as usize])
+                })
+                .collect();
+            if self.config.l2_normalize {
+                let norm: f32 = entries.iter().map(|(_, v)| v * v).sum::<f32>().sqrt();
+                if norm > 0.0 {
+                    for (_, v) in &mut entries {
+                        *v /= norm;
+                    }
+                }
+            }
+            b.push_unsorted_row(entries);
+        }
+        b.build()
+    }
+
+    /// `fit` followed by `transform` on the same documents.
+    pub fn fit_transform<S: AsRef<str>>(&mut self, docs: &[Vec<S>]) -> CsrMatrix {
+        self.fit(docs);
+        self.transform(docs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<&'static str>> {
+        vec![
+            vec!["add", "stir", "onion"],
+            vec!["add", "bake"],
+            vec!["add", "stir", "stir"],
+        ]
+    }
+
+    #[test]
+    fn count_vectorizer_counts() {
+        let mut cv = CountVectorizer::new(1);
+        cv.fit(docs().iter().map(|d| d.iter().copied()));
+        let m = cv.transform(docs().iter().map(|d| d.iter().copied()));
+        assert_eq!(m.rows(), 3);
+        let stir_col = cv.column("stir").unwrap();
+        assert_eq!(m.row_dense(2)[stir_col as usize], 2.0);
+    }
+
+    #[test]
+    fn df_ordering_puts_common_terms_first() {
+        let mut cv = CountVectorizer::new(1);
+        cv.fit(docs().iter().map(|d| d.iter().copied()));
+        assert_eq!(cv.column("add"), Some(0)); // in all 3 docs
+    }
+
+    #[test]
+    fn min_df_drops_rare_terms() {
+        let mut cv = CountVectorizer::new(2);
+        cv.fit(docs().iter().map(|d| d.iter().copied()));
+        assert!(cv.column("onion").is_none());
+        assert!(cv.column("stir").is_some());
+    }
+
+    #[test]
+    fn oov_tokens_dropped_at_transform() {
+        let mut cv = CountVectorizer::new(1);
+        cv.fit(docs().iter().map(|d| d.iter().copied()));
+        let m = cv.transform([vec!["add", "unseen-token"]].iter().map(|d| d.iter().copied()));
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn idf_downweights_ubiquitous_terms() {
+        let mut tv = TfIdfVectorizer::new(TfIdfConfig::default());
+        tv.fit(&docs());
+        let add = tv.column("add").unwrap();
+        let onion = tv.column("onion").unwrap();
+        assert!(
+            tv.idf(add) < tv.idf(onion),
+            "'add' (df=3) must have lower idf than 'onion' (df=1)"
+        );
+    }
+
+    #[test]
+    fn l2_rows_have_unit_norm() {
+        let mut tv = TfIdfVectorizer::new(TfIdfConfig::default());
+        let m = tv.fit_transform(&docs());
+        for r in 0..m.rows() {
+            let norm = m.row_norm(r);
+            assert!((norm - 1.0).abs() < 1e-5, "row {r} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn unnormalized_matches_hand_computation() {
+        let mut tv = TfIdfVectorizer::new(TfIdfConfig {
+            min_df: 1,
+            sublinear_tf: false,
+            l2_normalize: false,
+        });
+        let m = tv.fit_transform(&docs());
+        let stir = tv.column("stir").unwrap();
+        // doc 2 has tf(stir)=2, df(stir)=2, n=3:
+        // idf = ln(4/3) + 1
+        let expected = 2.0 * ((4.0f32 / 3.0).ln() + 1.0);
+        assert!((m.row_dense(2)[stir as usize] - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sublinear_tf_compresses_counts() {
+        let mut lin = TfIdfVectorizer::new(TfIdfConfig {
+            sublinear_tf: false,
+            l2_normalize: false,
+            ..Default::default()
+        });
+        let mut sub = TfIdfVectorizer::new(TfIdfConfig {
+            sublinear_tf: true,
+            l2_normalize: false,
+            ..Default::default()
+        });
+        let ml = lin.fit_transform(&docs());
+        let ms = sub.fit_transform(&docs());
+        let stir = lin.column("stir").unwrap() as usize;
+        assert!(ms.row_dense(2)[stir] < ml.row_dense(2)[stir]);
+    }
+
+    #[test]
+    fn empty_document_yields_empty_row() {
+        let mut tv = TfIdfVectorizer::new(TfIdfConfig::default());
+        tv.fit(&docs());
+        let m = tv.transform(&[Vec::<&str>::new()]);
+        assert_eq!(m.row(0).0.len(), 0);
+    }
+}

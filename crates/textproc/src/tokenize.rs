@@ -1,0 +1,39 @@
+//! Whitespace tokenization over cleaned text.
+
+/// Splits cleaned text into word tokens.
+///
+/// Intended to run after [`clean_text`](crate::clean_text); it simply
+/// splits on whitespace and drops empties, so raw punctuation survives if
+/// cleaning was skipped.
+///
+/// # Examples
+///
+/// ```
+/// use textproc::tokenize;
+///
+/// assert_eq!(tokenize("red lentil  stir"), vec!["red", "lentil", "stir"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<&str> {
+    text.split_whitespace().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace() {
+        assert_eq!(tokenize("a b  c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_input_gives_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn leading_trailing_space_ignored() {
+        assert_eq!(tokenize("  x  "), vec!["x"]);
+    }
+}

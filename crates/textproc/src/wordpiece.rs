@@ -1,0 +1,213 @@
+//! Byte-pair-encoding subword tokenizer.
+//!
+//! RecipeDB's entity vocabulary has an 11.7k-entity hapax tail that is
+//! unavoidably OOV for entity-level models. BERT-family models solve this
+//! with subword units; this module implements classic BPE — train merges on
+//! a word-frequency table, encode by applying merges greedily in training
+//! order — for the open-vocabulary ablation.
+
+use std::collections::HashMap;
+
+/// End-of-word marker appended to every word before merging, so subwords
+/// know whether they close a word (`"let</w>"` vs mid-word `"let"`).
+const EOW: &str = "</w>";
+
+/// A trained BPE tokenizer.
+///
+/// # Examples
+///
+/// ```
+/// use textproc::BpeTokenizer;
+///
+/// let corpus = [("lentil", 10u64), ("lemon", 8), ("melon", 6)];
+/// let bpe = BpeTokenizer::train(corpus.iter().map(|&(w, c)| (w, c)), 40);
+/// let pieces = bpe.encode("lemon");
+/// assert_eq!(pieces.join(""), "lemon</w>");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BpeTokenizer {
+    merges: HashMap<(String, String), usize>,
+    vocab: Vec<String>,
+}
+
+impl BpeTokenizer {
+    /// Trains merges from `(word, count)` pairs until the symbol vocabulary
+    /// reaches `vocab_size` or no pair occurs twice.
+    pub fn train<'a>(
+        words: impl IntoIterator<Item = (&'a str, u64)>,
+        vocab_size: usize,
+    ) -> Self {
+        // word → (symbol sequence, count)
+        let mut table: Vec<(Vec<String>, u64)> = Vec::new();
+        let mut symbols: HashMap<String, ()> = HashMap::new();
+        for (word, count) in words {
+            if word.is_empty() || count == 0 {
+                continue;
+            }
+            let mut seq: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+            seq.push(EOW.to_string());
+            for s in &seq {
+                symbols.entry(s.clone()).or_insert(());
+            }
+            table.push((seq, count));
+        }
+
+        let mut merges: HashMap<(String, String), usize> = HashMap::new();
+        while symbols.len() < vocab_size {
+            // count adjacent pairs
+            let mut pair_counts: HashMap<(String, String), u64> = HashMap::new();
+            for (seq, count) in &table {
+                for w in seq.windows(2) {
+                    *pair_counts
+                        .entry((w[0].clone(), w[1].clone()))
+                        .or_insert(0) += count;
+                }
+            }
+            let Some((best, best_count)) = pair_counts
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            else {
+                break;
+            };
+            if best_count < 2 {
+                break;
+            }
+            let merged = format!("{}{}", best.0, best.1);
+            symbols.entry(merged.clone()).or_insert(());
+            let rank = merges.len();
+            merges.insert(best.clone(), rank);
+
+            // apply the merge to every word
+            for (seq, _) in &mut table {
+                let mut i = 0;
+                while i + 1 < seq.len() {
+                    if seq[i] == best.0 && seq[i + 1] == best.1 {
+                        seq[i] = merged.clone();
+                        seq.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        let mut vocab: Vec<String> = symbols.into_keys().collect();
+        vocab.sort();
+        Self { merges, vocab }
+    }
+
+    /// Number of learned merges.
+    pub fn num_merges(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// The symbol vocabulary (sorted).
+    pub fn vocab(&self) -> &[String] {
+        &self.vocab
+    }
+
+    /// Encodes one word into subword pieces by applying merges in training
+    /// order. Unknown characters survive as single-char pieces, so encoding
+    /// never fails.
+    pub fn encode(&self, word: &str) -> Vec<String> {
+        if word.is_empty() {
+            return Vec::new();
+        }
+        let mut seq: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+        seq.push(EOW.to_string());
+
+        loop {
+            // find the lowest-rank applicable merge
+            let mut best: Option<(usize, usize)> = None; // (rank, position)
+            for i in 0..seq.len() - 1 {
+                if let Some(&rank) =
+                    self.merges.get(&(seq[i].clone(), seq[i + 1].clone()))
+                {
+                    if best.map_or(true, |(r, _)| rank < r) {
+                        best = Some((rank, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            let merged = format!("{}{}", seq[i], seq[i + 1]);
+            seq[i] = merged;
+            seq.remove(i + 1);
+        }
+        seq
+    }
+
+    /// Encodes a multi-word string, concatenating per-word pieces.
+    pub fn encode_text(&self, text: &str) -> Vec<String> {
+        text.split_whitespace().flat_map(|w| self.encode(w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> BpeTokenizer {
+        let corpus = [
+            ("lentil", 50u64),
+            ("lemon", 40),
+            ("melon", 30),
+            ("lime", 20),
+            ("olive", 10),
+        ];
+        BpeTokenizer::train(corpus.iter().map(|&(w, c)| (w, c)), 60)
+    }
+
+    #[test]
+    fn encoding_reconstructs_word() {
+        let bpe = trained();
+        for w in ["lentil", "lemon", "melon", "lime", "olive"] {
+            let pieces = bpe.encode(w);
+            assert_eq!(pieces.join(""), format!("{w}{EOW}"), "pieces {pieces:?}");
+        }
+    }
+
+    #[test]
+    fn frequent_words_become_few_pieces() {
+        let bpe = trained();
+        // 'lentil' dominates the corpus, so it should merge into 1-3 pieces
+        assert!(bpe.encode("lentil").len() <= 3);
+    }
+
+    #[test]
+    fn unseen_words_fall_back_to_fragments() {
+        let bpe = trained();
+        let pieces = bpe.encode("zucchini");
+        assert_eq!(pieces.join(""), format!("zucchini{EOW}"));
+        assert!(pieces.len() > 1, "unseen word cannot be a single learned piece");
+    }
+
+    #[test]
+    fn empty_word_gives_no_pieces() {
+        let bpe = trained();
+        assert!(bpe.encode("").is_empty());
+    }
+
+    #[test]
+    fn vocab_size_caps_merges() {
+        let corpus = [("aaaa", 100u64), ("aaab", 100), ("aabb", 100)];
+        let small = BpeTokenizer::train(corpus.iter().map(|&(w, c)| (w, c)), 6);
+        let large = BpeTokenizer::train(corpus.iter().map(|&(w, c)| (w, c)), 30);
+        assert!(small.num_merges() < large.num_merges());
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let a = trained();
+        let b = trained();
+        assert_eq!(a.encode("lemon"), b.encode("lemon"));
+        assert_eq!(a.vocab(), b.vocab());
+    }
+
+    #[test]
+    fn encode_text_handles_multiword_entities() {
+        let bpe = trained();
+        let pieces = bpe.encode_text("lemon lime");
+        let joined = pieces.join("");
+        assert_eq!(joined, format!("lemon{EOW}lime{EOW}"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Compare the statistical models and the LSTM head-to-head on one small
+//! corpus — a fast subset of the full Table IV harness.
+//!
+//! Run with: `cargo run --release --example compare_models`
+
+use cuisine::report::render_table4;
+use cuisine::{ModelKind, Pipeline, PipelineConfig, Scale};
+
+fn main() {
+    let mut config = PipelineConfig::new(Scale::Small, 11);
+    // keep the example fast: fewer LSTM epochs than the harness default
+    config.models.lstm_trainer.epochs = 4;
+
+    println!("preparing corpus…");
+    let pipeline = Pipeline::prepare(&config);
+
+    let kinds = [
+        ModelKind::LogReg,
+        ModelKind::NaiveBayes,
+        ModelKind::SvmLinear,
+        ModelKind::RandomForest,
+        ModelKind::Lstm,
+    ];
+    let mut results = Vec::new();
+    for kind in kinds {
+        println!("running {}…", kind.name());
+        results.push(pipeline.run(kind, &config));
+    }
+
+    println!("\n{}", render_table4(&results));
+    println!(
+        "(paper numbers are full-scale RecipeDB; measured numbers are the {}-recipe synthetic corpus)",
+        pipeline.data.dataset.len()
+    );
+}

@@ -1,0 +1,58 @@
+//! Train → save → reload → serve: persist a fitted Logistic Regression to
+//! JSON and classify with the reloaded copy, the deployment path of a
+//! recipe-recommendation service built on this library.
+//!
+//! Run with: `cargo run --release --example persist_model`
+
+use cuisine::{Pipeline, PipelineConfig, Scale};
+use ml::{load_linear, save_linear, Classifier, LogisticRegression};
+use recipedb::CuisineId;
+
+fn main() {
+    let config = PipelineConfig::new(Scale::Small, 21);
+    println!("preparing corpus…");
+    let pipeline = Pipeline::prepare(&config);
+    let (train_x, _, test_x, _) = pipeline.tfidf_features(&config);
+    let train_y = pipeline.labels_of(&pipeline.data.split.train);
+    let test_y = pipeline.labels_of(&pipeline.data.split.test);
+
+    println!("training Logistic Regression…");
+    let mut model = LogisticRegression::default();
+    model.fit(&train_x, &train_y);
+
+    let path = std::env::temp_dir().join("cuisine_logreg.json");
+    save_linear(model.linear_model(), &path).expect("save model");
+    println!(
+        "saved to {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
+
+    let restored = load_linear(&path).expect("load model");
+    println!("reloaded; serving predictions from the restored weights:");
+    let mut correct = 0usize;
+    for r in 0..test_x.rows() {
+        let scores = restored.decision_row(&test_x, r);
+        let pred = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if pred == test_y[r] {
+            correct += 1;
+        }
+        if r < 5 {
+            println!(
+                "  test recipe {r}: predicted {:<24} gold {}",
+                CuisineId(pred as u8).name(),
+                CuisineId(test_y[r] as u8).name()
+            );
+        }
+    }
+    println!(
+        "\nrestored-model test accuracy: {:.2}%",
+        correct as f64 / test_x.rows() as f64 * 100.0
+    );
+    std::fs::remove_file(&path).ok();
+}

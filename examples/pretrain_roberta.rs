@@ -1,0 +1,50 @@
+//! Masked-language-model pre-training demo: watch a small transformer
+//! learn recipe structure, contrasting the BERT recipe (static masking)
+//! with the RoBERTa recipe (dynamic masking, longer schedule).
+//!
+//! Run with: `cargo run --release --example pretrain_roberta`
+
+use cuisine::{Pipeline, PipelineConfig, Scale};
+use nn::{BertClassifier, BertConfig, PretrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut config = PipelineConfig::new(Scale::Custom(0.01), 3);
+    config.models.vocab_max_size = 1_000;
+    println!("preparing corpus…");
+    let pipeline = Pipeline::prepare(&config);
+    let corpus: Vec<Vec<usize>> = pipeline
+        .data
+        .split
+        .train
+        .iter()
+        .map(|&i| pipeline.data.sequences[i].clone())
+        .collect();
+    println!("{} pre-training sequences", corpus.len());
+
+    let bert_config = BertConfig {
+        vocab: config.models.vocab_max_size + 5,
+        d_model: 64,
+        heads: 4,
+        layers: 2,
+        d_ff: 128,
+        max_len: 48,
+        dropout: 0.1,
+        classes: 26,
+    };
+
+    for (label, pretrain) in [
+        ("BERT-style (static masking)", PretrainConfig::bert_style(2, 3)),
+        ("RoBERTa-style (dynamic masking, 2x steps)", PretrainConfig::roberta_style(2, 3)),
+    ] {
+        println!("\n=== {label} ===");
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = BertClassifier::new(bert_config, &mut rng);
+        let stats = model.pretrain_mlm(&corpus, &pipeline.data.vocab, &pretrain);
+        for (epoch, loss) in stats.epoch_losses.iter().enumerate() {
+            println!("  epoch {epoch}: MLM loss {loss:.4}");
+        }
+        println!("  total optimizer steps: {}", stats.steps);
+    }
+}

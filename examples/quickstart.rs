@@ -1,0 +1,38 @@
+//! Quickstart: generate a small synthetic RecipeDB, train the paper's best
+//! statistical baseline (Logistic Regression) and print its Table IV row.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cuisine::{ModelKind, Pipeline, PipelineConfig, Scale};
+
+fn main() {
+    // A ~2% corpus: ~2.4k recipes across all 26 cuisines.
+    let config = PipelineConfig::new(Scale::Small, 42);
+    println!("generating synthetic RecipeDB (scale {})…", config.generator.scale);
+    let pipeline = Pipeline::prepare(&config);
+    println!(
+        "{} recipes, {} train / {} val / {} test, vocab {}",
+        pipeline.data.dataset.len(),
+        pipeline.data.split.train.len(),
+        pipeline.data.split.val.len(),
+        pipeline.data.split.test.len(),
+        pipeline.data.vocab.len(),
+    );
+
+    println!("\ntraining Logistic Regression on TF-IDF features…");
+    let result = pipeline.run(ModelKind::LogReg, &config);
+    println!("LogReg (paper: 57.70% accuracy at full scale)");
+    println!("  {}", result.report);
+    println!("  trained in {:.1}s", result.train_seconds);
+
+    // show a few example predictions with the true labels
+    let (_, _, test_x, _) = pipeline.tfidf_features(&config);
+    let _ = test_x;
+    println!("\nsample test recipes:");
+    for &idx in pipeline.data.split.test.iter().take(5) {
+        let recipe = &pipeline.data.dataset.recipes[idx];
+        let text = recipe.to_text(&pipeline.data.dataset.table);
+        let shown: String = text.chars().take(90).collect();
+        println!("  [{}] {shown}…", recipe.cuisine.name());
+    }
+}

@@ -1,0 +1,72 @@
+//! Integration tests for the application layer: recommendation quality and
+//! generation plausibility on a real (synthetic) corpus.
+
+use cuisine::apps::{MarkovRecipeGenerator, RecipeRecommender};
+use cuisine::{Pipeline, PipelineConfig, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recipedb::{CuisineId, EntityKind};
+
+fn pipeline() -> (Pipeline, PipelineConfig) {
+    let mut config = PipelineConfig::new(Scale::Custom(0.008), 13);
+    config.models.vocab_max_size = 1_200;
+    (Pipeline::prepare(&config), config)
+}
+
+#[test]
+fn recommendations_prefer_same_cuisine() {
+    let (p, config) = pipeline();
+    let (train_x, _, _, _) = p.tfidf_features(&config);
+    let rec = RecipeRecommender::fit(&train_x);
+
+    // over a sample of query recipes, the top-3 recommendations should be
+    // same-cuisine far more often than the ~14% majority-class chance
+    let mut same = 0usize;
+    let mut total = 0usize;
+    for (pos, &recipe_idx) in p.data.split.train.iter().enumerate().take(60) {
+        let query_cuisine = p.data.labels[recipe_idx];
+        for (row, _) in rec.recommend_for_indexed(&train_x, pos, 3) {
+            let rec_idx = p.data.split.train[row];
+            if p.data.labels[rec_idx] == query_cuisine {
+                same += 1;
+            }
+            total += 1;
+        }
+    }
+    let frac = same as f64 / total.max(1) as f64;
+    assert!(frac > 0.35, "same-cuisine fraction only {frac:.3}");
+}
+
+#[test]
+fn generated_recipes_look_like_recipes() {
+    let (p, _) = pipeline();
+    let model = MarkovRecipeGenerator::fit(&p.data.dataset, Default::default());
+    let mut rng = StdRng::seed_from_u64(5);
+    let italian = CuisineId::all().find(|c| c.name() == "Italian").unwrap();
+    for _ in 0..10 {
+        let tokens = model.generate(italian, &mut rng);
+        assert!(tokens.len() >= 5, "recipe too short: {}", tokens.len());
+        // a plausible recipe mixes ingredients and processes
+        let kinds: Vec<EntityKind> =
+            tokens.iter().map(|&t| p.data.dataset.table.kind(t)).collect();
+        assert!(kinds.contains(&EntityKind::Ingredient));
+        assert!(kinds.contains(&EntityKind::Process));
+    }
+}
+
+#[test]
+fn generator_reuses_corpus_vocabulary_only() {
+    let (p, _) = pipeline();
+    let model = MarkovRecipeGenerator::fit(&p.data.dataset, Default::default());
+    let mut rng = StdRng::seed_from_u64(6);
+    // tokens must come from entities that actually occur in the corpus
+    let mut corpus_tokens = std::collections::HashSet::new();
+    for r in &p.data.dataset.recipes {
+        corpus_tokens.extend(r.tokens.iter().copied());
+    }
+    for cuisine in CuisineId::all().take(5) {
+        for tok in model.generate(cuisine, &mut rng) {
+            assert!(corpus_tokens.contains(&tok), "generated unseen entity {tok:?}");
+        }
+    }
+}

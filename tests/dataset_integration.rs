@@ -1,0 +1,141 @@
+//! Integration tests over the synthetic RecipeDB: Table II proportions,
+//! Table III spectrum shape, split properties, serialization.
+
+use recipedb::{
+    cumulative_spectrum, generate, train_val_test_split, DatasetStats, GeneratorConfig,
+    CuisineId, EntityKind, NUM_CUISINES,
+};
+
+fn small_dataset() -> (recipedb::Dataset, DatasetStats) {
+    let config = GeneratorConfig { seed: 99, scale: 0.02, ..Default::default() };
+    let dataset = generate(&config);
+    let stats = DatasetStats::compute(&dataset);
+    (dataset, stats)
+}
+
+#[test]
+fn table2_proportions_hold_at_reduced_scale() {
+    let (_, stats) = small_dataset();
+    for cuisine in CuisineId::all() {
+        let expected = ((cuisine.info().paper_count as f64 * 0.02).round() as usize).max(10);
+        assert_eq!(
+            stats.cuisine_count(cuisine),
+            expected,
+            "count mismatch for {}",
+            cuisine.name()
+        );
+    }
+}
+
+#[test]
+fn all_26_cuisines_are_present() {
+    let (_, stats) = small_dataset();
+    assert_eq!(stats.per_cuisine.len(), NUM_CUISINES);
+    assert!(stats.per_cuisine.iter().all(|&c| c >= 10));
+}
+
+#[test]
+fn spectrum_tail_scales_with_corpus() {
+    let (_, stats) = small_dataset();
+    let (_, low) = cumulative_spectrum(&stats);
+    // at 2% scale the hapax band shrinks, but the tail must still dwarf
+    // the head: Zipf shape is scale-invariant
+    let hapax = low.iter().find(|r| r.bound == 2).unwrap().count;
+    assert!(hapax > 100, "hapax features {hapax} — tail missing");
+    let (high, _) = cumulative_spectrum(&stats);
+    let head = high.iter().find(|r| r.bound == 1_000).unwrap().count;
+    assert!(hapax > head * 10, "tail ({hapax}) should dwarf head ({head})");
+}
+
+#[test]
+fn most_frequent_feature_is_the_process_add() {
+    let (dataset, stats) = small_dataset();
+    let top = stats.top_features(1)[0];
+    assert_eq!(dataset.table.name(top.0), "add");
+}
+
+#[test]
+fn sequences_keep_kind_order() {
+    let (dataset, _) = small_dataset();
+    for recipe in dataset.recipes.iter().take(100) {
+        let kinds: Vec<EntityKind> =
+            recipe.tokens.iter().map(|&t| dataset.table.kind(t)).collect();
+        let first_ut = kinds
+            .iter()
+            .position(|&k| k == EntityKind::Utensil)
+            .unwrap_or(kinds.len());
+        assert!(
+            !kinds[first_ut..].contains(&EntityKind::Process),
+            "utensils must come after processes"
+        );
+    }
+}
+
+#[test]
+fn split_is_disjoint_stratified_7_1_2() {
+    let (dataset, _) = small_dataset();
+    let split = train_val_test_split(&dataset, 1);
+    assert_eq!(split.len(), dataset.len());
+
+    let mut seen = vec![false; dataset.len()];
+    for &i in split.train.iter().chain(&split.val).chain(&split.test) {
+        assert!(!seen[i], "index {i} appears twice");
+        seen[i] = true;
+    }
+
+    let ratio = split.test.len() as f64 / dataset.len() as f64;
+    assert!((0.17..0.23).contains(&ratio), "test ratio {ratio}");
+    let ratio = split.val.len() as f64 / dataset.len() as f64;
+    assert!((0.07..0.13).contains(&ratio), "val ratio {ratio}");
+}
+
+#[test]
+fn jsonl_roundtrip_preserves_corpus() {
+    let (dataset, _) = small_dataset();
+    let path = std::env::temp_dir().join("cuisine_integration_roundtrip.jsonl");
+    recipedb::write_jsonl(&dataset, &path).unwrap();
+    let back = recipedb::read_jsonl(&path).unwrap();
+    assert_eq!(back.recipes.len(), dataset.recipes.len());
+    assert_eq!(back.recipes[0], dataset.recipes[0]);
+    assert_eq!(back.table.len(), dataset.table.len());
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Full paper-scale generation: Table II exact, Table III anchors within
+/// tolerance. Slow (~1 min), run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "paper-scale generation takes about a minute"]
+fn paper_scale_tables_are_reproduced() {
+    let config = GeneratorConfig { seed: 2020, scale: 1.0, ..Default::default() };
+    let dataset = generate(&config);
+    let stats = DatasetStats::compute(&dataset);
+
+    // Table II: exact by construction
+    for cuisine in CuisineId::all() {
+        assert_eq!(stats.cuisine_count(cuisine), cuisine.info().paper_count as usize);
+    }
+
+    // Table III low rows: exact by quota injection
+    let (high, low) = cumulative_spectrum(&stats);
+    for (got, paper) in low.iter().zip(recipedb::PAPER_TABLE3_LOW.iter()) {
+        let tolerance = (paper.count as f64 * 0.02).max(50.0) as usize;
+        assert!(
+            got.count.abs_diff(paper.count) <= tolerance,
+            "freq<{}: paper {} generated {}",
+            paper.bound,
+            paper.count,
+            got.count
+        );
+    }
+    // Table III high rows: within sampling tolerance
+    for (got, paper) in high.iter().zip(recipedb::PAPER_TABLE3_HIGH.iter()) {
+        let tolerance = (paper.count as f64 * 0.35).max(8.0) as usize;
+        assert!(
+            got.count.abs_diff(paper.count) <= tolerance,
+            "freq>{}: paper {} generated {}",
+            paper.bound,
+            paper.count,
+            got.count
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's headline shape: order-aware models beat bag-of-words models
+//! on sequentially structured recipes. These tests run the real pipeline
+//! at small scale, so they are slower than unit tests but still minutes.
+
+use cuisine::{ModelKind, Pipeline, PipelineConfig, Scale};
+
+/// The paper's qualitative Table IV ordering at small scale:
+/// RoBERTa ≥ BERT > best statistical model, and LR the best statistical
+/// model's neighbourhood. Run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "trains transformers; ~20+ minutes in release mode"]
+fn transformers_beat_statistical_models() {
+    let config = PipelineConfig::new(Scale::Small, 2020);
+    let pipeline = Pipeline::prepare(&config);
+
+    let logreg = pipeline.run(ModelKind::LogReg, &config);
+    let bert = pipeline.run(ModelKind::Bert, &config);
+    let roberta = pipeline.run(ModelKind::Roberta, &config);
+
+    assert!(
+        bert.report.accuracy > logreg.report.accuracy,
+        "BERT {:.3} must beat LogReg {:.3}",
+        bert.report.accuracy,
+        logreg.report.accuracy
+    );
+    assert!(
+        roberta.report.accuracy >= bert.report.accuracy - 0.02,
+        "RoBERTa {:.3} must be at least competitive with BERT {:.3}",
+        roberta.report.accuracy,
+        bert.report.accuracy
+    );
+}
+
+/// Destroying token order must hurt an order-aware model but leave a
+/// bag-of-words model unchanged — the paper's central hypothesis, checked
+/// cheaply with Naive Bayes (invariant by construction) as the control.
+#[test]
+fn shuffling_tokens_cannot_change_bag_models() {
+    use ml::{Classifier, MultinomialNb};
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let mut config = PipelineConfig::new(Scale::Custom(0.005), 3);
+    config.models.vocab_max_size = 800;
+    let pipeline = Pipeline::prepare(&config);
+    let (train_x, _, test_x, vectorizer) = pipeline.tfidf_features(&config);
+    let train_y = pipeline.labels_of(&pipeline.data.split.train);
+
+    let mut nb = MultinomialNb::default();
+    nb.fit(&train_x, &train_y);
+    let baseline = nb.predict(&test_x);
+
+    // shuffle every test document's tokens and re-vectorize
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let shuffled_docs: Vec<Vec<&str>> = pipeline
+        .data
+        .split
+        .test
+        .iter()
+        .map(|&i| {
+            let mut doc: Vec<&str> =
+                pipeline.data.docs[i].iter().map(String::as_str).collect();
+            doc.shuffle(&mut rng);
+            doc
+        })
+        .collect();
+    let shuffled_x = vectorizer.transform(&shuffled_docs);
+    let shuffled = nb.predict(&shuffled_x);
+
+    assert_eq!(baseline, shuffled, "bag-of-words predictions must ignore order");
+}
+
+/// Within-continent confusions dominate: the generator plants shared
+/// signature ingredients inside each continent, so a bag model's mistakes
+/// should disproportionately stay within the gold continent.
+#[test]
+fn confusions_concentrate_within_continents() {
+    use recipedb::CuisineId;
+
+    let mut config = PipelineConfig::new(Scale::Custom(0.01), 4);
+    config.models.vocab_max_size = 1_500;
+    let pipeline = Pipeline::prepare(&config);
+    let result = pipeline.run(ModelKind::LogReg, &config);
+
+    let m = &result.report.confusion;
+    let mut within = 0u64;
+    let mut across = 0u64;
+    for g in 0..26 {
+        for p in 0..26 {
+            if g == p {
+                continue;
+            }
+            let count = m.count(g, p);
+            let same = CuisineId(g as u8).info().continent
+                == CuisineId(p as u8).info().continent;
+            if same {
+                within += count;
+            } else {
+                across += count;
+            }
+        }
+    }
+    // 26 cuisines over 6 continents: if confusions were uniform, ~17%
+    // would stay in-continent. The planted structure should exceed that.
+    let frac = within as f64 / (within + across).max(1) as f64;
+    assert!(frac > 0.25, "within-continent confusion fraction only {frac:.3}");
+}

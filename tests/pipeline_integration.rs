@@ -1,0 +1,94 @@
+//! End-to-end pipeline tests: every statistical model trains and beats
+//! chance on a tiny corpus; the neural path runs end to end.
+
+use cuisine::{ModelKind, Pipeline, PipelineConfig, Scale};
+
+fn tiny() -> (Pipeline, PipelineConfig) {
+    let mut config = PipelineConfig::new(Scale::Custom(0.005), 5);
+    config.models.vocab_max_size = 800;
+    config.models.rf_trees = 10;
+    (Pipeline::prepare(&config), config)
+}
+
+/// Chance accuracy on the (imbalanced) 26-class task is the largest class
+/// prior, roughly 14%.
+const CHANCE: f64 = 0.16;
+
+#[test]
+fn logreg_beats_chance() {
+    let (pipeline, config) = tiny();
+    let result = pipeline.run(ModelKind::LogReg, &config);
+    assert!(
+        result.report.accuracy > CHANCE,
+        "LogReg accuracy {} not above chance",
+        result.report.accuracy
+    );
+    assert!(result.report.loss.is_some());
+}
+
+#[test]
+fn naive_bayes_beats_chance() {
+    let (pipeline, config) = tiny();
+    let result = pipeline.run(ModelKind::NaiveBayes, &config);
+    assert!(result.report.accuracy > CHANCE, "NB accuracy {}", result.report.accuracy);
+}
+
+#[test]
+fn svm_beats_chance() {
+    let (pipeline, config) = tiny();
+    let result = pipeline.run(ModelKind::SvmLinear, &config);
+    assert!(result.report.accuracy > CHANCE, "SVM accuracy {}", result.report.accuracy);
+}
+
+#[test]
+fn random_forest_beats_chance() {
+    let (pipeline, config) = tiny();
+    let result = pipeline.run(ModelKind::RandomForest, &config);
+    assert!(result.report.accuracy > CHANCE, "RF accuracy {}", result.report.accuracy);
+}
+
+#[test]
+fn lstm_trains_end_to_end() {
+    let (pipeline, mut config) = tiny();
+    // keep it quick: small model, few epochs — we check the plumbing, not
+    // the accuracy
+    config.models.lstm.hidden = 32;
+    config.models.lstm.emb_dim = 16;
+    config.models.lstm_trainer.epochs = 2;
+    let result = pipeline.run(ModelKind::Lstm, &config);
+    let history = result.history.expect("LSTM must record a history");
+    assert_eq!(history.epochs.len(), 2);
+    assert!(history.epochs.iter().all(|e| e.train_loss.is_finite()));
+    assert!(result.report.accuracy > 0.0);
+}
+
+#[test]
+fn bert_pretrains_and_finetunes_end_to_end() {
+    let (pipeline, mut config) = tiny();
+    config.models.bert.d_model = 32;
+    config.models.bert.d_ff = 64;
+    config.models.bert.layers = 1;
+    config.models.bert.heads = 2;
+    config.models.bert_pretrain_epochs = 1;
+    config.models.finetune.epochs = 1;
+    let result = pipeline.run(ModelKind::Bert, &config);
+    let pre = result.pretrain_losses.expect("BERT must record pretrain losses");
+    assert_eq!(pre.len(), 1);
+    assert!(pre[0].is_finite() && pre[0] > 0.0);
+    assert!(result.history.is_some());
+}
+
+#[test]
+fn reports_are_consistent_between_runs() {
+    let (pipeline, config) = tiny();
+    let a = pipeline.run(ModelKind::NaiveBayes, &config);
+    let b = pipeline.run(ModelKind::NaiveBayes, &config);
+    assert_eq!(a.report.accuracy, b.report.accuracy, "NB must be deterministic");
+}
+
+#[test]
+fn adaboost_variant_runs() {
+    let (pipeline, config) = tiny();
+    let result = cuisine::run_adaboost(&pipeline, &config);
+    assert!(result.report.accuracy > 0.05);
+}
