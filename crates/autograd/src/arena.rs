@@ -1,0 +1,84 @@
+//! A scratch arena recycling gradient buffers across backward ops.
+//!
+//! Every op's backward rule produces one delta tensor per input. Before the
+//! arena, each delta was a fresh heap allocation that died as soon as it was
+//! `axpy`-ed into the accumulated gradient — for the transformer models
+//! that is thousands of short-lived `Vec<f32>`s per minibatch. The arena
+//! keeps those buffers on a free list owned by the [`crate::Graph`], so a
+//! backward pass reaches a steady state where the matmul backward kernels
+//! write into recycled memory via their `*_into` variants.
+//!
+//! Reuse keys on element *count*, not shape: a retired `4 × 8` buffer can
+//! come back as `8 × 4` via [`Tensor::reshape`]. Callers always overwrite
+//! the whole buffer, so stale contents are never observable.
+
+use tensor::Tensor;
+
+/// Free list of retired gradient buffers. See the module docs.
+#[derive(Default)]
+pub(crate) struct Arena {
+    free: Vec<Tensor>,
+}
+
+impl Arena {
+    /// Returns a `rows × cols` tensor, reusing a retired buffer with the
+    /// same element count when one is available. Contents are unspecified;
+    /// the caller must fully overwrite them.
+    pub(crate) fn take(&mut self, rows: usize, cols: usize) -> Tensor {
+        let want = rows * cols;
+        if let Some(pos) = self.free.iter().position(|t| t.len() == want) {
+            let mut t = self.free.swap_remove(pos);
+            t.reshape(rows, cols);
+            t
+        } else {
+            Tensor::zeros(rows, cols)
+        }
+    }
+
+    /// Retires a buffer for later reuse.
+    pub(crate) fn give(&mut self, t: Tensor) {
+        if !t.is_empty() {
+            self.free.push(t);
+        }
+    }
+
+    /// Number of buffers currently parked on the free list.
+    #[cfg(test)]
+    pub(crate) fn parked(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_retired_buffer() {
+        let mut arena = Arena::default();
+        let t = Tensor::full(4, 8, 3.0);
+        let ptr = t.as_slice().as_ptr();
+        arena.give(t);
+        // same element count, different shape → same allocation, reshaped
+        let t2 = arena.take(8, 4);
+        assert_eq!(t2.shape(), (8, 4));
+        assert_eq!(t2.as_slice().as_ptr(), ptr);
+        assert_eq!(arena.parked(), 0);
+    }
+
+    #[test]
+    fn take_allocates_on_miss() {
+        let mut arena = Arena::default();
+        arena.give(Tensor::zeros(2, 2));
+        let t = arena.take(3, 3);
+        assert_eq!(t.shape(), (3, 3));
+        assert_eq!(arena.parked(), 1, "mismatched buffer stays parked");
+    }
+
+    #[test]
+    fn empty_buffers_are_not_parked() {
+        let mut arena = Arena::default();
+        arena.give(Tensor::zeros(0, 5));
+        assert_eq!(arena.parked(), 0);
+    }
+}

@@ -13,7 +13,10 @@ const TOL: f32 = 2e-2;
 fn store_with(shape: (usize, usize), seed: u64) -> (ParamStore, ParamId) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut store = ParamStore::new();
-    let w = store.add("w", Initializer::Uniform(0.8).init(shape.0, shape.1, &mut rng));
+    let w = store.add(
+        "w",
+        Initializer::Uniform(0.8).init(shape.0, shape.1, &mut rng),
+    );
     (store, w)
 }
 

@@ -1,7 +1,10 @@
 //! The tape: graph construction, parameter binding, and the backward pass.
 
+use std::cell::RefCell;
+
 use tensor::Tensor;
 
+use crate::arena::Arena;
 use crate::ops::Op;
 use crate::param::{ParamId, ParamStore};
 
@@ -42,12 +45,32 @@ pub struct Graph<'s> {
     store: &'s ParamStore,
     pub(crate) nodes: Vec<Node>,
     bindings: Vec<(ParamId, VarId)>,
+    /// Recycled gradient buffers; lives on the graph so repeated backward
+    /// passes (one per sample in a shard) stop allocating per op.
+    scratch: RefCell<Arena>,
 }
 
 impl<'s> Graph<'s> {
     /// Creates an empty graph over a parameter store.
     pub fn new(store: &'s ParamStore) -> Self {
-        Self { store, nodes: Vec::new(), bindings: Vec::new() }
+        Self::with_capacity(store, 0)
+    }
+
+    /// Creates an empty graph with room for `nodes` tape entries, so models
+    /// that know their unrolled length (LSTM timesteps, encoder layers)
+    /// avoid re-growing the tape mid-forward.
+    pub fn with_capacity(store: &'s ParamStore, nodes: usize) -> Self {
+        Self {
+            store,
+            nodes: Vec::with_capacity(nodes),
+            bindings: Vec::new(),
+            scratch: RefCell::new(Arena::default()),
+        }
+    }
+
+    /// Reserves room for at least `additional` more tape entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
     }
 
     /// Number of nodes recorded so far.
@@ -105,13 +128,21 @@ impl<'s> Graph<'s> {
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Tensor::ones(1, 1));
 
+        let mut scratch = self.scratch.borrow_mut();
         for idx in (0..=loss.0).rev() {
-            let Some(grad) = grads[idx].take() else { continue };
-            self.nodes[idx].op.backward(&grad, idx, &self.nodes, &mut grads);
+            let Some(grad) = grads[idx].take() else {
+                continue;
+            };
+            self.nodes[idx]
+                .op
+                .backward(&grad, idx, &self.nodes, &mut grads, &mut scratch);
             grads[idx] = Some(grad);
         }
 
-        Gradients { grads, bindings: self.bindings.clone() }
+        Gradients {
+            grads,
+            bindings: self.bindings.clone(),
+        }
     }
 }
 
@@ -146,9 +177,18 @@ impl Gradients {
     }
 }
 
-pub(crate) fn accumulate(grads: &mut [Option<Tensor>], target: usize, delta: Tensor) {
+pub(crate) fn accumulate(
+    grads: &mut [Option<Tensor>],
+    target: usize,
+    delta: Tensor,
+    scratch: &mut Arena,
+) {
     match &mut grads[target] {
-        Some(existing) => existing.axpy(1.0, &delta),
+        Some(existing) => {
+            existing.axpy(1.0, &delta);
+            // the delta was only needed for the axpy — recycle its buffer
+            scratch.give(delta);
+        }
         slot @ None => *slot = Some(delta),
     }
 }
@@ -189,6 +229,25 @@ mod tests {
         let mut g = Graph::new(&store);
         let x = g.constant(Tensor::zeros(2, 2));
         let _ = g.backward(x);
+    }
+
+    #[test]
+    fn repeated_backward_on_one_graph_is_deterministic() {
+        // Later passes draw deltas from the scratch arena instead of fresh
+        // allocations; results must be bit-identical either way.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[0.5, -1.0], &[2.0, 0.25]]));
+        let mut g = Graph::new(&store);
+        let wv = g.param(w);
+        let x = g.constant(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, -1.0]]));
+        let y = g.matmul(wv, x);
+        let z = g.matmul(y, wv); // w used twice → accumulation path
+        let loss = g.sum_all(z);
+        let first = g.backward(loss).for_param(w).unwrap().clone();
+        for _ in 0..3 {
+            let again = g.backward(loss);
+            assert_eq!(again.for_param(w).unwrap(), &first);
+        }
     }
 
     #[test]

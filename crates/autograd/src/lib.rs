@@ -21,6 +21,7 @@
 //! Every differentiable op is validated against central finite differences
 //! in this crate's tests (see the `check` module).
 
+mod arena;
 mod check;
 mod graph;
 mod ops;

@@ -4,8 +4,11 @@
 //! indices plus whatever forward-pass state the backward rule needs (e.g.
 //! cached softmax probabilities, dropout masks, layer-norm statistics).
 
-use tensor::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, Tensor};
+use tensor::{
+    matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b_into, matmul_into, softmax_rows, Tensor,
+};
 
+use crate::arena::Arena;
 use crate::graph::{accumulate, Graph, Node, VarId};
 
 /// GELU tanh-approximation constant `sqrt(2/pi)`.
@@ -29,86 +32,126 @@ pub(crate) enum Op {
     SoftmaxRows(usize),
     ConcatCols(Vec<usize>),
     ConcatRows(Vec<usize>),
-    SliceCols { parent: usize, start: usize },
-    SliceRows { parent: usize, start: usize },
-    AddRowBroadcast { x: usize, bias: usize },
-    Embedding { table: usize, ids: Vec<usize> },
+    SliceCols {
+        parent: usize,
+        start: usize,
+    },
+    SliceRows {
+        parent: usize,
+        start: usize,
+    },
+    AddRowBroadcast {
+        x: usize,
+        bias: usize,
+    },
+    Embedding {
+        table: usize,
+        ids: Vec<usize>,
+    },
     SumAll(usize),
     MeanAll(usize),
     MeanRows(usize),
-    CrossEntropy { logits: usize, targets: Vec<usize>, probs: Tensor },
-    LayerNormRows { x: usize, gamma: usize, beta: usize, xhat: Tensor, inv_std: Vec<f32> },
-    Dropout { parent: usize, mask: Tensor },
+    CrossEntropy {
+        logits: usize,
+        targets: Vec<usize>,
+        probs: Tensor,
+    },
+    LayerNormRows {
+        x: usize,
+        gamma: usize,
+        beta: usize,
+        xhat: Tensor,
+        inv_std: Vec<f32>,
+    },
+    Dropout {
+        parent: usize,
+        mask: Tensor,
+    },
 }
 
 impl Op {
     /// Propagates `grad` (gradient at node `idx`) to this op's parents.
+    ///
+    /// Delta buffers are drawn from and retired to `scratch`, so a steady
+    /// backward pass allocates nothing per op (see [`Arena`]).
     pub(crate) fn backward(
         &self,
         grad: &Tensor,
         idx: usize,
         nodes: &[Node],
         grads: &mut [Option<Tensor>],
+        scratch: &mut Arena,
     ) {
         match self {
             Op::Leaf => {}
             Op::Add(a, b) => {
-                accumulate(grads, *a, grad.clone());
-                accumulate(grads, *b, grad.clone());
+                accumulate(grads, *a, grad.clone(), scratch);
+                accumulate(grads, *b, grad.clone(), scratch);
             }
             Op::Sub(a, b) => {
-                accumulate(grads, *a, grad.clone());
+                accumulate(grads, *a, grad.clone(), scratch);
                 let mut neg = grad.clone();
                 neg.scale(-1.0);
-                accumulate(grads, *b, neg);
+                accumulate(grads, *b, neg, scratch);
             }
             Op::Mul(a, b) => {
-                accumulate(grads, *a, grad.hadamard(&nodes[*b].value));
-                accumulate(grads, *b, grad.hadamard(&nodes[*a].value));
+                accumulate(grads, *a, grad.hadamard(&nodes[*b].value), scratch);
+                accumulate(grads, *b, grad.hadamard(&nodes[*a].value), scratch);
             }
             Op::Scale(a, c) => {
                 let mut d = grad.clone();
                 d.scale(*c);
-                accumulate(grads, *a, d);
+                accumulate(grads, *a, d, scratch);
             }
-            Op::AddScalar(a) => accumulate(grads, *a, grad.clone()),
+            Op::AddScalar(a) => accumulate(grads, *a, grad.clone(), scratch),
             Op::MatMul(a, b) => {
-                accumulate(grads, *a, matmul_a_bt(grad, &nodes[*b].value));
-                accumulate(grads, *b, matmul_at_b(&nodes[*a].value, grad));
+                let (av, bv) = (&nodes[*a].value, &nodes[*b].value);
+                let mut da = scratch.take(av.rows(), av.cols());
+                matmul_a_bt_into(grad, bv, &mut da);
+                accumulate(grads, *a, da, scratch);
+                let mut db = scratch.take(bv.rows(), bv.cols());
+                matmul_at_b_into(av, grad, &mut db);
+                accumulate(grads, *b, db, scratch);
             }
             Op::MatMulBT(a, b) => {
                 // out = A · Bᵀ  =>  dA = G · B, dB = Gᵀ · A
-                accumulate(grads, *a, matmul(grad, &nodes[*b].value));
-                accumulate(grads, *b, matmul_at_b(grad, &nodes[*a].value));
+                let (av, bv) = (&nodes[*a].value, &nodes[*b].value);
+                let mut da = scratch.take(av.rows(), av.cols());
+                matmul_into(grad, bv, &mut da);
+                accumulate(grads, *a, da, scratch);
+                let mut db = scratch.take(bv.rows(), bv.cols());
+                matmul_at_b_into(grad, av, &mut db);
+                accumulate(grads, *b, db, scratch);
             }
-            Op::Transpose(a) => accumulate(grads, *a, grad.transpose()),
+            Op::Transpose(a) => accumulate(grads, *a, grad.transpose(), scratch),
             Op::Sigmoid(a) => {
                 let y = &nodes[idx].value;
                 let mut d = grad.clone();
                 d.zip_inplace(y, |g, y| g * y * (1.0 - y));
-                accumulate(grads, *a, d);
+                accumulate(grads, *a, d, scratch);
             }
             Op::Tanh(a) => {
                 let y = &nodes[idx].value;
                 let mut d = grad.clone();
                 d.zip_inplace(y, |g, y| g * (1.0 - y * y));
-                accumulate(grads, *a, d);
+                accumulate(grads, *a, d, scratch);
             }
             Op::Relu(a) => {
                 let x = &nodes[*a].value;
                 let mut d = grad.clone();
                 d.zip_inplace(x, |g, x| if x > 0.0 { g } else { 0.0 });
-                accumulate(grads, *a, d);
+                accumulate(grads, *a, d, scratch);
             }
             Op::Gelu(a) => {
                 let x = &nodes[*a].value;
                 let mut d = grad.clone();
                 d.zip_inplace(x, |g, x| g * gelu_derivative(x));
-                accumulate(grads, *a, d);
+                accumulate(grads, *a, d, scratch);
             }
             Op::SoftmaxRows(a) => {
                 let y = &nodes[idx].value;
-                let mut d = Tensor::zeros(y.rows(), y.cols());
+                // fully overwritten below, so a recycled buffer is fine
+                let mut d = scratch.take(y.rows(), y.cols());
                 for r in 0..y.rows() {
                     let yr = y.row(r);
                     let gr = grad.row(r);
@@ -117,17 +160,19 @@ impl Op {
                         *dst = yv * (gv - dot);
                     }
                 }
-                accumulate(grads, *a, d);
+                accumulate(grads, *a, d, scratch);
             }
             Op::ConcatCols(parents) => {
                 let mut offset = 0;
                 for &p in parents {
                     let cols = nodes[p].value.cols();
-                    let mut d = Tensor::zeros(grad.rows(), cols);
+                    // fully overwritten row by row below
+                    let mut d = scratch.take(grad.rows(), cols);
                     for r in 0..grad.rows() {
-                        d.row_mut(r).copy_from_slice(&grad.row(r)[offset..offset + cols]);
+                        d.row_mut(r)
+                            .copy_from_slice(&grad.row(r)[offset..offset + cols]);
                     }
-                    accumulate(grads, p, d);
+                    accumulate(grads, p, d, scratch);
                     offset += cols;
                 }
             }
@@ -135,62 +180,69 @@ impl Op {
                 let mut offset = 0;
                 for &p in parents {
                     let rows = nodes[p].value.rows();
-                    accumulate(grads, p, grad.slice_rows(offset, offset + rows));
+                    accumulate(grads, p, grad.slice_rows(offset, offset + rows), scratch);
                     offset += rows;
                 }
             }
             Op::SliceCols { parent, start } => {
                 let (pr, pc) = nodes[*parent].value.shape();
-                let mut d = Tensor::zeros(pr, pc);
+                let mut d = scratch.take(pr, pc);
+                d.fill_zero(); // only a column band is written below
                 for r in 0..grad.rows() {
-                    d.row_mut(r)[*start..*start + grad.cols()]
-                        .copy_from_slice(grad.row(r));
+                    d.row_mut(r)[*start..*start + grad.cols()].copy_from_slice(grad.row(r));
                 }
-                accumulate(grads, *parent, d);
+                accumulate(grads, *parent, d, scratch);
             }
             Op::SliceRows { parent, start } => {
                 let (pr, pc) = nodes[*parent].value.shape();
-                let mut d = Tensor::zeros(pr, pc);
+                let mut d = scratch.take(pr, pc);
+                d.fill_zero(); // only a row band is written below
                 for r in 0..grad.rows() {
                     d.row_mut(start + r).copy_from_slice(grad.row(r));
                 }
-                accumulate(grads, *parent, d);
+                accumulate(grads, *parent, d, scratch);
             }
             Op::AddRowBroadcast { x, bias } => {
-                accumulate(grads, *x, grad.clone());
-                accumulate(grads, *bias, grad.sum_rows());
+                accumulate(grads, *x, grad.clone(), scratch);
+                accumulate(grads, *bias, grad.sum_rows(), scratch);
             }
             Op::Embedding { table, ids } => {
                 let (rows, cols) = nodes[*table].value.shape();
-                let mut d = Tensor::zeros(rows, cols);
+                let mut d = scratch.take(rows, cols);
+                d.fill_zero(); // scatter-add target
                 for (r, &id) in ids.iter().enumerate() {
                     for (dst, &g) in d.row_mut(id).iter_mut().zip(grad.row(r)) {
                         *dst += g;
                     }
                 }
-                accumulate(grads, *table, d);
+                accumulate(grads, *table, d, scratch);
             }
             Op::SumAll(a) => {
                 let (r, c) = nodes[*a].value.shape();
-                accumulate(grads, *a, Tensor::full(r, c, grad.get(0, 0)));
+                accumulate(grads, *a, Tensor::full(r, c, grad.get(0, 0)), scratch);
             }
             Op::MeanAll(a) => {
                 let (r, c) = nodes[*a].value.shape();
                 let scale = grad.get(0, 0) / (r * c) as f32;
-                accumulate(grads, *a, Tensor::full(r, c, scale));
+                accumulate(grads, *a, Tensor::full(r, c, scale), scratch);
             }
             Op::MeanRows(a) => {
                 let (r, c) = nodes[*a].value.shape();
-                let mut d = Tensor::zeros(r, c);
+                // fully overwritten below
+                let mut d = scratch.take(r, c);
                 let inv = 1.0 / r as f32;
                 for row in 0..r {
                     for (dst, &g) in d.row_mut(row).iter_mut().zip(grad.row(0)) {
                         *dst = g * inv;
                     }
                 }
-                accumulate(grads, *a, d);
+                accumulate(grads, *a, d, scratch);
             }
-            Op::CrossEntropy { logits, targets, probs } => {
+            Op::CrossEntropy {
+                logits,
+                targets,
+                probs,
+            } => {
                 // d loss / d logits = (softmax - onehot) / n, scaled by
                 // the incoming scalar gradient.
                 let g0 = grad.get(0, 0);
@@ -203,16 +255,22 @@ impl Op {
                         *v *= g0 / n;
                     }
                 }
-                accumulate(grads, *logits, d);
+                accumulate(grads, *logits, d, scratch);
             }
-            Op::LayerNormRows { x, gamma, beta, xhat, inv_std } => {
+            Op::LayerNormRows {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            } => {
                 let (r, c) = xhat.shape();
                 let gamma_v = &nodes[*gamma].value;
                 // dgamma = sum over rows of g ⊙ xhat; dbeta = sum over rows of g
                 let mut dgamma = Tensor::zeros(1, c);
                 let mut dbeta = Tensor::zeros(1, c);
-                let mut dx = Tensor::zeros(r, c);
-                for row in 0..r {
+                let mut dx = scratch.take(r, c); // fully overwritten below
+                for (row, &s) in inv_std.iter().enumerate().take(r) {
                     let g = grad.row(row);
                     let xh = xhat.row(row);
                     for i in 0..c {
@@ -220,23 +278,20 @@ impl Op {
                         dbeta.row_mut(0)[i] += g[i];
                     }
                     // ghat = g ⊙ gamma (the gradient w.r.t. xhat)
-                    let ghat: Vec<f32> =
-                        g.iter().zip(gamma_v.row(0)).map(|(g, w)| g * w).collect();
+                    let ghat: Vec<f32> = g.iter().zip(gamma_v.row(0)).map(|(g, w)| g * w).collect();
                     let mean_ghat: f32 = ghat.iter().sum::<f32>() / c as f32;
                     let mean_ghat_xhat: f32 =
                         ghat.iter().zip(xh).map(|(a, b)| a * b).sum::<f32>() / c as f32;
-                    let s = inv_std[row];
                     for i in 0..c {
-                        dx.row_mut(row)[i] =
-                            s * (ghat[i] - mean_ghat - xh[i] * mean_ghat_xhat);
+                        dx.row_mut(row)[i] = s * (ghat[i] - mean_ghat - xh[i] * mean_ghat_xhat);
                     }
                 }
-                accumulate(grads, *x, dx);
-                accumulate(grads, *gamma, dgamma);
-                accumulate(grads, *beta, dbeta);
+                accumulate(grads, *x, dx, scratch);
+                accumulate(grads, *gamma, dgamma, scratch);
+                accumulate(grads, *beta, dbeta, scratch);
             }
             Op::Dropout { parent, mask } => {
-                accumulate(grads, *parent, grad.hadamard(mask));
+                accumulate(grads, *parent, grad.hadamard(mask), scratch);
             }
         }
     }
@@ -259,13 +314,13 @@ fn gelu_derivative(x: f32) -> f32 {
 impl Graph<'_> {
     /// Elementwise sum. Shapes must match.
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
-        let value = &*self.value(a) + self.value(b);
+        let value = self.value(a) + self.value(b);
         self.push(value, Op::Add(a.0, b.0))
     }
 
     /// Elementwise difference. Shapes must match.
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
-        let value = &*self.value(a) - self.value(b);
+        let value = self.value(a) - self.value(b);
         self.push(value, Op::Sub(a.0, b.0))
     }
 
@@ -353,7 +408,10 @@ impl Graph<'_> {
     /// Copies columns `start..end` into a new node.
     pub fn slice_cols(&mut self, a: VarId, start: usize, end: usize) -> VarId {
         let src = self.value(a);
-        assert!(start <= end && end <= src.cols(), "column slice out of bounds");
+        assert!(
+            start <= end && end <= src.cols(),
+            "column slice out of bounds"
+        );
         let mut value = Tensor::zeros(src.rows(), end - start);
         for r in 0..src.rows() {
             value.row_mut(r).copy_from_slice(&src.row(r)[start..end]);
@@ -371,7 +429,13 @@ impl Graph<'_> {
     pub fn add_row_broadcast(&mut self, x: VarId, bias: VarId) -> VarId {
         let mut value = self.value(x).clone();
         value.add_row_broadcast(self.value(bias));
-        self.push(value, Op::AddRowBroadcast { x: x.0, bias: bias.0 })
+        self.push(
+            value,
+            Op::AddRowBroadcast {
+                x: x.0,
+                bias: bias.0,
+            },
+        )
     }
 
     /// Gathers rows of an embedding `table` for each id, producing a
@@ -380,10 +444,20 @@ impl Graph<'_> {
         let tbl = self.value(table);
         let mut value = Tensor::zeros(ids.len(), tbl.cols());
         for (r, &id) in ids.iter().enumerate() {
-            assert!(id < tbl.rows(), "embedding id {id} out of range {}", tbl.rows());
+            assert!(
+                id < tbl.rows(),
+                "embedding id {id} out of range {}",
+                tbl.rows()
+            );
             value.row_mut(r).copy_from_slice(tbl.row(id));
         }
-        self.push(value, Op::Embedding { table: table.0, ids: ids.to_vec() })
+        self.push(
+            value,
+            Op::Embedding {
+                table: table.0,
+                ids: ids.to_vec(),
+            },
+        )
     }
 
     /// Sum of all elements as a `1 × 1` node.
@@ -426,19 +500,17 @@ impl Graph<'_> {
         loss /= targets.len() as f32;
         self.push(
             Tensor::full(1, 1, loss),
-            Op::CrossEntropy { logits: logits.0, targets: targets.to_vec(), probs },
+            Op::CrossEntropy {
+                logits: logits.0,
+                targets: targets.to_vec(),
+                probs,
+            },
         )
     }
 
     /// Row-wise layer normalisation with learnable `gamma`/`beta`
     /// (`1 × cols` each): `y = gamma ⊙ (x - mean) / sqrt(var + eps) + beta`.
-    pub fn layer_norm_rows(
-        &mut self,
-        x: VarId,
-        gamma: VarId,
-        beta: VarId,
-        eps: f32,
-    ) -> VarId {
+    pub fn layer_norm_rows(&mut self, x: VarId, gamma: VarId, beta: VarId, eps: f32) -> VarId {
         let xv = self.value(x);
         let (r, c) = xv.shape();
         assert_eq!(self.value(gamma).shape(), (1, c), "gamma must be 1 x cols");
@@ -470,7 +542,13 @@ impl Graph<'_> {
         }
         self.push(
             value,
-            Op::LayerNormRows { x: x.0, gamma: gamma.0, beta: beta.0, xhat, inv_std },
+            Op::LayerNormRows {
+                x: x.0,
+                gamma: gamma.0,
+                beta: beta.0,
+                xhat,
+                inv_std,
+            },
         )
     }
 
@@ -478,7 +556,10 @@ impl Graph<'_> {
     /// `0` or `1/(1-p)`. Call only in training mode — evaluation should
     /// simply not insert the op.
     pub fn dropout(&mut self, a: VarId, p: f32, rng: &mut impl rand::Rng) -> VarId {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
         if p == 0.0 {
             return a;
         }
@@ -524,8 +605,7 @@ mod tests {
     fn embedding_gathers_rows() {
         let store = ParamStore::new();
         let mut g = Graph::new(&store);
-        let table =
-            g.constant(Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]));
+        let table = g.constant(Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]));
         let emb = g.embedding(table, &[2, 0, 2]);
         assert_eq!(g.value(emb).row(0), &[3.0, 3.0]);
         assert_eq!(g.value(emb).row(1), &[1.0, 1.0]);

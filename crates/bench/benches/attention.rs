@@ -3,11 +3,11 @@
 
 use autograd::{Graph, ParamStore};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nn::{LstmLayer, MultiHeadAttention};
 use nn::transformer::EncoderLayer;
+use nn::{LstmLayer, MultiHeadAttention};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tensor::Initializer;
+use tensor::{matmul_with_threads, num_threads, Initializer};
 
 fn bench_attention(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
@@ -46,5 +46,26 @@ fn bench_attention(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_attention);
+/// Scalar vs pooled-parallel timing for the projection matmul that
+/// dominates each attention block (`seq × d_model` by `d_model × d_model`).
+fn bench_attention_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let d_model = 128;
+    let threads = num_threads();
+    let w = Initializer::XavierUniform.init(d_model, d_model, &mut rng);
+
+    let mut group = c.benchmark_group("attention_projection");
+    for &seq in &[16usize, 32, 48] {
+        let x = Initializer::Uniform(1.0).init(seq, d_model, &mut rng);
+        group.bench_with_input(BenchmarkId::new("scalar", seq), &seq, |b, _| {
+            b.iter(|| matmul_with_threads(&x, &w, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", seq), &seq, |b, _| {
+            b.iter(|| matmul_with_threads(&x, &w, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention, bench_attention_kernels);
 criterion_main!(benches);

@@ -4,8 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use cuisine::{Pipeline, PipelineConfig, Scale};
 use ml::{
-    Classifier, LinearSvm, LogisticRegression, MultinomialNb, RandomForest,
-    RandomForestConfig,
+    Classifier, LinearSvm, LogisticRegression, MultinomialNb, RandomForest, RandomForestConfig,
 };
 
 fn bench_classical(c: &mut Criterion) {

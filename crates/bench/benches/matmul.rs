@@ -1,29 +1,122 @@
 //! Criterion bench: dense matmul kernels — the hot path of the neural
-//! models' forward and backward passes.
+//! models' forward and backward passes — scalar (single-thread) vs the
+//! pooled parallel path, plus a `BENCH_matmul.json` emitter so runs on
+//! different machines can be compared offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tensor::{matmul, matmul_a_bt, matmul_at_b, Initializer};
+use tensor::{
+    matmul_a_bt_with_threads, matmul_at_b_with_threads, matmul_with_threads, num_threads,
+    Initializer, Tensor,
+};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
+    let threads = num_threads();
     let mut group = c.benchmark_group("matmul");
     for &n in &[64usize, 128, 256] {
         let a = Initializer::XavierUniform.init(n, n, &mut rng);
         let b = Initializer::XavierUniform.init(n, n, &mut rng);
-        group.bench_with_input(BenchmarkId::new("a_b", n), &n, |bench, _| {
-            bench.iter(|| matmul(&a, &b))
+        group.bench_with_input(BenchmarkId::new("a_b_scalar", n), &n, |bench, _| {
+            bench.iter(|| matmul_with_threads(&a, &b, 1))
         });
-        group.bench_with_input(BenchmarkId::new("at_b", n), &n, |bench, _| {
-            bench.iter(|| matmul_at_b(&a, &b))
+        group.bench_with_input(BenchmarkId::new("a_b_parallel", n), &n, |bench, _| {
+            bench.iter(|| matmul_with_threads(&a, &b, threads))
         });
-        group.bench_with_input(BenchmarkId::new("a_bt", n), &n, |bench, _| {
-            bench.iter(|| matmul_a_bt(&a, &b))
+        group.bench_with_input(BenchmarkId::new("at_b_scalar", n), &n, |bench, _| {
+            bench.iter(|| matmul_at_b_with_threads(&a, &b, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("at_b_parallel", n), &n, |bench, _| {
+            bench.iter(|| matmul_at_b_with_threads(&a, &b, threads))
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt_scalar", n), &n, |bench, _| {
+            bench.iter(|| matmul_a_bt_with_threads(&a, &b, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt_parallel", n), &n, |bench, _| {
+            bench.iter(|| matmul_a_bt_with_threads(&a, &b, threads))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul);
+/// Best-of-batches nanoseconds per call, with the batch size calibrated so
+/// one batch runs long enough for the clock to resolve it.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let mut reps = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        if start.elapsed() >= Duration::from_millis(10) || reps >= 1 << 24 {
+            break;
+        }
+        reps *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    best
+}
+
+/// Times each kernel scalar vs parallel and writes `BENCH_matmul.json` at
+/// the workspace root. The parallel outputs are also checked bit-identical
+/// to the scalar ones before anything is recorded.
+fn emit_json(_c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let threads = num_threads();
+    type Kernel = fn(&Tensor, &Tensor, usize) -> Tensor;
+    let kernels: [(&str, Kernel); 3] = [
+        ("a_b", matmul_with_threads),
+        ("at_b", matmul_at_b_with_threads),
+        ("a_bt", matmul_a_bt_with_threads),
+    ];
+
+    let mut entries = Vec::new();
+    for &n in &[64usize, 128, 256] {
+        let a = Initializer::XavierUniform.init(n, n, &mut rng);
+        let b = Initializer::XavierUniform.init(n, n, &mut rng);
+        for (name, kernel) in kernels {
+            assert_eq!(
+                kernel(&a, &b, 1),
+                kernel(&a, &b, threads),
+                "{name}/{n}: parallel result must be bit-identical to scalar"
+            );
+            let scalar_ns = time_ns(|| {
+                black_box(kernel(black_box(&a), black_box(&b), 1));
+            });
+            let parallel_ns = time_ns(|| {
+                black_box(kernel(black_box(&a), black_box(&b), threads));
+            });
+            let speedup = scalar_ns / parallel_ns;
+            eprintln!(
+                "json: {name:>5}/{n:<4} scalar {scalar_ns:>12.0} ns  \
+                 parallel {parallel_ns:>12.0} ns  speedup {speedup:.2}x"
+            );
+            entries.push(format!(
+                "    {{\"kernel\": \"{name}\", \"size\": {n}, \
+                 \"scalar_ns\": {scalar_ns:.1}, \"parallel_ns\": {parallel_ns:.1}, \
+                 \"speedup\": {speedup:.3}}}"
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"matmul\",\n  \"threads\": {threads},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matmul.json");
+    std::fs::write(path, json).expect("write BENCH_matmul.json");
+    eprintln!("wrote {path} (threads = {threads})");
+}
+
+criterion_group!(benches, bench_matmul, emit_json);
 criterion_main!(benches);

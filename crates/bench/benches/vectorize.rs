@@ -6,11 +6,20 @@ use recipedb::{generate, GeneratorConfig};
 use textproc::{TfIdfConfig, TfIdfVectorizer};
 
 fn bench_vectorize(c: &mut Criterion) {
-    let dataset = generate(&GeneratorConfig { seed: 1, scale: 0.01, ..Default::default() });
+    let dataset = generate(&GeneratorConfig {
+        seed: 1,
+        scale: 0.01,
+        ..Default::default()
+    });
     let docs: Vec<Vec<String>> = dataset
         .recipes
         .iter()
-        .map(|r| r.tokens.iter().map(|&t| dataset.table.name(t).to_string()).collect())
+        .map(|r| {
+            r.tokens
+                .iter()
+                .map(|&t| dataset.table.name(t).to_string())
+                .collect()
+        })
         .collect();
 
     let mut group = c.benchmark_group("tfidf");

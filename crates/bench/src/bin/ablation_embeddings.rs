@@ -5,9 +5,7 @@
 
 use bench::HarnessArgs;
 use cuisine::Pipeline;
-use nn::{
-    train_word2vec, AdamW, LstmClassifier, Trainer, Word2VecConfig,
-};
+use nn::{train_word2vec, AdamW, LstmClassifier, Trainer, Word2VecConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -47,10 +47,8 @@ fn main() {
             }
         }
 
-        let train_idx: Vec<usize> =
-            (0..train_y.len()).filter(|&i| kept[train_y[i]]).collect();
-        let test_idx: Vec<usize> =
-            (0..test_y.len()).filter(|&i| kept[test_y[i]]).collect();
+        let train_idx: Vec<usize> = (0..train_y.len()).filter(|&i| kept[train_y[i]]).collect();
+        let test_idx: Vec<usize> = (0..test_y.len()).filter(|&i| kept[test_y[i]]).collect();
         let tx = train_x.select_rows(&train_idx);
         let sx = test_x.select_rows(&test_idx);
         let ty: Vec<usize> = train_idx.iter().map(|&i| remap[train_y[i]]).collect();
@@ -59,8 +57,7 @@ fn main() {
         let mut model = LogisticRegression::default();
         model.fit(&tx, &ty);
         let pred = model.predict(&sx);
-        let report =
-            metrics::ClassificationReport::evaluate(classes_kept, &sy, &pred, None);
+        let report = metrics::ClassificationReport::evaluate(classes_kept, &sy, &pred, None);
         println!(
             "{:>14} {:>9} {:>12} {:>12.2} {:>10.3}",
             min_size,

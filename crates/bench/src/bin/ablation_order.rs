@@ -61,7 +61,10 @@ fn main() {
     for (label, a) in &acc {
         println!("  LSTM, {label:>9} sequences: {:.2}%", a * 100.0);
     }
-    println!("  LogReg (order-invariant):  {:.2}%", lr.report.accuracy_pct());
+    println!(
+        "  LogReg (order-invariant):  {:.2}%",
+        lr.report.accuracy_pct()
+    );
     let drop = acc[0].1 - acc[1].1;
     println!(
         "\norder signal captured by the LSTM: {:.2} accuracy points",

@@ -56,8 +56,10 @@ fn main() {
         let train_docs = docs_of(&pipeline.data.split.train);
         let test_docs = docs_of(&pipeline.data.split.test);
 
-        let mut vectorizer =
-            TfIdfVectorizer::new(TfIdfConfig { min_df: 2, ..Default::default() });
+        let mut vectorizer = TfIdfVectorizer::new(TfIdfConfig {
+            min_df: 2,
+            ..Default::default()
+        });
         let train_x = vectorizer.fit_transform(&train_docs);
         let test_x = vectorizer.transform(&test_docs);
         let train_y = pipeline.labels_of(&pipeline.data.split.train);
@@ -66,8 +68,7 @@ fn main() {
         let mut model = LogisticRegression::default();
         model.fit(&train_x, &train_y);
         let pred = model.predict(&test_x);
-        let report =
-            metrics::ClassificationReport::evaluate(NUM_CUISINES, &test_y, &pred, None);
+        let report = metrics::ClassificationReport::evaluate(NUM_CUISINES, &test_y, &pred, None);
         println!(
             "  drop top {k:>4}: accuracy {:>6.2}%  macro-F1 {:.3}  vocab {}",
             report.accuracy_pct(),

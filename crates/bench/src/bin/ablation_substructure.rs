@@ -55,7 +55,10 @@ fn main() {
             .map(|&i| docs[i].iter().map(String::as_str).collect())
             .collect();
 
-        let mut vectorizer = TfIdfVectorizer::new(TfIdfConfig { min_df: 2, ..Default::default() });
+        let mut vectorizer = TfIdfVectorizer::new(TfIdfConfig {
+            min_df: 2,
+            ..Default::default()
+        });
         let train_x = vectorizer.fit_transform(&train_docs);
         let test_x = vectorizer.transform(&test_docs);
         let train_y: Vec<usize> = split.train.iter().map(|&i| labels[i]).collect();
@@ -64,8 +67,7 @@ fn main() {
         let mut model = LogisticRegression::default();
         model.fit(&train_x, &train_y);
         let pred = model.predict(&test_x);
-        let report =
-            metrics::ClassificationReport::evaluate(NUM_CUISINES, &test_y, &pred, None);
+        let report = metrics::ClassificationReport::evaluate(NUM_CUISINES, &test_y, &pred, None);
         println!(
             "  {:<22} accuracy {:>6.2}%  macro-F1 {:.3}  (vocab {})",
             label,

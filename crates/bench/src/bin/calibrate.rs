@@ -59,9 +59,7 @@ fn main() {
         let mut config = PipelineConfig::new(args.scale, args.seed);
         config.generator.signal = signal;
         let pipeline = Pipeline::prepare(&config);
-        let acc = |kind: ModelKind| {
-            pipeline.run(kind, &config).report.accuracy_pct()
-        };
+        let acc = |kind: ModelKind| pipeline.run(kind, &config).report.accuracy_pct();
         println!(
             "{:<26} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
             label,

@@ -5,11 +5,11 @@
 //! `cargo run --release -p bench --bin calibrate_models`
 
 use bench::HarnessArgs;
+use cuisine::Pipeline;
 use ml::{
     Classifier, LinearSvm, LinearSvmConfig, LogisticRegression, LogisticRegressionConfig,
     MultinomialNb, MultinomialNbConfig, RandomForest, RandomForestConfig, SgdConfig,
 };
-use cuisine::Pipeline;
 use recipedb::NUM_CUISINES;
 
 fn main() {
@@ -21,8 +21,7 @@ fn main() {
     let test_y = pipeline.labels_of(&pipeline.data.split.test);
 
     let score = |pred: &[usize]| {
-        metrics::ClassificationReport::evaluate(NUM_CUISINES, &test_y, pred, None)
-            .accuracy_pct()
+        metrics::ClassificationReport::evaluate(NUM_CUISINES, &test_y, pred, None).accuracy_pct()
     };
 
     println!("LogReg sweeps:");
@@ -34,10 +33,18 @@ fn main() {
         (0.2, 15, 1e-6),
     ] {
         let mut m = LogisticRegression::new(LogisticRegressionConfig {
-            sgd: SgdConfig { learning_rate: lr, epochs, l2, seed: 0 },
+            sgd: SgdConfig {
+                learning_rate: lr,
+                epochs,
+                l2,
+                seed: 0,
+            },
         });
         m.fit(&train_x, &train_y);
-        println!("  lr={lr} epochs={epochs} l2={l2}: {:.2}", score(&m.predict(&test_x)));
+        println!(
+            "  lr={lr} epochs={epochs} l2={l2}: {:.2}",
+            score(&m.predict(&test_x))
+        );
     }
 
     println!("SVM sweeps:");
@@ -49,10 +56,18 @@ fn main() {
         (0.02, 2, 5e-3),
     ] {
         let mut m = LinearSvm::new(LinearSvmConfig {
-            sgd: SgdConfig { learning_rate: lr, epochs, l2, seed: 0 },
+            sgd: SgdConfig {
+                learning_rate: lr,
+                epochs,
+                l2,
+                seed: 0,
+            },
         });
         m.fit(&train_x, &train_y);
-        println!("  lr={lr} epochs={epochs} l2={l2}: {:.2}", score(&m.predict(&test_x)));
+        println!(
+            "  lr={lr} epochs={epochs} l2={l2}: {:.2}",
+            score(&m.predict(&test_x))
+        );
     }
 
     println!("NB sweeps:");
@@ -66,10 +81,16 @@ fn main() {
     for (trees, depth) in [(40usize, 25usize), (80, 25), (80, 35), (120, 30)] {
         let mut m = RandomForest::new(RandomForestConfig {
             n_trees: trees,
-            tree: ml::DecisionTreeConfig { max_depth: depth, ..Default::default() },
+            tree: ml::DecisionTreeConfig {
+                max_depth: depth,
+                ..Default::default()
+            },
             ..Default::default()
         });
         m.fit(&train_x, &train_y);
-        println!("  trees={trees} depth={depth}: {:.2}", score(&m.predict(&test_x)));
+        println!(
+            "  trees={trees} depth={depth}: {:.2}",
+            score(&m.predict(&test_x))
+        );
     }
 }

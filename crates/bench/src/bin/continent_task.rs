@@ -20,7 +20,10 @@ fn main() {
 
     let continent_of = |cuisine_label: usize| -> usize {
         let cont = CuisineId(cuisine_label as u8).info().continent;
-        Continent::all().iter().position(|&c| c == cont).expect("listed")
+        Continent::all()
+            .iter()
+            .position(|&c| c == cont)
+            .expect("listed")
     };
     let train_y: Vec<usize> = pipeline
         .labels_of(&pipeline.data.split.train)
@@ -35,7 +38,10 @@ fn main() {
 
     println!("6-way continent classification (same features, coarser labels):");
     for (name, mut model) in [
-        ("LogReg", Box::new(LogisticRegression::default()) as Box<dyn Classifier>),
+        (
+            "LogReg",
+            Box::new(LogisticRegression::default()) as Box<dyn Classifier>,
+        ),
         ("Naive Bayes", Box::new(MultinomialNb::default())),
     ] {
         model.fit(&train_x, &train_y);

@@ -6,8 +6,8 @@
 use bench::HarnessArgs;
 use cuisine::Pipeline;
 use ml::{
-    cross_val_accuracy, mean_std, LinearSvm, LogisticRegression, MultinomialNb,
-    RandomForest, RandomForestConfig,
+    cross_val_accuracy, mean_std, LinearSvm, LogisticRegression, MultinomialNb, RandomForest,
+    RandomForestConfig,
 };
 
 fn main() {
@@ -32,7 +32,10 @@ fn main() {
     let x = vectorizer.transform(&docs);
     let y: Vec<usize> = idx.iter().map(|&i| pipeline.data.labels[i]).collect();
 
-    println!("{folds}-fold stratified cross-validation ({} examples)", y.len());
+    println!(
+        "{folds}-fold stratified cross-validation ({} examples)",
+        y.len()
+    );
     let report = |name: &str, scores: Vec<f64>| {
         let (mean, std) = mean_std(&scores);
         println!(
@@ -48,9 +51,18 @@ fn main() {
         );
     };
 
-    report("LogReg", cross_val_accuracy(&x, &y, folds, config.seed, LogisticRegression::default));
-    report("Naive Bayes", cross_val_accuracy(&x, &y, folds, config.seed, MultinomialNb::default));
-    report("SVM (linear)", cross_val_accuracy(&x, &y, folds, config.seed, LinearSvm::default));
+    report(
+        "LogReg",
+        cross_val_accuracy(&x, &y, folds, config.seed, LogisticRegression::default),
+    );
+    report(
+        "Naive Bayes",
+        cross_val_accuracy(&x, &y, folds, config.seed, MultinomialNb::default),
+    );
+    report(
+        "SVM (linear)",
+        cross_val_accuracy(&x, &y, folds, config.seed, LinearSvm::default),
+    );
     report(
         "Random Forest",
         cross_val_accuracy(&x, &y, folds, config.seed, || {

@@ -11,17 +11,19 @@ fn main() {
     let dataset = generate(&args.config().generator);
 
     println!("Table I — sample dataset from synthetic RecipeDB");
-    println!("{:<10} {:<16} {:<24} Recipe", "Recipe ID", "Continent", "Cuisine");
+    println!(
+        "{:<10} {:<16} {:<24} Recipe",
+        "Recipe ID", "Continent", "Cuisine"
+    );
     for continent in Continent::all() {
-        let Some(recipe) = dataset
-            .recipes
-            .iter()
-            .find(|r| r.continent() == continent)
-        else {
+        let Some(recipe) = dataset.recipes.iter().find(|r| r.continent() == continent) else {
             continue;
         };
-        let names: Vec<&str> =
-            recipe.tokens.iter().map(|&t| dataset.table.name(t)).collect();
+        let names: Vec<&str> = recipe
+            .tokens
+            .iter()
+            .map(|&t| dataset.table.name(t))
+            .collect();
         let preview = if names.len() > 10 {
             format!(
                 "['{}', …, '{}']",

@@ -5,11 +5,14 @@
 //! ```text
 //! cargo run --release -p bench --bin table4 -- --scale small
 //!     [--models logreg,nb,svm,rf,lstm,bert,roberta]
-//!     [--csv out.csv] [--adaboost]
+//!     [--csv out.csv] [--json out.json] [--adaboost]
 //! ```
+//!
+//! Always writes a machine-readable copy of the table to
+//! `BENCH_table4.json` (override with `--json`).
 
 use bench::HarnessArgs;
-use cuisine::report::{render_table4, table4_csv};
+use cuisine::report::{render_table4, table4_csv, table4_json};
 use cuisine::{paper_row, ExperimentResult, ModelKind, Pipeline};
 
 fn parse_models(spec: &str) -> Vec<ModelKind> {
@@ -67,7 +70,10 @@ fn main() {
 
     // render in Table IV order regardless of run order
     results.sort_by_key(|r| {
-        cuisine::ALL_MODELS.iter().position(|&k| k == r.kind).unwrap_or(usize::MAX)
+        cuisine::ALL_MODELS
+            .iter()
+            .position(|&k| k == r.kind)
+            .unwrap_or(usize::MAX)
     });
 
     println!("\n{}", render_table4(&results));
@@ -77,6 +83,10 @@ fn main() {
         std::fs::write(path, table4_csv(&results)).expect("write csv");
         eprintln!("wrote {path}");
     }
+
+    let json_path = args.value_of("--json").unwrap_or("BENCH_table4.json");
+    std::fs::write(json_path, table4_json(&results)).expect("write json");
+    eprintln!("wrote {json_path}");
 }
 
 /// Prints whether the paper's qualitative ordering holds in this run.
@@ -95,7 +105,9 @@ fn shape_check(results: &[ExperimentResult]) {
     };
     check(
         "RoBERTa beats BERT",
-        acc(ModelKind::Roberta).zip(acc(ModelKind::Bert)).map(|(r, b)| r > b),
+        acc(ModelKind::Roberta)
+            .zip(acc(ModelKind::Bert))
+            .map(|(r, b)| r > b),
     );
     let best_stat = [
         ModelKind::LogReg,

@@ -23,6 +23,7 @@ impl HarnessArgs {
     }
 
     /// Parses an explicit argument list (testable).
+    #[allow(clippy::should_implement_trait)] // named after structopt's API
     pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
         let mut scale = Scale::Small;
         let mut seed = 2020;

@@ -24,17 +24,23 @@ pub struct MarkovRecipeGeneratorConfig {
 
 impl Default for MarkovRecipeGeneratorConfig {
     fn default() -> Self {
-        Self { max_len: 60, backoff_prob: 0.1 }
+        Self {
+            max_len: 60,
+            backoff_prob: 0.1,
+        }
     }
 }
 
 /// Sentinel used as the pre-sequence context and end-of-sequence token.
 const BOUNDARY: u32 = u32::MAX;
 
+/// `table[(prev2, prev1)] = [(next, count)]` transition counts.
+type Transitions = HashMap<(u32, u32), Vec<(u32, u32)>>;
+
 /// Per-cuisine order-2 Markov model over entity sequences.
 pub struct MarkovRecipeGenerator {
     /// `chains[cuisine][(prev2, prev1)] = [(next, count)]`
-    chains: Vec<HashMap<(u32, u32), Vec<(u32, u32)>>>,
+    chains: Vec<Transitions>,
     /// `unigram[cuisine] = [(token, count)]` backoff distribution.
     unigrams: Vec<Vec<(u32, u32)>>,
     config: MarkovRecipeGeneratorConfig,
@@ -43,17 +49,23 @@ pub struct MarkovRecipeGenerator {
 impl MarkovRecipeGenerator {
     /// Learns transition counts from a corpus.
     pub fn fit(dataset: &Dataset, config: MarkovRecipeGeneratorConfig) -> Self {
-        let mut chains: Vec<HashMap<(u32, u32), HashMap<u32, u32>>> =
-            (0..recipedb::NUM_CUISINES).map(|_| HashMap::new()).collect();
-        let mut unigrams: Vec<HashMap<u32, u32>> =
-            (0..recipedb::NUM_CUISINES).map(|_| HashMap::new()).collect();
+        let mut chains: Vec<HashMap<(u32, u32), HashMap<u32, u32>>> = (0..recipedb::NUM_CUISINES)
+            .map(|_| HashMap::new())
+            .collect();
+        let mut unigrams: Vec<HashMap<u32, u32>> = (0..recipedb::NUM_CUISINES)
+            .map(|_| HashMap::new())
+            .collect();
 
         for recipe in &dataset.recipes {
             let k = recipe.cuisine.index();
             let mut prev2 = BOUNDARY;
             let mut prev1 = BOUNDARY;
             for &tok in &recipe.tokens {
-                *chains[k].entry((prev2, prev1)).or_default().entry(tok.0).or_insert(0) += 1;
+                *chains[k]
+                    .entry((prev2, prev1))
+                    .or_default()
+                    .entry(tok.0)
+                    .or_insert(0) += 1;
                 *unigrams[k].entry(tok.0).or_insert(0) += 1;
                 prev2 = prev1;
                 prev1 = tok.0;
@@ -140,7 +152,11 @@ mod tests {
     use recipedb::{generate as gen_corpus, EntityKind, GeneratorConfig};
 
     fn corpus() -> Dataset {
-        gen_corpus(&GeneratorConfig { seed: 4, scale: 0.004, ..Default::default() })
+        gen_corpus(&GeneratorConfig {
+            seed: 4,
+            scale: 0.004,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -171,10 +187,13 @@ mod tests {
         // structure test: generated recipes should mostly keep the
         // ingredients-then-processes shape, since the chain learned it
         let d = corpus();
-        let model = MarkovRecipeGenerator::fit(&d, MarkovRecipeGeneratorConfig {
-            backoff_prob: 0.0,
-            ..Default::default()
-        });
+        let model = MarkovRecipeGenerator::fit(
+            &d,
+            MarkovRecipeGeneratorConfig {
+                backoff_prob: 0.0,
+                ..Default::default()
+            },
+        );
         let mut rng = StdRng::seed_from_u64(2);
         let mut starts_with_ingredient = 0;
         for _ in 0..20 {

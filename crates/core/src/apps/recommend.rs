@@ -28,7 +28,11 @@ impl RecipeRecommender {
             }
             norms.push(corpus.row_norm(r).max(f32::MIN_POSITIVE));
         }
-        Self { postings, norms, rows: corpus.rows() }
+        Self {
+            postings,
+            norms,
+            rows: corpus.rows(),
+        }
     }
 
     /// Number of indexed recipes.
@@ -120,7 +124,10 @@ mod tests {
         let c = corpus();
         let rec = RecipeRecommender::fit(&c);
         let out = rec.recommend_for_indexed(&c, 0, 10);
-        assert!(out.iter().all(|&(r, _)| r != 3), "soup shares no terms with pasta");
+        assert!(
+            out.iter().all(|&(r, _)| r != 3),
+            "soup shares no terms with pasta"
+        );
     }
 
     #[test]
@@ -129,7 +136,11 @@ mod tests {
         let rec = RecipeRecommender::fit(&c);
         let out = rec.recommend(c.row(0), 1, None);
         assert_eq!(out[0].0, 0);
-        assert!((out[0].1 - 1.0).abs() < 1e-5, "self-similarity {}", out[0].1);
+        assert!(
+            (out[0].1 - 1.0).abs() < 1e-5,
+            "self-similarity {}",
+            out[0].1
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Pipeline and model configuration with small/paper scale presets.
 
-use nn::{BertConfig, LstmConfig, PretrainConfig, TrainerConfig, Word2VecConfig};
 use nn::LrSchedule;
+use nn::{BertConfig, LstmConfig, PretrainConfig, TrainerConfig, Word2VecConfig};
 use recipedb::{GeneratorConfig, SignalProfile};
 
 /// Experiment scale.
@@ -202,7 +202,10 @@ mod tests {
         use textproc::masking::MaskingStrategy;
         let c = PipelineConfig::new(Scale::Small, 0);
         assert_eq!(c.bert_pretrain().masking.strategy, MaskingStrategy::Static);
-        assert_eq!(c.roberta_pretrain().masking.strategy, MaskingStrategy::Dynamic);
+        assert_eq!(
+            c.roberta_pretrain().masking.strategy,
+            MaskingStrategy::Dynamic
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use ml::{
     AdaBoost, AdaBoostConfig, Classifier, DecisionTreeConfig, LinearSvm, LogisticRegression,
     MultinomialNb, RandomForest, RandomForestConfig,
 };
-use nn::{train_word2vec, AdamW, BertClassifier, LstmClassifier, Trainer, TrainHistory};
+use nn::{train_word2vec, AdamW, BertClassifier, LstmClassifier, TrainHistory, Trainer};
 
 use crate::config::PipelineConfig;
 use crate::pipeline::Pipeline;
@@ -78,7 +78,11 @@ pub struct ExperimentResult {
 }
 
 /// Runs one model end to end.
-pub fn run_model(pipeline: &Pipeline, kind: ModelKind, config: &PipelineConfig) -> ExperimentResult {
+pub fn run_model(
+    pipeline: &Pipeline,
+    kind: ModelKind,
+    config: &PipelineConfig,
+) -> ExperimentResult {
     if kind.is_sequential() {
         run_sequential(pipeline, kind, config)
     } else {
@@ -88,7 +92,10 @@ pub fn run_model(pipeline: &Pipeline, kind: ModelKind, config: &PipelineConfig) 
 
 /// Runs every Table IV model in order.
 pub fn run_all_models(pipeline: &Pipeline, config: &PipelineConfig) -> Vec<ExperimentResult> {
-    ALL_MODELS.iter().map(|&k| run_model(pipeline, k, config)).collect()
+    ALL_MODELS
+        .iter()
+        .map(|&k| run_model(pipeline, k, config))
+        .collect()
 }
 
 fn run_statistical(
@@ -133,11 +140,21 @@ fn run_statistical(
     let pred: Vec<usize> = probs
         .iter()
         .map(|row| {
-            row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
         })
         .collect();
     let report = pipeline.evaluate_test(&pred, Some(&probs));
-    ExperimentResult { kind, report, train_seconds, history: None, pretrain_losses: None }
+    ExperimentResult {
+        kind,
+        report,
+        train_seconds,
+        history: None,
+        pretrain_losses: None,
+    }
 }
 
 fn run_sequential(
@@ -158,14 +175,10 @@ fn run_sequential(
                 // §IV: sequential models consume word embeddings — train
                 // skip-gram vectors on the training split and initialise
                 // the LSTM's table with them
-                let corpus: Vec<Vec<usize>> =
-                    train.iter().map(|(ids, _)| ids.clone()).collect();
-                let mut table = train_word2vec(
-                    &corpus,
-                    config.models.lstm.vocab,
-                    &config.models.word2vec,
-                )
-                .into_table();
+                let corpus: Vec<Vec<usize>> = train.iter().map(|(ids, _)| ids.clone()).collect();
+                let mut table =
+                    train_word2vec(&corpus, config.models.lstm.vocab, &config.models.word2vec)
+                        .into_table();
                 // rescale to the layer's expected N(0, 0.02) magnitude so
                 // large skip-gram norms do not saturate the LSTM gates
                 let std = (table.norm_sq() / table.len() as f32).sqrt();
@@ -178,7 +191,11 @@ fn run_sequential(
             let mut opt = AdamW::default();
             let history = trainer.fit(&mut model, &mut opt, &train, Some(&val));
             let (_, _, pred, probs) = trainer.evaluate(&model, &test);
-            (pipeline.evaluate_test(&pred, Some(&probs)), Some(history), None)
+            (
+                pipeline.evaluate_test(&pred, Some(&probs)),
+                Some(history),
+                None,
+            )
         }
         ModelKind::Bert | ModelKind::Roberta => {
             let mut rng = pipeline.rng(config, if kind == ModelKind::Bert { 2 } else { 3 });
@@ -208,7 +225,13 @@ fn run_sequential(
         _ => unreachable!("statistical model routed to sequential runner"),
     };
     let train_seconds = started.elapsed().as_secs_f64();
-    ExperimentResult { kind, report, train_seconds, history, pretrain_losses }
+    ExperimentResult {
+        kind,
+        report,
+        train_seconds,
+        history,
+        pretrain_losses,
+    }
 }
 
 /// Runs the harness's AdaBoost variant (the paper folds it into its
@@ -219,7 +242,11 @@ pub fn run_adaboost(pipeline: &Pipeline, config: &PipelineConfig) -> ExperimentR
     let started = Instant::now();
     let mut model = AdaBoost::new(AdaBoostConfig {
         n_rounds: 25,
-        tree: DecisionTreeConfig { max_depth: 4, max_features: Some(64), ..Default::default() },
+        tree: DecisionTreeConfig {
+            max_depth: 4,
+            max_features: Some(64),
+            ..Default::default()
+        },
         seed: config.seed,
     });
     model.fit(&train_x, &train_y);
@@ -228,7 +255,11 @@ pub fn run_adaboost(pipeline: &Pipeline, config: &PipelineConfig) -> ExperimentR
     let pred: Vec<usize> = probs
         .iter()
         .map(|row| {
-            row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
         })
         .collect();
     let report = pipeline.evaluate_test(&pred, Some(&probs));

@@ -22,13 +22,62 @@ pub struct PaperRow {
 
 /// Table IV of the paper, verbatim.
 pub const PAPER_TABLE4: [PaperRow; 7] = [
-    PaperRow { model: ModelKind::LogReg, accuracy_pct: 57.70, loss: 1.51, precision: 0.56, recall: 0.57, f1: 0.56 },
-    PaperRow { model: ModelKind::NaiveBayes, accuracy_pct: 51.64, loss: 7.14, precision: 0.50, recall: 0.51, f1: 0.50 },
-    PaperRow { model: ModelKind::SvmLinear, accuracy_pct: 56.60, loss: 2.97, precision: 0.54, recall: 0.56, f1: 0.54 },
-    PaperRow { model: ModelKind::RandomForest, accuracy_pct: 50.37, loss: 2.32, precision: 0.48, recall: 0.50, f1: 0.49 },
-    PaperRow { model: ModelKind::Lstm, accuracy_pct: 53.61, loss: 1.65, precision: 0.53, recall: 0.54, f1: 0.53 },
-    PaperRow { model: ModelKind::Bert, accuracy_pct: 68.71, loss: 0.21, precision: 0.58, recall: 0.60, f1: 0.57 },
-    PaperRow { model: ModelKind::Roberta, accuracy_pct: 73.30, loss: 0.10, precision: 0.67, recall: 0.71, f1: 0.69 },
+    PaperRow {
+        model: ModelKind::LogReg,
+        accuracy_pct: 57.70,
+        loss: 1.51,
+        precision: 0.56,
+        recall: 0.57,
+        f1: 0.56,
+    },
+    PaperRow {
+        model: ModelKind::NaiveBayes,
+        accuracy_pct: 51.64,
+        loss: 7.14,
+        precision: 0.50,
+        recall: 0.51,
+        f1: 0.50,
+    },
+    PaperRow {
+        model: ModelKind::SvmLinear,
+        accuracy_pct: 56.60,
+        loss: 2.97,
+        precision: 0.54,
+        recall: 0.56,
+        f1: 0.54,
+    },
+    PaperRow {
+        model: ModelKind::RandomForest,
+        accuracy_pct: 50.37,
+        loss: 2.32,
+        precision: 0.48,
+        recall: 0.50,
+        f1: 0.49,
+    },
+    PaperRow {
+        model: ModelKind::Lstm,
+        accuracy_pct: 53.61,
+        loss: 1.65,
+        precision: 0.53,
+        recall: 0.54,
+        f1: 0.53,
+    },
+    PaperRow {
+        model: ModelKind::Bert,
+        accuracy_pct: 68.71,
+        loss: 0.21,
+        precision: 0.58,
+        recall: 0.60,
+        f1: 0.57,
+    },
+    PaperRow {
+        model: ModelKind::Roberta,
+        accuracy_pct: 73.30,
+        loss: 0.10,
+        precision: 0.67,
+        recall: 0.71,
+        f1: 0.69,
+    },
 ];
 
 /// Looks up the paper's row for a model.

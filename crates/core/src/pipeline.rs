@@ -64,16 +64,32 @@ impl Pipeline {
 
         // sequence vocabulary fit on training documents only
         let vocab = Vocabulary::build(
-            split.train.iter().map(|&i| docs[i].iter().map(String::as_str)),
+            split
+                .train
+                .iter()
+                .map(|&i| docs[i].iter().map(String::as_str)),
             config.models.vocab_min_freq,
             Some(config.models.vocab_max_size),
         );
         let sequences: Vec<Vec<usize>> = docs
             .iter()
-            .map(|doc| doc.iter().map(|t| vocab.lookup_or_unk(t) as usize).collect())
+            .map(|doc| {
+                doc.iter()
+                    .map(|t| vocab.lookup_or_unk(t) as usize)
+                    .collect()
+            })
             .collect();
 
-        Self { data: PreparedData { dataset, split, docs, labels, vocab, sequences } }
+        Self {
+            data: PreparedData {
+                dataset,
+                split,
+                docs,
+                labels,
+                vocab,
+                sequences,
+            },
+        }
     }
 
     /// TF-IDF features for the three split parts: `(train, val, test)`,
@@ -165,12 +181,7 @@ mod tests {
     fn documents_are_entity_level() {
         let (p, _) = tiny_pipeline();
         // documents keep multi-word entity names as single tokens
-        let multi = p
-            .data
-            .docs
-            .iter()
-            .flatten()
-            .any(|t| t.contains(' '));
+        let multi = p.data.docs.iter().flatten().any(|t| t.contains(' '));
         assert!(multi, "expected multi-word entity features");
     }
 

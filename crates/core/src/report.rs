@@ -32,15 +32,27 @@ pub fn render_table2(stats: &DatasetStats, scale: f64) -> String {
 pub fn render_table3(stats: &DatasetStats, scale: f64) -> String {
     let (high, low) = cumulative_spectrum(stats);
     let mut out = String::new();
-    let _ = writeln!(out, "Table III — feature frequency distribution (scale {scale})");
+    let _ = writeln!(
+        out,
+        "Table III — feature frequency distribution (scale {scale})"
+    );
     let _ = writeln!(
         out,
         "{:>12} {:>12} {:>12}   {:>10} {:>12} {:>12}",
         "freq >", "paper #", "generated #", "freq <", "paper #", "generated #"
     );
-    for (h, l) in recipedb::PAPER_TABLE3_HIGH.iter().zip(recipedb::PAPER_TABLE3_LOW.iter()) {
-        let gh = high.iter().find(|r| r.bound == h.bound).map_or(0, |r| r.count);
-        let gl = low.iter().find(|r| r.bound == l.bound).map_or(0, |r| r.count);
+    for (h, l) in recipedb::PAPER_TABLE3_HIGH
+        .iter()
+        .zip(recipedb::PAPER_TABLE3_LOW.iter())
+    {
+        let gh = high
+            .iter()
+            .find(|r| r.bound == h.bound)
+            .map_or(0, |r| r.count);
+        let gl = low
+            .iter()
+            .find(|r| r.bound == l.bound)
+            .map_or(0, |r| r.count);
         let _ = writeln!(
             out,
             "{:>12} {:>12} {:>12}   {:>10} {:>12} {:>12}",
@@ -52,7 +64,11 @@ pub fn render_table3(stats: &DatasetStats, scale: f64) -> String {
         "top feature frequency: paper 188,004 | generated {}",
         stats.top_features(1).first().map_or(0, |&(_, f)| f)
     );
-    let _ = writeln!(out, "sparsity: paper 99.50% | generated {:.2}%", stats.sparsity * 100.0);
+    let _ = writeln!(
+        out,
+        "sparsity: paper 99.50% | generated {:.2}%",
+        stats.sparsity * 100.0
+    );
     out
 }
 
@@ -101,7 +117,10 @@ pub fn render_accuracy_figure(results: &[ExperimentResult]) -> String {
         .fold(f64::MIN, f64::max);
 
     let mut out = String::new();
-    let _ = writeln!(out, "Figure — normalized model accuracy (█ measured, ░ paper)");
+    let _ = writeln!(
+        out,
+        "Figure — normalized model accuracy (█ measured, ░ paper)"
+    );
     for r in results {
         let m_norm = r.report.accuracy / best_measured;
         let p_norm = paper_row(r.kind).accuracy_pct / best_paper;
@@ -177,9 +196,54 @@ pub fn table4_csv(results: &[ExperimentResult]) -> String {
     out
 }
 
+/// Writes Table IV as a JSON document (one object per model, paper and
+/// measured metrics side by side). `loss` is `null` for models that do not
+/// report one.
+pub fn table4_json(results: &[ExperimentResult]) -> String {
+    let mut out = String::from("{\n  \"table\": \"table4\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let p = paper_row(r.kind);
+        let loss = match r.report.loss {
+            Some(l) if l.is_finite() => format!("{l:.4}"),
+            _ => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            concat!(
+                "    {{\"model\": \"{}\", ",
+                "\"paper_accuracy_pct\": {}, \"accuracy_pct\": {:.4}, ",
+                "\"paper_loss\": {}, \"loss\": {}, ",
+                "\"paper_precision\": {}, \"precision\": {:.4}, ",
+                "\"paper_recall\": {}, \"recall\": {:.4}, ",
+                "\"paper_f1\": {}, \"f1\": {:.4}, ",
+                "\"train_seconds\": {:.2}}}"
+            ),
+            r.kind.name(),
+            p.accuracy_pct,
+            r.report.accuracy_pct(),
+            p.loss,
+            loss,
+            p.precision,
+            r.report.precision,
+            p.recall,
+            r.report.recall,
+            p.f1,
+            r.report.f1,
+            r.train_seconds,
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Renders the rank-frequency view behind the paper's feature figures:
 /// the top-`k` features with counts and a log-scale bar.
-pub fn render_feature_figure(stats: &DatasetStats, names: &dyn Fn(u32) -> String, k: usize) -> String {
+pub fn render_feature_figure(
+    stats: &DatasetStats,
+    names: &dyn Fn(u32) -> String,
+    k: usize,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure — feature frequency (top {k})");
     let top = stats.top_features(k);
@@ -235,13 +299,37 @@ mod tests {
     }
 
     #[test]
+    fn json_lists_every_result_without_nan() {
+        let results = vec![
+            fake_result(ModelKind::LogReg, &[(0, 0)]),
+            fake_result(ModelKind::Bert, &[(0, 1)]),
+        ];
+        let json = table4_json(&results);
+        assert!(json.contains("\"model\": \"LogReg\""));
+        assert!(json.contains("\"model\": \"BERT\""));
+        // fake results carry no loss; it must serialize as null, not NaN
+        assert!(json.contains("\"loss\": null"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
     fn loss_curves_render_histories() {
         use nn::{EpochStats, TrainHistory};
         let mut r = fake_result(ModelKind::Lstm, &[(0, 0)]);
         r.history = Some(TrainHistory {
             epochs: vec![
-                EpochStats { epoch: 0, train_loss: 2.0, val_loss: Some(2.1), val_accuracy: Some(0.3) },
-                EpochStats { epoch: 1, train_loss: 1.0, val_loss: Some(1.5), val_accuracy: Some(0.5) },
+                EpochStats {
+                    epoch: 0,
+                    train_loss: 2.0,
+                    val_loss: Some(2.1),
+                    val_accuracy: Some(0.3),
+                },
+                EpochStats {
+                    epoch: 1,
+                    train_loss: 1.0,
+                    val_loss: Some(1.5),
+                    val_accuracy: Some(0.5),
+                },
             ],
         });
         let train = render_loss_curves(&[r], LossKindSel::Train);
@@ -259,12 +347,19 @@ mod tests {
     #[test]
     fn feature_figure_renders_top_k() {
         use recipedb::{generate, DatasetStats, GeneratorConfig};
-        let d = generate(&GeneratorConfig { seed: 0, scale: 0.002, ..Default::default() });
+        let d = generate(&GeneratorConfig {
+            seed: 0,
+            scale: 0.002,
+            ..Default::default()
+        });
         let stats = DatasetStats::compute(&d);
         let table = d.table.clone();
         let names = move |id: u32| table.name(recipedb::EntityId(id)).to_string();
         let fig = render_feature_figure(&stats, &names, 5);
-        assert!(fig.contains("add"), "most frequent feature must appear:\n{fig}");
+        assert!(
+            fig.contains("add"),
+            "most frequent feature must appear:\n{fig}"
+        );
         assert_eq!(fig.lines().count(), 6); // header + 5 rows
     }
 
@@ -275,6 +370,9 @@ mod tests {
             fake_result(ModelKind::Roberta, &[(0, 0), (1, 0)]),
         ];
         let fig = render_accuracy_figure(&results);
-        assert!(fig.contains("1.000"), "best model must normalize to 1.0:\n{fig}");
+        assert!(
+            fig.contains("1.000"),
+            "best model must normalize to 1.0:\n{fig}"
+        );
     }
 }

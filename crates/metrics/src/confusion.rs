@@ -25,7 +25,10 @@ impl ConfusionMatrix {
     /// Creates an empty matrix over `classes` labels.
     pub fn new(classes: usize) -> Self {
         assert!(classes > 0, "at least one class required");
-        Self { counts: vec![0; classes * classes], classes }
+        Self {
+            counts: vec![0; classes * classes],
+            classes,
+        }
     }
 
     /// Builds a matrix from parallel slices of gold and predicted labels.
@@ -151,7 +154,12 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "confusion matrix ({} classes, {} examples)", self.classes, self.total())?;
+        writeln!(
+            f,
+            "confusion matrix ({} classes, {} examples)",
+            self.classes,
+            self.total()
+        )?;
         let shown = self.classes.min(12);
         for g in 0..shown {
             for p in 0..shown {
@@ -221,11 +229,7 @@ mod tests {
 
     #[test]
     fn top_confusions_ranked() {
-        let m = ConfusionMatrix::from_pairs(
-            3,
-            &[0, 0, 0, 1, 2],
-            &[1, 1, 2, 0, 0],
-        );
+        let m = ConfusionMatrix::from_pairs(3, &[0, 0, 0, 1, 2], &[1, 1, 2, 0, 0]);
         let top = m.top_confusions(2);
         assert_eq!(top[0], (0, 1, 2));
         assert_eq!(top[0].2, 2);

@@ -2,9 +2,7 @@
 
 use std::fmt;
 
-use crate::{
-    accuracy, log_loss, macro_f1, macro_precision, macro_recall, ConfusionMatrix,
-};
+use crate::{accuracy, log_loss, macro_f1, macro_precision, macro_recall, ConfusionMatrix};
 
 /// Accuracy, loss and macro precision/recall/F1 for one evaluated model —
 /// exactly one row of the paper's Table IV.

@@ -25,7 +25,10 @@ impl Default for AdaBoostConfig {
     fn default() -> Self {
         Self {
             n_rounds: 30,
-            tree: DecisionTreeConfig { max_depth: 3, ..Default::default() },
+            tree: DecisionTreeConfig {
+                max_depth: 3,
+                ..Default::default()
+            },
             seed: 0,
         }
     }
@@ -61,7 +64,11 @@ impl AdaBoost {
     /// Creates an unfitted ensemble.
     pub fn new(config: AdaBoostConfig) -> Self {
         assert!(config.n_rounds > 0, "need at least one boosting round");
-        Self { config, rounds: Vec::new(), classes: 0 }
+        Self {
+            config,
+            rounds: Vec::new(),
+            classes: 0,
+        }
     }
 
     /// Number of boosting rounds actually kept.
@@ -130,7 +137,10 @@ impl Classifier for AdaBoost {
     }
 
     fn predict_proba(&self, x: &CsrMatrix) -> Vec<Vec<f64>> {
-        assert!(!self.rounds.is_empty(), "fit must be called before prediction");
+        assert!(
+            !self.rounds.is_empty(),
+            "fit must be called before prediction"
+        );
         let mut votes = vec![vec![0.0f64; self.classes]; x.rows()];
         for (tree, alpha) in &self.rounds {
             for (row, pred) in votes.iter_mut().zip(tree.predict(x)) {
@@ -174,14 +184,25 @@ mod tests {
     #[test]
     fn boosting_solves_what_stumps_cannot() {
         let (x, y) = staged();
-        let mut stump = DecisionTree::new(DecisionTreeConfig { max_depth: 1, ..Default::default() });
+        let mut stump = DecisionTree::new(DecisionTreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        });
         stump.fit(&x, &y);
-        let stump_acc = stump.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count();
+        let stump_acc = stump
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(stump_acc < y.len());
 
         let mut ada = AdaBoost::new(AdaBoostConfig {
             n_rounds: 20,
-            tree: DecisionTreeConfig { max_depth: 1, ..Default::default() },
+            tree: DecisionTreeConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
             seed: 0,
         });
         ada.fit(&x, &y);
@@ -203,7 +224,10 @@ mod tests {
         b.push_sorted_row([(0, 1.0)]);
         b.push_sorted_row([(1, 1.0)]);
         let x = b.build();
-        let mut ada = AdaBoost::new(AdaBoostConfig { n_rounds: 50, ..Default::default() });
+        let mut ada = AdaBoost::new(AdaBoostConfig {
+            n_rounds: 50,
+            ..Default::default()
+        });
         ada.fit(&x, &[0, 1]);
         assert_eq!(ada.n_rounds(), 1, "separable data needs one round");
     }
@@ -221,6 +245,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one boosting round")]
     fn zero_rounds_rejected() {
-        let _ = AdaBoost::new(AdaBoostConfig { n_rounds: 0, ..Default::default() });
+        let _ = AdaBoost::new(AdaBoostConfig {
+            n_rounds: 0,
+            ..Default::default()
+        });
     }
 }

@@ -35,8 +35,7 @@ pub fn stratified_kfold(y: &[usize], k: usize, seed: u64) -> Vec<Fold> {
     // round-robin deal each class's shuffled examples into folds
     let mut fold_tests: Vec<Vec<usize>> = vec![Vec::new(); k];
     for class in 0..classes {
-        let mut idx: Vec<usize> =
-            (0..y.len()).filter(|&i| y[i] == class).collect();
+        let mut idx: Vec<usize> = (0..y.len()).filter(|&i| y[i] == class).collect();
         idx.shuffle(&mut rng);
         for (j, i) in idx.into_iter().enumerate() {
             fold_tests[j % k].push(i);
@@ -82,8 +81,7 @@ pub fn mean_std(scores: &[f64]) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-    let var =
-        scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / scores.len() as f64;
+    let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / scores.len() as f64;
     (mean, var.sqrt())
 }
 

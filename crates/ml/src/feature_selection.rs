@@ -99,11 +99,11 @@ pub fn class_signatures(
 
     let mut in_class = vec![0u64; x.cols()];
     let mut total = vec![0u64; x.cols()];
-    for r in 0..x.rows() {
+    for (r, &label) in y.iter().enumerate() {
         let (idx, _) = x.row(r);
         for &c in idx {
             total[c as usize] += 1;
-            if y[r] == class {
+            if label == class {
                 in_class[c as usize] += 1;
             }
         }
@@ -185,7 +185,10 @@ mod tests {
         b.push_sorted_row([(0, 1.0)]);
         let x = b.build();
         let sig = class_signatures(&x, &[0, 1], 0, 5, 2);
-        assert!(sig.iter().all(|&(c, _)| c == 0), "rare feature 1 must be filtered");
+        assert!(
+            sig.iter().all(|&(c, _)| c == 0),
+            "rare feature 1 must be filtered"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl Default for RandomForestConfig {
     fn default() -> Self {
         Self {
             n_trees: 50,
-            tree: DecisionTreeConfig { max_depth: 25, ..Default::default() },
+            tree: DecisionTreeConfig {
+                max_depth: 25,
+                ..Default::default()
+            },
             seed: 0,
             threads: 0,
         }
@@ -62,7 +65,11 @@ impl RandomForest {
     /// Creates an unfitted forest.
     pub fn new(config: RandomForestConfig) -> Self {
         assert!(config.n_trees > 0, "forest needs at least one tree");
-        Self { config, trees: Vec::new(), classes: 0 }
+        Self {
+            config,
+            trees: Vec::new(),
+            classes: 0,
+        }
     }
 
     /// Number of fitted trees.
@@ -82,7 +89,10 @@ impl Classifier for RandomForest {
             .max_features
             .unwrap_or_else(|| (x.cols() as f64).sqrt().ceil() as usize)
             .max(1);
-        let base = DecisionTreeConfig { max_features: Some(max_features), ..self.config.tree };
+        let base = DecisionTreeConfig {
+            max_features: Some(max_features),
+            ..self.config.tree
+        };
 
         let n_threads = if self.config.threads == 0 {
             std::thread::available_parallelism().map_or(4, |p| p.get())
@@ -111,10 +121,7 @@ impl Classifier for RandomForest {
                             (0..x.rows()).map(|_| rng.gen_range(0..x.rows())).collect();
                         let bx = x.select_rows(&idx);
                         let by: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
-                        let mut tree = DecisionTree::new(DecisionTreeConfig {
-                            seed,
-                            ..base
-                        });
+                        let mut tree = DecisionTree::new(DecisionTreeConfig { seed, ..base });
                         tree.fit(&bx, &by);
                         *slot = Some(tree);
                     }
@@ -123,11 +130,17 @@ impl Classifier for RandomForest {
         })
         .expect("forest worker thread panicked");
 
-        self.trees = trees.into_iter().map(|t| t.expect("tree trained")).collect();
+        self.trees = trees
+            .into_iter()
+            .map(|t| t.expect("tree trained"))
+            .collect();
     }
 
     fn predict_proba(&self, x: &CsrMatrix) -> Vec<Vec<f64>> {
-        assert!(!self.trees.is_empty(), "fit must be called before prediction");
+        assert!(
+            !self.trees.is_empty(),
+            "fit must be called before prediction"
+        );
         let mut acc = vec![vec![0.0f64; self.classes]; x.rows()];
         for tree in &self.trees {
             for (row_acc, probs) in acc.iter_mut().zip(tree.predict_proba(x)) {
@@ -178,7 +191,12 @@ mod tests {
             ..Default::default()
         });
         rf.fit(&x, &y);
-        let acc = rf.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64
+        let acc = rf
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count() as f64
             / y.len() as f64;
         assert!(acc > 0.9, "training accuracy {acc}");
     }
@@ -211,7 +229,10 @@ mod tests {
     #[test]
     fn probabilities_average_trees() {
         let (x, y) = noisy_data(3);
-        let mut rf = RandomForest::new(RandomForestConfig { n_trees: 5, ..Default::default() });
+        let mut rf = RandomForest::new(RandomForestConfig {
+            n_trees: 5,
+            ..Default::default()
+        });
         rf.fit(&x, &y);
         for row in rf.predict_proba(&x) {
             let sum: f64 = row.iter().sum();
@@ -223,9 +244,17 @@ mod tests {
     fn more_trees_do_not_hurt_training_accuracy_much() {
         let (x, y) = noisy_data(4);
         let acc = |n: usize| {
-            let mut rf = RandomForest::new(RandomForestConfig { n_trees: n, ..Default::default() });
+            let mut rf = RandomForest::new(RandomForestConfig {
+                n_trees: n,
+                ..Default::default()
+            });
             rf.fit(&x, &y);
-            rf.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64
+            rf.predict(&x)
+                .iter()
+                .zip(&y)
+                .filter(|(a, b)| a == b)
+                .count() as f64
+                / y.len() as f64
         };
         assert!(acc(20) + 0.05 >= acc(3));
     }
@@ -233,6 +262,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one tree")]
     fn zero_trees_rejected() {
-        let _ = RandomForest::new(RandomForestConfig { n_trees: 0, ..Default::default() });
+        let _ = RandomForest::new(RandomForestConfig {
+            n_trees: 0,
+            ..Default::default()
+        });
     }
 }

@@ -56,9 +56,15 @@ impl LinearModelSnapshot {
         }
         let width = self.weights.first().map_or(0, Vec::len);
         if self.weights.iter().any(|w| w.len() != width) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "ragged weight rows"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "ragged weight rows",
+            ));
         }
-        Ok(LinearModel { weights: self.weights, bias: self.bias })
+        Ok(LinearModel {
+            weights: self.weights,
+            bias: self.bias,
+        })
     }
 }
 
@@ -72,8 +78,8 @@ pub fn save_linear(model: &LinearModel, path: &Path) -> io::Result<()> {
 /// Reads a linear model back from a JSON file.
 pub fn load_linear(path: &Path) -> io::Result<LinearModel> {
     let r = BufReader::new(File::open(path)?);
-    let snapshot: LinearModelSnapshot = serde_json::from_reader(r)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let snapshot: LinearModelSnapshot =
+        serde_json::from_reader(r).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     snapshot.restore()
 }
 
@@ -92,7 +98,10 @@ mod tests {
             y.push(k);
         }
         let x = b.build();
-        (train_ovr(&x, &y, 3, LossKind::Logistic, &SgdConfig::default()), x)
+        (
+            train_ovr(&x, &y, 3, LossKind::Logistic, &SgdConfig::default()),
+            x,
+        )
     }
 
     #[test]

@@ -12,8 +12,8 @@
 mod adaboost;
 pub mod cv;
 pub mod feature_selection;
-pub mod io;
 mod forest;
+pub mod io;
 mod logreg;
 mod naive_bayes;
 mod sgd;
@@ -24,8 +24,8 @@ mod tree;
 pub use adaboost::{AdaBoost, AdaBoostConfig};
 pub use cv::{cross_val_accuracy, mean_std, stratified_kfold, Fold};
 pub use feature_selection::{chi2_scores, class_signatures, top_chi2};
-pub use io::{load_linear, save_linear, LinearModelSnapshot};
 pub use forest::{RandomForest, RandomForestConfig};
+pub use io::{load_linear, save_linear, LinearModelSnapshot};
 pub use logreg::{LogisticRegression, LogisticRegressionConfig};
 pub use naive_bayes::{MultinomialNb, MultinomialNbConfig};
 pub use sgd::{LinearModel, SgdConfig};

@@ -18,7 +18,14 @@ impl Default for LogisticRegressionConfig {
         // Calibrated on the synthetic RecipeDB (see bench/bin/calibrate_models)
         // to the paper's reported operating point: LR is the best
         // statistical model at ~58% accuracy, as in Table IV.
-        Self { sgd: SgdConfig { learning_rate: 0.3, epochs: 20, l2: 1e-6, seed: 0 } }
+        Self {
+            sgd: SgdConfig {
+                learning_rate: 0.3,
+                epochs: 20,
+                l2: 1e-6,
+                seed: 0,
+            },
+        }
     }
 }
 
@@ -47,11 +54,16 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Creates an unfitted model.
     pub fn new(config: LogisticRegressionConfig) -> Self {
-        Self { config, model: None }
+        Self {
+            config,
+            model: None,
+        }
     }
 
     fn model(&self) -> &LinearModel {
-        self.model.as_ref().expect("fit must be called before prediction")
+        self.model
+            .as_ref()
+            .expect("fit must be called before prediction")
     }
 
     /// The fitted weights (for persistence via [`crate::io`]).
@@ -65,14 +77,23 @@ impl LogisticRegression {
 
     /// Builds a classifier directly from restored weights.
     pub fn from_linear_model(model: LinearModel) -> Self {
-        Self { config: LogisticRegressionConfig::default(), model: Some(model) }
+        Self {
+            config: LogisticRegressionConfig::default(),
+            model: Some(model),
+        }
     }
 }
 
 impl Classifier for LogisticRegression {
     fn fit(&mut self, x: &CsrMatrix, y: &[usize]) {
         let classes = validate_fit(x, y);
-        self.model = Some(train_ovr(x, y, classes, LossKind::Logistic, &self.config.sgd));
+        self.model = Some(train_ovr(
+            x,
+            y,
+            classes,
+            LossKind::Logistic,
+            &self.config.sgd,
+        ));
     }
 
     fn predict_proba(&self, x: &CsrMatrix) -> Vec<Vec<f64>> {

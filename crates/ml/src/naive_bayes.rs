@@ -56,7 +56,12 @@ impl MultinomialNb {
     /// Creates an unfitted model.
     pub fn new(config: MultinomialNbConfig) -> Self {
         assert!(config.alpha > 0.0, "smoothing alpha must be positive");
-        Self { config, log_prior: Vec::new(), log_likelihood: Vec::new(), classes: 0 }
+        Self {
+            config,
+            log_prior: Vec::new(),
+            log_likelihood: Vec::new(),
+            classes: 0,
+        }
     }
 
     /// Joint log-probability scores `log P(C_k) + Σ x_t · log P(t | C_k)`.

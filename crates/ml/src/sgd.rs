@@ -27,7 +27,12 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        Self { learning_rate: 0.5, epochs: 30, l2: 1e-6, seed: 0 }
+        Self {
+            learning_rate: 0.5,
+            epochs: 30,
+            l2: 1e-6,
+            seed: 0,
+        }
     }
 }
 
@@ -153,7 +158,7 @@ mod tests {
     fn logistic_learns_separable_data() {
         let (x, y) = separable();
         let m = train_ovr(&x, &y, 3, LossKind::Logistic, &SgdConfig::default());
-        for r in 0..x.rows() {
+        for (r, &want) in y.iter().enumerate() {
             let scores = m.decision_row(&x, r);
             let pred = scores
                 .iter()
@@ -161,7 +166,7 @@ mod tests {
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .unwrap()
                 .0;
-            assert_eq!(pred, y[r]);
+            assert_eq!(pred, want);
         }
     }
 
@@ -169,7 +174,7 @@ mod tests {
     fn hinge_learns_separable_data() {
         let (x, y) = separable();
         let m = train_ovr(&x, &y, 3, LossKind::Hinge, &SgdConfig::default());
-        for r in 0..x.rows() {
+        for (r, &want) in y.iter().enumerate() {
             let scores = m.decision_row(&x, r);
             let pred = scores
                 .iter()
@@ -177,7 +182,7 @@ mod tests {
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .unwrap()
                 .0;
-            assert_eq!(pred, y[r]);
+            assert_eq!(pred, want);
         }
     }
 
@@ -199,11 +204,28 @@ mod tests {
     #[test]
     fn l2_shrinks_weights() {
         let (x, y) = separable();
-        let weak = train_ovr(&x, &y, 3, LossKind::Logistic, &SgdConfig { l2: 0.0, ..Default::default() });
-        let strong = train_ovr(&x, &y, 3, LossKind::Logistic, &SgdConfig { l2: 0.5, ..Default::default() });
-        let norm = |m: &LinearModel| -> f32 {
-            m.weights.iter().flatten().map(|w| w * w).sum::<f32>()
-        };
+        let weak = train_ovr(
+            &x,
+            &y,
+            3,
+            LossKind::Logistic,
+            &SgdConfig {
+                l2: 0.0,
+                ..Default::default()
+            },
+        );
+        let strong = train_ovr(
+            &x,
+            &y,
+            3,
+            LossKind::Logistic,
+            &SgdConfig {
+                l2: 0.5,
+                ..Default::default()
+            },
+        );
+        let norm =
+            |m: &LinearModel| -> f32 { m.weights.iter().flatten().map(|w| w * w).sum::<f32>() };
         assert!(norm(&strong) < norm(&weak));
     }
 

@@ -23,7 +23,14 @@ impl Default for LinearSvmConfig {
         // Calibrated (bench/bin/calibrate_models): a short, regularized
         // hinge run lands just below Logistic Regression, matching the
         // paper's LR 57.70 vs SVM 56.60 ordering.
-        Self { sgd: SgdConfig { learning_rate: 0.02, epochs: 2, l2: 5e-3, seed: 0 } }
+        Self {
+            sgd: SgdConfig {
+                learning_rate: 0.02,
+                epochs: 2,
+                l2: 5e-3,
+                seed: 0,
+            },
+        }
     }
 }
 
@@ -52,7 +59,10 @@ pub struct LinearSvm {
 impl LinearSvm {
     /// Creates an unfitted model.
     pub fn new(config: LinearSvmConfig) -> Self {
-        Self { config, model: None }
+        Self {
+            config,
+            model: None,
+        }
     }
 
     /// The fitted weights (for persistence via [`crate::io`]).
@@ -61,12 +71,17 @@ impl LinearSvm {
     ///
     /// Panics if the model is unfitted.
     pub fn linear_model(&self) -> &LinearModel {
-        self.model.as_ref().expect("fit must be called before prediction")
+        self.model
+            .as_ref()
+            .expect("fit must be called before prediction")
     }
 
     /// Builds a classifier directly from restored weights.
     pub fn from_linear_model(model: LinearModel) -> Self {
-        Self { config: LinearSvmConfig::default(), model: Some(model) }
+        Self {
+            config: LinearSvmConfig::default(),
+            model: Some(model),
+        }
     }
 
     /// Raw per-class margins for one row (the "confidence scores" the paper
@@ -169,7 +184,12 @@ mod tests {
         let probs = svm.predict_proba(&x);
         for (r, row) in probs.iter().enumerate() {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-            let best = row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+            let best = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
             assert_eq!(best, y[r]);
         }
     }
@@ -184,7 +204,11 @@ mod tests {
             .predict_proba(&x)
             .iter()
             .map(|row| {
-                row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .unwrap()
+                    .0
             })
             .collect();
         assert_eq!(direct, via_proba);

@@ -31,14 +31,25 @@ pub struct DecisionTreeConfig {
 
 impl Default for DecisionTreeConfig {
     fn default() -> Self {
-        Self { max_depth: 20, min_samples_split: 2, max_features: None, seed: 0 }
+        Self {
+            max_depth: 20,
+            min_samples_split: 2,
+            max_features: None,
+            seed: 0,
+        }
     }
 }
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { probs: Vec<f64> },
-    Split { feature: u32, absent: usize, present: usize },
+    Leaf {
+        probs: Vec<f64>,
+    },
+    Split {
+        feature: u32,
+        absent: usize,
+        present: usize,
+    },
 }
 
 /// A fitted CART decision tree with presence splits.
@@ -67,7 +78,11 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Creates an unfitted tree.
     pub fn new(config: DecisionTreeConfig) -> Self {
-        Self { config, nodes: Vec::new(), classes: 0 }
+        Self {
+            config,
+            nodes: Vec::new(),
+            classes: 0,
+        }
     }
 
     /// Fits with explicit per-sample weights (AdaBoost's interface).
@@ -95,9 +110,9 @@ impl DecisionTree {
         fn walk(nodes: &[Node], i: usize) -> usize {
             match &nodes[i] {
                 Node::Leaf { .. } => 0,
-                Node::Split { absent, present, .. } => {
-                    1 + walk(nodes, *absent).max(walk(nodes, *present))
-                }
+                Node::Split {
+                    absent, present, ..
+                } => 1 + walk(nodes, *absent).max(walk(nodes, *present)),
             }
         }
         if self.nodes.is_empty() {
@@ -121,12 +136,13 @@ impl DecisionTree {
 
         let make_leaf = |hist: Vec<f64>| -> Node {
             let z: f64 = hist.iter().sum::<f64>().max(f64::MIN_POSITIVE);
-            Node::Leaf { probs: hist.into_iter().map(|h| h / z).collect() }
+            Node::Leaf {
+                probs: hist.into_iter().map(|h| h / z).collect(),
+            }
         };
 
         let pure = total_hist.iter().filter(|&&h| h > 0.0).count() <= 1;
-        if pure || depth >= self.config.max_depth || samples.len() < self.config.min_samples_split
-        {
+        if pure || depth >= self.config.max_depth || samples.len() < self.config.min_samples_split {
             let idx = self.nodes.len();
             self.nodes.push(make_leaf(total_hist));
             return idx;
@@ -173,7 +189,7 @@ impl DecisionTree {
                 + w_absent * gini(&hist_absent, w_absent))
                 / total_weight;
             let gain = parent_gini - split_gini;
-            if gain > 1e-9 && best.map_or(true, |(_, g)| gain > g) {
+            if gain > 1e-9 && best.is_none_or(|(_, g)| gain > g) {
                 best = Some((f, gain));
             }
         }
@@ -193,7 +209,11 @@ impl DecisionTree {
         self.nodes.push(Node::Leaf { probs: Vec::new() });
         let absent = self.build(x, y, w, has_not, depth + 1, rng);
         let present = self.build(x, y, w, has, depth + 1, rng);
-        self.nodes[idx] = Node::Split { feature, absent, present };
+        self.nodes[idx] = Node::Split {
+            feature,
+            absent,
+            present,
+        };
         idx
     }
 
@@ -206,14 +226,25 @@ impl DecisionTree {
     }
 
     fn leaf_probs(&self, x: &CsrMatrix, row: usize) -> &[f64] {
-        assert!(!self.nodes.is_empty(), "fit must be called before prediction");
+        assert!(
+            !self.nodes.is_empty(),
+            "fit must be called before prediction"
+        );
         let (idx, _) = x.row(row);
         let mut node = 0usize;
         loop {
             match &self.nodes[node] {
                 Node::Leaf { probs } => return probs,
-                Node::Split { feature, absent, present } => {
-                    node = if idx.binary_search(feature).is_ok() { *present } else { *absent };
+                Node::Split {
+                    feature,
+                    absent,
+                    present,
+                } => {
+                    node = if idx.binary_search(feature).is_ok() {
+                        *present
+                    } else {
+                        *absent
+                    };
                 }
             }
         }
@@ -234,7 +265,9 @@ impl Classifier for DecisionTree {
     }
 
     fn predict_proba(&self, x: &CsrMatrix) -> Vec<Vec<f64>> {
-        (0..x.rows()).map(|r| self.leaf_probs(x, r).to_vec()).collect()
+        (0..x.rows())
+            .map(|r| self.leaf_probs(x, r).to_vec())
+            .collect()
     }
 
     fn num_classes(&self) -> usize {
@@ -302,17 +335,15 @@ mod tests {
     #[test]
     fn depth_limit_is_respected() {
         let (x, y) = xor_like();
-        let mut t = DecisionTree::new(DecisionTreeConfig { max_depth: 1, ..Default::default() });
+        let mut t = DecisionTree::new(DecisionTreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        });
         t.fit(&x, &y);
         assert!(t.depth() <= 1);
         // depth-1 tree cannot solve XOR
-        let acc = t
-            .predict(&x)
-            .iter()
-            .zip(&y)
-            .filter(|(a, b)| a == b)
-            .count() as f64
-            / y.len() as f64;
+        let acc =
+            t.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc < 1.0);
     }
 
@@ -344,7 +375,11 @@ mod tests {
     #[test]
     fn feature_subsampling_is_deterministic_per_seed() {
         let (x, y) = xor_like();
-        let cfg = DecisionTreeConfig { max_features: Some(1), seed: 5, ..Default::default() };
+        let cfg = DecisionTreeConfig {
+            max_features: Some(1),
+            seed: 5,
+            ..Default::default()
+        };
         let mut a = DecisionTree::new(cfg);
         let mut b2 = DecisionTree::new(cfg);
         a.fit(&x, &y);
@@ -355,7 +390,10 @@ mod tests {
     #[test]
     fn leaf_probs_are_distributions() {
         let (x, y) = xor_like();
-        let mut t = DecisionTree::new(DecisionTreeConfig { max_depth: 1, ..Default::default() });
+        let mut t = DecisionTree::new(DecisionTreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        });
         t.fit(&x, &y);
         for row in t.predict_proba(&x) {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);

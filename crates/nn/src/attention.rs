@@ -33,7 +33,10 @@ impl MultiHeadAttention {
         heads: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(heads > 0 && d_model % heads == 0, "d_model must be divisible by heads");
+        assert!(
+            heads > 0 && d_model.is_multiple_of(heads),
+            "d_model must be divisible by heads"
+        );
         Self {
             wq: Linear::new(store, &format!("{name}.q"), d_model, d_model, rng),
             wk: Linear::new(store, &format!("{name}.k"), d_model, d_model, rng),
@@ -52,6 +55,9 @@ impl MultiHeadAttention {
     /// Bidirectional self-attention: `seq × d_model` → `seq × d_model`.
     pub fn forward(&self, g: &mut Graph, x: VarId) -> VarId {
         debug_assert_eq!(g.value(x).cols(), self.d_model, "attention input width");
+        // four projections plus six tape nodes per head plus the concat:
+        // reserve once so the tape never re-grows mid-block
+        g.reserve(self.heads * 6 + 17);
         let q = self.wq.forward(g, x);
         let k = self.wk.forward(g, x);
         let v = self.wv.forward(g, x);

@@ -22,7 +22,11 @@ impl BatchIterator {
     /// Panics if `batch_size == 0`.
     pub fn new(n: usize, batch_size: usize, seed: u64) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        Self { n, batch_size, seed }
+        Self {
+            n,
+            batch_size,
+            seed,
+        }
     }
 
     /// Number of batches per epoch.
@@ -34,13 +38,12 @@ impl BatchIterator {
     pub fn epoch(&self, epoch: usize) -> Vec<Vec<usize>> {
         let mut order: Vec<usize> = (0..self.n).collect();
         let mut rng = StdRng::seed_from_u64(
-            self.seed.wrapping_mul(0x517C_C1B7_2722_0A95).wrapping_add(epoch as u64),
+            self.seed
+                .wrapping_mul(0x517C_C1B7_2722_0A95)
+                .wrapping_add(epoch as u64),
         );
         order.shuffle(&mut rng);
-        order
-            .chunks(self.batch_size)
-            .map(|c| c.to_vec())
-            .collect()
+        order.chunks(self.batch_size).map(|c| c.to_vec()).collect()
     }
 }
 

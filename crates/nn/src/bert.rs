@@ -25,6 +25,7 @@ use crate::layers::Linear;
 use crate::optim::{AdamW, Optimizer};
 use crate::schedule::LrSchedule;
 use crate::trainer::SequenceModel;
+use crate::trainer::ShardResult;
 use crate::transformer::TransformerEncoder;
 
 /// Transformer classifier hyperparameters.
@@ -93,7 +94,11 @@ impl PretrainConfig {
             batch_size: 16,
             peak_lr: 1e-3,
             warmup_frac: 0.1,
-            masking: MaskingConfig { strategy: MaskingStrategy::Static, seed, ..Default::default() },
+            masking: MaskingConfig {
+                strategy: MaskingStrategy::Static,
+                seed,
+                ..Default::default()
+            },
             grad_clip: 1.0,
             threads: 0,
             seed,
@@ -108,7 +113,11 @@ impl PretrainConfig {
             batch_size: 32,
             peak_lr: 1e-3,
             warmup_frac: 0.06,
-            masking: MaskingConfig { strategy: MaskingStrategy::Dynamic, seed, ..Default::default() },
+            masking: MaskingConfig {
+                strategy: MaskingStrategy::Dynamic,
+                seed,
+                ..Default::default()
+            },
             grad_clip: 1.0,
             threads: 0,
             seed,
@@ -157,7 +166,14 @@ impl BertClassifier {
         let pooler = Linear::new(&mut store, "pooler", config.d_model, config.d_model, rng);
         let head = Linear::new(&mut store, "head", config.d_model, config.classes, rng);
         let mlm_bias = store.add("mlm.bias", Tensor::zeros(1, config.vocab));
-        Self { store, encoder, pooler, head, mlm_bias, config }
+        Self {
+            store,
+            encoder,
+            pooler,
+            head,
+            mlm_bias,
+            config,
+        }
     }
 
     /// The model's configuration.
@@ -236,7 +252,10 @@ impl BertClassifier {
             config.threads
         };
 
-        let mut stats = PretrainStats { epoch_losses: Vec::new(), steps: 0 };
+        let mut stats = PretrainStats {
+            epoch_losses: Vec::new(),
+            steps: 0,
+        };
         for epoch in 0..config.epochs {
             let mut epoch_loss = 0.0;
             let mut seen = 0usize;
@@ -244,34 +263,37 @@ impl BertClassifier {
                 let lr = schedule.at(stats.steps);
                 stats.steps += 1;
                 let shard_size = batch.len().div_ceil(n_threads.min(batch.len()).max(1));
-                let results: Vec<(Vec<(ParamId, Tensor)>, f64, usize)> =
-                    crossbeam::scope(|scope| {
-                        let handles: Vec<_> = batch
-                            .chunks(shard_size)
-                            .enumerate()
-                            .map(|(w, shard)| {
-                                let prepared = &prepared;
-                                let model = &*self;
-                                scope.spawn(move |_| {
-                                    let mut rng = StdRng::seed_from_u64(
-                                        config
-                                            .seed
-                                            .wrapping_add((epoch * 7919 + w) as u64)
-                                            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                                    );
-                                    model.mlm_shard(
-                                        prepared, shard, vocab, &config.masking, epoch,
-                                        &mut rng,
-                                    )
-                                })
+                let results: Vec<ShardResult> = crossbeam::scope(|scope| {
+                    let handles: Vec<_> = batch
+                        .chunks(shard_size)
+                        .enumerate()
+                        .map(|(w, shard)| {
+                            let prepared = &prepared;
+                            let model = &*self;
+                            scope.spawn(move |_| {
+                                let mut rng = StdRng::seed_from_u64(
+                                    config
+                                        .seed
+                                        .wrapping_add((epoch * 7919 + w) as u64)
+                                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                );
+                                model.mlm_shard(
+                                    prepared,
+                                    shard,
+                                    vocab,
+                                    &config.masking,
+                                    epoch,
+                                    &mut rng,
+                                )
                             })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("pretrain worker panicked"))
-                            .collect()
-                    })
-                    .expect("pretrain scope failed");
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("pretrain worker panicked"))
+                        .collect()
+                })
+                .expect("pretrain scope failed");
 
                 let total: usize = results.iter().map(|(_, _, n)| n).sum();
                 let mut merged: Vec<(ParamId, Tensor)> = Vec::new();

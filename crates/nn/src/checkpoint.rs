@@ -41,8 +41,7 @@ pub fn save_checkpoint(store: &ParamStore, path: &Path) -> io::Result<()> {
             .collect(),
     };
     let w = BufWriter::new(File::create(path)?);
-    serde_json::to_writer(w, &checkpoint)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    serde_json::to_writer(w, &checkpoint).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Loads a checkpoint into an existing store built by the same model
@@ -55,8 +54,8 @@ pub fn save_checkpoint(store: &ParamStore, path: &Path) -> io::Result<()> {
 /// or corrupt JSON.
 pub fn load_checkpoint(store: &mut ParamStore, path: &Path) -> io::Result<()> {
     let r = BufReader::new(File::open(path)?);
-    let checkpoint: Checkpoint = serde_json::from_reader(r)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let checkpoint: Checkpoint =
+        serde_json::from_reader(r).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     if checkpoint.format != FORMAT {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -74,11 +73,19 @@ pub fn load_checkpoint(store: &mut ParamStore, path: &Path) -> io::Result<()> {
         ));
     }
     // validate everything before mutating anything
-    for (record, id) in checkpoint.params.iter().zip(store.ids().collect::<Vec<_>>()) {
+    for (record, id) in checkpoint
+        .params
+        .iter()
+        .zip(store.ids().collect::<Vec<_>>())
+    {
         if record.name != store.name(id) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("parameter name mismatch: {:?} vs {:?}", record.name, store.name(id)),
+                format!(
+                    "parameter name mismatch: {:?} vs {:?}",
+                    record.name,
+                    store.name(id)
+                ),
             ));
         }
         if store.get(id).shape() != (record.rows, record.cols)

@@ -31,12 +31,21 @@ impl Linear {
             Initializer::XavierUniform.init(in_dim, out_dim, rng),
         );
         let b = store.add(format!("{name}.bias"), Tensor::zeros(1, out_dim));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer to `x` (`rows × in_dim` → `rows × out_dim`).
     pub fn forward(&self, g: &mut Graph, x: VarId) -> VarId {
-        debug_assert_eq!(g.value(x).cols(), self.in_dim, "linear input width mismatch");
+        debug_assert_eq!(
+            g.value(x).cols(),
+            self.in_dim,
+            "linear input width mismatch"
+        );
         let w = g.param(self.w);
         let b = g.param(self.b);
         let xw = g.matmul(x, w);
@@ -124,7 +133,11 @@ impl LayerNorm {
     pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
         let gamma = store.add(format!("{name}.gamma"), Tensor::ones(1, dim));
         let beta = store.add(format!("{name}.beta"), Tensor::zeros(1, dim));
-        Self { gamma, beta, eps: 1e-5 }
+        Self {
+            gamma,
+            beta,
+            eps: 1e-5,
+        }
     }
 
     /// Normalises every row of `x`.

@@ -52,13 +52,7 @@ impl LstmCell {
     }
 
     /// One timestep: `(x_t, h, c) → (h', c')`. All state rows are `1 × n`.
-    pub fn step(
-        &self,
-        g: &mut Graph,
-        x_t: VarId,
-        h: VarId,
-        c: VarId,
-    ) -> (VarId, VarId) {
+    pub fn step(&self, g: &mut Graph, x_t: VarId, h: VarId, c: VarId) -> (VarId, VarId) {
         let w = g.param(self.w);
         let b = g.param(self.b);
         let hsz = self.hidden;
@@ -100,7 +94,9 @@ impl LstmLayer {
         hidden: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        Self { cell: LstmCell::new(store, name, input, hidden, rng) }
+        Self {
+            cell: LstmCell::new(store, name, input, hidden, rng),
+        }
     }
 
     /// Runs the layer over `xs` (`seq × input`), returning all hidden
@@ -108,6 +104,9 @@ impl LstmLayer {
     pub fn forward(&self, g: &mut Graph, xs: VarId) -> VarId {
         let seq = g.value(xs).rows();
         assert!(seq > 0, "cannot run an LSTM over an empty sequence");
+        // each unrolled timestep records ~17 tape nodes (slice, gates,
+        // state products); reserving up front avoids re-growing the tape
+        g.reserve(seq * 18 + 3);
         let hsz = self.cell.hidden();
         let mut h = g.constant(Tensor::zeros(1, hsz));
         let mut c = g.constant(Tensor::zeros(1, hsz));
@@ -190,11 +189,27 @@ impl LstmClassifier {
         let embedding = Embedding::new(&mut store, "embedding", config.vocab, config.emb_dim, rng);
         let mut layers = Vec::with_capacity(config.layers);
         for l in 0..config.layers {
-            let input = if l == 0 { config.emb_dim } else { config.hidden };
-            layers.push(LstmLayer::new(&mut store, &format!("lstm{l}"), input, config.hidden, rng));
+            let input = if l == 0 {
+                config.emb_dim
+            } else {
+                config.hidden
+            };
+            layers.push(LstmLayer::new(
+                &mut store,
+                &format!("lstm{l}"),
+                input,
+                config.hidden,
+                rng,
+            ));
         }
         let head = Linear::new(&mut store, "head", config.hidden, config.classes, rng);
-        Self { store, embedding, layers, head, config }
+        Self {
+            store,
+            embedding,
+            layers,
+            head,
+            config,
+        }
     }
 
     /// The model's configuration.
@@ -278,7 +293,10 @@ mod tests {
         let last = LstmClassifier::new(tiny_config(), &mut rng);
         let mut rng = StdRng::seed_from_u64(20);
         let mean = LstmClassifier::new(
-            LstmConfig { pooling: LstmPooling::MeanPool, ..tiny_config() },
+            LstmConfig {
+                pooling: LstmPooling::MeanPool,
+                ..tiny_config()
+            },
             &mut rng,
         );
         let mut drng = StdRng::seed_from_u64(0);
@@ -296,7 +314,10 @@ mod tests {
         let last = LstmClassifier::new(tiny_config(), &mut rng);
         let mut rng = StdRng::seed_from_u64(21);
         let mean = LstmClassifier::new(
-            LstmConfig { pooling: LstmPooling::MeanPool, ..tiny_config() },
+            LstmConfig {
+                pooling: LstmPooling::MeanPool,
+                ..tiny_config()
+            },
             &mut rng,
         );
         let mut drng = StdRng::seed_from_u64(0);
@@ -355,7 +376,11 @@ mod tests {
         let l1 = model.logits(&mut g, &[1, 2, 3, 4], false, &mut drng);
         let l2 = model.logits(&mut g, &[1, 2, 3, 4], false, &mut drng);
         assert_eq!(g.value(l1).shape(), (1, 3));
-        assert_eq!(g.value(l1), g.value(l2), "eval forward must be deterministic");
+        assert_eq!(
+            g.value(l1),
+            g.value(l2),
+            "eval forward must be deterministic"
+        );
     }
 
     #[test]
@@ -435,8 +460,7 @@ mod tests {
             },
             &mut rng,
         );
-        let data: Vec<(Vec<usize>, usize)> =
-            vec![(vec![1, 2, 3], 0), (vec![3, 2, 1], 1)];
+        let data: Vec<(Vec<usize>, usize)> = vec![(vec![1, 2, 3], 0), (vec![3, 2, 1], 1)];
         let mut opt = crate::optim::AdamW::default();
         let mut drng = StdRng::seed_from_u64(0);
         let mut first_loss = None;

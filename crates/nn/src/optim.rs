@@ -21,7 +21,10 @@ impl Sgd {
     /// Creates SGD; `momentum = 0` is plain gradient descent.
     pub fn new(momentum: f32) -> Self {
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Self { momentum, velocity: Vec::new() }
+        Self {
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     fn slot(&mut self, id: ParamId) -> &mut Option<Tensor> {
@@ -38,9 +41,7 @@ impl Optimizer for Sgd {
             if self.momentum > 0.0 {
                 let momentum = self.momentum;
                 let slot = self.slot(*id);
-                let v = slot.get_or_insert_with(|| {
-                    Tensor::zeros(grad.rows(), grad.cols())
-                });
+                let v = slot.get_or_insert_with(|| Tensor::zeros(grad.rows(), grad.cols()));
                 v.scale(momentum);
                 v.axpy(1.0, grad);
                 store.get_mut(*id).axpy(-lr, v);
@@ -66,7 +67,12 @@ pub struct AdamWConfig {
 
 impl Default for AdamWConfig {
     fn default() -> Self {
-        Self { beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.01 }
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+        }
     }
 }
 
@@ -82,7 +88,11 @@ pub struct AdamW {
 impl AdamW {
     /// Creates a fresh optimizer.
     pub fn new(config: AdamWConfig) -> Self {
-        Self { config, moments: Vec::new(), t: 0 }
+        Self {
+            config,
+            moments: Vec::new(),
+            t: 0,
+        }
     }
 
     /// Steps taken so far.
@@ -100,7 +110,12 @@ impl Default for AdamW {
 impl Optimizer for AdamW {
     fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)], lr: f32) {
         self.t += 1;
-        let AdamWConfig { beta1, beta2, eps, weight_decay } = self.config;
+        let AdamWConfig {
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+        } = self.config;
         let bias1 = 1.0 - beta1.powi(self.t);
         let bias2 = 1.0 - beta2.powi(self.t);
 
@@ -191,7 +206,10 @@ mod tests {
     fn adamw_weight_decay_shrinks_without_gradient() {
         let mut store = ParamStore::new();
         let w = store.add("w", Tensor::from_rows(&[&[2.0]]));
-        let mut opt = AdamW::new(AdamWConfig { weight_decay: 0.1, ..Default::default() });
+        let mut opt = AdamW::new(AdamWConfig {
+            weight_decay: 0.1,
+            ..Default::default()
+        });
         // zero gradient: only decay acts
         let zero = vec![(w, Tensor::zeros(1, 1))];
         let before = store.get(w).get(0, 0);

@@ -29,7 +29,11 @@ impl LrSchedule {
     pub fn at(&self, step: usize) -> f32 {
         match *self {
             LrSchedule::Constant(lr) => lr,
-            LrSchedule::LinearWarmupDecay { peak, warmup, total } => {
+            LrSchedule::LinearWarmupDecay {
+                peak,
+                warmup,
+                total,
+            } => {
                 if warmup > 0 && step < warmup {
                     peak * (step + 1) as f32 / warmup as f32
                 } else if step >= total {
@@ -60,7 +64,11 @@ mod tests {
 
     #[test]
     fn warmup_rises_then_decays() {
-        let s = LrSchedule::LinearWarmupDecay { peak: 1.0, warmup: 10, total: 110 };
+        let s = LrSchedule::LinearWarmupDecay {
+            peak: 1.0,
+            warmup: 10,
+            total: 110,
+        };
         assert!(s.at(0) < s.at(5));
         assert!(s.at(5) < s.at(9));
         assert!((s.at(9) - 1.0).abs() < 1e-6);
@@ -72,7 +80,11 @@ mod tests {
 
     #[test]
     fn warmup_peak_is_never_exceeded() {
-        let s = LrSchedule::LinearWarmupDecay { peak: 0.5, warmup: 4, total: 20 };
+        let s = LrSchedule::LinearWarmupDecay {
+            peak: 0.5,
+            warmup: 4,
+            total: 20,
+        };
         for step in 0..25 {
             assert!(s.at(step) <= 0.5 + 1e-6);
         }
@@ -80,14 +92,21 @@ mod tests {
 
     #[test]
     fn inverse_decay_halves_at_period() {
-        let s = LrSchedule::InverseDecay { base: 1.0, period: 100 };
+        let s = LrSchedule::InverseDecay {
+            base: 1.0,
+            period: 100,
+        };
         assert_eq!(s.at(0), 1.0);
         assert!((s.at(100) - 0.5).abs() < 1e-6);
     }
 
     #[test]
     fn zero_warmup_starts_at_peak() {
-        let s = LrSchedule::LinearWarmupDecay { peak: 0.3, warmup: 0, total: 10 };
+        let s = LrSchedule::LinearWarmupDecay {
+            peak: 0.3,
+            warmup: 0,
+            total: 10,
+        };
         assert!((s.at(0) - 0.3).abs() < 1e-6);
     }
 }

@@ -3,6 +3,9 @@
 //! paper's training/validation loss-curve figures come straight from
 //! [`TrainHistory`]).
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
 use autograd::{Graph, ParamId, ParamStore, VarId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,6 +14,10 @@ use tensor::{softmax_rows, Tensor};
 use crate::batch::BatchIterator;
 use crate::optim::Optimizer;
 use crate::schedule::LrSchedule;
+
+/// What one data-parallel shard hands back: its merged `(param, grad)`
+/// pairs, summed loss, and sample count.
+pub(crate) type ShardResult = (Vec<(ParamId, Tensor)>, f64, usize);
 
 /// A model trainable by [`Trainer`]: anything that can map a token-id
 /// sequence to a `1 × classes` logit row on a caller-provided graph.
@@ -151,7 +158,12 @@ impl Trainer {
                 }
                 _ => (None, None),
             };
-            history.epochs.push(EpochStats { epoch, train_loss, val_loss, val_accuracy });
+            history.epochs.push(EpochStats {
+                epoch,
+                train_loss,
+                val_loss,
+                val_accuracy,
+            });
 
             if self.config.early_stop_patience > 0 {
                 if let Some(vl) = val_loss {
@@ -188,25 +200,30 @@ impl Trainer {
             .wrapping_mul(0x2545_F491_4F6C_DD1D)
             .wrapping_add((epoch * 1_000_003 + step) as u64);
 
-        let results: Vec<(Vec<(ParamId, Tensor)>, f64, usize)> =
-            crossbeam::scope(|scope| {
-                let handles: Vec<_> = batch
-                    .chunks(chunk)
-                    .enumerate()
-                    .map(|(w, shard)| {
-                        scope.spawn(move |_| {
-                            let mut rng =
-                                StdRng::seed_from_u64(seed_base.wrapping_add(w as u64));
-                            shard_gradients(model, data, shard, true, &mut rng)
-                        })
+        let results: Vec<ShardResult> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = batch
+                .chunks(chunk)
+                .enumerate()
+                .map(|(w, shard)| {
+                    scope.spawn(move |_| {
+                        let mut rng = StdRng::seed_from_u64(seed_base.wrapping_add(w as u64));
+                        shard_gradients(model, data, shard, true, &mut rng)
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("training scope failed");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("training scope failed");
 
         let total: usize = results.iter().map(|(_, _, n)| n).sum();
         let mut merged: Vec<(ParamId, Tensor)> = Vec::new();
+        // ParamId → position in `merged`: O(1) lookups instead of a linear
+        // scan per parameter, while first-appearance order (shards in index
+        // order, params in tape order) keeps the output deterministic.
+        let mut positions: HashMap<ParamId, usize> = HashMap::new();
         let mut loss_sum = 0.0;
         for (grads, loss, n) in results {
             loss_sum += loss * n as f64;
@@ -215,9 +232,12 @@ impl Trainer {
             let scale = n as f32 / total as f32;
             for (p, mut t) in grads {
                 t.scale(scale);
-                match merged.iter_mut().find(|(q, _)| *q == p) {
-                    Some((_, acc)) => acc.axpy(1.0, &t),
-                    None => merged.push((p, t)),
+                match positions.entry(p) {
+                    Entry::Occupied(e) => merged[*e.get()].1.axpy(1.0, &t),
+                    Entry::Vacant(e) => {
+                        e.insert(merged.len());
+                        merged.push((p, t));
+                    }
                 }
             }
         }
@@ -314,10 +334,15 @@ fn shard_gradients<M: SequenceModel>(
     let mut g = Graph::new(model.store());
     let mut logit_rows = Vec::with_capacity(shard.len());
     let mut labels = Vec::with_capacity(shard.len());
-    for &i in shard {
+    for (s, &i) in shard.iter().enumerate() {
         let (ids, label) = &data[i];
         logit_rows.push(model.logits(&mut g, ids, train, rng));
         labels.push(*label);
+        if s == 0 {
+            // the first sample reveals roughly how many tape nodes each
+            // one needs; reserve the rest up front
+            g.reserve(g.len() * (shard.len() - 1));
+        }
     }
     let all_logits = g.concat_rows(&logit_rows);
     let loss = g.cross_entropy(all_logits, &labels);
@@ -387,7 +412,10 @@ mod tests {
     fn history_records_validation() {
         let mut model = toy_model(1);
         let data = order_task();
-        let trainer = Trainer::new(TrainerConfig { epochs: 2, ..Default::default() });
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 2,
+            ..Default::default()
+        });
         let mut opt = AdamW::default();
         let history = trainer.fit(&mut model, &mut opt, &data, Some(&data));
         assert!(history.epochs.iter().all(|e| e.val_loss.is_some()));
@@ -399,7 +427,10 @@ mod tests {
     fn no_validation_means_no_val_stats() {
         let mut model = toy_model(2);
         let data = order_task();
-        let trainer = Trainer::new(TrainerConfig { epochs: 1, ..Default::default() });
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 1,
+            ..Default::default()
+        });
         let mut opt = AdamW::default();
         let history = trainer.fit(&mut model, &mut opt, &data, None);
         assert!(history.epochs[0].val_loss.is_none());
@@ -419,21 +450,29 @@ mod tests {
         });
         let mut opt = AdamW::default();
         let history = trainer.fit(&mut model, &mut opt, &data, Some(&data));
-        assert!(history.epochs.len() <= 5, "ran {} epochs", history.epochs.len());
+        assert!(
+            history.epochs.len() <= 5,
+            "ran {} epochs",
+            history.epochs.len()
+        );
     }
 
     #[test]
     fn gradients_independent_of_thread_count() {
         let model = toy_model(4);
         let data = order_task();
-        let config_one = TrainerConfig { threads: 1, ..Default::default() };
-        let config_many = TrainerConfig { threads: 3, ..Default::default() };
+        let config_one = TrainerConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let config_many = TrainerConfig {
+            threads: 3,
+            ..Default::default()
+        };
         let batch: Vec<usize> = (0..data.len()).collect();
         // dropout is 0 so per-worker RNG divergence cannot matter
-        let (g1, l1) =
-            Trainer::new(config_one).batch_gradients(&model, &data, &batch, 0, 0);
-        let (g2, l2) =
-            Trainer::new(config_many).batch_gradients(&model, &data, &batch, 0, 0);
+        let (g1, l1) = Trainer::new(config_one).batch_gradients(&model, &data, &batch, 0, 0);
+        let (g2, l2) = Trainer::new(config_many).batch_gradients(&model, &data, &batch, 0, 0);
         assert!((l1 - l2).abs() < 1e-6);
         for (p, t) in &g1 {
             let other = &g2.iter().find(|(q, _)| q == p).expect("param present").1;

@@ -104,7 +104,14 @@ impl TransformerEncoder {
                 )
             })
             .collect();
-        Self { tok, pos, emb_ln, layers, max_len, dropout }
+        Self {
+            tok,
+            pos,
+            emb_ln,
+            layers,
+            max_len,
+            dropout,
+        }
     }
 
     /// Maximum sequence length (positions available).
@@ -154,9 +161,7 @@ mod tests {
     fn encoder(seed: u64) -> (ParamStore, TransformerEncoder) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let enc = TransformerEncoder::new(
-            &mut store, "enc", 30, 8, 2, 16, 2, 12, 0.0, &mut rng,
-        );
+        let enc = TransformerEncoder::new(&mut store, "enc", 30, 8, 2, 16, 2, 12, 0.0, &mut rng);
         (store, enc)
     }
 
@@ -200,9 +205,7 @@ mod tests {
     fn dropout_changes_training_forward() {
         let mut rng = StdRng::seed_from_u64(6);
         let mut store = ParamStore::new();
-        let enc = TransformerEncoder::new(
-            &mut store, "enc", 30, 8, 2, 16, 1, 12, 0.5, &mut rng,
-        );
+        let enc = TransformerEncoder::new(&mut store, "enc", 30, 8, 2, 16, 1, 12, 0.5, &mut rng);
         let mut g = Graph::new(&store);
         let mut drng = StdRng::seed_from_u64(7);
         let y1 = enc.forward(&mut g, &[1, 2, 3], true, &mut drng);

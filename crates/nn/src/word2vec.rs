@@ -36,7 +36,14 @@ pub struct Word2VecConfig {
 
 impl Default for Word2VecConfig {
     fn default() -> Self {
-        Self { dim: 64, window: 4, negatives: 5, epochs: 5, learning_rate: 0.025, seed: 0 }
+        Self {
+            dim: 64,
+            window: 4,
+            negatives: 5,
+            epochs: 5,
+            learning_rate: 0.025,
+            seed: 0,
+        }
     }
 }
 
@@ -113,7 +120,10 @@ pub fn train_word2vec(
             counts[id] += 1;
         }
     }
-    let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75).max(1e-9)).collect();
+    let weights: Vec<f64> = counts
+        .iter()
+        .map(|&c| (c as f64).powf(0.75).max(1e-9))
+        .collect();
     let neg_dist = WeightedIndex::new(&weights).expect("valid negative distribution");
 
     // init: input vectors uniform small, output vectors zero (word2vec's
@@ -126,18 +136,16 @@ pub fn train_word2vec(
 
     let total_steps = config.epochs.max(1);
     for epoch in 0..config.epochs {
-        let lr = config.learning_rate
-            * (1.0 - 0.9 * epoch as f32 / total_steps as f32);
+        let lr = config.learning_rate * (1.0 - 0.9 * epoch as f32 / total_steps as f32);
         for seq in sequences {
             for (center_pos, &center) in seq.iter().enumerate() {
                 let window = rng.gen_range(1..=config.window.max(1));
                 let lo = center_pos.saturating_sub(window);
                 let hi = (center_pos + window + 1).min(seq.len());
-                for ctx_pos in lo..hi {
+                for (ctx_pos, &context) in seq.iter().enumerate().take(hi).skip(lo) {
                     if ctx_pos == center_pos {
                         continue;
                     }
-                    let context = seq[ctx_pos];
                     sgns_update(
                         &mut input,
                         &mut output,
@@ -152,22 +160,16 @@ pub fn train_word2vec(
                         if neg == context {
                             continue;
                         }
-                        sgns_update(
-                            &mut input,
-                            &mut output,
-                            config.dim,
-                            center,
-                            neg,
-                            false,
-                            lr,
-                        );
+                        sgns_update(&mut input, &mut output, config.dim, center, neg, false, lr);
                     }
                 }
             }
         }
     }
 
-    WordEmbeddings { table: Tensor::from_vec(vocab_size, config.dim, input) }
+    WordEmbeddings {
+        table: Tensor::from_vec(vocab_size, config.dim, input),
+    }
 }
 
 /// One SGNS gradient step on a `(center, target)` pair.
@@ -216,7 +218,12 @@ mod tests {
     }
 
     fn small_config() -> Word2VecConfig {
-        Word2VecConfig { dim: 16, epochs: 8, seed: 3, ..Default::default() }
+        Word2VecConfig {
+            dim: 16,
+            epochs: 8,
+            seed: 3,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl Recipe {
 
     /// Number of tokens of one kind in the sequence.
     pub fn count_kind(&self, table: &EntityTable, kind: EntityKind) -> usize {
-        self.tokens.iter().filter(|&&t| table.kind(t) == kind).count()
+        self.tokens
+            .iter()
+            .filter(|&&t| table.kind(t) == kind)
+            .count()
     }
 
     /// Renders the sequence as whitespace-separated entity names — the
@@ -94,8 +97,16 @@ mod tests {
     fn tiny() -> Dataset {
         let table = EntityTable::synthesize(10, 5, 3);
         let recipes = vec![
-            Recipe { id: RecipeId(0), cuisine: CuisineId(0), tokens: vec![EntityId(0), EntityId(10)] },
-            Recipe { id: RecipeId(1), cuisine: CuisineId(3), tokens: vec![EntityId(1), EntityId(11), EntityId(15)] },
+            Recipe {
+                id: RecipeId(0),
+                cuisine: CuisineId(0),
+                tokens: vec![EntityId(0), EntityId(10)],
+            },
+            Recipe {
+                id: RecipeId(1),
+                cuisine: CuisineId(3),
+                tokens: vec![EntityId(1), EntityId(11), EntityId(15)],
+            },
         ];
         Dataset { table, recipes }
     }

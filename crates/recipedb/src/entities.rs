@@ -74,7 +74,13 @@ impl EntityTable {
             .enumerate()
             .map(|(i, n)| (n.clone(), EntityId(i as u32)))
             .collect();
-        Self { names, ingredients, processes, utensils, by_name }
+        Self {
+            names,
+            ingredients,
+            processes,
+            utensils,
+            by_name,
+        }
     }
 
     /// Total entity count.
@@ -129,60 +135,281 @@ impl EntityTable {
         let (start, end) = match kind {
             EntityKind::Ingredient => (0, self.ingredients),
             EntityKind::Process => (self.ingredients, self.ingredients + self.processes),
-            EntityKind::Utensil => {
-                (self.ingredients + self.processes, self.len())
-            }
+            EntityKind::Utensil => (self.ingredients + self.processes, self.len()),
         };
         start as u32..end as u32
     }
 }
 
 const BASE_FOODS: &[&str] = &[
-    "onion", "garlic", "tomato", "chicken", "beef", "pork", "lamb", "rice",
-    "lentil", "chickpea", "potato", "carrot", "celery", "pepper", "chili",
-    "ginger", "turmeric", "cumin", "coriander", "basil", "oregano", "thyme",
-    "rosemary", "parsley", "cilantro", "mint", "dill", "sage", "paprika",
-    "cinnamon", "clove", "cardamom", "nutmeg", "saffron", "vanilla", "sugar",
-    "salt", "butter", "cream", "milk", "yogurt", "cheese", "egg", "flour",
-    "cornmeal", "oat", "barley", "quinoa", "noodle", "pasta", "bread",
-    "tortilla", "bean", "pea", "corn", "squash", "zucchini", "eggplant",
-    "spinach", "kale", "cabbage", "lettuce", "cucumber", "radish", "beet",
-    "turnip", "mushroom", "leek", "shallot", "scallion", "lime", "lemon",
-    "orange", "apple", "pear", "peach", "plum", "cherry", "grape", "raisin",
-    "date", "fig", "apricot", "mango", "pineapple", "banana", "coconut",
-    "almond", "walnut", "pecan", "cashew", "peanut", "pistachio", "sesame",
-    "honey", "molasses", "vinegar", "wine", "beer", "broth", "stock",
-    "shrimp", "crab", "lobster", "salmon", "tuna", "cod", "anchovy",
-    "sardine", "mussel", "clam", "oyster", "squid", "octopus", "tofu",
-    "tempeh", "miso", "soy", "mirin", "sake", "fish", "duck", "turkey",
-    "bacon", "ham", "sausage", "chorizo", "salami", "prosciutto", "avocado",
-    "olive", "caper", "artichoke", "asparagus", "broccoli", "cauliflower",
-    "fennel", "okra", "plantain", "yam", "cassava", "taro", "seaweed",
-    "wasabi", "horseradish", "mustard", "ketchup", "mayonnaise", "tahini",
-    "hummus", "salsa", "pesto", "curry", "masala", "garam", "berbere",
-    "harissa", "sumac", "zaatar", "lemongrass", "galangal", "tamarind",
-    "jaggery", "ghee", "paneer", "mozzarella", "parmesan", "cheddar",
-    "feta", "ricotta", "gouda", "brie", "oil", "lard", "margarine",
-    "shortening", "gelatin", "yeast", "baking-soda", "cocoa", "chocolate",
-    "espresso", "tea", "buttermilk",
+    "onion",
+    "garlic",
+    "tomato",
+    "chicken",
+    "beef",
+    "pork",
+    "lamb",
+    "rice",
+    "lentil",
+    "chickpea",
+    "potato",
+    "carrot",
+    "celery",
+    "pepper",
+    "chili",
+    "ginger",
+    "turmeric",
+    "cumin",
+    "coriander",
+    "basil",
+    "oregano",
+    "thyme",
+    "rosemary",
+    "parsley",
+    "cilantro",
+    "mint",
+    "dill",
+    "sage",
+    "paprika",
+    "cinnamon",
+    "clove",
+    "cardamom",
+    "nutmeg",
+    "saffron",
+    "vanilla",
+    "sugar",
+    "salt",
+    "butter",
+    "cream",
+    "milk",
+    "yogurt",
+    "cheese",
+    "egg",
+    "flour",
+    "cornmeal",
+    "oat",
+    "barley",
+    "quinoa",
+    "noodle",
+    "pasta",
+    "bread",
+    "tortilla",
+    "bean",
+    "pea",
+    "corn",
+    "squash",
+    "zucchini",
+    "eggplant",
+    "spinach",
+    "kale",
+    "cabbage",
+    "lettuce",
+    "cucumber",
+    "radish",
+    "beet",
+    "turnip",
+    "mushroom",
+    "leek",
+    "shallot",
+    "scallion",
+    "lime",
+    "lemon",
+    "orange",
+    "apple",
+    "pear",
+    "peach",
+    "plum",
+    "cherry",
+    "grape",
+    "raisin",
+    "date",
+    "fig",
+    "apricot",
+    "mango",
+    "pineapple",
+    "banana",
+    "coconut",
+    "almond",
+    "walnut",
+    "pecan",
+    "cashew",
+    "peanut",
+    "pistachio",
+    "sesame",
+    "honey",
+    "molasses",
+    "vinegar",
+    "wine",
+    "beer",
+    "broth",
+    "stock",
+    "shrimp",
+    "crab",
+    "lobster",
+    "salmon",
+    "tuna",
+    "cod",
+    "anchovy",
+    "sardine",
+    "mussel",
+    "clam",
+    "oyster",
+    "squid",
+    "octopus",
+    "tofu",
+    "tempeh",
+    "miso",
+    "soy",
+    "mirin",
+    "sake",
+    "fish",
+    "duck",
+    "turkey",
+    "bacon",
+    "ham",
+    "sausage",
+    "chorizo",
+    "salami",
+    "prosciutto",
+    "avocado",
+    "olive",
+    "caper",
+    "artichoke",
+    "asparagus",
+    "broccoli",
+    "cauliflower",
+    "fennel",
+    "okra",
+    "plantain",
+    "yam",
+    "cassava",
+    "taro",
+    "seaweed",
+    "wasabi",
+    "horseradish",
+    "mustard",
+    "ketchup",
+    "mayonnaise",
+    "tahini",
+    "hummus",
+    "salsa",
+    "pesto",
+    "curry",
+    "masala",
+    "garam",
+    "berbere",
+    "harissa",
+    "sumac",
+    "zaatar",
+    "lemongrass",
+    "galangal",
+    "tamarind",
+    "jaggery",
+    "ghee",
+    "paneer",
+    "mozzarella",
+    "parmesan",
+    "cheddar",
+    "feta",
+    "ricotta",
+    "gouda",
+    "brie",
+    "oil",
+    "lard",
+    "margarine",
+    "shortening",
+    "gelatin",
+    "yeast",
+    "baking-soda",
+    "cocoa",
+    "chocolate",
+    "espresso",
+    "tea",
+    "buttermilk",
 ];
 
 const MODIFIERS: &[&str] = &[
-    "fresh", "dried", "smoked", "ground", "roasted", "toasted", "pickled",
-    "fermented", "cured", "salted", "unsalted", "sweet", "sour", "spicy",
-    "hot", "mild", "raw", "cooked", "frozen", "canned", "organic", "wild",
-    "baby", "mature", "aged", "young", "whole", "split", "cracked",
-    "rolled", "steel-cut", "stone-ground", "cold-pressed", "extra-virgin",
-    "light", "dark", "golden", "crushed", "minced", "shredded", "grated",
-    "sliced", "diced", "julienned", "pureed", "candied", "glazed", "brined",
+    "fresh",
+    "dried",
+    "smoked",
+    "ground",
+    "roasted",
+    "toasted",
+    "pickled",
+    "fermented",
+    "cured",
+    "salted",
+    "unsalted",
+    "sweet",
+    "sour",
+    "spicy",
+    "hot",
+    "mild",
+    "raw",
+    "cooked",
+    "frozen",
+    "canned",
+    "organic",
+    "wild",
+    "baby",
+    "mature",
+    "aged",
+    "young",
+    "whole",
+    "split",
+    "cracked",
+    "rolled",
+    "steel-cut",
+    "stone-ground",
+    "cold-pressed",
+    "extra-virgin",
+    "light",
+    "dark",
+    "golden",
+    "crushed",
+    "minced",
+    "shredded",
+    "grated",
+    "sliced",
+    "diced",
+    "julienned",
+    "pureed",
+    "candied",
+    "glazed",
+    "brined",
 ];
 
 const VARIETIES: &[&str] = &[
-    "red", "green", "yellow", "white", "black", "brown", "purple", "pink",
-    "blood", "heirloom", "roma", "cherry", "thai", "bird-eye", "serrano",
-    "jalapeno", "habanero", "poblano", "basmati", "jasmine", "arborio",
-    "long-grain", "short-grain", "wheat", "rye", "sourdough", "multigrain",
-    "winter", "summer", "spring",
+    "red",
+    "green",
+    "yellow",
+    "white",
+    "black",
+    "brown",
+    "purple",
+    "pink",
+    "blood",
+    "heirloom",
+    "roma",
+    "cherry",
+    "thai",
+    "bird-eye",
+    "serrano",
+    "jalapeno",
+    "habanero",
+    "poblano",
+    "basmati",
+    "jasmine",
+    "arborio",
+    "long-grain",
+    "short-grain",
+    "wheat",
+    "rye",
+    "sourdough",
+    "multigrain",
+    "winter",
+    "summer",
+    "spring",
 ];
 
 fn compose_ingredients(count: usize) -> Vec<String> {
@@ -191,9 +418,12 @@ fn compose_ingredients(count: usize) -> Vec<String> {
     // the real head of RecipeDB ('onion', 'garlic', 'water', …) while the
     // long tail gets compositional oddities like the paper's example
     // 'lasagna noodle wheat'.
-    let max =
-        BASE_FOODS.len() * (1 + MODIFIERS.len() + VARIETIES.len() + MODIFIERS.len() * VARIETIES.len());
-    assert!(count <= max, "cannot compose {count} ingredient names (max {max})");
+    let max = BASE_FOODS.len()
+        * (1 + MODIFIERS.len() + VARIETIES.len() + MODIFIERS.len() * VARIETIES.len());
+    assert!(
+        count <= max,
+        "cannot compose {count} ingredient names (max {max})"
+    );
     let mut out = Vec::with_capacity(count);
     // 1. bare bases
     for b in BASE_FOODS {
@@ -235,22 +465,23 @@ fn compose_ingredients(count: usize) -> Vec<String> {
 }
 
 const BASE_PROCESSES: &[&str] = &[
-    "add", "stir", "heat", "cook", "mix", "combine", "pour", "season",
-    "garnish", "serve", "simmer", "boil", "fry", "saute", "bake", "roast",
-    "grill", "broil", "steam", "poach", "blanch", "braise", "stew", "toast",
-    "chop", "slice", "dice", "mince", "grate", "shred", "peel", "cut",
-    "trim", "core", "seed", "mash", "puree", "blend", "whisk", "beat",
-    "fold", "knead", "roll", "press", "spread", "sprinkle", "drizzle",
-    "coat", "dip", "marinate", "brine", "cure", "smoke", "chill", "freeze",
-    "thaw", "rest", "cool", "warm", "reheat", "reduce", "thicken", "strain",
-    "drain",
+    "add", "stir", "heat", "cook", "mix", "combine", "pour", "season", "garnish", "serve",
+    "simmer", "boil", "fry", "saute", "bake", "roast", "grill", "broil", "steam", "poach",
+    "blanch", "braise", "stew", "toast", "chop", "slice", "dice", "mince", "grate", "shred",
+    "peel", "cut", "trim", "core", "seed", "mash", "puree", "blend", "whisk", "beat", "fold",
+    "knead", "roll", "press", "spread", "sprinkle", "drizzle", "coat", "dip", "marinate", "brine",
+    "cure", "smoke", "chill", "freeze", "thaw", "rest", "cool", "warm", "reheat", "reduce",
+    "thicken", "strain", "drain",
 ];
 
 const PROCESS_SUFFIXES: &[&str] = &["", " well", " gently", " thoroughly"];
 
 fn compose_processes(count: usize) -> Vec<String> {
     let max = BASE_PROCESSES.len() * PROCESS_SUFFIXES.len();
-    assert!(count <= max, "cannot compose {count} process names (max {max})");
+    assert!(
+        count <= max,
+        "cannot compose {count} process names (max {max})"
+    );
     let mut out = Vec::with_capacity(count);
     for suffix in PROCESS_SUFFIXES {
         for p in BASE_PROCESSES {
@@ -264,20 +495,61 @@ fn compose_processes(count: usize) -> Vec<String> {
 }
 
 const BASE_UTENSILS: &[&str] = &[
-    "pot", "pan", "skillet", "saucepan", "bowl", "processor", "blender",
-    "oven", "grill-pan", "wok", "griddle", "stockpot", "roaster", "steamer",
-    "colander", "sieve", "whisk-tool", "spatula", "ladle", "tongs",
-    "knife", "board", "grater", "peeler", "masher", "mortar", "rolling-pin",
-    "sheet", "rack", "dish", "casserole", "ramekin", "mold", "tin",
-    "thermometer", "scale", "mixer", "juicer", "press-tool", "skewer",
-    "foil", "parchment", "twine", "mandoline", "zester",
+    "pot",
+    "pan",
+    "skillet",
+    "saucepan",
+    "bowl",
+    "processor",
+    "blender",
+    "oven",
+    "grill-pan",
+    "wok",
+    "griddle",
+    "stockpot",
+    "roaster",
+    "steamer",
+    "colander",
+    "sieve",
+    "whisk-tool",
+    "spatula",
+    "ladle",
+    "tongs",
+    "knife",
+    "board",
+    "grater",
+    "peeler",
+    "masher",
+    "mortar",
+    "rolling-pin",
+    "sheet",
+    "rack",
+    "dish",
+    "casserole",
+    "ramekin",
+    "mold",
+    "tin",
+    "thermometer",
+    "scale",
+    "mixer",
+    "juicer",
+    "press-tool",
+    "skewer",
+    "foil",
+    "parchment",
+    "twine",
+    "mandoline",
+    "zester",
 ];
 
 const UTENSIL_SIZES: &[&str] = &["", "large ", "small "];
 
 fn compose_utensils(count: usize) -> Vec<String> {
     let max = BASE_UTENSILS.len() * UTENSIL_SIZES.len();
-    assert!(count <= max, "cannot compose {count} utensil names (max {max})");
+    assert!(
+        count <= max,
+        "cannot compose {count} utensil names (max {max})"
+    );
     let mut out = Vec::with_capacity(count);
     for size in UTENSIL_SIZES {
         for u in BASE_UTENSILS {
@@ -342,10 +614,14 @@ mod tests {
     #[test]
     fn ids_of_kind_cover_table() {
         let t = EntityTable::synthesize(200, 30, 15);
-        let total: usize = [EntityKind::Ingredient, EntityKind::Process, EntityKind::Utensil]
-            .iter()
-            .map(|&k| t.ids_of_kind(k).len())
-            .sum();
+        let total: usize = [
+            EntityKind::Ingredient,
+            EntityKind::Process,
+            EntityKind::Utensil,
+        ]
+        .iter()
+        .map(|&k| t.ids_of_kind(k).len())
+        .sum();
         assert_eq!(total, t.len());
     }
 

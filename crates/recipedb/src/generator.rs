@@ -100,14 +100,22 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        Self { seed: 2020, scale: 1.0, signal: SignalProfile::default() }
+        Self {
+            seed: 2020,
+            scale: 1.0,
+            signal: SignalProfile::default(),
+        }
     }
 }
 
 impl GeneratorConfig {
     /// A small config for tests and examples: ~1% of paper scale.
     pub fn small(seed: u64) -> Self {
-        Self { seed, scale: 0.01, ..Self::default() }
+        Self {
+            seed,
+            scale: 0.01,
+            ..Self::default()
+        }
     }
 
     /// Recipe count for one cuisine at this scale (minimum 10).
@@ -118,7 +126,10 @@ impl GeneratorConfig {
 
 /// Generates a corpus. Deterministic per [`GeneratorConfig::seed`].
 pub fn generate(config: &GeneratorConfig) -> Dataset {
-    assert!(config.scale > 0.0 && config.scale <= 1.0, "scale must be in (0, 1]");
+    assert!(
+        config.scale > 0.0 && config.scale <= 1.0,
+        "scale must be in (0, 1]"
+    );
     let table = EntityTable::synthesize(
         PLAN_TOTAL_INGREDIENTS,
         PLAN_TOTAL_PROCESSES,
@@ -137,7 +148,9 @@ pub fn generate(config: &GeneratorConfig) -> Dataset {
     for (cuisine, &count) in CuisineId::all().zip(&counts) {
         let profile = &profiles[cuisine.index()];
         for _ in 0..count {
-            recipes.push(generate_recipe(cuisine, profile, &lengths, config, &mut rng));
+            recipes.push(generate_recipe(
+                cuisine, profile, &lengths, config, &mut rng,
+            ));
         }
     }
 
@@ -201,8 +214,7 @@ fn build_profiles(
     let signal = &config.signal;
 
     // ---- head entities per kind ---------------------------------------
-    let head_ing: Vec<EntityId> = plan
-        .by_rank()[..plan.head_count()]
+    let head_ing: Vec<EntityId> = plan.by_rank()[..plan.head_count()]
         .iter()
         .copied()
         .filter(|&id| table.kind(id) == EntityKind::Ingredient && plan.target(id) > 0)
@@ -224,8 +236,7 @@ fn build_profiles(
     // would distort the spectrum.
     let lo = head_ing.len() / 20;
     let hi = (head_ing.len() * 3 / 4).max(lo + signal.signature_size * 30);
-    let candidates: Vec<EntityId> =
-        head_ing[lo..hi.min(head_ing.len())].to_vec();
+    let candidates: Vec<EntityId> = head_ing[lo..hi.min(head_ing.len())].to_vec();
     let signatures = assign_signatures(&candidates, signal, rng);
 
     // ---- continent motifs (order signal) --------------------------------
@@ -299,7 +310,10 @@ fn build_profiles(
 }
 
 fn continent_index(c: Continent) -> usize {
-    Continent::all().iter().position(|&x| x == c).expect("continent listed")
+    Continent::all()
+        .iter()
+        .position(|&x| x == c)
+        .expect("continent listed")
 }
 
 /// Picks each cuisine's signature ingredients: `shared_fraction` from a
@@ -321,8 +335,10 @@ fn assign_signatures(
 
     // One shared pool per continent.
     let shared_n = (signal.signature_size as f64 * signal.shared_fraction) as usize;
-    let continent_pools: Vec<Vec<EntityId>> =
-        Continent::all().iter().map(|_| take(shared_n * 2)).collect();
+    let continent_pools: Vec<Vec<EntityId>> = Continent::all()
+        .iter()
+        .map(|_| take(shared_n * 2))
+        .collect();
 
     CuisineId::all()
         .map(|cuisine| {
@@ -331,7 +347,9 @@ fn assign_signatures(
                 .choose_multiple(rng, shared_n)
                 .copied()
                 .collect();
-            sig.extend(take(signal.signature_size - sig.len().min(signal.signature_size)));
+            sig.extend(take(
+                signal.signature_size - sig.len().min(signal.signature_size),
+            ));
             sig
         })
         .collect()
@@ -351,21 +369,22 @@ fn assign_motifs(
     // Continent recipe masses determine per-token motif usage; the greedy
     // allocator assigns motif positions to processes with enough planned
     // frequency to absorb them.
-    let mut cont_recipes = vec![0usize; 6];
+    let mut cont_recipes = [0usize; 6];
     for cuisine in CuisineId::all() {
         cont_recipes[continent_index(cuisine.info().continent)] += counts[cuisine.index()];
     }
 
     // capacity = 80% of planned frequency (leave room for i.i.d. fill)
-    let mut capacity: Vec<(EntityId, f64)> =
-        procs.iter().map(|&p| (p, plan.target(p) as f64 * 0.8)).collect();
+    let mut capacity: Vec<(EntityId, f64)> = procs
+        .iter()
+        .map(|&p| (p, plan.target(p) as f64 * 0.8))
+        .collect();
 
     let mut sets: Vec<Vec<Vec<EntityId>>> = vec![Vec::new(); 6];
     for (cont, _) in Continent::all().iter().enumerate() {
-        let per_token = cont_recipes[cont] as f64
-            * signal.motif_rate
-            * signal.motifs_per_recipe as f64
-            / signal.motifs_per_cuisine as f64;
+        let per_token =
+            cont_recipes[cont] as f64 * signal.motif_rate * signal.motifs_per_recipe as f64
+                / signal.motifs_per_cuisine as f64;
         for _slot in 0..signal.motifs_per_cuisine {
             let mut tokens = Vec::with_capacity(signal.motif_len);
             for _ in 0..signal.motif_len {
@@ -386,7 +405,7 @@ fn assign_motifs(
 
     // Per-cuisine orderings: a distinct permutation per (cuisine, slot).
     let perms = permutations(signal.motif_len);
-    let mut cont_position = vec![0usize; 6];
+    let mut cont_position = [0usize; 6];
     CuisineId::all()
         .map(|cuisine| {
             let cont = continent_index(cuisine.info().continent);
@@ -441,9 +460,7 @@ fn motif_mass_per_process(
         .unwrap_or(0);
     let mut mass = vec![0.0f64; max_id + 1];
     for (ci, cuisine_motifs) in motifs.iter().enumerate() {
-        let per_slot = counts[ci] as f64
-            * signal.motif_rate
-            * signal.motifs_per_recipe as f64
+        let per_slot = counts[ci] as f64 * signal.motif_rate * signal.motifs_per_recipe as f64
             / cuisine_motifs.len().max(1) as f64;
         for motif in cuisine_motifs {
             for &p in motif {
@@ -483,8 +500,10 @@ fn calibrate_ingredient_weights(
         })
         .collect();
 
-    let cuisine_mass: Vec<f64> =
-        counts.iter().map(|&c| c as f64 / total_recipes.max(1) as f64).collect();
+    let cuisine_mass: Vec<f64> = counts
+        .iter()
+        .map(|&c| c as f64 / total_recipes.max(1) as f64)
+        .collect();
 
     for _ in 0..3 {
         // expected relative frequency of each ingredient across cuisines
@@ -542,7 +561,11 @@ fn generate_recipe(
 
     // processes, with motifs inserted as contiguous ordered blocks
     let with_motif = rng.gen_bool(signal.motif_rate.clamp(0.0, 1.0));
-    let motif_tokens = if with_motif { signal.motif_len * signal.motifs_per_recipe } else { 0 };
+    let motif_tokens = if with_motif {
+        signal.motif_len * signal.motifs_per_recipe
+    } else {
+        0
+    };
     let filler = n_proc.saturating_sub(motif_tokens);
     let mut procs: Vec<EntityId> = (0..filler)
         .map(|_| profile.proc_ids[profile.proc_dist.sample(rng)])
@@ -561,7 +584,11 @@ fn generate_recipe(
         tokens.push(profile.ut_ids[profile.ut_dist.sample(rng)]);
     }
 
-    Recipe { id: RecipeId(0), cuisine, tokens }
+    Recipe {
+        id: RecipeId(0),
+        cuisine,
+        tokens,
+    }
 }
 
 /// Appends tail ingredients to randomly chosen recipes by exact quota.
@@ -588,7 +615,11 @@ mod tests {
     use crate::stats::DatasetStats;
 
     fn tiny_config() -> GeneratorConfig {
-        GeneratorConfig { seed: 7, scale: 0.005, ..Default::default() }
+        GeneratorConfig {
+            seed: 7,
+            scale: 0.005,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -596,13 +627,20 @@ mod tests {
         let a = generate(&tiny_config());
         let b = generate(&tiny_config());
         assert_eq!(a.recipes, b.recipes);
-        let c = generate(&GeneratorConfig { seed: 8, ..tiny_config() });
+        let c = generate(&GeneratorConfig {
+            seed: 8,
+            ..tiny_config()
+        });
         assert_ne!(a.recipes, c.recipes);
     }
 
     #[test]
     fn cuisine_counts_follow_table2_proportions() {
-        let config = GeneratorConfig { seed: 1, scale: 0.01, ..Default::default() };
+        let config = GeneratorConfig {
+            seed: 1,
+            scale: 0.01,
+            ..Default::default()
+        };
         let d = generate(&config);
         let stats = DatasetStats::compute(&d);
         let italian = CuisineId::all().find(|c| c.name() == "Italian").unwrap();
@@ -619,10 +657,11 @@ mod tests {
         // (except injected ones in the first third), no process after the
         // first utensil.
         for r in d.recipes.iter().take(50) {
-            let kinds: Vec<EntityKind> =
-                r.tokens.iter().map(|&t| d.table.kind(t)).collect();
-            let first_ut =
-                kinds.iter().position(|&k| k == EntityKind::Utensil).unwrap_or(kinds.len());
+            let kinds: Vec<EntityKind> = r.tokens.iter().map(|&t| d.table.kind(t)).collect();
+            let first_ut = kinds
+                .iter()
+                .position(|&k| k == EntityKind::Utensil)
+                .unwrap_or(kinds.len());
             assert!(
                 !kinds[first_ut..].contains(&EntityKind::Process),
                 "process after utensil in {kinds:?}"
@@ -648,34 +687,54 @@ mod tests {
             .filter(|&id| plan.target(id) > 0)
             .collect();
         let signal = SignalProfile::default();
-        let counts: Vec<usize> =
-            CuisineId::all().map(|c| (c.info().paper_count / 100) as usize).collect();
+        let counts: Vec<usize> = CuisineId::all()
+            .map(|c| (c.info().paper_count / 100) as usize)
+            .collect();
         let mut rng = StdRng::seed_from_u64(3);
         let motifs = assign_motifs(&plan, &procs, &signal, &counts, &mut rng);
 
         // Italian and French are both European.
-        let italian = CuisineId::all().find(|c| c.name() == "Italian").unwrap().index();
-        let french = CuisineId::all().find(|c| c.name() == "French").unwrap().index();
-        for slot in 0..signal.motifs_per_cuisine {
-            let mut a = motifs[italian][slot].clone();
-            let mut b = motifs[french][slot].clone();
+        let italian = CuisineId::all()
+            .find(|c| c.name() == "Italian")
+            .unwrap()
+            .index();
+        let french = CuisineId::all()
+            .find(|c| c.name() == "French")
+            .unwrap()
+            .index();
+        let slots = motifs[italian].iter().zip(&motifs[french]);
+        for (slot, (ma, mb)) in slots.enumerate().take(signal.motifs_per_cuisine) {
+            let mut a = ma.clone();
+            let mut b = mb.clone();
             assert_ne!(a, b, "sibling cuisines share motif order in slot {slot}");
             a.sort();
             b.sort();
-            assert_eq!(a, b, "sibling cuisines use different motif tokens in slot {slot}");
+            assert_eq!(
+                a, b,
+                "sibling cuisines use different motif tokens in slot {slot}"
+            );
         }
     }
 
     #[test]
     fn tail_injection_hits_exact_quotas() {
-        let config = GeneratorConfig { seed: 5, scale: 0.02, ..Default::default() };
+        let config = GeneratorConfig {
+            seed: 5,
+            scale: 0.02,
+            ..Default::default()
+        };
         let d = generate(&config);
         let stats = DatasetStats::compute(&d);
         let table = &d.table;
         let plan = FrequencyPlan::scaled(table, config.scale);
         for (id, quota) in plan.tail_quotas().into_iter().take(200) {
             let realized = stats.frequencies.get(&id).copied().unwrap_or(0);
-            assert_eq!(realized, quota, "tail entity {} missed quota", table.name(id));
+            assert_eq!(
+                realized,
+                quota,
+                "tail entity {} missed quota",
+                table.name(id)
+            );
         }
     }
 
@@ -691,6 +750,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "scale must be")]
     fn invalid_scale_panics() {
-        let _ = generate(&GeneratorConfig { scale: 0.0, ..Default::default() });
+        let _ = generate(&GeneratorConfig {
+            scale: 0.0,
+            ..Default::default()
+        });
     }
 }

@@ -81,7 +81,11 @@ pub fn read_jsonl(path: &Path) -> io::Result<Dataset> {
     if recipes.len() != header.recipes {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("header promised {} recipes, found {}", header.recipes, recipes.len()),
+            format!(
+                "header promised {} recipes, found {}",
+                header.recipes,
+                recipes.len()
+            ),
         ));
     }
     Ok(Dataset { table, recipes })
@@ -102,7 +106,11 @@ mod tests {
                 cuisine: CuisineId(12),
                 tokens: vec![EntityId(3), EntityId(50), EntityId(60)],
             },
-            Recipe { id: RecipeId(1), cuisine: CuisineId(0), tokens: vec![EntityId(7)] },
+            Recipe {
+                id: RecipeId(1),
+                cuisine: CuisineId(0),
+                tokens: vec![EntityId(7)],
+            },
         ];
         Dataset { table, recipes }
     }

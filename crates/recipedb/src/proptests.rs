@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use crate::{
-    generate, train_val_test_split, DatasetStats, EntityTable, FrequencyPlan,
-    GeneratorConfig, CuisineId,
+    generate, train_val_test_split, CuisineId, DatasetStats, EntityTable, FrequencyPlan,
+    GeneratorConfig,
 };
 
 proptest! {

@@ -43,7 +43,11 @@ impl Split {
 /// contribute at least one test example when they have ≥2 recipes.
 pub fn train_val_test_split(dataset: &Dataset, seed: u64) -> Split {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut split = Split { train: Vec::new(), val: Vec::new(), test: Vec::new() };
+    let mut split = Split {
+        train: Vec::new(),
+        val: Vec::new(),
+        test: Vec::new(),
+    };
 
     for cuisine in CuisineId::all() {
         let mut idx: Vec<usize> = dataset
@@ -97,8 +101,13 @@ mod tests {
         let d = dataset_with_counts(&[(0, 100), (1, 50), (2, 10)]);
         let s = train_val_test_split(&d, 42);
         assert_eq!(s.len(), 160);
-        let mut all: Vec<usize> =
-            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 160, "overlapping split parts");
@@ -117,8 +126,11 @@ mod tests {
     fn stratification_preserves_class_ratio() {
         let d = dataset_with_counts(&[(0, 900), (1, 100)]);
         let s = train_val_test_split(&d, 7);
-        let class1_in_test =
-            s.test.iter().filter(|&&i| d.recipes[i].cuisine == CuisineId(1)).count();
+        let class1_in_test = s
+            .test
+            .iter()
+            .filter(|&&i| d.recipes[i].cuisine == CuisineId(1))
+            .count();
         assert_eq!(class1_in_test, 20);
     }
 

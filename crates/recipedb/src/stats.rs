@@ -20,31 +20,91 @@ pub struct SpectrumRow {
 /// The paper's Table III high-frequency rows (`count` features occur more
 /// than `bound` times).
 pub const PAPER_TABLE3_HIGH: [SpectrumRow; 10] = [
-    SpectrumRow { bound: 1_000, count: 304 },
-    SpectrumRow { bound: 5_000, count: 106 },
-    SpectrumRow { bound: 10_000, count: 57 },
-    SpectrumRow { bound: 15_000, count: 43 },
-    SpectrumRow { bound: 20_000, count: 34 },
-    SpectrumRow { bound: 25_000, count: 24 },
-    SpectrumRow { bound: 30_000, count: 19 },
-    SpectrumRow { bound: 35_000, count: 17 },
-    SpectrumRow { bound: 40_000, count: 13 },
-    SpectrumRow { bound: 45_000, count: 12 },
+    SpectrumRow {
+        bound: 1_000,
+        count: 304,
+    },
+    SpectrumRow {
+        bound: 5_000,
+        count: 106,
+    },
+    SpectrumRow {
+        bound: 10_000,
+        count: 57,
+    },
+    SpectrumRow {
+        bound: 15_000,
+        count: 43,
+    },
+    SpectrumRow {
+        bound: 20_000,
+        count: 34,
+    },
+    SpectrumRow {
+        bound: 25_000,
+        count: 24,
+    },
+    SpectrumRow {
+        bound: 30_000,
+        count: 19,
+    },
+    SpectrumRow {
+        bound: 35_000,
+        count: 17,
+    },
+    SpectrumRow {
+        bound: 40_000,
+        count: 13,
+    },
+    SpectrumRow {
+        bound: 45_000,
+        count: 12,
+    },
 ];
 
 /// The paper's Table III low-frequency rows (`count` features occur fewer
 /// than `bound` times, among features that occur at all).
 pub const PAPER_TABLE3_LOW: [SpectrumRow; 10] = [
-    SpectrumRow { bound: 2, count: 11_738 },
-    SpectrumRow { bound: 3, count: 14_015 },
-    SpectrumRow { bound: 4, count: 15_002 },
-    SpectrumRow { bound: 5, count: 15_620 },
-    SpectrumRow { bound: 6, count: 16_073 },
-    SpectrumRow { bound: 7, count: 16_394 },
-    SpectrumRow { bound: 8, count: 16_627 },
-    SpectrumRow { bound: 10, count: 17_016 },
-    SpectrumRow { bound: 15, count: 17_314 },
-    SpectrumRow { bound: 20, count: 17_519 },
+    SpectrumRow {
+        bound: 2,
+        count: 11_738,
+    },
+    SpectrumRow {
+        bound: 3,
+        count: 14_015,
+    },
+    SpectrumRow {
+        bound: 4,
+        count: 15_002,
+    },
+    SpectrumRow {
+        bound: 5,
+        count: 15_620,
+    },
+    SpectrumRow {
+        bound: 6,
+        count: 16_073,
+    },
+    SpectrumRow {
+        bound: 7,
+        count: 16_394,
+    },
+    SpectrumRow {
+        bound: 8,
+        count: 16_627,
+    },
+    SpectrumRow {
+        bound: 10,
+        count: 17_016,
+    },
+    SpectrumRow {
+        bound: 15,
+        count: 17_314,
+    },
+    SpectrumRow {
+        bound: 20,
+        count: 17_519,
+    },
 ];
 
 /// Aggregate statistics of a generated corpus.
@@ -170,11 +230,17 @@ pub fn length_histogram(dataset: &Dataset, bucket_width: usize) -> Vec<(usize, u
 pub fn cumulative_spectrum(stats: &DatasetStats) -> (Vec<SpectrumRow>, Vec<SpectrumRow>) {
     let high = PAPER_TABLE3_HIGH
         .iter()
-        .map(|row| SpectrumRow { bound: row.bound, count: stats.features_above(row.bound) })
+        .map(|row| SpectrumRow {
+            bound: row.bound,
+            count: stats.features_above(row.bound),
+        })
         .collect();
     let low = PAPER_TABLE3_LOW
         .iter()
-        .map(|row| SpectrumRow { bound: row.bound, count: stats.features_below(row.bound) })
+        .map(|row| SpectrumRow {
+            bound: row.bound,
+            count: stats.features_below(row.bound),
+        })
         .collect();
     (high, low)
 }
@@ -247,7 +313,12 @@ mod tests {
 
     #[test]
     fn length_histogram_counts_every_recipe() {
-        let d = make(vec![vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3, 4]]);
+        let d = make(vec![
+            vec![0],
+            vec![0, 1],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3, 4],
+        ]);
         let hist = length_histogram(&d, 2);
         let total: usize = hist.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, 4);

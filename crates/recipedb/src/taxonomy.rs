@@ -94,32 +94,136 @@ pub const NUM_CUISINES: usize = 26;
 /// recipes and quotes split sizes summing to 118,051 — the source tables are
 /// internally inconsistent by ~0.1%. We treat Table II as ground truth.
 pub const CUISINES: [CuisineInfo; NUM_CUISINES] = [
-    CuisineInfo { name: "Australian", continent: Continent::Oceanic, paper_count: 5823 },
-    CuisineInfo { name: "Belgian", continent: Continent::European, paper_count: 1060 },
-    CuisineInfo { name: "Canadian", continent: Continent::NorthAmerican, paper_count: 6700 },
-    CuisineInfo { name: "Caribbean", continent: Continent::LatinAmerican, paper_count: 3026 },
-    CuisineInfo { name: "Central American", continent: Continent::LatinAmerican, paper_count: 460 },
-    CuisineInfo { name: "Chinese and Mongolian", continent: Continent::Asian, paper_count: 5896 },
-    CuisineInfo { name: "Deutschland", continent: Continent::European, paper_count: 4323 },
-    CuisineInfo { name: "Eastern European", continent: Continent::European, paper_count: 2503 },
-    CuisineInfo { name: "French", continent: Continent::European, paper_count: 6381 },
-    CuisineInfo { name: "Greek", continent: Continent::European, paper_count: 4185 },
-    CuisineInfo { name: "Indian Subcontinent", continent: Continent::Asian, paper_count: 6464 },
-    CuisineInfo { name: "Irish", continent: Continent::European, paper_count: 2532 },
-    CuisineInfo { name: "Italian", continent: Continent::European, paper_count: 16582 },
-    CuisineInfo { name: "Japanese", continent: Continent::Asian, paper_count: 2041 },
-    CuisineInfo { name: "Korean", continent: Continent::Asian, paper_count: 668 },
-    CuisineInfo { name: "Mexican", continent: Continent::LatinAmerican, paper_count: 14463 },
-    CuisineInfo { name: "Middle Eastern", continent: Continent::African, paper_count: 3905 },
-    CuisineInfo { name: "Northern Africa", continent: Continent::African, paper_count: 1611 },
-    CuisineInfo { name: "Rest Africa", continent: Continent::African, paper_count: 2740 },
-    CuisineInfo { name: "Scandinavian", continent: Continent::European, paper_count: 2811 },
-    CuisineInfo { name: "South American", continent: Continent::LatinAmerican, paper_count: 7176 },
-    CuisineInfo { name: "Southeast Asian", continent: Continent::Asian, paper_count: 1940 },
-    CuisineInfo { name: "Spanish and Portuguese", continent: Continent::European, paper_count: 2844 },
-    CuisineInfo { name: "Thai", continent: Continent::Asian, paper_count: 2605 },
-    CuisineInfo { name: "UK", continent: Continent::European, paper_count: 4401 },
-    CuisineInfo { name: "US", continent: Continent::NorthAmerican, paper_count: 5031 },
+    CuisineInfo {
+        name: "Australian",
+        continent: Continent::Oceanic,
+        paper_count: 5823,
+    },
+    CuisineInfo {
+        name: "Belgian",
+        continent: Continent::European,
+        paper_count: 1060,
+    },
+    CuisineInfo {
+        name: "Canadian",
+        continent: Continent::NorthAmerican,
+        paper_count: 6700,
+    },
+    CuisineInfo {
+        name: "Caribbean",
+        continent: Continent::LatinAmerican,
+        paper_count: 3026,
+    },
+    CuisineInfo {
+        name: "Central American",
+        continent: Continent::LatinAmerican,
+        paper_count: 460,
+    },
+    CuisineInfo {
+        name: "Chinese and Mongolian",
+        continent: Continent::Asian,
+        paper_count: 5896,
+    },
+    CuisineInfo {
+        name: "Deutschland",
+        continent: Continent::European,
+        paper_count: 4323,
+    },
+    CuisineInfo {
+        name: "Eastern European",
+        continent: Continent::European,
+        paper_count: 2503,
+    },
+    CuisineInfo {
+        name: "French",
+        continent: Continent::European,
+        paper_count: 6381,
+    },
+    CuisineInfo {
+        name: "Greek",
+        continent: Continent::European,
+        paper_count: 4185,
+    },
+    CuisineInfo {
+        name: "Indian Subcontinent",
+        continent: Continent::Asian,
+        paper_count: 6464,
+    },
+    CuisineInfo {
+        name: "Irish",
+        continent: Continent::European,
+        paper_count: 2532,
+    },
+    CuisineInfo {
+        name: "Italian",
+        continent: Continent::European,
+        paper_count: 16582,
+    },
+    CuisineInfo {
+        name: "Japanese",
+        continent: Continent::Asian,
+        paper_count: 2041,
+    },
+    CuisineInfo {
+        name: "Korean",
+        continent: Continent::Asian,
+        paper_count: 668,
+    },
+    CuisineInfo {
+        name: "Mexican",
+        continent: Continent::LatinAmerican,
+        paper_count: 14463,
+    },
+    CuisineInfo {
+        name: "Middle Eastern",
+        continent: Continent::African,
+        paper_count: 3905,
+    },
+    CuisineInfo {
+        name: "Northern Africa",
+        continent: Continent::African,
+        paper_count: 1611,
+    },
+    CuisineInfo {
+        name: "Rest Africa",
+        continent: Continent::African,
+        paper_count: 2740,
+    },
+    CuisineInfo {
+        name: "Scandinavian",
+        continent: Continent::European,
+        paper_count: 2811,
+    },
+    CuisineInfo {
+        name: "South American",
+        continent: Continent::LatinAmerican,
+        paper_count: 7176,
+    },
+    CuisineInfo {
+        name: "Southeast Asian",
+        continent: Continent::Asian,
+        paper_count: 1940,
+    },
+    CuisineInfo {
+        name: "Spanish and Portuguese",
+        continent: Continent::European,
+        paper_count: 2844,
+    },
+    CuisineInfo {
+        name: "Thai",
+        continent: Continent::Asian,
+        paper_count: 2605,
+    },
+    CuisineInfo {
+        name: "UK",
+        continent: Continent::European,
+        paper_count: 4401,
+    },
+    CuisineInfo {
+        name: "US",
+        continent: Continent::NorthAmerican,
+        paper_count: 5031,
+    },
 ];
 
 /// Sum of the Table II counts (the generated corpus size at paper scale).
@@ -156,7 +260,11 @@ mod tests {
     #[test]
     fn specific_counts_spot_checked() {
         let by_name = |n: &str| {
-            CUISINES.iter().find(|c| c.name == n).expect("cuisine present").paper_count
+            CUISINES
+                .iter()
+                .find(|c| c.name == n)
+                .expect("cuisine present")
+                .paper_count
         };
         assert_eq!(by_name("Italian"), 16_582);
         assert_eq!(by_name("Mexican"), 14_463);
@@ -179,7 +287,9 @@ mod tests {
         let italian = CuisineId::all().find(|c| c.name() == "Italian").unwrap();
         let sibs = siblings(italian);
         assert!(!sibs.contains(&italian));
-        assert!(sibs.iter().all(|s| s.info().continent == Continent::European));
+        assert!(sibs
+            .iter()
+            .all(|s| s.info().continent == Continent::European));
         // 10 European cuisines total → 9 siblings
         assert_eq!(sibs.len(), 9);
     }

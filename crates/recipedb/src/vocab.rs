@@ -111,7 +111,12 @@ impl FrequencyPlan {
             let scaled = (full as f64 * scale).round() as u64;
             targets[id.index()] = scaled;
         }
-        Self { targets, by_rank: ranked, scale, head_count }
+        Self {
+            targets,
+            by_rank: ranked,
+            scale,
+            head_count,
+        }
     }
 
     /// Target corpus frequency for an entity (possibly 0 at small scales).
@@ -136,7 +141,10 @@ impl FrequencyPlan {
 
     /// Planned token mass contributed by one entity kind.
     pub fn kind_mass(&self, table: &EntityTable, kind: EntityKind) -> u64 {
-        table.ids_of_kind(kind).map(|i| self.targets[i as usize]).sum()
+        table
+            .ids_of_kind(kind)
+            .map(|i| self.targets[i as usize])
+            .sum()
     }
 
     /// The `k` highest-target entities of a kind, most frequent first.
@@ -182,12 +190,21 @@ fn rank_entities(table: &EntityTable) -> Vec<EntityId> {
     let mut out = Vec::with_capacity(table.len());
     let mut rank = 0usize;
     while out.len() < table.len() {
-        let pick = if rank % 3 == 0 {
-            processes.next().or_else(|| ingredients.next()).or_else(|| utensils.next())
+        let pick = if rank.is_multiple_of(3) {
+            processes
+                .next()
+                .or_else(|| ingredients.next())
+                .or_else(|| utensils.next())
         } else if rank % 9 == 4 {
-            utensils.next().or_else(|| ingredients.next()).or_else(|| processes.next())
+            utensils
+                .next()
+                .or_else(|| ingredients.next())
+                .or_else(|| processes.next())
         } else {
-            ingredients.next().or_else(|| processes.next()).or_else(|| utensils.next())
+            ingredients
+                .next()
+                .or_else(|| processes.next())
+                .or_else(|| utensils.next())
         };
         // One of the three iterators must still be non-empty here.
         out.push(EntityId(pick.expect("ranking exhausted prematurely")));
@@ -264,7 +281,11 @@ mod tests {
         assert_eq!(tail_entity_count(), 17_519);
         // cumulative spot checks against the published "<k" rows
         let below = |k: u64| -> usize {
-            TAIL_BUCKETS.iter().filter(|&&(f, _)| f < k).map(|&(_, n)| n).sum()
+            TAIL_BUCKETS
+                .iter()
+                .filter(|&&(f, _)| f < k)
+                .map(|&(_, n)| n)
+                .sum()
         };
         assert_eq!(below(2), 11_738);
         assert_eq!(below(3), 14_015);
@@ -285,7 +306,12 @@ mod tests {
         let mut freqs: Vec<u64> = plan.by_rank().iter().map(|&id| plan.target(id)).collect();
         // ranking must be monotone non-increasing
         for w in freqs.windows(2) {
-            assert!(w[0] >= w[1], "plan frequencies not sorted: {} < {}", w[0], w[1]);
+            assert!(
+                w[0] >= w[1],
+                "plan frequencies not sorted: {} < {}",
+                w[0],
+                w[1]
+            );
         }
         freqs.sort_unstable_by(|a, b| b.cmp(a));
         let above = |t: u64| freqs.iter().filter(|&&f| f > t).count();

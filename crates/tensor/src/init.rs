@@ -96,8 +96,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let t = Initializer::Normal(0.5).init(200, 200, &mut rng);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>()
-            / t.len() as f32;
+        let var = t.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
     }

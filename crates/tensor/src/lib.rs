@@ -15,16 +15,24 @@
 //!   dimensions — no `Rc`, no generic element type, no views with lifetimes;
 //! * hot kernels take `&mut` outputs so callers can reuse workhorse buffers;
 //! * all indexing goes through `#[inline]` accessors that bounds-check in
-//!   debug builds only where possible.
+//!   debug builds only where possible;
+//! * large products run row-tiled on a persistent worker [`pool`]
+//!   (`TENSOR_THREADS`-overridable) with bit-identical results for every
+//!   thread count — see the [`matmul`] module docs for the contract.
 
 mod init;
 mod matmul;
 mod ops;
+pub mod pool;
 mod tensor;
 
 pub use init::{xavier_normal, xavier_uniform, Initializer};
-pub use matmul::{matmul, matmul_at_b, matmul_a_bt, matmul_into};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_into, matmul_a_bt_with_threads, matmul_at_b, matmul_at_b_into,
+    matmul_at_b_with_threads, matmul_into, matmul_with_threads,
+};
 pub use ops::{log_softmax_rows, softmax_rows, softmax_rows_into};
+pub use pool::num_threads;
 pub use tensor::Tensor;
 
 #[cfg(test)]

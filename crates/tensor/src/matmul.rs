@@ -8,10 +8,100 @@
 //! * [`matmul_a_bt`] — `C = A · Bᵀ` (input gradients, attention scores)
 //!
 //! The transposed variants read the operands in their stored layout instead
-//! of materialising a transpose, which keeps the backward pass allocation-free
-//! apart from the output.
+//! of materialising a transpose, and every kernel has an `*_into` form that
+//! reuses a caller-provided buffer, which keeps the backward pass
+//! allocation-free apart from the output.
+//!
+//! # Parallelism and determinism
+//!
+//! Large products are split into contiguous *row tiles* of the output and
+//! run on the persistent [`crate::pool`]; small ones (fewer than
+//! [`PAR_THRESHOLD`] multiply-adds) stay on the calling thread. Each output
+//! element is accumulated in an order fixed by the kernel alone — ascending
+//! over the shared dimension, with `dot`'s fixed eight-lane reduction tree —
+//! and tiles never share output elements, so **results are bit-identical
+//! for every thread count and tile split**. The `*_with_threads` variants
+//! exist so tests and benches can pin the thread count explicitly.
 
+use crate::pool;
 use crate::Tensor;
+
+/// Minimum number of multiply-adds (`m · n · k`) before a kernel consults
+/// the thread pool. Below this, tiling overhead beats any speedup and the
+/// small-tensor unit tests stay on the fast sequential path.
+const PAR_THRESHOLD: usize = 1 << 16;
+
+/// How a kernel invocation is scheduled.
+#[derive(Clone, Copy)]
+enum Exec {
+    /// Sequential below [`PAR_THRESHOLD`], global pool above it.
+    Auto,
+    /// Exactly this many scoped threads, regardless of problem size.
+    Threads(usize),
+}
+
+/// Raw output pointer smuggled into tile tasks. Sound because tiles write
+/// disjoint row ranges of the same allocation.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Contiguous row range `[lo, hi)` of tile `t` out of `tiles` over `m`
+/// rows: the first `m % tiles` tiles get one extra row. Depends only on
+/// the problem shape, never on scheduling.
+fn tile_bounds(m: usize, tiles: usize, t: usize) -> (usize, usize) {
+    let base = m / tiles;
+    let rem = m % tiles;
+    let lo = t * base + t.min(rem);
+    (lo, lo + base + usize::from(t < rem))
+}
+
+/// Runs `tile_body(lo, hi, rows)` over a row-tiling of the `m × n` output,
+/// where `rows` is the output slice for rows `lo..hi`.
+fn drive(
+    exec: Exec,
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut Tensor,
+    tile_body: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+) {
+    let threads = match exec {
+        Exec::Auto => {
+            if m.saturating_mul(n).saturating_mul(k) >= PAR_THRESHOLD {
+                pool::num_threads()
+            } else {
+                1
+            }
+        }
+        Exec::Threads(t) => t.max(1),
+    };
+    let threads = threads.min(m.max(1));
+    if threads <= 1 {
+        tile_body(0, m, out.as_mut_slice());
+        return;
+    }
+    // Over-split in pool mode so dynamic claiming can balance load; the
+    // explicit mode keeps one tile per thread so "2 threads" is literal.
+    let tiles = match exec {
+        Exec::Auto => (threads * 4).min(m),
+        Exec::Threads(_) => threads,
+    };
+    let ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+    let task = move |t: usize| {
+        let ptr = ptr; // capture the Sync wrapper, not the raw pointer field
+        let (lo, hi) = tile_bounds(m, tiles, t);
+        // Safety: tiles own disjoint row ranges, so the views never alias,
+        // and `drive` does not return until every tile has completed.
+        let rows = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(lo * n), (hi - lo) * n) };
+        tile_body(lo, hi, rows);
+    };
+    match exec {
+        Exec::Auto => pool::global().run(tiles, &task),
+        Exec::Threads(t) => pool::run_scoped(t, tiles, &task),
+    }
+}
 
 /// `C = A · B`, allocating the output.
 ///
@@ -20,7 +110,7 @@ use crate::Tensor;
 /// Panics if `a.cols() != b.rows()`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(a.rows(), b.cols());
-    matmul_into(a, b, &mut out);
+    matmul_exec(a, b, &mut out, Exec::Auto);
     out
 }
 
@@ -33,28 +123,40 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics on any shape mismatch.
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    matmul_exec(a, b, out, Exec::Auto);
+}
+
+/// [`matmul`] pinned to exactly `threads` threads (for tests and benches).
+pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), b.cols());
+    matmul_exec(a, b, &mut out, Exec::Threads(threads));
+    out
+}
+
+fn matmul_exec(a: &Tensor, b: &Tensor, out: &mut Tensor, exec: Exec) {
     let (m, k) = a.shape();
     let (k2, n) = b.shape();
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
     assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
 
-    out.fill_zero();
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    let out_data = out.as_mut_slice();
-    for i in 0..m {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        let c_row = &mut out_data[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue; // embeddings & one-hots make zero rows common
-            }
-            let b_row = &b_data[p * n..(p + 1) * n];
-            for (c, &bv) in c_row.iter_mut().zip(b_row) {
-                *c += a_ip * bv;
+    drive(exec, m, n, k, out, &|lo, hi, rows| {
+        rows.fill(0.0);
+        for i in lo..hi {
+            let a_row = &a_data[i * k..(i + 1) * k];
+            let c_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue; // embeddings & one-hots make zero rows common
+                }
+                let b_row = &b_data[p * n..(p + 1) * n];
+                for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                    *c += a_ip * bv;
+                }
             }
         }
-    }
+    });
 }
 
 /// `C = Aᵀ · B`, reading `A` in its stored layout.
@@ -65,29 +167,54 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
 ///
 /// Panics if `a.rows() != b.rows()`.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.cols(), b.cols());
+    matmul_at_b_exec(a, b, &mut out, Exec::Auto);
+    out
+}
+
+/// `C = Aᵀ · B` into a caller-provided output buffer (overwritten).
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    matmul_at_b_exec(a, b, out, Exec::Auto);
+}
+
+/// [`matmul_at_b`] pinned to exactly `threads` threads.
+pub fn matmul_at_b_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    let mut out = Tensor::zeros(a.cols(), b.cols());
+    matmul_at_b_exec(a, b, &mut out, Exec::Threads(threads));
+    out
+}
+
+fn matmul_at_b_exec(a: &Tensor, b: &Tensor, out: &mut Tensor, exec: Exec) {
     let (k, m) = a.shape();
     let (k2, n) = b.shape();
     assert_eq!(k, k2, "matmul_at_b shared dimension mismatch: {k} vs {k2}");
-    let mut out = Tensor::zeros(m, n);
+    assert_eq!(out.shape(), (m, n), "matmul_at_b output shape mismatch");
+
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    let out_data = out.as_mut_slice();
     // C[i][j] = sum_p A[p][i] * B[p][j]; iterate p outermost so both reads
-    // stream forward through memory.
-    for p in 0..k {
-        let a_row = &a_data[p * m..(p + 1) * m];
-        let b_row = &b_data[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let c_row = &mut out_data[i * n..(i + 1) * n];
-            for (c, &bv) in c_row.iter_mut().zip(b_row) {
-                *c += a_pi * bv;
+    // stream forward through memory. Restricting i to the tile's row range
+    // keeps each element's accumulation order (ascending p) unchanged.
+    drive(exec, m, n, k, out, &|lo, hi, rows| {
+        rows.fill(0.0);
+        for p in 0..k {
+            let a_row = &a_data[p * m + lo..p * m + hi];
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let c_row = &mut rows[i * n..(i + 1) * n];
+                for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                    *c += a_pi * bv;
+                }
             }
         }
-    }
-    out
+    });
 }
 
 /// `C = A · Bᵀ`, reading `B` in its stored layout.
@@ -99,35 +226,76 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if `a.cols() != b.cols()`.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k) = a.shape();
-    let (n, k2) = b.shape();
-    assert_eq!(k, k2, "matmul_a_bt shared dimension mismatch: {k} vs {k2}");
-    let mut out = Tensor::zeros(m, n);
-    let out_data = out.as_mut_slice();
-    for i in 0..m {
-        let a_row = a.row(i);
-        let c_row = &mut out_data[i * n..(i + 1) * n];
-        for (j, c) in c_row.iter_mut().enumerate() {
-            *c = dot(a_row, b.row(j));
-        }
-    }
+    let mut out = Tensor::zeros(a.rows(), b.rows());
+    matmul_a_bt_exec(a, b, &mut out, Exec::Auto);
     out
 }
 
-/// Dot product of two equal-length slices.
+/// `C = A · Bᵀ` into a caller-provided output buffer (overwritten).
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn matmul_a_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    matmul_a_bt_exec(a, b, out, Exec::Auto);
+}
+
+/// [`matmul_a_bt`] pinned to exactly `threads` threads.
+pub fn matmul_a_bt_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), b.rows());
+    matmul_a_bt_exec(a, b, &mut out, Exec::Threads(threads));
+    out
+}
+
+fn matmul_a_bt_exec(a: &Tensor, b: &Tensor, out: &mut Tensor, exec: Exec) {
+    let (m, k) = a.shape();
+    let (n, k2) = b.shape();
+    assert_eq!(k, k2, "matmul_a_bt shared dimension mismatch: {k} vs {k2}");
+    assert_eq!(out.shape(), (m, n), "matmul_a_bt output shape mismatch");
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    drive(exec, m, n, k, out, &|lo, hi, rows| {
+        for i in lo..hi {
+            let a_row = &a_data[i * k..(i + 1) * k];
+            let c_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
+            for (j, c) in c_row.iter_mut().enumerate() {
+                *c = dot(a_row, &b_data[j * k..(j + 1) * k]);
+            }
+        }
+    });
+}
+
+/// Dot product of two equal-length slices, unrolled eight lanes wide.
+///
+/// The eight partial sums collapse through a fixed reduction tree, so the
+/// result depends only on the inputs — not on tiling or thread count —
+/// while giving LLVM straight-line code it can keep in vector registers.
 #[inline]
 pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0;
-    for (x, y) in a.iter().zip(b) {
-        acc += x * y;
+    let chunks = a.len() / 8;
+    let mut acc = [0.0f32; 8];
+    for c in 0..chunks {
+        let ab = &a[c * 8..c * 8 + 8];
+        let bb = &b[c * 8..c * 8 + 8];
+        for l in 0..8 {
+            acc[l] += ab[l] * bb[l];
+        }
     }
-    acc
+    let mut tail = 0.0;
+    for i in chunks * 8..a.len() {
+        tail += a[i] * b[i];
+    }
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Initializer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn a23() -> Tensor {
         Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
@@ -188,5 +356,104 @@ mod tests {
         let b = Tensor::ones(4, 2);
         let c = matmul(&a, &b);
         assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn transposed_into_variants_reuse_buffers() {
+        let a = a23();
+        let b = Tensor::from_rows(&[&[1.0, 0.5], &[2.0, -1.0]]);
+        let mut out = Tensor::full(3, 2, -7.0);
+        matmul_at_b_into(&a, &b, &mut out);
+        assert_eq!(out, matmul_at_b(&a, &b));
+
+        let bt = Tensor::from_rows(&[&[1.0, 0.0, 2.0], &[0.5, 1.0, -1.0]]);
+        let mut out = Tensor::full(2, 2, 42.0);
+        matmul_a_bt_into(&a, &bt, &mut out);
+        assert_eq!(out, matmul_a_bt(&a, &bt));
+    }
+
+    #[test]
+    fn tile_bounds_cover_rows_exactly_once() {
+        for m in [1usize, 2, 7, 16, 33] {
+            for tiles in 1..=m {
+                let mut next = 0;
+                for t in 0..tiles {
+                    let (lo, hi) = tile_bounds(m, tiles, t);
+                    assert_eq!(lo, next, "m={m} tiles={tiles} t={t}");
+                    assert!(hi > lo);
+                    next = hi;
+                }
+                assert_eq!(next, m);
+            }
+        }
+    }
+
+    /// Every kernel, pinned to 1 / 2 / 8 threads, must reproduce the
+    /// sequential result *bitwise* — the determinism contract.
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (m, k, n) in [(1, 1, 1), (5, 3, 4), (17, 9, 13), (8, 1, 8)] {
+            let a = Initializer::Uniform(1.0).init(m, k, &mut rng);
+            let b = Initializer::Uniform(1.0).init(k, n, &mut rng);
+            let at = Initializer::Uniform(1.0).init(k, m, &mut rng);
+            let bt = Initializer::Uniform(1.0).init(n, k, &mut rng);
+            for threads in [1, 2, 8] {
+                assert_eq!(matmul_with_threads(&a, &b, threads), matmul(&a, &b));
+                assert_eq!(
+                    matmul_at_b_with_threads(&at, &b, threads),
+                    matmul_at_b(&at, &b)
+                );
+                assert_eq!(
+                    matmul_a_bt_with_threads(&a, &bt, threads),
+                    matmul_a_bt(&a, &bt)
+                );
+            }
+        }
+    }
+
+    /// Above `PAR_THRESHOLD` the auto path may go through the pool; it
+    /// must still match the single-thread result exactly.
+    #[test]
+    fn auto_path_above_threshold_matches_single_thread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (m, k, n) = (48, 31, 47); // 69 936 mul-adds ≥ PAR_THRESHOLD
+        assert!(m * k * n >= PAR_THRESHOLD);
+        let a = Initializer::Uniform(1.0).init(m, k, &mut rng);
+        let b = Initializer::Uniform(1.0).init(k, n, &mut rng);
+        assert_eq!(matmul(&a, &b), matmul_with_threads(&a, &b, 1));
+        let at = Initializer::Uniform(1.0).init(k, m, &mut rng);
+        assert_eq!(matmul_at_b(&at, &b), matmul_at_b_with_threads(&at, &b, 1));
+        let bt = Initializer::Uniform(1.0).init(n, k, &mut rng);
+        assert_eq!(matmul_a_bt(&a, &bt), matmul_a_bt_with_threads(&a, &bt, 1));
+    }
+
+    #[test]
+    fn dot_handles_all_lengths() {
+        // lengths around the 8-lane unroll boundary
+        for len in 0..=19 {
+            let a: Vec<f32> = (0..len).map(|i| i as f32 + 0.5).collect();
+            let b: Vec<f32> = (0..len).map(|i| 1.0 - i as f32).collect();
+            let expected: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| f64::from(x) * f64::from(y))
+                .sum();
+            let got = dot(&a, &b);
+            assert!(
+                (f64::from(got) - expected).abs() < 1e-3,
+                "len={len}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_row_output_is_handled() {
+        let a = Tensor::zeros(0, 3);
+        let b = Tensor::zeros(3, 2);
+        assert_eq!(matmul(&a, &b).shape(), (0, 2));
+        assert_eq!(matmul_with_threads(&a, &b, 4).shape(), (0, 2));
+        let at = Tensor::zeros(3, 0);
+        assert_eq!(matmul_at_b(&at, &b).shape(), (0, 2));
     }
 }

@@ -1,0 +1,318 @@
+//! A small persistent worker pool driving the tiled matmul kernels.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** A job is a set of `tiles` indices; each tile owns a
+//!    fixed slice of the output that depends only on the problem shape,
+//!    never on which thread runs it. Threads *claim* tiles dynamically for
+//!    load balance, but since tile → output mapping is static, results are
+//!    bit-identical for any thread count (including zero workers).
+//! 2. **No per-call thread spawns.** Workers are started once, on first
+//!    use, and park on a condvar between jobs. `TENSOR_THREADS` overrides
+//!    the detected parallelism (a value of `1` disables the pool).
+//! 3. **Graceful nesting.** If a job is already in flight (e.g. a trainer
+//!    shard thread and the main thread both hit a big matmul), the second
+//!    submitter fails `try_lock` on the submit mutex and simply runs its
+//!    tiles inline. No deadlock, no queueing.
+//!
+//! [`run_scoped`] is the pool-free twin used by tests and benches: it
+//! spawns exactly `threads - 1` scoped threads with a fixed stride
+//! assignment, so "2 threads" means two threads even on a loaded machine.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Number of threads the tensor kernels may use: the `TENSOR_THREADS`
+/// environment variable if set to a positive integer, otherwise the
+/// machine's available parallelism. Resolved once and cached.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("TENSOR_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n.min(256);
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The process-wide pool, sized to `num_threads() - 1` workers (the
+/// submitting thread is the final participant).
+pub fn global() -> &'static Pool {
+    static G: OnceLock<Pool> = OnceLock::new();
+    G.get_or_init(|| Pool::new(num_threads().saturating_sub(1)))
+}
+
+type Task = dyn Fn(usize) + Sync;
+
+struct State {
+    /// Job counter; lets parked workers tell a new job from a spurious
+    /// wakeup, and stops a worker that raced past the end of an old job
+    /// from touching the next job's state.
+    epoch: u64,
+    /// Current job. The `'static` is safe because the submitter blocks
+    /// until every tile is accounted for before this is cleared — the
+    /// reference cannot outlive the borrow it was transmuted from.
+    task: Option<&'static Task>,
+    tiles: usize,
+    next: usize,
+    done: usize,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Held by the active submitter; `try_lock` failure means "pool busy,
+    /// run inline".
+    submit: Mutex<()>,
+    workers: usize,
+}
+
+/// A persistent tile-claiming thread pool. See the module docs.
+pub struct Pool {
+    inner: Arc<Inner>,
+}
+
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Pool {
+    /// Spawns `workers` background threads. `Pool::new(0)` is valid and
+    /// always runs jobs inline on the submitting thread.
+    pub fn new(workers: usize) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                epoch: 0,
+                task: None,
+                tiles: 0,
+                next: 0,
+                done: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            submit: Mutex::new(()),
+            workers,
+        });
+        for _ in 0..workers {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("tensor-pool".into())
+                .spawn(move || worker_loop(&inner))
+                .expect("failed to spawn tensor pool worker");
+        }
+        Self { inner }
+    }
+
+    /// Number of background workers (the submitter adds one more).
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Runs `task(t)` for every `t in 0..tiles`, sharing the work with the
+    /// pool. Blocks until all tiles have completed. Falls back to running
+    /// inline when the pool has no workers or is already busy.
+    pub fn run(&self, tiles: usize, task: &(dyn Fn(usize) + Sync)) {
+        if self.inner.workers == 0 || tiles <= 1 {
+            for t in 0..tiles {
+                task(t);
+            }
+            return;
+        }
+        let _submit = match self.inner.submit.try_lock() {
+            Ok(guard) => guard,
+            // Busy (nested call) or poisoned: degrade to sequential.
+            Err(_) => {
+                for t in 0..tiles {
+                    task(t);
+                }
+                return;
+            }
+        };
+        // Safety: see `State::task` — we do not return (releasing `_submit`
+        // or unwinding past `task`'s borrow) until `done == tiles`.
+        let task_static: &'static Task = unsafe { std::mem::transmute(task) };
+        let epoch = {
+            let mut s = lock(&self.inner.state);
+            s.epoch += 1;
+            s.task = Some(task_static);
+            s.tiles = tiles;
+            s.next = 0;
+            s.done = 0;
+            self.inner.work_cv.notify_all();
+            s.epoch
+        };
+        run_claimed(&self.inner, epoch, task);
+        let mut s = lock(&self.inner.state);
+        while s.done < s.tiles {
+            s = self
+                .inner
+                .done_cv
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        s.task = None;
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut seen = 0u64;
+    loop {
+        let (epoch, task) = {
+            let mut s = lock(&inner.state);
+            while s.task.is_none() || s.epoch == seen {
+                s = inner
+                    .work_cv
+                    .wait(s)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            seen = s.epoch;
+            (s.epoch, s.task.expect("checked above"))
+        };
+        run_claimed(inner, epoch, task);
+    }
+}
+
+/// Claims and runs tiles until the job (identified by `epoch`) is drained.
+fn run_claimed(inner: &Inner, epoch: u64, task: &(dyn Fn(usize) + Sync)) {
+    loop {
+        let t = {
+            let mut s = lock(&inner.state);
+            if s.epoch != epoch || s.next >= s.tiles {
+                return;
+            }
+            let t = s.next;
+            s.next += 1;
+            t
+        };
+        // The guard counts the tile as done even if `task` panics, so the
+        // submitter can never be left waiting forever.
+        let _done = DoneGuard { inner, epoch };
+        task(t);
+    }
+}
+
+struct DoneGuard<'a> {
+    inner: &'a Inner,
+    epoch: u64,
+}
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        let mut s = lock(&self.inner.state);
+        if s.epoch == self.epoch {
+            s.done += 1;
+            if s.done >= s.tiles {
+                self.inner.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs `task(t)` for every `t in 0..tiles` on exactly `threads` scoped
+/// threads (the caller included) with a fixed stride assignment: thread `w`
+/// runs tiles `w, w + threads, w + 2·threads, …`.
+///
+/// This is the honest twin of [`Pool::run`] for tests and benches — it
+/// really creates the requested concurrency instead of borrowing whatever
+/// the global pool happens to have, and the static assignment means the
+/// set of tiles per thread is reproducible too.
+pub fn run_scoped(threads: usize, tiles: usize, task: &(dyn Fn(usize) + Sync)) {
+    let threads = threads.max(1);
+    if threads == 1 || tiles <= 1 {
+        for t in 0..tiles {
+            task(t);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for w in 1..threads.min(tiles) {
+            scope.spawn(move || {
+                let mut t = w;
+                while t < tiles {
+                    task(t);
+                    t += threads;
+                }
+            });
+        }
+        let mut t = 0;
+        while t < tiles {
+            task(t);
+            t += threads;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn record_tiles(run: impl Fn(usize, &(dyn Fn(usize) + Sync))) -> Vec<usize> {
+        let seen = Mutex::new(Vec::new());
+        run(13, &|t| seen.lock().unwrap().push(t));
+        let mut v = seen.into_inner().unwrap();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn pool_runs_every_tile_exactly_once() {
+        let pool = Pool::new(3);
+        let tiles = record_tiles(|n, task| pool.run(n, task));
+        assert_eq!(tiles, (0..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = Pool::new(0);
+        let tiles = record_tiles(|n, task| pool.run(n, task));
+        assert_eq!(tiles, (0..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = Pool::new(2);
+        for _ in 0..50 {
+            let count = AtomicUsize::new(0);
+            pool.run(7, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 7);
+        }
+    }
+
+    #[test]
+    fn nested_submission_degrades_to_inline() {
+        let pool = Pool::new(2);
+        let inner_tiles = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            // A nested job must not deadlock on the busy pool.
+            pool.run(3, &|_| {
+                inner_tiles.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_tiles.load(Ordering::Relaxed), 4 * 3);
+    }
+
+    #[test]
+    fn scoped_runs_every_tile_exactly_once() {
+        for threads in [1, 2, 5, 8, 16] {
+            let seen = Mutex::new(Vec::new());
+            run_scoped(threads, 11, &|t| seen.lock().unwrap().push(t));
+            let mut v = seen.into_inner().unwrap();
+            v.sort_unstable();
+            assert_eq!(v, (0..11).collect::<Vec<_>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

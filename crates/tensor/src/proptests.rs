@@ -2,10 +2,19 @@
 
 use proptest::prelude::*;
 
-use crate::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, Tensor};
+use crate::{
+    matmul, matmul_a_bt, matmul_a_bt_with_threads, matmul_at_b, matmul_at_b_with_threads,
+    matmul_with_threads, softmax_rows, Tensor,
+};
 
 fn small_dim() -> impl Strategy<Value = usize> {
     1usize..8
+}
+
+/// Wider than `small_dim` and including awkward tile splits (prime sizes,
+/// sizes smaller than the thread count).
+fn tiled_dim() -> impl Strategy<Value = usize> {
+    1usize..20
 }
 
 fn tensor_of(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
@@ -73,5 +82,47 @@ proptest! {
         let total = t.sum();
         prop_assert!((t.sum_rows().sum() - total).abs() < 1e-3);
         prop_assert!((t.sum_cols().sum() - total).abs() < 1e-3);
+    }
+
+    /// The determinism contract: every kernel, for every thread count,
+    /// reproduces the sequential result *bit for bit* — including m/n/k of
+    /// one and row counts that do not divide evenly into tiles.
+    #[test]
+    fn parallel_kernels_match_scalar_bitwise(
+        m in tiled_dim(), k in tiled_dim(), n in tiled_dim(), seed in 0u64..1000,
+    ) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = crate::Initializer::Uniform(3.0).init(m, k, &mut rng);
+        let b = crate::Initializer::Uniform(3.0).init(k, n, &mut rng);
+        let at = crate::Initializer::Uniform(3.0).init(k, m, &mut rng);
+        let bt = crate::Initializer::Uniform(3.0).init(n, k, &mut rng);
+        let c_ab = matmul_with_threads(&a, &b, 1);
+        let c_atb = matmul_at_b_with_threads(&at, &b, 1);
+        let c_abt = matmul_a_bt_with_threads(&a, &bt, 1);
+        // the auto path (possibly pooled) must agree with one thread...
+        prop_assert_eq!(&matmul(&a, &b), &c_ab);
+        prop_assert_eq!(&matmul_at_b(&at, &b), &c_atb);
+        prop_assert_eq!(&matmul_a_bt(&a, &bt), &c_abt);
+        // ...and so must every explicit thread count.
+        for threads in [2usize, 3, 8] {
+            prop_assert_eq!(&matmul_with_threads(&a, &b, threads), &c_ab);
+            prop_assert_eq!(&matmul_at_b_with_threads(&at, &b, threads), &c_atb);
+            prop_assert_eq!(&matmul_a_bt_with_threads(&a, &bt, threads), &c_abt);
+        }
+    }
+
+    /// Zero-row (and zero-col) operands are legal and produce empty or
+    /// zero outputs on every execution path.
+    #[test]
+    fn parallel_kernels_handle_degenerate_shapes(
+        k in tiled_dim(), n in tiled_dim(), threads in 1usize..9,
+    ) {
+        let a = Tensor::zeros(0, k);
+        let b = Tensor::zeros(k, n);
+        prop_assert_eq!(matmul_with_threads(&a, &b, threads).shape(), (0, n));
+        let at = Tensor::zeros(k, 0);
+        prop_assert_eq!(matmul_at_b_with_threads(&at, &b, threads).shape(), (0, n));
+        let bt = Tensor::zeros(0, k);
+        prop_assert_eq!(matmul_a_bt_with_threads(&a, &bt, threads).shape(), (0, 0));
     }
 }

@@ -28,7 +28,11 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a tensor of the given shape filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { data: vec![0.0; rows * cols], rows, cols }
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Creates a tensor of the given shape filled with ones.
@@ -38,7 +42,11 @@ impl Tensor {
 
     /// Creates a tensor of the given shape filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { data: vec![value; rows * cols], rows, cols }
+        Self {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Builds a tensor from a flat row-major buffer.
@@ -69,17 +77,29 @@ impl Tensor {
             assert_eq!(row.len(), cols, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { data, rows: rows.len(), cols }
+        Self {
+            data,
+            rows: rows.len(),
+            cols,
+        }
     }
 
     /// Builds a `1 × n` row-vector tensor.
     pub fn row_vector(values: &[f32]) -> Self {
-        Self { data: values.to_vec(), rows: 1, cols: values.len() }
+        Self {
+            data: values.to_vec(),
+            rows: 1,
+            cols: values.len(),
+        }
     }
 
     /// Builds an `n × 1` column-vector tensor.
     pub fn col_vector(values: &[f32]) -> Self {
-        Self { data: values.to_vec(), rows: values.len(), cols: 1 }
+        Self {
+            data: values.to_vec(),
+            rows: values.len(),
+            cols: 1,
+        }
     }
 
     /// Identity matrix of size `n × n`.
@@ -194,7 +214,11 @@ impl Tensor {
     ///
     /// Panics if `rows * cols != self.len()`.
     pub fn reshape(&mut self, rows: usize, cols: usize) {
-        assert_eq!(rows * cols, self.data.len(), "reshape changes element count");
+        assert_eq!(
+            rows * cols,
+            self.data.len(),
+            "reshape changes element count"
+        );
         self.rows = rows;
         self.cols = cols;
     }
@@ -236,8 +260,7 @@ impl Tensor {
         for t in tensors {
             assert_eq!(t.rows, rows, "hstack row mismatch");
             for r in 0..rows {
-                out.data[r * cols + offset..r * cols + offset + t.cols]
-                    .copy_from_slice(t.row(r));
+                out.data[r * cols + offset..r * cols + offset + t.cols].copy_from_slice(t.row(r));
             }
             offset += t.cols;
         }
@@ -275,8 +298,17 @@ impl Tensor {
     /// Elementwise product (Hadamard), returning a new tensor.
     pub fn hadamard(&self, other: &Tensor) -> Self {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Self { data, rows: self.rows, cols: self.cols }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Self {
+            data,
+            rows: self.rows,
+            cols: self.cols,
+        }
     }
 
     /// `self += alpha * other` (BLAS `axpy`), the hot path of every optimizer.
@@ -428,8 +460,17 @@ impl Add<&Tensor> for &Tensor {
     type Output = Tensor;
     fn add(self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Tensor { data, rows: self.rows, cols: self.cols }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            data,
+            rows: self.rows,
+            cols: self.cols,
+        }
     }
 }
 
@@ -437,8 +478,17 @@ impl Sub<&Tensor> for &Tensor {
     type Output = Tensor;
     fn sub(self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Tensor { data, rows: self.rows, cols: self.cols }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor {
+            data,
+            rows: self.rows,
+            cols: self.cols,
+        }
     }
 }
 

@@ -168,7 +168,11 @@ mod tests {
     #[test]
     fn idempotent_on_common_vocab() {
         for w in ["onion", "tomato", "berry", "stir", "chop", "slice", "bake"] {
-            assert_eq!(lemmatize(&lemmatize(w)), lemmatize(w), "not idempotent on {w}");
+            assert_eq!(
+                lemmatize(&lemmatize(w)),
+                lemmatize(w),
+                "not idempotent on {w}"
+            );
         }
     }
 

@@ -84,7 +84,7 @@ pub fn mask_sequence(
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(sequence_index as u64)
-            .wrapping_add(epoch_component.wrapping_mul(0x1000_0000_1B3)),
+            .wrapping_add(epoch_component.wrapping_mul(0x0100_0000_01B3)),
     );
 
     let candidates: Vec<usize> = (0..active_len.min(ids.len()))
@@ -147,7 +147,10 @@ mod tests {
     fn specials_and_padding_never_masked() {
         let v = vocab();
         let ids = sample_ids();
-        let cfg = MaskingConfig { mask_prob: 1.0, ..Default::default() };
+        let cfg = MaskingConfig {
+            mask_prob: 1.0,
+            ..Default::default()
+        };
         let ex = mask_sequence(&ids, 22, &v, &cfg, 0, 0);
         assert_eq!(ex.input[0], Vocabulary::CLS);
         assert_eq!(ex.input[21], Vocabulary::SEP);
@@ -174,7 +177,10 @@ mod tests {
     fn targets_store_original_ids() {
         let v = vocab();
         let ids = sample_ids();
-        let cfg = MaskingConfig { mask_prob: 1.0, ..Default::default() };
+        let cfg = MaskingConfig {
+            mask_prob: 1.0,
+            ..Default::default()
+        };
         let ex = mask_sequence(&ids, 22, &v, &cfg, 3, 1);
         for &(pos, original) in &ex.targets {
             assert_eq!(original, ids[pos]);
@@ -185,7 +191,10 @@ mod tests {
     fn static_masking_identical_across_epochs() {
         let v = vocab();
         let ids = sample_ids();
-        let cfg = MaskingConfig { strategy: MaskingStrategy::Static, ..Default::default() };
+        let cfg = MaskingConfig {
+            strategy: MaskingStrategy::Static,
+            ..Default::default()
+        };
         let e0 = mask_sequence(&ids, 22, &v, &cfg, 7, 0);
         let e5 = mask_sequence(&ids, 22, &v, &cfg, 7, 5);
         assert_eq!(e0, e5);
@@ -195,7 +204,10 @@ mod tests {
     fn dynamic_masking_differs_across_epochs() {
         let v = vocab();
         let ids = sample_ids();
-        let cfg = MaskingConfig { strategy: MaskingStrategy::Dynamic, ..Default::default() };
+        let cfg = MaskingConfig {
+            strategy: MaskingStrategy::Dynamic,
+            ..Default::default()
+        };
         let e0 = mask_sequence(&ids, 22, &v, &cfg, 7, 0);
         let e1 = mask_sequence(&ids, 22, &v, &cfg, 7, 1);
         assert_ne!(e0, e1, "dynamic masking must vary per epoch");
@@ -215,7 +227,10 @@ mod tests {
     fn at_least_one_target_guaranteed() {
         let v = vocab();
         let ids = sample_ids();
-        let cfg = MaskingConfig { mask_prob: 0.0, ..Default::default() };
+        let cfg = MaskingConfig {
+            mask_prob: 0.0,
+            ..Default::default()
+        };
         let ex = mask_sequence(&ids, 22, &v, &cfg, 0, 0);
         assert_eq!(ex.targets.len(), 1);
     }

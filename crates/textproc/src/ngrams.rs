@@ -38,8 +38,7 @@ pub fn ngram_tokens<S: AsRef<str>>(tokens: &[S], n: usize) -> Vec<String> {
 /// unigrams followed by bigrams, trigrams, … as additional tokens.
 pub fn with_ngrams<S: AsRef<str>>(tokens: &[S], max_n: usize) -> Vec<String> {
     assert!(max_n >= 1, "max n-gram order must be at least 1");
-    let mut out: Vec<String> =
-        tokens.iter().map(|t| t.as_ref().to_string()).collect();
+    let mut out: Vec<String> = tokens.iter().map(|t| t.as_ref().to_string()).collect();
     for n in 2..=max_n {
         out.extend(ngram_tokens(tokens, n));
     }

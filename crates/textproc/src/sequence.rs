@@ -42,8 +42,14 @@ impl SequenceEncoder {
     ///
     /// Panics if `max_len` is too small to hold the special tokens.
     pub fn new(max_len: usize, add_special: bool) -> Self {
-        assert!(max_len >= if add_special { 3 } else { 1 }, "max_len too small");
-        Self { max_len, add_special }
+        assert!(
+            max_len >= if add_special { 3 } else { 1 },
+            "max_len too small"
+        );
+        Self {
+            max_len,
+            add_special,
+        }
     }
 
     /// Target length of every encoded sequence.
@@ -58,7 +64,11 @@ impl SequenceEncoder {
         vocab: &Vocabulary,
         tokens: impl IntoIterator<Item = &'a str>,
     ) -> EncodedSequence {
-        let budget = if self.add_special { self.max_len - 2 } else { self.max_len };
+        let budget = if self.add_special {
+            self.max_len - 2
+        } else {
+            self.max_len
+        };
         let mut ids = Vec::with_capacity(self.max_len);
         if self.add_special {
             ids.push(Vocabulary::CLS);
@@ -77,7 +87,11 @@ impl SequenceEncoder {
     /// Encodes pre-mapped ids (already vocabulary indices), with the same
     /// truncate/wrap/pad treatment.
     pub fn encode_ids(&self, content: &[u32]) -> EncodedSequence {
-        let budget = if self.add_special { self.max_len - 2 } else { self.max_len };
+        let budget = if self.add_special {
+            self.max_len - 2
+        } else {
+            self.max_len
+        };
         let mut ids = Vec::with_capacity(self.max_len);
         if self.add_special {
             ids.push(Vocabulary::CLS);

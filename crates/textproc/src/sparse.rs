@@ -66,7 +66,10 @@ impl CsrMatrix {
     pub fn row_dot(&self, r: usize, dense: &[f32]) -> f32 {
         assert_eq!(dense.len(), self.cols, "dense vector length mismatch");
         let (idx, vals) = self.row(r);
-        idx.iter().zip(vals).map(|(&c, &v)| v * dense[c as usize]).sum()
+        idx.iter()
+            .zip(vals)
+            .map(|(&c, &v)| v * dense[c as usize])
+            .sum()
     }
 
     /// `acc += alpha * row_r` scattered into a dense accumulator.
@@ -121,7 +124,12 @@ pub struct CsrBuilder {
 impl CsrBuilder {
     /// Starts an empty matrix with a fixed column count.
     pub fn new(cols: usize) -> Self {
-        Self { cols, indptr: vec![0], indices: Vec::new(), data: Vec::new() }
+        Self {
+            cols,
+            indptr: vec![0],
+            indices: Vec::new(),
+            data: Vec::new(),
+        }
     }
 
     /// Appends a row given `(col, value)` pairs in strictly increasing
@@ -135,7 +143,10 @@ impl CsrBuilder {
         for (c, v) in entries {
             assert!(c < self.cols, "column {c} out of range {}", self.cols);
             if let Some(prev) = last {
-                assert!(c > prev, "columns must be strictly increasing ({prev} then {c})");
+                assert!(
+                    c > prev,
+                    "columns must be strictly increasing ({prev} then {c})"
+                );
             }
             last = Some(c);
             if v != 0.0 {

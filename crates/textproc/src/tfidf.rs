@@ -7,7 +7,7 @@
 //! normalization, matching scikit-learn's `TfidfVectorizer` defaults (the
 //! toolkit behind the paper's baselines).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::sparse::{CsrBuilder, CsrMatrix};
 
@@ -17,6 +17,8 @@ use crate::sparse::{CsrBuilder, CsrMatrix};
 pub struct CountVectorizer {
     vocab: HashMap<String, u32>,
     terms: Vec<String>,
+    /// Per-column document frequencies, aligned with `terms`.
+    doc_freq: Vec<u64>,
     min_df: u64,
 }
 
@@ -24,7 +26,12 @@ impl CountVectorizer {
     /// Creates a vectorizer keeping terms appearing in at least `min_df`
     /// documents.
     pub fn new(min_df: u64) -> Self {
-        Self { vocab: HashMap::new(), terms: Vec::new(), min_df: min_df.max(1) }
+        Self {
+            vocab: HashMap::new(),
+            terms: Vec::new(),
+            doc_freq: Vec::new(),
+            min_df: min_df.max(1),
+        }
     }
 
     /// Learns the vocabulary from tokenized documents. Terms get columns in
@@ -36,16 +43,15 @@ impl CountVectorizer {
         let mut df: HashMap<&str, (u64, usize)> = HashMap::new();
         let mut order = 0usize;
         for doc in docs {
-            let mut seen: Vec<&str> = Vec::new();
+            // set-based dedup: O(1) membership instead of scanning a Vec
+            // per token, which was quadratic in document length
+            let mut seen: HashSet<&str> = HashSet::new();
             for t in doc {
-                if !seen.contains(&t) {
-                    seen.push(t);
+                if seen.insert(t) {
+                    let e = df.entry(t).or_insert((0, order));
+                    e.0 += 1;
+                    order += 1;
                 }
-            }
-            for t in seen {
-                let e = df.entry(t).or_insert((0, order));
-                e.0 += 1;
-                order += 1;
             }
         }
         let mut ranked: Vec<(&str, u64, usize)> = df
@@ -55,6 +61,7 @@ impl CountVectorizer {
             .collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.2.cmp(&b.2)));
         self.terms = ranked.iter().map(|(t, _, _)| t.to_string()).collect();
+        self.doc_freq = ranked.iter().map(|&(_, f, _)| f).collect();
         self.vocab = self
             .terms
             .iter()
@@ -67,6 +74,16 @@ impl CountVectorizer {
     /// Vocabulary size after `fit`.
     pub fn vocab_size(&self) -> usize {
         self.terms.len()
+    }
+
+    /// Document frequency per column, as learned by the last [`fit`]
+    /// (`doc_freq()[c]` is the number of fit documents containing
+    /// [`term(c)`]).
+    ///
+    /// [`fit`]: CountVectorizer::fit
+    /// [`term(c)`]: CountVectorizer::term
+    pub fn doc_freq(&self) -> &[u64] {
+        &self.doc_freq
     }
 
     /// Column of a term, if in-vocabulary.
@@ -112,7 +129,11 @@ pub struct TfIdfConfig {
 
 impl Default for TfIdfConfig {
     fn default() -> Self {
-        Self { min_df: 1, sublinear_tf: false, l2_normalize: true }
+        Self {
+            min_df: 1,
+            sublinear_tf: false,
+            l2_normalize: true,
+        }
     }
 }
 
@@ -128,27 +149,24 @@ pub struct TfIdfVectorizer {
 impl TfIdfVectorizer {
     /// Creates an unfitted vectorizer.
     pub fn new(config: TfIdfConfig) -> Self {
-        Self { counter: CountVectorizer::new(config.min_df), idf: Vec::new(), config }
+        Self {
+            counter: CountVectorizer::new(config.min_df),
+            idf: Vec::new(),
+            config,
+        }
     }
 
     /// Learns vocabulary and IDF weights. Documents must be re-iterable, so
     /// this takes a slice of token vectors.
     pub fn fit<S: AsRef<str>>(&mut self, docs: &[Vec<S>]) -> &mut Self {
-        self.counter.fit(docs.iter().map(|d| d.iter().map(AsRef::as_ref)));
+        self.counter
+            .fit(docs.iter().map(|d| d.iter().map(AsRef::as_ref)));
+        // the counter already tallied per-column document frequencies
+        // during its fit — no second pass over the corpus needed
         let n = docs.len() as f32;
-        let mut df = vec![0u64; self.counter.vocab_size()];
-        for doc in docs {
-            let mut seen = vec![false; df.len()];
-            for t in doc {
-                if let Some(c) = self.counter.column(t.as_ref()) {
-                    if !seen[c as usize] {
-                        seen[c as usize] = true;
-                        df[c as usize] += 1;
-                    }
-                }
-            }
-        }
-        self.idf = df
+        self.idf = self
+            .counter
+            .doc_freq()
             .iter()
             .map(|&d| ((1.0 + n) / (1.0 + d as f32)).ln() + 1.0)
             .collect();
@@ -188,7 +206,11 @@ impl TfIdfVectorizer {
             let mut entries: Vec<(usize, f32)> = counts
                 .into_iter()
                 .map(|(c, tf)| {
-                    let tf = if self.config.sublinear_tf { 1.0 + tf.ln() } else { tf };
+                    let tf = if self.config.sublinear_tf {
+                        1.0 + tf.ln()
+                    } else {
+                        tf
+                    };
                     (c as usize, tf * self.idf[c as usize])
                 })
                 .collect();
@@ -253,7 +275,11 @@ mod tests {
     fn oov_tokens_dropped_at_transform() {
         let mut cv = CountVectorizer::new(1);
         cv.fit(docs().iter().map(|d| d.iter().copied()));
-        let m = cv.transform([vec!["add", "unseen-token"]].iter().map(|d| d.iter().copied()));
+        let m = cv.transform(
+            [vec!["add", "unseen-token"]]
+                .iter()
+                .map(|d| d.iter().copied()),
+        );
         assert_eq!(m.nnz(), 1);
     }
 

@@ -92,8 +92,11 @@ impl Vocabulary {
     /// prepended; duplicates of specials are ignored).
     pub fn from_tokens(items: impl IntoIterator<Item = String>) -> Self {
         let mut tokens: Vec<String> = SPECIALS.iter().map(|s| s.to_string()).collect();
-        let mut ids: HashMap<String, u32> =
-            tokens.iter().enumerate().map(|(i, t)| (t.clone(), i as u32)).collect();
+        let mut ids: HashMap<String, u32> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
         for t in items {
             if !ids.contains_key(&t) {
                 ids.insert(t.clone(), tokens.len() as u32);

@@ -33,10 +33,7 @@ pub struct BpeTokenizer {
 impl BpeTokenizer {
     /// Trains merges from `(word, count)` pairs until the symbol vocabulary
     /// reaches `vocab_size` or no pair occurs twice.
-    pub fn train<'a>(
-        words: impl IntoIterator<Item = (&'a str, u64)>,
-        vocab_size: usize,
-    ) -> Self {
+    pub fn train<'a>(words: impl IntoIterator<Item = (&'a str, u64)>, vocab_size: usize) -> Self {
         // word → (symbol sequence, count)
         let mut table: Vec<(Vec<String>, u64)> = Vec::new();
         let mut symbols: HashMap<String, ()> = HashMap::new();
@@ -58,9 +55,7 @@ impl BpeTokenizer {
             let mut pair_counts: HashMap<(String, String), u64> = HashMap::new();
             for (seq, count) in &table {
                 for w in seq.windows(2) {
-                    *pair_counts
-                        .entry((w[0].clone(), w[1].clone()))
-                        .or_insert(0) += count;
+                    *pair_counts.entry((w[0].clone(), w[1].clone())).or_insert(0) += count;
                 }
             }
             let Some((best, best_count)) = pair_counts
@@ -120,10 +115,8 @@ impl BpeTokenizer {
             // find the lowest-rank applicable merge
             let mut best: Option<(usize, usize)> = None; // (rank, position)
             for i in 0..seq.len() - 1 {
-                if let Some(&rank) =
-                    self.merges.get(&(seq[i].clone(), seq[i + 1].clone()))
-                {
-                    if best.map_or(true, |(r, _)| rank < r) {
+                if let Some(&rank) = self.merges.get(&(seq[i].clone(), seq[i + 1].clone())) {
+                    if best.is_none_or(|(r, _)| rank < r) {
                         best = Some((rank, i));
                     }
                 }
@@ -138,7 +131,9 @@ impl BpeTokenizer {
 
     /// Encodes a multi-word string, concatenating per-word pieces.
     pub fn encode_text(&self, text: &str) -> Vec<String> {
-        text.split_whitespace().flat_map(|w| self.encode(w)).collect()
+        text.split_whitespace()
+            .flat_map(|w| self.encode(w))
+            .collect()
     }
 }
 
@@ -178,7 +173,10 @@ mod tests {
         let bpe = trained();
         let pieces = bpe.encode("zucchini");
         assert_eq!(pieces.join(""), format!("zucchini{EOW}"));
-        assert!(pieces.len() > 1, "unseen word cannot be a single learned piece");
+        assert!(
+            pieces.len() > 1,
+            "unseen word cannot be a single learned piece"
+        );
     }
 
     #[test]

@@ -23,9 +23,16 @@ fn main() {
     // A new recipe as the paper's Table I presents them: ingredients,
     // then ordered processes, then utensils.
     let my_recipe = [
-        "coconut milk", "basmati rice", "white sugar", "cardamom",
-        "stir", "simmer", "cook", "garnish",
-        "saucepan", "bowl",
+        "coconut milk",
+        "basmati rice",
+        "white sugar",
+        "cardamom",
+        "stir",
+        "simmer",
+        "cook",
+        "garnish",
+        "saucepan",
+        "bowl",
     ];
     println!("\nclassifying recipe: {my_recipe:?}");
 
@@ -43,11 +50,14 @@ fn main() {
     let features = vectorizer.transform(&tokens);
     let probs = nb.predict_proba(&features);
 
-    let mut ranked: Vec<(usize, f64)> =
-        probs[0].iter().copied().enumerate().collect();
+    let mut ranked: Vec<(usize, f64)> = probs[0].iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\ntop-5 cuisines:");
     for &(class, p) in ranked.iter().take(5) {
-        println!("  {:<24} {:>6.2}%", CuisineId(class as u8).name(), p * 100.0);
+        println!(
+            "  {:<24} {:>6.2}%",
+            CuisineId(class as u8).name(),
+            p * 100.0
+        );
     }
 }

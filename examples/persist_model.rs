@@ -31,7 +31,7 @@ fn main() {
     let restored = load_linear(&path).expect("load model");
     println!("reloaded; serving predictions from the restored weights:");
     let mut correct = 0usize;
-    for r in 0..test_x.rows() {
+    for (r, &gold) in test_y.iter().enumerate() {
         let scores = restored.decision_row(&test_x, r);
         let pred = scores
             .iter()
@@ -39,14 +39,14 @@ fn main() {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        if pred == test_y[r] {
+        if pred == gold {
             correct += 1;
         }
         if r < 5 {
             println!(
                 "  test recipe {r}: predicted {:<24} gold {}",
                 CuisineId(pred as u8).name(),
-                CuisineId(test_y[r] as u8).name()
+                CuisineId(gold as u8).name()
             );
         }
     }

@@ -35,8 +35,14 @@ fn main() {
     };
 
     for (label, pretrain) in [
-        ("BERT-style (static masking)", PretrainConfig::bert_style(2, 3)),
-        ("RoBERTa-style (dynamic masking, 2x steps)", PretrainConfig::roberta_style(2, 3)),
+        (
+            "BERT-style (static masking)",
+            PretrainConfig::bert_style(2, 3),
+        ),
+        (
+            "RoBERTa-style (dynamic masking, 2x steps)",
+            PretrainConfig::roberta_style(2, 3),
+        ),
     ] {
         println!("\n=== {label} ===");
         let mut rng = StdRng::seed_from_u64(3);

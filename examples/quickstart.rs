@@ -8,7 +8,10 @@ use cuisine::{ModelKind, Pipeline, PipelineConfig, Scale};
 fn main() {
     // A ~2% corpus: ~2.4k recipes across all 26 cuisines.
     let config = PipelineConfig::new(Scale::Small, 42);
-    println!("generating synthetic RecipeDB (scale {})…", config.generator.scale);
+    println!(
+        "generating synthetic RecipeDB (scale {})…",
+        config.generator.scale
+    );
     let pipeline = Pipeline::prepare(&config);
     println!(
         "{} recipes, {} train / {} val / {} test, vocab {}",

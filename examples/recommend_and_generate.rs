@@ -17,7 +17,10 @@ fn main() {
     let (train_x, _, _, _) = pipeline.tfidf_features(&config);
 
     // --- recommendation -------------------------------------------------
-    println!("\nindexing {} training recipes for recommendation…", train_x.rows());
+    println!(
+        "\nindexing {} training recipes for recommendation…",
+        train_x.rows()
+    );
     let recommender = RecipeRecommender::fit(&train_x);
     let query_pos = 0usize;
     let query_recipe_idx = pipeline.data.split.train[query_pos];
@@ -38,7 +41,10 @@ fn main() {
         println!(
             "  {sim:.3}  [{}] {}…",
             r.cuisine.name(),
-            r.to_text(&pipeline.data.dataset.table).chars().take(70).collect::<String>()
+            r.to_text(&pipeline.data.dataset.table)
+                .chars()
+                .take(70)
+                .collect::<String>()
         );
     }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Gate script: formatting, lints, release build, and the full test suite.
+# Run from anywhere; it cds to the workspace root first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "all checks passed"

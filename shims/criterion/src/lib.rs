@@ -1,0 +1,213 @@
+//! Offline shim for the `criterion` API this workspace's benches use.
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed batches
+//! whose per-iteration count adapts so a batch lasts roughly
+//! `MIN_BATCH`, and prints min/mean/median per-iteration times. It is a
+//! measurement harness, not a statistics suite — good enough to compare
+//! kernels on one machine, which is all the in-repo benches do.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const MIN_BATCH: Duration = Duration::from_millis(25);
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&id.to_string(), 20, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Function-plus-parameter benchmark label.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_batch: u64,
+    samples: Vec<Duration>,
+    mode: Mode,
+}
+
+enum Mode {
+    /// Measure one batch and record it.
+    Sample,
+    /// Run batches until `WARMUP` elapses, calibrating the batch size.
+    Calibrate,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Calibrate => {
+                let deadline = Instant::now() + WARMUP;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_batch {
+                        black_box(f());
+                    }
+                    let batch = start.elapsed();
+                    if batch < MIN_BATCH {
+                        self.iters_per_batch = (self.iters_per_batch * 2).min(1 << 30);
+                    }
+                    if Instant::now() >= deadline && batch >= MIN_BATCH / 4 {
+                        break;
+                    }
+                }
+            }
+            Mode::Sample => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_batch {
+                    black_box(f());
+                }
+                self.samples
+                    .push(start.elapsed() / self.iters_per_batch as u32);
+            }
+        }
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters_per_batch: 1,
+        samples: Vec::with_capacity(sample_size),
+        mode: Mode::Calibrate,
+    };
+    f(&mut bencher);
+    bencher.mode = Mode::Sample;
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    let min = sorted.first().copied().unwrap_or_default();
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+    let mean = sorted.iter().sum::<Duration>() / sorted.len().max(1) as u32;
+    eprintln!(
+        "{label:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples x {} iters)",
+        min,
+        median,
+        mean,
+        sorted.len(),
+        bencher.iters_per_batch
+    );
+}
+
+/// Groups benchmark functions under one registration point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("a_b", 64).to_string(), "a_b/64");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn run_benchmark_collects_samples() {
+        // Smoke test: a trivial closure completes without dividing by zero.
+        run_benchmark("smoke", 3, |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,38 @@
+//! Offline shim for the `crossbeam::scope` API, backed by
+//! `std::thread::scope` (which provides the same structured-concurrency
+//! guarantee the callers rely on: all spawned threads join before the
+//! scope returns).
+
+pub mod thread;
+
+pub use thread::{scope, Scope, ScopedJoinHandle};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

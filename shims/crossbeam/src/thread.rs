@@ -1,0 +1,59 @@
+//! `crossbeam::thread::scope` on top of `std::thread::scope`.
+//!
+//! The one API difference papered over here: crossbeam passes the scope
+//! back into every spawned closure (`s.spawn(|s| ...)`), while std's
+//! closures take no argument. The wrapper reconstructs a `Scope` handle
+//! inside each spawned thread.
+
+use std::any::Any;
+
+/// Handle for spawning threads inside a scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a scope handle; every thread spawned through it is
+/// joined before this function returns.
+///
+/// Matches crossbeam's signature by returning `Result`; with std scoped
+/// threads a child panic propagates as a panic from `std::thread::scope`
+/// itself, so the `Err` arm is never constructed — callers that `.expect`
+/// or `?` it behave identically.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}

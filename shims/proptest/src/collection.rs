@@ -1,0 +1,51 @@
+//! Collection strategies: `vec(element, size)`.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Accepted size arguments for [`vec`]: an exact length or a half-open
+/// range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self(n..n + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        Self(r)
+    }
+}
+
+/// Strategy producing `Vec`s of values from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.0.len() <= 1 {
+            self.size.0.start
+        } else {
+            rng.gen_range(self.size.0.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

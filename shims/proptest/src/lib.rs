@@ -1,0 +1,149 @@
+//! Offline shim for the slice of `proptest` this workspace uses:
+//! `Strategy` with `prop_map`/`prop_flat_map`, numeric range and tuple
+//! strategies, `proptest::collection::vec`, `ProptestConfig`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Inputs are generated from a per-test deterministic seed (FNV hash of
+//! the test path mixed with the case index), so failures reproduce
+//! exactly. There is no shrinking: a failing case panics with the usual
+//! assertion message and the case index.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Deterministic rng for one generated case of one test.
+pub fn case_rng(test_path: &str, case: u32) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test path, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Runs the body of one `proptest!` test across all configured cases.
+/// Kept out of the macro so the expansion stays small.
+pub fn run_cases<S: strategy::Strategy>(
+    config: &test_runner::ProptestConfig,
+    test_path: &str,
+    strat: &S,
+    mut body: impl FnMut(S::Value),
+) {
+    for case in 0..config.cases {
+        let mut rng = case_rng(test_path, case);
+        let value = strat.generate(&mut rng);
+        body(value);
+    }
+}
+
+/// Defines property tests. Each test runs `config.cases` times with
+/// freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)*);
+            $crate::run_cases(
+                &__config,
+                concat!(module_path!(), "::", stringify!($name)),
+                &__strategy,
+                |($($pat,)*)| $body,
+            );
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn dim() -> impl Strategy<Value = usize> {
+        1usize..9
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -2.0f32..2.0, (a, b) in (dim(), dim())) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..9).contains(&a) && (1..9).contains(&b));
+        }
+
+        #[test]
+        fn flat_map_links_sizes(v in dim().prop_flat_map(|n| {
+            crate::collection::vec(0u32..10, n).prop_map(move |v| (n, v))
+        })) {
+            let (n, items) = v;
+            prop_assert_eq!(items.len(), n);
+            prop_assert!(items.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_override_applies(seed in 0u64..1000) {
+            // 3 cases only; just exercise the config path.
+            prop_assert!(seed < 1000);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngCore;
+        let mut a = crate::case_rng("mod::test", 5);
+        let mut b = crate::case_rng("mod::test", 5);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::case_rng("mod::test", 6);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,22 @@
+//! Test-runner configuration.
+
+/// Mirrors the real crate's config struct; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property test.
+    pub cases: u32,
+    /// Accepted for source compatibility; the shim reports the failing
+    /// input as-is instead of shrinking it.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the opt-level-2 test
+        // profile snappy while still exploring the input space.
+        Self {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}

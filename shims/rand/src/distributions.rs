@@ -1,0 +1,220 @@
+//! Distribution sampling: `Standard`, `Uniform`, and `WeightedIndex`.
+
+use crate::{unit_f64, Rng, SampleUniform};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution: unit-interval floats, full-range integers.
+pub struct Standard;
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<X> {
+    low: X,
+    high: X,
+}
+
+impl<X: SampleUniform + PartialOrd + Copy> Uniform<X> {
+    pub fn new(low: X, high: X) -> Self {
+        assert!(low < high, "Uniform::new requires low < high");
+        Self { low, high }
+    }
+
+    pub fn new_inclusive(low: X, high: X) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+        Self { low, high }
+    }
+}
+
+impl<X: SampleUniform + Copy> Distribution<X> for Uniform<X> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> X {
+        X::sample_between(rng, self.low, self.high, false)
+    }
+}
+
+/// Error cases for [`WeightedIndex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    NoItem,
+    InvalidWeight,
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            WeightedError::NoItem => "no weights supplied",
+            WeightedError::InvalidWeight => "a weight is negative or non-finite",
+            WeightedError::AllWeightsZero => "all weights are zero",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices proportionally to a weight vector, via a cumulative
+/// table and binary search (deterministic for a fixed rng stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex<X> {
+    cumulative: Vec<X>,
+    total: X,
+}
+
+/// Borrow helper that keeps `WeightedIndex::new(&vec)` type inference
+/// unambiguous (the same trick the real crate uses): only weight types
+/// themselves implement `SampleUniform`, never references to them.
+pub trait SampleBorrow<Borrowed> {
+    fn sample_borrow(&self) -> &Borrowed;
+}
+
+impl<B: SampleUniform> SampleBorrow<B> for B {
+    fn sample_borrow(&self) -> &B {
+        self
+    }
+}
+
+impl<B: SampleUniform> SampleBorrow<B> for &B {
+    fn sample_borrow(&self) -> &B {
+        self
+    }
+}
+
+/// Weight arithmetic needed by [`WeightedIndex`].
+pub trait Weight: SampleUniform + PartialOrd + Copy {
+    const ZERO: Self;
+    fn checked_accumulate(self, w: Self) -> Option<Self>;
+}
+
+macro_rules! impl_weight_float {
+    ($($t:ty),*) => {$(
+        impl Weight for $t {
+            const ZERO: Self = 0.0;
+
+            fn checked_accumulate(self, w: Self) -> Option<Self> {
+                (w.is_finite() && w >= 0.0).then(|| self + w)
+            }
+        }
+    )*};
+}
+
+impl_weight_float!(f32, f64);
+
+impl<X: Weight> WeightedIndex<X> {
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: SampleBorrow<X>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = X::ZERO;
+        for w in weights {
+            total = total
+                .checked_accumulate(*w.sample_borrow())
+                .ok_or(WeightedError::InvalidWeight)?;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= X::ZERO {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(Self { cumulative, total })
+    }
+}
+
+impl<X: Weight> Distribution<usize> for WeightedIndex<X> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = X::sample_between(rng, X::ZERO, self.total, false);
+        // First index whose cumulative weight exceeds the draw; the clamp
+        // guards the (measure-zero) case of x landing exactly on the total.
+        self.cumulative
+            .partition_point(|c| *c <= x)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn weighted_index_follows_weights() {
+        let dist = WeightedIndex::new([1.0f64, 0.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..8000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 2, "counts = {counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_input() {
+        assert_eq!(
+            WeightedIndex::<f64>::new(std::iter::empty::<f64>()),
+            Err(WeightedError::NoItem)
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0f64, 0.0]),
+            Err(WeightedError::AllWeightsZero)
+        );
+        assert_eq!(
+            WeightedIndex::new([1.0f64, -1.0]),
+            Err(WeightedError::InvalidWeight)
+        );
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let dist = Uniform::new(f32::EPSILON, 1.0f32);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!((f32::EPSILON..1.0).contains(&x), "x = {x}");
+        }
+    }
+}

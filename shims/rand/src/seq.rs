@@ -1,0 +1,93 @@
+//! Slice helpers: shuffle and choose.
+
+use crate::Rng;
+
+pub trait SliceRandom {
+    type Item;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Samples `amount` distinct elements (fewer if the slice is shorter),
+    /// in selection order.
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // Fisher–Yates, descending, matching the real crate's draw order
+        // (one `gen_range(0..=i)` per position).
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        // Partial Fisher–Yates over an index table: O(amount) swaps.
+        let amount = amount.min(self.len());
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut picked = Vec::with_capacity(amount);
+        for i in 0..amount {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+            picked.push(&self[indices[i]]);
+        }
+        picked.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(9));
+        b.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn choose_handles_empty_and_full() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [5u8, 6, 7];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+    }
+}

@@ -1,0 +1,312 @@
+//! Offline, JSON-only shim for the `serde` trait surface this workspace
+//! uses.
+//!
+//! Instead of the real crate's generic `Serializer`/`Deserializer`
+//! plumbing, [`Serialize`] renders straight into a JSON string and
+//! [`Deserialize`] reads from a parsed [`Value`] DOM. The derive macros
+//! re-exported from `serde_derive` generate impls against exactly this
+//! surface, and the `serde_json` shim provides the usual entry points
+//! (`to_writer`, `to_string`, `from_str`, `from_reader`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{parse_value, Value};
+
+/// Error for both parsing and typed deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` as JSON onto `out`.
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Reconstructs `Self` from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                use std::fmt::Write;
+                let _ = write!(out, "{self}");
+            }
+        }
+    )*};
+}
+
+impl_serialize_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                use std::fmt::Write;
+                if self.is_finite() {
+                    // `{}` prints the shortest decimal that round-trips.
+                    let _ = write!(out, "{self}");
+                } else {
+                    // JSON has no NaN/inf; mirror the lenient JS convention.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_error("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Num(n) => *n,
+                    other => return Err(type_error("number", other)),
+                };
+                if n.fract() != 0.0 || n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::custom(format!(
+                        "number {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(type_error("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        expect_str(v).map(str::to_owned)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(type_error("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+/// Looks up an object field — used by derived struct impls.
+pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
+    match v {
+        Value::Object(entries) => entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, val)| val)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+        other => Err(type_error("object", other)),
+    }
+}
+
+/// Expects a string value — used by derived unit-enum impls.
+pub fn expect_str(v: &Value) -> Result<&str, Error> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(type_error("string", other)),
+    }
+}
+
+fn type_error(expected: &str, got: &Value) -> Error {
+    Error::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut out = String::new();
+        v.serialize_json(&mut out);
+        out
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&42u32), "42");
+        assert_eq!(to_json(&-7i64), "-7");
+        assert_eq!(to_json(&1.5f32), "1.5");
+        assert_eq!(to_json(&"a\"b\\c\nd".to_string()), r#""a\"b\\c\nd""#);
+        assert_eq!(to_json(&vec![1u8, 2, 3]), "[1,2,3]");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[
+            0.1f32,
+            1.0e-7,
+            std::f32::consts::PI,
+            -2.5e8,
+            f32::MIN_POSITIVE,
+        ] {
+            let s = to_json(&x);
+            let v = parse_value(&s).unwrap();
+            assert_eq!(f32::deserialize_value(&v).unwrap(), x, "via {s}");
+        }
+    }
+
+    #[test]
+    fn int_bounds_checked() {
+        let v = parse_value("300").unwrap();
+        assert!(u8::deserialize_value(&v).is_err());
+        assert_eq!(u16::deserialize_value(&v).unwrap(), 300);
+        let frac = parse_value("1.5").unwrap();
+        assert!(u32::deserialize_value(&frac).is_err());
+    }
+
+    #[test]
+    fn field_lookup_and_errors() {
+        let v = parse_value(r#"{"a": 1, "b": "x"}"#).unwrap();
+        assert_eq!(u32::deserialize_value(field(&v, "a").unwrap()).unwrap(), 1);
+        assert!(field(&v, "c").unwrap_err().to_string().contains("missing"));
+        assert!(String::deserialize_value(field(&v, "a").unwrap()).is_err());
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        let s = to_json(&"\u{1}".to_string());
+        assert_eq!(s, "\"\\u0001\"");
+        let v = parse_value(&s).unwrap();
+        assert_eq!(String::deserialize_value(&v).unwrap(), "\u{1}");
+    }
+}

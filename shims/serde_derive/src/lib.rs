@@ -1,0 +1,265 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Written directly against `proc_macro` (no `syn`/`quote` available
+//! offline). Supports the three shapes this workspace derives on:
+//!
+//! - structs with named fields   → JSON object
+//! - single-field tuple structs  → the inner value (newtype transparency)
+//! - enums of unit variants      → the variant name as a JSON string
+//!
+//! Anything else (generics, non-unit variants, multi-field tuples) is a
+//! compile-time panic with a clear message rather than silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut writes = String::from("__out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    writes.push_str("__out.push(',');\n");
+                }
+                writes.push_str(&format!(
+                    "::serde::write_json_string(__out, \"{f}\");\n\
+                     __out.push(':');\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, __out);\n"
+                ));
+            }
+            writes.push_str("__out.push('}');");
+            writes
+        }
+        Shape::Newtype => "::serde::Serialize::serialize_json(&self.0, __out);".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => \"{v}\",\n"))
+                .collect();
+            format!("::serde::write_json_string(__out, match self {{ {arms} }});")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, __out: &mut ::std::string::String) {{\n{body}\n}}\n}}",
+        name = item.name
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(\
+                         ::serde::field(__v, \"{f}\")?)?,\n"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {inits} }})")
+        }
+        Shape::Newtype => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::deserialize_value(__v)?))"
+                .to_string()
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok(Self::{v}),\n"))
+                .collect();
+            format!(
+                "match ::serde::expect_str(__v)? {{\n{arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown {name} variant {{__other:?}}\"))),\n}}",
+                name = item.name
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}",
+        name = item.name
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    Newtype,
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = tuple_field_count(g.stream());
+                if fields != 1 {
+                    panic!(
+                        "serde_derive shim: tuple struct `{name}` must have exactly \
+                         one field (has {fields})"
+                    );
+                }
+                Shape::Newtype
+            }
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::UnitEnum(unit_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive: expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive on `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `pub(crate)` and friends
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("serde_derive: expected field name, got {:?}", tokens.get(i));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: everything up to a top-level comma. Depth only
+        // matters for `<...>` generics; groups are single trees already.
+        let mut angle_depth = 0usize;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn tuple_field_count(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!(
+                "serde_derive: expected variant in `{enum_name}`, got {:?}",
+                tokens.get(i)
+            );
+        };
+        variants.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive shim: enum `{enum_name}` has a non-unit variant \
+                 `{}` — only unit variants are supported",
+                variants.last().unwrap()
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                "serde_derive shim: explicit discriminants are not supported \
+                 (enum `{enum_name}`)"
+            ),
+            other => panic!("serde_derive: unexpected token in `{enum_name}`: {other:?}"),
+        }
+    }
+    variants
+}

@@ -1,0 +1,105 @@
+//! Offline shim for the `serde_json` entry points this workspace uses:
+//! `to_string`, `to_writer`, `from_str`, `from_reader`.
+
+use std::io::{Read, Write};
+
+use serde::{parse_value, Deserialize, Serialize};
+
+/// Serialization/deserialization error (re-exported from the serde shim).
+pub type Error = serde::Error;
+
+/// Renders a value as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Writes a value as compact JSON onto `writer`.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> std::io::Result<()> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    writer.write_all(out.as_bytes())
+}
+
+/// Parses a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::deserialize_value(&parse_value(s)?)
+}
+
+/// Parses a value from a reader (reads to end first; the documents this
+/// workspace stores are single JSON values, not streams).
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader
+        .read_to_string(&mut buf)
+        .map_err(|e| Error::custom(format!("io error: {e}")))?;
+    from_str(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Header {
+        format: String,
+        recipes: usize,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Id(u32);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Ingredient,
+        Process,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Doc {
+        id: Id,
+        kind: Kind,
+        weights: Vec<f32>,
+        name: String,
+    }
+
+    #[test]
+    fn derive_round_trips_nested_struct() {
+        let doc = Doc {
+            id: Id(7),
+            kind: Kind::Process,
+            weights: vec![1.5, -0.25, 3.0e-5],
+            name: "stir \"gently\"".into(),
+        };
+        let json = to_string(&doc).unwrap();
+        assert_eq!(
+            json,
+            r#"{"id":7,"kind":"Process","weights":[1.5,-0.25,0.00003],"name":"stir \"gently\""}"#
+        );
+        let back: Doc = from_str(&json).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn from_reader_and_to_writer_round_trip() {
+        let h = Header {
+            format: "recipedb-v1".into(),
+            recipes: 12,
+        };
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &h).unwrap();
+        let back: Header = from_reader(buf.as_slice()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(from_str::<Header>("{\"format\": \"x\"}")
+            .unwrap_err()
+            .to_string()
+            .contains("missing field `recipes`"));
+        assert!(from_str::<Kind>("\"Utensil\"").is_err());
+        assert!(from_str::<Doc>("not json").is_err());
+    }
+}

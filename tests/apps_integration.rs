@@ -47,8 +47,10 @@ fn generated_recipes_look_like_recipes() {
         let tokens = model.generate(italian, &mut rng);
         assert!(tokens.len() >= 5, "recipe too short: {}", tokens.len());
         // a plausible recipe mixes ingredients and processes
-        let kinds: Vec<EntityKind> =
-            tokens.iter().map(|&t| p.data.dataset.table.kind(t)).collect();
+        let kinds: Vec<EntityKind> = tokens
+            .iter()
+            .map(|&t| p.data.dataset.table.kind(t))
+            .collect();
         assert!(kinds.contains(&EntityKind::Ingredient));
         assert!(kinds.contains(&EntityKind::Process));
     }
@@ -66,7 +68,10 @@ fn generator_reuses_corpus_vocabulary_only() {
     }
     for cuisine in CuisineId::all().take(5) {
         for tok in model.generate(cuisine, &mut rng) {
-            assert!(corpus_tokens.contains(&tok), "generated unseen entity {tok:?}");
+            assert!(
+                corpus_tokens.contains(&tok),
+                "generated unseen entity {tok:?}"
+            );
         }
     }
 }

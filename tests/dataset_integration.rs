@@ -2,12 +2,16 @@
 //! Table III spectrum shape, split properties, serialization.
 
 use recipedb::{
-    cumulative_spectrum, generate, train_val_test_split, DatasetStats, GeneratorConfig,
-    CuisineId, EntityKind, NUM_CUISINES,
+    cumulative_spectrum, generate, train_val_test_split, CuisineId, DatasetStats, EntityKind,
+    GeneratorConfig, NUM_CUISINES,
 };
 
 fn small_dataset() -> (recipedb::Dataset, DatasetStats) {
-    let config = GeneratorConfig { seed: 99, scale: 0.02, ..Default::default() };
+    let config = GeneratorConfig {
+        seed: 99,
+        scale: 0.02,
+        ..Default::default()
+    };
     let dataset = generate(&config);
     let stats = DatasetStats::compute(&dataset);
     (dataset, stats)
@@ -44,7 +48,10 @@ fn spectrum_tail_scales_with_corpus() {
     assert!(hapax > 100, "hapax features {hapax} — tail missing");
     let (high, _) = cumulative_spectrum(&stats);
     let head = high.iter().find(|r| r.bound == 1_000).unwrap().count;
-    assert!(hapax > head * 10, "tail ({hapax}) should dwarf head ({head})");
+    assert!(
+        hapax > head * 10,
+        "tail ({hapax}) should dwarf head ({head})"
+    );
 }
 
 #[test]
@@ -58,8 +65,11 @@ fn most_frequent_feature_is_the_process_add() {
 fn sequences_keep_kind_order() {
     let (dataset, _) = small_dataset();
     for recipe in dataset.recipes.iter().take(100) {
-        let kinds: Vec<EntityKind> =
-            recipe.tokens.iter().map(|&t| dataset.table.kind(t)).collect();
+        let kinds: Vec<EntityKind> = recipe
+            .tokens
+            .iter()
+            .map(|&t| dataset.table.kind(t))
+            .collect();
         let first_ut = kinds
             .iter()
             .position(|&k| k == EntityKind::Utensil)
@@ -106,13 +116,20 @@ fn jsonl_roundtrip_preserves_corpus() {
 #[test]
 #[ignore = "paper-scale generation takes about a minute"]
 fn paper_scale_tables_are_reproduced() {
-    let config = GeneratorConfig { seed: 2020, scale: 1.0, ..Default::default() };
+    let config = GeneratorConfig {
+        seed: 2020,
+        scale: 1.0,
+        ..Default::default()
+    };
     let dataset = generate(&config);
     let stats = DatasetStats::compute(&dataset);
 
     // Table II: exact by construction
     for cuisine in CuisineId::all() {
-        assert_eq!(stats.cuisine_count(cuisine), cuisine.info().paper_count as usize);
+        assert_eq!(
+            stats.cuisine_count(cuisine),
+            cuisine.info().paper_count as usize
+        );
     }
 
     // Table III low rows: exact by quota injection

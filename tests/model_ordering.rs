@@ -58,8 +58,7 @@ fn shuffling_tokens_cannot_change_bag_models() {
         .test
         .iter()
         .map(|&i| {
-            let mut doc: Vec<&str> =
-                pipeline.data.docs[i].iter().map(String::as_str).collect();
+            let mut doc: Vec<&str> = pipeline.data.docs[i].iter().map(String::as_str).collect();
             doc.shuffle(&mut rng);
             doc
         })
@@ -67,7 +66,10 @@ fn shuffling_tokens_cannot_change_bag_models() {
     let shuffled_x = vectorizer.transform(&shuffled_docs);
     let shuffled = nb.predict(&shuffled_x);
 
-    assert_eq!(baseline, shuffled, "bag-of-words predictions must ignore order");
+    assert_eq!(
+        baseline, shuffled,
+        "bag-of-words predictions must ignore order"
+    );
 }
 
 /// Within-continent confusions dominate: the generator plants shared
@@ -91,8 +93,7 @@ fn confusions_concentrate_within_continents() {
                 continue;
             }
             let count = m.count(g, p);
-            let same = CuisineId(g as u8).info().continent
-                == CuisineId(p as u8).info().continent;
+            let same = CuisineId(g as u8).info().continent == CuisineId(p as u8).info().continent;
             if same {
                 within += count;
             } else {
@@ -103,5 +104,8 @@ fn confusions_concentrate_within_continents() {
     // 26 cuisines over 6 continents: if confusions were uniform, ~17%
     // would stay in-continent. The planted structure should exceed that.
     let frac = within as f64 / (within + across).max(1) as f64;
-    assert!(frac > 0.25, "within-continent confusion fraction only {frac:.3}");
+    assert!(
+        frac > 0.25,
+        "within-continent confusion fraction only {frac:.3}"
+    );
 }

@@ -30,21 +30,33 @@ fn logreg_beats_chance() {
 fn naive_bayes_beats_chance() {
     let (pipeline, config) = tiny();
     let result = pipeline.run(ModelKind::NaiveBayes, &config);
-    assert!(result.report.accuracy > CHANCE, "NB accuracy {}", result.report.accuracy);
+    assert!(
+        result.report.accuracy > CHANCE,
+        "NB accuracy {}",
+        result.report.accuracy
+    );
 }
 
 #[test]
 fn svm_beats_chance() {
     let (pipeline, config) = tiny();
     let result = pipeline.run(ModelKind::SvmLinear, &config);
-    assert!(result.report.accuracy > CHANCE, "SVM accuracy {}", result.report.accuracy);
+    assert!(
+        result.report.accuracy > CHANCE,
+        "SVM accuracy {}",
+        result.report.accuracy
+    );
 }
 
 #[test]
 fn random_forest_beats_chance() {
     let (pipeline, config) = tiny();
     let result = pipeline.run(ModelKind::RandomForest, &config);
-    assert!(result.report.accuracy > CHANCE, "RF accuracy {}", result.report.accuracy);
+    assert!(
+        result.report.accuracy > CHANCE,
+        "RF accuracy {}",
+        result.report.accuracy
+    );
 }
 
 #[test]
@@ -72,7 +84,9 @@ fn bert_pretrains_and_finetunes_end_to_end() {
     config.models.bert_pretrain_epochs = 1;
     config.models.finetune.epochs = 1;
     let result = pipeline.run(ModelKind::Bert, &config);
-    let pre = result.pretrain_losses.expect("BERT must record pretrain losses");
+    let pre = result
+        .pretrain_losses
+        .expect("BERT must record pretrain losses");
     assert_eq!(pre.len(), 1);
     assert!(pre[0].is_finite() && pre[0] > 0.0);
     assert!(result.history.is_some());
@@ -83,7 +97,10 @@ fn reports_are_consistent_between_runs() {
     let (pipeline, config) = tiny();
     let a = pipeline.run(ModelKind::NaiveBayes, &config);
     let b = pipeline.run(ModelKind::NaiveBayes, &config);
-    assert_eq!(a.report.accuracy, b.report.accuracy, "NB must be deterministic");
+    assert_eq!(
+        a.report.accuracy, b.report.accuracy,
+        "NB must be deterministic"
+    );
 }
 
 #[test]
