@@ -58,8 +58,10 @@ fn main() {
             model.set_pretrained_embeddings(table);
         }
         let mut opt = AdamW::default();
-        let history = trainer.fit(&mut model, &mut opt, &train, Some(&val));
-        let (_, acc, _, _) = trainer.evaluate(&model, &test);
+        let history = trainer
+            .fit(&mut model, &mut opt, &train, Some(&val))
+            .expect("LSTM training failed");
+        let (_, acc, _, _) = trainer.evaluate(&model, &test).expect("evaluation failed");
         println!(
             "  {label:<16} test accuracy {:.2}%  (first-epoch val acc {:.2}%)",
             acc * 100.0,

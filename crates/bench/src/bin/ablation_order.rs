@@ -48,8 +48,10 @@ fn main() {
         let mut mrng = StdRng::seed_from_u64(config.seed);
         let mut model = LstmClassifier::new(config.models.lstm, &mut mrng);
         let mut opt = AdamW::default();
-        trainer.fit(&mut model, &mut opt, tr, None);
-        let (_, accuracy, _, _) = trainer.evaluate(&model, te);
+        trainer
+            .fit(&mut model, &mut opt, tr, None)
+            .expect("LSTM training failed");
+        let (_, accuracy, _, _) = trainer.evaluate(&model, te).expect("evaluation failed");
         acc.push((label, accuracy));
     }
 

@@ -27,13 +27,16 @@ fn main() {
             threads: 0,
             seed: config.seed,
             early_stop_patience: 0,
+            divergence_patience: 3,
         });
         let mut mrng = StdRng::seed_from_u64(config.seed);
         let mut model = LstmClassifier::new(config.models.lstm, &mut mrng);
         let mut opt = AdamW::default();
         let started = std::time::Instant::now();
-        let history = trainer.fit(&mut model, &mut opt, &train, Some(&val));
-        let (_, test_acc, _, _) = trainer.evaluate(&model, &test);
+        let history = trainer
+            .fit(&mut model, &mut opt, &train, Some(&val))
+            .expect("LSTM training failed");
+        let (_, test_acc, _, _) = trainer.evaluate(&model, &test).expect("evaluation failed");
         println!(
             "epochs={epochs} lr={lr}: test {:.2}%  ({:.0}s)",
             test_acc * 100.0,

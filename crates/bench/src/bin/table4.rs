@@ -6,7 +6,13 @@
 //! cargo run --release -p bench --bin table4 -- --scale small
 //!     [--models logreg,nb,svm,rf,lstm,bert,roberta]
 //!     [--csv out.csv] [--json out.json] [--adaboost]
+//!     [--checkpoint-dir ckpts] [--resume]
 //! ```
+//!
+//! With `--checkpoint-dir` each neural model checkpoints every epoch into
+//! its own subdirectory (atomic `latest.ckpt` / `previous.ckpt` pair);
+//! re-running with `--resume` continues an interrupted run bit-identically
+//! from the last epoch boundary.
 //!
 //! Always writes a machine-readable copy of the table to
 //! `BENCH_table4.json` (override with `--json`).
@@ -32,7 +38,14 @@ fn parse_models(spec: &str) -> Vec<ModelKind> {
 
 fn main() {
     let args = HarnessArgs::parse();
-    let config = args.config();
+    let mut config = args.config();
+    if let Some(dir) = args.value_of("--checkpoint-dir") {
+        config.checkpoint_dir = Some(dir.into());
+    }
+    config.resume = args.has_flag("--resume");
+    if config.resume && config.checkpoint_dir.is_none() {
+        panic!("--resume needs --checkpoint-dir");
+    }
     let models = args
         .value_of("--models")
         .map(parse_models)

@@ -1,5 +1,7 @@
 //! Pipeline and model configuration with small/paper scale presets.
 
+use std::path::PathBuf;
+
 use nn::LrSchedule;
 use nn::{BertConfig, LstmConfig, PretrainConfig, TrainerConfig, Word2VecConfig};
 use recipedb::{GeneratorConfig, SignalProfile};
@@ -69,6 +71,12 @@ pub struct PipelineConfig {
     pub seed: u64,
     /// Model hyperparameters.
     pub models: ModelHyperparams,
+    /// Directory for per-model training checkpoints (`None` disables
+    /// checkpointing). Each neural model gets a subdirectory.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume each neural model's training from `checkpoint_dir` if a
+    /// readable checkpoint is present.
+    pub resume: bool,
 }
 
 impl PipelineConfig {
@@ -102,6 +110,7 @@ impl PipelineConfig {
             threads: 0,
             seed,
             early_stop_patience: 0,
+            divergence_patience: 3,
         };
         let bert = BertConfig {
             vocab: vocab_max_size + 5,
@@ -125,6 +134,7 @@ impl PipelineConfig {
             threads: 0,
             seed,
             early_stop_patience: 0,
+            divergence_patience: 3,
         };
 
         Self {
@@ -149,6 +159,8 @@ impl PipelineConfig {
                 bert_pretrain_epochs: 4,
                 roberta_pretrain_epochs: 4,
             },
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 

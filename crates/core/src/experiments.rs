@@ -7,7 +7,9 @@ use ml::{
     AdaBoost, AdaBoostConfig, Classifier, DecisionTreeConfig, LinearSvm, LogisticRegression,
     MultinomialNb, RandomForest, RandomForestConfig,
 };
-use nn::{train_word2vec, AdamW, BertClassifier, LstmClassifier, TrainHistory, Trainer};
+use nn::{
+    train_word2vec, AdamW, BertClassifier, FitOptions, LstmClassifier, TrainHistory, Trainer,
+};
 
 use crate::config::PipelineConfig;
 use crate::pipeline::Pipeline;
@@ -157,6 +159,22 @@ fn run_statistical(
     }
 }
 
+/// Checkpoint / resume options for one neural model run: each model gets
+/// its own subdirectory so resuming `table4` resumes every model.
+fn fit_options(config: &PipelineConfig, kind: ModelKind) -> FitOptions {
+    let subdir = match kind {
+        ModelKind::Lstm => "lstm",
+        ModelKind::Bert => "bert",
+        ModelKind::Roberta => "roberta",
+        _ => unreachable!("statistical models are not checkpointed"),
+    };
+    FitOptions {
+        checkpoint_dir: config.checkpoint_dir.as_ref().map(|d| d.join(subdir)),
+        checkpoint_every: 1,
+        resume: config.resume,
+    }
+}
+
 fn run_sequential(
     pipeline: &Pipeline,
     kind: ModelKind,
@@ -189,8 +207,18 @@ fn run_sequential(
             }
             let trainer = Trainer::new(config.models.lstm_trainer);
             let mut opt = AdamW::default();
-            let history = trainer.fit(&mut model, &mut opt, &train, Some(&val));
-            let (_, _, pred, probs) = trainer.evaluate(&model, &test);
+            let history = trainer
+                .fit_with(
+                    &mut model,
+                    &mut opt,
+                    &train,
+                    Some(&val),
+                    &fit_options(config, kind),
+                )
+                .unwrap_or_else(|e| panic!("LSTM training failed: {e}"));
+            let (_, _, pred, probs) = trainer
+                .evaluate(&model, &test)
+                .unwrap_or_else(|e| panic!("LSTM evaluation failed: {e}"));
             (
                 pipeline.evaluate_test(&pred, Some(&probs)),
                 Some(history),
@@ -214,8 +242,18 @@ fn run_sequential(
 
             let trainer = Trainer::new(config.models.finetune);
             let mut opt = AdamW::default();
-            let history = trainer.fit(&mut model, &mut opt, &train, Some(&val));
-            let (_, _, pred, probs) = trainer.evaluate(&model, &test);
+            let history = trainer
+                .fit_with(
+                    &mut model,
+                    &mut opt,
+                    &train,
+                    Some(&val),
+                    &fit_options(config, kind),
+                )
+                .unwrap_or_else(|e| panic!("{} fine-tuning failed: {e}", kind.name()));
+            let (_, _, pred, probs) = trainer
+                .evaluate(&model, &test)
+                .unwrap_or_else(|e| panic!("{} evaluation failed: {e}", kind.name()));
             (
                 pipeline.evaluate_test(&pred, Some(&probs)),
                 Some(history),

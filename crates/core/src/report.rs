@@ -323,12 +323,16 @@ mod tests {
                     train_loss: 2.0,
                     val_loss: Some(2.1),
                     val_accuracy: Some(0.3),
+                    skipped_steps: 0,
+                    rollbacks: 0,
                 },
                 EpochStats {
                     epoch: 1,
                     train_loss: 1.0,
                     val_loss: Some(1.5),
                     val_accuracy: Some(0.5),
+                    skipped_steps: 0,
+                    rollbacks: 0,
                 },
             ],
         });

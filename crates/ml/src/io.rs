@@ -61,6 +61,16 @@ impl LinearModelSnapshot {
                 "ragged weight rows",
             ));
         }
+        // a bit-rotted or hand-edited snapshot must not poison every
+        // downstream decision score
+        let finite = self.bias.iter().all(|b| b.is_finite())
+            && self.weights.iter().flatten().all(|w| w.is_finite());
+        if !finite {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "non-finite weight or bias in model snapshot",
+            ));
+        }
         Ok(LinearModel {
             weights: self.weights,
             bias: self.bias,
@@ -151,6 +161,37 @@ mod tests {
         let path = std::env::temp_dir().join("ml_io_garbage.json");
         std::fs::write(&path, "not json at all").unwrap();
         assert!(load_linear(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_finite_weights_rejected() {
+        let snapshot = LinearModelSnapshot {
+            format: LINEAR_FORMAT.into(),
+            weights: vec![vec![0.0, f32::NAN]],
+            bias: vec![0.0],
+        };
+        let err = snapshot.restore().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("non-finite"), "got: {err}");
+
+        let snapshot = LinearModelSnapshot {
+            format: LINEAR_FORMAT.into(),
+            weights: vec![vec![0.0]],
+            bias: vec![f32::INFINITY],
+        };
+        assert!(snapshot.restore().is_err());
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let (model, _) = trained();
+        let path = std::env::temp_dir().join("ml_io_truncated.json");
+        save_linear(&model, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_linear(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -1,14 +1,78 @@
-//! Checkpointing: save and restore a model's [`ParamStore`] so MLM
-//! pre-training and fine-tuning can run as separate invocations (the
-//! BERT/RoBERTa workflow at paper scale).
+//! Crash-safe checkpointing: save and restore a model's [`ParamStore`]
+//! (and, for resumable training, the full optimizer/trainer state) so
+//! MLM pre-training and fine-tuning can run as separate invocations and
+//! an interrupted run can pick up where it left off.
+//!
+//! # Format v2 (`cuisine-checkpoint-v2`)
+//!
+//! A binary-safe little-endian layout behind a CRC32 payload checksum:
+//!
+//! ```text
+//! magic    22 B  "cuisine-checkpoint-v2\n"
+//! crc32     4 B  IEEE CRC32 of the payload bytes
+//! length    8 B  payload byte count
+//! payload        params + optional TrainState (see encode_payload)
+//! ```
+//!
+//! Every write goes through temp-file + fsync + atomic rename, and
+//! [`CheckpointManager`] keeps a rotating `latest.ckpt` / `previous.ckpt`
+//! pair, so a crash at any instant — including mid-save — leaves at least
+//! one intact checkpoint on disk. Legacy v1 (JSON) files remain readable.
 
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter};
-use std::path::Path;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use autograd::ParamStore;
 use serde::{Deserialize, Serialize};
 use tensor::Tensor;
+
+use crate::optim::{OptimizerSlot, OptimizerState};
+use crate::trainer::{EpochStats, TrainHistory};
+
+/// Magic prefix of a v2 checkpoint file.
+pub const MAGIC_V2: &[u8; 22] = b"cuisine-checkpoint-v2\n";
+
+/// Format tag of legacy v1 (JSON) checkpoints.
+pub const FORMAT_V1: &str = "cuisine-checkpoint-v1";
+
+/// Everything beyond raw weights that a resumed run needs to continue
+/// bit-identically from an epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainState {
+    /// Next epoch to run (checkpoints are cut at epoch boundaries).
+    pub epoch: usize,
+    /// Optimizer steps taken so far (drives the LR schedule).
+    pub step: usize,
+    /// Trainer seed the run was started with (sanity check on resume).
+    pub seed: u64,
+    /// Divergence-guard LR multiplier (halved on every rollback).
+    pub lr_scale: f32,
+    /// Best validation loss seen (early-stopping state).
+    pub best_val: f64,
+    /// Epochs since the last validation improvement.
+    pub stale: usize,
+    /// Per-epoch stats up to the checkpoint.
+    pub history: TrainHistory,
+    /// Optimizer internals (AdamW moments), when the optimizer supports it.
+    pub optimizer: Option<OptimizerState>,
+}
+
+impl Default for TrainState {
+    fn default() -> Self {
+        Self {
+            epoch: 0,
+            step: 0,
+            seed: 0,
+            lr_scale: 1.0,
+            best_val: f64::INFINITY,
+            stale: 0,
+            history: TrainHistory::default(),
+            optimizer: None,
+        }
+    }
+}
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Checkpoint {
@@ -24,12 +88,365 @@ struct ParamRecord {
     data: Vec<f32>,
 }
 
-const FORMAT: &str = "cuisine-checkpoint-v1";
+fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
 
-/// Writes every parameter (name, shape, values) to a JSON checkpoint.
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, the zlib polynomial) — table-driven, no dependencies.
+
+fn crc32(data: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian payload encoding/decoding.
+
+#[derive(Default)]
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn tensor(&mut self, t: &Tensor) {
+        self.u32(t.rows() as u32);
+        self.u32(t.cols() as u32);
+        for &x in t.as_slice() {
+            self.f32(x);
+        }
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+    fn need(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| invalid("truncated checkpoint payload"))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.need(1)?[0])
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.need(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.need(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> io::Result<i64> {
+        Ok(i64::from_le_bytes(self.need(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_le_bytes(self.need(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.need(8)?.try_into().unwrap()))
+    }
+    fn usize(&mut self) -> io::Result<usize> {
+        usize::try_from(self.u64()?).map_err(|_| invalid("count out of range"))
+    }
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.need(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| invalid("non-UTF-8 string in checkpoint"))
+    }
+    fn tensor(&mut self) -> io::Result<Tensor> {
+        let rows = self.u32()? as usize;
+        let cols = self.u32()? as usize;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| invalid("tensor shape overflow"))?;
+        let raw = self.need(n * 4)?;
+        let data = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(Tensor::from_vec(rows, cols, data))
+    }
+    fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn encode_payload(store: &ParamStore, state: Option<&TrainState>) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u32(store.len() as u32);
+    for (_, name, tensor) in store.iter() {
+        e.str(name);
+        e.tensor(tensor);
+    }
+    match state {
+        None => e.u8(0),
+        Some(s) => {
+            e.u8(1);
+            e.usize(s.epoch);
+            e.usize(s.step);
+            e.u64(s.seed);
+            e.f32(s.lr_scale);
+            e.f64(s.best_val);
+            e.usize(s.stale);
+            e.u32(s.history.epochs.len() as u32);
+            for ep in &s.history.epochs {
+                e.usize(ep.epoch);
+                e.f64(ep.train_loss);
+                match ep.val_loss {
+                    Some(v) => {
+                        e.u8(1);
+                        e.f64(v);
+                    }
+                    None => e.u8(0),
+                }
+                match ep.val_accuracy {
+                    Some(v) => {
+                        e.u8(1);
+                        e.f64(v);
+                    }
+                    None => e.u8(0),
+                }
+                e.usize(ep.skipped_steps);
+                e.usize(ep.rollbacks);
+            }
+            match &s.optimizer {
+                None => e.u8(0),
+                Some(opt) => {
+                    e.u8(1);
+                    e.str(&opt.kind);
+                    e.i64(opt.step_count);
+                    e.u32(opt.slots.len() as u32);
+                    for slot in &opt.slots {
+                        e.usize(slot.param);
+                        e.u8(slot.tensors.len() as u8);
+                        for t in &slot.tensors {
+                            e.tensor(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    e.0
+}
+
+fn decode_payload(payload: &[u8]) -> io::Result<(Vec<ParamRecord>, Option<TrainState>)> {
+    let mut d = Dec::new(payload);
+    let n_params = d.u32()? as usize;
+    let mut params = Vec::with_capacity(n_params.min(1 << 16));
+    for _ in 0..n_params {
+        let name = d.str()?;
+        let tensor = d.tensor()?;
+        params.push(ParamRecord {
+            name,
+            rows: tensor.rows(),
+            cols: tensor.cols(),
+            data: tensor.into_vec(),
+        });
+    }
+    let state = if d.u8()? == 1 {
+        let epoch = d.usize()?;
+        let step = d.usize()?;
+        let seed = d.u64()?;
+        let lr_scale = d.f32()?;
+        let best_val = d.f64()?;
+        let stale = d.usize()?;
+        let n_epochs = d.u32()? as usize;
+        let mut history = TrainHistory::default();
+        for _ in 0..n_epochs {
+            let epoch = d.usize()?;
+            let train_loss = d.f64()?;
+            let val_loss = if d.u8()? == 1 { Some(d.f64()?) } else { None };
+            let val_accuracy = if d.u8()? == 1 { Some(d.f64()?) } else { None };
+            let skipped_steps = d.usize()?;
+            let rollbacks = d.usize()?;
+            history.epochs.push(EpochStats {
+                epoch,
+                train_loss,
+                val_loss,
+                val_accuracy,
+                skipped_steps,
+                rollbacks,
+            });
+        }
+        let optimizer = if d.u8()? == 1 {
+            let kind = d.str()?;
+            let step_count = d.i64()?;
+            let n_slots = d.u32()? as usize;
+            let mut slots = Vec::with_capacity(n_slots.min(1 << 16));
+            for _ in 0..n_slots {
+                let param = d.usize()?;
+                let n_tensors = d.u8()? as usize;
+                let mut tensors = Vec::with_capacity(n_tensors);
+                for _ in 0..n_tensors {
+                    tensors.push(d.tensor()?);
+                }
+                slots.push(OptimizerSlot { param, tensors });
+            }
+            Some(OptimizerState {
+                kind,
+                step_count,
+                slots,
+            })
+        } else {
+            None
+        };
+        Some(TrainState {
+            epoch,
+            step,
+            seed,
+            lr_scale,
+            best_val,
+            stale,
+            history,
+            optimizer,
+        })
+    } else {
+        None
+    };
+    if !d.finished() {
+        return Err(invalid("trailing bytes after checkpoint payload"));
+    }
+    Ok((params, state))
+}
+
+fn encode_file(store: &ParamStore, state: Option<&TrainState>) -> Vec<u8> {
+    let payload = encode_payload(store, state);
+    let mut bytes = Vec::with_capacity(MAGIC_V2.len() + 12 + payload.len());
+    bytes.extend_from_slice(MAGIC_V2);
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+fn decode_file(bytes: &[u8]) -> io::Result<(Vec<ParamRecord>, Option<TrainState>)> {
+    let body = &bytes[MAGIC_V2.len()..];
+    if body.len() < 12 {
+        return Err(invalid("truncated checkpoint header"));
+    }
+    let stored_crc = u32::from_le_bytes(body[0..4].try_into().unwrap());
+    let len = u64::from_le_bytes(body[4..12].try_into().unwrap());
+    let payload = &body[12..];
+    if payload.len() as u64 != len {
+        return Err(invalid(format!(
+            "checkpoint payload is {} bytes, header promised {len}",
+            payload.len()
+        )));
+    }
+    let actual = crc32(payload);
+    if actual != stored_crc {
+        return Err(invalid(format!(
+            "checkpoint checksum mismatch: stored {stored_crc:#010x}, computed {actual:#010x}"
+        )));
+    }
+    decode_payload(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file plumbing.
+
+/// Fsyncs a directory so a just-renamed entry survives power loss.
+/// Best-effort: not every platform lets you open a directory.
+fn sync_dir(dir: &Path) {
+    let _ = File::open(dir).and_then(|f| f.sync_all());
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut name = path
+        .file_name()
+        .ok_or_else(|| invalid("checkpoint path has no file name"))?
+        .to_owned();
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    {
+        let mut f = BufWriter::new(File::create(&tmp)?);
+        f.write_all(bytes)?;
+        f.into_inner()?.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        sync_dir(dir);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Public single-file API.
+
+/// Writes every parameter (name, shape, values) to a v2 checkpoint,
+/// atomically (temp file + fsync + rename).
 pub fn save_checkpoint(store: &ParamStore, path: &Path) -> io::Result<()> {
+    write_atomic(path, &encode_file(store, None))
+}
+
+/// Writes parameters plus the full training state (optimizer moments,
+/// counters, history) so the run can be resumed bit-identically.
+pub fn save_checkpoint_with_state(
+    store: &ParamStore,
+    state: &TrainState,
+    path: &Path,
+) -> io::Result<()> {
+    write_atomic(path, &encode_file(store, Some(state)))
+}
+
+/// Writes a legacy v1 (JSON) checkpoint. Kept so older tooling can still
+/// be fed, and as the fixture writer for v1-compatibility tests.
+pub fn save_checkpoint_v1(store: &ParamStore, path: &Path) -> io::Result<()> {
     let checkpoint = Checkpoint {
-        format: FORMAT.to_string(),
+        format: FORMAT_V1.to_string(),
         params: store
             .iter()
             .map(|(_, name, tensor)| ParamRecord {
@@ -40,68 +457,163 @@ pub fn save_checkpoint(store: &ParamStore, path: &Path) -> io::Result<()> {
             })
             .collect(),
     };
-    let w = BufWriter::new(File::create(path)?);
-    serde_json::to_writer(w, &checkpoint).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    let json = serde_json::to_string(&checkpoint).map_err(|e| invalid(e.to_string()))?;
+    write_atomic(path, json.as_bytes())
 }
 
-/// Loads a checkpoint into an existing store built by the same model
-/// constructor: every parameter's name and shape must match exactly, which
-/// catches architecture drift at load time rather than silently.
+/// Loads a checkpoint (v2 binary or legacy v1 JSON) into an existing store
+/// built by the same model constructor: every parameter's name and shape
+/// must match exactly, which catches architecture drift at load time
+/// rather than silently. The store is only mutated after the whole file —
+/// checksum included — has validated.
 ///
 /// # Errors
 ///
-/// `InvalidData` on format mismatch, parameter count/name/shape mismatch,
-/// or corrupt JSON.
+/// `InvalidData` on a truncated or bit-flipped file (CRC mismatch), format
+/// mismatch, or parameter count/name/shape mismatch.
 pub fn load_checkpoint(store: &mut ParamStore, path: &Path) -> io::Result<()> {
-    let r = BufReader::new(File::open(path)?);
-    let checkpoint: Checkpoint =
-        serde_json::from_reader(r).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    if checkpoint.format != FORMAT {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported checkpoint format {:?}", checkpoint.format),
-        ));
+    load_checkpoint_with_state(store, path).map(|_| ())
+}
+
+/// Like [`load_checkpoint`], additionally returning the embedded
+/// [`TrainState`] when the file carries one (v1 files never do).
+pub fn load_checkpoint_with_state(
+    store: &mut ParamStore,
+    path: &Path,
+) -> io::Result<Option<TrainState>> {
+    let bytes = std::fs::read(path)?;
+    let (params, state) = if bytes.starts_with(MAGIC_V2) {
+        decode_file(&bytes)?
+    } else {
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|_| invalid("checkpoint is neither v2 binary nor v1 JSON"))?;
+        let checkpoint: Checkpoint =
+            serde_json::from_str(text).map_err(|e| invalid(e.to_string()))?;
+        if checkpoint.format != FORMAT_V1 {
+            return Err(invalid(format!(
+                "unsupported checkpoint format {:?}",
+                checkpoint.format
+            )));
+        }
+        (checkpoint.params, None)
+    };
+    apply_records(store, params)?;
+    Ok(state)
+}
+
+/// Validates `records` against `store` (count, names, shapes), then — and
+/// only then — overwrites the store's tensors.
+fn apply_records(store: &mut ParamStore, records: Vec<ParamRecord>) -> io::Result<()> {
+    if records.len() != store.len() {
+        return Err(invalid(format!(
+            "checkpoint has {} parameters, model has {}",
+            records.len(),
+            store.len()
+        )));
     }
-    if checkpoint.params.len() != store.len() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "checkpoint has {} parameters, model has {}",
-                checkpoint.params.len(),
-                store.len()
-            ),
-        ));
-    }
-    // validate everything before mutating anything
-    for (record, id) in checkpoint
-        .params
-        .iter()
-        .zip(store.ids().collect::<Vec<_>>())
-    {
+    let ids: Vec<_> = store.ids().collect();
+    for (record, &id) in records.iter().zip(&ids) {
         if record.name != store.name(id) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "parameter name mismatch: {:?} vs {:?}",
-                    record.name,
-                    store.name(id)
-                ),
-            ));
+            return Err(invalid(format!(
+                "parameter name mismatch: {:?} vs {:?}",
+                record.name,
+                store.name(id)
+            )));
         }
         if store.get(id).shape() != (record.rows, record.cols)
             || record.data.len() != record.rows * record.cols
         {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("shape mismatch for parameter {:?}", record.name),
-            ));
+            return Err(invalid(format!(
+                "shape mismatch for parameter {:?}",
+                record.name
+            )));
         }
     }
-    let ids: Vec<_> = store.ids().collect();
-    for (record, id) in checkpoint.params.into_iter().zip(ids) {
+    for (record, id) in records.into_iter().zip(ids) {
         *store.get_mut(id) = Tensor::from_vec(record.rows, record.cols, record.data);
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Rotating latest/previous checkpoint pair.
+
+/// Manages a checkpoint directory holding a rotating `latest.ckpt` /
+/// `previous.ckpt` pair. Saves go tmp → fsync → rotate → rename, so a
+/// crash at any point leaves at least one intact checkpoint; loads fall
+/// back from a corrupt `latest` to `previous` automatically.
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    dir: PathBuf,
+}
+
+impl CheckpointManager {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The managed directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the newest checkpoint.
+    pub fn latest_path(&self) -> PathBuf {
+        self.dir.join("latest.ckpt")
+    }
+
+    /// Path of the second-newest checkpoint (the rollback target while a
+    /// new `latest` is being cut).
+    pub fn previous_path(&self) -> PathBuf {
+        self.dir.join("previous.ckpt")
+    }
+
+    /// Saves a checkpoint, rotating `latest` → `previous` first. The new
+    /// file is fully written and fsynced *before* the rotation touches the
+    /// old pair, so no crash window loses the last good state.
+    pub fn save(&self, store: &ParamStore, state: Option<&TrainState>) -> io::Result<()> {
+        let bytes = encode_file(store, state);
+        let tmp = self.dir.join("incoming.ckpt.tmp");
+        {
+            let mut f = BufWriter::new(File::create(&tmp)?);
+            f.write_all(&bytes)?;
+            f.into_inner()?.sync_all()?;
+        }
+        let latest = self.latest_path();
+        if latest.exists() {
+            std::fs::rename(&latest, self.previous_path())?;
+        }
+        std::fs::rename(&tmp, &latest)?;
+        sync_dir(&self.dir);
+        Ok(())
+    }
+
+    /// Loads the newest readable checkpoint into `store`, falling back to
+    /// `previous.ckpt` when `latest.ckpt` is missing or corrupt. Returns
+    /// `Ok(None)` when the directory holds no checkpoint at all (a fresh
+    /// run); a params-only file yields a default [`TrainState`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the last decode error when checkpoint files exist but
+    /// none of them validates.
+    pub fn load_latest(&self, store: &mut ParamStore) -> io::Result<Option<TrainState>> {
+        let mut last_err: Option<io::Error> = None;
+        for path in [self.latest_path(), self.previous_path()] {
+            match load_checkpoint_with_state(store, &path) {
+                Ok(state) => return Ok(Some(state.unwrap_or_default())),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match last_err {
+            Some(e) => Err(e),
+            None => Ok(None),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -128,10 +640,39 @@ mod tests {
         )
     }
 
+    fn sample_state() -> TrainState {
+        TrainState {
+            epoch: 3,
+            step: 17,
+            seed: 42,
+            lr_scale: 0.5,
+            best_val: 0.25,
+            stale: 1,
+            history: TrainHistory {
+                epochs: vec![EpochStats {
+                    epoch: 0,
+                    train_loss: 1.5,
+                    val_loss: Some(1.25),
+                    val_accuracy: None,
+                    skipped_steps: 2,
+                    rollbacks: 1,
+                }],
+            },
+            optimizer: Some(OptimizerState {
+                kind: "adamw".into(),
+                step_count: 17,
+                slots: vec![OptimizerSlot {
+                    param: 0,
+                    tensors: vec![Tensor::ones(2, 3), Tensor::full(2, 3, 0.5)],
+                }],
+            }),
+        }
+    }
+
     #[test]
     fn roundtrip_restores_weights() {
         let a = model(1);
-        let path = std::env::temp_dir().join("nn_checkpoint_roundtrip.json");
+        let path = std::env::temp_dir().join("nn_checkpoint_roundtrip.ckpt");
         save_checkpoint(a.store(), &path).unwrap();
 
         let mut b = model(2); // different init
@@ -144,10 +685,22 @@ mod tests {
     }
 
     #[test]
+    fn train_state_roundtrips_exactly() {
+        let a = model(8);
+        let path = std::env::temp_dir().join("nn_checkpoint_state.ckpt");
+        let state = sample_state();
+        save_checkpoint_with_state(a.store(), &state, &path).unwrap();
+        let mut b = model(9);
+        let loaded = load_checkpoint_with_state(b.store_mut(), &path).unwrap();
+        assert_eq!(loaded, Some(state));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn restored_model_predicts_identically() {
         use autograd::Graph;
         let a = model(3);
-        let path = std::env::temp_dir().join("nn_checkpoint_identical.json");
+        let path = std::env::temp_dir().join("nn_checkpoint_identical.ckpt");
         save_checkpoint(a.store(), &path).unwrap();
         let mut b = model(4);
         load_checkpoint(b.store_mut(), &path).unwrap();
@@ -162,9 +715,65 @@ mod tests {
     }
 
     #[test]
+    fn v1_json_checkpoint_still_loads() {
+        let a = model(10);
+        let path = std::env::temp_dir().join("nn_checkpoint_v1.json");
+        save_checkpoint_v1(a.store(), &path).unwrap();
+        let mut b = model(11);
+        let state = load_checkpoint_with_state(b.store_mut(), &path).unwrap();
+        assert_eq!(state, None);
+        for (id, _, tensor) in a.store().iter() {
+            assert_eq!(tensor, b.store().get(id));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Asserts `store` holds exactly the same tensors as `reference`.
+    fn assert_unchanged(store: &ParamStore, reference: &ParamStore) {
+        for (id, _, tensor) in reference.iter() {
+            assert_eq!(tensor, store.get(id), "store mutated by failed load");
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_without_mutation() {
+        let a = model(12);
+        let path = std::env::temp_dir().join("nn_checkpoint_truncated.ckpt");
+        save_checkpoint(a.store(), &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for keep in [10usize, MAGIC_V2.len() + 4, full.len() - 3] {
+            std::fs::write(&path, &full[..keep]).unwrap();
+            let mut b = model(13);
+            let pristine = b.store().clone();
+            let err = load_checkpoint(b.store_mut(), &path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "keep = {keep}");
+            assert_unchanged(b.store(), &pristine);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_crc_without_mutation() {
+        let a = model(14);
+        let path = std::env::temp_dir().join("nn_checkpoint_bitflip.ckpt");
+        save_checkpoint(a.store(), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = (MAGIC_V2.len() + 12 + bytes.len() / 2) % bytes.len(); // in the payload
+        bytes[victim] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut b = model(15);
+        let pristine = b.store().clone();
+        let err = load_checkpoint(b.store_mut(), &path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+        assert_unchanged(b.store(), &pristine);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn architecture_mismatch_is_rejected() {
         let a = model(5);
-        let path = std::env::temp_dir().join("nn_checkpoint_mismatch.json");
+        let path = std::env::temp_dir().join("nn_checkpoint_mismatch.ckpt");
         save_checkpoint(a.store(), &path).unwrap();
 
         let mut rng = StdRng::seed_from_u64(6);
@@ -180,8 +789,10 @@ mod tests {
             },
             &mut rng,
         );
+        let pristine = other.store().clone();
         let err = load_checkpoint(other.store_mut(), &path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_unchanged(other.store(), &pristine);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -192,5 +803,64 @@ mod tests {
         let mut m = model(7);
         assert!(load_checkpoint(m.store_mut(), &path).is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn manager_rotates_latest_to_previous() {
+        let dir = std::env::temp_dir().join("nn_ckpt_mgr_rotate");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        let a = model(20);
+        let b = model(21);
+
+        let mut probe = model(22);
+        assert_eq!(mgr.load_latest(probe.store_mut()).unwrap(), None);
+
+        mgr.save(a.store(), None).unwrap();
+        assert!(mgr.latest_path().exists());
+        assert!(!mgr.previous_path().exists());
+
+        mgr.save(b.store(), Some(&sample_state())).unwrap();
+        assert!(mgr.previous_path().exists());
+
+        // latest must now hold b's weights (and the state)
+        let state = mgr.load_latest(probe.store_mut()).unwrap().unwrap();
+        assert_eq!(state.epoch, 3);
+        for (id, _, tensor) in b.store().iter() {
+            assert_eq!(tensor, probe.store().get(id));
+        }
+
+        // previous must hold a's weights
+        let mut prev = model(23);
+        load_checkpoint(prev.store_mut(), &mgr.previous_path()).unwrap();
+        for (id, _, tensor) in a.store().iter() {
+            assert_eq!(tensor, prev.store().get(id));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manager_falls_back_to_previous_when_latest_is_corrupt() {
+        let dir = std::env::temp_dir().join("nn_ckpt_mgr_fallback");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        let a = model(24);
+        let b = model(25);
+        mgr.save(a.store(), None).unwrap();
+        mgr.save(b.store(), None).unwrap();
+
+        // simulate a crash mid-save: latest is truncated garbage
+        crate::faults::disk::truncate(&mgr.latest_path(), 40).unwrap();
+
+        let mut probe = model(26);
+        mgr.load_latest(probe.store_mut()).unwrap().unwrap();
+        for (id, _, tensor) in a.store().iter() {
+            assert_eq!(tensor, probe.store().get(id));
+        }
+
+        // both corrupt → error, not a silent fresh start
+        crate::faults::disk::truncate(&mgr.previous_path(), 40).unwrap();
+        assert!(mgr.load_latest(probe.store_mut()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,152 @@
+//! Deterministic fault injection for fault-tolerance testing.
+//!
+//! The trainer's hot paths carry tiny probes (`take`) that normally cost a
+//! single relaxed atomic load. Tests arm a fault with [`inject`]; the next
+//! `n` probes of that kind then fire exactly once each and the fault
+//! disarms itself, so a recovery path (inline retry, checkpoint rollback)
+//! sees a clean world afterwards — the same one-shot shape as a transient
+//! hardware or OOM event.
+//!
+//! The machinery is compiled only for test builds (`cfg(test)`) or when
+//! the `fault-injection` cargo feature is on; release builds get an
+//! inlined always-false stub and no way to arm anything.
+//!
+//! Fault state is process-global. Tests that arm faults must hold
+//! [`test_guard`] for their whole body so concurrently running tests do
+//! not steal each other's injections.
+
+/// The injectable failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A training worker thread panics mid-shard.
+    WorkerPanic,
+    /// A minibatch loss comes back as NaN (diverged step).
+    NanLoss,
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+mod armed {
+    use super::FaultKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, MutexGuard};
+
+    static WORKER_PANIC: AtomicUsize = AtomicUsize::new(0);
+    static NAN_LOSS: AtomicUsize = AtomicUsize::new(0);
+
+    fn cell(kind: FaultKind) -> &'static AtomicUsize {
+        match kind {
+            FaultKind::WorkerPanic => &WORKER_PANIC,
+            FaultKind::NanLoss => &NAN_LOSS,
+        }
+    }
+
+    /// Arms `kind` to fire on the next `times` probes.
+    pub fn inject(kind: FaultKind, times: usize) {
+        cell(kind).store(times, Ordering::SeqCst);
+    }
+
+    /// Disarms every fault.
+    pub fn reset() {
+        inject(FaultKind::WorkerPanic, 0);
+        inject(FaultKind::NanLoss, 0);
+    }
+
+    /// Shots left before `kind` disarms.
+    pub fn remaining(kind: FaultKind) -> usize {
+        cell(kind).load(Ordering::SeqCst)
+    }
+
+    /// Probe: consumes one armed shot of `kind`, if any.
+    pub fn take(kind: FaultKind) -> bool {
+        cell(kind)
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Serialises tests that touch the global fault state.
+    pub fn test_guard() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+pub use armed::{inject, remaining, reset, take, test_guard};
+
+/// Probe stub for builds without fault injection: never fires.
+#[cfg(not(any(test, feature = "fault-injection")))]
+#[inline(always)]
+pub fn take(_kind: FaultKind) -> bool {
+    false
+}
+
+/// On-disk corruption helpers: simulate a crash mid-write or silent media
+/// corruption against checkpoint (or any other) files.
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod disk {
+    use std::io;
+    use std::path::Path;
+
+    /// Truncates `path` to `keep` bytes — what a crash mid-write leaves.
+    pub fn truncate(path: &Path, keep: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(keep)
+    }
+
+    /// Flips one bit of the byte at `offset` in place — silent corruption
+    /// that only a checksum can catch.
+    pub fn flip_bit(path: &Path, offset: usize, bit: u8) -> io::Result<()> {
+        let mut data = std::fs::read(path)?;
+        if offset >= data.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("offset {offset} past end of {} bytes", data.len()),
+            ));
+        }
+        data[offset] ^= 1 << (bit % 8);
+        std::fs::write(path, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_fire_exactly_n_times() {
+        let _guard = test_guard();
+        reset();
+        assert!(!take(FaultKind::NanLoss));
+        inject(FaultKind::NanLoss, 2);
+        assert_eq!(remaining(FaultKind::NanLoss), 2);
+        assert!(take(FaultKind::NanLoss));
+        assert!(take(FaultKind::NanLoss));
+        assert!(!take(FaultKind::NanLoss));
+        assert_eq!(remaining(FaultKind::NanLoss), 0);
+    }
+
+    #[test]
+    fn kinds_are_independent() {
+        let _guard = test_guard();
+        reset();
+        inject(FaultKind::WorkerPanic, 1);
+        assert!(!take(FaultKind::NanLoss));
+        assert!(take(FaultKind::WorkerPanic));
+        reset();
+    }
+
+    #[test]
+    fn disk_truncate_and_flip() {
+        let dir = std::env::temp_dir().join("nn_faults_disk");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        std::fs::write(&path, [0u8; 16]).unwrap();
+        disk::flip_bit(&path, 3, 9).unwrap(); // bit index wraps mod 8
+        assert_eq!(std::fs::read(&path).unwrap()[3], 0b10);
+        disk::truncate(&path, 4).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap().len(), 4);
+        assert!(disk::flip_bit(&path, 99, 0).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -21,6 +21,7 @@ pub mod attention;
 pub mod batch;
 pub mod bert;
 pub mod checkpoint;
+pub mod faults;
 pub mod layers;
 pub mod lstm;
 pub mod optim;
@@ -32,11 +33,16 @@ pub mod word2vec;
 pub use attention::MultiHeadAttention;
 pub use batch::BatchIterator;
 pub use bert::{BertClassifier, BertConfig, PretrainConfig, PretrainStats};
-pub use checkpoint::{load_checkpoint, save_checkpoint};
+pub use checkpoint::{
+    load_checkpoint, load_checkpoint_with_state, save_checkpoint, save_checkpoint_v1,
+    save_checkpoint_with_state, CheckpointManager, TrainState,
+};
 pub use layers::{Embedding, LayerNorm, Linear};
 pub use lstm::{LstmCell, LstmClassifier, LstmConfig, LstmLayer, LstmPooling};
-pub use optim::{AdamW, AdamWConfig, Optimizer, Sgd};
+pub use optim::{AdamW, AdamWConfig, Optimizer, OptimizerSlot, OptimizerState, Sgd};
 pub use schedule::LrSchedule;
-pub use trainer::{EpochStats, SequenceModel, TrainHistory, Trainer, TrainerConfig};
+pub use trainer::{
+    EpochStats, FitOptions, SequenceModel, TrainError, TrainHistory, Trainer, TrainerConfig,
+};
 pub use transformer::{EncoderLayer, TransformerEncoder};
 pub use word2vec::{train_word2vec, Word2VecConfig, WordEmbeddings};

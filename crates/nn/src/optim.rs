@@ -3,11 +3,50 @@
 use autograd::{ParamId, ParamStore};
 use tensor::Tensor;
 
+/// Serializable snapshot of an optimizer's internal state, carried inside
+/// v2 checkpoints so a resumed run continues bit-identically (AdamW's
+/// moment estimates, SGD's velocity).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptimizerState {
+    /// Which optimizer produced this state (import refuses a mismatch).
+    pub kind: String,
+    /// Update steps taken so far (drives AdamW bias correction).
+    pub step_count: i64,
+    /// Per-parameter auxiliary tensors, keyed by parameter index.
+    pub slots: Vec<OptimizerSlot>,
+}
+
+/// The auxiliary tensors one parameter holds inside an [`OptimizerState`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerSlot {
+    /// Index of the parameter inside its store.
+    pub param: usize,
+    /// State tensors in optimizer-defined order (AdamW: `[m, v]`).
+    pub tensors: Vec<Tensor>,
+}
+
 /// An optimizer applies accumulated gradients to a parameter store.
 pub trait Optimizer {
     /// Applies one update step. `grads` holds `(param, gradient)` pairs
     /// (already summed over the batch); `lr` is the current learning rate.
     fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)], lr: f32);
+
+    /// Snapshot of the internal state for checkpointing. `None` means the
+    /// optimizer is stateless (or does not support resumption); resumed
+    /// runs then restart it fresh.
+    fn export_state(&self) -> Option<OptimizerState> {
+        None
+    }
+
+    /// Restores a snapshot produced by [`Optimizer::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the snapshot belongs to a different
+    /// optimizer kind or has a malformed shape.
+    fn import_state(&mut self, _state: &OptimizerState) -> Result<(), String> {
+        Err("this optimizer does not support checkpointed state".to_string())
+    }
 }
 
 /// Stochastic gradient descent with optional momentum.
@@ -35,6 +74,9 @@ impl Sgd {
     }
 }
 
+const SGD_KIND: &str = "sgd";
+const ADAMW_KIND: &str = "adamw";
+
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)], lr: f32) {
         for (id, grad) in grads {
@@ -49,6 +91,45 @@ impl Optimizer for Sgd {
                 store.get_mut(*id).axpy(-lr, grad);
             }
         }
+    }
+
+    fn export_state(&self) -> Option<OptimizerState> {
+        Some(OptimizerState {
+            kind: SGD_KIND.to_string(),
+            step_count: 0,
+            slots: self
+                .velocity
+                .iter()
+                .enumerate()
+                .filter_map(|(param, v)| {
+                    v.as_ref().map(|v| OptimizerSlot {
+                        param,
+                        tensors: vec![v.clone()],
+                    })
+                })
+                .collect(),
+        })
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) -> Result<(), String> {
+        if state.kind != SGD_KIND {
+            return Err(format!("optimizer state is {:?}, expected sgd", state.kind));
+        }
+        self.velocity.clear();
+        for slot in &state.slots {
+            let [v] = slot.tensors.as_slice() else {
+                return Err(format!(
+                    "sgd slot for param {} has {} tensors, expected 1",
+                    slot.param,
+                    slot.tensors.len()
+                ));
+            };
+            if self.velocity.len() <= slot.param {
+                self.velocity.resize(slot.param + 1, None);
+            }
+            self.velocity[slot.param] = Some(v.clone());
+        }
+        Ok(())
     }
 }
 
@@ -145,6 +226,51 @@ impl Optimizer for AdamW {
             }
         }
     }
+
+    fn export_state(&self) -> Option<OptimizerState> {
+        Some(OptimizerState {
+            kind: ADAMW_KIND.to_string(),
+            step_count: i64::from(self.t),
+            slots: self
+                .moments
+                .iter()
+                .enumerate()
+                .filter_map(|(param, mv)| {
+                    mv.as_ref().map(|(m, v)| OptimizerSlot {
+                        param,
+                        tensors: vec![m.clone(), v.clone()],
+                    })
+                })
+                .collect(),
+        })
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) -> Result<(), String> {
+        if state.kind != ADAMW_KIND {
+            return Err(format!(
+                "optimizer state is {:?}, expected adamw",
+                state.kind
+            ));
+        }
+        let t = i32::try_from(state.step_count)
+            .map_err(|_| format!("adamw step count {} out of range", state.step_count))?;
+        self.t = t;
+        self.moments.clear();
+        for slot in &state.slots {
+            let [m, v] = slot.tensors.as_slice() else {
+                return Err(format!(
+                    "adamw slot for param {} has {} tensors, expected 2",
+                    slot.param,
+                    slot.tensors.len()
+                ));
+            };
+            if self.moments.len() <= slot.param {
+                self.moments.resize(slot.param + 1, None);
+            }
+            self.moments[slot.param] = Some((m.clone(), v.clone()));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -233,5 +359,61 @@ mod tests {
     #[should_panic(expected = "momentum must be")]
     fn invalid_momentum_rejected() {
         let _ = Sgd::new(1.5);
+    }
+
+    #[test]
+    fn adamw_state_roundtrip_resumes_identically() {
+        let (mut store_a, wa) = quadratic_setup();
+        let mut opt_a = AdamW::default();
+        for _ in 0..7 {
+            let g = grad_of(&store_a, wa);
+            opt_a.step(&mut store_a, &g, 0.05);
+        }
+
+        // clone the trajectory into a fresh optimizer via export/import
+        let state = opt_a.export_state().unwrap();
+        assert_eq!(state.kind, "adamw");
+        let mut opt_b = AdamW::default();
+        opt_b.import_state(&state).unwrap();
+        assert_eq!(opt_b.steps(), opt_a.steps());
+
+        let mut store_b = store_a.clone();
+        for _ in 0..5 {
+            let ga = grad_of(&store_a, wa);
+            opt_a.step(&mut store_a, &ga, 0.05);
+            let gb = grad_of(&store_b, wa);
+            opt_b.step(&mut store_b, &gb, 0.05);
+        }
+        assert_eq!(store_a.get(wa), store_b.get(wa));
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_resumes_identically() {
+        let (mut store_a, wa) = quadratic_setup();
+        let mut opt_a = Sgd::new(0.9);
+        for _ in 0..4 {
+            let g = grad_of(&store_a, wa);
+            opt_a.step(&mut store_a, &g, 0.05);
+        }
+        let state = opt_a.export_state().unwrap();
+        let mut opt_b = Sgd::new(0.9);
+        opt_b.import_state(&state).unwrap();
+        let mut store_b = store_a.clone();
+        for _ in 0..4 {
+            let ga = grad_of(&store_a, wa);
+            opt_a.step(&mut store_a, &ga, 0.05);
+            let gb = grad_of(&store_b, wa);
+            opt_b.step(&mut store_b, &gb, 0.05);
+        }
+        assert_eq!(store_a.get(wa), store_b.get(wa));
+    }
+
+    #[test]
+    fn cross_kind_import_is_rejected() {
+        let mut sgd = Sgd::new(0.5);
+        let adamw_state = AdamW::default().export_state().unwrap();
+        assert!(sgd.import_state(&adamw_state).is_err());
+        let mut adamw = AdamW::default();
+        assert!(adamw.import_state(&sgd.export_state().unwrap()).is_err());
     }
 }

@@ -47,13 +47,79 @@ pub fn write_jsonl(dataset: &Dataset, path: &Path) -> io::Result<()> {
     w.flush()
 }
 
+/// What a lossy load encountered, for caller-side logging and policy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Non-empty recipe lines seen after the header.
+    pub lines: usize,
+    /// Recipes parsed successfully.
+    pub loaded: usize,
+    /// Malformed lines skipped.
+    pub skipped: usize,
+    /// Recipe count the header promised.
+    pub promised: usize,
+    /// Parse error of the first skipped line, for diagnostics.
+    pub first_error: Option<String>,
+}
+
+impl LoadReport {
+    /// One-line human summary (`"1200 recipes (3 malformed lines skipped)"`).
+    pub fn summary(&self) -> String {
+        if self.skipped == 0 {
+            format!("{} recipes", self.loaded)
+        } else {
+            format!(
+                "{} recipes ({} malformed line{} skipped)",
+                self.loaded,
+                self.skipped,
+                if self.skipped == 1 { "" } else { "s" }
+            )
+        }
+    }
+}
+
 /// Reads a dataset previously written by [`write_jsonl`].
+///
+/// Strict: any malformed recipe line or a count mismatch against the
+/// header is an error. Use [`read_jsonl_lossy`] to salvage what parses.
 ///
 /// # Errors
 ///
 /// Returns `InvalidData` on a missing/garbled header, a format-version
-/// mismatch, or a recipe count that disagrees with the header.
+/// mismatch, a malformed recipe line, or a recipe count that disagrees
+/// with the header.
 pub fn read_jsonl(path: &Path) -> io::Result<Dataset> {
+    let (dataset, report) = read_jsonl_lossy(path)?;
+    if report.skipped > 0 {
+        let detail = report.first_error.unwrap_or_default();
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad recipe: {detail}"),
+        ));
+    }
+    if report.loaded != report.promised {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "header promised {} recipes, found {}",
+                report.promised, report.loaded
+            ),
+        ));
+    }
+    Ok(dataset)
+}
+
+/// Reads a corpus, skipping malformed recipe lines instead of failing —
+/// the degraded-mode loader for partially corrupted corpus files. The
+/// [`LoadReport`] says how much was salvaged; callers decide whether a
+/// partial corpus is acceptable.
+///
+/// # Errors
+///
+/// The header must still be intact: `InvalidData` on a missing/garbled
+/// header or format-version mismatch (without it the entity table cannot
+/// be rebuilt, so nothing is salvageable).
+pub fn read_jsonl_lossy(path: &Path) -> io::Result<(Dataset, LoadReport)> {
     let mut lines = BufReader::new(File::open(path)?).lines();
     let header_line = lines
         .next()
@@ -69,26 +135,30 @@ pub fn read_jsonl(path: &Path) -> io::Result<Dataset> {
 
     let table = EntityTable::synthesize(header.ingredients, header.processes, header.utensils);
     let mut recipes = Vec::with_capacity(header.recipes);
+    let mut report = LoadReport {
+        promised: header.recipes,
+        ..LoadReport::default()
+    };
     for line in lines {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let recipe: Recipe = serde_json::from_str(&line)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad recipe: {e}")))?;
-        recipes.push(recipe);
+        report.lines += 1;
+        match serde_json::from_str::<Recipe>(&line) {
+            Ok(recipe) => {
+                recipes.push(recipe);
+                report.loaded += 1;
+            }
+            Err(e) => {
+                report.skipped += 1;
+                if report.first_error.is_none() {
+                    report.first_error = Some(e.to_string());
+                }
+            }
+        }
     }
-    if recipes.len() != header.recipes {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "header promised {} recipes, found {}",
-                header.recipes,
-                recipes.len()
-            ),
-        ));
-    }
-    Ok(Dataset { table, recipes })
+    Ok((Dataset { table, recipes }, report))
 }
 
 #[cfg(test)]
@@ -152,6 +222,67 @@ mod tests {
         std::fs::write(&path, truncated[..truncated.len() - 1].join("\n")).unwrap();
         let err = read_jsonl(&path).unwrap_err();
         assert!(err.to_string().contains("promised"), "got: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lossy_load_skips_garbage_lines_and_reports_them() {
+        let dir = std::env::temp_dir().join("recipedb_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lossy.jsonl");
+        let d = sample();
+        write_jsonl(&d, &path).unwrap();
+        // splice garbage between the two valid recipes
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = contents.lines().collect();
+        lines.insert(2, "{\"id\": 7, \"cuisine\":"); // truncated mid-object
+        lines.insert(3, "totally not json");
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        // strict loader refuses
+        let err = read_jsonl(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bad recipe"), "got: {err}");
+
+        // lossy loader salvages both real recipes and counts the damage
+        let (back, report) = read_jsonl_lossy(&path).unwrap();
+        assert_eq!(back.recipes, d.recipes);
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.lines, 4);
+        assert_eq!(report.promised, 2);
+        assert!(report.first_error.is_some());
+        assert!(report.summary().contains("2 malformed lines skipped"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lossy_load_of_truncated_tail_reports_shortfall() {
+        let dir = std::env::temp_dir().join("recipedb_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lossy_truncated.jsonl");
+        let d = sample();
+        write_jsonl(&d, &path).unwrap();
+        // crash mid-write: the final recipe line is cut short
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &contents[..contents.len() - 10]).unwrap();
+        let (back, report) = read_jsonl_lossy(&path).unwrap();
+        assert_eq!(back.recipes.len(), 1);
+        assert_eq!(report.loaded, 1);
+        assert_eq!(report.skipped, 1);
+        assert!(report.loaded < report.promised);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lossy_load_still_requires_a_header() {
+        let dir = std::env::temp_dir().join("recipedb_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lossy_headerless.jsonl");
+        std::fs::write(&path, "not json\n").unwrap();
+        let err = read_jsonl_lossy(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bad header"), "got: {err}");
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -41,7 +41,7 @@ mod vocab;
 pub use dataset::{Dataset, Recipe, RecipeId};
 pub use entities::{EntityId, EntityKind, EntityTable};
 pub use generator::{generate, GeneratorConfig, SignalProfile};
-pub use io::{read_jsonl, write_jsonl};
+pub use io::{read_jsonl, read_jsonl_lossy, write_jsonl, LoadReport};
 pub use split::{train_val_test_split, Split};
 pub use stats::{
     cumulative_spectrum, length_histogram, DatasetStats, SpectrumRow, PAPER_TABLE3_HIGH,

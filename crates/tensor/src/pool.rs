@@ -61,6 +61,10 @@ struct State {
     tiles: usize,
     next: usize,
     done: usize,
+    /// First panic message raised by a tile of the current job, if any.
+    /// Workers survive the panic; the submitter re-raises it after the
+    /// job drains so the failure surfaces on the calling thread.
+    panicked: Option<String>,
 }
 
 struct Inner {
@@ -70,12 +74,12 @@ struct Inner {
     /// Held by the active submitter; `try_lock` failure means "pool busy,
     /// run inline".
     submit: Mutex<()>,
-    workers: usize,
 }
 
 /// A persistent tile-claiming thread pool. See the module docs.
 pub struct Pool {
     inner: Arc<Inner>,
+    workers: usize,
 }
 
 fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
@@ -84,7 +88,9 @@ fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
 
 impl Pool {
     /// Spawns `workers` background threads. `Pool::new(0)` is valid and
-    /// always runs jobs inline on the submitting thread.
+    /// always runs jobs inline on the submitting thread. If the OS refuses
+    /// to spawn some of the requested threads, the pool degrades to however
+    /// many it got (possibly zero) instead of aborting the process.
     pub fn new(workers: usize) -> Self {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
@@ -93,32 +99,39 @@ impl Pool {
                 tiles: 0,
                 next: 0,
                 done: 0,
+                panicked: None,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             submit: Mutex::new(()),
-            workers,
         });
+        let mut spawned = 0;
         for _ in 0..workers {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
+            let worker_inner = Arc::clone(&inner);
+            if std::thread::Builder::new()
                 .name("tensor-pool".into())
-                .spawn(move || worker_loop(&inner))
-                .expect("failed to spawn tensor pool worker");
+                .spawn(move || worker_loop(&worker_inner))
+                .is_ok()
+            {
+                spawned += 1;
+            }
         }
-        Self { inner }
+        Self {
+            inner,
+            workers: spawned,
+        }
     }
 
     /// Number of background workers (the submitter adds one more).
     pub fn workers(&self) -> usize {
-        self.inner.workers
+        self.workers
     }
 
     /// Runs `task(t)` for every `t in 0..tiles`, sharing the work with the
     /// pool. Blocks until all tiles have completed. Falls back to running
     /// inline when the pool has no workers or is already busy.
     pub fn run(&self, tiles: usize, task: &(dyn Fn(usize) + Sync)) {
-        if self.inner.workers == 0 || tiles <= 1 {
+        if self.workers == 0 || tiles <= 1 {
             for t in 0..tiles {
                 task(t);
             }
@@ -144,6 +157,7 @@ impl Pool {
             s.tiles = tiles;
             s.next = 0;
             s.done = 0;
+            s.panicked = None;
             self.inner.work_cv.notify_all();
             s.epoch
         };
@@ -157,6 +171,13 @@ impl Pool {
                 .unwrap_or_else(PoisonError::into_inner);
         }
         s.task = None;
+        // A tile panicked on a worker thread: the worker survived (it only
+        // recorded the message), so re-raise here where the caller can see
+        // it — or catch it, as the trainer's panic-safe shards do.
+        if let Some(message) = s.panicked.take() {
+            drop(s);
+            panic!("tensor pool task panicked: {message}");
+        }
     }
 }
 
@@ -193,7 +214,26 @@ fn run_claimed(inner: &Inner, epoch: u64, task: &(dyn Fn(usize) + Sync)) {
         // The guard counts the tile as done even if `task` panics, so the
         // submitter can never be left waiting forever.
         let _done = DoneGuard { inner, epoch };
-        task(t);
+        // Contain the panic on this side: a poisoned tile must not kill a
+        // persistent worker thread (the pool would silently shrink). The
+        // submitter re-raises the recorded message after the job drains.
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(t))) {
+            let mut s = lock(&inner.state);
+            if s.epoch == epoch && s.panicked.is_none() {
+                s.panicked = Some(panic_message(payload.as_ref()));
+            }
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -314,5 +354,28 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn panicking_tile_surfaces_on_submitter_and_pool_survives() {
+        let pool = Pool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, &|t| {
+                if t == 3 {
+                    panic!("tile 3 is poisoned");
+                }
+            });
+        }));
+        let message = panic_message(caught.unwrap_err().as_ref());
+        assert!(message.contains("tile 3 is poisoned"), "got: {message}");
+
+        // every worker must still be alive and the pool reusable
+        for _ in 0..20 {
+            let count = AtomicUsize::new(0);
+            pool.run(9, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 9);
+        }
     }
 }

@@ -16,4 +16,12 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
+# The fault-tolerance suite exercises panic containment and shard merging,
+# whose code paths differ between serial and parallel pools — run both.
+echo "== fault tolerance (single-threaded pool) =="
+TENSOR_THREADS=1 cargo test -q -p cuisine --test fault_tolerance
+
+echo "== fault tolerance (multi-threaded pool) =="
+TENSOR_THREADS=4 cargo test -q -p cuisine --test fault_tolerance
+
 echo "all checks passed"
