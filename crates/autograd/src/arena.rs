@@ -13,11 +13,22 @@
 //! the whole buffer, so stale contents are never observable.
 
 use tensor::Tensor;
+use trace::{Counter, Gauge};
+
+/// Backward deltas served from a recycled buffer.
+static ARENA_RECYCLED: Counter = Counter::new("autograd.arena.recycled");
+/// Backward deltas that needed a fresh allocation.
+static ARENA_ALLOCATED: Counter = Counter::new("autograd.arena.allocated");
+/// Peak bytes parked on any single arena's free list.
+static ARENA_PEAK_PARKED_BYTES: Gauge = Gauge::new("autograd.arena.peak_parked_bytes");
 
 /// Free list of retired gradient buffers. See the module docs.
 #[derive(Default)]
 pub(crate) struct Arena {
     free: Vec<Tensor>,
+    /// Bytes currently parked on `free` (kept incrementally so the peak
+    /// gauge never has to walk the list).
+    parked_bytes: usize,
 }
 
 impl Arena {
@@ -28,9 +39,12 @@ impl Arena {
         let want = rows * cols;
         if let Some(pos) = self.free.iter().position(|t| t.len() == want) {
             let mut t = self.free.swap_remove(pos);
+            self.parked_bytes -= want * std::mem::size_of::<f32>();
             t.reshape(rows, cols);
+            ARENA_RECYCLED.incr();
             t
         } else {
+            ARENA_ALLOCATED.incr();
             Tensor::zeros(rows, cols)
         }
     }
@@ -38,6 +52,8 @@ impl Arena {
     /// Retires a buffer for later reuse.
     pub(crate) fn give(&mut self, t: Tensor) {
         if !t.is_empty() {
+            self.parked_bytes += t.len() * std::mem::size_of::<f32>();
+            ARENA_PEAK_PARKED_BYTES.set_max(self.parked_bytes as u64);
             self.free.push(t);
         }
     }
@@ -80,5 +96,19 @@ mod tests {
         let mut arena = Arena::default();
         arena.give(Tensor::zeros(0, 5));
         assert_eq!(arena.parked(), 0);
+    }
+
+    #[test]
+    fn trace_counters_see_recycling() {
+        let (rec0, alloc0) = (ARENA_RECYCLED.get(), ARENA_ALLOCATED.get());
+        trace::enable();
+        let mut arena = Arena::default();
+        let t = arena.take(4, 4); // miss → allocated
+        arena.give(t);
+        let _ = arena.take(4, 4); // hit → recycled
+        trace::disable();
+        assert!(ARENA_ALLOCATED.get() > alloc0);
+        assert!(ARENA_RECYCLED.get() > rec0);
+        assert!(ARENA_PEAK_PARKED_BYTES.get() >= 64);
     }
 }

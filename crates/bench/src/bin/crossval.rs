@@ -12,6 +12,7 @@ use ml::{
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_trace();
     let config = args.config();
     let folds: usize = args
         .value_of("--folds")
@@ -72,4 +73,5 @@ fn main() {
             })
         }),
     );
+    args.finish_trace();
 }

@@ -10,8 +10,16 @@ use recipedb::{generate, DatasetStats};
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_trace();
     let config = args.config();
-    let dataset = generate(&config.generator);
-    let stats = DatasetStats::compute(&dataset);
+    let dataset = {
+        let _s = trace::span("generate");
+        generate(&config.generator)
+    };
+    let stats = {
+        let _s = trace::span("stats");
+        DatasetStats::compute(&dataset)
+    };
     print!("{}", render_table3(&stats, config.generator.scale));
+    args.finish_trace();
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin table4 -- --scale small
 //!     [--models logreg,nb,svm,rf,lstm,bert,roberta]
 //!     [--csv out.csv] [--json out.json] [--adaboost]
-//!     [--checkpoint-dir ckpts] [--resume]
+//!     [--checkpoint-dir ckpts] [--resume] [--trace [--trace-out path]]
 //! ```
 //!
 //! With `--checkpoint-dir` each neural model checkpoints every epoch into
@@ -38,6 +38,7 @@ fn parse_models(spec: &str) -> Vec<ModelKind> {
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.init_trace();
     let mut config = args.config();
     if let Some(dir) = args.value_of("--checkpoint-dir") {
         config.checkpoint_dir = Some(dir.into());
@@ -100,6 +101,8 @@ fn main() {
     let json_path = args.value_of("--json").unwrap_or("BENCH_table4.json");
     std::fs::write(json_path, table4_json(&results)).expect("write json");
     eprintln!("wrote {json_path}");
+
+    args.finish_trace();
 }
 
 /// Prints whether the paper's qualitative ordering holds in this run.

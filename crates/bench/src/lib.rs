@@ -66,6 +66,33 @@ impl HarnessArgs {
     pub fn has_flag(&self, flag: &str) -> bool {
         self.rest.iter().any(|a| a == flag)
     }
+
+    /// Turns tracing on when `--trace` was passed (or `CUISINE_TRACE` is
+    /// set in the environment). Call once at binary startup, before any
+    /// work worth timing.
+    pub fn init_trace(&self) -> bool {
+        let on = trace::init_from_env() || self.has_flag("--trace");
+        if on {
+            trace::enable();
+        }
+        on
+    }
+
+    /// Snapshots the trace, writes it to `RUN_trace.json` (override with
+    /// `--trace-out <path>`) and prints the span tree to stderr. No-op
+    /// returning `None` when tracing is off.
+    pub fn finish_trace(&self) -> Option<std::path::PathBuf> {
+        if !trace::enabled() {
+            return None;
+        }
+        let snap = trace::snapshot();
+        let path =
+            std::path::PathBuf::from(self.value_of("--trace-out").unwrap_or("RUN_trace.json"));
+        std::fs::write(&path, snap.to_json()).expect("write trace json");
+        eprintln!("{}", cuisine::report::render_trace_tree(&snap));
+        eprintln!("wrote {}", path.display());
+        Some(path)
+    }
 }
 
 fn parse_scale(v: &str) -> Scale {

@@ -85,6 +85,11 @@ pub fn run_model(
     kind: ModelKind,
     config: &PipelineConfig,
 ) -> ExperimentResult {
+    let _model_span = if trace::enabled() {
+        Some(trace::span(format!("model[{}]", kind.name())))
+    } else {
+        None
+    };
     if kind.is_sequential() {
         run_sequential(pipeline, kind, config)
     } else {
@@ -109,6 +114,7 @@ fn run_statistical(
     let train_y = pipeline.labels_of(&pipeline.data.split.train);
 
     let started = Instant::now();
+    let train_span = trace::span("train");
     let model: Box<dyn Classifier> = match kind {
         ModelKind::LogReg => {
             let mut m = LogisticRegression::default();
@@ -136,8 +142,10 @@ fn run_statistical(
         }
         _ => unreachable!("sequential model routed to statistical runner"),
     };
+    drop(train_span);
     let train_seconds = started.elapsed().as_secs_f64();
 
+    let _eval_span = trace::span("eval");
     let probs = model.predict_proba(&test_x);
     let pred: Vec<usize> = probs
         .iter()
@@ -187,6 +195,7 @@ fn run_sequential(
     let started = Instant::now();
     let (report, history, pretrain_losses) = match kind {
         ModelKind::Lstm => {
+            let train_span = trace::span("train");
             let mut rng = pipeline.rng(config, 1);
             let mut model = LstmClassifier::new(config.models.lstm, &mut rng);
             if config.models.lstm_word2vec {
@@ -216,6 +225,8 @@ fn run_sequential(
                     &fit_options(config, kind),
                 )
                 .unwrap_or_else(|e| panic!("LSTM training failed: {e}"));
+            drop(train_span);
+            let _eval_span = trace::span("eval");
             let (_, _, pred, probs) = trainer
                 .evaluate(&model, &test)
                 .unwrap_or_else(|e| panic!("LSTM evaluation failed: {e}"));
@@ -226,6 +237,7 @@ fn run_sequential(
             )
         }
         ModelKind::Bert | ModelKind::Roberta => {
+            let train_span = trace::span("train");
             let mut rng = pipeline.rng(config, if kind == ModelKind::Bert { 2 } else { 3 });
             let mut model = BertClassifier::new(config.models.bert, &mut rng);
 
@@ -238,7 +250,10 @@ fn run_sequential(
                 config.roberta_pretrain()
             };
             let corpus: Vec<Vec<usize>> = pipeline.data.sequences.clone();
-            let stats = model.pretrain_mlm(&corpus, &pipeline.data.vocab, &pretrain_cfg);
+            let stats = {
+                let _s = trace::span("pretrain");
+                model.pretrain_mlm(&corpus, &pipeline.data.vocab, &pretrain_cfg)
+            };
 
             let trainer = Trainer::new(config.models.finetune);
             let mut opt = AdamW::default();
@@ -251,6 +266,8 @@ fn run_sequential(
                     &fit_options(config, kind),
                 )
                 .unwrap_or_else(|e| panic!("{} fine-tuning failed: {e}", kind.name()));
+            drop(train_span);
+            let _eval_span = trace::span("eval");
             let (_, _, pred, probs) = trainer
                 .evaluate(&model, &test)
                 .unwrap_or_else(|e| panic!("{} evaluation failed: {e}", kind.name()));

@@ -36,32 +36,40 @@ pub struct Pipeline {
 impl Pipeline {
     /// Generates the corpus and runs all preprocessing (§IV).
     pub fn prepare(config: &PipelineConfig) -> Self {
-        let dataset = generate(&config.generator);
+        let _featurize = trace::span("featurize");
+        let dataset = {
+            let _s = trace::span("featurize.generate");
+            generate(&config.generator)
+        };
         let split = train_val_test_split(&dataset, config.seed);
 
         // §IV: strip digits/symbols, tokenize (entity-level — each
         // ingredient/process/utensil is one feature), lemmatize.
-        let docs: Vec<Vec<String>> = dataset
-            .recipes
-            .iter()
-            .map(|r| {
-                r.tokens
-                    .iter()
-                    .map(|&t| {
-                        let cleaned = clean_text(dataset.table.name(t));
-                        // lemmatize per word inside multi-word entities,
-                        // keeping the entity as a single feature
-                        cleaned
-                            .split(' ')
-                            .map(lemmatize)
-                            .collect::<Vec<_>>()
-                            .join(" ")
-                    })
-                    .collect()
-            })
-            .collect();
+        let docs: Vec<Vec<String>> = {
+            let _s = trace::span("featurize.preprocess");
+            dataset
+                .recipes
+                .iter()
+                .map(|r| {
+                    r.tokens
+                        .iter()
+                        .map(|&t| {
+                            let cleaned = clean_text(dataset.table.name(t));
+                            // lemmatize per word inside multi-word entities,
+                            // keeping the entity as a single feature
+                            cleaned
+                                .split(' ')
+                                .map(lemmatize)
+                                .collect::<Vec<_>>()
+                                .join(" ")
+                        })
+                        .collect()
+                })
+                .collect()
+        };
         let labels = dataset.labels();
 
+        let _encode = trace::span("featurize.encode");
         // sequence vocabulary fit on training documents only
         let vocab = Vocabulary::build(
             split
@@ -98,6 +106,7 @@ impl Pipeline {
         &self,
         config: &PipelineConfig,
     ) -> (CsrMatrix, CsrMatrix, CsrMatrix, TfIdfVectorizer) {
+        let _s = trace::span("featurize.tfidf");
         let d = &self.data;
         let mut vectorizer = TfIdfVectorizer::new(TfIdfConfig {
             min_df: config.models.tfidf_min_df,

@@ -237,6 +237,52 @@ pub fn table4_json(results: &[ExperimentResult]) -> String {
     out
 }
 
+/// Renders a captured trace as an indented span tree (wall time per span)
+/// followed by the counters and gauges that accumulated during the run.
+///
+/// Spans whose parent closed on another thread (or was never recorded)
+/// render as roots; siblings keep their start order.
+pub fn render_trace_tree(snap: &trace::TraceSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Trace — span tree (wall ms)");
+    let mut children: std::collections::HashMap<Option<u64>, Vec<&trace::SpanRecord>> =
+        std::collections::HashMap::new();
+    let ids: std::collections::HashSet<u64> = snap.spans.iter().map(|s| s.id).collect();
+    for s in &snap.spans {
+        let parent = s.parent.filter(|p| ids.contains(p));
+        children.entry(parent).or_default().push(s);
+    }
+    fn walk(
+        out: &mut String,
+        children: &std::collections::HashMap<Option<u64>, Vec<&trace::SpanRecord>>,
+        parent: Option<u64>,
+        depth: usize,
+    ) {
+        let Some(spans) = children.get(&parent) else {
+            return;
+        };
+        for s in spans {
+            let _ = writeln!(
+                out,
+                "{:indent$}{} {:.3} ms",
+                "",
+                s.name,
+                s.dur_ns as f64 / 1e6,
+                indent = depth * 2
+            );
+            walk(out, children, Some(s.id), depth + 1);
+        }
+    }
+    walk(&mut out, &children, None, 1);
+    if !snap.counters.is_empty() || !snap.gauges.is_empty() {
+        let _ = writeln!(out, "Trace — metrics");
+        for (name, v) in snap.counters.iter().chain(snap.gauges.iter()) {
+            let _ = writeln!(out, "  {name:<40} {v}");
+        }
+    }
+    out
+}
+
 /// Renders the rank-frequency view behind the paper's feature figures:
 /// the top-`k` features with counts and a log-scale bar.
 pub fn render_feature_figure(
@@ -365,6 +411,33 @@ mod tests {
             "most frequent feature must appear:\n{fig}"
         );
         assert_eq!(fig.lines().count(), 6); // header + 5 rows
+    }
+
+    #[test]
+    fn trace_tree_nests_children_and_lists_metrics() {
+        let span = |id, parent, name: &'static str| trace::SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            thread: "t".into(),
+            start_ns: u128::from(id),
+            dur_ns: 1_500_000,
+        };
+        let snap = trace::TraceSnapshot {
+            spans: vec![
+                span(1, None, "featurize"),
+                span(2, Some(1), "featurize.tfidf"),
+                span(3, Some(99), "orphan"), // parent never recorded → root
+            ],
+            counters: vec![("tensor.pool.jobs", 4)],
+            gauges: vec![("nn.train.tokens_per_sec", 123)],
+        };
+        let out = render_trace_tree(&snap);
+        assert!(out.contains("  featurize 1.500 ms"), "{out}");
+        assert!(out.contains("    featurize.tfidf"), "child indents:\n{out}");
+        assert!(out.contains("  orphan"), "orphan renders as root:\n{out}");
+        assert!(out.contains("tensor.pool.jobs"));
+        assert!(out.contains("nn.train.tokens_per_sec"));
     }
 
     #[test]

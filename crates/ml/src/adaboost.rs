@@ -84,6 +84,7 @@ impl AdaBoost {
 
 impl Classifier for AdaBoost {
     fn fit(&mut self, x: &CsrMatrix, y: &[usize]) {
+        let _span = trace::span("ml.adaboost.fit");
         let classes = validate_fit(x, y);
         self.classes = classes;
         self.rounds.clear();

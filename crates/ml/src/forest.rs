@@ -80,6 +80,7 @@ impl RandomForest {
 
 impl Classifier for RandomForest {
     fn fit(&mut self, x: &CsrMatrix, y: &[usize]) {
+        let _span = trace::span("ml.random_forest.fit");
         let classes = validate_fit(x, y);
         self.classes = classes;
 

@@ -86,6 +86,7 @@ impl LogisticRegression {
 
 impl Classifier for LogisticRegression {
     fn fit(&mut self, x: &CsrMatrix, y: &[usize]) {
+        let _span = trace::span("ml.logreg.fit");
         let classes = validate_fit(x, y);
         self.model = Some(train_ovr(
             x,

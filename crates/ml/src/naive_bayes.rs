@@ -89,6 +89,7 @@ impl Default for MultinomialNb {
 
 impl Classifier for MultinomialNb {
     fn fit(&mut self, x: &CsrMatrix, y: &[usize]) {
+        let _span = trace::span("ml.naive_bayes.fit");
         let classes = validate_fit(x, y);
         let vocab = x.cols();
         let alpha = self.config.alpha;

@@ -96,6 +96,7 @@ impl LinearSvm {
 
 impl Classifier for LinearSvm {
     fn fit(&mut self, x: &CsrMatrix, y: &[usize]) {
+        let _span = trace::span("ml.svm.fit");
         let classes = validate_fit(x, y);
         self.model = Some(train_ovr(x, y, classes, LossKind::Hinge, &self.config.sgd));
     }

@@ -31,6 +31,20 @@ use autograd::{Graph, ParamId, ParamStore, VarId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tensor::{softmax_rows, Tensor};
+use trace::{Counter, Gauge};
+
+/// Token ids pushed through the forward/backward passes during training.
+static TRAIN_TOKENS: Counter = Counter::new("nn.train.tokens");
+/// Optimizer steps skipped for non-finite loss/gradients.
+static TRAIN_SKIPPED_STEPS: Counter = Counter::new("nn.train.skipped_steps");
+/// Divergence rollbacks taken.
+static TRAIN_ROLLBACKS: Counter = Counter::new("nn.train.rollbacks");
+/// Training throughput of the most recent epoch.
+static TRAIN_TOKENS_PER_SEC: Gauge = Gauge::new("nn.train.tokens_per_sec");
+/// Checkpoints written by the trainer.
+static CKPT_SAVES: Counter = Counter::new("nn.checkpoint.saves");
+/// Cumulative wall time spent writing checkpoints.
+static CKPT_SAVE_NS: Counter = Counter::new("nn.checkpoint.save_ns");
 
 use crate::batch::BatchIterator;
 use crate::checkpoint::{CheckpointManager, TrainState};
@@ -423,11 +437,26 @@ impl Trainer {
         let mut rollbacks_used = 0usize;
         let mut pending_rollbacks = 0usize;
 
+        let _fit_span = trace::span("nn.trainer.fit");
         'training: while run.epoch < self.config.epochs {
+            // Per-epoch observability: a timed span named after the epoch
+            // plus a token count for throughput. All of it is gated on the
+            // enabled flag so the disabled path never formats or reads the
+            // clock.
+            let epoch_trace = trace::enabled().then(|| {
+                (
+                    trace::span(format!("epoch[{}]", run.epoch)),
+                    std::time::Instant::now(),
+                )
+            });
+            let mut epoch_tokens = 0usize;
             let mut epoch_loss = 0.0;
             let mut seen = 0usize;
             let mut skipped = 0usize;
             for batch in batches.epoch(run.epoch) {
+                if epoch_trace.is_some() {
+                    epoch_tokens += batch.iter().map(|&i| train[i].0.len()).sum::<usize>();
+                }
                 let lr = self.config.schedule.at(run.step) * run.lr_scale;
                 run.step += 1;
                 let (grads, loss) =
@@ -444,11 +473,13 @@ impl Trainer {
                 let poisoned = !loss.is_finite() || grads.iter().any(|(_, t)| t.has_non_finite());
                 if poisoned {
                     skipped += 1;
+                    TRAIN_SKIPPED_STEPS.incr();
                     consecutive_bad += 1;
                     if self.config.divergence_patience > 0
                         && consecutive_bad >= self.config.divergence_patience
                     {
                         rollbacks_used += 1;
+                        TRAIN_ROLLBACKS.incr();
                         if rollbacks_used > MAX_ROLLBACKS {
                             return Err(TrainError::Diverged {
                                 epoch: run.epoch,
@@ -472,6 +503,13 @@ impl Trainer {
                 optimizer.step(model.store_mut(), &grads, lr);
             }
             let train_loss = epoch_loss / seen.max(1) as f64;
+            if let Some((_, started)) = &epoch_trace {
+                TRAIN_TOKENS.add(epoch_tokens as u64);
+                let secs = started.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    TRAIN_TOKENS_PER_SEC.set((epoch_tokens as f64 / secs) as u64);
+                }
+            }
 
             let (val_loss, val_accuracy) = match val {
                 Some(v) if !v.is_empty() => {
@@ -522,7 +560,13 @@ impl Trainer {
                         history: run.history.clone(),
                         optimizer: optimizer.export_state(),
                     };
+                    let _ckpt_span = trace::span("nn.checkpoint.save");
+                    let save_started = trace::enabled().then(std::time::Instant::now);
                     manager.save(model.store(), Some(&state))?;
+                    if let Some(started) = save_started {
+                        CKPT_SAVES.incr();
+                        CKPT_SAVE_NS.add(started.elapsed().as_nanos() as u64);
+                    }
                 }
             }
             if stop {
@@ -1075,6 +1119,39 @@ mod tests {
         .unwrap_err();
         faults::reset();
         assert!(matches!(err, TrainError::Diverged { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn fit_emits_epoch_spans_and_token_counts() {
+        let tokens0 = TRAIN_TOKENS.get();
+        trace::enable();
+        let mut model = toy_model(20);
+        let data = order_task();
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 2,
+            threads: 1,
+            ..Default::default()
+        });
+        let mut opt = AdamW::default();
+        trainer.fit(&mut model, &mut opt, &data, None).unwrap();
+        let snap = trace::snapshot();
+        trace::disable();
+        // other tests in this binary may trace concurrently → lower bounds
+        let fit_ids: Vec<u64> = snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "nn.trainer.fit")
+            .map(|s| s.id)
+            .collect();
+        assert!(!fit_ids.is_empty(), "fit span recorded");
+        let epoch0 = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "epoch[0]" && s.parent.is_some_and(|p| fit_ids.contains(&p)))
+            .expect("epoch span nested under fit");
+        assert!(epoch0.dur_ns > 0);
+        // 6 examples × 16 tokens total per epoch × 2 epochs = 32 tokens
+        assert!(TRAIN_TOKENS.get() >= tokens0 + 32);
     }
 
     #[test]

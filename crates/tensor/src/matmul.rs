@@ -79,6 +79,7 @@ fn drive(
     };
     let threads = threads.min(m.max(1));
     if threads <= 1 {
+        pool::count_inline(1);
         tile_body(0, m, out.as_mut_slice());
         return;
     }

@@ -20,6 +20,27 @@
 //! assignment, so "2 threads" means two threads even on a loaded machine.
 
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+use trace::{Counter, Gauge};
+
+/// Jobs dispatched to the worker pool (parallel path taken).
+static POOL_JOBS: Counter = Counter::new("tensor.pool.jobs");
+/// Tiles executed across all jobs, inline fallbacks included.
+static POOL_TILES: Counter = Counter::new("tensor.pool.tiles");
+/// Jobs that ran inline: no workers, a single tile, or a busy pool
+/// (nested submission).
+static POOL_INLINE: Counter = Counter::new("tensor.pool.inline_fallbacks");
+/// Nanoseconds the submitting thread spent blocked on `done_cv` waiting
+/// for workers to drain the last tiles of a job.
+static POOL_SUBMIT_WAIT_NS: Counter = Counter::new("tensor.pool.submit_wait_ns");
+/// Nanoseconds pool workers spent parked between jobs.
+static POOL_WORKER_IDLE_NS: Counter = Counter::new("tensor.pool.worker_idle_ns");
+/// Largest single job seen, in tiles.
+static POOL_MAX_JOB_TILES: Gauge = Gauge::new("tensor.pool.max_job_tiles");
+/// Jobs run on ad-hoc scoped threads via [`run_scoped`] (explicit thread
+/// counts from tests/benches) rather than the persistent pool.
+static POOL_SCOPED_JOBS: Counter = Counter::new("tensor.pool.scoped_jobs");
 
 /// Number of threads the tensor kernels may use: the `TENSOR_THREADS`
 /// environment variable if set to a positive integer, otherwise the
@@ -38,6 +59,14 @@ pub fn num_threads() -> usize {
             .map(|n| n.get())
             .unwrap_or(1)
     })
+}
+
+/// Records a tile batch that ran serially on the calling thread without
+/// consulting the pool (small shapes, or a single-core machine), so the
+/// trace still shows how much kernel work stayed inline.
+pub fn count_inline(tiles: usize) {
+    POOL_INLINE.incr();
+    POOL_TILES.add(tiles as u64);
 }
 
 /// The process-wide pool, sized to `num_threads() - 1` workers (the
@@ -132,6 +161,8 @@ impl Pool {
     /// inline when the pool has no workers or is already busy.
     pub fn run(&self, tiles: usize, task: &(dyn Fn(usize) + Sync)) {
         if self.workers == 0 || tiles <= 1 {
+            POOL_INLINE.incr();
+            POOL_TILES.add(tiles as u64);
             for t in 0..tiles {
                 task(t);
             }
@@ -141,12 +172,17 @@ impl Pool {
             Ok(guard) => guard,
             // Busy (nested call) or poisoned: degrade to sequential.
             Err(_) => {
+                POOL_INLINE.incr();
+                POOL_TILES.add(tiles as u64);
                 for t in 0..tiles {
                     task(t);
                 }
                 return;
             }
         };
+        POOL_JOBS.incr();
+        POOL_TILES.add(tiles as u64);
+        POOL_MAX_JOB_TILES.set_max(tiles as u64);
         // Safety: see `State::task` — we do not return (releasing `_submit`
         // or unwinding past `task`'s borrow) until `done == tiles`.
         let task_static: &'static Task = unsafe { std::mem::transmute(task) };
@@ -162,6 +198,9 @@ impl Pool {
             s.epoch
         };
         run_claimed(&self.inner, epoch, task);
+        // Gate the clock reads on the enabled flag so the disabled path
+        // costs a single atomic load, per trace's zero-cost contract.
+        let wait_started = trace::enabled().then(Instant::now);
         let mut s = lock(&self.inner.state);
         while s.done < s.tiles {
             s = self
@@ -169,6 +208,9 @@ impl Pool {
                 .done_cv
                 .wait(s)
                 .unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some(started) = wait_started {
+            POOL_SUBMIT_WAIT_NS.add(started.elapsed().as_nanos() as u64);
         }
         s.task = None;
         // A tile panicked on a worker thread: the worker survived (it only
@@ -184,6 +226,7 @@ impl Pool {
 fn worker_loop(inner: &Inner) {
     let mut seen = 0u64;
     loop {
+        let idle_started = trace::enabled().then(Instant::now);
         let (epoch, task) = {
             let mut s = lock(&inner.state);
             while s.task.is_none() || s.epoch == seen {
@@ -195,6 +238,9 @@ fn worker_loop(inner: &Inner) {
             seen = s.epoch;
             (s.epoch, s.task.expect("checked above"))
         };
+        if let Some(started) = idle_started {
+            POOL_WORKER_IDLE_NS.add(started.elapsed().as_nanos() as u64);
+        }
         run_claimed(inner, epoch, task);
     }
 }
@@ -265,11 +311,15 @@ impl Drop for DoneGuard<'_> {
 pub fn run_scoped(threads: usize, tiles: usize, task: &(dyn Fn(usize) + Sync)) {
     let threads = threads.max(1);
     if threads == 1 || tiles <= 1 {
+        POOL_INLINE.incr();
+        POOL_TILES.add(tiles as u64);
         for t in 0..tiles {
             task(t);
         }
         return;
     }
+    POOL_SCOPED_JOBS.incr();
+    POOL_TILES.add(tiles as u64);
     std::thread::scope(|scope| {
         for w in 1..threads.min(tiles) {
             scope.spawn(move || {
@@ -354,6 +404,22 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn trace_counters_record_pool_activity() {
+        let pool = Pool::new(2);
+        let (jobs0, tiles0, inline0) = (POOL_JOBS.get(), POOL_TILES.get(), POOL_INLINE.get());
+        trace::enable();
+        pool.run(16, &|_| {});
+        pool.run(1, &|_| {}); // single tile → inline fallback
+        trace::disable();
+        pool.run(16, &|_| {}); // disabled → not counted
+                               // other tests may run pooled matmuls concurrently, so assert deltas
+                               // as lower bounds rather than exact counts
+        assert!(POOL_JOBS.get() > jobs0, "parallel job not counted");
+        assert!(POOL_TILES.get() >= tiles0 + 17, "tiles not counted");
+        assert!(POOL_INLINE.get() > inline0, "inline fallback not counted");
     }
 
     #[test]

@@ -214,6 +214,10 @@ impl TfIdfVectorizer {
                     (c as usize, tf * self.idf[c as usize])
                 })
                 .collect();
+            // canonical column order BEFORE the norm: HashMap iteration
+            // order varies per instance, and f32 sums depend on order, so
+            // normalizing first would make the row's bits nondeterministic
+            entries.sort_unstable_by_key(|&(c, _)| c);
             if self.config.l2_normalize {
                 let norm: f32 = entries.iter().map(|(_, v)| v * v).sum::<f32>().sqrt();
                 if norm > 0.0 {
@@ -222,7 +226,7 @@ impl TfIdfVectorizer {
                     }
                 }
             }
-            b.push_unsorted_row(entries);
+            b.push_sorted_row(entries);
         }
         b.build()
     }
@@ -281,6 +285,29 @@ mod tests {
                 .map(|d| d.iter().copied()),
         );
         assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn transform_is_bit_deterministic_and_order_invariant() {
+        // regression: the L2 norm used to be summed in HashMap iteration
+        // order, so the same document could produce bitwise-different rows
+        let mut tv = TfIdfVectorizer::new(TfIdfConfig::default());
+        tv.fit(&docs());
+        let doc = vec![vec!["stir", "add", "onion", "stir", "bake"]];
+        let reversed = vec![vec!["bake", "stir", "onion", "add", "stir"]];
+        let a = tv.transform(&doc);
+        for _ in 0..20 {
+            assert_eq!(
+                a,
+                tv.transform(&doc),
+                "repeat transform must be bit-identical"
+            );
+            assert_eq!(
+                a,
+                tv.transform(&reversed),
+                "token order must not leak into rows"
+            );
+        }
     }
 
     #[test]

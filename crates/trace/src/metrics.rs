@@ -1,0 +1,274 @@
+//! Self-registering counters and gauges plus the global registry that
+//! snapshots them.
+//!
+//! Instrumented crates declare metrics as statics:
+//!
+//! ```
+//! static TASKS: trace::Counter = trace::Counter::new("pool.tasks");
+//! TASKS.incr(); // no-op (one atomic load) while tracing is disabled
+//! ```
+//!
+//! The first update while tracing is enabled registers the metric with
+//! [`MetricsRegistry::global`]; after that an update is a single relaxed
+//! `fetch_add`/`fetch_max` — no locks on the hot path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Sorted `(name, value)` pairs produced by a registry snapshot.
+pub(crate) type MetricEntries = Vec<(&'static str, u64)>;
+
+/// What kind of metric a registry entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Last-value / running-max measurement.
+    Gauge,
+}
+
+/// A registered metric handle.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricValue {
+    /// Metric name (dotted path, e.g. `tensor.pool.jobs`).
+    pub name: &'static str,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Current value.
+    pub value: u64,
+}
+
+trait Metric: Sync {
+    fn describe(&self) -> MetricValue;
+    fn reset(&self);
+}
+
+/// A monotonic counter. Declare as a `static`; see the module docs.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Creates an unregistered counter (registration happens on first use).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `n`. No-op while tracing is disabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one. No-op while tracing is disabled.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            MetricsRegistry::global().register(self);
+        }
+    }
+}
+
+impl Metric for Counter {
+    fn describe(&self) -> MetricValue {
+        MetricValue {
+            name: self.name,
+            kind: MetricKind::Counter,
+            value: self.get(),
+        }
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: set to the latest value or ratcheted to a running max.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Creates an unregistered gauge (registration happens on first use).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Overwrites the value. No-op while tracing is disabled.
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Ratchets the value up to `v` if larger (peak tracking). No-op while
+    /// tracing is disabled.
+    #[inline]
+    pub fn set_max(&'static self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            MetricsRegistry::global().register(self);
+        }
+    }
+}
+
+impl Metric for Gauge {
+    fn describe(&self) -> MetricValue {
+        MetricValue {
+            name: self.name,
+            kind: MetricKind::Gauge,
+            value: self.get(),
+        }
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide list of metrics that have been touched at least once
+/// while tracing was enabled.
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<&'static dyn Metric>>,
+}
+
+impl MetricsRegistry {
+    /// The global registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static G: OnceLock<MetricsRegistry> = OnceLock::new();
+        G.get_or_init(|| MetricsRegistry {
+            entries: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<&'static dyn Metric>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn register(&self, metric: &'static dyn Metric) {
+        self.lock().push(metric);
+    }
+
+    /// Every registered metric's current value.
+    pub fn values(&self) -> Vec<MetricValue> {
+        let mut v: Vec<MetricValue> = self.lock().iter().map(|m| m.describe()).collect();
+        v.sort_by_key(|m| m.name);
+        v
+    }
+
+    /// `(counters, gauges)`, each sorted by name.
+    pub(crate) fn snapshot(&self) -> (MetricEntries, MetricEntries) {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        for m in self.values() {
+            match m.kind {
+                MetricKind::Counter => counters.push((m.name, m.value)),
+                MetricKind::Gauge => gauges.push((m.name, m.value)),
+            }
+        }
+        (counters, gauges)
+    }
+
+    /// Zeroes every registered metric (they stay registered).
+    pub fn reset(&self) {
+        for m in self.lock().iter() {
+            m.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static HITS: Counter = Counter::new("test.metrics.hits");
+    static PEAK: Gauge = Gauge::new("test.metrics.peak");
+    static LAST: Gauge = Gauge::new("test.metrics.last");
+
+    #[test]
+    fn counters_and_gauges_register_and_accumulate() {
+        let _x = crate::tests::exclusive();
+        crate::enable();
+        crate::reset();
+        HITS.add(2);
+        HITS.incr();
+        PEAK.set_max(10);
+        PEAK.set_max(4); // lower → ignored
+        LAST.set(7);
+        LAST.set(3); // overwrites
+        let snap = crate::snapshot();
+        crate::disable();
+        assert_eq!(snap.counter("test.metrics.hits"), Some(3));
+        assert_eq!(snap.gauge("test.metrics.peak"), Some(10));
+        assert_eq!(snap.gauge("test.metrics.last"), Some(3));
+    }
+
+    #[test]
+    fn updates_while_disabled_are_dropped() {
+        let _x = crate::tests::exclusive();
+        crate::enable();
+        HITS.incr(); // ensure registered
+        crate::reset();
+        crate::disable();
+        HITS.add(100);
+        PEAK.set_max(999);
+        assert_eq!(HITS.get(), 0);
+        assert_eq!(PEAK.get(), 0);
+    }
+
+    #[test]
+    fn registry_values_are_sorted_by_name() {
+        let _x = crate::tests::exclusive();
+        crate::enable();
+        HITS.incr();
+        PEAK.set_max(1);
+        LAST.set(1);
+        let values = MetricsRegistry::global().values();
+        crate::reset();
+        crate::disable();
+        let names: Vec<_> = values.iter().map(|m| m.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

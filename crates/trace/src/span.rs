@@ -1,0 +1,186 @@
+//! Nested timed spans with a per-thread parent stack.
+//!
+//! Opening a span (when tracing is enabled) allocates an id, records the
+//! innermost open span on the same thread as its parent, and reads the
+//! clock once. Closing it reads the clock again and appends a finished
+//! [`SpanRecord`] to the global list under a short-lived lock. Disabled,
+//! [`span`] is one relaxed atomic load and returns an inert guard.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Process-unique id.
+    pub id: u64,
+    /// Id of the innermost span open on the same thread at open time.
+    pub parent: Option<u64>,
+    /// Span label.
+    pub name: Cow<'static, str>,
+    /// Debug-formatted OS thread id of the opening thread.
+    pub thread: String,
+    /// Nanoseconds since the trace epoch (first span ever opened).
+    pub start_ns: u128,
+    /// Wall-clock duration.
+    pub dur_ns: u128,
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn finished_lock() -> MutexGuard<'static, Vec<SpanRecord>> {
+    static FINISHED: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    FINISHED
+        .get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    /// Ids of spans currently open on this thread, outermost first.
+    static OPEN: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a timed span; drop the guard to close it. When tracing is
+/// disabled this is a no-op costing one atomic load (the `name` argument
+/// is still evaluated — pass `&'static str` on hot paths so no formatting
+/// happens either way, or gate `format!` names on [`crate::enabled`]).
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { open: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = OPEN.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    let epoch = epoch();
+    SpanGuard {
+        open: Some(OpenSpan {
+            id,
+            parent,
+            name: name.into(),
+            started: Instant::now(),
+            start_ns: epoch.elapsed().as_nanos(),
+        }),
+    }
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: Cow<'static, str>,
+    started: Instant,
+    start_ns: u128,
+}
+
+/// RAII guard returned by [`span`]; records the span when dropped.
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        let dur_ns = open.started.elapsed().as_nanos();
+        OPEN.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards are dropped in reverse open order within a thread, so
+            // this is almost always a pop from the top; retain() keeps the
+            // stack correct even under unusual drop orders.
+            if stack.last() == Some(&open.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&id| id != open.id);
+            }
+        });
+        finished_lock().push(SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            thread: format!("{:?}", std::thread::current().id()),
+            start_ns: open.start_ns,
+            dur_ns,
+        });
+    }
+}
+
+/// All finished spans so far, in start order.
+pub(crate) fn finished() -> Vec<SpanRecord> {
+    let mut spans = finished_lock().clone();
+    spans.sort_by_key(|s| s.start_ns);
+    spans
+}
+
+/// Clears the finished-span list.
+pub(crate) fn reset() {
+    finished_lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_across_threads_keep_their_own_parents() {
+        let _x = crate::tests::exclusive();
+        crate::enable();
+        crate::reset();
+        {
+            let _main = span("main-side");
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _worker = span("worker-side");
+                });
+            });
+        }
+        let spans = finished();
+        crate::disable();
+        let worker = spans.iter().find(|s| s.name == "worker-side").unwrap();
+        // the worker thread had no open span of its own → it is a root,
+        // not a child of the main thread's span
+        assert_eq!(worker.parent, None);
+    }
+
+    #[test]
+    fn guard_drop_out_of_order_is_tolerated() {
+        let _x = crate::tests::exclusive();
+        crate::enable();
+        crate::reset();
+        let a = span("a");
+        let b = span("b");
+        drop(a); // dropped before its child
+        drop(b);
+        let spans = finished();
+        crate::disable();
+        assert_eq!(spans.len(), 2);
+        let b = spans.iter().find(|s| s.name == "b").unwrap();
+        let a = spans.iter().find(|s| s.name == "a").unwrap();
+        assert_eq!(b.parent, Some(a.id));
+    }
+
+    #[test]
+    fn string_names_are_accepted() {
+        let _x = crate::tests::exclusive();
+        crate::enable();
+        crate::reset();
+        {
+            let _s = span(format!("epoch[{}]", 7));
+        }
+        let spans = finished();
+        crate::disable();
+        assert_eq!(spans[0].name, "epoch[7]");
+    }
+}

@@ -16,12 +16,13 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
-# The fault-tolerance suite exercises panic containment and shard merging,
-# whose code paths differ between serial and parallel pools — run both.
-echo "== fault tolerance (single-threaded pool) =="
-TENSOR_THREADS=1 cargo test -q -p cuisine --test fault_tolerance
-
-echo "== fault tolerance (multi-threaded pool) =="
-TENSOR_THREADS=4 cargo test -q -p cuisine --test fault_tolerance
+# The fault-tolerance and tensor-property suites exercise code paths that
+# differ between serial and parallel pools (panic containment, shard
+# merging, tile claiming) — run them at several pool widths.
+for threads in 1 2 4; do
+    echo "== pool-sensitive suites (TENSOR_THREADS=$threads) =="
+    TENSOR_THREADS=$threads cargo test -q -p cuisine \
+        --test fault_tolerance --test tensor_properties --test trace_integration
+done
 
 echo "all checks passed"

@@ -13,9 +13,9 @@ pub mod strategy;
 pub mod test_runner;
 
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Deterministic rng for one generated case of one test.
@@ -83,6 +83,15 @@ macro_rules! __proptest_impl {
     };
 }
 
+/// Picks uniformly among the listed strategies. The real crate accepts
+/// `weight => strategy` arms; the shim supports the unweighted form only.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Union::boxed($strat)),+])
+    };
+}
+
 /// Asserts a condition inside a property test.
 #[macro_export]
 macro_rules! prop_assert {
@@ -134,6 +143,15 @@ mod tests {
         fn config_override_applies(seed in 0u64..1000) {
             // 3 cases only; just exercise the config path.
             prop_assert!(seed < 1000);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn oneof_only_yields_listed_values(x in prop_oneof![Just(1usize), Just(5), 10usize..12]) {
+            prop_assert!(x == 1 || x == 5 || x == 10 || x == 11);
         }
     }
 

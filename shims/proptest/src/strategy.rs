@@ -71,6 +71,35 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Chooses uniformly among boxed strategies — the [`crate::prop_oneof!`]
+/// macro's backing type. The real crate supports weights; this shim picks
+/// every arm with equal probability.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over at least one strategy.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+
+    /// Boxes one arm (monomorphization helper for the macro).
+    pub fn boxed<S: Strategy<Value = T> + 'static>(strat: S) -> Box<dyn Strategy<Value = T>> {
+        Box::new(strat)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let arm = rng.gen_range(0..self.options.len());
+        self.options[arm].generate(rng)
+    }
+}
+
 /// Result of [`Strategy::prop_map`].
 pub struct Map<S, F> {
     source: S,

@@ -10,6 +10,17 @@ pub struct ProptestConfig {
     pub max_shrink_iters: u32,
 }
 
+impl ProptestConfig {
+    /// Mirrors the real crate's constructor: default config with an
+    /// explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
 impl Default for ProptestConfig {
     fn default() -> Self {
         // The real crate defaults to 256; 64 keeps the opt-level-2 test

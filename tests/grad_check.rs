@@ -1,0 +1,112 @@
+//! Finite-difference gradient checks for whole neural blocks.
+//!
+//! The unit tests inside `nn` check individual weight matrices; these
+//! integration checks sweep *every* registered parameter of an attention
+//! block and an unrolled LSTM layer against central finite differences.
+//! f32 finite differences are noisy, so the tolerances are deliberately
+//! loose (`eps` ~1e-2, relative tolerance ~5e-2 with an absolute floor
+//! inside `gradient_check`) — what they catch is structurally wrong
+//! backward rules (dropped terms, transposed operands), not rounding.
+
+use autograd::{gradient_check, ParamStore};
+use nn::{LstmCell, LstmLayer, MultiHeadAttention};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{Initializer, Tensor};
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 5e-2;
+
+#[test]
+fn attention_block_all_params_gradient_check() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let attn = MultiHeadAttention::new(&mut store, "attn", 4, 2, &mut rng);
+    let x = Initializer::Uniform(0.8).init(3, 4, &mut rng);
+
+    let params: Vec<_> = store.ids().collect();
+    assert_eq!(params.len(), 8, "4 projections × (weight + bias)");
+    for target in params {
+        let attn = attn.clone();
+        let x = x.clone();
+        gradient_check(&mut store, target, EPS, TOL, move |g| {
+            let xv = g.constant(x.clone());
+            let y = attn.forward(g, xv);
+            let sq = g.mul(y, y);
+            g.sum_all(sq)
+        })
+        .unwrap_or_else(|e| panic!("attention: {e}"));
+    }
+}
+
+#[test]
+fn single_head_attention_gradient_check() {
+    // heads == d_model exercises the per-head slicing at its extreme:
+    // every head is one column wide
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut store = ParamStore::new();
+    let attn = MultiHeadAttention::new(&mut store, "attn", 4, 4, &mut rng);
+    let x = Initializer::Uniform(0.8).init(2, 4, &mut rng);
+
+    for target in store.ids().collect::<Vec<_>>() {
+        let attn = attn.clone();
+        let x = x.clone();
+        gradient_check(&mut store, target, EPS, TOL, move |g| {
+            let xv = g.constant(x.clone());
+            let y = attn.forward(g, xv);
+            let sq = g.mul(y, y);
+            g.sum_all(sq)
+        })
+        .unwrap_or_else(|e| panic!("single-head attention: {e}"));
+    }
+}
+
+#[test]
+fn lstm_layer_unrolled_gradient_check() {
+    // a 4-step unroll makes the gradient flow through the cell state
+    // across time — the path most likely to lose a term
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut store = ParamStore::new();
+    let layer = LstmLayer::new(&mut store, "lstm", 3, 5, &mut rng);
+    let xs = Initializer::Uniform(0.8).init(4, 3, &mut rng);
+
+    let params: Vec<_> = store.ids().collect();
+    assert_eq!(params.len(), 2, "fused gate weight + bias");
+    for target in params {
+        let layer = layer.clone();
+        let xs = xs.clone();
+        gradient_check(&mut store, target, EPS, TOL, move |g| {
+            let xv = g.constant(xs.clone());
+            let hs = layer.forward(g, xv);
+            let sq = g.mul(hs, hs);
+            g.sum_all(sq)
+        })
+        .unwrap_or_else(|e| panic!("lstm layer: {e}"));
+    }
+}
+
+#[test]
+fn lstm_cell_saturated_gates_gradient_check() {
+    // large-magnitude state pushes the sigmoid/tanh gates toward their
+    // flat regions, where wrong backward rules hide behind tiny gradients;
+    // the relative tolerance inside gradient_check keeps this meaningful
+    let mut rng = StdRng::seed_from_u64(14);
+    let mut store = ParamStore::new();
+    let cell = LstmCell::new(&mut store, "cell", 3, 3, &mut rng);
+    let x = Initializer::Uniform(2.5).init(1, 3, &mut rng);
+
+    for target in store.ids().collect::<Vec<_>>() {
+        let cell = cell.clone();
+        let x = x.clone();
+        gradient_check(&mut store, target, EPS, TOL, move |g| {
+            let xv = g.constant(x.clone());
+            let h0 = g.constant(Tensor::full(1, 3, 0.9));
+            let c0 = g.constant(Tensor::full(1, 3, 2.0));
+            let (h1, c1) = cell.step(g, xv, h0, c0);
+            let (h2, _) = cell.step(g, h1, h1, c1);
+            let sq = g.mul(h2, h2);
+            g.sum_all(sq)
+        })
+        .unwrap_or_else(|e| panic!("saturated lstm cell: {e}"));
+    }
+}

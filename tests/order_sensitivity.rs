@@ -1,0 +1,208 @@
+//! Metamorphic suite: token order is exactly what separates the paper's
+//! two model families.
+//!
+//! Shuffling the tokens inside every document must leave the bag-of-words
+//! pipeline *bit-identical* — the TF-IDF vectorizer canonicalizes rows, so
+//! NB/LR/SVM can't see order even in the last float bit — while the
+//! sequential models (LSTM, transformer) must produce measurably different
+//! logits for the same multiset of tokens. That asymmetry is the paper's
+//! central claim, so it gets its own tests.
+
+use cuisine::{PipelineConfig, Scale};
+use ml::{
+    Classifier, LinearSvm, LinearSvmConfig, LogisticRegression, LogisticRegressionConfig,
+    MultinomialNb, MultinomialNbConfig,
+};
+use nn::{BertClassifier, BertConfig, LstmClassifier, LstmConfig, LstmPooling, SequenceModel};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use textproc::{TfIdfConfig, TfIdfVectorizer};
+
+/// Deterministically shuffles every document's tokens (seeded per doc).
+fn shuffle_docs<T: Clone>(docs: &[Vec<T>], seed: u64) -> Vec<Vec<T>> {
+    docs.iter()
+        .enumerate()
+        .map(|(i, doc)| {
+            let mut out = doc.clone();
+            out.shuffle(&mut StdRng::seed_from_u64(seed ^ i as u64));
+            out
+        })
+        .collect()
+}
+
+fn assert_probs_bit_identical(label: &str, a: &[Vec<f64>], b: &[Vec<f64>]) {
+    assert_eq!(a.len(), b.len(), "{label}: row count");
+    for (row, (pa, pb)) in a.iter().zip(b).enumerate() {
+        for (col, (x, y)) in pa.iter().zip(pb).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{label}: probability ({row},{col}) differs: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bag_models_are_bit_identical_under_token_shuffle() {
+    let config = PipelineConfig::new(Scale::Custom(0.004), 7);
+    let pipeline = cuisine::Pipeline::prepare(&config);
+    let d = &pipeline.data;
+
+    let train_docs: Vec<Vec<&str>> = d
+        .split
+        .train
+        .iter()
+        .map(|&i| d.docs[i].iter().map(String::as_str).collect())
+        .collect();
+    let test_docs: Vec<Vec<String>> = d.split.test.iter().map(|&i| d.docs[i].clone()).collect();
+    let shuffled_docs = shuffle_docs(&test_docs, 0xC0FFEE);
+    assert!(
+        test_docs.iter().zip(&shuffled_docs).any(|(a, b)| a != b),
+        "shuffle must actually permute at least one document"
+    );
+
+    let mut vectorizer = TfIdfVectorizer::new(TfIdfConfig {
+        min_df: config.models.tfidf_min_df,
+        ..Default::default()
+    });
+    let x_train = vectorizer.fit_transform(&train_docs);
+    fn as_refs(docs: &[Vec<String>]) -> Vec<Vec<&str>> {
+        docs.iter()
+            .map(|doc| doc.iter().map(String::as_str).collect())
+            .collect()
+    }
+    let x_test = vectorizer.transform(&as_refs(&test_docs));
+    let x_shuffled = vectorizer.transform(&as_refs(&shuffled_docs));
+
+    // the vectorizer canonicalizes rows, so the matrices are already equal…
+    assert_eq!(
+        x_test, x_shuffled,
+        "TF-IDF must canonicalize away token order"
+    );
+
+    // …and therefore every bag model's probabilities are bit-identical
+    let y_train = pipeline.labels_of(&d.split.train);
+    let mut logreg = LogisticRegression::new(LogisticRegressionConfig {
+        sgd: ml::SgdConfig {
+            epochs: 5,
+            ..Default::default()
+        },
+    });
+    logreg.fit(&x_train, &y_train);
+    assert_probs_bit_identical(
+        "LogReg",
+        &logreg.predict_proba(&x_test),
+        &logreg.predict_proba(&x_shuffled),
+    );
+
+    let mut nb = MultinomialNb::new(MultinomialNbConfig::default());
+    nb.fit(&x_train, &y_train);
+    assert_probs_bit_identical(
+        "NaiveBayes",
+        &nb.predict_proba(&x_test),
+        &nb.predict_proba(&x_shuffled),
+    );
+
+    let mut svm = LinearSvm::new(LinearSvmConfig {
+        sgd: ml::SgdConfig {
+            epochs: 5,
+            ..Default::default()
+        },
+    });
+    svm.fit(&x_train, &y_train);
+    assert_probs_bit_identical(
+        "LinearSVM",
+        &svm.predict_proba(&x_test),
+        &svm.predict_proba(&x_shuffled),
+    );
+    assert_eq!(svm.predict(&x_test), svm.predict(&x_shuffled));
+}
+
+/// Max absolute difference between two logit rows of the same shape.
+fn max_logit_diff(model: &impl SequenceModel, a: &[usize], b: &[usize]) -> f32 {
+    let mut g = autograd::Graph::new(model.store());
+    let mut rng = StdRng::seed_from_u64(0);
+    let la = model.logits(&mut g, a, false, &mut rng);
+    let lb = model.logits(&mut g, b, false, &mut rng);
+    let (va, vb) = (g.value(la).clone(), g.value(lb).clone());
+    va.as_slice()
+        .iter()
+        .zip(vb.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+#[test]
+fn lstm_logits_change_under_token_shuffle() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let model = LstmClassifier::new(
+        LstmConfig {
+            vocab: 32,
+            emb_dim: 8,
+            hidden: 8,
+            layers: 1,
+            dropout: 0.0,
+            classes: 4,
+            pooling: LstmPooling::LastHidden,
+        },
+        &mut rng,
+    );
+    let seq: Vec<usize> = vec![5, 9, 12, 7, 20, 6];
+    let mut shuffled = seq.clone();
+    shuffled.shuffle(&mut StdRng::seed_from_u64(3));
+    assert_ne!(seq, shuffled);
+    assert_eq!(
+        {
+            let mut s = seq.clone();
+            s.sort_unstable();
+            s
+        },
+        {
+            let mut s = shuffled.clone();
+            s.sort_unstable();
+            s
+        },
+        "shuffle must preserve the token multiset"
+    );
+
+    let diff = max_logit_diff(&model, &seq, &shuffled);
+    assert!(
+        diff > 1e-4,
+        "LSTM logits should differ measurably under reordering, max diff {diff}"
+    );
+    // sanity: identical input really is bit-identical
+    assert_eq!(max_logit_diff(&model, &seq, &seq), 0.0);
+}
+
+#[test]
+fn transformer_logits_change_under_token_shuffle() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let model = BertClassifier::new(
+        BertConfig {
+            vocab: 32,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            d_ff: 16,
+            max_len: 16,
+            dropout: 0.0,
+            classes: 4,
+        },
+        &mut rng,
+    );
+    let seq: Vec<usize> = vec![5, 9, 12, 7, 20, 6];
+    let mut shuffled = seq.clone();
+    shuffled.shuffle(&mut StdRng::seed_from_u64(3));
+    assert_ne!(seq, shuffled);
+
+    // the transformer sees order only through position embeddings, so this
+    // also proves those embeddings are wired into the forward pass
+    let diff = max_logit_diff(&model, &seq, &shuffled);
+    assert!(
+        diff > 1e-4,
+        "transformer logits should differ measurably under reordering, max diff {diff}"
+    );
+    assert_eq!(max_logit_diff(&model, &seq, &seq), 0.0);
+}

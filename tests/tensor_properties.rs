@@ -1,0 +1,175 @@
+//! Property/differential tests for the parallel matmul kernels.
+//!
+//! The pool's contract is *determinism*: every kernel must produce
+//! bit-identical output no matter how many threads split the tiles, and
+//! the `_into` variants must match the allocating ones exactly. These
+//! tests sweep explicit thread counts (1, 2, 4) over ragged shapes —
+//! primes, single rows/columns, sizes smaller than the thread count —
+//! where tile claiming is most likely to go wrong, and differentially
+//! check the threads=1 path against a naive triple loop.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{
+    matmul_a_bt, matmul_a_bt_into, matmul_a_bt_with_threads, matmul_at_b, matmul_at_b_into,
+    matmul_at_b_with_threads, matmul_into, matmul_with_threads, Initializer, Tensor,
+};
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Shapes that stress tile boundaries: 1, primes, and a couple of sizes
+/// around the blocking factor.
+fn ragged_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(2),
+        Just(3),
+        Just(5),
+        Just(7),
+        Just(13),
+        Just(17),
+        Just(31)
+    ]
+}
+
+fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Initializer::Uniform(2.0).init(rows, cols, &mut rng)
+}
+
+/// Naive `a × b` with the same per-cell accumulation order as the blocked
+/// kernel (k ascending), so threads=1 output can be compared bit-exactly.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (_, n) = b.shape();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn assert_bits_equal(label: &str, reference: &Tensor, got: &Tensor) {
+    assert_eq!(reference.shape(), got.shape(), "{label}: shape mismatch");
+    for (i, (r, g)) in reference.as_slice().iter().zip(got.as_slice()).enumerate() {
+        assert_eq!(
+            r.to_bits(),
+            g.to_bits(),
+            "{label}: element {i} differs: {r} vs {g}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_across_threads(
+        m in ragged_dim(), k in ragged_dim(), n in ragged_dim(), seed in 0u64..1000,
+    ) {
+        let a = random_tensor(m, k, seed);
+        let b = random_tensor(k, n, seed ^ 0x9e37);
+        let serial = matmul_with_threads(&a, &b, 1);
+        for threads in THREAD_SWEEP {
+            let par = matmul_with_threads(&a, &b, threads);
+            assert_bits_equal(&format!("a_b {m}x{k}x{n} threads={threads}"), &serial, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_at_b_is_bit_identical_across_threads(
+        m in ragged_dim(), k in ragged_dim(), n in ragged_dim(), seed in 0u64..1000,
+    ) {
+        // a is stored transposed: (k × m) input computing (m × n) output
+        let a = random_tensor(k, m, seed);
+        let b = random_tensor(k, n, seed ^ 0x9e37);
+        let serial = matmul_at_b_with_threads(&a, &b, 1);
+        for threads in THREAD_SWEEP {
+            let par = matmul_at_b_with_threads(&a, &b, threads);
+            assert_bits_equal(&format!("at_b {m}x{k}x{n} threads={threads}"), &serial, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_a_bt_is_bit_identical_across_threads(
+        m in ragged_dim(), k in ragged_dim(), n in ragged_dim(), seed in 0u64..1000,
+    ) {
+        let a = random_tensor(m, k, seed);
+        let b = random_tensor(n, k, seed ^ 0x9e37);
+        let serial = matmul_a_bt_with_threads(&a, &b, 1);
+        for threads in THREAD_SWEEP {
+            let par = matmul_a_bt_with_threads(&a, &b, threads);
+            assert_bits_equal(&format!("a_bt {m}x{k}x{n} threads={threads}"), &serial, &par);
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants(
+        m in ragged_dim(), k in ragged_dim(), n in ragged_dim(), seed in 0u64..1000,
+    ) {
+        let a = random_tensor(m, k, seed);
+        let b = random_tensor(k, n, seed ^ 0x517c);
+        let bt = b.transpose();
+        let at = a.transpose();
+
+        // out buffers start poisoned to catch kernels that accumulate
+        // instead of overwriting
+        let mut out = Tensor::full(m, n, f32::NAN);
+        matmul_into(&a, &b, &mut out);
+        assert_bits_equal("matmul_into", &matmul_with_threads(&a, &b, 1), &out);
+
+        let mut out = Tensor::full(m, n, f32::NAN);
+        matmul_at_b_into(&at, &b, &mut out);
+        assert_bits_equal("matmul_at_b_into", &matmul_at_b(&at, &b), &out);
+
+        let mut out = Tensor::full(m, n, f32::NAN);
+        matmul_a_bt_into(&a, &bt, &mut out);
+        assert_bits_equal("matmul_a_bt_into", &matmul_a_bt(&a, &bt), &out);
+    }
+
+    #[test]
+    fn serial_kernel_matches_naive_reference(
+        m in ragged_dim(), k in ragged_dim(), n in ragged_dim(), seed in 0u64..1000,
+    ) {
+        let a = random_tensor(m, k, seed);
+        let b = random_tensor(k, n, seed ^ 0x2545);
+        let blocked = matmul_with_threads(&a, &b, 1);
+        let naive = naive_matmul(&a, &b);
+        // same accumulation order → differential check can be exact
+        assert_bits_equal(&format!("naive {m}x{k}x{n}"), &naive, &blocked);
+    }
+}
+
+/// Deterministic (non-proptest) sweep over a fixed ragged-shape grid so a
+/// failure reproduces without a proptest seed.
+#[test]
+fn fixed_ragged_grid_is_thread_invariant() {
+    for &(m, k, n) in &[
+        (1, 1, 1),
+        (1, 31, 1),
+        (31, 1, 31),
+        (2, 17, 5),
+        (13, 13, 13),
+        (7, 64, 3),
+        (64, 7, 64),
+    ] {
+        let a = random_tensor(m, k, (m * 1000 + k * 10 + n) as u64);
+        let b = random_tensor(k, n, (n * 1000 + m) as u64);
+        let serial = matmul_with_threads(&a, &b, 1);
+        for threads in THREAD_SWEEP {
+            let par = matmul_with_threads(&a, &b, threads);
+            assert_bits_equal(
+                &format!("grid {m}x{k}x{n} threads={threads}"),
+                &serial,
+                &par,
+            );
+        }
+    }
+}

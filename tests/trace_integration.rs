@@ -1,0 +1,114 @@
+//! End-to-end observability check: one traced pipeline run must produce a
+//! span tree covering featurize → train → eval with per-epoch timings,
+//! plus live pool and arena counters — the same artifact `table4 --trace`
+//! writes to `RUN_trace.json`.
+//!
+//! Trace state is process-global, so this file keeps everything in a
+//! single test function.
+
+use cuisine::{ModelKind, Pipeline, PipelineConfig, Scale};
+
+#[test]
+fn traced_lstm_run_covers_featurize_train_eval() {
+    trace::reset();
+    trace::enable();
+
+    let mut config = PipelineConfig::new(Scale::Custom(0.004), 7);
+    config.models.vocab_max_size = 600;
+    // shrink the LSTM so the traced run stays test-sized
+    config.models.lstm.emb_dim = 8;
+    config.models.lstm.hidden = 8;
+    config.models.lstm.layers = 1;
+    config.models.lstm_trainer.epochs = 2;
+
+    let pipeline = Pipeline::prepare(&config);
+    let result = pipeline.run(ModelKind::Lstm, &config);
+    assert!(result.report.accuracy.is_finite());
+
+    // tiny matmuls stay on the calling thread (and Auto mode collapses to
+    // one thread on single-core machines), so drive the parallel path once
+    // explicitly to exercise the pool counters in the same trace
+    let a = tensor::Tensor::full(64, 64, 1.0);
+    let _ = tensor::matmul_with_threads(&a, &a, 2);
+
+    trace::disable();
+    let snap = trace::snapshot();
+
+    // --- span tree -------------------------------------------------------
+    let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_ref()).collect();
+    for expected in [
+        "featurize",
+        "featurize.generate",
+        "featurize.preprocess",
+        "featurize.encode",
+        "model[LSTM]",
+        "train",
+        "nn.trainer.fit",
+        "epoch[0]",
+        "epoch[1]",
+        "eval",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "span {expected:?} missing from {names:?}"
+        );
+    }
+
+    let by_name = |n: &str| snap.spans.iter().find(|s| s.name == n).unwrap();
+    // per-epoch timings are real measurements, nested under the fit span
+    let fit = by_name("nn.trainer.fit");
+    for epoch in ["epoch[0]", "epoch[1]"] {
+        let s = by_name(epoch);
+        assert!(s.dur_ns > 0, "{epoch} must carry a wall-clock duration");
+        assert_eq!(s.parent, Some(fit.id), "{epoch} must nest under the fit");
+    }
+    // the pipeline phases nest under the model span
+    let model = by_name("model[LSTM]");
+    assert_eq!(by_name("train").parent, Some(model.id));
+    assert_eq!(by_name("eval").parent, Some(model.id));
+    assert!(
+        by_name("train").dur_ns >= fit.dur_ns,
+        "train span encloses the fit"
+    );
+
+    // --- counters and gauges ---------------------------------------------
+    let arena_activity = snap.counter("autograd.arena.recycled").unwrap_or(0)
+        + snap.counter("autograd.arena.allocated").unwrap_or(0);
+    assert!(arena_activity > 0, "LSTM backward must touch the arena");
+    assert!(
+        snap.counter("nn.train.tokens").unwrap_or(0) > 0,
+        "token throughput counter must accumulate"
+    );
+    let pool_activity = snap.counter("tensor.pool.jobs").unwrap_or(0)
+        + snap.counter("tensor.pool.scoped_jobs").unwrap_or(0)
+        + snap.counter("tensor.pool.inline_fallbacks").unwrap_or(0);
+    assert!(pool_activity > 0, "the 64×64 matmul must consult the pool");
+    assert!(
+        snap.counter("tensor.pool.tiles").unwrap_or(0) > 0,
+        "tile counter must accumulate"
+    );
+
+    // --- JSON artifact ----------------------------------------------------
+    let json = snap.to_json();
+    for needle in [
+        "\"spans\"",
+        "\"counters\"",
+        "\"gauges\"",
+        "featurize",
+        "epoch[0]",
+    ] {
+        assert!(json.contains(needle), "{needle} missing from JSON:\n{json}");
+    }
+    let path = std::env::temp_dir().join(format!("RUN_trace_test_{}.json", std::process::id()));
+    trace::write_json(&path).unwrap();
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert!(written.contains("\"spans\""));
+    let _ = std::fs::remove_file(&path);
+
+    // disabled again: new spans and counter bumps must be dropped
+    let before = snap.spans.len();
+    {
+        let _s = trace::span("after-disable");
+    }
+    assert_eq!(trace::snapshot().spans.len(), before);
+}
