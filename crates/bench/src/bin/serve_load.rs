@@ -1,0 +1,268 @@
+//! Load generator for the batched inference service.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve_load -- \
+//!     [--requests 512] [--clients 16] [--max-batch 16] \
+//!     [--min-speedup 3.0] [--json BENCH_serve.json] [--trace]
+//! ```
+//!
+//! Builds an LSTM serving model (vocab 5005, emb 256, hidden 64, 2
+//! layers, 26 classes — the paper's cuisine count), exports it as a
+//! model directory (manifest + checkpoint), and drives the same request
+//! stream through two paths:
+//!
+//! 1. **sequential**: one request at a time through the pre-serve code
+//!    path — featurize, then `nn::predict_proba_graph` on a singleton
+//!    batch (each request pays its own graph + parameter binding).
+//! 2. **batched**: `--clients` threads through a [`serve::BatchServer`],
+//!    so concurrent requests share fused forward passes.
+//!
+//! Every batched answer is asserted bit-identical to its sequential
+//! counterpart, so the reported speedup compares equal work. Results go
+//! to `BENCH_serve.json` (override with `--json`). With `--min-speedup
+//! <x>` the run fails unless batched throughput is at least `x` times
+//! the sequential baseline.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::HarnessArgs;
+use nn::{save_checkpoint, LstmClassifier, LstmConfig, LstmPooling, SequenceModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{BatchServer, ModelManifest, ModelRegistry, ServeConfig};
+use textproc::Vocabulary;
+
+/// Content vocabulary size (checkpoint vocab is this plus 5 specials).
+const CONTENT_TOKENS: usize = 5000;
+/// Ingredients per synthetic recipe.
+const RECIPE_LEN: std::ops::Range<usize> = 8..20;
+
+/// Synthetic ingredient names built from consonant-vowel syllables: all
+/// lowercase-alphabetic and vowel-final, so `cuisine::featurize`
+/// canonicalization (clean + lemmatize) maps each onto itself and every
+/// generated token lands in the vocabulary.
+fn content_tokens() -> Vec<String> {
+    const C: [char; 10] = ['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r'];
+    const V: [char; 5] = ['a', 'e', 'i', 'o', 'u'];
+    let syllable = |i: usize| -> [char; 2] { [C[(i / V.len()) % C.len()], V[i % V.len()]] };
+    (0..CONTENT_TOKENS)
+        .map(|i| {
+            let mut s = String::new();
+            s.extend(syllable(i % 50));
+            s.extend(syllable((i / 50) % 50));
+            s.extend(syllable(i / 2500));
+            s
+        })
+        .collect()
+}
+
+fn lstm_config() -> LstmConfig {
+    LstmConfig {
+        vocab: CONTENT_TOKENS + 5,
+        emb_dim: 256,
+        hidden: 64,
+        layers: 2,
+        dropout: 0.0,
+        classes: 26,
+        pooling: LstmPooling::LastHidden,
+    }
+}
+
+fn synth_recipes(n: usize, tokens: &[String], seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(RECIPE_LEN);
+            (0..len)
+                .map(|_| tokens[rng.gen_range(0..tokens.len())].as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        })
+        .collect()
+}
+
+fn percentile(sorted_us: &[u128], p: f64) -> u128 {
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    args.init_trace();
+    let requests: usize = args
+        .value_of("--requests")
+        .map_or(512, |v| v.parse().expect("--requests must be an integer"));
+    let clients: usize = args
+        .value_of("--clients")
+        .map_or(16, |v| v.parse().expect("--clients must be an integer"));
+    let max_batch: usize = args
+        .value_of("--max-batch")
+        .map_or(16, |v| v.parse().expect("--max-batch must be an integer"));
+
+    // --- export a servable model directory -----------------------------
+    let tokens = content_tokens();
+    let vocab = Vocabulary::from_tokens(tokens.iter().cloned());
+    assert_eq!(
+        vocab.len(),
+        lstm_config().vocab,
+        "vocab drifted from config"
+    );
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let model = LstmClassifier::new(lstm_config(), &mut rng);
+    let dir = std::env::temp_dir().join(format!("serve_load_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create model dir");
+    ModelManifest::lstm(&lstm_config(), &vocab)
+        .save(&dir)
+        .expect("write manifest");
+    save_checkpoint(model.store(), &dir.join("latest.ckpt")).expect("write checkpoint");
+
+    let recipes = synth_recipes(requests, &tokens, args.seed ^ 0x5eed);
+    let id_seqs: Vec<Vec<usize>> = recipes
+        .iter()
+        .map(|r| {
+            cuisine::featurize::entity_tokens(r)
+                .iter()
+                .map(|t| vocab.lookup_or_unk(t) as usize)
+                .collect()
+        })
+        .collect();
+    let in_vocab = id_seqs.iter().flatten().filter(|&&id| id >= 5).count();
+    let total: usize = id_seqs.iter().map(Vec::len).sum();
+    assert_eq!(
+        in_vocab, total,
+        "synthetic tokens must all survive canonicalization into the vocab"
+    );
+
+    // --- sequential baseline: one graph-eval request at a time ---------
+    eprintln!("sequential baseline: {requests} requests, one at a time");
+    let started = Instant::now();
+    let sequential: Vec<Vec<f64>> = id_seqs
+        .iter()
+        .map(|ids| {
+            nn::predict_proba_graph(&model, &[ids.as_slice()])
+                .pop()
+                .expect("one row per request")
+        })
+        .collect();
+    let seq_elapsed = started.elapsed();
+    let seq_rps = requests as f64 / seq_elapsed.as_secs_f64();
+
+    // --- batched service under concurrent clients ----------------------
+    eprintln!("batched service: {clients} clients, max_batch {max_batch}");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("lstm", &dir).expect("registry load");
+    let server = Arc::new(
+        BatchServer::start(
+            Arc::clone(&registry),
+            "lstm",
+            ServeConfig {
+                max_batch,
+                max_delay: Duration::from_millis(2),
+                queue_capacity: requests.max(1),
+                // distinct synthetic recipes: the cache cannot help, it
+                // just has to not hurt
+                cache_capacity: 1024,
+            },
+        )
+        .expect("start server"),
+    );
+    let recipes = Arc::new(recipes);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let recipes = Arc::clone(&recipes);
+            std::thread::spawn(move || {
+                let mut results = Vec::new();
+                let mut i = c;
+                while i < recipes.len() {
+                    let sent = Instant::now();
+                    let prediction = server
+                        .classify(&recipes[i], None)
+                        .expect("classify under load");
+                    results.push((i, sent.elapsed().as_micros(), prediction));
+                    i += clients;
+                }
+                results
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::with_capacity(requests);
+    let mut batch_sizes = Vec::with_capacity(requests);
+    for w in workers {
+        for (i, us, prediction) in w.join().expect("client thread") {
+            assert_eq!(
+                prediction.probs, sequential[i],
+                "batched answer for request {i} differs from sequential"
+            );
+            latencies_us.push(us);
+            batch_sizes.push(prediction.batch_size);
+        }
+    }
+    let batch_elapsed = started.elapsed();
+    server.shutdown();
+    let batch_rps = requests as f64 / batch_elapsed.as_secs_f64();
+    let speedup = batch_rps / seq_rps;
+
+    latencies_us.sort_unstable();
+    let p50 = percentile(&latencies_us, 0.50);
+    let p99 = percentile(&latencies_us, 0.99);
+    let mean_batch = batch_sizes.iter().sum::<usize>() as f64 / batch_sizes.len() as f64;
+
+    println!("requests:        {requests} (all bit-identical to baseline)");
+    println!(
+        "sequential:      {:.2} req/s  ({:.1} us/req)",
+        seq_rps,
+        seq_elapsed.as_secs_f64() / requests as f64 * 1e6
+    );
+    println!(
+        "batched:         {:.2} req/s  (p50 {p50} us, p99 {p99} us, mean batch {mean_batch:.1})",
+        batch_rps
+    );
+    println!("speedup:         {speedup:.2}x");
+
+    let json_path = PathBuf::from(args.value_of("--json").unwrap_or("BENCH_serve.json"));
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"requests\": {},\n",
+            "  \"clients\": {},\n",
+            "  \"max_batch\": {},\n",
+            "  \"entries\": [\n",
+            "    {{\"path\": \"sequential\", \"rps\": {:.2}, \"latency_ns\": {:.1}}},\n",
+            "    {{\"path\": \"batched\", \"rps\": {:.2}, \"latency_ns\": {:.1}, ",
+            "\"p50_us\": {}, \"p99_us\": {}, \"mean_batch\": {:.2}, \"speedup\": {:.3}}}\n",
+            "  ]\n",
+            "}}\n"
+        ),
+        requests,
+        clients,
+        max_batch,
+        seq_rps,
+        seq_elapsed.as_nanos() as f64 / requests as f64,
+        batch_rps,
+        batch_elapsed.as_nanos() as f64 / requests as f64,
+        p50,
+        p99,
+        mean_batch,
+        speedup,
+    );
+    std::fs::write(&json_path, json).expect("write BENCH_serve.json");
+    eprintln!("wrote {}", json_path.display());
+    args.finish_trace();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if let Some(min) = args.value_of("--min-speedup") {
+        let min: f64 = min.parse().expect("--min-speedup must be a number");
+        assert!(
+            speedup >= min,
+            "batched speedup {speedup:.2}x below required {min}x"
+        );
+        println!("speedup gate:    ok (>= {min}x)");
+    }
+}

@@ -1,0 +1,92 @@
+//! The shared featurize entry point: raw entity names → canonical tokens.
+//!
+//! Every consumer of recipe text — the training pipeline, the
+//! `classify_recipe` example, and the serving layer — must agree exactly
+//! on preprocessing, or a model trained on one spelling of "Basmati Rice"
+//! silently misses at inference time. This module is that single
+//! agreement point, reproducing §IV of the paper: strip digits and
+//! symbols, lowercase, and lemmatize per word while keeping each entity
+//! (ingredient / process / utensil) as one feature.
+//!
+//! ```
+//! assert_eq!(cuisine::featurize::canonical_entity("Basmati Rice!"), "basmati rice");
+//! assert_eq!(
+//!     cuisine::featurize::entity_tokens("Coconut Milk, stir; simmer"),
+//!     vec!["coconut milk", "stir", "simmer"]
+//! );
+//! ```
+
+use textproc::{clean_text, lemmatize};
+
+/// Canonicalizes one entity name: clean (lowercase, strip digits and
+/// punctuation) then lemmatize each word, keeping the multi-word entity
+/// as a single space-joined feature.
+pub fn canonical_entity(raw: &str) -> String {
+    clean_text(raw)
+        .split(' ')
+        .map(lemmatize)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Splits free recipe text into canonical entity tokens.
+///
+/// Entities are separated by commas, semicolons or newlines — the shape a
+/// serving request carries ("coconut milk, basmati rice, stir, simmer").
+/// Entities that clean down to nothing are dropped.
+pub fn entity_tokens(recipe: &str) -> Vec<String> {
+    recipe
+        .split([',', ';', '\n'])
+        .map(canonical_entity)
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// A canonical cache key for a recipe: its entity tokens joined with an
+/// unprintable separator, so requests that differ only in spacing,
+/// punctuation noise or letter case collapse to the same key.
+pub fn canonical_key(recipe: &str) -> String {
+    entity_tokens(recipe).join("\x1f")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_entity_cleans_and_lemmatizes() {
+        assert_eq!(canonical_entity("  White Sugar2 "), "white sugar");
+        assert_eq!(canonical_entity("TOMATOES"), canonical_entity("tomato"));
+    }
+
+    #[test]
+    fn entity_tokens_split_on_all_separators() {
+        let toks = entity_tokens("a, b; c\nd");
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn empty_entities_are_dropped() {
+        assert!(entity_tokens(" ,, ;; \n").is_empty());
+        assert_eq!(entity_tokens("rice,, ,stir").len(), 2);
+    }
+
+    #[test]
+    fn canonical_key_ignores_noise() {
+        assert_eq!(
+            canonical_key("Coconut Milk,  STIR"),
+            canonical_key("coconut milk,stir!")
+        );
+        assert_ne!(
+            canonical_key("a, b"),
+            canonical_key("b, a"),
+            "order matters"
+        );
+    }
+
+    #[test]
+    fn key_separator_cannot_collide_with_token_text() {
+        // "a b" + "c" must not equal "a" + "b c"
+        assert_ne!(canonical_key("a b, c"), canonical_key("a, b c"));
+    }
+}

@@ -24,6 +24,7 @@
 pub mod apps;
 mod config;
 mod experiments;
+pub mod featurize;
 mod paper;
 mod pipeline;
 pub mod report;

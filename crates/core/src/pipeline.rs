@@ -5,7 +5,7 @@ use metrics::ClassificationReport;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recipedb::{generate, train_val_test_split, Dataset, Split};
-use textproc::{clean_text, lemmatize, CsrMatrix, TfIdfConfig, TfIdfVectorizer, Vocabulary};
+use textproc::{CsrMatrix, TfIdfConfig, TfIdfVectorizer, Vocabulary};
 
 use crate::config::PipelineConfig;
 use crate::experiments::{ExperimentResult, ModelKind};
@@ -53,16 +53,7 @@ impl Pipeline {
                 .map(|r| {
                     r.tokens
                         .iter()
-                        .map(|&t| {
-                            let cleaned = clean_text(dataset.table.name(t));
-                            // lemmatize per word inside multi-word entities,
-                            // keeping the entity as a single feature
-                            cleaned
-                                .split(' ')
-                                .map(lemmatize)
-                                .collect::<Vec<_>>()
-                                .join(" ")
-                        })
+                        .map(|&t| crate::featurize::canonical_entity(dataset.table.name(t)))
                         .collect()
                 })
                 .collect()

@@ -1,7 +1,7 @@
 //! Deterministic fault injection for fault-tolerance testing.
 //!
 //! The trainer's hot paths carry tiny probes (`take`) that normally cost a
-//! single relaxed atomic load. Tests arm a fault with [`inject`]; the next
+//! single relaxed atomic load. Tests arm a fault with `inject`; the next
 //! `n` probes of that kind then fire exactly once each and the fault
 //! disarms itself, so a recovery path (inline retry, checkpoint rollback)
 //! sees a clean world afterwards — the same one-shot shape as a transient
@@ -12,7 +12,7 @@
 //! inlined always-false stub and no way to arm anything.
 //!
 //! Fault state is process-global. Tests that arm faults must hold
-//! [`test_guard`] for their whole body so concurrently running tests do
+//! `test_guard` for their whole body so concurrently running tests do
 //! not steal each other's injections.
 
 /// The injectable failure modes.

@@ -1,0 +1,388 @@
+//! Batched, tape-free inference for trained sequence models.
+//!
+//! The training-path evaluator ([`crate::Trainer::predict_proba`]) builds a
+//! fresh autograd graph per example, which re-binds (clones) every
+//! parameter tensor — for an embedding-heavy model the clone of the token
+//! table dominates the whole forward pass. The serving path cannot afford
+//! that, so this module provides two batched entry points:
+//!
+//! * [`LstmClassifier::predict_proba_batch`] — a fused LSTM forward that
+//!   reads weights straight out of the [`autograd::ParamStore`] (no
+//!   binding, no tape) and advances all sequences of a batch through each
+//!   timestep together, so the step matmuls run over `batch × 4·hidden`
+//!   blocks instead of single rows.
+//! * [`predict_proba_graph`] — a generic fallback for any
+//!   [`SequenceModel`] (e.g. the transformer): one shared graph per chunk
+//!   of the batch, so parameters are bound once per chunk instead of once
+//!   per example.
+//!
+//! # Bit-identity contract
+//!
+//! Both paths produce probability rows **bitwise identical** to the
+//! per-example graph evaluation. Every kernel involved fixes each output
+//! element's accumulation order independently of the surrounding batch
+//! (see `tensor::matmul`), and the fused step mirrors
+//! [`crate::LstmCell::step`] operation for operation — same sigmoid and
+//! tanh expressions, same `f·c + i·g` association, same mean-pool
+//! summation order. The serve-layer integration tests and the unit tests
+//! below assert this exactly, for ragged batches of every size.
+
+use autograd::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{softmax_rows, Tensor};
+
+use crate::lstm::{LstmClassifier, LstmPooling};
+use crate::trainer::SequenceModel;
+
+/// Examples per shared graph in [`predict_proba_graph`]: large enough to
+/// amortise parameter binding, small enough to keep the tape's value
+/// tensors from accumulating into hundreds of megabytes on big eval sets.
+const GRAPH_CHUNK: usize = 32;
+
+/// Class-probability rows for a batch of token-id sequences, computed on
+/// shared autograd graphs (one per `GRAPH_CHUNK` examples, eval mode).
+///
+/// Works for any [`SequenceModel`]; the LSTM has a faster tape-free
+/// specialisation in [`LstmClassifier::predict_proba_batch`]. Results are
+/// bitwise identical to building one graph per example.
+///
+/// # Panics
+///
+/// Panics if any sequence is empty or contains an out-of-vocabulary id
+/// (same contract as [`SequenceModel::logits`]).
+pub fn predict_proba_graph<M: SequenceModel>(model: &M, seqs: &[&[usize]]) -> Vec<Vec<f64>> {
+    let mut out = Vec::with_capacity(seqs.len());
+    for chunk in seqs.chunks(GRAPH_CHUNK.max(1)) {
+        let mut g = Graph::new(model.store());
+        // dropout is off in eval mode, so the RNG stream is inert; seed 0
+        // mirrors the trainer's evaluator
+        let mut rng = StdRng::seed_from_u64(0);
+        let rows: Vec<_> = chunk
+            .iter()
+            .map(|ids| model.logits(&mut g, ids, false, &mut rng))
+            .collect();
+        for v in rows {
+            let probs = softmax_rows(g.value(v));
+            out.push(probs.row(0).iter().map(|&p| p as f64).collect());
+        }
+    }
+    out
+}
+
+impl LstmClassifier {
+    /// Class-probability rows for a batch of token-id sequences via the
+    /// fused, tape-free LSTM forward.
+    ///
+    /// Sequences may have ragged lengths; shorter ones simply drop out of
+    /// the active block once exhausted. Output rows are in input order and
+    /// bitwise identical to evaluating each sequence alone on an autograd
+    /// graph (and therefore to [`crate::Trainer::predict_proba`]).
+    ///
+    /// ```
+    /// use nn::{LstmClassifier, LstmConfig, LstmPooling};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let model = LstmClassifier::new(
+    ///     LstmConfig {
+    ///         vocab: 20, emb_dim: 8, hidden: 8, layers: 1,
+    ///         dropout: 0.0, classes: 3, pooling: LstmPooling::LastHidden,
+    ///     },
+    ///     &mut StdRng::seed_from_u64(0),
+    /// );
+    /// // one fused pass over a ragged batch
+    /// let rows = model.predict_proba_batch(&[&[5, 6, 7], &[8]]);
+    /// assert_eq!(rows.len(), 2);
+    /// for row in &rows {
+    ///     assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    /// }
+    /// // batching never changes answers
+    /// assert_eq!(rows[1], model.predict_proba_batch(&[&[8]])[0]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sequence is empty or contains an id outside the
+    /// model's vocabulary.
+    pub fn predict_proba_batch(&self, seqs: &[&[usize]]) -> Vec<Vec<f64>> {
+        let logits = self.logits_batch(seqs);
+        let probs = softmax_rows(&logits);
+        (0..seqs.len())
+            .map(|r| probs.row(r).iter().map(|&p| p as f64).collect())
+            .collect()
+    }
+
+    /// The fused batched forward: one logit row per sequence, input order.
+    pub(crate) fn logits_batch(&self, seqs: &[&[usize]]) -> Tensor {
+        let cfg = *self.config();
+        let (embedding, layers, head) = self.parts();
+        let store = self.store();
+        let b = seqs.len();
+        let hidden = cfg.hidden;
+        if b == 0 {
+            return Tensor::zeros(0, cfg.classes);
+        }
+        for ids in seqs {
+            assert!(!ids.is_empty(), "empty sequence");
+            for &id in ids.iter() {
+                assert!(
+                    id < cfg.vocab,
+                    "embedding id {id} out of range {}",
+                    cfg.vocab
+                );
+            }
+        }
+
+        // Longest-first processing order (stable on ties) so the active
+        // sequences at any timestep are a prefix of the batch rows.
+        let mut order: Vec<usize> = (0..b).collect();
+        order.sort_by(|&x, &y| seqs[y].len().cmp(&seqs[x].len()).then(x.cmp(&y)));
+        let max_len = seqs[order[0]].len();
+
+        let table = store.get(embedding.table_id());
+        let weights: Vec<(&Tensor, &Tensor)> = layers
+            .iter()
+            .map(|l| {
+                let (w, bias) = l.cell().gate_params();
+                (store.get(w), store.get(bias))
+            })
+            .collect();
+
+        // Per-layer recurrent state, batch-major. Rows of finished
+        // sequences stop being written, so after the loop row `r` of the
+        // last layer's `h` holds the final hidden state of `seqs[order[r]]`.
+        let mut h: Vec<Vec<f32>> = vec![vec![0.0; b * hidden]; layers.len()];
+        let mut c: Vec<Vec<f32>> = vec![vec![0.0; b * hidden]; layers.len()];
+        // Mean-pool accumulator over the last layer's states (ascending
+        // `t`, mirroring `Graph::mean_rows` summing rows top-down).
+        let mut pool_acc = vec![0.0f32; b * hidden];
+
+        let mut active = b;
+        // Step work buffers, rebuilt only when the active count shrinks.
+        let mut xh: Vec<Tensor> = Vec::new();
+        let mut z: Vec<Tensor> = Vec::new();
+        let rebuild = |xh: &mut Vec<Tensor>, z: &mut Vec<Tensor>, bt: usize| {
+            *xh = layers
+                .iter()
+                .enumerate()
+                .map(|(l, layer)| {
+                    let input = if l == 0 { cfg.emb_dim } else { hidden };
+                    debug_assert_eq!(layer.cell().hidden(), hidden);
+                    Tensor::zeros(bt, input + hidden)
+                })
+                .collect();
+            *z = layers
+                .iter()
+                .map(|_| Tensor::zeros(bt, 4 * hidden))
+                .collect();
+        };
+        rebuild(&mut xh, &mut z, active);
+
+        for t in 0..max_len {
+            while active > 0 && seqs[order[active - 1]].len() <= t {
+                active -= 1;
+            }
+            if active == 0 {
+                break;
+            }
+            if xh[0].rows() != active {
+                rebuild(&mut xh, &mut z, active);
+            }
+            for l in 0..layers.len() {
+                let input = if l == 0 { cfg.emb_dim } else { hidden };
+                // assemble [x_t | h] rows for the active prefix
+                for r in 0..active {
+                    let row = xh[l].row_mut(r);
+                    if l == 0 {
+                        let id = seqs[order[r]][t];
+                        row[..input].copy_from_slice(table.row(id));
+                    } else {
+                        let prev = &h[l - 1][r * hidden..(r + 1) * hidden];
+                        row[..input].copy_from_slice(prev);
+                    }
+                    row[input..].copy_from_slice(&h[l][r * hidden..(r + 1) * hidden]);
+                }
+                let (w, bias) = weights[l];
+                tensor::matmul_into(&xh[l], w, &mut z[l]);
+                z[l].add_row_broadcast(bias);
+                // gates, mirroring LstmCell::step expression for expression
+                let (h_l, c_l) = (&mut h[l], &mut c[l]);
+                for r in 0..active {
+                    let zr = z[l].row(r);
+                    let h_row = &mut h_l[r * hidden..(r + 1) * hidden];
+                    let c_row = &mut c_l[r * hidden..(r + 1) * hidden];
+                    for u in 0..hidden {
+                        let i_gate = sigmoid(zr[u]);
+                        let f_gate = sigmoid(zr[hidden + u]);
+                        let o_gate = sigmoid(zr[2 * hidden + u]);
+                        let cand = zr[3 * hidden + u].tanh();
+                        let c_next = f_gate * c_row[u] + i_gate * cand;
+                        c_row[u] = c_next;
+                        h_row[u] = o_gate * c_next.tanh();
+                    }
+                }
+            }
+            if cfg.pooling == LstmPooling::MeanPool {
+                let last = &h[layers.len() - 1];
+                for r in 0..active {
+                    let acc = &mut pool_acc[r * hidden..(r + 1) * hidden];
+                    for (a, &v) in acc.iter_mut().zip(&last[r * hidden..(r + 1) * hidden]) {
+                        *a += v;
+                    }
+                }
+            }
+        }
+
+        // pooled features, back in input order
+        let mut pooled = Tensor::zeros(b, hidden);
+        let last = &h[layers.len() - 1];
+        for (r, &orig) in order.iter().enumerate() {
+            let row = pooled.row_mut(orig);
+            match cfg.pooling {
+                LstmPooling::LastHidden => {
+                    row.copy_from_slice(&last[r * hidden..(r + 1) * hidden]);
+                }
+                LstmPooling::MeanPool => {
+                    // mirror Graph::mean_rows: sum over rows, then one
+                    // multiply by the precomputed reciprocal
+                    let inv = 1.0 / seqs[orig].len() as f32;
+                    for (o, &v) in row.iter_mut().zip(&pool_acc[r * hidden..(r + 1) * hidden]) {
+                        *o = v * inv;
+                    }
+                }
+            }
+        }
+
+        let w_head = store.get(head.weight());
+        let b_head = store.get(head.bias());
+        let mut logits = Tensor::zeros(b, cfg.classes);
+        tensor::matmul_into(&pooled, w_head, &mut logits);
+        logits.add_row_broadcast(b_head);
+        logits
+    }
+}
+
+/// The exact sigmoid expression of `Graph::sigmoid`.
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstm::LstmConfig;
+    use crate::trainer::Example;
+    use crate::{Trainer, TrainerConfig};
+
+    fn model(pooling: LstmPooling, seed: u64) -> LstmClassifier {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LstmClassifier::new(
+            LstmConfig {
+                vocab: 40,
+                emb_dim: 12,
+                hidden: 9, // odd width exercises the matmul column tail
+                layers: 2,
+                dropout: 0.3, // must be ignored in eval mode
+                classes: 5,
+                pooling,
+            },
+            &mut rng,
+        )
+    }
+
+    fn ragged_seqs(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| (0..(i % 23 + 1)).map(|t| (i * 7 + t * 3) % 40).collect())
+            .collect()
+    }
+
+    fn graph_rows(m: &LstmClassifier, seqs: &[Vec<usize>]) -> Vec<Vec<f64>> {
+        seqs.iter()
+            .map(|ids| {
+                let mut g = Graph::new(m.store());
+                let mut rng = StdRng::seed_from_u64(0);
+                let v = m.logits(&mut g, ids, false, &mut rng);
+                let probs = softmax_rows(g.value(v));
+                probs.row(0).iter().map(|&p| p as f64).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_batch_is_bit_identical_to_graph_eval() {
+        for pooling in [LstmPooling::LastHidden, LstmPooling::MeanPool] {
+            let m = model(pooling, 3);
+            for n in [1usize, 2, 7, 32] {
+                let seqs = ragged_seqs(n);
+                let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+                let batched = m.predict_proba_batch(&refs);
+                let single = graph_rows(&m, &seqs);
+                assert_eq!(batched, single, "pooling {pooling:?}, batch {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_matches_any_batch_position() {
+        let m = model(LstmPooling::LastHidden, 9);
+        let seqs = ragged_seqs(13);
+        let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+        let batched = m.predict_proba_batch(&refs);
+        for (i, seq) in seqs.iter().enumerate() {
+            let alone = m.predict_proba_batch(&[seq.as_slice()]);
+            assert_eq!(alone[0], batched[i], "row {i} depends on batch context");
+        }
+    }
+
+    #[test]
+    fn graph_fallback_matches_per_example_graphs() {
+        let m = model(LstmPooling::LastHidden, 5);
+        let seqs = ragged_seqs(40); // spans two GRAPH_CHUNKs
+        let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+        let fallback = predict_proba_graph(&m, &refs);
+        // one graph per example — the original evaluator's formulation
+        let reference = graph_rows(&m, &seqs);
+        assert_eq!(fallback, reference);
+        // and the trainer's evaluator (now chunk-shared, possibly across
+        // several worker shards) must agree too
+        let examples: Vec<Example> = seqs.iter().map(|s| (s.clone(), 0)).collect();
+        let trainer = Trainer::new(TrainerConfig {
+            threads: 3,
+            ..Default::default()
+        });
+        assert_eq!(trainer.predict_proba(&m, &examples).unwrap(), reference);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let m = model(LstmPooling::LastHidden, 1);
+        assert!(m.predict_proba_batch(&[]).is_empty());
+        assert!(predict_proba_graph(&m, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics_like_the_graph_path() {
+        let m = model(LstmPooling::LastHidden, 1);
+        let _ = m.predict_proba_batch(&[&[]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_vocab_id_panics() {
+        let m = model(LstmPooling::LastHidden, 1);
+        let _ = m.predict_proba_batch(&[&[41]]);
+    }
+
+    #[test]
+    fn probability_rows_are_distributions() {
+        let m = model(LstmPooling::MeanPool, 2);
+        let seqs = ragged_seqs(10);
+        let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+        for row in m.predict_proba_batch(&refs) {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+}

@@ -66,6 +66,11 @@ impl Linear {
     pub fn weight(&self) -> ParamId {
         self.w
     }
+
+    /// The bias parameter id.
+    pub fn bias(&self) -> ParamId {
+        self.b
+    }
 }
 
 /// Token-embedding table.

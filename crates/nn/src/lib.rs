@@ -22,6 +22,7 @@ pub mod batch;
 pub mod bert;
 pub mod checkpoint;
 pub mod faults;
+pub mod infer;
 pub mod layers;
 pub mod lstm;
 pub mod optim;
@@ -33,6 +34,8 @@ pub mod word2vec;
 pub use attention::MultiHeadAttention;
 pub use batch::BatchIterator;
 pub use bert::{BertClassifier, BertConfig, PretrainConfig, PretrainStats};
+pub use infer::predict_proba_graph;
+
 pub use checkpoint::{
     load_checkpoint, load_checkpoint_with_state, save_checkpoint, save_checkpoint_v1,
     save_checkpoint_with_state, CheckpointManager, TrainState,

@@ -51,6 +51,11 @@ impl LstmCell {
         self.hidden
     }
 
+    /// Fused gate weight and bias ids, for the tape-free inference path.
+    pub(crate) fn gate_params(&self) -> (ParamId, ParamId) {
+        (self.w, self.b)
+    }
+
     /// One timestep: `(x_t, h, c) → (h', c')`. All state rows are `1 × n`.
     pub fn step(&self, g: &mut Graph, x_t: VarId, h: VarId, c: VarId) -> (VarId, VarId) {
         let w = g.param(self.w);
@@ -86,6 +91,11 @@ pub struct LstmLayer {
 }
 
 impl LstmLayer {
+    /// The layer's cell, for the tape-free inference path.
+    pub(crate) fn cell(&self) -> &LstmCell {
+        &self.cell
+    }
+
     /// Registers a layer (see [`LstmCell::new`]).
     pub fn new(
         store: &mut ParamStore,
@@ -215,6 +225,11 @@ impl LstmClassifier {
     /// The model's configuration.
     pub fn config(&self) -> &LstmConfig {
         &self.config
+    }
+
+    /// Internals for the tape-free inference path in [`crate::infer`].
+    pub(crate) fn parts(&self) -> (&Embedding, &[LstmLayer], &Linear) {
+        (&self.embedding, &self.layers, &self.head)
     }
 
     /// Replaces the token-embedding table with pre-trained vectors (e.g.

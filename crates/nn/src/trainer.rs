@@ -30,7 +30,7 @@ use std::path::PathBuf;
 use autograd::{Graph, ParamId, ParamStore, VarId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tensor::{softmax_rows, Tensor};
+use tensor::Tensor;
 use trace::{Counter, Gauge};
 
 /// Token ids pushed through the forward/backward passes during training.
@@ -727,15 +727,12 @@ impl Trainer {
                 .map(|shard| {
                     scope.spawn(move |_| {
                         catch_unwind(AssertUnwindSafe(|| {
-                            let mut rng = StdRng::seed_from_u64(0);
-                            let mut out = Vec::with_capacity(shard.len());
-                            for (ids, _) in shard {
-                                let mut g = Graph::new(model.store());
-                                let logits = model.logits(&mut g, ids, false, &mut rng);
-                                let probs = softmax_rows(g.value(logits));
-                                out.push(probs.row(0).iter().map(|&p| p as f64).collect());
-                            }
-                            out
+                            // shared graphs bind the parameters once per
+                            // chunk instead of once per example; results
+                            // are bitwise identical either way
+                            let refs: Vec<&[usize]> =
+                                shard.iter().map(|(ids, _)| ids.as_slice()).collect();
+                            crate::infer::predict_proba_graph(model, &refs)
                         }))
                         .map_err(|p| panic_text(p.as_ref()))
                     })

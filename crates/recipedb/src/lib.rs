@@ -7,14 +7,14 @@
 //! reproduces its *statistical shape* instead:
 //!
 //! * the 26-cuisine × 6-continent taxonomy with the exact per-cuisine recipe
-//!   counts of the paper's Table II ([`taxonomy`]);
+//!   counts of the paper's Table II (`taxonomy`);
 //! * a ~20,400-entity vocabulary (20,280 ingredients, 256 cooking processes,
 //!   69 utensils) whose corpus frequency spectrum is calibrated to the
 //!   paper's Table III — 11,738 hapax entities, 304 entities above 1,000
-//!   occurrences, a top process (`add`) near 188k occurrences ([`vocab`]);
+//!   occurrences, a top process (`add`) near 188k occurrences (`vocab`);
 //! * recipes as *sequences*: ingredients first, then an ordered chain of
 //!   processes interleaved with utensils, mirroring the sample rows of
-//!   Table I ([`generator`]).
+//!   Table I (`generator`).
 //!
 //! Crucially for the paper's hypothesis, the generator plants two separable
 //! kinds of signal:

@@ -1,0 +1,235 @@
+//! A constant-time LRU cache for featurized inputs.
+//!
+//! The batch worker keys this by canonicalized recipe text (see
+//! [`cuisine::featurize::canonical_key`]), so repeated requests skip the
+//! vocabulary/TF-IDF lookup work. Implemented as a slab-backed doubly
+//! linked list plus a `HashMap` index: `get`, `insert` and eviction are
+//! all O(1).
+//!
+//! ```
+//! let mut lru = serve::LruCache::new(2);
+//! lru.insert("a", 1);
+//! lru.insert("b", 2);
+//! assert_eq!(lru.get(&"a"), Some(&1)); // promotes "a"
+//! lru.insert("c", 3);                  // evicts "b", the coldest
+//! assert_eq!(lru.get(&"b"), None);
+//! assert_eq!(lru.len(), 2);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Least-recently-used cache with a fixed capacity. A capacity of `0`
+/// disables caching entirely (every `insert` is dropped).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot (next eviction victim).
+    tail: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// Creates an empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slots: Vec::with_capacity(capacity.min(1 << 16)),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a key, marking it most-recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &slot = self.map.get(key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        Some(&self.slots[slot].value)
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least-recently-used
+    /// one when the cache is full. Returns the value it displaced: the
+    /// previous value under this key, or the evicted entry's value.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            let old = std::mem::replace(&mut self.slots[slot].value, value);
+            self.unlink(slot);
+            self.push_front(slot);
+            return Some(old);
+        }
+        if self.map.len() == self.capacity {
+            // reuse the coldest slot in place: swap in the new entry,
+            // hand the displaced value back
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            let old = std::mem::replace(&mut self.slots[victim].value, value);
+            self.slots[victim].key = key.clone();
+            self.map.insert(key, victim);
+            self.push_front(victim);
+            return Some(old);
+        }
+        self.slots.push(Slot {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        let slot = self.slots.len() - 1;
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        None
+    }
+
+    /// Drops every entry (the capacity is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruCache::new(3);
+        for (k, v) in [("a", 1), ("b", 2), ("c", 3)] {
+            assert_eq!(lru.insert(k, v), None);
+        }
+        assert_eq!(lru.insert("d", 4), Some(1), "a was coldest");
+        assert_eq!(lru.get(&"a"), None);
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn get_promotes() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.insert("c", 3), Some(2), "b became coldest after get(a)");
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn reinsert_replaces_and_promotes() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.insert("a", 10), Some(1));
+        assert_eq!(lru.insert("c", 3), Some(2), "b evicted, not the fresh a");
+        assert_eq!(lru.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn capacity_one_and_zero() {
+        let mut one = LruCache::new(1);
+        assert_eq!(one.insert("a", 1), None);
+        assert_eq!(one.insert("b", 2), Some(1));
+        assert_eq!(one.get(&"b"), Some(&2));
+        assert_eq!(one.len(), 1);
+
+        let mut zero: LruCache<&str, i32> = LruCache::new(0);
+        assert_eq!(zero.insert("a", 1), None);
+        assert_eq!(zero.get(&"a"), None);
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.capacity(), 2);
+        lru.insert("b", 2);
+        assert_eq!(lru.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn churn_stays_consistent() {
+        let mut lru = LruCache::new(8);
+        for i in 0..1000usize {
+            lru.insert(i % 13, i);
+            assert!(lru.len() <= 8);
+            let probe = (i * 7) % 13;
+            if let Some(&v) = lru.get(&probe) {
+                assert_eq!(v % 13, probe, "value must match its key");
+            }
+        }
+        // the 8 hottest keys are retrievable
+        let mut hits = 0;
+        for k in 0..13 {
+            if lru.get(&k).is_some() {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 8);
+    }
+}

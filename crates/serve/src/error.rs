@@ -1,0 +1,70 @@
+//! The service's failure vocabulary.
+
+use std::fmt;
+
+/// Everything that can go wrong between accepting a request and returning
+/// a prediction.
+///
+/// ```
+/// let e = serve::ServeError::Overloaded { depth: 64, capacity: 64 };
+/// assert!(e.to_string().contains("64/64"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is full; the caller should back off and
+    /// retry. Carries the observed depth and the configured capacity.
+    Overloaded {
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The request's deadline passed before a batch picked it up.
+    DeadlineExceeded,
+    /// The server is draining and accepts no new requests.
+    ShuttingDown,
+    /// No model with this name is loaded in the registry.
+    UnknownModel(String),
+    /// The recipe text canonicalized to zero entity tokens.
+    EmptyRecipe,
+    /// The worker disappeared before answering (it panicked or the server
+    /// was torn down mid-flight).
+    Canceled,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overloaded { depth, capacity } => {
+                write!(f, "queue overloaded ({depth}/{capacity} requests)")
+            }
+            Self::DeadlineExceeded => write!(f, "deadline exceeded while queued"),
+            Self::ShuttingDown => write!(f, "server is shutting down"),
+            Self::UnknownModel(name) => write!(f, "no model named {name:?} is loaded"),
+            Self::EmptyRecipe => write!(f, "recipe text has no entity tokens"),
+            Self::Canceled => write!(f, "request canceled: worker went away"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServeError::Overloaded {
+            depth: 3,
+            capacity: 2
+        }
+        .to_string()
+        .contains("3/2"));
+        assert!(ServeError::UnknownModel("lstm".into())
+            .to_string()
+            .contains("lstm"));
+        let source: Box<dyn std::error::Error> = Box::new(ServeError::EmptyRecipe);
+        assert!(source.to_string().contains("no entity tokens"));
+    }
+}

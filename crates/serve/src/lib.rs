@@ -1,0 +1,52 @@
+//! Batched inference serving for trained cuisine classifiers.
+//!
+//! This crate turns the artifacts the training stack writes to disk —
+//! `cuisine-checkpoint-v2` weight files from `nn`, `cuisine-linear-v1`
+//! snapshots from `ml` — into a running, hot-swappable prediction
+//! service:
+//!
+//! * [`ModelRegistry`] materializes a model directory (manifest +
+//!   weights) behind the common [`ServingModel`] trait and supports
+//!   atomic hot-swap under live traffic.
+//! * [`BatchServer`] owns a bounded request queue and a micro-batching
+//!   worker: requests accumulate until `max_batch` or `max_delay`, then
+//!   ride one fused forward pass. Batched answers are bit-identical to
+//!   one-at-a-time evaluation.
+//! * [`LruCache`] memoizes featurized inputs keyed by canonicalized
+//!   recipe text (`cuisine::featurize::canonical_key`), invalidated on
+//!   every model swap.
+//!
+//! Everything is instrumented through `trace`; see `docs/TRACING.md` for
+//! the metric names and `docs/CHECKPOINT_FORMAT.md` for the on-disk
+//! layout a model directory must follow.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use serve::{BatchServer, ModelRegistry, ServeConfig};
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.load("lstm", std::path::Path::new("models/lstm"))?;
+//! let server = BatchServer::start(registry, "lstm", ServeConfig::default())?;
+//! let prediction = server.classify("garlic, onion, soy sauce", None)?;
+//! println!("class {} p={:?}", prediction.top_class, prediction.probs);
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod error;
+mod manifest;
+mod model;
+mod registry;
+mod service;
+
+pub use cache::LruCache;
+pub use error::ServeError;
+pub use manifest::{ModelManifest, LINEAR_FILE, MANIFEST_FILE, MANIFEST_FORMAT};
+pub use model::{BertServing, Features, LinearServing, LstmServing, ServingModel};
+pub use registry::{LoadedModel, ModelRegistry};
+pub use service::{BatchServer, Prediction, ServeConfig};

@@ -1,0 +1,375 @@
+//! The serving manifest: the sidecar file that makes a checkpoint
+//! self-describing.
+//!
+//! A `cuisine-checkpoint-v2` file holds only named weight tensors; an
+//! `ml` linear snapshot holds only weights and biases. Neither says how
+//! to build the model object those weights load into, nor how to turn
+//! recipe text into the features the model was trained on. The manifest
+//! closes that gap: a model directory is
+//!
+//! ```text
+//! <dir>/manifest.json        this file (architecture + featurizer state)
+//! <dir>/latest.ckpt          nn models: CheckpointManager layout
+//! <dir>/previous.ckpt        nn models: rollback target (optional)
+//! <dir>/linear.json          linear models: ml::io snapshot
+//! ```
+//!
+//! One flat struct covers every kind; fields that don't apply to a kind
+//! are left empty/zero (see `docs/CHECKPOINT_FORMAT.md` for the full
+//! field-by-kind table). Flat beats a tagged enum here because the JSON
+//! stays trivially greppable and the loader gives architecture mismatch
+//! errors from the checkpoint layer itself, which validates every tensor
+//! name and shape.
+
+use std::io;
+use std::path::Path;
+
+use nn::{BertConfig, LstmConfig, LstmPooling};
+use serde::{Deserialize, Serialize};
+use textproc::{TfIdfVectorizer, Vocabulary};
+
+/// Format tag of the manifest file.
+pub const MANIFEST_FORMAT: &str = "cuisine-serve-manifest-v1";
+
+/// File name of the manifest inside a model directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// File name of the linear-model snapshot inside a model directory.
+pub const LINEAR_FILE: &str = "linear.json";
+
+/// Everything the registry needs to reconstruct a servable model from a
+/// directory of weights.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ModelManifest {
+    /// Format tag ([`MANIFEST_FORMAT`]).
+    pub format: String,
+    /// Model kind: `"lstm"`, `"bert"` or `"linear"`.
+    pub kind: String,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Content tokens in id order (sequence models; the 5 special tokens
+    /// are implied and must not be listed).
+    pub vocab_tokens: Vec<String>,
+    /// Embedding width (lstm only).
+    pub emb_dim: usize,
+    /// Hidden width per layer (lstm) / model width `d_model` (bert).
+    pub hidden: usize,
+    /// Stacked LSTM layers / encoder layers.
+    pub layers: usize,
+    /// Attention heads (bert only).
+    pub heads: usize,
+    /// Feed-forward width `d_ff` (bert only).
+    pub ff_dim: usize,
+    /// Maximum sequence length including specials (bert only).
+    pub max_len: usize,
+    /// Sequence pooling, `"last"` or `"mean"` (lstm only).
+    pub pooling: String,
+    /// TF-IDF vocabulary terms in column order (linear only).
+    pub tfidf_terms: Vec<String>,
+    /// Per-column IDF weights, aligned with `tfidf_terms` (linear only).
+    pub tfidf_idf: Vec<f32>,
+    /// Whether the vectorizer used sublinear `1 + ln(tf)` (linear only).
+    pub sublinear_tf: bool,
+    /// Whether rows were L2-normalized (linear only).
+    pub l2_normalize: bool,
+}
+
+impl ModelManifest {
+    fn base(kind: &str, classes: usize) -> Self {
+        Self {
+            format: MANIFEST_FORMAT.to_string(),
+            kind: kind.to_string(),
+            classes,
+            vocab_tokens: Vec::new(),
+            emb_dim: 0,
+            hidden: 0,
+            layers: 0,
+            heads: 0,
+            ff_dim: 0,
+            max_len: 0,
+            pooling: String::new(),
+            tfidf_terms: Vec::new(),
+            tfidf_idf: Vec::new(),
+            sublinear_tf: false,
+            l2_normalize: false,
+        }
+    }
+
+    /// Describes an LSTM classifier trained over `vocab`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.vocab` disagrees with the vocabulary's size —
+    /// that mismatch would otherwise surface as an opaque checkpoint
+    /// shape error at load time.
+    pub fn lstm(config: &LstmConfig, vocab: &Vocabulary) -> Self {
+        assert_eq!(
+            config.vocab,
+            vocab.len(),
+            "LstmConfig.vocab must equal the vocabulary size"
+        );
+        let mut m = Self::base("lstm", config.classes);
+        m.vocab_tokens = content_tokens(vocab);
+        m.emb_dim = config.emb_dim;
+        m.hidden = config.hidden;
+        m.layers = config.layers;
+        m.pooling = match config.pooling {
+            LstmPooling::LastHidden => "last".to_string(),
+            LstmPooling::MeanPool => "mean".to_string(),
+        };
+        m
+    }
+
+    /// Describes a BERT/RoBERTa-style classifier trained over `vocab`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.vocab` disagrees with the vocabulary's size.
+    pub fn bert(config: &BertConfig, vocab: &Vocabulary) -> Self {
+        assert_eq!(
+            config.vocab,
+            vocab.len(),
+            "BertConfig.vocab must equal the vocabulary size"
+        );
+        let mut m = Self::base("bert", config.classes);
+        m.vocab_tokens = content_tokens(vocab);
+        m.hidden = config.d_model;
+        m.layers = config.layers;
+        m.heads = config.heads;
+        m.ff_dim = config.d_ff;
+        m.max_len = config.max_len;
+        m
+    }
+
+    /// Describes a linear model (LR/SVM) over a fitted TF-IDF vectorizer.
+    pub fn linear(classes: usize, vectorizer: &TfIdfVectorizer) -> Self {
+        let mut m = Self::base("linear", classes);
+        let cols = vectorizer.vocab_size() as u32;
+        m.tfidf_terms = (0..cols).map(|c| vectorizer.term(c).to_string()).collect();
+        m.tfidf_idf = (0..cols).map(|c| vectorizer.idf(c)).collect();
+        let config = vectorizer.config();
+        m.sublinear_tf = config.sublinear_tf;
+        m.l2_normalize = config.l2_normalize;
+        m
+    }
+
+    /// The LSTM config this manifest describes.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the manifest is not an `"lstm"` manifest or its
+    /// pooling tag is unknown.
+    pub fn lstm_config(&self) -> io::Result<LstmConfig> {
+        self.expect_kind("lstm")?;
+        let pooling = match self.pooling.as_str() {
+            "last" => LstmPooling::LastHidden,
+            "mean" => LstmPooling::MeanPool,
+            other => return Err(invalid(format!("unknown pooling {other:?}"))),
+        };
+        Ok(LstmConfig {
+            vocab: self.vocab_tokens.len() + 5,
+            emb_dim: self.emb_dim,
+            hidden: self.hidden,
+            layers: self.layers,
+            dropout: 0.0, // inference-only: dropout never applies
+            classes: self.classes,
+            pooling,
+        })
+    }
+
+    /// The BERT config this manifest describes.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the manifest is not a `"bert"` manifest.
+    pub fn bert_config(&self) -> io::Result<BertConfig> {
+        self.expect_kind("bert")?;
+        Ok(BertConfig {
+            vocab: self.vocab_tokens.len() + 5,
+            d_model: self.hidden,
+            heads: self.heads,
+            layers: self.layers,
+            d_ff: self.ff_dim,
+            max_len: self.max_len,
+            dropout: 0.0,
+            classes: self.classes,
+        })
+    }
+
+    /// Rebuilds the vocabulary (specials first, then the content tokens
+    /// in their original id order).
+    pub fn vocabulary(&self) -> Vocabulary {
+        Vocabulary::from_tokens(self.vocab_tokens.iter().cloned())
+    }
+
+    /// Writes `manifest.json` into a model directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self).map_err(|e| invalid(e.to_string()))?;
+        std::fs::write(dir.join(MANIFEST_FILE), json)
+    }
+
+    /// Reads and validates `manifest.json` from a model directory.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the file is missing, `InvalidData` on a bad format
+    /// tag, an unknown kind, or internal inconsistency.
+    pub fn load(dir: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
+        let m: Self = serde_json::from_str(&text).map_err(|e| invalid(e.to_string()))?;
+        if m.format != MANIFEST_FORMAT {
+            return Err(invalid(format!(
+                "unsupported manifest format {:?}",
+                m.format
+            )));
+        }
+        match m.kind.as_str() {
+            "lstm" | "bert" | "linear" => {}
+            other => return Err(invalid(format!("unknown model kind {other:?}"))),
+        }
+        if m.tfidf_terms.len() != m.tfidf_idf.len() {
+            return Err(invalid("tfidf term/idf length mismatch"));
+        }
+        if m.tfidf_idf.iter().any(|v| !v.is_finite()) {
+            return Err(invalid("non-finite idf weight in manifest"));
+        }
+        Ok(m)
+    }
+
+    fn expect_kind(&self, kind: &str) -> io::Result<()> {
+        if self.kind != kind {
+            return Err(invalid(format!(
+                "manifest describes a {:?} model, not {kind:?}",
+                self.kind
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn content_tokens(vocab: &Vocabulary) -> Vec<String> {
+    vocab
+        .content_ids()
+        .map(|id| vocab.token(id).to_string())
+        .collect()
+}
+
+fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textproc::TfIdfConfig;
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::from_tokens(["stir", "onion", "bake"].map(String::from))
+    }
+
+    fn lstm_config() -> LstmConfig {
+        LstmConfig {
+            vocab: 8,
+            emb_dim: 4,
+            hidden: 6,
+            layers: 2,
+            dropout: 0.3,
+            classes: 3,
+            pooling: LstmPooling::MeanPool,
+        }
+    }
+
+    #[test]
+    fn lstm_roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join("serve_manifest_lstm");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = ModelManifest::lstm(&lstm_config(), &vocab());
+        m.save(&dir).unwrap();
+        let loaded = ModelManifest::load(&dir).unwrap();
+        assert_eq!(loaded, m);
+
+        let config = loaded.lstm_config().unwrap();
+        assert_eq!(config.vocab, 8);
+        assert_eq!(config.pooling, LstmPooling::MeanPool);
+        assert_eq!(config.dropout, 0.0, "inference config never drops out");
+        let v = loaded.vocabulary();
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.id("onion"), vocab().id("onion"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bert_config_roundtrips() {
+        let config = BertConfig {
+            vocab: 8,
+            d_model: 16,
+            heads: 2,
+            layers: 3,
+            d_ff: 32,
+            max_len: 24,
+            dropout: 0.1,
+            classes: 5,
+        };
+        let m = ModelManifest::bert(&config, &vocab());
+        let back = m.bert_config().unwrap();
+        assert_eq!(back.d_model, 16);
+        assert_eq!(back.heads, 2);
+        assert_eq!(back.d_ff, 32);
+        assert_eq!(back.max_len, 24);
+        assert_eq!(back.vocab, 8);
+        assert!(m.lstm_config().is_err(), "kind mismatch must be rejected");
+    }
+
+    #[test]
+    fn linear_captures_vectorizer_state() {
+        let mut tv = TfIdfVectorizer::new(TfIdfConfig {
+            min_df: 1,
+            sublinear_tf: true,
+            l2_normalize: true,
+        });
+        tv.fit(&[vec!["stir", "onion"], vec!["stir"]]);
+        let m = ModelManifest::linear(4, &tv);
+        assert_eq!(m.tfidf_terms.len(), 2);
+        assert_eq!(m.tfidf_idf.len(), 2);
+        assert!(m.sublinear_tf);
+        let stir = tv.column("stir").unwrap();
+        assert_eq!(m.tfidf_terms[stir as usize], "stir");
+        assert_eq!(m.tfidf_idf[stir as usize].to_bits(), tv.idf(stir).to_bits());
+    }
+
+    #[test]
+    fn vocab_size_mismatch_panics_at_build_time() {
+        let mut bad = lstm_config();
+        bad.vocab = 99;
+        let result = std::panic::catch_unwind(|| ModelManifest::lstm(&bad, &vocab()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn bad_files_are_rejected() {
+        let dir = std::env::temp_dir().join("serve_manifest_bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(
+            ModelManifest::load(&dir).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+
+        let mut m = ModelManifest::lstm(&lstm_config(), &vocab());
+        m.format = "something-else".into();
+        let json = serde_json::to_string(&m).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), json).unwrap();
+        assert!(ModelManifest::load(&dir).is_err());
+
+        let mut m = ModelManifest::lstm(&lstm_config(), &vocab());
+        m.kind = "perceptron".into();
+        std::fs::write(dir.join(MANIFEST_FILE), serde_json::to_string(&m).unwrap()).unwrap();
+        assert!(ModelManifest::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

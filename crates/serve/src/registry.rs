@@ -1,0 +1,295 @@
+//! The model registry: load checkpoints into servable models, hot-swap
+//! them under live traffic.
+//!
+//! Each entry is an [`Arc<LoadedModel>`] behind an `RwLock`ed map.
+//! Lookups clone the `Arc`, so a reload never blocks in-flight
+//! prediction: requests already holding the old `Arc` finish on the old
+//! weights, and the next batch picks up the new version. The version
+//! counter is what downstream caches key invalidation on.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use nn::{BertClassifier, CheckpointManager, LstmClassifier, SequenceModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::manifest::{ModelManifest, LINEAR_FILE};
+use crate::model::{BertServing, LinearServing, LstmServing, ServingModel};
+
+static LOADS: trace::Counter = trace::Counter::new("serve.registry.loads");
+
+/// A model the registry has materialized from disk, ready to serve.
+pub struct LoadedModel {
+    name: String,
+    version: u64,
+    kind: String,
+    model: Box<dyn ServingModel>,
+}
+
+impl LoadedModel {
+    /// The name it was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monotonic per-name version, bumped on every (re)load. Feature
+    /// caches must treat a version change as full invalidation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The manifest's model kind (`"lstm"`, `"bert"`, `"linear"`).
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The servable model itself.
+    pub fn model(&self) -> &dyn ServingModel {
+        self.model.as_ref()
+    }
+}
+
+impl std::fmt::Debug for LoadedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadedModel")
+            .field("name", &self.name)
+            .field("version", &self.version)
+            .field("kind", &self.kind)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Named, hot-swappable collection of servable models.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<LoadedModel>>>,
+    next_version: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads (or reloads) the model in `dir` under `name`.
+    ///
+    /// The directory must hold a `manifest.json` plus the weights it
+    /// points at: a `CheckpointManager`-layout checkpoint pair for
+    /// sequence models, or a `linear.json` snapshot for linear models.
+    /// Reloading an existing name atomically swaps the entry — callers
+    /// that already resolved the old `Arc` keep it until they next look
+    /// the name up.
+    ///
+    /// # Errors
+    ///
+    /// Any manifest or weight-file error (missing files, checksum or
+    /// architecture mismatch) is returned and the previously loaded
+    /// version, if any, stays in place.
+    pub fn load(&self, name: &str, dir: &Path) -> io::Result<Arc<LoadedModel>> {
+        let _span = trace::span("serve.registry.load");
+        let manifest = ModelManifest::load(dir)?;
+        let model: Box<dyn ServingModel> = match manifest.kind.as_str() {
+            "lstm" => {
+                let vocab = manifest.vocabulary();
+                let mut rng = StdRng::seed_from_u64(0);
+                let mut model = LstmClassifier::new(manifest.lstm_config()?, &mut rng);
+                restore(dir, &mut model)?;
+                Box::new(LstmServing::new(model, vocab))
+            }
+            "bert" => {
+                let vocab = manifest.vocabulary();
+                let mut rng = StdRng::seed_from_u64(0);
+                let mut model = BertClassifier::new(manifest.bert_config()?, &mut rng);
+                restore(dir, &mut model)?;
+                Box::new(BertServing::new(model, vocab))
+            }
+            "linear" => {
+                let model = ml::load_linear(&dir.join(LINEAR_FILE))?;
+                if model.classes() != manifest.classes {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "linear snapshot has {} classes, manifest says {}",
+                            model.classes(),
+                            manifest.classes
+                        ),
+                    ));
+                }
+                Box::new(LinearServing::new(
+                    model,
+                    manifest.tfidf_terms,
+                    manifest.tfidf_idf,
+                    manifest.sublinear_tf,
+                    manifest.l2_normalize,
+                ))
+            }
+            other => unreachable!("manifest validation admitted kind {other:?}"),
+        };
+        let loaded = Arc::new(LoadedModel {
+            name: name.to_string(),
+            version: self.next_version.fetch_add(1, Ordering::Relaxed) + 1,
+            kind: manifest.kind,
+            model,
+        });
+        self.models
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(name.to_string(), Arc::clone(&loaded));
+        LOADS.incr();
+        Ok(loaded)
+    }
+
+    /// Resolves a name to its current version, if loaded.
+    pub fn get(&self, name: &str) -> Option<Arc<LoadedModel>> {
+        self.models
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// The names currently loaded, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .models
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+fn restore<M: SequenceModel>(dir: &Path, model: &mut M) -> io::Result<()> {
+    let found = CheckpointManager::new(dir)?.load_latest(model.store_mut())?;
+    if found.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "no checkpoint (latest.ckpt/previous.ckpt) in {}",
+                dir.display()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::{save_checkpoint, LstmConfig, LstmPooling};
+    use textproc::Vocabulary;
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::from_tokens(["stir", "onion", "bake"].map(String::from))
+    }
+
+    fn config() -> LstmConfig {
+        LstmConfig {
+            vocab: 8,
+            emb_dim: 4,
+            hidden: 5,
+            layers: 1,
+            dropout: 0.0,
+            classes: 3,
+            pooling: LstmPooling::LastHidden,
+        }
+    }
+
+    fn write_lstm_dir(dir: &Path, seed: u64) -> LstmClassifier {
+        std::fs::create_dir_all(dir).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = LstmClassifier::new(config(), &mut rng);
+        ModelManifest::lstm(&config(), &vocab()).save(dir).unwrap();
+        save_checkpoint(model.store(), &dir.join("latest.ckpt")).unwrap();
+        model
+    }
+
+    #[test]
+    fn load_get_and_hot_swap_bump_versions() {
+        let dir = std::env::temp_dir().join("serve_registry_swap");
+        let _ = std::fs::remove_dir_all(&dir);
+        let reference = write_lstm_dir(&dir, 7);
+
+        let registry = ModelRegistry::new();
+        assert!(registry.get("lstm").is_none());
+        let v1 = registry.load("lstm", &dir).unwrap();
+        assert_eq!(v1.kind(), "lstm");
+        assert_eq!(v1.name(), "lstm");
+        let seqs: Vec<&[usize]> = vec![&[5, 6], &[7]];
+        let expected = reference.predict_proba_batch(&seqs);
+        let features = [
+            crate::Features::Ids(vec![5, 6]),
+            crate::Features::Ids(vec![7]),
+        ];
+        let refs: Vec<&crate::Features> = features.iter().collect();
+        assert_eq!(v1.model().predict(&refs), expected);
+
+        // hot swap: new weights, version bumps, old Arc still usable
+        let swapped = write_lstm_dir(&dir, 8);
+        let v2 = registry.load("lstm", &dir).unwrap();
+        assert!(v2.version() > v1.version());
+        assert_eq!(
+            v1.model().predict(&refs),
+            expected,
+            "old Arc keeps old weights"
+        );
+        assert_eq!(
+            v2.model().predict(&refs),
+            swapped.predict_proba_batch(&seqs)
+        );
+        assert_eq!(registry.get("lstm").unwrap().version(), v2.version());
+        assert_eq!(registry.names(), vec!["lstm".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_reload_keeps_previous_version() {
+        let dir = std::env::temp_dir().join("serve_registry_failed_reload");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_lstm_dir(&dir, 9);
+        let registry = ModelRegistry::new();
+        let v1 = registry.load("lstm", &dir).unwrap();
+
+        // corrupt the checkpoint pair → reload must fail…
+        std::fs::write(dir.join("latest.ckpt"), b"garbage").unwrap();
+        assert!(registry.load("lstm", &dir).is_err());
+        // …and the registry still serves the old version
+        assert_eq!(registry.get("lstm").unwrap().version(), v1.version());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_not_found() {
+        let dir = std::env::temp_dir().join("serve_registry_missing_ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        ModelManifest::lstm(&config(), &vocab()).save(&dir).unwrap();
+        let registry = ModelRegistry::new();
+        let err = registry.load("lstm", &dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn architecture_drift_is_rejected() {
+        let dir = std::env::temp_dir().join("serve_registry_drift");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_lstm_dir(&dir, 10);
+        // manifest now claims a wider hidden layer than the checkpoint has
+        let mut wide = config();
+        wide.hidden = 16;
+        ModelManifest::lstm(&wide, &vocab()).save(&dir).unwrap();
+        let registry = ModelRegistry::new();
+        let err = registry.load("lstm", &dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,605 @@
+//! The batch server: a bounded request queue, a dynamic micro-batching
+//! worker, and the feature cache, wired to `trace` metrics.
+//!
+//! # Batching policy
+//!
+//! Requests enqueue into a bounded queue (`queue_capacity`; beyond it
+//! callers get [`ServeError::Overloaded`] immediately — backpressure, not
+//! buffering). A single worker thread accumulates a batch until either
+//! `max_batch` requests are waiting or `max_delay` has passed since the
+//! *oldest* queued request arrived, then runs one fused forward pass for
+//! the whole batch. Batching changes latency, never answers: the fused
+//! pass is bit-identical to evaluating each request alone (see
+//! `nn::infer` and the integration tests).
+//!
+//! # Lifecycle
+//!
+//! [`BatchServer::start`] resolves the model name once (failing fast on
+//! unknown names) and spawns the worker. The worker re-resolves the name
+//! from the [`ModelRegistry`] before every batch, so a hot-swapped model
+//! takes effect at the next batch boundary; the feature cache is keyed to
+//! the model version and clears itself on swap. [`BatchServer::shutdown`]
+//! (also run on drop) stops intake, drains every queued request, then
+//! joins the worker.
+//!
+//! # Metrics
+//!
+//! With tracing enabled (`trace::enable`), the service maintains
+//! `serve.queue.depth`/`serve.queue.peak` gauges, request/batch/reject
+//! counters, a batch-size histogram (`serve.batch.le_*`) and a queue
+//! latency histogram (`serve.latency_us.le_*`); see `docs/TRACING.md`.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use trace::{Counter, Gauge};
+
+use crate::cache::LruCache;
+use crate::error::ServeError;
+use crate::model::Features;
+use crate::registry::ModelRegistry;
+
+static QUEUE_DEPTH: Gauge = Gauge::new("serve.queue.depth");
+static QUEUE_PEAK: Gauge = Gauge::new("serve.queue.peak");
+static REQUESTS: Counter = Counter::new("serve.requests");
+static BATCHES: Counter = Counter::new("serve.batches");
+static REJECTED_OVERLOAD: Counter = Counter::new("serve.rejected.overloaded");
+static REJECTED_DEADLINE: Counter = Counter::new("serve.rejected.deadline");
+static CACHE_HITS: Counter = Counter::new("serve.cache.hits");
+static CACHE_MISSES: Counter = Counter::new("serve.cache.misses");
+
+static BATCH_LE: [Counter; 7] = [
+    Counter::new("serve.batch.le_1"),
+    Counter::new("serve.batch.le_2"),
+    Counter::new("serve.batch.le_4"),
+    Counter::new("serve.batch.le_8"),
+    Counter::new("serve.batch.le_16"),
+    Counter::new("serve.batch.le_32"),
+    Counter::new("serve.batch.le_inf"),
+];
+const BATCH_BOUNDS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+static LATENCY_LE: [Counter; 7] = [
+    Counter::new("serve.latency_us.le_100"),
+    Counter::new("serve.latency_us.le_330"),
+    Counter::new("serve.latency_us.le_1000"),
+    Counter::new("serve.latency_us.le_3300"),
+    Counter::new("serve.latency_us.le_10000"),
+    Counter::new("serve.latency_us.le_33000"),
+    Counter::new("serve.latency_us.le_inf"),
+];
+const LATENCY_BOUNDS_US: [u128; 6] = [100, 330, 1_000, 3_300, 10_000, 33_000];
+
+fn observe_batch(size: usize) {
+    let i = BATCH_BOUNDS.iter().position(|&b| size <= b).unwrap_or(6);
+    BATCH_LE[i].incr();
+}
+
+fn observe_latency(queued_for: Duration) {
+    let us = queued_for.as_micros();
+    let i = LATENCY_BOUNDS_US.iter().position(|&b| us <= b).unwrap_or(6);
+    LATENCY_LE[i].incr();
+}
+
+/// Tuning knobs for the batching queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Largest fused batch (the worker drains at most this many requests
+    /// per forward pass).
+    pub max_batch: usize,
+    /// Longest a request may sit waiting for the batch to fill before the
+    /// worker processes whatever it has.
+    pub max_delay: Duration,
+    /// Bounded queue size; requests beyond it are rejected with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Entries in the featurized-input LRU cache (0 disables it).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 256,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// A served prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Per-class probabilities (sum to 1).
+    pub probs: Vec<f64>,
+    /// Argmax of `probs` (first index on ties).
+    pub top_class: usize,
+    /// Version of the model that answered (see
+    /// [`LoadedModel::version`](crate::LoadedModel::version)).
+    pub model_version: u64,
+    /// How many requests shared the fused forward pass.
+    pub batch_size: usize,
+    /// Whether the featurized input came from the LRU cache.
+    pub cache_hit: bool,
+}
+
+struct Pending {
+    /// Canonical entity tokens (already cleaned and lemmatized).
+    tokens: Vec<String>,
+    /// Cache key: the canonical tokens joined with `\x1f`.
+    key: String,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    reply: SyncSender<Result<Prediction, ServeError>>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<Pending>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    wake: Condvar,
+    registry: Arc<ModelRegistry>,
+    model_name: String,
+    config: ServeConfig,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A running batched-inference server for one registry entry.
+pub struct BatchServer {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for BatchServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchServer")
+            .field("model_name", &self.shared.model_name)
+            .field("config", &self.shared.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchServer {
+    /// Spawns the batch worker serving `model_name` from `registry`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when no model of that name is loaded.
+    /// (Later hot-swaps are picked up automatically; only the initial
+    /// resolution is checked here.)
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        model_name: &str,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        assert!(config.max_batch > 0, "max_batch must be at least 1");
+        assert!(
+            config.queue_capacity > 0,
+            "queue_capacity must be at least 1"
+        );
+        if registry.get(model_name).is_none() {
+            return Err(ServeError::UnknownModel(model_name.to_string()));
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState::default()),
+            wake: Condvar::new(),
+            registry,
+            model_name: model_name.to_string(),
+            config,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name(format!("serve-{model_name}"))
+            .spawn(move || worker_loop(&worker_shared))
+            .expect("spawn batch worker");
+        Ok(Self {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        })
+    }
+
+    /// Classifies one recipe, blocking until a batch carries it through
+    /// the model. `deadline` bounds the time the request may spend
+    /// *queued*: a request still waiting when it expires is answered
+    /// [`ServeError::DeadlineExceeded`] instead of riding the next batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptyRecipe`] when the text canonicalizes to no
+    /// entity tokens, [`ServeError::Overloaded`] when the queue is full,
+    /// [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown)
+    /// has begun, [`ServeError::DeadlineExceeded`] as above, and
+    /// [`ServeError::Canceled`] if the worker died.
+    pub fn classify(
+        &self,
+        recipe: &str,
+        deadline: Option<Duration>,
+    ) -> Result<Prediction, ServeError> {
+        let tokens = cuisine::featurize::entity_tokens(recipe);
+        if tokens.is_empty() {
+            return Err(ServeError::EmptyRecipe);
+        }
+        let key = tokens.join("\x1f");
+        let now = Instant::now();
+        let (reply, rx): (_, Receiver<Result<Prediction, ServeError>>) = mpsc::sync_channel(1);
+        {
+            let mut st = self.shared.lock();
+            if st.shutting_down {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.queue.len() >= self.shared.config.queue_capacity {
+                REJECTED_OVERLOAD.incr();
+                return Err(ServeError::Overloaded {
+                    depth: st.queue.len(),
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            st.queue.push_back(Pending {
+                tokens,
+                key,
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
+                reply,
+            });
+            QUEUE_DEPTH.set(st.queue.len() as u64);
+            QUEUE_PEAK.set_max(st.queue.len() as u64);
+            self.shared.wake.notify_all();
+        }
+        REQUESTS.incr();
+        rx.recv().unwrap_or(Err(ServeError::Canceled))
+    }
+
+    /// Current number of queued (not yet batched) requests.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// The model name this server resolves on every batch.
+    pub fn model_name(&self) -> &str {
+        &self.shared.model_name
+    }
+
+    /// Stops intake, drains every queued request through the model, then
+    /// joins the worker. Idempotent; called automatically on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutting_down = true;
+            self.shared.wake.notify_all();
+        }
+        let handle = self
+            .worker
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BatchServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let config = &shared.config;
+    let mut cache: LruCache<String, Arc<Features>> = LruCache::new(config.cache_capacity);
+    let mut cache_version = 0u64;
+    loop {
+        let batch = {
+            let mut st = shared.lock();
+            // sleep until there is work or a shutdown to finish
+            while st.queue.is_empty() {
+                if st.shutting_down {
+                    return;
+                }
+                st = shared
+                    .wake
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            // accumulate: batch is cut when full, when the oldest request
+            // has waited max_delay, or when a shutdown wants the drain
+            let full_by = st.queue.front().expect("non-empty").enqueued + config.max_delay;
+            while st.queue.len() < config.max_batch && !st.shutting_down {
+                let now = Instant::now();
+                if now >= full_by {
+                    break;
+                }
+                let (guard, timeout) = shared
+                    .wake
+                    .wait_timeout(st, full_by - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let take = st.queue.len().min(config.max_batch);
+            let batch: Vec<Pending> = st.queue.drain(..take).collect();
+            QUEUE_DEPTH.set(st.queue.len() as u64);
+            batch
+        };
+        process_batch(shared, &mut cache, &mut cache_version, batch);
+    }
+}
+
+fn process_batch(
+    shared: &Shared,
+    cache: &mut LruCache<String, Arc<Features>>,
+    cache_version: &mut u64,
+    batch: Vec<Pending>,
+) {
+    let _span = trace::span("serve.batch");
+    let now = Instant::now();
+    // expire overdue requests before spending a forward pass on them
+    let (live, expired): (Vec<Pending>, Vec<Pending>) = batch
+        .into_iter()
+        .partition(|p| p.deadline.is_none_or(|d| now < d));
+    for p in expired {
+        REJECTED_DEADLINE.incr();
+        let _ = p.reply.send(Err(ServeError::DeadlineExceeded));
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let Some(loaded) = shared.registry.get(&shared.model_name) else {
+        for p in live {
+            let _ = p
+                .reply
+                .send(Err(ServeError::UnknownModel(shared.model_name.clone())));
+        }
+        return;
+    };
+    if loaded.version() != *cache_version {
+        // hot swap: cached features may not match the new model's
+        // vocabulary or vectorizer — start cold
+        cache.clear();
+        *cache_version = loaded.version();
+    }
+
+    let model = loaded.model();
+    let mut hits = vec![false; live.len()];
+    let features: Vec<Arc<Features>> = live
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if let Some(f) = cache.get(&p.key) {
+                CACHE_HITS.incr();
+                hits[i] = true;
+                return Arc::clone(f);
+            }
+            CACHE_MISSES.incr();
+            let f = Arc::new(model.featurize(&p.tokens));
+            cache.insert(p.key.clone(), Arc::clone(&f));
+            f
+        })
+        .collect();
+    let refs: Vec<&Features> = features.iter().map(Arc::as_ref).collect();
+
+    let probs = model.predict(&refs);
+    debug_assert_eq!(probs.len(), live.len());
+    BATCHES.incr();
+    observe_batch(live.len());
+
+    let batch_size = live.len();
+    for ((p, row), hit) in live.into_iter().zip(probs).zip(hits) {
+        observe_latency(now.saturating_duration_since(p.enqueued));
+        let top_class = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+            .map_or(0, |(i, _)| i);
+        let _ = p.reply.send(Ok(Prediction {
+            probs: row,
+            top_class,
+            model_version: loaded.version(),
+            batch_size,
+            cache_hit: hit,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelManifest;
+    use nn::{save_checkpoint, LstmClassifier, LstmConfig, LstmPooling, SequenceModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::path::Path;
+    use textproc::Vocabulary;
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::from_tokens(
+            ["stir", "onion", "bake", "simmer", "garlic", "rice"].map(String::from),
+        )
+    }
+
+    fn config() -> LstmConfig {
+        LstmConfig {
+            vocab: 11,
+            emb_dim: 4,
+            hidden: 5,
+            layers: 1,
+            dropout: 0.0,
+            classes: 3,
+            pooling: LstmPooling::LastHidden,
+        }
+    }
+
+    fn write_model(dir: &Path, seed: u64) -> LstmClassifier {
+        std::fs::create_dir_all(dir).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = LstmClassifier::new(config(), &mut rng);
+        ModelManifest::lstm(&config(), &vocab()).save(dir).unwrap();
+        save_checkpoint(model.store(), &dir.join("latest.ckpt")).unwrap();
+        model
+    }
+
+    fn server(dir: &Path, serve_config: ServeConfig) -> (Arc<ModelRegistry>, BatchServer) {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.load("lstm", dir).unwrap();
+        let server = BatchServer::start(Arc::clone(&registry), "lstm", serve_config).unwrap();
+        (registry, server)
+    }
+
+    #[test]
+    fn single_request_roundtrip() {
+        let dir = std::env::temp_dir().join("serve_service_single");
+        let _ = std::fs::remove_dir_all(&dir);
+        let reference = write_model(&dir, 1);
+        let (_registry, server) = server(
+            &dir,
+            ServeConfig {
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let got = server.classify("stir, onion", None).unwrap();
+        let v = vocab();
+        let seq = [
+            v.id("stir").unwrap() as usize,
+            v.id("onion").unwrap() as usize,
+        ];
+        let expected = reference.predict_proba_batch(&[&seq]);
+        assert_eq!(got.probs, expected[0]);
+        assert_eq!(
+            got.top_class,
+            expected[0]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0
+        );
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_recipe_is_rejected_before_enqueue() {
+        let dir = std::env::temp_dir().join("serve_service_empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_model(&dir, 2);
+        let (_registry, server) = server(&dir, ServeConfig::default());
+        assert_eq!(
+            server.classify(" ,, ; ", None),
+            Err(ServeError::EmptyRecipe)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_model_fails_fast() {
+        let registry = Arc::new(ModelRegistry::new());
+        let err = BatchServer::start(registry, "ghost", ServeConfig::default()).unwrap_err();
+        assert_eq!(err, ServeError::UnknownModel("ghost".into()));
+    }
+
+    #[test]
+    fn expired_deadline_is_reported() {
+        let dir = std::env::temp_dir().join("serve_service_deadline");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_model(&dir, 3);
+        let (_registry, server) = server(
+            &dir,
+            ServeConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(20),
+                ..ServeConfig::default()
+            },
+        );
+        // a zero deadline is already expired when the worker picks it up
+        assert_eq!(
+            server.classify("stir", Some(Duration::ZERO)),
+            Err(ServeError::DeadlineExceeded)
+        );
+        // a generous deadline still gets served
+        assert!(server
+            .classify("stir", Some(Duration::from_secs(30)))
+            .is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_feature_cache() {
+        let dir = std::env::temp_dir().join("serve_service_cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_model(&dir, 4);
+        let (_registry, server) = server(
+            &dir,
+            ServeConfig {
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let first = server.classify("Garlic, RICE", None).unwrap();
+        assert!(!first.cache_hit);
+        // same canonical key despite different punctuation noise
+        let second = server.classify("garlic,rice!", None).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(first.probs, second.probs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn classify_after_shutdown_is_rejected() {
+        let dir = std::env::temp_dir().join("serve_service_shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_model(&dir, 5);
+        let (_registry, server) = server(&dir, ServeConfig::default());
+        server.shutdown();
+        assert_eq!(server.classify("stir", None), Err(ServeError::ShuttingDown));
+        server.shutdown(); // idempotent
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hot_swap_changes_answers_between_batches() {
+        let dir = std::env::temp_dir().join("serve_service_hotswap");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_model(&dir, 6);
+        let (registry, server) = server(
+            &dir,
+            ServeConfig {
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let before = server.classify("stir, bake", None).unwrap();
+
+        let swapped = write_model(&dir, 7);
+        registry.load("lstm", &dir).unwrap();
+        let after = server.classify("stir, bake", None).unwrap();
+        assert!(after.model_version > before.model_version);
+        assert!(!after.cache_hit, "swap must invalidate the feature cache");
+        let v = vocab();
+        let seq = [
+            v.id("stir").unwrap() as usize,
+            v.id("bake").unwrap() as usize,
+        ];
+        assert_eq!(after.probs, swapped.predict_proba_batch(&[&seq])[0]);
+        assert_ne!(before.probs, after.probs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -143,21 +143,99 @@ fn matmul_exec(a: &Tensor, b: &Tensor, out: &mut Tensor, exec: Exec) {
     let a_data = a.as_slice();
     let b_data = b.as_slice();
     drive(exec, m, n, k, out, &|lo, hi, rows| {
-        rows.fill(0.0);
-        for i in lo..hi {
-            let a_row = &a_data[i * k..(i + 1) * k];
-            let c_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue; // embeddings & one-hots make zero rows common
-                }
-                let b_row = &b_data[p * n..(p + 1) * n];
-                for (c, &bv) in c_row.iter_mut().zip(b_row) {
-                    *c += a_ip * bv;
-                }
+        // Full 4-row blocks go through the register tile; row tails (and
+        // every single-row product) keep the streaming row-at-a-time loop.
+        // Both accumulate each C[i][j] over ascending `p` with the same
+        // per-row zero-skip, so the result is bitwise identical for every
+        // block size and tile split.
+        let mut i = lo;
+        while i + REG_ROWS <= hi {
+            let mut j = 0;
+            while j + REG_COLS <= n {
+                reg_tile(a_data, b_data, k, n, i, j, lo, rows);
+                j += REG_COLS;
             }
+            if j < n {
+                row_panel(a_data, b_data, k, n, i, i + REG_ROWS, j, lo, rows);
+            }
+            i += REG_ROWS;
+        }
+        if i < hi {
+            row_panel(a_data, b_data, k, n, i, hi, 0, lo, rows);
         }
     });
+}
+
+/// Output rows per register tile of [`matmul_exec`].
+const REG_ROWS: usize = 4;
+/// Output columns per register tile of [`matmul_exec`].
+const REG_COLS: usize = 32;
+
+/// One `REG_ROWS × REG_COLS` output tile of `C = A · B`, accumulated
+/// entirely in registers so each streamed row of `B` feeds four output
+/// rows. Accumulation order per element (ascending `p`, zero rows of `A`
+/// skipped) matches [`row_panel`] exactly.
+#[inline]
+#[allow(clippy::too_many_arguments)] // flat coordinate bundle on the hot path
+fn reg_tile(
+    a_data: &[f32],
+    b_data: &[f32],
+    k: usize,
+    n: usize,
+    i: usize,
+    j: usize,
+    lo: usize,
+    rows: &mut [f32],
+) {
+    let mut acc = [[0.0f32; REG_COLS]; REG_ROWS];
+    for p in 0..k {
+        let b_blk = &b_data[p * n + j..p * n + j + REG_COLS];
+        for r in 0..REG_ROWS {
+            let a_ip = a_data[(i + r) * k + p];
+            if a_ip == 0.0 {
+                continue; // embeddings & one-hots make zero rows common
+            }
+            for (c, &bv) in acc[r].iter_mut().zip(b_blk) {
+                *c += a_ip * bv;
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        let at = (i + r - lo) * n + j;
+        rows[at..at + REG_COLS].copy_from_slice(acc_row);
+    }
+}
+
+/// Rows `i0..i1`, columns `j..n` of `C = A · B` via the streaming
+/// row-at-a-time loop (the i-k-j order that keeps the inner loop over
+/// contiguous rows of `B` and `C`).
+#[inline]
+#[allow(clippy::too_many_arguments)] // flat coordinate bundle on the hot path
+fn row_panel(
+    a_data: &[f32],
+    b_data: &[f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    j: usize,
+    lo: usize,
+    rows: &mut [f32],
+) {
+    for i in i0..i1 {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        let c_row = &mut rows[(i - lo) * n + j..(i - lo) * n + n];
+        c_row.fill(0.0);
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue; // embeddings & one-hots make zero rows common
+            }
+            let b_tail = &b_data[p * n + j..(p + 1) * n];
+            for (c, &bv) in c_row.iter_mut().zip(b_tail) {
+                *c += a_ip * bv;
+            }
+        }
+    }
 }
 
 /// `C = Aᵀ · B`, reading `A` in its stored layout.

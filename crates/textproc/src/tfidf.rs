@@ -178,6 +178,12 @@ impl TfIdfVectorizer {
         self.counter.vocab_size()
     }
 
+    /// The weighting options this vectorizer was built with (needed to
+    /// reproduce its transform from a serialized snapshot).
+    pub fn config(&self) -> TfIdfConfig {
+        self.config
+    }
+
     /// IDF weight of a column.
     pub fn idf(&self, col: u32) -> f32 {
         self.idf[col as usize]

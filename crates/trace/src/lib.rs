@@ -33,6 +33,21 @@
 //! [`TraceSnapshot::to_json`] (spans in start order, metrics sorted by
 //! name). [`write_json`] is the one-call version used by the harness
 //! binaries to emit `RUN_trace.json`.
+//!
+//! ```
+//! static REQUESTS: trace::Counter = trace::Counter::new("doc.requests");
+//!
+//! trace::enable();
+//! {
+//!     let _span = trace::span("doc.handle");
+//!     REQUESTS.incr();
+//! }
+//! let snap = trace::snapshot();
+//! assert!(snap.counter("doc.requests").unwrap() >= 1);
+//! assert!(snap.span_total_ns("doc.handle") > 0);
+//! ```
+
+#![warn(missing_docs)]
 
 mod json;
 mod metrics;

@@ -4,10 +4,9 @@
 //!
 //! Run with: `cargo run --release --example classify_recipe`
 
-use cuisine::{Pipeline, PipelineConfig, Scale};
+use cuisine::{featurize, Pipeline, PipelineConfig, Scale};
 use ml::{Classifier, MultinomialNb};
 use recipedb::CuisineId;
-use textproc::{clean_text, lemmatize};
 
 fn main() {
     let config = PipelineConfig::new(Scale::Small, 7);
@@ -39,13 +38,7 @@ fn main() {
     // same preprocessing as the pipeline: clean + per-word lemmatize
     let tokens: Vec<Vec<String>> = vec![my_recipe
         .iter()
-        .map(|t| {
-            clean_text(t)
-                .split(' ')
-                .map(lemmatize)
-                .collect::<Vec<_>>()
-                .join(" ")
-        })
+        .map(|t| featurize::canonical_entity(t))
         .collect()];
     let features = vectorizer.transform(&tokens);
     let probs = nb.predict_proba(&features);

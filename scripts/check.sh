@@ -10,6 +10,12 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "== cargo test --doc =="
+cargo test --doc -q
+
 echo "== cargo build --release =="
 cargo build --release
 

@@ -7,7 +7,7 @@ use rand::Rng;
 
 use crate::strategy::Strategy;
 
-/// Accepted size arguments for [`vec`]: an exact length or a half-open
+/// Accepted size arguments for [`vec()`]: an exact length or a half-open
 /// range of lengths.
 #[derive(Debug, Clone)]
 pub struct SizeRange(Range<usize>);

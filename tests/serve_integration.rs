@@ -1,0 +1,256 @@
+//! End-to-end test of the trained-model lifecycle: train a tiny LSTM,
+//! checkpoint it with a serve manifest, load it through the registry,
+//! and drive it through the batch server under concurrency, overload,
+//! and shutdown.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use nn::{
+    save_checkpoint, LrSchedule, LstmClassifier, LstmConfig, LstmPooling, SequenceModel, Sgd,
+    Trainer, TrainerConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::{BatchServer, ModelManifest, ModelRegistry, ServeConfig, ServeError};
+use textproc::Vocabulary;
+
+const TOKENS: [&str; 8] = [
+    "soy", "ginger", "rice", "basil", "tomato", "olive", "cumin", "chili",
+];
+
+/// Three toy cuisines with disjoint signature ingredients.
+const RECIPES: [(&str, usize); 6] = [
+    ("soy, ginger, rice", 0),
+    ("ginger, soy", 0),
+    ("basil, tomato, olive", 1),
+    ("tomato, olive", 1),
+    ("cumin, chili, rice", 2),
+    ("chili, cumin", 2),
+];
+
+fn vocab() -> Vocabulary {
+    Vocabulary::from_tokens(TOKENS.map(String::from))
+}
+
+fn lstm_config() -> LstmConfig {
+    LstmConfig {
+        vocab: vocab().len(),
+        emb_dim: 8,
+        hidden: 8,
+        layers: 1,
+        dropout: 0.0,
+        classes: 3,
+        pooling: LstmPooling::LastHidden,
+    }
+}
+
+fn ids(recipe: &str, v: &Vocabulary) -> Vec<usize> {
+    cuisine::featurize::entity_tokens(recipe)
+        .iter()
+        .map(|t| v.lookup_or_unk(t) as usize)
+        .collect()
+}
+
+/// Trains a tiny LSTM on the toy recipes and writes a servable model
+/// directory (manifest + checkpoint). Returns the in-process model as
+/// ground truth.
+fn train_and_export(dir: &Path) -> LstmClassifier {
+    std::fs::create_dir_all(dir).unwrap();
+    let v = vocab();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut model = LstmClassifier::new(lstm_config(), &mut rng);
+    let examples: Vec<(Vec<usize>, usize)> =
+        RECIPES.iter().map(|&(r, y)| (ids(r, &v), y)).collect();
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 30,
+        batch_size: 2,
+        schedule: LrSchedule::Constant(0.1),
+        seed: 7,
+        ..TrainerConfig::default()
+    });
+    trainer
+        .fit(&mut model, &mut Sgd::new(0.0), &examples, None)
+        .unwrap();
+
+    ModelManifest::lstm(&lstm_config(), &v).save(dir).unwrap();
+    save_checkpoint(model.store(), &dir.join("latest.ckpt")).unwrap();
+    model
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn trained_checkpoint_serves_bit_identical_batched_predictions() {
+    let dir = temp_dir("serve_it_lifecycle");
+    let reference = train_and_export(&dir);
+    let v = vocab();
+
+    // the trained model actually learned the toy task
+    let train_seqs: Vec<Vec<usize>> = RECIPES.iter().map(|(r, _)| ids(r, &v)).collect();
+    let train_refs: Vec<&[usize]> = train_seqs.iter().map(Vec::as_slice).collect();
+    let probs = reference.predict_proba_batch(&train_refs);
+    for (row, &(_, y)) in probs.iter().zip(RECIPES.iter()) {
+        let top = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(top, y, "tiny LSTM failed to fit the toy recipes");
+    }
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("lstm", &dir).unwrap();
+    let server = Arc::new(
+        BatchServer::start(
+            Arc::clone(&registry),
+            "lstm",
+            ServeConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(5),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    // fire all requests concurrently so the worker actually batches them
+    let barrier = Arc::new(Barrier::new(RECIPES.len()));
+    let handles: Vec<_> = RECIPES
+        .iter()
+        .map(|&(recipe, _)| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                (recipe, server.classify(recipe, None).unwrap())
+            })
+        })
+        .collect();
+
+    let mut max_batch_seen = 0;
+    for h in handles {
+        let (recipe, prediction) = h.join().unwrap();
+        // batched service answer == direct in-process model answer, bitwise
+        let expected = reference.predict_proba_batch(&[&ids(recipe, &v)]);
+        assert_eq!(prediction.probs, expected[0], "mismatch for {recipe:?}");
+        max_batch_seen = max_batch_seen.max(prediction.batch_size);
+    }
+    assert!(
+        max_batch_seen > 1,
+        "six concurrent requests never shared a batch"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded() {
+    let dir = temp_dir("serve_it_overload");
+    train_and_export(&dir);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("lstm", &dir).unwrap();
+    // max_batch exceeds queue_capacity, so the worker keeps its
+    // accumulation window open for the full max_delay while both fillers
+    // sit in the queue — plenty of time for the probe to hit a full queue
+    let server = Arc::new(
+        BatchServer::start(
+            Arc::clone(&registry),
+            "lstm",
+            ServeConfig {
+                max_batch: 4,
+                max_delay: Duration::from_secs(2),
+                queue_capacity: 2,
+                cache_capacity: 0,
+            },
+        )
+        .unwrap(),
+    );
+
+    // occupy both queue slots with blocking callers
+    let fillers: Vec<_> = (0..2)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.classify("soy, ginger", None))
+        })
+        .collect();
+    // wait until both are actually enqueued (the worker holds the first
+    // batch open for max_delay, so depth stays observable)
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.queue_depth() < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fillers never reached the queue"
+        );
+        std::thread::yield_now();
+    }
+
+    match server.classify("basil, tomato", None) {
+        Err(ServeError::Overloaded { depth, capacity }) => {
+            assert_eq!(capacity, 2);
+            assert!(depth >= 2);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    for f in fillers {
+        assert!(f.join().unwrap().is_ok(), "queued fillers must be served");
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shutdown_drains_queued_requests() {
+    let dir = temp_dir("serve_it_drain");
+    train_and_export(&dir);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("lstm", &dir).unwrap();
+    let server = Arc::new(
+        BatchServer::start(
+            Arc::clone(&registry),
+            "lstm",
+            ServeConfig {
+                max_batch: 4,
+                // long fill window: requests are still queued when
+                // shutdown lands, forcing the drain path to answer them
+                max_delay: Duration::from_secs(2),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.classify("cumin, chili", None))
+        })
+        .collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.queue_depth() < 3 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "clients never reached the queue"
+        );
+        std::thread::yield_now();
+    }
+
+    server.shutdown();
+    for c in clients {
+        let prediction = c.join().unwrap();
+        assert!(
+            prediction.is_ok(),
+            "in-flight request dropped during shutdown: {prediction:?}"
+        );
+    }
+    // new work after shutdown is refused
+    assert_eq!(server.classify("soy", None), Err(ServeError::ShuttingDown));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
