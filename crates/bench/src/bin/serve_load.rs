@@ -1,45 +1,68 @@
-//! Load generator for the batched inference service.
+//! Load generator for the batched inference service, f32 vs int8.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p bench --bin serve_load -- \
 //!     [--requests 512] [--clients 16] [--max-batch 16] \
-//!     [--min-speedup 3.0] [--json BENCH_serve.json] [--trace]
+//!     [--train-epochs 2] [--min-speedup 3.0] [--min-agreement 0.99] \
+//!     [--json BENCH_serve.json] [--quant-json BENCH_quant.json] [--trace]
 //! ```
 //!
 //! Builds an LSTM serving model (vocab 5005, emb 256, hidden 64, 2
-//! layers, 26 classes — the paper's cuisine count), exports it as a
-//! model directory (manifest + checkpoint), and drives the same request
-//! stream through two paths:
+//! layers, 26 classes — the paper's cuisine count), briefly trains it on
+//! class-structured synthetic recipes (each cuisine draws most
+//! ingredients from its own vocabulary block, so the trained model makes
+//! confident predictions like a real one — untrained random weights have
+//! near-tied logits, which is the wrong regime for measuring
+//! quantization agreement), exports it as two model directories (one
+//! plain manifest, one `quantized: true`), and drives the same request
+//! stream through three paths:
 //!
 //! 1. **sequential**: one request at a time through the pre-serve code
 //!    path — featurize, then `nn::predict_proba_graph` on a singleton
 //!    batch (each request pays its own graph + parameter binding).
-//! 2. **batched**: `--clients` threads through a [`serve::BatchServer`],
-//!    so concurrent requests share fused forward passes.
+//! 2. **batched f32**: `--clients` threads through a
+//!    [`serve::BatchServer`], so concurrent requests share fused forward
+//!    passes. Every answer is asserted bit-identical to its sequential
+//!    counterpart.
+//! 3. **batched int8**: the same clients against the quantized registry
+//!    entry. Answers are asserted bit-identical to the singleton int8
+//!    engine (batching never changes int8 answers either), and top-class
+//!    agreement with the f32 path is gated at `--min-agreement`
+//!    (default 0.99).
 //!
-//! Every batched answer is asserted bit-identical to its sequential
-//! counterpart, so the reported speedup compares equal work. Results go
-//! to `BENCH_serve.json` (override with `--json`). With `--min-speedup
-//! <x>` the run fails unless batched throughput is at least `x` times
-//! the sequential baseline.
+//! Serving results go to `BENCH_serve.json`, the f32-vs-int8 comparison
+//! to `BENCH_quant.json`. The run also sweeps the feature-cache hit rate
+//! against capacity on a Zipf-distributed key stream (the empirical
+//! shape of recipe lookups) and emits the sweep into `BENCH_serve.json`;
+//! `ServeConfig::default().cache_capacity` is chosen from that data.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bench::HarnessArgs;
-use nn::{save_checkpoint, LstmClassifier, LstmConfig, LstmPooling, SequenceModel};
+use nn::{
+    save_checkpoint, AdamW, LrSchedule, LstmClassifier, LstmConfig, LstmPooling,
+    QuantLstmClassifier, SequenceModel, Trainer, TrainerConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serve::{BatchServer, ModelManifest, ModelRegistry, ServeConfig};
+use serve::{BatchServer, LruCache, ModelManifest, ModelRegistry, Prediction, ServeConfig};
 use textproc::Vocabulary;
 
 /// Content vocabulary size (checkpoint vocab is this plus 5 specials).
 const CONTENT_TOKENS: usize = 5000;
 /// Ingredients per synthetic recipe.
 const RECIPE_LEN: std::ops::Range<usize> = 8..20;
+/// Output classes (the paper's cuisine count).
+const CLASSES: usize = 26;
+/// Content tokens reserved per class for the class-structured generator.
+const CLASS_BLOCK: usize = CONTENT_TOKENS / CLASSES;
+/// Probability that an ingredient comes from the recipe's own class block
+/// (the rest is uniform noise over the whole vocabulary).
+const CLASS_TOKEN_P: f64 = 0.85;
 
 /// Synthetic ingredient names built from consonant-vowel syllables: all
 /// lowercase-alphabetic and vowel-final, so `cuisine::featurize`
@@ -67,21 +90,39 @@ fn lstm_config() -> LstmConfig {
         hidden: 64,
         layers: 2,
         dropout: 0.0,
-        classes: 26,
+        classes: CLASSES,
         pooling: LstmPooling::LastHidden,
     }
 }
 
-fn synth_recipes(n: usize, tokens: &[String], seed: u64) -> Vec<String> {
+/// Class-structured recipes: each picks a cuisine and draws most tokens
+/// from that cuisine's block of the vocabulary.
+fn synth_recipes(n: usize, tokens: &[String], seed: u64) -> Vec<(String, usize)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
+            let class = rng.gen_range(0..CLASSES);
             let len = rng.gen_range(RECIPE_LEN);
-            (0..len)
-                .map(|_| tokens[rng.gen_range(0..tokens.len())].as_str())
+            let text = (0..len)
+                .map(|_| {
+                    let t = if rng.gen_bool(CLASS_TOKEN_P) {
+                        class * CLASS_BLOCK + rng.gen_range(0..CLASS_BLOCK)
+                    } else {
+                        rng.gen_range(0..tokens.len())
+                    };
+                    tokens[t].as_str()
+                })
                 .collect::<Vec<_>>()
-                .join(", ")
+                .join(", ");
+            (text, class)
         })
+        .collect()
+}
+
+fn to_ids(recipe: &str, vocab: &Vocabulary) -> Vec<usize> {
+    cuisine::featurize::entity_tokens(recipe)
+        .iter()
+        .map(|t| vocab.lookup_or_unk(t) as usize)
         .collect()
 }
 
@@ -90,6 +131,134 @@ fn percentile(sorted_us: &[u128], p: f64) -> u128 {
     sorted_us[idx]
 }
 
+/// The service's argmax rule (first index on ties).
+fn top_class(probs: &[f64]) -> usize {
+    probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        .map_or(0, |(i, _)| i)
+}
+
+/// Drives the request stream through a batch server with `clients`
+/// concurrent threads; returns wall time plus per-request latencies,
+/// batch sizes and predictions (indexed by request).
+fn drive_clients(
+    server: &Arc<BatchServer>,
+    recipes: &Arc<Vec<(String, usize)>>,
+    clients: usize,
+) -> (Duration, Vec<u128>, Vec<usize>, Vec<Prediction>) {
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = Arc::clone(server);
+            let recipes = Arc::clone(recipes);
+            std::thread::spawn(move || {
+                let mut results = Vec::new();
+                let mut i = c;
+                while i < recipes.len() {
+                    let sent = Instant::now();
+                    let prediction = server
+                        .classify(&recipes[i].0, None)
+                        .expect("classify under load");
+                    results.push((i, sent.elapsed().as_micros(), prediction));
+                    i += clients;
+                }
+                results
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::with_capacity(recipes.len());
+    let mut batch_sizes = Vec::with_capacity(recipes.len());
+    let mut predictions: Vec<Option<Prediction>> = vec![None; recipes.len()];
+    for w in workers {
+        for (i, us, prediction) in w.join().expect("client thread") {
+            latencies_us.push(us);
+            batch_sizes.push(prediction.batch_size);
+            predictions[i] = Some(prediction);
+        }
+    }
+    let elapsed = started.elapsed();
+    let predictions = predictions
+        .into_iter()
+        .map(|p| p.expect("every request answered"))
+        .collect();
+    (elapsed, latencies_us, batch_sizes, predictions)
+}
+
+/// Hit rate of an [`LruCache`] of the given capacity over a
+/// Zipf-distributed stream of `distinct` keys.
+fn zipf_hit_rate(capacity: usize, distinct: usize, stream: &[usize]) -> f64 {
+    let mut cache: LruCache<usize, ()> = LruCache::new(capacity);
+    let mut hits = 0usize;
+    for &key in stream {
+        debug_assert!(key < distinct);
+        if cache.get(&key).is_some() {
+            hits += 1;
+        } else {
+            cache.insert(key, ());
+        }
+    }
+    hits as f64 / stream.len() as f64
+}
+
+/// Zipf(s) sampler over `0..n` via inverse CDF on precomputed cumulative
+/// weights.
+fn zipf_stream(n: usize, s: f64, len: usize, seed: u64) -> Vec<usize> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for i in 1..=n {
+        total += (i as f64).powf(-s);
+        cdf.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let u = rng.gen_range(0.0..total);
+            cdf.partition_point(|&c| c < u).min(n - 1)
+        })
+        .collect()
+}
+
+/// Kernel-level witness for the acceptance criterion "quantized outputs
+/// are bit-identical across TENSOR_THREADS ∈ {1,2,4}": runs the quantized
+/// matmul at the serving shape under explicit thread counts and compares
+/// bits. (The full proptest suite lives in `tests/quant_properties.rs`.)
+fn quant_threads_bit_identical() -> bool {
+    let mut rng = StdRng::seed_from_u64(0xb17);
+    let mut a = tensor::Tensor::zeros(16, 320);
+    for v in a.as_mut_slice() {
+        *v = rng.gen_range(-1.0f32..1.0);
+    }
+    let mut w = tensor::Tensor::zeros(320, 256);
+    for v in w.as_mut_slice() {
+        *v = rng.gen_range(-0.5f32..0.5);
+    }
+    let q = tensor::QuantMatrix::quantize(&w);
+    let reference = tensor::quant_matmul_with_threads(&a, &q, 1);
+    [2usize, 4].iter().all(|&t| {
+        let out = tensor::quant_matmul_with_threads(&a, &q, t);
+        out.as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+    })
+}
+
+fn write_model_dir(
+    dir: &Path,
+    model: &LstmClassifier,
+    vocab: &Vocabulary,
+    quantized: bool,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    ModelManifest::lstm(&lstm_config(), vocab)
+        .with_quantized(quantized)
+        .save(dir)?;
+    save_checkpoint(model.store(), &dir.join("latest.ckpt"))
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     let args = HarnessArgs::parse();
     args.init_trace();
@@ -102,8 +271,14 @@ fn main() {
     let max_batch: usize = args
         .value_of("--max-batch")
         .map_or(16, |v| v.parse().expect("--max-batch must be an integer"));
+    let train_epochs: usize = args
+        .value_of("--train-epochs")
+        .map_or(2, |v| v.parse().expect("--train-epochs must be an integer"));
+    let min_agreement: f64 = args.value_of("--min-agreement").map_or(0.99, |v| {
+        v.parse().expect("--min-agreement must be a number")
+    });
 
-    // --- export a servable model directory -----------------------------
+    // --- build + briefly train the model -------------------------------
     let tokens = content_tokens();
     let vocab = Vocabulary::from_tokens(tokens.iter().cloned());
     assert_eq!(
@@ -112,24 +287,44 @@ fn main() {
         "vocab drifted from config"
     );
     let mut rng = StdRng::seed_from_u64(args.seed);
-    let model = LstmClassifier::new(lstm_config(), &mut rng);
-    let dir = std::env::temp_dir().join(format!("serve_load_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("create model dir");
-    ModelManifest::lstm(&lstm_config(), &vocab)
-        .save(&dir)
-        .expect("write manifest");
-    save_checkpoint(model.store(), &dir.join("latest.ckpt")).expect("write checkpoint");
+    let mut model = LstmClassifier::new(lstm_config(), &mut rng);
+    if train_epochs > 0 {
+        let train_set: Vec<(Vec<usize>, usize)> = synth_recipes(16 * CLASSES, &tokens, args.seed)
+            .iter()
+            .map(|(text, class)| (to_ids(text, &vocab), *class))
+            .collect();
+        eprintln!(
+            "training: {} recipes, {train_epochs} epochs",
+            train_set.len()
+        );
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: train_epochs,
+            batch_size: 16,
+            schedule: LrSchedule::Constant(3e-3),
+            seed: args.seed,
+            ..TrainerConfig::default()
+        });
+        let mut opt = AdamW::default();
+        let history = trainer
+            .fit(&mut model, &mut opt, &train_set, None)
+            .expect("train synthetic model");
+        let losses = history.train_losses();
+        eprintln!(
+            "training loss: {:.3} -> {:.3}",
+            losses.first().copied().unwrap_or(f64::NAN),
+            losses.last().copied().unwrap_or(f64::NAN)
+        );
+    }
+
+    // --- export f32 and quantized model directories --------------------
+    let base = std::env::temp_dir().join(format!("serve_load_{}", std::process::id()));
+    let f32_dir = base.join("f32");
+    let int8_dir = base.join("int8");
+    write_model_dir(&f32_dir, &model, &vocab, false).expect("write f32 model dir");
+    write_model_dir(&int8_dir, &model, &vocab, true).expect("write int8 model dir");
 
     let recipes = synth_recipes(requests, &tokens, args.seed ^ 0x5eed);
-    let id_seqs: Vec<Vec<usize>> = recipes
-        .iter()
-        .map(|r| {
-            cuisine::featurize::entity_tokens(r)
-                .iter()
-                .map(|t| vocab.lookup_or_unk(t) as usize)
-                .collect()
-        })
-        .collect();
+    let id_seqs: Vec<Vec<usize>> = recipes.iter().map(|(r, _)| to_ids(r, &vocab)).collect();
     let in_vocab = id_seqs.iter().flatten().filter(|&&id| id >= 5).count();
     let total: usize = id_seqs.iter().map(Vec::len).sum();
     assert_eq!(
@@ -151,81 +346,114 @@ fn main() {
     let seq_elapsed = started.elapsed();
     let seq_rps = requests as f64 / seq_elapsed.as_secs_f64();
 
-    // --- batched service under concurrent clients ----------------------
-    eprintln!("batched service: {clients} clients, max_batch {max_batch}");
+    // --- batched f32 service under concurrent clients ------------------
+    eprintln!("batched f32 service: {clients} clients, max_batch {max_batch}");
+    let serve_config = ServeConfig {
+        max_batch,
+        max_delay: Duration::from_millis(2),
+        queue_capacity: requests.max(1),
+        // distinct synthetic recipes: the cache cannot help, it just has
+        // to not hurt
+        cache_capacity: 1024,
+    };
     let registry = Arc::new(ModelRegistry::new());
-    registry.load("lstm", &dir).expect("registry load");
+    registry.load("lstm", &f32_dir).expect("registry load f32");
     let server = Arc::new(
-        BatchServer::start(
-            Arc::clone(&registry),
-            "lstm",
-            ServeConfig {
-                max_batch,
-                max_delay: Duration::from_millis(2),
-                queue_capacity: requests.max(1),
-                // distinct synthetic recipes: the cache cannot help, it
-                // just has to not hurt
-                cache_capacity: 1024,
-            },
-        )
-        .expect("start server"),
+        BatchServer::start(Arc::clone(&registry), "lstm", serve_config.clone())
+            .expect("start f32 server"),
     );
     let recipes = Arc::new(recipes);
-    let started = Instant::now();
-    let workers: Vec<_> = (0..clients)
-        .map(|c| {
-            let server = Arc::clone(&server);
-            let recipes = Arc::clone(&recipes);
-            std::thread::spawn(move || {
-                let mut results = Vec::new();
-                let mut i = c;
-                while i < recipes.len() {
-                    let sent = Instant::now();
-                    let prediction = server
-                        .classify(&recipes[i], None)
-                        .expect("classify under load");
-                    results.push((i, sent.elapsed().as_micros(), prediction));
-                    i += clients;
-                }
-                results
-            })
-        })
-        .collect();
-    let mut latencies_us = Vec::with_capacity(requests);
-    let mut batch_sizes = Vec::with_capacity(requests);
-    for w in workers {
-        for (i, us, prediction) in w.join().expect("client thread") {
-            assert_eq!(
-                prediction.probs, sequential[i],
-                "batched answer for request {i} differs from sequential"
-            );
-            latencies_us.push(us);
-            batch_sizes.push(prediction.batch_size);
-        }
-    }
-    let batch_elapsed = started.elapsed();
+    let (f32_elapsed, mut latencies_us, batch_sizes, f32_predictions) =
+        drive_clients(&server, &recipes, clients);
     server.shutdown();
-    let batch_rps = requests as f64 / batch_elapsed.as_secs_f64();
-    let speedup = batch_rps / seq_rps;
+    for (i, p) in f32_predictions.iter().enumerate() {
+        assert_eq!(
+            p.probs, sequential[i],
+            "batched f32 answer for request {i} differs from sequential"
+        );
+    }
+    let f32_rps = requests as f64 / f32_elapsed.as_secs_f64();
+    let speedup = f32_rps / seq_rps;
 
     latencies_us.sort_unstable();
     let p50 = percentile(&latencies_us, 0.50);
     let p99 = percentile(&latencies_us, 0.99);
     let mean_batch = batch_sizes.iter().sum::<usize>() as f64 / batch_sizes.len() as f64;
 
-    println!("requests:        {requests} (all bit-identical to baseline)");
+    // --- batched int8 service over the same stream ---------------------
+    eprintln!("batched int8 service: {clients} clients, max_batch {max_batch}");
+    registry
+        .load("lstm-int8", &int8_dir)
+        .expect("registry load int8");
+    assert_eq!(
+        registry.get("lstm-int8").unwrap().model().kind(),
+        "lstm-int8",
+        "quantized manifest must take the int8 path"
+    );
+    let server = Arc::new(
+        BatchServer::start(Arc::clone(&registry), "lstm-int8", serve_config)
+            .expect("start int8 server"),
+    );
+    let (int8_elapsed, mut int8_latencies_us, _, int8_predictions) =
+        drive_clients(&server, &recipes, clients);
+    server.shutdown();
+    let int8_rps = requests as f64 / int8_elapsed.as_secs_f64();
+
+    // batching must not change int8 answers either: compare against the
+    // singleton fused int8 engine
+    let quant_engine = QuantLstmClassifier::from_f32(&model);
+    for (i, p) in int8_predictions.iter().enumerate() {
+        let alone = quant_engine.predict_proba_batch(&[id_seqs[i].as_slice()]);
+        assert_eq!(
+            p.probs, alone[0],
+            "batched int8 answer for request {i} differs from singleton int8"
+        );
+    }
+    let agree = int8_predictions
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| p.top_class == top_class(&sequential[*i]))
+        .count();
+    let agreement = agree as f64 / requests as f64;
+    let quant_speedup = int8_rps / f32_rps;
+    let threads_bit_identical = quant_threads_bit_identical();
+    int8_latencies_us.sort_unstable();
+    let int8_p50 = percentile(&int8_latencies_us, 0.50);
+    let int8_p99 = percentile(&int8_latencies_us, 0.99);
+
+    // --- feature-cache sizing: hit rate vs capacity, Zipf stream -------
+    eprintln!("feature-cache sweep: Zipf keys over LruCache capacities");
+    const DISTINCT: usize = 4096;
+    const CAPACITIES: [usize; 7] = [32, 64, 128, 256, 512, 1024, 2048];
+    let stream = zipf_stream(DISTINCT, 1.07, 50_000, args.seed ^ 0x21bf);
+    let sweep: Vec<(usize, f64)> = CAPACITIES
+        .iter()
+        .map(|&cap| (cap, zipf_hit_rate(cap, DISTINCT, &stream)))
+        .collect();
+
+    println!("requests:        {requests} (f32 batched bit-identical to baseline)");
     println!(
         "sequential:      {:.2} req/s  ({:.1} us/req)",
         seq_rps,
         seq_elapsed.as_secs_f64() / requests as f64 * 1e6
     );
     println!(
-        "batched:         {:.2} req/s  (p50 {p50} us, p99 {p99} us, mean batch {mean_batch:.1})",
-        batch_rps
+        "batched f32:     {f32_rps:.2} req/s  (p50 {p50} us, p99 {p99} us, mean batch {mean_batch:.1})"
     );
-    println!("speedup:         {speedup:.2}x");
+    println!("speedup:         {speedup:.2}x (batched f32 vs sequential)");
+    println!("batched int8:    {int8_rps:.2} req/s  (p50 {int8_p50} us, p99 {int8_p99} us)");
+    println!("int8 speedup:    {quant_speedup:.2}x (vs batched f32)");
+    println!("agreement:       {agreement:.4} ({agree}/{requests} top-class vs f32)");
+    println!("threads 1/2/4:   bit-identical = {threads_bit_identical}");
+    for (cap, rate) in &sweep {
+        println!("cache@{cap:<5}      hit rate {rate:.3}");
+    }
 
     let json_path = PathBuf::from(args.value_of("--json").unwrap_or("BENCH_serve.json"));
+    let cache_entries: String = sweep
+        .iter()
+        .map(|(cap, rate)| format!("    {{\"path\": \"cache@{cap}\", \"hit_rate\": {rate:.4}}},\n"))
+        .collect();
     let json = format!(
         concat!(
             "{{\n",
@@ -236,7 +464,9 @@ fn main() {
             "  \"entries\": [\n",
             "    {{\"path\": \"sequential\", \"rps\": {:.2}, \"latency_ns\": {:.1}}},\n",
             "    {{\"path\": \"batched\", \"rps\": {:.2}, \"latency_ns\": {:.1}, ",
-            "\"p50_us\": {}, \"p99_us\": {}, \"mean_batch\": {:.2}, \"speedup\": {:.3}}}\n",
+            "\"p50_us\": {}, \"p99_us\": {}, \"mean_batch\": {:.2}, \"speedup\": {:.3}}},\n",
+            "{}",
+            "    {{\"path\": \"zipf\", \"distinct_keys\": {}, \"exponent\": 1.07}}\n",
             "  ]\n",
             "}}\n"
         ),
@@ -245,18 +475,59 @@ fn main() {
         max_batch,
         seq_rps,
         seq_elapsed.as_nanos() as f64 / requests as f64,
-        batch_rps,
-        batch_elapsed.as_nanos() as f64 / requests as f64,
+        f32_rps,
+        f32_elapsed.as_nanos() as f64 / requests as f64,
         p50,
         p99,
         mean_batch,
         speedup,
+        cache_entries,
+        DISTINCT,
     );
     std::fs::write(&json_path, json).expect("write BENCH_serve.json");
     eprintln!("wrote {}", json_path.display());
-    args.finish_trace();
-    let _ = std::fs::remove_dir_all(&dir);
 
+    let quant_path = PathBuf::from(args.value_of("--quant-json").unwrap_or("BENCH_quant.json"));
+    let quant_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"quant\",\n",
+            "  \"requests\": {},\n",
+            "  \"clients\": {},\n",
+            "  \"max_batch\": {},\n",
+            "  \"entries\": [\n",
+            "    {{\"path\": \"f32_batched\", \"rps\": {:.2}, \"latency_ns\": {:.1}}},\n",
+            "    {{\"path\": \"int8_batched\", \"rps\": {:.2}, \"latency_ns\": {:.1}, ",
+            "\"speedup\": {:.3}, \"agreement\": {:.4}, \"threads_bit_identical\": {}}}\n",
+            "  ]\n",
+            "}}\n"
+        ),
+        requests,
+        clients,
+        max_batch,
+        f32_rps,
+        f32_elapsed.as_nanos() as f64 / requests as f64,
+        int8_rps,
+        int8_elapsed.as_nanos() as f64 / requests as f64,
+        quant_speedup,
+        agreement,
+        threads_bit_identical,
+    );
+    std::fs::write(&quant_path, quant_json).expect("write BENCH_quant.json");
+    eprintln!("wrote {}", quant_path.display());
+
+    args.finish_trace();
+    let _ = std::fs::remove_dir_all(&base);
+
+    assert!(
+        threads_bit_identical,
+        "quantized matmul must be bit-identical across thread counts"
+    );
+    assert!(
+        agreement >= min_agreement,
+        "int8 top-class agreement {agreement:.4} below required {min_agreement}"
+    );
+    println!("agreement gate:  ok (>= {min_agreement})");
     if let Some(min) = args.value_of("--min-speedup") {
         let min: f64 = min.parse().expect("--min-speedup must be a number");
         assert!(

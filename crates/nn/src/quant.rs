@@ -1,0 +1,494 @@
+//! Int8 post-training quantization of trained sequence models.
+//!
+//! Two entry points, both operating on an already-restored f32 model:
+//!
+//! * [`QuantLstmClassifier`] — a fully quantized serving engine for the
+//!   LSTM: the embedding table, every gate weight matrix and the
+//!   classifier head are converted to [`tensor::QuantMatrix`] (i8 payload,
+//!   per-row scale and zero point) and the fused batched forward of
+//!   [`LstmClassifier::predict_proba_batch`] is mirrored on top of
+//!   [`tensor::quant_matmul_into`]. Activations, gate nonlinearities,
+//!   pooling and softmax stay f32, exactly as the paper's models compute
+//!   them.
+//! * [`quantize_store`] — weight-only PTQ for graph-evaluated models (the
+//!   BERT/transformer path): every `.weight` matrix is round-tripped
+//!   through per-output-channel int8 and every `.table` through per-row
+//!   int8, in place. The graph then evaluates the quantized weights with
+//!   the ordinary f32 kernels, so attention models share the same
+//!   quantization error model without needing a hand-fused forward.
+//!
+//! # Determinism
+//!
+//! The quantized forward inherits the bit-identity-across-thread-counts
+//! contract from `tensor::quant_matmul` (integer accumulation is exact)
+//! and from the fused f32 batch path (fixed per-element accumulation
+//! order). For a fixed quantized model, outputs do not depend on
+//! `TENSOR_THREADS` or on batch composition. They are *not* bit-identical
+//! to the f32 model — quantization is lossy by design — which is why the
+//! serving layer keeps it strictly opt-in behind an accuracy gate.
+
+use tensor::{softmax_rows, QuantMatrix, Tensor};
+
+use autograd::ParamStore;
+
+use crate::lstm::{LstmClassifier, LstmConfig, LstmPooling};
+use crate::trainer::SequenceModel;
+
+/// An [`LstmClassifier`] whose weight matrices live in int8.
+///
+/// Built from a trained f32 model with [`QuantLstmClassifier::from_f32`];
+/// weights are quantized once at construction (load time in the serving
+/// stack) and the f32 model can be dropped afterwards. The i8 payload is
+/// ~4× smaller than the f32 weights, which is what makes the
+/// memory-bandwidth-bound batched forward faster.
+pub struct QuantLstmClassifier {
+    config: LstmConfig,
+    /// Per-token-row quantized embedding table (`vocab × emb_dim`).
+    embedding: QuantMatrix,
+    /// Per layer: quantized `[x|h] → 4·hidden` gate weight and f32 bias.
+    gates: Vec<(QuantMatrix, Tensor)>,
+    /// Classifier head weight and bias, kept in f32: the head is tiny
+    /// (`hidden × classes`) so quantizing it buys nothing, and its noise
+    /// lands directly on the logits that decide the argmax — keeping it
+    /// exact measurably improves top-class agreement with the f32 model.
+    head: (Tensor, Tensor),
+}
+
+impl QuantLstmClassifier {
+    /// Quantizes every weight matrix of `model` (embedding table, gate
+    /// weights, head) into a standalone int8 serving engine.
+    pub fn from_f32(model: &LstmClassifier) -> Self {
+        let (embedding, layers, head) = model.parts();
+        let store = model.store();
+        let gates = layers
+            .iter()
+            .map(|l| {
+                let (w, bias) = l.cell().gate_params();
+                (QuantMatrix::quantize(store.get(w)), store.get(bias).clone())
+            })
+            .collect();
+        Self {
+            config: *model.config(),
+            embedding: QuantMatrix::quantize_rows(store.get(embedding.table_id())),
+            gates,
+            head: (
+                store.get(head.weight()).clone(),
+                store.get(head.bias()).clone(),
+            ),
+        }
+    }
+
+    /// The architecture this engine was quantized from.
+    pub fn config(&self) -> &LstmConfig {
+        &self.config
+    }
+
+    /// Total i8 payload bytes across all quantized matrices (the f32
+    /// equivalent is 4× larger).
+    pub fn payload_bytes(&self) -> usize {
+        self.embedding.payload_bytes()
+            + self
+                .gates
+                .iter()
+                .map(|(w, _)| w.payload_bytes())
+                .sum::<usize>()
+            + std::mem::size_of_val(self.head.0.as_slice())
+    }
+
+    /// Class-probability rows for a batch of token-id sequences via the
+    /// fused int8 forward — the quantized mirror of
+    /// [`LstmClassifier::predict_proba_batch`].
+    ///
+    /// Output rows are in input order, independent of batch composition
+    /// and of `TENSOR_THREADS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sequence is empty or contains an id outside the
+    /// model's vocabulary.
+    pub fn predict_proba_batch(&self, seqs: &[&[usize]]) -> Vec<Vec<f64>> {
+        let logits = self.logits_batch(seqs);
+        let probs = softmax_rows(&logits);
+        (0..seqs.len())
+            .map(|r| probs.row(r).iter().map(|&p| p as f64).collect())
+            .collect()
+    }
+
+    /// The fused batched int8 forward: one logit row per sequence, input
+    /// order. Mirrors `LstmClassifier::logits_batch` statement for
+    /// statement, with embedding lookups dequantizing i8 rows and the step
+    /// and head matmuls running on `tensor::quant_matmul_into`.
+    fn logits_batch(&self, seqs: &[&[usize]]) -> Tensor {
+        let cfg = self.config;
+        let b = seqs.len();
+        let hidden = cfg.hidden;
+        if b == 0 {
+            return Tensor::zeros(0, cfg.classes);
+        }
+        for ids in seqs {
+            assert!(!ids.is_empty(), "empty sequence");
+            for &id in ids.iter() {
+                assert!(
+                    id < cfg.vocab,
+                    "embedding id {id} out of range {}",
+                    cfg.vocab
+                );
+            }
+        }
+
+        // Longest-first processing order (stable on ties) so the active
+        // sequences at any timestep are a prefix of the batch rows.
+        let mut order: Vec<usize> = (0..b).collect();
+        order.sort_by(|&x, &y| seqs[y].len().cmp(&seqs[x].len()).then(x.cmp(&y)));
+        let max_len = seqs[order[0]].len();
+
+        let layers = self.gates.len();
+        let mut h: Vec<Vec<f32>> = vec![vec![0.0; b * hidden]; layers];
+        let mut c: Vec<Vec<f32>> = vec![vec![0.0; b * hidden]; layers];
+        let mut pool_acc = vec![0.0f32; b * hidden];
+
+        let mut active = b;
+        let mut xh: Vec<Tensor> = Vec::new();
+        let mut z: Vec<Tensor> = Vec::new();
+        let rebuild = |xh: &mut Vec<Tensor>, z: &mut Vec<Tensor>, bt: usize| {
+            *xh = (0..layers)
+                .map(|l| {
+                    let input = if l == 0 { cfg.emb_dim } else { hidden };
+                    Tensor::zeros(bt, input + hidden)
+                })
+                .collect();
+            *z = (0..layers).map(|_| Tensor::zeros(bt, 4 * hidden)).collect();
+        };
+        rebuild(&mut xh, &mut z, active);
+
+        for t in 0..max_len {
+            while active > 0 && seqs[order[active - 1]].len() <= t {
+                active -= 1;
+            }
+            if active == 0 {
+                break;
+            }
+            if xh[0].rows() != active {
+                rebuild(&mut xh, &mut z, active);
+            }
+            for l in 0..layers {
+                let input = if l == 0 { cfg.emb_dim } else { hidden };
+                for r in 0..active {
+                    let row = xh[l].row_mut(r);
+                    if l == 0 {
+                        let id = seqs[order[r]][t];
+                        self.embedding.dequantize_row_into(id, &mut row[..input]);
+                    } else {
+                        let prev = &h[l - 1][r * hidden..(r + 1) * hidden];
+                        row[..input].copy_from_slice(prev);
+                    }
+                    row[input..].copy_from_slice(&h[l][r * hidden..(r + 1) * hidden]);
+                }
+                let (w, bias) = &self.gates[l];
+                tensor::quant_matmul_into(&xh[l], w, &mut z[l]);
+                z[l].add_row_broadcast(bias);
+                // gates, mirroring LstmCell::step expression for expression
+                let (h_l, c_l) = (&mut h[l], &mut c[l]);
+                for r in 0..active {
+                    let zr = z[l].row(r);
+                    let h_row = &mut h_l[r * hidden..(r + 1) * hidden];
+                    let c_row = &mut c_l[r * hidden..(r + 1) * hidden];
+                    for u in 0..hidden {
+                        let i_gate = fast_sigmoid(zr[u]);
+                        let f_gate = fast_sigmoid(zr[hidden + u]);
+                        let o_gate = fast_sigmoid(zr[2 * hidden + u]);
+                        let cand = fast_tanh(zr[3 * hidden + u]);
+                        let c_next = f_gate * c_row[u] + i_gate * cand;
+                        c_row[u] = c_next;
+                        h_row[u] = o_gate * fast_tanh(c_next);
+                    }
+                }
+            }
+            if cfg.pooling == LstmPooling::MeanPool {
+                let last = &h[layers - 1];
+                for r in 0..active {
+                    let acc = &mut pool_acc[r * hidden..(r + 1) * hidden];
+                    for (a, &v) in acc.iter_mut().zip(&last[r * hidden..(r + 1) * hidden]) {
+                        *a += v;
+                    }
+                }
+            }
+        }
+
+        // pooled features, back in input order
+        let mut pooled = Tensor::zeros(b, hidden);
+        let last = &h[layers - 1];
+        for (r, &orig) in order.iter().enumerate() {
+            let row = pooled.row_mut(orig);
+            match cfg.pooling {
+                LstmPooling::LastHidden => {
+                    row.copy_from_slice(&last[r * hidden..(r + 1) * hidden]);
+                }
+                LstmPooling::MeanPool => {
+                    let inv = 1.0 / seqs[orig].len() as f32;
+                    for (o, &v) in row.iter_mut().zip(&pool_acc[r * hidden..(r + 1) * hidden]) {
+                        *o = v * inv;
+                    }
+                }
+            }
+        }
+
+        let (w_head, b_head) = &self.head;
+        let mut logits = Tensor::zeros(b, cfg.classes);
+        tensor::matmul_into(&pooled, w_head, &mut logits);
+        logits.add_row_broadcast(b_head);
+        logits
+    }
+}
+
+impl std::fmt::Debug for QuantLstmClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantLstmClassifier")
+            .field("config", &self.config)
+            .field("payload_bytes", &self.payload_bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate nonlinearities, vectorizable.
+//
+// The f32 fused engine must reproduce `Graph::sigmoid` / `f32::tanh`
+// bit-for-bit (its contract is bit-identity with the training-time graph),
+// which pins it to scalar libm calls — LLVM cannot vectorize the gate loop
+// around them, and at serving shapes the ~130k transcendentals per batch
+// cost as much as a gate matmul. The int8 engine's contract is weaker
+// (batch invariance + top-class agreement, not bit-identity with f32), so
+// it uses a polynomial `exp` with no calls in the loop body: the whole
+// gate update autovectorizes. Relative error stays below ~3e-6 (a handful
+// of f32 ulps), orders of magnitude below the int8 weight-quantization
+// error it rides on top of.
+
+/// `exp(x)` via `2^(x·log2 e)`: round to an integer exponent (exact bit
+/// shift) and a degree-6 Taylor in the fractional part `f·ln 2` with
+/// `|f| ≤ 0.5`. Pure arithmetic and bit casts — vectorizes.
+#[inline]
+fn fast_exp(x: f32) -> f32 {
+    const LN2: f32 = std::f32::consts::LN_2;
+    // clamp keeps the bit-shifted exponent in range; e^±87 already
+    // saturates every gate to 0/1 well past f32 resolution
+    let y = (x * std::f32::consts::LOG2_E).clamp(-126.0, 126.0);
+    let n = y.round_ties_even();
+    let t = (y - n) * LN2; // |t| ≤ ln2/2 ≈ 0.347
+    let p = t
+        .mul_add(1.0 / 720.0, 1.0 / 120.0)
+        .mul_add(t, 1.0 / 24.0)
+        .mul_add(t, 1.0 / 6.0)
+        .mul_add(t, 0.5)
+        .mul_add(t, 1.0)
+        .mul_add(t, 1.0);
+    let scale = f32::from_bits((((n as i32) + 127) as u32) << 23);
+    p * scale
+}
+
+/// `1 / (1 + exp(−x))` on [`fast_exp`].
+#[inline]
+fn fast_sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + fast_exp(-x))
+}
+
+/// `tanh(x) = 1 − 2/(e^{2x} + 1)` on [`fast_exp`].
+#[inline]
+fn fast_tanh(x: f32) -> f32 {
+    1.0 - 2.0 / (fast_exp(2.0 * x) + 1.0)
+}
+
+/// Weight-only int8 round-trip over a parameter store, in place.
+///
+/// Every `.weight` matrix (attention projections, feed-forward and head
+/// weights) is quantized per output channel and every `.table` matrix
+/// (embeddings) per row, then dequantized back into the store. Vectors
+/// (biases, layer-norm gains) are untouched. Returns the number of
+/// matrices quantized.
+///
+/// This is how graph-evaluated models (the BERT path) opt into int8: the
+/// subsequent forward runs the ordinary f32 kernels over weights that
+/// carry exactly the int8 path's quantization error, so the serving
+/// layer's accuracy gate measures the same thing it would for a fused
+/// kernel.
+pub fn quantize_store(store: &mut ParamStore) -> usize {
+    let targets: Vec<(autograd::ParamId, bool)> = store
+        .iter()
+        .filter_map(|(id, name, value)| {
+            let (rows, cols) = value.shape();
+            if rows < 2 || cols < 2 {
+                return None;
+            }
+            if name.ends_with(".table") {
+                Some((id, true))
+            } else if name.ends_with(".weight") {
+                Some((id, false))
+            } else {
+                None
+            }
+        })
+        .collect();
+    for &(id, per_row) in &targets {
+        let value = store.get(id);
+        let q = if per_row {
+            QuantMatrix::quantize_rows(value)
+        } else {
+            QuantMatrix::quantize(value)
+        };
+        *store.get_mut(id) = q.dequantize();
+    }
+    targets.len()
+}
+
+/// Convenience: [`quantize_store`] applied to any [`SequenceModel`].
+pub fn quantize_model_weights<M: SequenceModel>(model: &mut M) -> usize {
+    quantize_store(model.store_mut())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(pooling: LstmPooling, seed: u64) -> LstmClassifier {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LstmClassifier::new(
+            LstmConfig {
+                vocab: 40,
+                emb_dim: 12,
+                hidden: 9,
+                layers: 2,
+                dropout: 0.0,
+                classes: 5,
+                pooling,
+            },
+            &mut rng,
+        )
+    }
+
+    fn ragged_seqs(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| (0..(i % 23 + 1)).map(|t| (i * 7 + t * 3) % 40).collect())
+            .collect()
+    }
+
+    #[test]
+    fn batching_never_changes_quantized_answers() {
+        for pooling in [LstmPooling::LastHidden, LstmPooling::MeanPool] {
+            let q = QuantLstmClassifier::from_f32(&model(pooling, 3));
+            let seqs = ragged_seqs(13);
+            let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+            let batched = q.predict_proba_batch(&refs);
+            for (i, seq) in seqs.iter().enumerate() {
+                let alone = q.predict_proba_batch(&[seq.as_slice()]);
+                assert_eq!(alone[0], batched[i], "row {i} depends on batch context");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_probs_track_f32_probs() {
+        let m = model(LstmPooling::LastHidden, 7);
+        let q = QuantLstmClassifier::from_f32(&m);
+        let seqs = ragged_seqs(24);
+        let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+        let exact = m.predict_proba_batch(&refs);
+        let quant = q.predict_proba_batch(&refs);
+        for (row_e, row_q) in exact.iter().zip(&quant) {
+            for (e, qv) in row_e.iter().zip(row_q) {
+                assert!(
+                    (e - qv).abs() < 0.05,
+                    "quantized probability drifted: {e} vs {qv}"
+                );
+            }
+            assert!((row_q.iter().sum::<f64>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn payload_is_a_quarter_of_f32() {
+        let m = model(LstmPooling::LastHidden, 1);
+        let q = QuantLstmClassifier::from_f32(&m);
+        // i8: vocab·emb + Σ (in+h)·4h gate scalars; f32 head: 4·h·classes
+        let scalars = 40 * 12 + (12 + 9) * 4 * 9 + (9 + 9) * 4 * 9 + 4 * 9 * 5;
+        assert_eq!(q.payload_bytes(), scalars);
+    }
+
+    #[test]
+    fn quantize_store_touches_weights_and_tables_only() {
+        let mut m = model(LstmPooling::LastHidden, 5);
+        let before: Vec<(String, tensor::Tensor)> = m
+            .store()
+            .iter()
+            .map(|(_, name, v)| (name.to_string(), v.clone()))
+            .collect();
+        let n = quantize_model_weights(&mut m);
+        // embedding table + 2 gate weights + head weight
+        assert_eq!(n, 4);
+        for (id, name, after) in m.store().iter() {
+            let (_, original) = before[id.index()].clone();
+            let same = original == *after;
+            if name.ends_with(".weight") || name.ends_with(".table") {
+                assert!(!same, "{name} should have been round-tripped");
+                let diff = original
+                    .as_slice()
+                    .iter()
+                    .zip(after.as_slice())
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(diff < 0.01, "{name} drifted too far: {diff}");
+            } else {
+                assert!(same, "{name} (vector param) must be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_gate_math_tracks_libm() {
+        let mut x = -30.0f32;
+        while x <= 30.0 {
+            let e = f64::from(x).exp();
+            if e.is_finite() {
+                let rel = (f64::from(fast_exp(x)) - e).abs() / e;
+                assert!(rel < 3e-6, "exp({x}): rel err {rel}");
+            }
+            let sig = 1.0 / (1.0 + (-f64::from(x)).exp());
+            assert!(
+                (f64::from(fast_sigmoid(x)) - sig).abs() < 1e-6,
+                "sigmoid({x})"
+            );
+            assert!(
+                (f64::from(fast_tanh(x)) - f64::from(x).tanh()).abs() < 1e-6,
+                "tanh({x})"
+            );
+            x += 0.0137;
+        }
+        // saturation tails stay finite and pinned (the exponent clamp
+        // leaves a subnormal rather than a hard 0 on the low side)
+        assert!(fast_sigmoid(-1e4) < 1e-37);
+        assert_eq!(fast_sigmoid(1e4), 1.0);
+        assert_eq!(fast_tanh(1e4), 1.0);
+        assert_eq!(fast_tanh(-1e4), -1.0);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let q = QuantLstmClassifier::from_f32(&model(LstmPooling::LastHidden, 1));
+        assert!(q.predict_proba_batch(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics_like_the_f32_path() {
+        let q = QuantLstmClassifier::from_f32(&model(LstmPooling::LastHidden, 1));
+        let _ = q.predict_proba_batch(&[&[]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_vocab_id_panics() {
+        let q = QuantLstmClassifier::from_f32(&model(LstmPooling::LastHidden, 1));
+        let _ = q.predict_proba_batch(&[&[41]]);
+    }
+}

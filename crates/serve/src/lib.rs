@@ -47,6 +47,8 @@ mod service;
 pub use cache::LruCache;
 pub use error::ServeError;
 pub use manifest::{ModelManifest, LINEAR_FILE, MANIFEST_FILE, MANIFEST_FORMAT};
-pub use model::{BertServing, Features, LinearServing, LstmServing, ServingModel};
+pub use model::{
+    BertServing, Features, LinearServing, LstmServing, QuantLstmServing, ServingModel,
+};
 pub use registry::{LoadedModel, ModelRegistry};
 pub use service::{BatchServer, Prediction, ServeConfig};

@@ -39,7 +39,7 @@ pub const LINEAR_FILE: &str = "linear.json";
 
 /// Everything the registry needs to reconstruct a servable model from a
 /// directory of weights.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Serialize, PartialEq)]
 pub struct ModelManifest {
     /// Format tag ([`MANIFEST_FORMAT`]).
     pub format: String,
@@ -72,6 +72,45 @@ pub struct ModelManifest {
     pub sublinear_tf: bool,
     /// Whether rows were L2-normalized (linear only).
     pub l2_normalize: bool,
+    /// Opt-in int8 post-training quantization at load time (sequence
+    /// models only). The checkpoint on disk stays f32; when this is set
+    /// the registry converts weight matrices to i8 while materializing
+    /// the serving model. Absent in older manifests, which read as
+    /// `false` — quantization is never implicit.
+    pub quantized: bool,
+}
+
+// Hand-written so that manifests written before the field existed (or
+// without it) deserialize with `quantized: false`: the derive of the
+// offline serde shim treats every field as required, and int8 must stay
+// strictly opt-in rather than a parse error or — worse — a default-on.
+impl Deserialize for ModelManifest {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn req<T: Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            T::deserialize_value(serde::field(v, name)?)
+        }
+        Ok(Self {
+            format: req(v, "format")?,
+            kind: req(v, "kind")?,
+            classes: req(v, "classes")?,
+            vocab_tokens: req(v, "vocab_tokens")?,
+            emb_dim: req(v, "emb_dim")?,
+            hidden: req(v, "hidden")?,
+            layers: req(v, "layers")?,
+            heads: req(v, "heads")?,
+            ff_dim: req(v, "ff_dim")?,
+            max_len: req(v, "max_len")?,
+            pooling: req(v, "pooling")?,
+            tfidf_terms: req(v, "tfidf_terms")?,
+            tfidf_idf: req(v, "tfidf_idf")?,
+            sublinear_tf: req(v, "sublinear_tf")?,
+            l2_normalize: req(v, "l2_normalize")?,
+            quantized: match serde::field(v, "quantized") {
+                Ok(val) => bool::deserialize_value(val)?,
+                Err(_) => false,
+            },
+        })
+    }
 }
 
 impl ModelManifest {
@@ -92,7 +131,16 @@ impl ModelManifest {
             tfidf_idf: Vec::new(),
             sublinear_tf: false,
             l2_normalize: false,
+            quantized: false,
         }
+    }
+
+    /// Marks this manifest for int8 load-time quantization (sequence
+    /// models only — [`load`](Self::load) rejects it on `"linear"`).
+    #[must_use]
+    pub fn with_quantized(mut self, quantized: bool) -> Self {
+        self.quantized = quantized;
+        self
     }
 
     /// Describes an LSTM classifier trained over `vocab`.
@@ -234,6 +282,9 @@ impl ModelManifest {
         if m.tfidf_terms.len() != m.tfidf_idf.len() {
             return Err(invalid("tfidf term/idf length mismatch"));
         }
+        if m.quantized && m.kind == "linear" {
+            return Err(invalid("linear models have no int8 quantized path"));
+        }
         if m.tfidf_idf.iter().any(|v| !v.is_finite()) {
             return Err(invalid("non-finite idf weight in manifest"));
         }
@@ -340,6 +391,40 @@ mod tests {
         let stir = tv.column("stir").unwrap();
         assert_eq!(m.tfidf_terms[stir as usize], "stir");
         assert_eq!(m.tfidf_idf[stir as usize].to_bits(), tv.idf(stir).to_bits());
+    }
+
+    #[test]
+    fn missing_quantized_field_reads_as_false() {
+        // a manifest written before the field existed must still load,
+        // and must land on the f32 path
+        let m = ModelManifest::lstm(&lstm_config(), &vocab());
+        let mut json = serde_json::to_string(&m).unwrap();
+        let needle = ",\"quantized\":false";
+        assert!(json.contains(needle), "serialized form changed: {json}");
+        json = json.replace(needle, "");
+        let old: ModelManifest = serde_json::from_str(&json).unwrap();
+        assert!(!old.quantized);
+        assert_eq!(old, m);
+    }
+
+    #[test]
+    fn quantized_roundtrips_and_linear_is_rejected() {
+        let dir = std::env::temp_dir().join("serve_manifest_quant");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = ModelManifest::lstm(&lstm_config(), &vocab()).with_quantized(true);
+        m.save(&dir).unwrap();
+        let loaded = ModelManifest::load(&dir).unwrap();
+        assert!(loaded.quantized);
+        assert_eq!(loaded, m);
+
+        let mut tv = TfIdfVectorizer::new(TfIdfConfig::default());
+        tv.fit(&[vec!["stir", "onion"], vec!["stir"]]);
+        let linear = ModelManifest::linear(4, &tv).with_quantized(true);
+        linear.save(&dir).unwrap();
+        let err = ModelManifest::load(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -18,9 +18,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::manifest::{ModelManifest, LINEAR_FILE};
-use crate::model::{BertServing, LinearServing, LstmServing, ServingModel};
+use crate::model::{
+    BertServing, Features, LinearServing, LstmServing, QuantLstmServing, ServingModel,
+};
 
 static LOADS: trace::Counter = trace::Counter::new("serve.registry.loads");
+static WARMUPS: trace::Counter = trace::Counter::new("serve.registry.warmups");
 
 /// A model the registry has materialized from disk, ready to serve.
 pub struct LoadedModel {
@@ -64,16 +67,38 @@ impl std::fmt::Debug for LoadedModel {
 }
 
 /// Named, hot-swappable collection of servable models.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ModelRegistry {
     models: RwLock<HashMap<String, Arc<LoadedModel>>>,
     next_version: AtomicU64,
+    warmup: std::sync::atomic::AtomicBool,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self {
+            models: RwLock::default(),
+            next_version: AtomicU64::new(0),
+            warmup: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
 }
 
 impl ModelRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry (warmup enabled).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables or disables the load-time warmup pass (on by default).
+    ///
+    /// With warmup on, [`load`](Self::load) drives one dummy batch through
+    /// the freshly built model *before* publishing it, so the first
+    /// post-swap request doesn't pay lazy page-in of the weights, and a
+    /// model that can't produce a finite probability row is rejected
+    /// instead of published.
+    pub fn set_warmup(&self, enabled: bool) {
+        self.warmup.store(enabled, Ordering::Relaxed);
     }
 
     /// Loads (or reloads) the model in `dir` under `name`.
@@ -99,14 +124,24 @@ impl ModelRegistry {
                 let mut rng = StdRng::seed_from_u64(0);
                 let mut model = LstmClassifier::new(manifest.lstm_config()?, &mut rng);
                 restore(dir, &mut model)?;
-                Box::new(LstmServing::new(model, vocab))
+                if manifest.quantized {
+                    // int8 is a load-time representation: the checkpoint
+                    // stays f32 on disk, the weights quantize here
+                    Box::new(QuantLstmServing::new(&model, vocab))
+                } else {
+                    Box::new(LstmServing::new(model, vocab))
+                }
             }
             "bert" => {
                 let vocab = manifest.vocabulary();
                 let mut rng = StdRng::seed_from_u64(0);
                 let mut model = BertClassifier::new(manifest.bert_config()?, &mut rng);
                 restore(dir, &mut model)?;
-                Box::new(BertServing::new(model, vocab))
+                if manifest.quantized {
+                    Box::new(BertServing::new_quantized(model, vocab))
+                } else {
+                    Box::new(BertServing::new(model, vocab))
+                }
             }
             "linear" => {
                 let model = ml::load_linear(&dir.join(LINEAR_FILE))?;
@@ -130,6 +165,9 @@ impl ModelRegistry {
             }
             other => unreachable!("manifest validation admitted kind {other:?}"),
         };
+        if self.warmup.load(Ordering::Relaxed) {
+            warmup(model.as_ref())?;
+        }
         let loaded = Arc::new(LoadedModel {
             name: name.to_string(),
             version: self.next_version.fetch_add(1, Ordering::Relaxed) + 1,
@@ -165,6 +203,55 @@ impl ModelRegistry {
         names.sort();
         names
     }
+}
+
+/// Drives one dummy request through a freshly built model before it is
+/// published: touches every weight page (so the first real post-swap batch
+/// doesn't pay lazy page-in) and validates that the model can produce a
+/// finite probability row at all. A panic or a non-finite/ill-normalized
+/// output fails the load, keeping the previous version in place.
+fn warmup(model: &dyn ServingModel) -> io::Result<()> {
+    let _span = trace::span("serve.registry.warmup");
+    let features = if model.kind() == "linear" {
+        Features::Sparse(Vec::new())
+    } else {
+        // id 0 is a special token, present in every sequence vocabulary
+        Features::Ids(vec![0])
+    };
+    let rows =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.predict(&[&features])))
+            .map_err(|_| invalid_warmup(model, "panicked on the warmup batch"))?;
+    let [row] = rows.as_slice() else {
+        return Err(invalid_warmup(
+            model,
+            &format!("returned {} rows for a 1-request batch", rows.len()),
+        ));
+    };
+    if row.len() != model.num_classes() {
+        return Err(invalid_warmup(
+            model,
+            &format!(
+                "returned {} probabilities for {} classes",
+                row.len(),
+                model.num_classes()
+            ),
+        ));
+    }
+    if row.iter().any(|p| !p.is_finite()) || (row.iter().sum::<f64>() - 1.0).abs() > 1e-3 {
+        return Err(invalid_warmup(
+            model,
+            "produced a non-finite or unnormalized probability row",
+        ));
+    }
+    WARMUPS.incr();
+    Ok(())
+}
+
+fn invalid_warmup(model: &dyn ServingModel, what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("warmup: {} model {what}", model.kind()),
+    )
 }
 
 fn restore<M: SequenceModel>(dir: &Path, model: &mut M) -> io::Result<()> {
@@ -247,6 +334,79 @@ mod tests {
         );
         assert_eq!(registry.get("lstm").unwrap().version(), v2.version());
         assert_eq!(registry.names(), vec!["lstm".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quantized_manifest_takes_the_int8_path_and_plain_does_not() {
+        let dir = std::env::temp_dir().join("serve_registry_quant");
+        let _ = std::fs::remove_dir_all(&dir);
+        let reference = write_lstm_dir(&dir, 11);
+
+        // golden: a manifest without the opt-in must serve the f32 engine,
+        // bit-identical to the in-process classifier
+        let registry = ModelRegistry::new();
+        let f32_loaded = registry.load("lstm", &dir).unwrap();
+        assert_eq!(f32_loaded.model().kind(), "lstm");
+        let features = crate::Features::Ids(vec![5, 6, 7]);
+        let exact = reference.predict_proba_batch(&[&[5, 6, 7]]);
+        assert_eq!(f32_loaded.model().predict(&[&features]), exact);
+
+        // opt-in: same checkpoint, quantized manifest → int8 engine
+        ModelManifest::lstm(&config(), &vocab())
+            .with_quantized(true)
+            .save(&dir)
+            .unwrap();
+        let quant = registry.load("lstm", &dir).unwrap();
+        assert_eq!(quant.kind(), "lstm", "manifest kind is unchanged");
+        assert_eq!(quant.model().kind(), "lstm-int8");
+        assert!(quant.version() > f32_loaded.version());
+        let probs = quant.model().predict(&[&features]);
+        assert_eq!(probs.len(), 1);
+        let row = &probs[0];
+        assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        for (p, e) in row.iter().zip(&exact[0]) {
+            assert!((p - e).abs() < 0.05, "int8 drifted too far: {p} vs {e}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_publishes_only_after_warmup() {
+        let dir = std::env::temp_dir().join("serve_registry_warmup");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // a checkpoint whose weights can only produce NaN probabilities:
+        // warmup must reject it before the version is published
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut model = LstmClassifier::new(config(), &mut rng);
+        for id in model.store().ids().collect::<Vec<_>>() {
+            model.store_mut().get_mut(id).as_mut_slice()[0] = f32::NAN;
+        }
+        ModelManifest::lstm(&config(), &vocab()).save(&dir).unwrap();
+        save_checkpoint(model.store(), &dir.join("latest.ckpt")).unwrap();
+
+        let registry = ModelRegistry::new();
+        let err = registry.load("lstm", &dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("warmup"), "{err}");
+        assert!(
+            registry.get("lstm").is_none(),
+            "failed warmup must not publish a version"
+        );
+
+        // warmup disabled: the same broken directory publishes (the gate
+        // really is the warmup pass, not the checkpoint layer)
+        registry.set_warmup(false);
+        let v1 = registry.load("lstm", &dir).unwrap();
+        assert_eq!(registry.get("lstm").unwrap().version(), v1.version());
+
+        // healthy checkpoint with warmup back on: load succeeds and bumps
+        registry.set_warmup(true);
+        write_lstm_dir(&dir, 13);
+        let v2 = registry.load("lstm", &dir).unwrap();
+        assert!(v2.version() > v1.version());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

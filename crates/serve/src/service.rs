@@ -97,6 +97,13 @@ pub struct ServeConfig {
     /// [`ServeError::Overloaded`].
     pub queue_capacity: usize,
     /// Entries in the featurized-input LRU cache (0 disables it).
+    ///
+    /// The default comes from the Zipf(s = 1.07, 4096 distinct keys)
+    /// capacity sweep in `serve_load` (see `cache@N` entries in
+    /// `benchmarks/baselines/BENCH_serve.json`): hit rate climbs 0.82 →
+    /// 0.90 going from 1024 to 2048 entries, and a cached feature vector
+    /// is small (~100 B), so the larger table is cheap insurance against
+    /// heavier-tailed request streams.
     pub cache_capacity: usize,
 }
 
@@ -106,7 +113,7 @@ impl Default for ServeConfig {
             max_batch: 32,
             max_delay: Duration::from_millis(2),
             queue_capacity: 256,
-            cache_capacity: 1024,
+            cache_capacity: 2048,
         }
     }
 }

@@ -24,6 +24,7 @@ mod init;
 mod matmul;
 mod ops;
 pub mod pool;
+mod quant;
 mod tensor;
 
 pub use init::{xavier_normal, xavier_uniform, Initializer};
@@ -33,6 +34,10 @@ pub use matmul::{
 };
 pub use ops::{log_softmax_rows, softmax_rows, softmax_rows_into};
 pub use pool::num_threads;
+pub use quant::{
+    quant_matmul, quant_matmul_at_b, quant_matmul_at_b_into, quant_matmul_at_b_with_threads,
+    quant_matmul_into, quant_matmul_with_threads, QuantMatrix,
+};
 pub use tensor::Tensor;
 
 #[cfg(test)]

@@ -29,11 +29,11 @@ use crate::Tensor;
 /// Minimum number of multiply-adds (`m · n · k`) before a kernel consults
 /// the thread pool. Below this, tiling overhead beats any speedup and the
 /// small-tensor unit tests stay on the fast sequential path.
-const PAR_THRESHOLD: usize = 1 << 16;
+pub(crate) const PAR_THRESHOLD: usize = 1 << 16;
 
 /// How a kernel invocation is scheduled.
 #[derive(Clone, Copy)]
-enum Exec {
+pub(crate) enum Exec {
     /// Sequential below [`PAR_THRESHOLD`], global pool above it.
     Auto,
     /// Exactly this many scoped threads, regardless of problem size.
@@ -58,8 +58,10 @@ fn tile_bounds(m: usize, tiles: usize, t: usize) -> (usize, usize) {
 }
 
 /// Runs `tile_body(lo, hi, rows)` over a row-tiling of the `m × n` output,
-/// where `rows` is the output slice for rows `lo..hi`.
-fn drive(
+/// where `rows` is the output slice for rows `lo..hi`. Shared with the
+/// int8 kernels in [`crate::quant`], which inherit the same tiling and
+/// therefore the same determinism contract.
+pub(crate) fn drive(
     exec: Exec,
     m: usize,
     n: usize,

@@ -1,0 +1,840 @@
+//! Int8 post-training quantization: [`QuantMatrix`] storage plus the
+//! quantized matmul kernels the serving path runs on.
+//!
+//! # Scheme
+//!
+//! Asymmetric affine quantization, one `(scale, zero_point)` pair per
+//! *stored row*: `x ≈ scale · (q − zero_point)` with `q: i8`. A weight
+//! matrix `W` (shape `k × n`, used as `x · W`) is stored **transposed**
+//! (`n × k`), so each quantization row is one output channel and each
+//! output element of [`quant_matmul`] is a dot product of two contiguous
+//! i8 rows — the same memory pattern as [`crate::matmul_a_bt`]. Embedding
+//! tables are quantized row-per-token via [`QuantMatrix::quantize_rows`]
+//! and looked up with [`QuantMatrix::dequantize_row_into`].
+//!
+//! The scale uses 254 of the 256 representable steps (`(max−min)/254`), so
+//! integer rounding of the zero point can never push a quantized value out
+//! of `i8` range by more than the clamp at `−128`; the round-trip error is
+//! at most `scale/2` per element (up to the final rounding into `f32`),
+//! which the property tests assert.
+//!
+//! # Kernels
+//!
+//! [`quant_matmul`] computes `C = A · W` with `A: f32`. Activation rows
+//! are quantized on the fly to **u8** (per-row affine, the standard
+//! unsigned-activation × signed-weight pairing), the inner product is
+//! accumulated exactly in `i32`, the zero-point correction terms in
+//! `i64`, and the single dequantization happens at the accumulator:
+//!
+//! ```text
+//! C[i][j] = sa_i · sb_j · (Σ_p qa[i][p]·qb[j][p]
+//!                          − zb_j·Σ_p qa[i][p] − za_i·Σ_p qb[j][p]
+//!                          + k·za_i·zb_j)
+//! ```
+//!
+//! The weight-row sums `Σ qb` are precomputed at quantization time, so the
+//! hot loop is one u8×i8 dot product per output element. On x86-64 with
+//! AVX-512 VNNI that dot runs on `vpdpbusd` (64 multiply-adds per
+//! instruction, detected at runtime); everywhere else a portable loop
+//! autovectorizes through `vpmaddwd`-style widening code. Both produce the
+//! same exact integer, so kernel selection never changes results.
+//!
+//! # Determinism
+//!
+//! Integer accumulation is exact and associative, and the final
+//! dequantization is a fixed `f64` expression per output element, so for a
+//! fixed [`QuantMatrix`] the kernels are **bit-identical for every thread
+//! count and tile split** — a strictly stronger version of the f32
+//! kernels' contract. Quantized results are *not* bit-identical to the f32
+//! kernels (quantization is lossy by design); that trade is opt-in at the
+//! serving layer. The kernels run on the same [`crate::pool`] row-tiling
+//! driver as [`crate::matmul`].
+
+use crate::matmul::{drive, Exec};
+use crate::Tensor;
+
+/// Per-row affine parameters for one quantized row.
+#[derive(Clone, Copy)]
+struct RowQuant {
+    scale: f32,
+    zero_point: i32,
+    /// Sum of the row's quantized values, precomputed for the zero-point
+    /// correction terms.
+    qsum: i32,
+}
+
+/// Quantizes one f32 row into `out` and returns its affine parameters.
+///
+/// Uses 254 steps of the i8 range so the integer-rounded zero point keeps
+/// every in-range value within `[−128, 127]` after rounding (the single
+/// half-step that can land on `−128.5` clamps with error exactly
+/// `scale/2`). Constant rows get an exact symmetric encoding.
+fn quantize_row(row: &[f32], out: &mut [i8]) -> RowQuant {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &x in row {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    if row.is_empty() {
+        return RowQuant {
+            scale: 1.0,
+            zero_point: 0,
+            qsum: 0,
+        };
+    }
+    if min == max {
+        // Constant row: encode exactly as ±127 · |c|/127 (or all-zero).
+        let c = min;
+        let scale = if c == 0.0 { 1.0 } else { c.abs() / 127.0 };
+        let q = if c == 0.0 {
+            0i8
+        } else if c > 0.0 {
+            127
+        } else {
+            -127
+        };
+        out.fill(q);
+        return RowQuant {
+            scale,
+            zero_point: 0,
+            qsum: i32::from(q) * row.len() as i32,
+        };
+    }
+    let scale = (max - min) / 254.0;
+    let inv = 1.0 / f64::from(scale);
+    let zero_point = (-128.0 - f64::from(min) * inv).round() as i32;
+    let mut qsum = 0i32;
+    for (o, &x) in out.iter_mut().zip(row) {
+        let q = (f64::from(x) * inv + f64::from(zero_point)).round();
+        let q = (q as i32).clamp(-128, 127);
+        *o = q as i8;
+        qsum += q;
+    }
+    RowQuant {
+        scale,
+        zero_point,
+        qsum,
+    }
+}
+
+/// An i8-quantized matrix with per-row scale and zero point.
+///
+/// Built either from a weight matrix via [`QuantMatrix::quantize`] (stored
+/// transposed, one quantization row per output channel) or from a lookup
+/// table via [`QuantMatrix::quantize_rows`] (stored as given, one
+/// quantization row per table row). Shape accessors report the *logical*
+/// orientation, so `quant_matmul(&a, &QuantMatrix::quantize(&w))` reads
+/// exactly like `matmul(&a, &w)`.
+pub struct QuantMatrix {
+    /// Stored row-major, `srows × scols`.
+    data: Vec<i8>,
+    srows: usize,
+    scols: usize,
+    rows_q: Vec<RowQuant>,
+    /// True when the stored layout is the transpose of the logical matrix
+    /// (the weight form built by [`QuantMatrix::quantize`]).
+    transposed: bool,
+    /// VNNI-blocked copy of the weight payload, built at quantization time
+    /// when the CPU can run it (see [`pack_vnni`]). `None` on the rows
+    /// form and on machines without AVX-512 VNNI.
+    packed: Option<Vec<i8>>,
+    /// Per-stored-row dequant parameters in SIMD-friendly planar form:
+    /// zero point, correction `qsum − scols·zp`, and scale, one entry per
+    /// row. With these, the accumulator dequantizes as
+    /// `C = (sa · chan_scale_j) · (dot − chan_zp_j·Σqa − za·chan_corr_j)`.
+    chan_zp: Vec<i64>,
+    chan_corr: Vec<i64>,
+    chan_scale: Vec<f64>,
+}
+
+/// Repacks the `n × k` weight payload into the AVX-512 VNNI GEMM layout:
+/// 16-channel × 4-deep blocks, zero-padded to multiples of 16 (channels)
+/// and 4 (depth). One 64-byte block holds `k`-positions `4g..4g+4` of
+/// output channels `16b..16b+16`, so a single `vpdpbusd` against a
+/// broadcast 4-byte activation group advances sixteen output channels at
+/// once — no horizontal reductions anywhere in the kernel. Zero padding is
+/// exact: padded products contribute `q · 0 = 0` to the i32 accumulator.
+fn pack_vnni(data: &[i8], n: usize, k: usize) -> Vec<i8> {
+    let kp = k.div_ceil(4) * 4;
+    let np = n.div_ceil(16) * 16;
+    let mut out = vec![0i8; np * kp];
+    for j in 0..n {
+        let (block, lane) = (j / 16, j % 16);
+        for p in 0..k {
+            let (group, byte) = (p / 4, p % 4);
+            out[block * kp * 16 + group * 64 + lane * 4 + byte] = data[j * k + p];
+        }
+    }
+    out
+}
+
+impl QuantMatrix {
+    /// Quantizes a weight matrix `w` (shape `k × n`, used as `x · W`).
+    ///
+    /// Storage is transposed (`n × k`) so each quantization row is one
+    /// output channel; [`QuantMatrix::shape`] still reports `(k, n)`.
+    pub fn quantize(w: &Tensor) -> Self {
+        let mut q = Self::quantize_rows(&w.transpose());
+        q.transposed = true;
+        if has_vnni() {
+            q.packed = Some(pack_vnni(&q.data, q.srows, q.scols));
+        }
+        q
+    }
+
+    /// Quantizes `m` row by row in its stored layout (for embedding-style
+    /// row lookup via [`QuantMatrix::dequantize_row_into`]).
+    pub fn quantize_rows(m: &Tensor) -> Self {
+        let (srows, scols) = m.shape();
+        let mut data = vec![0i8; srows * scols];
+        let rows_q: Vec<RowQuant> = (0..srows)
+            .map(|r| quantize_row(m.row(r), &mut data[r * scols..(r + 1) * scols]))
+            .collect();
+        let chan_zp: Vec<i64> = rows_q.iter().map(|r| i64::from(r.zero_point)).collect();
+        let chan_corr: Vec<i64> = rows_q
+            .iter()
+            .map(|r| i64::from(r.qsum) - scols as i64 * i64::from(r.zero_point))
+            .collect();
+        let chan_scale: Vec<f64> = rows_q.iter().map(|r| f64::from(r.scale)).collect();
+        Self {
+            data,
+            srows,
+            scols,
+            rows_q,
+            transposed: false,
+            packed: None,
+            chan_zp,
+            chan_corr,
+            chan_scale,
+        }
+    }
+
+    /// Logical shape: `(k, n)` for the weight form, stored shape otherwise.
+    pub fn shape(&self) -> (usize, usize) {
+        if self.transposed {
+            (self.scols, self.srows)
+        } else {
+            (self.srows, self.scols)
+        }
+    }
+
+    /// Logical row count.
+    pub fn rows(&self) -> usize {
+        self.shape().0
+    }
+
+    /// Logical column count.
+    pub fn cols(&self) -> usize {
+        self.shape().1
+    }
+
+    /// Whether this is the transposed weight form built by
+    /// [`QuantMatrix::quantize`] (quantization rows = output channels).
+    pub fn is_weight_form(&self) -> bool {
+        self.transposed
+    }
+
+    /// Scale of quantization row `r` (a stored row: an output channel in
+    /// the weight form, a table row otherwise).
+    pub fn row_scale(&self, r: usize) -> f32 {
+        self.rows_q[r].scale
+    }
+
+    /// Zero point of quantization row `r`.
+    pub fn row_zero_point(&self, r: usize) -> i32 {
+        self.rows_q[r].zero_point
+    }
+
+    /// Heap bytes of the i8 payload (excludes per-row parameters).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Dequantizes back to an f32 tensor in the logical orientation.
+    pub fn dequantize(&self) -> Tensor {
+        let mut stored = Tensor::zeros(self.srows, self.scols);
+        for r in 0..self.srows {
+            self.stored_row_into(r, stored.row_mut(r));
+        }
+        if self.transposed {
+            stored.transpose()
+        } else {
+            stored
+        }
+    }
+
+    /// Dequantizes stored row `r` into `out` (embedding lookup).
+    ///
+    /// Only meaningful for the [`QuantMatrix::quantize_rows`] form, where
+    /// stored and logical rows coincide.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the weight form, or if `out.len() != cols()`.
+    pub fn dequantize_row_into(&self, r: usize, out: &mut [f32]) {
+        assert!(
+            !self.transposed,
+            "dequantize_row_into requires the quantize_rows form"
+        );
+        self.stored_row_into(r, out);
+    }
+
+    fn stored_row_into(&self, r: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.scols, "row length mismatch");
+        let q = &self.data[r * self.scols..(r + 1) * self.scols];
+        let RowQuant {
+            scale, zero_point, ..
+        } = self.rows_q[r];
+        // q − zp spans at most [-255, 255], exact in f32, so the only
+        // rounding is the final multiply — that single rounding is what
+        // the scale/2 error bound is stated up to. Staying in f32 keeps
+        // the loop vectorizable; embedding lookups dequantize on the
+        // serving hot path, once per row per timestep.
+        let zp = zero_point as f32;
+        for (o, &v) in out.iter_mut().zip(q) {
+            *o = (f32::from(v) - zp) * scale;
+        }
+    }
+}
+
+impl std::fmt::Debug for QuantMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (r, c) = self.shape();
+        f.debug_struct("QuantMatrix")
+            .field("rows", &r)
+            .field("cols", &c)
+            .field("weight_form", &self.transposed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// `C = A · W` with `A: f32 (m × k)` and `W` int8-quantized (`k × n`
+/// logical), allocating the output.
+///
+/// # Panics
+///
+/// Panics if `w` is not the weight form, or if `a.cols() != w.rows()`.
+pub fn quant_matmul(a: &Tensor, w: &QuantMatrix) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), w.cols());
+    quant_matmul_exec(a, w, &mut out, Exec::Auto);
+    out
+}
+
+/// [`quant_matmul`] into a caller-provided output buffer (overwritten).
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn quant_matmul_into(a: &Tensor, w: &QuantMatrix, out: &mut Tensor) {
+    quant_matmul_exec(a, w, out, Exec::Auto);
+}
+
+/// [`quant_matmul`] pinned to exactly `threads` threads (for tests and
+/// benches exercising the bit-identity contract).
+pub fn quant_matmul_with_threads(a: &Tensor, w: &QuantMatrix, threads: usize) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), w.cols());
+    quant_matmul_exec(a, w, &mut out, Exec::Threads(threads));
+    out
+}
+
+/// `C = Aᵀ · W` with `A: f32 (k × m)` and `W` int8-quantized (`k × n`
+/// logical), allocating the output.
+///
+/// `A` is transposed into a scratch buffer first (activation matrices on
+/// this path are small); the product then reuses the [`quant_matmul`]
+/// row-dot kernel, so the determinism contract is identical.
+///
+/// # Panics
+///
+/// Panics if `w` is not the weight form, or if `a.rows() != w.rows()`.
+pub fn quant_matmul_at_b(a: &Tensor, w: &QuantMatrix) -> Tensor {
+    let mut out = Tensor::zeros(a.cols(), w.cols());
+    quant_matmul_exec(&a.transpose(), w, &mut out, Exec::Auto);
+    out
+}
+
+/// [`quant_matmul_at_b`] into a caller-provided output buffer.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn quant_matmul_at_b_into(a: &Tensor, w: &QuantMatrix, out: &mut Tensor) {
+    quant_matmul_exec(&a.transpose(), w, out, Exec::Auto);
+}
+
+/// [`quant_matmul_at_b`] pinned to exactly `threads` threads.
+pub fn quant_matmul_at_b_with_threads(a: &Tensor, w: &QuantMatrix, threads: usize) -> Tensor {
+    let mut out = Tensor::zeros(a.cols(), w.cols());
+    quant_matmul_exec(&a.transpose(), w, &mut out, Exec::Threads(threads));
+    out
+}
+
+/// Quantizes one f32 activation row to u8 (the unsigned side of the
+/// u8×i8 VNNI pairing) and returns its affine parameters.
+///
+/// Same 254-step construction as [`quantize_row`], so the same `scale/2`
+/// error bound holds; the zero point is the (possibly negative) integer
+/// `round(−min/scale)` and lives in `i32`.
+fn quantize_row_u8(row: &[f32], out: &mut [u8]) -> RowQuant {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &x in row {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    if row.is_empty() {
+        return RowQuant {
+            scale: 1.0,
+            zero_point: 0,
+            qsum: 0,
+        };
+    }
+    if min == max {
+        // Constant row: encode exactly as 255 · |c|/255 against a zero
+        // point at the opposite end of the range (or all-zero).
+        let c = min;
+        let scale = if c == 0.0 { 1.0 } else { c.abs() / 255.0 };
+        let (q, zero_point) = if c == 0.0 {
+            (0u8, 0i32)
+        } else if c > 0.0 {
+            (255, 0)
+        } else {
+            (0, 255)
+        };
+        out.fill(q);
+        return RowQuant {
+            scale,
+            zero_point,
+            qsum: i32::from(q) * row.len() as i32,
+        };
+    }
+    let scale = (max - min) / 254.0;
+    let inv = 1.0 / scale;
+    let zero_point = (-f64::from(min) * f64::from(inv)).round() as i32;
+    // Hot path (runs per activation row per kernel call): stay in f32 and
+    // round ties-to-even so the loop vectorises; the result is still a
+    // pure function of the row, which is all determinism needs.
+    let zpf = zero_point as f32;
+    let mut qsum = 0i32;
+    for (o, &x) in out.iter_mut().zip(row) {
+        let q = (x.mul_add(inv, zpf)).round_ties_even() as i32;
+        let q = q.clamp(0, 255);
+        *o = q as u8;
+        qsum += q;
+    }
+    RowQuant {
+        scale,
+        zero_point,
+        qsum,
+    }
+}
+
+fn quant_matmul_exec(a: &Tensor, w: &QuantMatrix, out: &mut Tensor, exec: Exec) {
+    assert!(
+        w.is_weight_form(),
+        "quant_matmul requires a QuantMatrix::quantize weight"
+    );
+    let (m, k) = a.shape();
+    let (k2, n) = w.shape();
+    assert_eq!(k, k2, "quant_matmul inner dimension mismatch: {k} vs {k2}");
+    assert_eq!(out.shape(), (m, n), "quant_matmul output shape mismatch");
+
+    // Dynamic per-row activation quantization, done once on the calling
+    // thread (O(m·k), ~0.4% of the O(m·k·n) product) so tile workers see
+    // identical inputs regardless of the split.
+    let a_data = a.as_slice();
+    let mut qa = vec![0u8; m * k];
+    let aq: Vec<RowQuant> = (0..m)
+        .map(|i| quantize_row_u8(&a_data[i * k..(i + 1) * k], &mut qa[i * k..(i + 1) * k]))
+        .collect();
+
+    // Dequantizes channel `j`'s raw dot for activation row parameters
+    // `ai`. The corrections run in i64: the dot itself fits i32
+    // (u8·|i8| ≤ 2¹⁵, k ≤ 2¹⁶ lanes), but zp·qsum products from badly
+    // conditioned rows may not. The f64 expression and its operation
+    // order are mirrored exactly by the SIMD path below.
+    let finish = |ai: RowQuant, j: usize, acc: i32| -> f32 {
+        let t = i64::from(acc)
+            - w.chan_zp[j] * i64::from(ai.qsum)
+            - i64::from(ai.zero_point) * w.chan_corr[j];
+        (f64::from(ai.scale) * w.chan_scale[j] * t as f64) as f32
+    };
+
+    let w_data = &w.data;
+    #[cfg(target_arch = "x86_64")]
+    if let Some(packed) = &w.packed {
+        let kp = k.div_ceil(4) * 4;
+        // activation rows re-padded to the packed depth so the kernel can
+        // stream whole 4-byte groups; padded bytes multiply zero weights
+        let qa_pad: Vec<u8> = if kp == k {
+            qa
+        } else {
+            let mut padded = vec![0u8; m * kp];
+            for i in 0..m {
+                padded[i * kp..i * kp + k].copy_from_slice(&qa[i * k..(i + 1) * k]);
+            }
+            padded
+        };
+        let full = n / 16 * 16;
+        drive(exec, m, n, k, out, &|lo, hi, rows| {
+            // channel blocks outermost: one ~5 KB packed block stays
+            // L1-resident while every activation row of the tile streams
+            // over it
+            for jb in (0..full).step_by(16) {
+                let block = &packed[(jb / 16) * kp * 16..(jb / 16 + 1) * kp * 16];
+                for i in lo..hi {
+                    let qa_row = &qa_pad[i * kp..(i + 1) * kp];
+                    let at = (i - lo) * n + jb;
+                    // Safety: `packed` is only built when VNNI was detected.
+                    unsafe {
+                        vnni_block_matmul(
+                            qa_row,
+                            block,
+                            &aq[i],
+                            &w.chan_zp[jb..jb + 16],
+                            &w.chan_corr[jb..jb + 16],
+                            &w.chan_scale[jb..jb + 16],
+                            &mut rows[at..at + 16],
+                        );
+                    }
+                }
+            }
+            // ragged channel tail (< 16 outputs): scalar row dots
+            for i in lo..hi {
+                let qa_row = &qa_pad[i * kp..(i + 1) * kp];
+                let at = (i - lo) * n;
+                for (j, c) in rows[at..at + n].iter_mut().enumerate().skip(full) {
+                    let acc = dot_u8i8_portable(&qa_row[..k], &w_data[j * k..(j + 1) * k]);
+                    *c = finish(aq[i], j, acc);
+                }
+            }
+        });
+        return;
+    }
+
+    drive(exec, m, n, k, out, &|lo, hi, rows| {
+        for i in lo..hi {
+            let qa_row = &qa[i * k..(i + 1) * k];
+            let ai = aq[i];
+            let c_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
+            for (j, c) in c_row.iter_mut().enumerate() {
+                let acc = dot_u8i8_portable(qa_row, &w_data[j * k..(j + 1) * k]);
+                *c = finish(ai, j, acc);
+            }
+        }
+    });
+}
+
+/// Whether this process can run the AVX-512 VNNI kernel (cached).
+///
+/// Kernel selection never changes results — both implementations compute
+/// the same exact integers — it only changes how fast they arrive.
+fn has_vnni() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static HAS_VNNI: OnceLock<bool> = OnceLock::new();
+        *HAS_VNNI.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+                && std::arch::is_x86_feature_detected!("avx512vnni")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    false
+}
+
+/// u8 × i8 dot product accumulated exactly in i32, portable form.
+///
+/// Written as a plain indexed reduction so LLVM lowers it to widening
+/// multiply-add vector code (`vpmaddwd` on AVX-capable x86). Every product
+/// fits `i16` (255·128 < 2¹⁵) and is widened to i32 before summation, so
+/// i32 cannot overflow below `k = 2¹⁶` lanes — far beyond any layer width
+/// here; integer addition is associative, so the result is independent of
+/// vectorisation and thread count.
+fn dot_u8i8_portable(a: &[u8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += i32::from(x) * i32::from(y);
+    }
+    acc
+}
+
+/// One activation row × sixteen output channels, fused on AVX-512 VNNI:
+/// the integer dots *and* the per-channel dequantization.
+///
+/// `qa_row` is one padded activation row (`kp` bytes, `kp % 4 == 0`);
+/// `block` is one [`pack_vnni`] channel block (`kp · 16` bytes). Each
+/// iteration broadcasts a 4-byte activation group and runs one `vpdpbusd`:
+/// 64 multiply-adds, one per (channel, depth) pair, accumulated exactly in
+/// the sixteen i32 lanes. `vpdpbusd` widens each u8×i8 product to i16
+/// (255·128 < 2¹⁵, exact) and adds the 4-product group into i32 without
+/// saturation (that would be `vpdpbusds`), so the lanes equal
+/// [`dot_u8i8_portable`] bit for bit.
+///
+/// The dequantization then runs 8-wide on i64/f64 lanes with the exact
+/// value and operation order of the scalar `finish` expression in
+/// [`quant_matmul_exec`] — `(sa·sb_j)·(dot − zb_j·Σqa − za·corr_j)` — so
+/// block width is as invisible in the output as tile split is.
+///
+/// # Safety
+///
+/// Caller must ensure avx512f, avx512bw, avx512dq and avx512vnni are
+/// available, and that `zb`, `corr`, `sb` and `c` hold at least 16
+/// elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vnni")]
+#[allow(clippy::too_many_arguments)] // flat parameter bundle on the hot path
+unsafe fn vnni_block_matmul(
+    qa_row: &[u8],
+    block: &[i8],
+    ai: &RowQuant,
+    zb: &[i64],
+    corr: &[i64],
+    sb: &[f64],
+    c: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(qa_row.len() % 4, 0);
+    debug_assert_eq!(block.len(), qa_row.len() * 16);
+    let groups = qa_row.len() / 4;
+    // four interleaved accumulator chains hide the ~5-cycle vpdpbusd
+    // latency; integer addition is exact, so the merged sum is identical
+    // to a single chain
+    let mut lanes = [_mm512_setzero_si512(); 4];
+    let step = |lane: __m512i, g: usize| {
+        let dword = qa_row.as_ptr().add(4 * g).cast::<i32>().read_unaligned();
+        let va = _mm512_set1_epi32(dword);
+        let vb = _mm512_loadu_si512(block.as_ptr().add(64 * g).cast());
+        _mm512_dpbusd_epi32(lane, va, vb)
+    };
+    let mut g = 0;
+    while g + 4 <= groups {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane = step(*lane, g + l);
+        }
+        g += 4;
+    }
+    while g < groups {
+        lanes[0] = step(lanes[0], g);
+        g += 1;
+    }
+    let acc = _mm512_add_epi32(
+        _mm512_add_epi32(lanes[0], lanes[1]),
+        _mm512_add_epi32(lanes[2], lanes[3]),
+    );
+    // widen the sixteen i32 dots to two zmm of i64 and apply the
+    // zero-point corrections: t = dot − zb·Σqa − za·corr
+    let vsum = _mm512_set1_epi64(i64::from(ai.qsum));
+    let vza = _mm512_set1_epi64(i64::from(ai.zero_point));
+    let vsa = _mm512_set1_pd(f64::from(ai.scale));
+    let halves = [
+        _mm512_cvtepi32_epi64(_mm512_castsi512_si256(acc)),
+        _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64::<1>(acc)),
+    ];
+    for (h, dots64) in halves.into_iter().enumerate() {
+        let vzb = _mm512_loadu_si512(zb.as_ptr().add(8 * h).cast());
+        let vcorr = _mm512_loadu_si512(corr.as_ptr().add(8 * h).cast());
+        let t = _mm512_sub_epi64(
+            dots64,
+            _mm512_add_epi64(
+                _mm512_mullo_epi64(vzb, vsum),
+                _mm512_mullo_epi64(vza, vcorr),
+            ),
+        );
+        // (sa · sb) · t, in that association, matching the scalar path
+        let vsb = _mm512_loadu_pd(sb.as_ptr().add(8 * h));
+        let r = _mm512_mul_pd(_mm512_mul_pd(vsa, vsb), _mm512_cvtepi64_pd(t));
+        _mm256_storeu_ps(c.as_mut_ptr().add(8 * h), _mm512_cvtpd_ps(r));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{matmul, Initializer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn round_trip_error_is_within_half_scale_per_row() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = Initializer::Uniform(2.0).init(7, 33, &mut rng);
+        let q = QuantMatrix::quantize_rows(&m);
+        let back = q.dequantize();
+        for r in 0..m.rows() {
+            let bound = 0.5 * q.row_scale(r);
+            for (x, y) in m.row(r).iter().zip(back.row(r)) {
+                let err = (x - y).abs();
+                assert!(
+                    err <= bound + x.abs() * f32::EPSILON,
+                    "row {r}: err {err} > scale/2 {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_and_zero_rows_round_trip_exactly() {
+        let m = Tensor::from_rows(&[&[3.5, 3.5, 3.5], &[0.0, 0.0, 0.0], &[-2.0, -2.0, -2.0]]);
+        let q = QuantMatrix::quantize_rows(&m);
+        assert_eq!(q.dequantize(), m);
+    }
+
+    #[test]
+    fn weight_form_reports_logical_shape() {
+        let w = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]); // 3×2
+        let q = QuantMatrix::quantize(&w);
+        assert_eq!(q.shape(), (3, 2));
+        assert_eq!((q.rows(), q.cols()), (3, 2));
+        assert!(q.is_weight_form());
+        assert_eq!(q.payload_bytes(), 6);
+        assert_eq!(q.dequantize().shape(), (3, 2));
+    }
+
+    #[test]
+    fn quant_matmul_tracks_f32_matmul() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for (m, k, n) in [(1, 1, 1), (4, 9, 5), (17, 33, 13)] {
+            let a = Initializer::Uniform(1.0).init(m, k, &mut rng);
+            let w = Initializer::Uniform(0.5).init(k, n, &mut rng);
+            let qw = QuantMatrix::quantize(&w);
+            let exact = matmul(&a, &w);
+            let quant = quant_matmul(&a, &qw);
+            assert_eq!(quant.shape(), (m, n));
+            // loose tracking bound: per-element error ~ k·(sa+sb)/2 terms
+            assert!(
+                max_abs_diff(&exact, &quant) < 0.05 * k as f32 * 0.01 + 0.05,
+                "({m},{k},{n}) diverged: {}",
+                max_abs_diff(&exact, &quant)
+            );
+        }
+    }
+
+    #[test]
+    fn quant_matmul_is_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for (m, k, n) in [(5, 3, 4), (33, 65, 17)] {
+            let a = Initializer::Uniform(1.0).init(m, k, &mut rng);
+            let w = Initializer::Uniform(1.0).init(k, n, &mut rng);
+            let qw = QuantMatrix::quantize(&w);
+            let auto = quant_matmul(&a, &qw);
+            for threads in [1, 2, 4, 8] {
+                assert_eq!(quant_matmul_with_threads(&a, &qw, threads), auto);
+            }
+        }
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose_and_into_reuses_buffers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Initializer::Uniform(1.0).init(6, 4, &mut rng); // k=6, m=4
+        let w = Initializer::Uniform(1.0).init(6, 5, &mut rng);
+        let qw = QuantMatrix::quantize(&w);
+        let expected = quant_matmul(&a.transpose(), &qw);
+        assert_eq!(quant_matmul_at_b(&a, &qw), expected);
+        let mut out = Tensor::full(4, 5, 9.0);
+        quant_matmul_at_b_into(&a, &qw, &mut out);
+        assert_eq!(out, expected);
+        for threads in [1, 2, 4] {
+            assert_eq!(quant_matmul_at_b_with_threads(&a, &qw, threads), expected);
+        }
+        let mut out2 = Tensor::full(4, 5, -1.0);
+        quant_matmul_into(&a.transpose(), &qw, &mut out2);
+        assert_eq!(out2, expected);
+    }
+
+    #[test]
+    fn embedding_row_lookup_matches_dequantize() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let table = Initializer::Uniform(0.1).init(12, 7, &mut rng);
+        let q = QuantMatrix::quantize_rows(&table);
+        let full = q.dequantize();
+        let mut row = vec![0.0f32; 7];
+        for r in 0..12 {
+            q.dequantize_row_into(r, &mut row);
+            assert_eq!(&row[..], full.row(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn rows_form_is_rejected_by_matmul() {
+        let m = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let q = QuantMatrix::quantize_rows(&m);
+        let _ = quant_matmul(&m, &q);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantize_rows")]
+    fn weight_form_rejects_row_lookup() {
+        let w = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let q = QuantMatrix::quantize(&w);
+        let mut row = vec![0.0f32; 2];
+        q.dequantize_row_into(0, &mut row);
+    }
+
+    /// Whatever kernel ran (packed VNNI blocks, their ragged tails, or the
+    /// portable row-dot), the output must equal a naive scalar evaluation
+    /// of the documented dequant formula — at shapes straddling the
+    /// 16-channel and 4-depth block boundaries.
+    #[test]
+    fn kernel_paths_match_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (3, 3, 15),
+            (2, 4, 16),
+            (5, 5, 17),
+            (4, 127, 33),
+            (3, 320, 40),
+        ] {
+            let a = Initializer::Uniform(1.0).init(m, k, &mut rng);
+            let w = Initializer::Uniform(1.0).init(k, n, &mut rng);
+            let qw = QuantMatrix::quantize(&w);
+
+            let mut qa = vec![0u8; m * k];
+            let aq: Vec<RowQuant> = (0..m)
+                .map(|i| quantize_row_u8(a.row(i), &mut qa[i * k..(i + 1) * k]))
+                .collect();
+            let mut reference = Tensor::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let dot =
+                        dot_u8i8_portable(&qa[i * k..(i + 1) * k], &qw.data[j * k..(j + 1) * k]);
+                    let t = i64::from(dot)
+                        - qw.chan_zp[j] * i64::from(aq[i].qsum)
+                        - i64::from(aq[i].zero_point) * qw.chan_corr[j];
+                    reference.row_mut(i)[j] =
+                        (f64::from(aq[i].scale) * qw.chan_scale[j] * t as f64) as f32;
+                }
+            }
+            assert_eq!(quant_matmul(&a, &qw), reference, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn zero_sized_shapes_are_handled() {
+        let a = Tensor::zeros(0, 3);
+        let w = Tensor::zeros(3, 2);
+        let qw = QuantMatrix::quantize(&w);
+        assert_eq!(quant_matmul(&a, &qw).shape(), (0, 2));
+        let a = Tensor::zeros(2, 0);
+        let w = Tensor::zeros(0, 2);
+        let qw = QuantMatrix::quantize(&w);
+        let c = quant_matmul(&a, &qw);
+        assert_eq!(c.shape(), (2, 2));
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

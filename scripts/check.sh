@@ -22,13 +22,30 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
-# The fault-tolerance and tensor-property suites exercise code paths that
-# differ between serial and parallel pools (panic containment, shard
-# merging, tile claiming) — run them at several pool widths.
+# The fault-tolerance, tensor-property and quant-property suites exercise
+# code paths that differ between serial and parallel pools (panic
+# containment, shard merging, tile claiming, int8 column-tile claiming) —
+# run them at several pool widths.
 for threads in 1 2 4; do
     echo "== pool-sensitive suites (TENSOR_THREADS=$threads) =="
     TENSOR_THREADS=$threads cargo test -q -p cuisine \
-        --test fault_tolerance --test tensor_properties --test trace_integration
+        --test fault_tolerance --test tensor_properties --test trace_integration \
+        --test quant_properties
+done
+
+# End-to-end int8 accuracy gate: serve_load trains a small model, serves it
+# through both the f32 and quantized registries, and asserts top-class
+# agreement >= 99% plus bit-identity of the quantized kernels across thread
+# counts. JSON goes to a scratch dir so the workspace BENCH_*.json files
+# (compared against baselines by bench_gate.sh) are not clobbered.
+quant_gate_dir="$(mktemp -d)"
+trap 'rm -rf "$quant_gate_dir"' EXIT
+for threads in 1 4; do
+    echo "== quantized accuracy gate (TENSOR_THREADS=$threads) =="
+    TENSOR_THREADS=$threads cargo run --release -q -p bench --bin serve_load -- \
+        --requests 192 --min-agreement 0.99 \
+        --json "$quant_gate_dir/BENCH_serve.json" \
+        --quant-json "$quant_gate_dir/BENCH_quant.json"
 done
 
 echo "all checks passed"

@@ -1,0 +1,180 @@
+//! Property/differential tests for the int8 quantization path.
+//!
+//! Three contracts, swept over ragged shapes and random seeds:
+//!
+//! * **round-trip accuracy** — per-row quantize/dequantize error is at
+//!   most `scale/2` per element (up to one f32 rounding of the result);
+//! * **thread determinism** — `quant_matmul` / `quant_matmul_at_b` are
+//!   bit-identical for every thread count (integer accumulation is exact,
+//!   so this is a stronger guarantee than the f32 kernels', which only
+//!   promise identical *tile-sum* ordering);
+//! * **batch invariance** — the fused int8 LSTM engine answers each
+//!   sequence identically whether it is evaluated alone or inside any
+//!   batch.
+//!
+//! Run under `TENSOR_THREADS ∈ {1, 4}` in CI; the explicit
+//! `_with_threads` sweeps below make the determinism check independent of
+//! the ambient pool size.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{
+    quant_matmul, quant_matmul_at_b, quant_matmul_at_b_with_threads, quant_matmul_into,
+    quant_matmul_with_threads, Initializer, QuantMatrix, Tensor,
+};
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Shapes that stress tile and SIMD-block boundaries: 1, primes around
+/// the 16-channel × 4-deep packed layout, and a size past the remainder
+/// handling.
+fn ragged_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(2),
+        Just(3),
+        Just(5),
+        Just(13),
+        Just(15),
+        Just(16),
+        Just(17),
+        Just(31),
+        Just(33)
+    ]
+}
+
+fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Initializer::Uniform(2.0).init(rows, cols, &mut rng)
+}
+
+fn assert_bits_equal(label: &str, reference: &Tensor, got: &Tensor) {
+    assert_eq!(reference.shape(), got.shape(), "{label}: shape mismatch");
+    for (i, (a, b)) in reference.as_slice().iter().zip(got.as_slice()).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "{label}: element {i} differs: {a} vs {b}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_error_is_at_most_half_scale_per_row(
+        rows in ragged_dim(), cols in ragged_dim(), seed in 0u64..1000,
+    ) {
+        let m = random_tensor(rows, cols, seed);
+        let q = QuantMatrix::quantize_rows(&m);
+        let back = q.dequantize();
+        for r in 0..rows {
+            let half_scale = 0.5 * f64::from(q.row_scale(r));
+            for (x, y) in m.row(r).iter().zip(back.row(r)) {
+                let err = (f64::from(*x) - f64::from(*y)).abs();
+                let bound = half_scale + f64::from(x.abs()) * f64::from(f32::EPSILON);
+                prop_assert!(
+                    err <= bound,
+                    "row {r}: |{x} - {y}| = {err} > {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quant_matmul_is_bit_identical_across_thread_counts(
+        m in ragged_dim(), k in ragged_dim(), n in ragged_dim(), seed in 0u64..1000,
+    ) {
+        let a = random_tensor(m, k, seed);
+        let w = QuantMatrix::quantize(&random_tensor(k, n, seed ^ 0xabc));
+        let serial = quant_matmul_with_threads(&a, &w, 1);
+        for threads in THREAD_SWEEP {
+            let par = quant_matmul_with_threads(&a, &w, threads);
+            assert_bits_equal(&format!("quant {m}x{k}x{n} threads={threads}"), &serial, &par);
+        }
+        // the auto path (ambient pool) and the `_into` variant must agree too
+        assert_bits_equal(&format!("quant {m}x{k}x{n} auto"), &serial, &quant_matmul(&a, &w));
+        let mut out = Tensor::zeros(m, n);
+        quant_matmul_into(&a, &w, &mut out);
+        assert_bits_equal(&format!("quant {m}x{k}x{n} into"), &serial, &out);
+    }
+
+    #[test]
+    fn quant_at_b_is_bit_identical_across_thread_counts(
+        m in ragged_dim(), k in ragged_dim(), n in ragged_dim(), seed in 0u64..1000,
+    ) {
+        let a = random_tensor(k, m, seed);
+        let w = QuantMatrix::quantize(&random_tensor(k, n, seed ^ 0xdef));
+        let serial = quant_matmul_at_b_with_threads(&a, &w, 1);
+        for threads in THREAD_SWEEP {
+            let par = quant_matmul_at_b_with_threads(&a, &w, threads);
+            assert_bits_equal(&format!("at_b {m}x{k}x{n} threads={threads}"), &serial, &par);
+        }
+        assert_bits_equal(&format!("at_b {m}x{k}x{n} auto"), &serial, &quant_matmul_at_b(&a, &w));
+    }
+}
+
+mod engine {
+    use nn::{LstmClassifier, LstmConfig, LstmPooling, QuantLstmClassifier};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine(pooling: LstmPooling, seed: u64) -> QuantLstmClassifier {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = LstmClassifier::new(
+            LstmConfig {
+                vocab: 37,
+                emb_dim: 12,
+                hidden: 10,
+                layers: 2,
+                dropout: 0.0,
+                classes: 7,
+                pooling,
+            },
+            &mut rng,
+        );
+        QuantLstmClassifier::from_f32(&model)
+    }
+
+    /// Ragged sequence set covering ties in length, singleton tokens and
+    /// repeats.
+    fn seqs() -> Vec<Vec<usize>> {
+        (0..17)
+            .map(|i| (0..(i % 11 + 1)).map(|t| (i * 5 + t * 3) % 37).collect())
+            .collect()
+    }
+
+    #[test]
+    fn int8_answers_do_not_depend_on_batch_composition() {
+        for pooling in [LstmPooling::LastHidden, LstmPooling::MeanPool] {
+            let q = engine(pooling, 21);
+            let seqs = seqs();
+            let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+            let full = q.predict_proba_batch(&refs);
+            // singleton vs full batch
+            for (i, seq) in seqs.iter().enumerate() {
+                let alone = q.predict_proba_batch(&[seq.as_slice()]);
+                assert_eq!(alone[0], full[i], "row {i} changed inside the batch");
+            }
+            // arbitrary sub-batch, shuffled order
+            let pick = [4usize, 16, 2, 9];
+            let sub: Vec<&[usize]> = pick.iter().map(|&i| refs[i]).collect();
+            let sub_rows = q.predict_proba_batch(&sub);
+            for (r, &i) in pick.iter().enumerate() {
+                assert_eq!(sub_rows[r], full[i], "sub-batch row {r} drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_probabilities_are_normalized_rows() {
+        let q = engine(LstmPooling::LastHidden, 5);
+        let seqs = seqs();
+        let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+        for row in q.predict_proba_batch(&refs) {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|p| p.is_finite() && *p >= 0.0));
+        }
+    }
+}
