@@ -1,0 +1,463 @@
+//! Load generator for the replicated serving tier.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin router_load -- \
+//!     [--requests 384] [--clients 16] [--replicas 4] \
+//!     [--stall-us 3000] [--stall-requests 256] [--max-batch 16] \
+//!     [--train-epochs 1] [--min-scaling 2.5] \
+//!     [--json BENCH_router.json] [--trace]
+//! ```
+//!
+//! Proves three properties of [`serve::ReplicaRouter`] and emits the
+//! timings to `BENCH_router.json`:
+//!
+//! 1. **Bit-identity**: the same request stream through a 1-replica
+//!    router, an N-replica router, and the sequential pre-serve path
+//!    (`nn::predict_proba_graph`) produces bitwise-equal probability
+//!    rows. Which replica answers must never matter.
+//! 2. **Scaling**: replicated throughput vs a single replica, measured
+//!    twice. The *pure-compute* pair is reported but never gated — on a
+//!    single-core host every forward pass competes for the same core, so
+//!    replicas cannot beat one worker. The *stalled* pair wraps the
+//!    model in [`bench::serving::StalledModel`] (a fixed per-request
+//!    stall, modeling off-CPU cost such as an embedding fetch); stalls
+//!    overlap across replica workers, so N replicas must scale and
+//!    `--min-scaling` gates it.
+//! 3. **Rolling deploys**: a deploy to a second checkpoint runs under
+//!    concurrent traffic, and every in-flight answer must bitwise match
+//!    the old or the new checkpoint (`unwarmed_answers` must be 0); a
+//!    deploy of a corrupt checkpoint must fail, roll back, and leave
+//!    serving undisturbed.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::serving::{
+    content_tokens, lstm_config, percentile, synth_recipes, to_ids, write_model_dir, StalledModel,
+    CLASSES,
+};
+use bench::HarnessArgs;
+use nn::{AdamW, LrSchedule, LstmClassifier, LstmConfig, LstmPooling, Trainer, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::{
+    LstmServing, ModelManifest, ModelRegistry, Prediction, ReplicaRouter, RouterConfig,
+    ServeConfig, ServeError,
+};
+use textproc::Vocabulary;
+
+/// Drives the request stream through a router with `clients` concurrent
+/// threads; returns wall time, per-request latencies (µs), and the
+/// predictions indexed by request.
+fn drive_router(
+    router: &Arc<ReplicaRouter>,
+    recipes: &Arc<Vec<(String, usize)>>,
+    clients: usize,
+) -> (Duration, Vec<u128>, Vec<Prediction>) {
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let router = Arc::clone(router);
+            let recipes = Arc::clone(recipes);
+            std::thread::spawn(move || {
+                let mut results = Vec::new();
+                let mut i = c;
+                while i < recipes.len() {
+                    let sent = Instant::now();
+                    let prediction = router
+                        .classify(&recipes[i].0, None)
+                        .expect("classify under load");
+                    results.push((i, sent.elapsed().as_micros(), prediction));
+                    i += clients;
+                }
+                results
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::with_capacity(recipes.len());
+    let mut predictions: Vec<Option<Prediction>> = vec![None; recipes.len()];
+    for w in workers {
+        for (i, us, prediction) in w.join().expect("client thread") {
+            latencies_us.push(us);
+            predictions[i] = Some(prediction);
+        }
+    }
+    let elapsed = started.elapsed();
+    let predictions = predictions
+        .into_iter()
+        .map(|p| p.expect("every request answered"))
+        .collect();
+    (elapsed, latencies_us, predictions)
+}
+
+/// Router over `name` with `replicas` replicas and bench-friendly queues.
+fn start_router(
+    registry: &Arc<ModelRegistry>,
+    name: &str,
+    replicas: usize,
+    max_batch: usize,
+    queue_capacity: usize,
+) -> Arc<ReplicaRouter> {
+    Arc::new(
+        ReplicaRouter::start(
+            Arc::clone(registry),
+            name,
+            RouterConfig {
+                replicas,
+                serve: ServeConfig {
+                    max_batch,
+                    max_delay: Duration::from_millis(2),
+                    queue_capacity,
+                    cache_capacity: 1024,
+                },
+                // the load run must never shed: scaling is only a fair
+                // measurement if every request is actually served
+                shed_watermark: usize::MAX / 2,
+                ..RouterConfig::default()
+            },
+        )
+        .expect("start router"),
+    )
+}
+
+/// The cheap model for the stalled phase: small enough that per-request
+/// compute is negligible next to the injected stall, so the measurement
+/// isolates what replication can actually parallelize on one core.
+fn tiny_lstm_config() -> LstmConfig {
+    LstmConfig {
+        vocab: lstm_config().vocab,
+        emb_dim: 16,
+        hidden: 16,
+        layers: 1,
+        dropout: 0.0,
+        classes: CLASSES,
+        pooling: LstmPooling::LastHidden,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = HarnessArgs::parse();
+    args.init_trace();
+    let requests: usize = args
+        .value_of("--requests")
+        .map_or(384, |v| v.parse().expect("--requests must be an integer"));
+    let clients: usize = args
+        .value_of("--clients")
+        .map_or(16, |v| v.parse().expect("--clients must be an integer"));
+    let replicas: usize = args
+        .value_of("--replicas")
+        .map_or(4, |v| v.parse().expect("--replicas must be an integer"));
+    let max_batch: usize = args
+        .value_of("--max-batch")
+        .map_or(16, |v| v.parse().expect("--max-batch must be an integer"));
+    let stall_us: u64 = args
+        .value_of("--stall-us")
+        .map_or(3000, |v| v.parse().expect("--stall-us must be an integer"));
+    let stall_requests: usize = args.value_of("--stall-requests").map_or(256, |v| {
+        v.parse().expect("--stall-requests must be an integer")
+    });
+    let train_epochs: usize = args
+        .value_of("--train-epochs")
+        .map_or(1, |v| v.parse().expect("--train-epochs must be an integer"));
+    assert!(replicas >= 2, "--replicas must be at least 2 to scale");
+
+    // --- build + briefly train checkpoint A, init checkpoint B ---------
+    let tokens = content_tokens();
+    let vocab = Vocabulary::from_tokens(tokens.iter().cloned());
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut model_a = LstmClassifier::new(lstm_config(), &mut rng);
+    if train_epochs > 0 {
+        let train_set: Vec<(Vec<usize>, usize)> = synth_recipes(16 * CLASSES, &tokens, args.seed)
+            .iter()
+            .map(|(text, class)| (to_ids(text, &vocab), *class))
+            .collect();
+        eprintln!(
+            "training: {} recipes, {train_epochs} epochs",
+            train_set.len()
+        );
+        Trainer::new(TrainerConfig {
+            epochs: train_epochs,
+            batch_size: 16,
+            schedule: LrSchedule::Constant(3e-3),
+            seed: args.seed,
+            ..TrainerConfig::default()
+        })
+        .fit(&mut model_a, &mut AdamW::default(), &train_set, None)
+        .expect("train checkpoint A");
+    }
+    // checkpoint B only needs to be loadable and bitwise distinguishable
+    let mut rng_b = StdRng::seed_from_u64(args.seed ^ 0xb);
+    let model_b = LstmClassifier::new(lstm_config(), &mut rng_b);
+
+    let base = std::env::temp_dir().join(format!("router_load_{}", std::process::id()));
+    let dir_a = base.join("a");
+    let dir_b = base.join("b");
+    let broken = base.join("broken");
+    write_model_dir(&dir_a, &model_a, &vocab, false).expect("write checkpoint A");
+    write_model_dir(&dir_b, &model_b, &vocab, false).expect("write checkpoint B");
+    std::fs::create_dir_all(&broken).expect("create broken dir");
+    ModelManifest::lstm(&lstm_config(), &vocab)
+        .save(&broken)
+        .expect("write broken manifest");
+    std::fs::write(broken.join("latest.ckpt"), b"garbage").expect("write broken ckpt");
+
+    let recipes = Arc::new(synth_recipes(requests, &tokens, args.seed ^ 0x5eed));
+    let id_seqs: Vec<Vec<usize>> = recipes.iter().map(|(r, _)| to_ids(r, &vocab)).collect();
+
+    // --- sequential baseline + reference answers ------------------------
+    eprintln!("sequential baseline: {requests} requests, one at a time");
+    let started = Instant::now();
+    let reference: Vec<Vec<f64>> = id_seqs
+        .iter()
+        .map(|ids| {
+            nn::predict_proba_graph(&model_a, &[ids.as_slice()])
+                .pop()
+                .expect("one row per request")
+        })
+        .collect();
+    let seq_elapsed = started.elapsed();
+    let seq_rps = requests as f64 / seq_elapsed.as_secs_f64();
+
+    // --- pure-compute: router x1 vs xN (reported, not gated) ------------
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("lstm", &dir_a).expect("registry load A");
+    let mut pure = Vec::new(); // (label, elapsed, p50, p99)
+    for n in [1, replicas] {
+        eprintln!("router x{n}: {clients} clients, max_batch {max_batch}");
+        let router = start_router(&registry, "lstm", n, max_batch, requests.max(1));
+        let (elapsed, mut lat, predictions) = drive_router(&router, &recipes, clients);
+        router.shutdown();
+        for (i, p) in predictions.iter().enumerate() {
+            assert_eq!(
+                p.probs, reference[i],
+                "router x{n} answer for request {i} differs from sequential"
+            );
+        }
+        lat.sort_unstable();
+        pure.push((n, elapsed, percentile(&lat, 0.50), percentile(&lat, 0.99)));
+    }
+    let pure_single_rps = requests as f64 / pure[0].1.as_secs_f64();
+    let pure_repl_rps = requests as f64 / pure[1].1.as_secs_f64();
+    let pure_scaling = pure_repl_rps / pure_single_rps;
+
+    // --- stalled: router x1 vs xN (the gated pair) ----------------------
+    let stall = Duration::from_micros(stall_us);
+    let tiny = {
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0x717);
+        LstmClassifier::new(tiny_lstm_config(), &mut rng)
+    };
+    let stall_recipes = Arc::new(synth_recipes(stall_requests, &tokens, args.seed ^ 0x57a1));
+    let stall_reference: Vec<Vec<f64>> = stall_recipes
+        .iter()
+        .map(|(r, _)| {
+            tiny.predict_proba_batch(&[&to_ids(r, &vocab)])
+                .pop()
+                .expect("one row per request")
+        })
+        .collect();
+    let stall_registry = Arc::new(ModelRegistry::new());
+    stall_registry
+        .publish(
+            "lstm-stalled",
+            Box::new(StalledModel::new(
+                Box::new(LstmServing::new(tiny.clone(), vocab.clone())),
+                stall,
+            )),
+        )
+        .expect("publish stalled model");
+    let mut stalled = Vec::new();
+    for n in [1, replicas] {
+        eprintln!("stalled router x{n}: {stall_us} us/request stall");
+        let router = start_router(
+            &stall_registry,
+            "lstm-stalled",
+            n,
+            max_batch,
+            stall_requests.max(1),
+        );
+        let (elapsed, _, predictions) = drive_router(&router, &stall_recipes, clients);
+        router.shutdown();
+        for (i, p) in predictions.iter().enumerate() {
+            assert_eq!(
+                p.probs, stall_reference[i],
+                "stalled router x{n} answer for request {i} drifted"
+            );
+        }
+        stalled.push((n, elapsed));
+    }
+    let stalled_single_rps = stall_requests as f64 / stalled[0].1.as_secs_f64();
+    let stalled_repl_rps = stall_requests as f64 / stalled[1].1.as_secs_f64();
+    let stalled_scaling = stalled_repl_rps / stalled_single_rps;
+
+    // --- rolling deploy under load --------------------------------------
+    eprintln!("rolling deploy: A -> B under {clients} concurrent clients");
+    let reference_b: Vec<Vec<f64>> = id_seqs
+        .iter()
+        .map(|ids| {
+            nn::predict_proba_graph(&model_b, &[ids.as_slice()])
+                .pop()
+                .expect("one row per request")
+        })
+        .collect();
+    let deploy_registry = Arc::new(ModelRegistry::new());
+    deploy_registry.load("lstm", &dir_a).expect("reload A");
+    let router = start_router(
+        &deploy_registry,
+        "lstm",
+        replicas,
+        max_batch,
+        requests.max(1),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic: Vec<_> = (0..clients.min(4))
+        .map(|c| {
+            let router = Arc::clone(&router);
+            let recipes = Arc::clone(&recipes);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut answers = Vec::new();
+                let mut i = c;
+                while !stop.load(Ordering::Relaxed) {
+                    answers.push((
+                        i % recipes.len(),
+                        router
+                            .classify(&recipes[i % recipes.len()].0, None)
+                            .expect("classify during deploy"),
+                    ));
+                    i += 1;
+                }
+                answers
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30));
+    let report = router.deploy(&dir_b).expect("rolling deploy A -> B");
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+    let mut unwarmed = 0usize;
+    let mut in_flight_total = 0usize;
+    for t in traffic {
+        for (i, p) in t.join().expect("traffic thread") {
+            in_flight_total += 1;
+            if p.probs != reference[i] && p.probs != reference_b[i] {
+                unwarmed += 1;
+            }
+        }
+    }
+    assert!(
+        report
+            .previous_versions
+            .iter()
+            .zip(report.replica_versions.iter())
+            .all(|(old, new)| new > old),
+        "deploy must bump every replica"
+    );
+    // a corrupt checkpoint must be rejected before promotion...
+    let rollback_ok = matches!(router.deploy(&broken), Err(ServeError::DeployFailed(_)));
+    // ...and the fleet must keep serving exactly checkpoint B afterwards
+    let settled_ok = recipes.iter().enumerate().take(32).all(|(i, (r, _))| {
+        router
+            .classify(r, None)
+            .expect("post-deploy classify")
+            .probs
+            == reference_b[i]
+    });
+    router.shutdown();
+
+    println!("requests:          {requests} (router answers bit-identical to baseline)");
+    println!("sequential:        {seq_rps:.2} req/s");
+    println!(
+        "router x1:         {pure_single_rps:.2} req/s  (p50 {} us, p99 {} us)",
+        pure[0].2, pure[0].3
+    );
+    println!(
+        "router x{replicas}:         {pure_repl_rps:.2} req/s  (p50 {} us, p99 {} us)",
+        pure[1].2, pure[1].3
+    );
+    println!("compute scaling:   {pure_scaling:.2}x (not gated: CPU-bound on shared cores)");
+    println!("stalled x1:        {stalled_single_rps:.2} req/s  ({stall_us} us/request stall)");
+    println!("stalled x{replicas}:        {stalled_repl_rps:.2} req/s");
+    println!("stalled scaling:   {stalled_scaling:.2}x (gated: stalls overlap across replicas)");
+    println!("deploy:            {in_flight_total} in-flight answers, {unwarmed} unwarmed");
+    println!("rollback:          corrupt checkpoint rejected = {rollback_ok}, settled on B = {settled_ok}");
+
+    let json_path = PathBuf::from(args.value_of("--json").unwrap_or("BENCH_router.json"));
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"router\",\n",
+            "  \"requests\": {},\n",
+            "  \"clients\": {},\n",
+            "  \"replicas\": {},\n",
+            "  \"stall_us\": {},\n",
+            "  \"entries\": [\n",
+            "    {{\"path\": \"sequential\", \"rps\": {:.2}, \"latency_ns\": {:.1}}},\n",
+            "    {{\"path\": \"router_single\", \"rps\": {:.2}, \"latency_ns\": {:.1}, ",
+            "\"p50_us\": {}, \"p99_us\": {}}},\n",
+            "    {{\"path\": \"router_replicated\", \"rps\": {:.2}, \"latency_ns\": {:.1}, ",
+            "\"p50_us\": {}, \"p99_us\": {}, \"scaling\": {:.3}}},\n",
+            "    {{\"path\": \"stalled_single\", \"rps\": {:.2}, \"latency_ns\": {:.1}}},\n",
+            "    {{\"path\": \"stalled_replicated\", \"rps\": {:.2}, \"latency_ns\": {:.1}, ",
+            "\"scaling\": {:.3}}},\n",
+            "    {{\"path\": \"deploy\", \"in_flight_answers\": {}, \"unwarmed_answers\": {}, ",
+            "\"rollback_rejected\": {}, \"settled_on_new\": {}}}\n",
+            "  ]\n",
+            "}}\n"
+        ),
+        requests,
+        clients,
+        replicas,
+        stall_us,
+        seq_rps,
+        seq_elapsed.as_nanos() as f64 / requests as f64,
+        pure_single_rps,
+        pure[0].1.as_nanos() as f64 / requests as f64,
+        pure[0].2,
+        pure[0].3,
+        pure_repl_rps,
+        pure[1].1.as_nanos() as f64 / requests as f64,
+        pure[1].2,
+        pure[1].3,
+        pure_scaling,
+        stalled_single_rps,
+        stalled[0].1.as_nanos() as f64 / stall_requests as f64,
+        stalled_repl_rps,
+        stalled[1].1.as_nanos() as f64 / stall_requests as f64,
+        stalled_scaling,
+        in_flight_total,
+        unwarmed,
+        rollback_ok,
+        settled_ok,
+    );
+    std::fs::write(&json_path, json).expect("write BENCH_router.json");
+    eprintln!("wrote {}", json_path.display());
+
+    args.finish_trace();
+    let _ = std::fs::remove_dir_all(&base);
+
+    assert!(in_flight_total > 0, "deploy saw no concurrent traffic");
+    assert_eq!(
+        unwarmed, 0,
+        "{unwarmed}/{in_flight_total} in-flight answers came from an ungated version"
+    );
+    assert!(rollback_ok, "corrupt checkpoint was not rejected");
+    assert!(
+        settled_ok,
+        "fleet did not settle on the deployed checkpoint"
+    );
+    println!("deploy gate:       ok (0 unwarmed answers, rollback clean)");
+    if let Some(min) = args.value_of("--min-scaling") {
+        let min: f64 = min.parse().expect("--min-scaling must be a number");
+        assert!(
+            stalled_scaling >= min,
+            "stalled scaling {stalled_scaling:.2}x below required {min}x \
+             (pure-compute scaling was {pure_scaling:.2}x)"
+        );
+        println!("scaling gate:      ok (>= {min}x)");
+    }
+}

@@ -38,107 +38,20 @@
 //! shape of recipe lookups) and emits the sweep into `BENCH_serve.json`;
 //! `ServeConfig::default().cache_capacity` is chosen from that data.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bench::HarnessArgs;
-use nn::{
-    save_checkpoint, AdamW, LrSchedule, LstmClassifier, LstmConfig, LstmPooling,
-    QuantLstmClassifier, SequenceModel, Trainer, TrainerConfig,
+use bench::serving::{
+    content_tokens, lstm_config, percentile, synth_recipes, to_ids, top_class, write_model_dir,
+    CLASSES,
 };
+use bench::HarnessArgs;
+use nn::{AdamW, LrSchedule, LstmClassifier, QuantLstmClassifier, Trainer, TrainerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serve::{BatchServer, LruCache, ModelManifest, ModelRegistry, Prediction, ServeConfig};
+use serve::{BatchServer, LruCache, ModelRegistry, Prediction, ServeConfig};
 use textproc::Vocabulary;
-
-/// Content vocabulary size (checkpoint vocab is this plus 5 specials).
-const CONTENT_TOKENS: usize = 5000;
-/// Ingredients per synthetic recipe.
-const RECIPE_LEN: std::ops::Range<usize> = 8..20;
-/// Output classes (the paper's cuisine count).
-const CLASSES: usize = 26;
-/// Content tokens reserved per class for the class-structured generator.
-const CLASS_BLOCK: usize = CONTENT_TOKENS / CLASSES;
-/// Probability that an ingredient comes from the recipe's own class block
-/// (the rest is uniform noise over the whole vocabulary).
-const CLASS_TOKEN_P: f64 = 0.85;
-
-/// Synthetic ingredient names built from consonant-vowel syllables: all
-/// lowercase-alphabetic and vowel-final, so `cuisine::featurize`
-/// canonicalization (clean + lemmatize) maps each onto itself and every
-/// generated token lands in the vocabulary.
-fn content_tokens() -> Vec<String> {
-    const C: [char; 10] = ['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r'];
-    const V: [char; 5] = ['a', 'e', 'i', 'o', 'u'];
-    let syllable = |i: usize| -> [char; 2] { [C[(i / V.len()) % C.len()], V[i % V.len()]] };
-    (0..CONTENT_TOKENS)
-        .map(|i| {
-            let mut s = String::new();
-            s.extend(syllable(i % 50));
-            s.extend(syllable((i / 50) % 50));
-            s.extend(syllable(i / 2500));
-            s
-        })
-        .collect()
-}
-
-fn lstm_config() -> LstmConfig {
-    LstmConfig {
-        vocab: CONTENT_TOKENS + 5,
-        emb_dim: 256,
-        hidden: 64,
-        layers: 2,
-        dropout: 0.0,
-        classes: CLASSES,
-        pooling: LstmPooling::LastHidden,
-    }
-}
-
-/// Class-structured recipes: each picks a cuisine and draws most tokens
-/// from that cuisine's block of the vocabulary.
-fn synth_recipes(n: usize, tokens: &[String], seed: u64) -> Vec<(String, usize)> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            let class = rng.gen_range(0..CLASSES);
-            let len = rng.gen_range(RECIPE_LEN);
-            let text = (0..len)
-                .map(|_| {
-                    let t = if rng.gen_bool(CLASS_TOKEN_P) {
-                        class * CLASS_BLOCK + rng.gen_range(0..CLASS_BLOCK)
-                    } else {
-                        rng.gen_range(0..tokens.len())
-                    };
-                    tokens[t].as_str()
-                })
-                .collect::<Vec<_>>()
-                .join(", ");
-            (text, class)
-        })
-        .collect()
-}
-
-fn to_ids(recipe: &str, vocab: &Vocabulary) -> Vec<usize> {
-    cuisine::featurize::entity_tokens(recipe)
-        .iter()
-        .map(|t| vocab.lookup_or_unk(t) as usize)
-        .collect()
-}
-
-fn percentile(sorted_us: &[u128], p: f64) -> u128 {
-    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
-    sorted_us[idx]
-}
-
-/// The service's argmax rule (first index on ties).
-fn top_class(probs: &[f64]) -> usize {
-    probs
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
-        .map_or(0, |(i, _)| i)
-}
 
 /// Drives the request stream through a batch server with `clients`
 /// concurrent threads; returns wall time plus per-request latencies,
@@ -243,19 +156,6 @@ fn quant_threads_bit_identical() -> bool {
             .zip(reference.as_slice())
             .all(|(x, y)| x.to_bits() == y.to_bits())
     })
-}
-
-fn write_model_dir(
-    dir: &Path,
-    model: &LstmClassifier,
-    vocab: &Vocabulary,
-    quantized: bool,
-) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    ModelManifest::lstm(&lstm_config(), vocab)
-        .with_quantized(quantized)
-        .save(dir)?;
-    save_checkpoint(model.store(), &dir.join("latest.ckpt"))
 }
 
 #[allow(clippy::too_many_lines)]

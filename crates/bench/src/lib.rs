@@ -5,6 +5,8 @@
 
 use cuisine::{PipelineConfig, Scale};
 
+pub mod serving;
+
 /// Command-line options shared by all harness binaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HarnessArgs {

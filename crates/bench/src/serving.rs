@@ -1,0 +1,163 @@
+//! Shared fixtures for the serving load generators (`serve_load`,
+//! `router_load`): the synthetic cuisine workload, model export, and the
+//! summary statistics both binaries report.
+
+use std::path::Path;
+use std::time::Duration;
+
+use nn::{save_checkpoint, LstmClassifier, LstmConfig, LstmPooling, SequenceModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{Features, ModelManifest, ServingModel};
+use textproc::Vocabulary;
+
+/// Content vocabulary size (checkpoint vocab is this plus 5 specials).
+pub const CONTENT_TOKENS: usize = 5000;
+/// Ingredients per synthetic recipe.
+pub const RECIPE_LEN: std::ops::Range<usize> = 8..20;
+/// Output classes (the paper's cuisine count).
+pub const CLASSES: usize = 26;
+/// Content tokens reserved per class for the class-structured generator.
+pub const CLASS_BLOCK: usize = CONTENT_TOKENS / CLASSES;
+/// Probability that an ingredient comes from the recipe's own class block
+/// (the rest is uniform noise over the whole vocabulary).
+pub const CLASS_TOKEN_P: f64 = 0.85;
+
+/// Synthetic ingredient names built from consonant-vowel syllables: all
+/// lowercase-alphabetic and vowel-final, so `cuisine::featurize`
+/// canonicalization (clean + lemmatize) maps each onto itself and every
+/// generated token lands in the vocabulary.
+pub fn content_tokens() -> Vec<String> {
+    const C: [char; 10] = ['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r'];
+    const V: [char; 5] = ['a', 'e', 'i', 'o', 'u'];
+    let syllable = |i: usize| -> [char; 2] { [C[(i / V.len()) % C.len()], V[i % V.len()]] };
+    (0..CONTENT_TOKENS)
+        .map(|i| {
+            let mut s = String::new();
+            s.extend(syllable(i % 50));
+            s.extend(syllable((i / 50) % 50));
+            s.extend(syllable(i / 2500));
+            s
+        })
+        .collect()
+}
+
+/// The serving-scale LSTM both load generators benchmark.
+pub fn lstm_config() -> LstmConfig {
+    LstmConfig {
+        vocab: CONTENT_TOKENS + 5,
+        emb_dim: 256,
+        hidden: 64,
+        layers: 2,
+        dropout: 0.0,
+        classes: CLASSES,
+        pooling: LstmPooling::LastHidden,
+    }
+}
+
+/// Class-structured recipes: each picks a cuisine and draws most tokens
+/// from that cuisine's block of the vocabulary.
+pub fn synth_recipes(n: usize, tokens: &[String], seed: u64) -> Vec<(String, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let class = rng.gen_range(0..CLASSES);
+            let len = rng.gen_range(RECIPE_LEN);
+            let text = (0..len)
+                .map(|_| {
+                    let t = if rng.gen_bool(CLASS_TOKEN_P) {
+                        class * CLASS_BLOCK + rng.gen_range(0..CLASS_BLOCK)
+                    } else {
+                        rng.gen_range(0..tokens.len())
+                    };
+                    tokens[t].as_str()
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            (text, class)
+        })
+        .collect()
+}
+
+/// Canonical entity tokens of `recipe`, mapped into `vocab` ids.
+pub fn to_ids(recipe: &str, vocab: &Vocabulary) -> Vec<usize> {
+    cuisine::featurize::entity_tokens(recipe)
+        .iter()
+        .map(|t| vocab.lookup_or_unk(t) as usize)
+        .collect()
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+pub fn percentile(sorted_us: &[u128], p: f64) -> u128 {
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// The service's argmax rule (first index on ties).
+pub fn top_class(probs: &[f64]) -> usize {
+    probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        .map_or(0, |(i, _)| i)
+}
+
+/// Writes a servable model directory (manifest + checkpoint) for the
+/// [`lstm_config`] model.
+pub fn write_model_dir(
+    dir: &Path,
+    model: &LstmClassifier,
+    vocab: &Vocabulary,
+    quantized: bool,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    ModelManifest::lstm(&lstm_config(), vocab)
+        .with_quantized(quantized)
+        .save(dir)?;
+    save_checkpoint(model.store(), &dir.join("latest.ckpt"))
+}
+
+/// Decorator that adds a fixed per-request stall to every forward pass,
+/// modeling a serving model whose per-request cost is dominated by
+/// something other than this process's CPU (an embedding fetch, a
+/// feature-store read, a remote tower). Answers are exactly the inner
+/// model's answers.
+///
+/// On a single-core host, pure-compute replicas cannot beat one replica
+/// — every forward pass competes for the same core. Stall time is what
+/// replication *can* parallelize there, so the router scaling gate runs
+/// against this decorator: stalls overlap across replica worker threads
+/// while compute still serializes.
+pub struct StalledModel {
+    inner: Box<dyn ServingModel>,
+    stall: Duration,
+}
+
+impl StalledModel {
+    /// Wraps `inner`, adding `stall` of sleep per request in each batch.
+    pub fn new(inner: Box<dyn ServingModel>, stall: Duration) -> Self {
+        Self { inner, stall }
+    }
+}
+
+impl ServingModel for StalledModel {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn featurize(&self, tokens: &[String]) -> Features {
+        self.inner.featurize(tokens)
+    }
+
+    fn predict(&self, batch: &[&Features]) -> Vec<Vec<f64>> {
+        // per request, not per batch: a batch of 8 carries 8 requests'
+        // worth of stall, so batching alone cannot hide it — only
+        // replica-level concurrency can
+        std::thread::sleep(self.stall * batch.len() as u32);
+        self.inner.predict(batch)
+    }
+}

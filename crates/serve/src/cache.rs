@@ -213,6 +213,56 @@ mod tests {
     }
 
     #[test]
+    fn reinsert_never_leaks_slots() {
+        // property: inserting over an existing key must reuse its slot,
+        // so the slab never outgrows the capacity no matter how the
+        // insert/reinsert/evict churn interleaves
+        let mut lru = LruCache::new(4);
+        let mut rng: u64 = 0x5eed;
+        for step in 0..5000u64 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (rng >> 33) % 6; // 6 keys over 4 slots → constant churn
+            lru.insert(key, step);
+            assert!(
+                lru.slots.len() <= lru.capacity,
+                "slab leaked: {} slots for capacity {} at step {step}",
+                lru.slots.len(),
+                lru.capacity
+            );
+            assert_eq!(lru.map.len(), lru.slots.len(), "index and slab agree");
+            assert_eq!(lru.get(&key), Some(&step), "freshest write wins");
+        }
+    }
+
+    #[test]
+    fn reinsert_promotes_and_swaps_under_interleaved_gets() {
+        // property: a reinsert behaves exactly like get-then-overwrite —
+        // the key moves to the front and the old value comes back out
+        let mut lru = LruCache::new(3);
+        let mut rng: u64 = 42;
+        let mut shadow: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for step in 0..3000u64 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (rng >> 33) % 3; // ≤ capacity keys → no evictions
+            if rng & 1 == 0 {
+                let displaced = lru.insert(key, step);
+                assert_eq!(displaced, shadow.insert(key, step), "old value returned");
+            } else {
+                assert_eq!(lru.get(&key), shadow.get(&key), "get sees latest write");
+            }
+            assert!(lru.len() <= 3);
+        }
+        // with no evictions possible, every key ever written is present
+        for (k, v) in &shadow {
+            assert_eq!(lru.get(k), Some(v));
+        }
+    }
+
+    #[test]
     fn churn_stays_consistent() {
         let mut lru = LruCache::new(8);
         for i in 0..1000usize {

@@ -30,6 +30,14 @@ pub enum ServeError {
     /// The worker disappeared before answering (it panicked or the server
     /// was torn down mid-flight).
     Canceled,
+    /// A [`ServeConfig`](crate::ServeConfig) or
+    /// [`RouterConfig`](crate::RouterConfig) field is out of range. The
+    /// message names the offending field; nothing was started.
+    InvalidConfig(String),
+    /// A rolling deploy aborted. Replicas already promoted were rolled
+    /// back to the previous version; no request was ever answered by the
+    /// rejected checkpoint.
+    DeployFailed(String),
 }
 
 impl fmt::Display for ServeError {
@@ -43,6 +51,8 @@ impl fmt::Display for ServeError {
             Self::UnknownModel(name) => write!(f, "no model named {name:?} is loaded"),
             Self::EmptyRecipe => write!(f, "recipe text has no entity tokens"),
             Self::Canceled => write!(f, "request canceled: worker went away"),
+            Self::InvalidConfig(what) => write!(f, "invalid config: {what}"),
+            Self::DeployFailed(what) => write!(f, "rolling deploy failed: {what}"),
         }
     }
 }
@@ -66,5 +76,15 @@ mod tests {
             .contains("lstm"));
         let source: Box<dyn std::error::Error> = Box::new(ServeError::EmptyRecipe);
         assert!(source.to_string().contains("no entity tokens"));
+        assert!(
+            ServeError::InvalidConfig("max_batch must be at least 1".into())
+                .to_string()
+                .contains("max_batch")
+        );
+        assert!(
+            ServeError::DeployFailed("warmup: lstm model panicked".into())
+                .to_string()
+                .contains("deploy")
+        );
     }
 }

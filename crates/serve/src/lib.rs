@@ -15,6 +15,10 @@
 //! * [`LruCache`] memoizes featurized inputs keyed by canonicalized
 //!   recipe text (`cuisine::featurize::canonical_key`), invalidated on
 //!   every model swap.
+//! * [`ReplicaRouter`] replicates the batch server N ways behind a
+//!   consistent-hash ring with health-based ejection, aggregate load
+//!   shedding, and zero-downtime rolling deploys; see
+//!   `docs/SERVING_TIER.md`.
 //!
 //! Everything is instrumented through `trace`; see `docs/TRACING.md` for
 //! the metric names and `docs/CHECKPOINT_FORMAT.md` for the on-disk
@@ -42,6 +46,7 @@ mod error;
 mod manifest;
 mod model;
 mod registry;
+mod router;
 mod service;
 
 pub use cache::LruCache;
@@ -51,4 +56,5 @@ pub use model::{
     BertServing, Features, LinearServing, LstmServing, QuantLstmServing, ServingModel,
 };
 pub use registry::{LoadedModel, ModelRegistry};
+pub use router::{DeployReport, ReplicaHealth, ReplicaRouter, RouterConfig};
 pub use service::{BatchServer, Prediction, ServeConfig};

@@ -30,7 +30,9 @@ pub struct LoadedModel {
     name: String,
     version: u64,
     kind: String,
-    model: Box<dyn ServingModel>,
+    // shared, not owned: `alias` republishes the same engine under
+    // another name (replica fan-out, deploy rollback) without rebuilding
+    model: Arc<dyn ServingModel>,
 }
 
 impl LoadedModel {
@@ -39,8 +41,13 @@ impl LoadedModel {
         &self.name
     }
 
-    /// Monotonic per-name version, bumped on every (re)load. Feature
-    /// caches must treat a version change as full invalidation.
+    /// Version counter, bumped on every [`load`](ModelRegistry::load) and
+    /// [`publish`](ModelRegistry::publish). Feature caches must treat a
+    /// version change as full invalidation. Within one name the version
+    /// normally only grows; a deploy *rollback*
+    /// ([`alias`](ModelRegistry::alias) back to a prior entry) is the one
+    /// place it can move backwards — equality, not ordering, is the
+    /// invalidation signal.
     pub fn version(&self) -> u64 {
         self.version
     }
@@ -165,14 +172,41 @@ impl ModelRegistry {
             }
             other => unreachable!("manifest validation admitted kind {other:?}"),
         };
+        self.publish_kind(name, manifest.kind, model)
+    }
+
+    /// Registers an in-process model under `name`, running the same
+    /// warmup gate and version bump as [`load`](Self::load) but without a
+    /// disk round-trip. This is how freshly trained models (or decorated
+    /// engines in benches/tests) enter the serving tier.
+    ///
+    /// # Errors
+    ///
+    /// The warmup failure cases of [`load`](Self::load); the previously
+    /// published version, if any, stays in place.
+    pub fn publish(
+        &self,
+        name: &str,
+        model: Box<dyn ServingModel>,
+    ) -> io::Result<Arc<LoadedModel>> {
+        let kind = model.kind().to_string();
+        self.publish_kind(name, kind, model)
+    }
+
+    fn publish_kind(
+        &self,
+        name: &str,
+        kind: String,
+        model: Box<dyn ServingModel>,
+    ) -> io::Result<Arc<LoadedModel>> {
         if self.warmup.load(Ordering::Relaxed) {
             warmup(model.as_ref())?;
         }
         let loaded = Arc::new(LoadedModel {
             name: name.to_string(),
             version: self.next_version.fetch_add(1, Ordering::Relaxed) + 1,
-            kind: manifest.kind,
-            model,
+            kind,
+            model: Arc::from(model),
         });
         self.models
             .write()
@@ -180,6 +214,25 @@ impl ModelRegistry {
             .insert(name.to_string(), Arc::clone(&loaded));
         LOADS.incr();
         Ok(loaded)
+    }
+
+    /// Republishes an already-registered model under another name,
+    /// sharing the engine (no rebuild, no warmup — `src` already passed
+    /// the gate when it was loaded) and keeping its version. The router
+    /// uses this to fan one checkpoint out to per-replica names and to
+    /// roll a failed deploy back to the previous version atomically.
+    pub fn alias(&self, name: &str, src: &Arc<LoadedModel>) -> Arc<LoadedModel> {
+        let loaded = Arc::new(LoadedModel {
+            name: name.to_string(),
+            version: src.version,
+            kind: src.kind.clone(),
+            model: Arc::clone(&src.model),
+        });
+        self.models
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(name.to_string(), Arc::clone(&loaded));
+        loaded
     }
 
     /// Resolves a name to its current version, if loaded.
@@ -407,6 +460,53 @@ mod tests {
         write_lstm_dir(&dir, 13);
         let v2 = registry.load("lstm", &dir).unwrap();
         assert!(v2.version() > v1.version());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn publish_runs_the_warmup_gate_and_alias_shares_the_engine() {
+        let dir = std::env::temp_dir().join("serve_registry_publish");
+        let _ = std::fs::remove_dir_all(&dir);
+        let reference = write_lstm_dir(&dir, 21);
+        let registry = ModelRegistry::new();
+
+        // publish: no disk round-trip, same version bump + warmup gate
+        let published = registry
+            .publish(
+                "inproc",
+                Box::new(crate::LstmServing::new(reference.clone(), vocab())),
+            )
+            .unwrap();
+        assert_eq!(
+            registry.get("inproc").unwrap().version(),
+            published.version()
+        );
+        assert_eq!(published.kind(), "lstm");
+
+        // a NaN model is stopped by the same gate
+        let mut broken = LstmClassifier::new(config(), &mut StdRng::seed_from_u64(22));
+        for id in broken.store().ids().collect::<Vec<_>>() {
+            broken.store_mut().get_mut(id).as_mut_slice()[0] = f32::NAN;
+        }
+        let err = registry
+            .publish("broken", Box::new(crate::LstmServing::new(broken, vocab())))
+            .unwrap_err();
+        assert!(err.to_string().contains("warmup"), "{err}");
+        assert!(registry.get("broken").is_none());
+
+        // alias: same engine, same version, new name — answers identical
+        let aliased = registry.alias("inproc@0", &published);
+        assert_eq!(aliased.version(), published.version());
+        assert_eq!(aliased.name(), "inproc@0");
+        let features = crate::Features::Ids(vec![5, 6]);
+        assert_eq!(
+            registry
+                .get("inproc@0")
+                .unwrap()
+                .model()
+                .predict(&[&features]),
+            published.model().predict(&[&features])
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,695 @@
+//! The replicated serving tier: a consistent-hash router over N
+//! [`BatchServer`] replicas sharing one [`ModelRegistry`].
+//!
+//! One `BatchServer` is one worker thread; the router is the layer that
+//! turns it into a fleet. [`ReplicaRouter::start`] fans a registered
+//! model out to per-replica registry names (`{name}@{i}`, shared engine
+//! via [`ModelRegistry::alias`] — no rebuild) and spawns one batch
+//! server per replica. Requests are canonicalized once, hashed, and
+//! placed on a consistent-hash ring, so a given recipe always lands on
+//! the same replica — which keeps that replica's feature cache hot and
+//! makes routing stable as replicas come and go.
+//!
+//! # Health and failover
+//!
+//! Replica health is tracked from serving outcomes, the same signals the
+//! `trace` queue metrics count:
+//!
+//! * a replica that keeps answering [`ServeError::Overloaded`] (its
+//!   bounded queue is saturated) accumulates strikes and is **ejected**
+//!   after [`RouterConfig::eject_after`] consecutive ones;
+//! * a replica answering [`ServeError::ShuttingDown`] or
+//!   [`ServeError::Canceled`] (its worker died or was shut down) is
+//!   ejected immediately.
+//!
+//! Ejected replicas stop receiving traffic; requests that hash onto them
+//! walk the ring to the next healthy replica (answers are unaffected —
+//! every replica serves the same model, bit-identically). After
+//! [`RouterConfig::probe_after`], one request per probe window is let
+//! through as a **probe**; a successful probe reinstates the replica.
+//!
+//! # Admission control
+//!
+//! Before touching any replica, the router sums the replica queue depths
+//! and sheds the request with [`ServeError::Overloaded`] once the
+//! aggregate crosses [`RouterConfig::shed_watermark`]. Shedding at the
+//! tier boundary keeps rejection latency flat (one depth scan, no
+//! enqueue) instead of letting every caller ride a queue to its hard cap
+//! first.
+//!
+//! # Rolling deploys
+//!
+//! [`ReplicaRouter::deploy`] promotes a new checkpoint with zero
+//! downtime: the checkpoint is first loaded (and warmup-gated) under the
+//! base name — a bad checkpoint fails here, before any replica is
+//! touched — then promoted replica-by-replica through
+//! [`ModelRegistry::load`], each promotion running the registry's
+//! warmup + accuracy gate again before that replica's name flips. A
+//! failure mid-deploy rolls every already-promoted replica back to the
+//! previous version via [`ModelRegistry::alias`]. In-flight batches
+//! always finish on the engine they resolved, so no request is ever
+//! answered by an unwarmed (unpublished) version.
+//!
+//! # Metrics
+//!
+//! `serve.router.*` counters/gauges (requests, shed, failovers,
+//! ejections, probes, reinstated, deploys, rollbacks, aggregate depth,
+//! in-flight); see `docs/TRACING.md`.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use trace::{Counter, Gauge};
+
+use crate::error::ServeError;
+use crate::registry::{LoadedModel, ModelRegistry};
+use crate::service::{BatchServer, Prediction, ServeConfig};
+
+static ROUTER_REQUESTS: Counter = Counter::new("serve.router.requests");
+static ROUTER_SHED: Counter = Counter::new("serve.router.shed");
+static ROUTER_FAILOVERS: Counter = Counter::new("serve.router.failovers");
+static ROUTER_EJECTIONS: Counter = Counter::new("serve.router.ejections");
+static ROUTER_PROBES: Counter = Counter::new("serve.router.probes");
+static ROUTER_REINSTATED: Counter = Counter::new("serve.router.reinstated");
+static ROUTER_DEPLOYS: Counter = Counter::new("serve.router.deploys");
+static ROUTER_ROLLBACKS: Counter = Counter::new("serve.router.rollbacks");
+static ROUTER_DEPTH: Gauge = Gauge::new("serve.router.depth");
+static ROUTER_INFLIGHT: Gauge = Gauge::new("serve.router.inflight");
+
+/// Tuning knobs for the replicated tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Number of replica batch servers to spawn.
+    pub replicas: usize,
+    /// Virtual nodes per replica on the hash ring. More vnodes smooth
+    /// the key distribution; 64 keeps the worst replica within a few
+    /// percent of the mean for realistic key sets.
+    pub vnodes: usize,
+    /// Per-replica batch server config (each replica gets its own queue,
+    /// worker, and feature cache with these settings).
+    pub serve: ServeConfig,
+    /// Aggregate queued-request count (summed over replicas) beyond
+    /// which new requests are shed with [`ServeError::Overloaded`]
+    /// before touching any queue. Defaults to 75 % of the default
+    /// aggregate capacity (4 replicas × 256 slots).
+    pub shed_watermark: usize,
+    /// Consecutive saturated ([`ServeError::Overloaded`]) answers from
+    /// one replica before it is ejected from the ring.
+    pub eject_after: u32,
+    /// How long an ejected replica sits out before the router lets one
+    /// request through as a probe. Each failed probe restarts the wait.
+    pub probe_after: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 4,
+            vnodes: 64,
+            serve: ServeConfig::default(),
+            shed_watermark: 768,
+            eject_after: 3,
+            probe_after: Duration::from_millis(250),
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Checks every field is in range, naming the offending one in
+    /// [`ServeError::InvalidConfig`] otherwise (the per-replica
+    /// [`ServeConfig`] is validated too).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.replicas == 0 {
+            return Err(ServeError::InvalidConfig(
+                "replicas must be at least 1".into(),
+            ));
+        }
+        if self.vnodes == 0 {
+            return Err(ServeError::InvalidConfig(
+                "vnodes must be at least 1".into(),
+            ));
+        }
+        if self.shed_watermark == 0 {
+            return Err(ServeError::InvalidConfig(
+                "shed_watermark must be at least 1".into(),
+            ));
+        }
+        if self.eject_after == 0 {
+            return Err(ServeError::InvalidConfig(
+                "eject_after must be at least 1".into(),
+            ));
+        }
+        self.serve.validate()
+    }
+}
+
+/// A replica's position in the health state machine, as reported by
+/// [`ReplicaRouter::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// In the ring, receiving its share of traffic.
+    Healthy,
+    /// Out of the ring (saturated or dead); only periodic probes reach
+    /// it until one succeeds.
+    Ejected,
+}
+
+/// What a completed rolling deploy changed, per replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployReport {
+    /// Version published under the base model name by this deploy.
+    pub base_version: u64,
+    /// Versions each replica served before the deploy (ring order).
+    pub previous_versions: Vec<u64>,
+    /// Versions each replica serves now (ring order).
+    pub replica_versions: Vec<u64>,
+}
+
+#[derive(Default)]
+struct HealthState {
+    /// Consecutive saturated answers (reset on any success).
+    strikes: u32,
+    /// Set while the replica is out of the ring.
+    ejected_at: Option<Instant>,
+    /// Last time a probe was let through (gates probe frequency).
+    last_probe: Option<Instant>,
+}
+
+struct Replica {
+    name: String,
+    server: BatchServer,
+    state: Mutex<HealthState>,
+}
+
+impl Replica {
+    fn lock(&self) -> MutexGuard<'_, HealthState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Whether this replica may receive the request: healthy, or ejected
+    /// but due a probe (in which case the probe window is claimed).
+    fn admit(&self, now: Instant, config: &RouterConfig) -> bool {
+        let mut s = self.lock();
+        match s.ejected_at {
+            None => true,
+            Some(at) => {
+                let waited_since = s.last_probe.unwrap_or(at);
+                if now.saturating_duration_since(waited_since) >= config.probe_after {
+                    s.last_probe = Some(now);
+                    ROUTER_PROBES.incr();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn record_success(&self) {
+        let mut s = self.lock();
+        s.strikes = 0;
+        if s.ejected_at.take().is_some() {
+            s.last_probe = None;
+            ROUTER_REINSTATED.incr();
+        }
+    }
+
+    fn record_saturated(&self, now: Instant, config: &RouterConfig) {
+        let mut s = self.lock();
+        if s.ejected_at.is_none() {
+            s.strikes += 1;
+            if s.strikes >= config.eject_after {
+                s.ejected_at = Some(now);
+                ROUTER_EJECTIONS.incr();
+            }
+        }
+    }
+
+    fn record_dead(&self, now: Instant) {
+        let mut s = self.lock();
+        s.strikes = s.strikes.saturating_add(1);
+        if s.ejected_at.is_none() {
+            s.ejected_at = Some(now);
+            ROUTER_EJECTIONS.incr();
+        }
+    }
+}
+
+/// 64-bit FNV-1a; stable across runs (routing and tests must not depend
+/// on `HashMap`'s per-process seed).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Avalanche finalizer (the murmur3 `fmix64` constants). Raw FNV-1a
+/// clusters badly on short, structured input — vnode labels differ in
+/// two bytes, and without this step whole replicas end up owning no arc
+/// of the ring at all.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// Position of `bytes` on the hash ring (used for both vnode labels and
+/// request keys).
+fn ring_hash(bytes: &[u8]) -> u64 {
+    mix(fnv1a(bytes))
+}
+
+/// Matches [`ROUTER_INFLIGHT`] `add` with a `sub` on every exit path.
+struct InflightGuard;
+
+impl InflightGuard {
+    fn new() -> Self {
+        ROUTER_INFLIGHT.add(1);
+        InflightGuard
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        ROUTER_INFLIGHT.sub(1);
+    }
+}
+
+/// A consistent-hash router spreading requests over replicated
+/// [`BatchServer`] workers, with health-based ejection, aggregate load
+/// shedding, and zero-downtime rolling deploys. See the module docs for
+/// the full picture.
+pub struct ReplicaRouter {
+    registry: Arc<ModelRegistry>,
+    model_name: String,
+    config: RouterConfig,
+    replicas: Vec<Replica>,
+    /// `(vnode hash, replica index)`, sorted by hash.
+    ring: Vec<(u64, usize)>,
+    /// One rolling deploy at a time.
+    deploy_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for ReplicaRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaRouter")
+            .field("model_name", &self.model_name)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReplicaRouter {
+    /// Fans `model_name` out to `config.replicas` batch servers (each
+    /// behind its own `{model_name}@{i}` registry alias) and builds the
+    /// hash ring.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for out-of-range config, or
+    /// [`ServeError::UnknownModel`] when `model_name` is not loaded.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        model_name: &str,
+        config: RouterConfig,
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
+        let base = registry
+            .get(model_name)
+            .ok_or_else(|| ServeError::UnknownModel(model_name.to_string()))?;
+        let mut replicas = Vec::with_capacity(config.replicas);
+        for i in 0..config.replicas {
+            let name = format!("{model_name}@{i}");
+            registry.alias(&name, &base);
+            let server = BatchServer::start(Arc::clone(&registry), &name, config.serve.clone())?;
+            replicas.push(Replica {
+                name,
+                server,
+                state: Mutex::new(HealthState::default()),
+            });
+        }
+        let mut ring = Vec::with_capacity(config.replicas * config.vnodes);
+        for i in 0..config.replicas {
+            for v in 0..config.vnodes {
+                let mut label = [0u8; 16];
+                label[..8].copy_from_slice(&(i as u64).to_le_bytes());
+                label[8..].copy_from_slice(&(v as u64).to_le_bytes());
+                ring.push((ring_hash(&label), i));
+            }
+        }
+        ring.sort_unstable();
+        Ok(Self {
+            registry,
+            model_name: model_name.to_string(),
+            config,
+            replicas,
+            ring,
+            deploy_lock: Mutex::new(()),
+        })
+    }
+
+    /// Replica indices in ring order starting at the owner of `hash`:
+    /// element 0 is where the request belongs, the rest is the failover
+    /// order if the owner is ejected or saturated.
+    fn failover_order(&self, hash: u64) -> Vec<usize> {
+        let n = self.replicas.len();
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let start = self.ring.partition_point(|&(h, _)| h < hash);
+        for k in 0..self.ring.len() {
+            let (_, replica) = self.ring[(start + k) % self.ring.len()];
+            if !seen[replica] {
+                seen[replica] = true;
+                order.push(replica);
+                if order.len() == n {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// Classifies one recipe through the tier: canonicalize once, shed
+    /// if the aggregate queue depth crossed the watermark, then dispatch
+    /// to the ring owner (failing over across healthy replicas when the
+    /// owner is ejected, saturated, or dead). `deadline` bounds queueing
+    /// time exactly as in [`BatchServer::classify`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptyRecipe`] for token-free text;
+    /// [`ServeError::Overloaded`] when shed at the watermark (carrying
+    /// the aggregate depth) or when every admitted replica was
+    /// saturated; [`ServeError::DeadlineExceeded`] from the serving
+    /// replica; [`ServeError::ShuttingDown`] / [`ServeError::Canceled`]
+    /// only when every replica in the failover order is gone.
+    pub fn classify(
+        &self,
+        recipe: &str,
+        deadline: Option<Duration>,
+    ) -> Result<Prediction, ServeError> {
+        let tokens = cuisine::featurize::entity_tokens(recipe);
+        if tokens.is_empty() {
+            return Err(ServeError::EmptyRecipe);
+        }
+        let key = tokens.join("\x1f");
+        ROUTER_REQUESTS.incr();
+        let _inflight = InflightGuard::new();
+
+        // admission control: shed at the watermark instead of letting
+        // every replica queue fill to its hard cap
+        let depth: usize = self.replicas.iter().map(|r| r.server.queue_depth()).sum();
+        ROUTER_DEPTH.set(depth as u64);
+        if depth >= self.config.shed_watermark {
+            ROUTER_SHED.incr();
+            return Err(ServeError::Overloaded {
+                depth,
+                capacity: self.config.shed_watermark,
+            });
+        }
+
+        let order = self.failover_order(ring_hash(key.as_bytes()));
+        let mut last_err = None;
+        let mut dispatched = 0usize;
+        for &i in &order {
+            let replica = &self.replicas[i];
+            if !replica.admit(Instant::now(), &self.config) {
+                continue;
+            }
+            if dispatched > 0 {
+                ROUTER_FAILOVERS.incr();
+            }
+            dispatched += 1;
+            match replica
+                .server
+                .classify_prepared(tokens.clone(), key.clone(), deadline)
+            {
+                Ok(prediction) => {
+                    replica.record_success();
+                    return Ok(prediction);
+                }
+                Err(e @ ServeError::Overloaded { .. }) => {
+                    replica.record_saturated(Instant::now(), &self.config);
+                    last_err = Some(e);
+                }
+                Err(e @ (ServeError::ShuttingDown | ServeError::Canceled)) => {
+                    replica.record_dead(Instant::now());
+                    last_err = Some(e);
+                }
+                // deadline expiry (and anything else) says nothing about
+                // replica health, and retrying would double-spend the
+                // caller's budget
+                Err(e) => return Err(e),
+            }
+        }
+        match last_err {
+            Some(e) => Err(e),
+            // every replica is ejected and none was due a probe: force
+            // the owner rather than fail a serviceable request
+            None => {
+                let replica = &self.replicas[order[0]];
+                match replica.server.classify_prepared(tokens, key, deadline) {
+                    Ok(prediction) => {
+                        replica.record_success();
+                        Ok(prediction)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    /// Rolls a new checkpoint out across the fleet with zero downtime:
+    /// gate it once under the base name, then promote replica-by-replica
+    /// through the registry's warmup gate, rolling back on failure. See
+    /// the module docs for the state machine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DeployFailed`] carrying the underlying load/warmup
+    /// error. On failure every replica serves exactly what it served
+    /// before the call.
+    pub fn deploy(&self, dir: &Path) -> Result<DeployReport, ServeError> {
+        let _one_at_a_time = self
+            .deploy_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _span = trace::span("serve.router.deploy");
+        ROUTER_DEPLOYS.incr();
+        let previous: Vec<Arc<LoadedModel>> = self
+            .replicas
+            .iter()
+            .map(|r| {
+                self.registry
+                    .get(&r.name)
+                    .expect("router replicas stay registered")
+            })
+            .collect();
+        // gate the checkpoint once before touching any replica: a bad
+        // checkpoint dies here and the fleet never sees it (a failed
+        // load keeps the previous base entry in place)
+        let base = self.registry.load(&self.model_name, dir).map_err(|e| {
+            ServeError::DeployFailed(format!("checkpoint rejected before promotion: {e}"))
+        })?;
+        let mut promoted = Vec::with_capacity(self.replicas.len());
+        for (i, replica) in self.replicas.iter().enumerate() {
+            match self.registry.load(&replica.name, dir) {
+                Ok(loaded) => promoted.push(loaded.version()),
+                Err(e) => {
+                    // roll back: every already-promoted replica returns
+                    // to the exact engine it served before the deploy
+                    for (replica, old) in self.replicas.iter().zip(&previous).take(i) {
+                        self.registry.alias(&replica.name, old);
+                    }
+                    ROUTER_ROLLBACKS.incr();
+                    return Err(ServeError::DeployFailed(format!(
+                        "replica {i} rejected the checkpoint (fleet rolled back): {e}"
+                    )));
+                }
+            }
+        }
+        Ok(DeployReport {
+            base_version: base.version(),
+            previous_versions: previous.iter().map(|m| m.version()).collect(),
+            replica_versions: promoted,
+        })
+    }
+
+    /// The base model name the tier serves.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// Number of replicas (fixed at start).
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Current queued-request depth per replica (ring order).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.replicas
+            .iter()
+            .map(|r| r.server.queue_depth())
+            .collect()
+    }
+
+    /// Current health per replica (ring order).
+    pub fn health(&self) -> Vec<ReplicaHealth> {
+        self.replicas
+            .iter()
+            .map(|r| {
+                if r.lock().ejected_at.is_some() {
+                    ReplicaHealth::Ejected
+                } else {
+                    ReplicaHealth::Healthy
+                }
+            })
+            .collect()
+    }
+
+    /// Takes one replica out of service (drains its queue, joins its
+    /// worker) — maintenance, or simulating replica death in tests. The
+    /// router keeps routing around it: its next routed request answers
+    /// [`ServeError::ShuttingDown`], which ejects it and fails the
+    /// request over.
+    pub fn shutdown_replica(&self, index: usize) {
+        self.replicas[index].server.shutdown();
+    }
+
+    /// Shuts every replica down (drain, then join). Idempotent; also run
+    /// on drop.
+    pub fn shutdown(&self) {
+        for r in &self.replicas {
+            r.server.shutdown();
+        }
+    }
+}
+
+impl Drop for ReplicaRouter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_names_the_bad_field() {
+        for (config, field) in [
+            (
+                RouterConfig {
+                    replicas: 0,
+                    ..RouterConfig::default()
+                },
+                "replicas",
+            ),
+            (
+                RouterConfig {
+                    vnodes: 0,
+                    ..RouterConfig::default()
+                },
+                "vnodes",
+            ),
+            (
+                RouterConfig {
+                    shed_watermark: 0,
+                    ..RouterConfig::default()
+                },
+                "shed_watermark",
+            ),
+            (
+                RouterConfig {
+                    eject_after: 0,
+                    ..RouterConfig::default()
+                },
+                "eject_after",
+            ),
+            (
+                RouterConfig {
+                    serve: ServeConfig {
+                        max_batch: 0,
+                        ..ServeConfig::default()
+                    },
+                    ..RouterConfig::default()
+                },
+                "max_batch",
+            ),
+        ] {
+            match config.validate() {
+                Err(ServeError::InvalidConfig(m)) => {
+                    assert!(m.contains(field), "{m:?} should name {field}");
+                }
+                other => panic!("expected InvalidConfig for {field}, got {other:?}"),
+            }
+        }
+        assert_eq!(RouterConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_spreads() {
+        // pinned values: routing must not drift between runs or builds
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let mut hashes: Vec<u64> = (0..1000u32)
+            .map(|i| fnv1a(format!("key-{i}").as_bytes()))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 1000, "distinct keys must not collide");
+    }
+
+    #[test]
+    fn ring_order_is_a_permutation_starting_at_the_owner() {
+        // build a ring without any servers: start() is exercised by the
+        // integration tests, the ring math is checkable in isolation
+        let config = RouterConfig::default();
+        let mut ring = Vec::new();
+        for i in 0..4usize {
+            for v in 0..config.vnodes {
+                let mut label = [0u8; 16];
+                label[..8].copy_from_slice(&(i as u64).to_le_bytes());
+                label[8..].copy_from_slice(&(v as u64).to_le_bytes());
+                ring.push((ring_hash(&label), i));
+            }
+        }
+        ring.sort_unstable();
+        let router_like = |hash: u64| {
+            let mut order = Vec::new();
+            let mut seen = [false; 4];
+            let start = ring.partition_point(|&(h, _)| h < hash);
+            for k in 0..ring.len() {
+                let (_, r) = ring[(start + k) % ring.len()];
+                if !seen[r] {
+                    seen[r] = true;
+                    order.push(r);
+                }
+            }
+            order
+        };
+        let mut owners = [0usize; 4];
+        for i in 0..256u32 {
+            let order = router_like(ring_hash(format!("recipe-{i}").as_bytes()));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "failover order covers all");
+            owners[order[0]] += 1;
+        }
+        // consistent hashing spreads owners; no replica may own
+        // everything or nothing over 256 distinct keys
+        for (i, &n) in owners.iter().enumerate() {
+            assert!(n > 0, "replica {i} owns no keys: {owners:?}");
+            assert!(n < 256, "replica {i} owns every key: {owners:?}");
+        }
+    }
+}

@@ -8,8 +8,12 @@
 //! buffering). A single worker thread accumulates a batch until either
 //! `max_batch` requests are waiting or `max_delay` has passed since the
 //! *oldest* queued request arrived, then runs one fused forward pass for
-//! the whole batch. Batching changes latency, never answers: the fused
-//! pass is bit-identical to evaluating each request alone (see
+//! the whole batch. A queued request whose `deadline` expires before the
+//! window closes is answered [`ServeError::DeadlineExceeded`] right at
+//! its deadline — the worker wakes at the earliest queued deadline, not
+//! only at the window boundary — without cutting the batch short for the
+//! requests still alive. Batching changes latency, never answers: the
+//! fused pass is bit-identical to evaluating each request alone (see
 //! `nn::infer` and the integration tests).
 //!
 //! # Lifecycle
@@ -50,6 +54,7 @@ static REJECTED_OVERLOAD: Counter = Counter::new("serve.rejected.overloaded");
 static REJECTED_DEADLINE: Counter = Counter::new("serve.rejected.deadline");
 static CACHE_HITS: Counter = Counter::new("serve.cache.hits");
 static CACHE_MISSES: Counter = Counter::new("serve.cache.misses");
+static WORKER_PANICS: Counter = Counter::new("serve.worker.panics");
 
 static BATCH_LE: [Counter; 7] = [
     Counter::new("serve.batch.le_1"),
@@ -115,6 +120,24 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             cache_capacity: 2048,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Checks every field is in range, naming the offending one in
+    /// [`ServeError::InvalidConfig`] otherwise.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_batch must be at least 1".into(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity must be at least 1".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -186,19 +209,16 @@ impl BatchServer {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownModel`] when no model of that name is loaded.
-    /// (Later hot-swaps are picked up automatically; only the initial
-    /// resolution is checked here.)
+    /// [`ServeError::InvalidConfig`] when a config field is out of range
+    /// (nothing is spawned), and [`ServeError::UnknownModel`] when no
+    /// model of that name is loaded. (Later hot-swaps are picked up
+    /// automatically; only the initial resolution is checked here.)
     pub fn start(
         registry: Arc<ModelRegistry>,
         model_name: &str,
         config: ServeConfig,
     ) -> Result<Self, ServeError> {
-        assert!(config.max_batch > 0, "max_batch must be at least 1");
-        assert!(
-            config.queue_capacity > 0,
-            "queue_capacity must be at least 1"
-        );
+        config.validate()?;
         if registry.get(model_name).is_none() {
             return Err(ServeError::UnknownModel(model_name.to_string()));
         }
@@ -242,6 +262,25 @@ impl BatchServer {
             return Err(ServeError::EmptyRecipe);
         }
         let key = tokens.join("\x1f");
+        self.classify_prepared(tokens, key, deadline)
+    }
+
+    /// [`classify`](Self::classify) for callers that already canonicalized
+    /// the recipe — `tokens` must be the output of
+    /// `cuisine::featurize::entity_tokens` (non-empty) and `key` the
+    /// tokens joined with `\x1f`. The router uses this to canonicalize
+    /// once and both hash and enqueue from the same tokens.
+    ///
+    /// # Errors
+    ///
+    /// As [`classify`](Self::classify), except [`ServeError::EmptyRecipe`]
+    /// is never produced here (the caller checked).
+    pub fn classify_prepared(
+        &self,
+        tokens: Vec<String>,
+        key: String,
+        deadline: Option<Duration>,
+    ) -> Result<Prediction, ServeError> {
         let now = Instant::now();
         let (reply, rx): (_, Receiver<Result<Prediction, ServeError>>) = mpsc::sync_channel(1);
         {
@@ -306,6 +345,25 @@ impl Drop for BatchServer {
     }
 }
 
+/// Answers (and removes) every queued request whose deadline has passed,
+/// keeping the depth gauge in step. Returns whether anything expired.
+fn expire_overdue(st: &mut QueueState, now: Instant) -> bool {
+    let before = st.queue.len();
+    st.queue.retain(|p| {
+        let expired = p.deadline.is_some_and(|d| now >= d);
+        if expired {
+            REJECTED_DEADLINE.incr();
+            let _ = p.reply.send(Err(ServeError::DeadlineExceeded));
+        }
+        !expired
+    });
+    let changed = st.queue.len() != before;
+    if changed {
+        QUEUE_DEPTH.set(st.queue.len() as u64);
+    }
+    changed
+}
+
 fn worker_loop(shared: &Shared) {
     let config = &shared.config;
     let mut cache: LruCache<String, Arc<Features>> = LruCache::new(config.cache_capacity);
@@ -313,39 +371,66 @@ fn worker_loop(shared: &Shared) {
     loop {
         let batch = {
             let mut st = shared.lock();
-            // sleep until there is work or a shutdown to finish
-            while st.queue.is_empty() {
-                if st.shutting_down {
-                    return;
+            loop {
+                // sleep until there is work or a shutdown to finish
+                while st.queue.is_empty() {
+                    if st.shutting_down {
+                        // the queue is drained for good: leave the depth
+                        // gauge at 0 rather than whatever the last
+                        // enqueue wrote
+                        QUEUE_DEPTH.set(0);
+                        return;
+                    }
+                    st = shared
+                        .wake
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
-                st = shared
-                    .wake
-                    .wait(st)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-            }
-            // accumulate: batch is cut when full, when the oldest request
-            // has waited max_delay, or when a shutdown wants the drain
-            let full_by = st.queue.front().expect("non-empty").enqueued + config.max_delay;
-            while st.queue.len() < config.max_batch && !st.shutting_down {
+                // a doomed request must not wait out the batching window:
+                // answer anything already past its deadline right now
                 let now = Instant::now();
-                if now >= full_by {
+                if expire_overdue(&mut st, now) && st.queue.is_empty() {
+                    continue;
+                }
+                // accumulate: the batch is cut when full, when the oldest
+                // (live) request has waited max_delay, or when a shutdown
+                // wants the drain
+                let full_by = st.queue.front().expect("non-empty").enqueued + config.max_delay;
+                if st.queue.len() >= config.max_batch || st.shutting_down || now >= full_by {
                     break;
                 }
-                let (guard, timeout) = shared
+                // wake at the earliest queued deadline if it lands before
+                // the window closes, so expiry answers are immediate
+                let wake_at = st
+                    .queue
+                    .iter()
+                    .filter_map(|p| p.deadline)
+                    .fold(full_by, Instant::min);
+                let (guard, _timeout) = shared
                     .wake
-                    .wait_timeout(st, full_by - now)
+                    .wait_timeout(st, wake_at.saturating_duration_since(now))
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
                 st = guard;
-                if timeout.timed_out() {
-                    break;
-                }
+                // loop around: re-expire, then re-evaluate the window
+                // (spurious wakeups and new arrivals both land here)
             }
             let take = st.queue.len().min(config.max_batch);
             let batch: Vec<Pending> = st.queue.drain(..take).collect();
             QUEUE_DEPTH.set(st.queue.len() as u64);
             batch
         };
-        process_batch(shared, &mut cache, &mut cache_version, batch);
+        // contain a model panic to the batch that triggered it: the
+        // unwound batch's reply senders drop (those callers see
+        // `Canceled`), but the worker lives on to serve what's queued —
+        // otherwise every later request would hang forever
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_batch(shared, &mut cache, &mut cache_version, batch);
+        }));
+        if caught.is_err() {
+            WORKER_PANICS.incr();
+            // the cache may have been mid-update when the panic unwound
+            cache.clear();
+        }
     }
 }
 
@@ -521,6 +606,68 @@ mod tests {
         let registry = Arc::new(ModelRegistry::new());
         let err = BatchServer::start(registry, "ghost", ServeConfig::default()).unwrap_err();
         assert_eq!(err, ServeError::UnknownModel("ghost".into()));
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let registry = Arc::new(ModelRegistry::new());
+        let err = BatchServer::start(
+            Arc::clone(&registry),
+            "any",
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ServeError::InvalidConfig(ref m) if m.contains("max_batch")),
+            "{err:?}"
+        );
+        let err = BatchServer::start(
+            registry,
+            "any",
+            ServeConfig {
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ServeError::InvalidConfig(ref m) if m.contains("queue_capacity")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_shorter_than_max_delay_expires_at_the_deadline() {
+        let dir = std::env::temp_dir().join("serve_service_short_deadline");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_model(&dir, 8);
+        // regression: the batch-cut timer used to wait the full max_delay
+        // before noticing an expired deadline, so a doomed request was
+        // stuck for max_delay instead of ~its own deadline
+        let max_delay = Duration::from_secs(2);
+        let deadline = Duration::from_millis(100);
+        let (_registry, server) = server(
+            &dir,
+            ServeConfig {
+                max_batch: 8,
+                max_delay,
+                ..ServeConfig::default()
+            },
+        );
+        let started = Instant::now();
+        let got = server.classify("stir", Some(deadline));
+        let waited = started.elapsed();
+        assert_eq!(got, Err(ServeError::DeadlineExceeded));
+        assert!(
+            waited < max_delay / 2,
+            "expired request waited {waited:?}: the cut must happen at \
+             ~the 100ms deadline, not at max_delay ({max_delay:?})"
+        );
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -140,6 +140,36 @@ impl Gauge {
         self.value.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Adds `n` to the level. Unlike [`set`](Self::set), this is safe for
+    /// gauges with many concurrent writers (e.g. in-flight request counts
+    /// maintained from several threads): each writer contributes a delta
+    /// instead of clobbering the others' view. Pair every `add` with a
+    /// matching [`sub`](Self::sub). No-op while tracing is disabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the level, saturating at zero (an unmatched
+    /// `sub` — e.g. after `trace::reset` zeroed the gauge mid-flight —
+    /// must not wrap to `u64::MAX`). No-op while tracing is disabled.
+    #[inline]
+    pub fn sub(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.ensure_registered();
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -241,6 +271,20 @@ mod tests {
         assert_eq!(snap.counter("test.metrics.hits"), Some(3));
         assert_eq!(snap.gauge("test.metrics.peak"), Some(10));
         assert_eq!(snap.gauge("test.metrics.last"), Some(3));
+    }
+
+    #[test]
+    fn gauge_add_sub_tracks_a_level_and_saturates() {
+        let _x = crate::tests::exclusive();
+        crate::enable();
+        crate::reset();
+        LAST.add(5);
+        LAST.sub(2);
+        assert_eq!(LAST.get(), 3);
+        LAST.sub(10); // unmatched sub saturates instead of wrapping
+        assert_eq!(LAST.get(), 0);
+        crate::reset();
+        crate::disable();
     }
 
     #[test]

@@ -40,6 +40,10 @@ for baseline in "$BASELINES"/BENCH_*.json; do
             echo "bench_gate: $fresh missing — running serve_load"
             cargo run --release -q -p bench --bin serve_load >/dev/null
             ;;
+        BENCH_router.json)
+            echo "bench_gate: $fresh missing — running router_load"
+            cargo run --release -q -p bench --bin router_load >/dev/null
+            ;;
         esac
     fi
     if [ ! -f "$fresh" ]; then

@@ -25,12 +25,16 @@ cargo test -q
 # The fault-tolerance, tensor-property and quant-property suites exercise
 # code paths that differ between serial and parallel pools (panic
 # containment, shard merging, tile claiming, int8 column-tile claiming) —
-# run them at several pool widths.
+# run them at several pool widths. The serve suites (batching, replica
+# router, trace gauges) ride along because replica workers drive the
+# pool from several threads at once.
 for threads in 1 2 4; do
     echo "== pool-sensitive suites (TENSOR_THREADS=$threads) =="
     TENSOR_THREADS=$threads cargo test -q -p cuisine \
-        --test fault_tolerance --test tensor_properties --test trace_integration \
+        --test fault_tolerance --test tensor_properties \
         --test quant_properties
+    TENSOR_THREADS=$threads cargo test -q -p serve \
+        --test serve_integration --test trace_integration
 done
 
 # End-to-end int8 accuracy gate: serve_load trains a small model, serves it
@@ -47,5 +51,12 @@ for threads in 1 4; do
         --json "$quant_gate_dir/BENCH_serve.json" \
         --quant-json "$quant_gate_dir/BENCH_quant.json"
 done
+
+# Replicated-tier gate: router_load proves bit-identical answers across
+# replicas, >= 2.5x stalled scaling at 4 replicas vs 1, and a rolling
+# deploy under load with zero answers from an ungated model version.
+echo "== replicated serving gate (router_load) =="
+cargo run --release -q -p bench --bin router_load -- \
+    --min-scaling 2.5 --json "$quant_gate_dir/BENCH_router.json"
 
 echo "all checks passed"

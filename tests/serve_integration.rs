@@ -13,7 +13,10 @@ use nn::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serve::{BatchServer, ModelManifest, ModelRegistry, ServeConfig, ServeError};
+use serve::{
+    BatchServer, Features, ModelManifest, ModelRegistry, ReplicaHealth, ReplicaRouter,
+    RouterConfig, ServeConfig, ServeError, ServingModel,
+};
 use textproc::Vocabulary;
 
 const TOKENS: [&str; 8] = [
@@ -57,9 +60,16 @@ fn ids(recipe: &str, v: &Vocabulary) -> Vec<usize> {
 /// directory (manifest + checkpoint). Returns the in-process model as
 /// ground truth.
 fn train_and_export(dir: &Path) -> LstmClassifier {
+    train_and_export_seeded(dir, 42)
+}
+
+/// Like [`train_and_export`] with a chosen init seed — different seeds
+/// give bitwise-distinguishable checkpoints, which is how the deploy
+/// tests tell the old version's answers from the new one's.
+fn train_and_export_seeded(dir: &Path, seed: u64) -> LstmClassifier {
     std::fs::create_dir_all(dir).unwrap();
     let v = vocab();
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut model = LstmClassifier::new(lstm_config(), &mut rng);
     let examples: Vec<(Vec<usize>, usize)> =
         RECIPES.iter().map(|&(r, y)| (ids(r, &v), y)).collect();
@@ -253,4 +263,453 @@ fn shutdown_drains_queued_requests() {
     // new work after shutdown is refused
     assert_eq!(server.classify("soy", None), Err(ServeError::ShuttingDown));
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Distinct recipe texts that spread across the hash ring (extra unknown
+/// tokens change the routing key without changing the toy vocabulary).
+fn spread_recipes(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let (base, _) = RECIPES[i % RECIPES.len()];
+            format!("{base}, mystery-{i}")
+        })
+        .collect()
+}
+
+fn reference_probs(model: &LstmClassifier, recipe: &str) -> Vec<f64> {
+    model
+        .predict_proba_batch(&[&ids(recipe, &vocab())])
+        .remove(0)
+}
+
+#[test]
+fn router_spreads_requests_and_stays_bit_identical() {
+    let dir = temp_dir("serve_it_router_spread");
+    let reference = train_and_export(&dir);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("lstm", &dir).unwrap();
+    let router = Arc::new(
+        ReplicaRouter::start(
+            Arc::clone(&registry),
+            "lstm",
+            RouterConfig {
+                replicas: 3,
+                serve: ServeConfig {
+                    max_batch: 8,
+                    max_delay: Duration::from_millis(2),
+                    ..ServeConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    let recipes = spread_recipes(30);
+    let handles: Vec<_> = recipes
+        .iter()
+        .map(|recipe| {
+            let router = Arc::clone(&router);
+            let recipe = recipe.clone();
+            std::thread::spawn(move || {
+                let prediction = router.classify(&recipe, None).unwrap();
+                (recipe, prediction)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (recipe, prediction) = h.join().unwrap();
+        // replicated answers == direct in-process model answers, bitwise
+        assert_eq!(
+            prediction.probs,
+            reference_probs(&reference, &recipe),
+            "replica answer drifted for {recipe:?}"
+        );
+    }
+    assert_eq!(router.health(), vec![ReplicaHealth::Healthy; 3]);
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn replica_death_mid_stream_ejects_and_fails_over() {
+    let dir = temp_dir("serve_it_router_death");
+    let reference = train_and_export(&dir);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("lstm", &dir).unwrap();
+    let router = ReplicaRouter::start(
+        Arc::clone(&registry),
+        "lstm",
+        RouterConfig {
+            replicas: 2,
+            serve: ServeConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+            // keep the dead replica from being probed back mid-test
+            probe_after: Duration::from_secs(3600),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+
+    // kill replica 0 mid-stream, then keep serving: every request still
+    // gets the right answer, and the dead replica is ejected the first
+    // time a request hashes onto it
+    router.shutdown_replica(0);
+    for recipe in spread_recipes(40) {
+        let prediction = router.classify(&recipe, None).unwrap();
+        assert_eq!(
+            prediction.probs,
+            reference_probs(&reference, &recipe),
+            "failover changed the answer for {recipe:?}"
+        );
+    }
+    assert_eq!(
+        router.health(),
+        vec![ReplicaHealth::Ejected, ReplicaHealth::Healthy],
+        "dead replica must be ejected, live one must not be"
+    );
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rolling_deploy_under_traffic_serves_only_gated_versions() {
+    let dir_a = temp_dir("serve_it_router_deploy_a");
+    let dir_b = temp_dir("serve_it_router_deploy_b");
+    let model_a = train_and_export_seeded(&dir_a, 42);
+    let model_b = train_and_export_seeded(&dir_b, 4242);
+
+    let recipes = spread_recipes(8);
+    // the two checkpoints must be bitwise distinguishable, else the
+    // "only old-or-new answers" assertion below is vacuous
+    assert!(
+        recipes
+            .iter()
+            .any(|r| reference_probs(&model_a, r) != reference_probs(&model_b, r)),
+        "seeds 42 and 4242 produced identical models"
+    );
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("lstm", &dir_a).unwrap();
+    let router = Arc::new(
+        ReplicaRouter::start(
+            Arc::clone(&registry),
+            "lstm",
+            RouterConfig {
+                replicas: 2,
+                serve: ServeConfig {
+                    max_batch: 8,
+                    max_delay: Duration::from_millis(1),
+                    ..ServeConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    // hammer the router from several threads while the deploy runs; every
+    // answer must be exactly version A's or version B's — an unwarmed or
+    // half-promoted model would produce something else
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let clients: Vec<_> = (0..3)
+        .map(|t| {
+            let router = Arc::clone(&router);
+            let stop = Arc::clone(&stop);
+            let recipes = recipes.clone();
+            std::thread::spawn(move || {
+                let mut answers = Vec::new();
+                let mut i = t;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let recipe = &recipes[i % recipes.len()];
+                    answers.push((recipe.clone(), router.classify(recipe, None).unwrap()));
+                    i += 1;
+                }
+                answers
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(20));
+    let report = router.deploy(&dir_b).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+
+    assert_eq!(report.previous_versions.len(), 2);
+    assert_eq!(report.replica_versions.len(), 2);
+    for (old, new) in report
+        .previous_versions
+        .iter()
+        .zip(report.replica_versions.iter())
+    {
+        assert!(new > old, "deploy must bump every replica's version");
+    }
+
+    let mut unwarmed = 0usize;
+    let mut total = 0usize;
+    for c in clients {
+        for (recipe, prediction) in c.join().unwrap() {
+            total += 1;
+            let a = reference_probs(&model_a, &recipe);
+            let b = reference_probs(&model_b, &recipe);
+            if prediction.probs != a && prediction.probs != b {
+                unwarmed += 1;
+            }
+        }
+    }
+    assert!(total > 0, "clients never got a request through");
+    assert_eq!(
+        unwarmed, 0,
+        "{unwarmed}/{total} answers came from a version that never passed the warmup gate"
+    );
+
+    // after the deploy settles, everything serves version B
+    for recipe in &recipes {
+        assert_eq!(
+            router.classify(recipe, None).unwrap().probs,
+            reference_probs(&model_b, recipe),
+            "replica still serving the old version after deploy"
+        );
+    }
+    router.shutdown();
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
+
+#[test]
+fn failed_deploy_rolls_back_and_keeps_serving_the_old_version() {
+    let dir = temp_dir("serve_it_router_rollback");
+    let broken = temp_dir("serve_it_router_rollback_broken");
+    let reference = train_and_export(&dir);
+    // a checkpoint that cannot load: valid manifest, garbage weights
+    std::fs::create_dir_all(&broken).unwrap();
+    ModelManifest::lstm(&lstm_config(), &vocab())
+        .save(&broken)
+        .unwrap();
+    std::fs::write(broken.join("latest.ckpt"), b"not a checkpoint").unwrap();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("lstm", &dir).unwrap();
+    let old_version = registry.get("lstm").unwrap().version();
+    let router = ReplicaRouter::start(
+        Arc::clone(&registry),
+        "lstm",
+        RouterConfig {
+            replicas: 2,
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+
+    match router.deploy(&broken) {
+        Err(ServeError::DeployFailed(what)) => {
+            assert!(
+                what.contains("before promotion"),
+                "bad checkpoint must die at the pre-promotion gate: {what:?}"
+            );
+        }
+        other => panic!("expected DeployFailed, got {other:?}"),
+    }
+
+    // nothing moved: same versions, same bit-identical answers
+    assert_eq!(registry.get("lstm").unwrap().version(), old_version);
+    for recipe in spread_recipes(10) {
+        assert_eq!(
+            router.classify(&recipe, None).unwrap().probs,
+            reference_probs(&reference, &recipe),
+            "failed deploy disturbed serving for {recipe:?}"
+        );
+    }
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&broken).unwrap();
+}
+
+/// A model whose forward pass blocks until the test opens the gate —
+/// lets the tests saturate replica queues deterministically.
+struct GatedModel {
+    gate: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+}
+
+impl ServingModel for GatedModel {
+    fn kind(&self) -> &'static str {
+        "gated"
+    }
+
+    fn num_classes(&self) -> usize {
+        2
+    }
+
+    fn featurize(&self, tokens: &[String]) -> Features {
+        Features::Ids(vec![tokens.len()])
+    }
+
+    fn predict(&self, batch: &[&Features]) -> Vec<Vec<f64>> {
+        let (lock, cvar) = &*self.gate;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cvar.wait(open).unwrap();
+        }
+        batch.iter().map(|_| vec![0.5, 0.5]).collect()
+    }
+}
+
+/// Starts a single-replica router over a fresh [`GatedModel`] registry.
+fn gated_router(
+    config: RouterConfig,
+) -> (
+    Arc<ReplicaRouter>,
+    Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+) {
+    let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let registry = Arc::new(ModelRegistry::new());
+    // warmup would block on the closed gate; the gate IS the test fixture
+    registry.set_warmup(false);
+    registry
+        .publish(
+            "gated",
+            Box::new(GatedModel {
+                gate: Arc::clone(&gate),
+            }),
+        )
+        .unwrap();
+    let router = Arc::new(ReplicaRouter::start(registry, "gated", config).unwrap());
+    (router, gate)
+}
+
+fn open_gate(gate: &(std::sync::Mutex<bool>, std::sync::Condvar)) {
+    let (lock, cvar) = gate;
+    *lock.lock().unwrap() = true;
+    cvar.notify_all();
+}
+
+#[test]
+fn router_sheds_load_at_the_aggregate_watermark() {
+    let (router, gate) = gated_router(RouterConfig {
+        replicas: 1,
+        shed_watermark: 3,
+        serve: ServeConfig {
+            max_batch: 1,
+            max_delay: Duration::from_millis(1),
+            queue_capacity: 8,
+            cache_capacity: 0,
+        },
+        ..RouterConfig::default()
+    });
+
+    // one request enters the (blocked) forward pass, the rest pile up in
+    // the queue; fillers retry when they get shed themselves, so the
+    // depth settles exactly at the watermark
+    let fillers: Vec<_> = (0..4)
+        .map(|i| {
+            let router = Arc::clone(&router);
+            std::thread::spawn(move || loop {
+                match router.classify(&format!("filler, dish-{i}"), None) {
+                    Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+                    other => return other,
+                }
+            })
+        })
+        .collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while router.queue_depths().iter().sum::<usize>() < 3 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fillers never reached the watermark: depths {:?}",
+            router.queue_depths()
+        );
+        std::thread::yield_now();
+    }
+
+    match router.classify("one, too, many", None) {
+        Err(ServeError::Overloaded { depth, capacity }) => {
+            assert_eq!(capacity, 3, "shed must report the watermark");
+            assert!(depth >= 3, "shed must report the aggregate depth");
+        }
+        other => panic!("expected the watermark to shed, got {other:?}"),
+    }
+
+    // open the gate: every filler is (eventually) served
+    open_gate(&gate);
+    for f in fillers {
+        assert!(f.join().unwrap().is_ok(), "queued fillers must be served");
+    }
+    router.shutdown();
+}
+
+#[test]
+fn saturated_replica_is_ejected_then_probed_back() {
+    // watermark far above the per-replica queue capacity: the replica
+    // itself answers Overloaded, which is the ejection signal
+    let (router, gate) = gated_router(RouterConfig {
+        replicas: 1,
+        shed_watermark: 100,
+        eject_after: 1,
+        probe_after: Duration::from_millis(20),
+        serve: ServeConfig {
+            max_batch: 1,
+            max_delay: Duration::from_millis(1),
+            queue_capacity: 2,
+            cache_capacity: 0,
+        },
+        ..RouterConfig::default()
+    });
+
+    let fillers: Vec<_> = (0..3)
+        .map(|i| {
+            let router = Arc::clone(&router);
+            std::thread::spawn(move || loop {
+                match router.classify(&format!("filler, dish-{i}"), None) {
+                    Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+                    other => return other,
+                }
+            })
+        })
+        .collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while router.queue_depths().iter().sum::<usize>() < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fillers never filled the replica queue: depths {:?}",
+            router.queue_depths()
+        );
+        std::thread::yield_now();
+    }
+
+    // the full replica queue bounces this request; one strike ejects
+    match router.classify("one, too, many", None) {
+        Err(ServeError::Overloaded { .. }) => {}
+        other => panic!("expected the saturated replica to reject, got {other:?}"),
+    }
+    assert_eq!(
+        router.health(),
+        vec![ReplicaHealth::Ejected],
+        "one strike with eject_after=1 must eject"
+    );
+
+    open_gate(&gate);
+    for f in fillers {
+        assert!(f.join().unwrap().is_ok(), "queued fillers must be served");
+    }
+
+    // once the replica serves again (via probe or forced dispatch), it
+    // must be reinstated
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if router.classify("probe, me", None).is_ok()
+            && router.health() == vec![ReplicaHealth::Healthy]
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica was never reinstated: {:?}",
+            router.health()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    router.shutdown();
 }

@@ -6,7 +6,33 @@
 //! Trace state is process-global, so this file keeps everything in a
 //! single test function.
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use cuisine::{ModelKind, Pipeline, PipelineConfig, Scale};
+use serve::{BatchServer, Features, ModelRegistry, ServeConfig, ServingModel};
+
+/// Minimal in-process model: enough for the batch server to queue, batch,
+/// and answer, so the serve.* metrics accumulate in the same trace.
+struct EchoModel;
+
+impl ServingModel for EchoModel {
+    fn kind(&self) -> &'static str {
+        "echo"
+    }
+
+    fn num_classes(&self) -> usize {
+        2
+    }
+
+    fn featurize(&self, tokens: &[String]) -> Features {
+        Features::Ids(vec![tokens.len()])
+    }
+
+    fn predict(&self, batch: &[&Features]) -> Vec<Vec<f64>> {
+        batch.iter().map(|_| vec![0.75, 0.25]).collect()
+    }
+}
 
 #[test]
 fn traced_lstm_run_covers_featurize_train_eval() {
@@ -111,4 +137,52 @@ fn traced_lstm_run_covers_featurize_train_eval() {
         let _s = trace::span("after-disable");
     }
     assert_eq!(trace::snapshot().spans.len(), before);
+
+    // --- serve queue gauge drains to zero ---------------------------------
+    // run a batch server inside a fresh trace window and check the depth
+    // gauge lands back at 0 in the snapshot: every enqueue must be
+    // matched by a drain, including the final batch and worker exit
+    trace::reset();
+    trace::enable();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.set_warmup(false); // EchoModel needs no gating here
+    registry.publish("echo", Box::new(EchoModel)).unwrap();
+    let server = BatchServer::start(
+        Arc::clone(&registry),
+        "echo",
+        ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(2),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let server = Arc::new(server);
+    let drivers: Vec<_> = (0..3)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                for i in 0..40 {
+                    server
+                        .classify(&format!("salt, pepper, spice-{t}-{i}"), None)
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for d in drivers {
+        d.join().unwrap();
+    }
+    server.shutdown();
+    trace::disable();
+    let serve_snap = trace::snapshot();
+    assert!(
+        serve_snap.counter("serve.requests").unwrap_or(0) >= 120,
+        "all driven requests must be counted"
+    );
+    assert_eq!(
+        serve_snap.gauge("serve.queue.depth"),
+        Some(0),
+        "queue depth gauge must return to 0 after drain + shutdown"
+    );
 }
