@@ -95,7 +95,10 @@ fn invalid(message: impl Into<String>) -> io::Error {
 // ---------------------------------------------------------------------------
 // CRC32 (IEEE 802.3, the zlib polynomial) — table-driven, no dependencies.
 
-fn crc32(data: &[u8]) -> u32 {
+/// IEEE CRC32 of `data` — the checksum guarding checkpoint-v2 payloads,
+/// shared with the serving wire protocol (`serve::transport`) so both
+/// layers detect corruption the same way.
+pub fn crc32(data: &[u8]) -> u32 {
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];

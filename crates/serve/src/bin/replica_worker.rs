@@ -1,0 +1,355 @@
+//! One supervised replica worker: loads a checkpoint into its own
+//! [`ModelRegistry`] (running the full warmup gate *before* binding the
+//! socket — a broken checkpoint means a nonzero exit, not a published
+//! model), hosts one [`BatchServer`], and serves the
+//! [`serve::transport`] wire protocol on a unix socket.
+//!
+//! ```text
+//! replica_worker --socket PATH --model-dir DIR --model-name NAME
+//!                [--max-batch N] [--max-delay-us N]
+//!                [--queue-capacity N] [--cache-capacity N]
+//! ```
+//!
+//! Process isolation is the point: a crash here (bad deserialization,
+//! allocator corruption, runaway panic) kills this process only. The
+//! supervisor respawns it; the router routes around it meanwhile.
+//!
+//! # Fault injection
+//!
+//! For supervisor/router tests (the `nn::faults` idiom, but across a
+//! process boundary so it rides environment variables):
+//!
+//! * `REPLICA_WORKER_FAULT` — one of `exit-on-start`, `hang-accept`,
+//!   `corrupt-crc:N`, `truncate-frame:N`, `exit-after:N` (`N` counts
+//!   classify answers before the fault fires).
+//! * `REPLICA_WORKER_FAULT_MARKER` — path to a marker file. When set,
+//!   the fault fires once and writes the marker; a worker that starts
+//!   with the marker already present ignores the fault. This is how a
+//!   test makes "crash once, then respawn healthy" reproducible.
+//!
+//! Exit codes: 0 clean shutdown, 2 checkpoint rejected, 3 injected
+//! start crash, 4 injected mid-serve crash.
+
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serve::transport::{
+    decode_request, encode_response, read_frame, write_frame, Request, Response,
+};
+use serve::{BatchServer, ModelRegistry, ServeConfig, ServeError};
+
+struct Args {
+    socket: PathBuf,
+    model_dir: PathBuf,
+    model_name: String,
+    serve: ServeConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut socket = None;
+    let mut model_dir = None;
+    let mut model_name = None;
+    let mut serve = ServeConfig::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value()?)),
+            "--model-dir" => model_dir = Some(PathBuf::from(value()?)),
+            "--model-name" => model_name = Some(value()?),
+            "--max-batch" => {
+                serve.max_batch = value()?.parse().map_err(|e| format!("--max-batch: {e}"))?;
+            }
+            "--max-delay-us" => {
+                serve.max_delay = Duration::from_micros(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--max-delay-us: {e}"))?,
+                );
+            }
+            "--queue-capacity" => {
+                serve.queue_capacity = value()?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?;
+            }
+            "--cache-capacity" => {
+                serve.cache_capacity = value()?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        socket: socket.ok_or("--socket is required")?,
+        model_dir: model_dir.ok_or("--model-dir is required")?,
+        model_name: model_name.ok_or("--model-name is required")?,
+        serve,
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    ExitOnStart,
+    HangAccept,
+    CorruptCrc(u64),
+    TruncateFrame(u64),
+    ExitAfter(u64),
+}
+
+/// A one-shot injected fault (see the module docs). `fired` makes the
+/// frame-level faults single-shot within one process; the marker file
+/// makes every fault single-shot across respawns.
+struct FaultPlan {
+    kind: FaultKind,
+    marker: Option<PathBuf>,
+    fired: AtomicBool,
+}
+
+impl FaultPlan {
+    fn from_env() -> Option<Arc<FaultPlan>> {
+        let spec = std::env::var("REPLICA_WORKER_FAULT").ok()?;
+        let marker = std::env::var("REPLICA_WORKER_FAULT_MARKER")
+            .ok()
+            .map(PathBuf::from);
+        if let Some(path) = &marker {
+            if path.exists() {
+                return None; // already fired in an earlier incarnation
+            }
+        }
+        let parse_n = |spec: &str, prefix: &str| {
+            spec.strip_prefix(prefix)
+                .and_then(|n| n.parse::<u64>().ok())
+        };
+        let kind = match spec.as_str() {
+            "exit-on-start" => FaultKind::ExitOnStart,
+            "hang-accept" => FaultKind::HangAccept,
+            other => {
+                if let Some(n) = parse_n(other, "corrupt-crc:") {
+                    FaultKind::CorruptCrc(n)
+                } else if let Some(n) = parse_n(other, "truncate-frame:") {
+                    FaultKind::TruncateFrame(n)
+                } else if let Some(n) = parse_n(other, "exit-after:") {
+                    FaultKind::ExitAfter(n)
+                } else {
+                    eprintln!("replica_worker: unknown REPLICA_WORKER_FAULT {other:?}");
+                    exit(2);
+                }
+            }
+        };
+        Some(Arc::new(FaultPlan {
+            kind,
+            marker,
+            fired: AtomicBool::new(false),
+        }))
+    }
+
+    /// Claims the fault if `self` matches `kind` and no thread claimed
+    /// it yet, writing the marker so respawns start healthy.
+    fn claim(&self, kind: FaultKind) -> bool {
+        if self.kind != kind || self.fired.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        if let Some(path) = &self.marker {
+            let _ = std::fs::write(path, b"fired\n");
+        }
+        true
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(what) => {
+            eprintln!("replica_worker: {what}");
+            exit(2);
+        }
+    };
+    let fault = FaultPlan::from_env();
+
+    if let Some(f) = &fault {
+        if f.kind == FaultKind::ExitOnStart && f.claim(FaultKind::ExitOnStart) {
+            exit(3);
+        }
+    }
+
+    // load + warmup gate BEFORE binding: a worker whose checkpoint fails
+    // the gate never looks alive to the supervisor's pings
+    let registry = Arc::new(ModelRegistry::new());
+    if let Err(e) = registry.load(&args.model_name, &args.model_dir) {
+        eprintln!(
+            "replica_worker: checkpoint {} rejected: {e}",
+            args.model_dir.display()
+        );
+        exit(2);
+    }
+    let server = match BatchServer::start(Arc::clone(&registry), &args.model_name, args.serve) {
+        Ok(server) => Arc::new(server),
+        Err(e) => {
+            eprintln!("replica_worker: start batch server: {e}");
+            exit(2);
+        }
+    };
+
+    let _ = std::fs::remove_file(&args.socket);
+    let listener = match UnixListener::bind(&args.socket) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("replica_worker: bind {}: {e}", args.socket.display());
+            exit(2);
+        }
+    };
+
+    if let Some(f) = &fault {
+        if f.kind == FaultKind::HangAccept && f.claim(FaultKind::HangAccept) {
+            // alive (the process runs, the socket backlog accepts
+            // connects) but never answers: the hung-worker case
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+    }
+
+    let served = Arc::new(AtomicU64::new(0));
+    for conn in listener.incoming() {
+        let Ok(conn) = conn else { continue };
+        let server = Arc::clone(&server);
+        let registry = Arc::clone(&registry);
+        let served = Arc::clone(&served);
+        let fault = fault.clone();
+        let model_name = args.model_name.clone();
+        std::thread::spawn(move || {
+            serve_connection(
+                conn,
+                &server,
+                &registry,
+                &model_name,
+                &served,
+                fault.as_deref(),
+            );
+        });
+    }
+}
+
+fn serve_connection(
+    mut conn: UnixStream,
+    server: &BatchServer,
+    registry: &ModelRegistry,
+    model_name: &str,
+    served: &AtomicU64,
+    fault: Option<&FaultPlan>,
+) {
+    loop {
+        // a read error just ends this connection; the client retries on
+        // a fresh one
+        let Ok(payload) = read_frame(&mut conn) else {
+            return;
+        };
+        let Ok(request) = decode_request(&payload) else {
+            return;
+        };
+        let response = match request {
+            Request::Classify {
+                id,
+                deadline_us,
+                key,
+            } => {
+                let tokens: Vec<String> = key
+                    .split('\x1f')
+                    .filter(|t| !t.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if tokens.is_empty() {
+                    Response::Error {
+                        id,
+                        error: ServeError::EmptyRecipe,
+                    }
+                } else {
+                    let deadline = (deadline_us > 0).then(|| Duration::from_micros(deadline_us));
+                    match server.classify_prepared(tokens, key, deadline) {
+                        Ok(prediction) => {
+                            let n = served.fetch_add(1, Ordering::Relaxed) + 1;
+                            if let Some(f) = fault {
+                                if let FaultKind::ExitAfter(after) = f.kind {
+                                    if n >= after && f.claim(f.kind) {
+                                        exit(4);
+                                    }
+                                }
+                            }
+                            Response::Prediction { id, prediction }
+                        }
+                        Err(error) => Response::Error { id, error },
+                    }
+                }
+            }
+            Request::Ping { id } => Response::Pong {
+                id,
+                depth: server.queue_depth() as u64,
+                served: served.load(Ordering::Relaxed),
+            },
+            Request::Reload { id, dir } => match registry.load(model_name, Path::new(&dir)) {
+                Ok(loaded) => Response::ReloadOk {
+                    id,
+                    version: loaded.version(),
+                },
+                Err(e) => Response::Error {
+                    id,
+                    error: ServeError::DeployFailed(format!("reload {dir}: {e}")),
+                },
+            },
+            Request::Shutdown { .. } => {
+                server.shutdown(); // drain: every queued request answers
+                exit(0);
+            }
+        };
+        if write_response(&mut conn, &response, served, fault).is_err() {
+            return;
+        }
+    }
+}
+
+/// Writes one response frame, detouring through the frame-corruption
+/// faults when one is armed and due.
+fn write_response(
+    conn: &mut UnixStream,
+    response: &Response,
+    served: &AtomicU64,
+    fault: Option<&FaultPlan>,
+) -> std::io::Result<()> {
+    let payload = encode_response(response);
+    if let (Some(f), Response::Prediction { .. }) = (fault, response) {
+        let n = served.load(Ordering::Relaxed);
+        match f.kind {
+            FaultKind::CorruptCrc(after) if n > after && f.claim(f.kind) => {
+                let mut frame = Vec::with_capacity(8 + payload.len());
+                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                frame.extend_from_slice(&(nn::crc32(&payload) ^ 0xdead_beef).to_le_bytes());
+                frame.extend_from_slice(&payload);
+                conn.write_all(&frame)?;
+                conn.flush()?;
+                return Ok(());
+            }
+            FaultKind::TruncateFrame(after) if n > after && f.claim(f.kind) => {
+                let mut frame = Vec::with_capacity(8 + payload.len());
+                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                frame.extend_from_slice(&nn::crc32(&payload).to_le_bytes());
+                frame.extend_from_slice(&payload[..payload.len() / 2]);
+                conn.write_all(&frame)?;
+                conn.flush()?;
+                // close the connection mid-frame: the client sees a
+                // short read
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "injected truncation",
+                ));
+            }
+            _ => {}
+        }
+    }
+    write_frame(conn, &payload)
+}

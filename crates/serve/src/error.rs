@@ -38,6 +38,16 @@ pub enum ServeError {
     /// back to the previous version; no request was ever answered by the
     /// rejected checkpoint.
     DeployFailed(String),
+    /// The connection to a socket-backed replica failed: connect refused,
+    /// read/write timeout, short read, or a corrupt frame. The router
+    /// treats this exactly like a dead in-process worker (ejection +
+    /// probe-back); the supervisor treats it as a respawn signal.
+    Transport(String),
+    /// A broken internal invariant that was downgraded from a panic —
+    /// e.g. a poisoned lock observed on a write path, or an operation
+    /// that is meaningless in the current serving mode. The fleet keeps
+    /// serving; only this call fails.
+    Internal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -53,6 +63,8 @@ impl fmt::Display for ServeError {
             Self::Canceled => write!(f, "request canceled: worker went away"),
             Self::InvalidConfig(what) => write!(f, "invalid config: {what}"),
             Self::DeployFailed(what) => write!(f, "rolling deploy failed: {what}"),
+            Self::Transport(what) => write!(f, "replica transport failed: {what}"),
+            Self::Internal(what) => write!(f, "internal serving error: {what}"),
         }
     }
 }
@@ -86,5 +98,11 @@ mod tests {
                 .to_string()
                 .contains("deploy")
         );
+        assert!(ServeError::Transport("read timed out".into())
+            .to_string()
+            .contains("transport"));
+        assert!(ServeError::Internal("poisoned lock".into())
+            .to_string()
+            .contains("internal"));
     }
 }

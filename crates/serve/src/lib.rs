@@ -19,6 +19,12 @@
 //!   consistent-hash ring with health-based ejection, aggregate load
 //!   shedding, and zero-downtime rolling deploys; see
 //!   `docs/SERVING_TIER.md`.
+//! * [`transport`] + [`Supervisor`] push the replica boundary from
+//!   threads to processes: each replica is a `replica_worker` process
+//!   speaking a CRC-checked binary protocol over a unix socket, spawned
+//!   and crash-respawned (backoff + circuit breaker) by the supervisor,
+//!   while the router drives it through the same [`ReplicaHandle`]
+//!   machinery as an in-process fleet.
 //!
 //! Everything is instrumented through `trace`; see `docs/TRACING.md` for
 //! the metric names and `docs/CHECKPOINT_FORMAT.md` for the on-disk
@@ -48,6 +54,8 @@ mod model;
 mod registry;
 mod router;
 mod service;
+mod supervisor;
+pub mod transport;
 
 pub use cache::LruCache;
 pub use error::ServeError;
@@ -56,5 +64,7 @@ pub use model::{
     BertServing, Features, LinearServing, LstmServing, QuantLstmServing, ServingModel,
 };
 pub use registry::{LoadedModel, ModelRegistry};
-pub use router::{DeployReport, ReplicaHealth, ReplicaRouter, RouterConfig};
+pub use router::{DeployReport, ReplicaHandle, ReplicaHealth, ReplicaRouter, RouterConfig};
 pub use service::{BatchServer, Prediction, ServeConfig};
+pub use supervisor::{Supervisor, SupervisorConfig, WorkerPhase, MAX_WORKERS};
+pub use transport::{PongStats, RemoteReplica};

@@ -1,5 +1,7 @@
 //! The replicated serving tier: a consistent-hash router over N
-//! [`BatchServer`] replicas sharing one [`ModelRegistry`].
+//! replicas — in-process [`BatchServer`]s sharing one [`ModelRegistry`],
+//! or socket-backed worker processes behind
+//! [`RemoteReplica`](crate::transport::RemoteReplica) handles.
 //!
 //! One `BatchServer` is one worker thread; the router is the layer that
 //! turns it into a fleet. [`ReplicaRouter::start`] fans a registered
@@ -10,6 +12,13 @@
 //! the same replica — which keeps that replica's feature cache hot and
 //! makes routing stable as replicas come and go.
 //!
+//! The routing machinery itself only sees the [`ReplicaHandle`] trait,
+//! so the same ring, health, shedding, and failover logic drives
+//! process-isolated fleets too: [`ReplicaRouter::from_handles`] accepts
+//! any set of handles (the supervisor builds one per worker socket), and
+//! a connection failure ([`ServeError::Transport`]) ejects a replica
+//! exactly like an in-process worker death.
+//!
 //! # Health and failover
 //!
 //! Replica health is tracked from serving outcomes, the same signals the
@@ -18,15 +27,19 @@
 //! * a replica that keeps answering [`ServeError::Overloaded`] (its
 //!   bounded queue is saturated) accumulates strikes and is **ejected**
 //!   after [`RouterConfig::eject_after`] consecutive ones;
-//! * a replica answering [`ServeError::ShuttingDown`] or
-//!   [`ServeError::Canceled`] (its worker died or was shut down) is
+//! * a replica answering [`ServeError::ShuttingDown`],
+//!   [`ServeError::Canceled`] (its worker died or was shut down), or
+//!   [`ServeError::Transport`] (its process or socket is gone) is
 //!   ejected immediately.
 //!
 //! Ejected replicas stop receiving traffic; requests that hash onto them
 //! walk the ring to the next healthy replica (answers are unaffected —
 //! every replica serves the same model, bit-identically). After
-//! [`RouterConfig::probe_after`], one request per probe window is let
-//! through as a **probe**; a successful probe reinstates the replica.
+//! [`RouterConfig::probe_after`] — stretched per probe by up to
+//! [`RouterConfig::probe_jitter`] of itself, drawn from a seeded
+//! per-replica generator so independent routers don't probe a recovering
+//! worker in lockstep — one request per probe window is let through as a
+//! **probe**; a successful probe reinstates the replica.
 //!
 //! # Admission control
 //!
@@ -77,10 +90,71 @@ static ROUTER_ROLLBACKS: Counter = Counter::new("serve.router.rollbacks");
 static ROUTER_DEPTH: Gauge = Gauge::new("serve.router.depth");
 static ROUTER_INFLIGHT: Gauge = Gauge::new("serve.router.inflight");
 
+/// One replica as the routing machinery sees it: something that answers
+/// prepared classify calls, reports its queue depth, and can be shut
+/// down. [`BatchServer`] implements it for in-process fleets;
+/// [`RemoteReplica`](crate::transport::RemoteReplica) implements it over
+/// a unix socket for process-isolated fleets. The ring placement,
+/// strike-based ejection, probe-back, and aggregate shedding in
+/// [`ReplicaRouter`] are identical either way.
+pub trait ReplicaHandle: Send + Sync {
+    /// Stable display name (registry name or socket label).
+    fn label(&self) -> &str;
+
+    /// Classifies one already-canonicalized recipe; `tokens` are the
+    /// entity tokens and `key` is `tokens.join("\x1f")` (the cache key —
+    /// remote handles ship only the key and the worker re-splits it).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]; [`ServeError::Transport`] means the replica
+    /// itself is unreachable and triggers immediate ejection.
+    fn classify_prepared(
+        &self,
+        tokens: Vec<String>,
+        key: String,
+        deadline: Option<Duration>,
+    ) -> Result<Prediction, ServeError>;
+
+    /// Queued-request depth (for remote handles: in-flight calls from
+    /// this process, the client-side proxy for load already sent there).
+    fn queue_depth(&self) -> usize;
+
+    /// Stops serving. In-process servers drain and join their worker;
+    /// remote handles just drop pooled connections (the supervisor owns
+    /// the worker process's lifecycle).
+    fn shutdown(&self);
+}
+
+impl ReplicaHandle for BatchServer {
+    fn label(&self) -> &str {
+        self.model_name()
+    }
+
+    fn classify_prepared(
+        &self,
+        tokens: Vec<String>,
+        key: String,
+        deadline: Option<Duration>,
+    ) -> Result<Prediction, ServeError> {
+        BatchServer::classify_prepared(self, tokens, key, deadline)
+    }
+
+    fn queue_depth(&self) -> usize {
+        BatchServer::queue_depth(self)
+    }
+
+    fn shutdown(&self) {
+        BatchServer::shutdown(self);
+    }
+}
+
 /// Tuning knobs for the replicated tier.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RouterConfig {
-    /// Number of replica batch servers to spawn.
+    /// Number of replica batch servers to spawn. Ignored by
+    /// [`ReplicaRouter::from_handles`], where the fleet size is the
+    /// number of handles passed in.
     pub replicas: usize,
     /// Virtual nodes per replica on the hash ring. More vnodes smooth
     /// the key distribution; 64 keeps the worst replica within a few
@@ -100,6 +174,16 @@ pub struct RouterConfig {
     /// How long an ejected replica sits out before the router lets one
     /// request through as a probe. Each failed probe restarts the wait.
     pub probe_after: Duration,
+    /// Decorrelation for the probe window: each wait is stretched to
+    /// `probe_after × (1 + probe_jitter × u)` with `u` drawn uniformly
+    /// from `[0, 1)` per probe. `0.0` disables jitter (fixed window);
+    /// must be within `[0, 1]`.
+    pub probe_jitter: f64,
+    /// Seed for the per-replica jitter generators. Runs with the same
+    /// seed draw the same jitter sequence, so tests are deterministic;
+    /// independent routers should use distinct seeds so their probes
+    /// don't land in lockstep.
+    pub jitter_seed: u64,
 }
 
 impl Default for RouterConfig {
@@ -111,6 +195,8 @@ impl Default for RouterConfig {
             shed_watermark: 768,
             eject_after: 3,
             probe_after: Duration::from_millis(250),
+            probe_jitter: 0.5,
+            jitter_seed: 0x9d5e_a5e5_c0ff_ee07,
         }
     }
 }
@@ -140,8 +226,33 @@ impl RouterConfig {
                 "eject_after must be at least 1".into(),
             ));
         }
+        if !(0.0..=1.0).contains(&self.probe_jitter) {
+            return Err(ServeError::InvalidConfig(
+                "probe_jitter must be within [0, 1]".into(),
+            ));
+        }
         self.serve.validate()
     }
+}
+
+/// splitmix64: tiny, seedable, and good enough to decorrelate probe
+/// windows and respawn backoff (this is jitter, not cryptography).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One decorrelated probe wait: `base × (1 + jitter × u)`, `u ∈ [0, 1)`
+/// drawn from `rng`. With `jitter == 0` the window is exactly `base`.
+fn jittered_wait(base: Duration, jitter: f64, rng: &mut u64) -> Duration {
+    if jitter <= 0.0 {
+        return base;
+    }
+    let u = (splitmix64(rng) >> 11) as f64 / (1u64 << 53) as f64;
+    base.mul_f64(1.0 + jitter * u)
 }
 
 /// A replica's position in the health state machine, as reported by
@@ -166,7 +277,6 @@ pub struct DeployReport {
     pub replica_versions: Vec<u64>,
 }
 
-#[derive(Default)]
 struct HealthState {
     /// Consecutive saturated answers (reset on any success).
     strikes: u32,
@@ -174,11 +284,28 @@ struct HealthState {
     ejected_at: Option<Instant>,
     /// Last time a probe was let through (gates probe frequency).
     last_probe: Option<Instant>,
+    /// The jittered wait currently in force (recomputed on ejection and
+    /// on each claimed probe); `None` while healthy.
+    probe_wait: Option<Duration>,
+    /// Per-replica splitmix64 state for decorrelated probe jitter.
+    rng: u64,
+}
+
+impl HealthState {
+    fn seeded(seed: u64, index: usize) -> Self {
+        Self {
+            strikes: 0,
+            ejected_at: None,
+            last_probe: None,
+            probe_wait: None,
+            rng: seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
 }
 
 struct Replica {
     name: String,
-    server: BatchServer,
+    handle: Arc<dyn ReplicaHandle>,
     state: Mutex<HealthState>,
 }
 
@@ -190,15 +317,22 @@ impl Replica {
     }
 
     /// Whether this replica may receive the request: healthy, or ejected
-    /// but due a probe (in which case the probe window is claimed).
+    /// but due a probe (in which case the probe window is claimed and
+    /// the next window re-jittered).
     fn admit(&self, now: Instant, config: &RouterConfig) -> bool {
         let mut s = self.lock();
         match s.ejected_at {
             None => true,
             Some(at) => {
                 let waited_since = s.last_probe.unwrap_or(at);
-                if now.saturating_duration_since(waited_since) >= config.probe_after {
+                let wait = s.probe_wait.unwrap_or(config.probe_after);
+                if now.saturating_duration_since(waited_since) >= wait {
                     s.last_probe = Some(now);
+                    s.probe_wait = Some(jittered_wait(
+                        config.probe_after,
+                        config.probe_jitter,
+                        &mut s.rng,
+                    ));
                     ROUTER_PROBES.incr();
                     true
                 } else {
@@ -213,8 +347,19 @@ impl Replica {
         s.strikes = 0;
         if s.ejected_at.take().is_some() {
             s.last_probe = None;
+            s.probe_wait = None;
             ROUTER_REINSTATED.incr();
         }
+    }
+
+    fn eject(s: &mut HealthState, now: Instant, config: &RouterConfig) {
+        s.ejected_at = Some(now);
+        s.probe_wait = Some(jittered_wait(
+            config.probe_after,
+            config.probe_jitter,
+            &mut s.rng,
+        ));
+        ROUTER_EJECTIONS.incr();
     }
 
     fn record_saturated(&self, now: Instant, config: &RouterConfig) {
@@ -222,18 +367,16 @@ impl Replica {
         if s.ejected_at.is_none() {
             s.strikes += 1;
             if s.strikes >= config.eject_after {
-                s.ejected_at = Some(now);
-                ROUTER_EJECTIONS.incr();
+                Self::eject(&mut s, now, config);
             }
         }
     }
 
-    fn record_dead(&self, now: Instant) {
+    fn record_dead(&self, now: Instant, config: &RouterConfig) {
         let mut s = self.lock();
         s.strikes = s.strikes.saturating_add(1);
         if s.ejected_at.is_none() {
-            s.ejected_at = Some(now);
-            ROUTER_EJECTIONS.incr();
+            Self::eject(&mut s, now, config);
         }
     }
 }
@@ -268,6 +411,21 @@ fn ring_hash(bytes: &[u8]) -> u64 {
     mix(fnv1a(bytes))
 }
 
+/// The sorted `(vnode hash, replica index)` ring for a fleet.
+fn build_ring(replicas: usize, vnodes: usize) -> Vec<(u64, usize)> {
+    let mut ring = Vec::with_capacity(replicas * vnodes);
+    for i in 0..replicas {
+        for v in 0..vnodes {
+            let mut label = [0u8; 16];
+            label[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            label[8..].copy_from_slice(&(v as u64).to_le_bytes());
+            ring.push((ring_hash(&label), i));
+        }
+    }
+    ring.sort_unstable();
+    ring
+}
+
 /// Matches [`ROUTER_INFLIGHT`] `add` with a `sub` on every exit path.
 struct InflightGuard;
 
@@ -284,12 +442,14 @@ impl Drop for InflightGuard {
     }
 }
 
-/// A consistent-hash router spreading requests over replicated
-/// [`BatchServer`] workers, with health-based ejection, aggregate load
-/// shedding, and zero-downtime rolling deploys. See the module docs for
-/// the full picture.
+/// A consistent-hash router spreading requests over replicated workers
+/// — in-process [`BatchServer`]s or any [`ReplicaHandle`] set — with
+/// health-based ejection, aggregate load shedding, and zero-downtime
+/// rolling deploys. See the module docs for the full picture.
 pub struct ReplicaRouter {
-    registry: Arc<ModelRegistry>,
+    /// Present for in-process fleets ([`ReplicaRouter::start`]); `None`
+    /// for handle-backed fleets, whose deploys the supervisor owns.
+    registry: Option<Arc<ModelRegistry>>,
     model_name: String,
     config: RouterConfig,
     replicas: Vec<Replica>,
@@ -333,22 +493,55 @@ impl ReplicaRouter {
             let server = BatchServer::start(Arc::clone(&registry), &name, config.serve.clone())?;
             replicas.push(Replica {
                 name,
-                server,
-                state: Mutex::new(HealthState::default()),
+                handle: Arc::new(server),
+                state: Mutex::new(HealthState::seeded(config.jitter_seed, i)),
             });
         }
-        let mut ring = Vec::with_capacity(config.replicas * config.vnodes);
-        for i in 0..config.replicas {
-            for v in 0..config.vnodes {
-                let mut label = [0u8; 16];
-                label[..8].copy_from_slice(&(i as u64).to_le_bytes());
-                label[8..].copy_from_slice(&(v as u64).to_le_bytes());
-                ring.push((ring_hash(&label), i));
-            }
-        }
-        ring.sort_unstable();
+        let ring = build_ring(config.replicas, config.vnodes);
         Ok(Self {
-            registry,
+            registry: Some(registry),
+            model_name: model_name.to_string(),
+            config,
+            replicas,
+            ring,
+            deploy_lock: Mutex::new(()),
+        })
+    }
+
+    /// Builds a router over an existing set of replica handles — the
+    /// process-isolated path, where each handle is a
+    /// [`RemoteReplica`](crate::transport::RemoteReplica) speaking to a
+    /// supervised worker. The fleet size is `handles.len()`
+    /// (`config.replicas` is overwritten); there is no registry, so
+    /// [`deploy`](Self::deploy) answers [`ServeError::Internal`] — roll
+    /// checkpoints through the supervisor instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for an empty handle set or
+    /// out-of-range config.
+    pub fn from_handles(
+        model_name: &str,
+        handles: Vec<Arc<dyn ReplicaHandle>>,
+        config: RouterConfig,
+    ) -> Result<Self, ServeError> {
+        let config = RouterConfig {
+            replicas: handles.len(),
+            ..config
+        };
+        config.validate()?;
+        let replicas = handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, handle)| Replica {
+                name: handle.label().to_string(),
+                handle,
+                state: Mutex::new(HealthState::seeded(config.jitter_seed, i)),
+            })
+            .collect::<Vec<_>>();
+        let ring = build_ring(replicas.len(), config.vnodes);
+        Ok(Self {
+            registry: None,
             model_name: model_name.to_string(),
             config,
             replicas,
@@ -391,7 +584,8 @@ impl ReplicaRouter {
     /// the aggregate depth) or when every admitted replica was
     /// saturated; [`ServeError::DeadlineExceeded`] from the serving
     /// replica; [`ServeError::ShuttingDown`] / [`ServeError::Canceled`]
-    /// only when every replica in the failover order is gone.
+    /// / [`ServeError::Transport`] only when every replica in the
+    /// failover order is gone.
     pub fn classify(
         &self,
         recipe: &str,
@@ -407,7 +601,7 @@ impl ReplicaRouter {
 
         // admission control: shed at the watermark instead of letting
         // every replica queue fill to its hard cap
-        let depth: usize = self.replicas.iter().map(|r| r.server.queue_depth()).sum();
+        let depth: usize = self.replicas.iter().map(|r| r.handle.queue_depth()).sum();
         ROUTER_DEPTH.set(depth as u64);
         if depth >= self.config.shed_watermark {
             ROUTER_SHED.incr();
@@ -430,7 +624,7 @@ impl ReplicaRouter {
             }
             dispatched += 1;
             match replica
-                .server
+                .handle
                 .classify_prepared(tokens.clone(), key.clone(), deadline)
             {
                 Ok(prediction) => {
@@ -441,8 +635,11 @@ impl ReplicaRouter {
                     replica.record_saturated(Instant::now(), &self.config);
                     last_err = Some(e);
                 }
-                Err(e @ (ServeError::ShuttingDown | ServeError::Canceled)) => {
-                    replica.record_dead(Instant::now());
+                Err(
+                    e
+                    @ (ServeError::ShuttingDown | ServeError::Canceled | ServeError::Transport(_)),
+                ) => {
+                    replica.record_dead(Instant::now(), &self.config);
                     last_err = Some(e);
                 }
                 // deadline expiry (and anything else) says nothing about
@@ -457,7 +654,7 @@ impl ReplicaRouter {
             // the owner rather than fail a serviceable request
             None => {
                 let replica = &self.replicas[order[0]];
-                match replica.server.classify_prepared(tokens, key, deadline) {
+                match replica.handle.classify_prepared(tokens, key, deadline) {
                     Ok(prediction) => {
                         replica.record_success();
                         Ok(prediction)
@@ -476,39 +673,49 @@ impl ReplicaRouter {
     /// # Errors
     ///
     /// [`ServeError::DeployFailed`] carrying the underlying load/warmup
-    /// error. On failure every replica serves exactly what it served
-    /// before the call.
+    /// error — on failure every replica serves exactly what it served
+    /// before the call. [`ServeError::Internal`] when this router has no
+    /// registry (handle-backed fleet — deploy through the supervisor) or
+    /// a replica's registry entry vanished out from under it; nothing is
+    /// promoted in either case.
     pub fn deploy(&self, dir: &Path) -> Result<DeployReport, ServeError> {
+        let registry = self.registry.as_ref().ok_or_else(|| {
+            ServeError::Internal(
+                "deploy needs an in-process registry; socket-backed fleets deploy through \
+                 the supervisor"
+                    .into(),
+            )
+        })?;
         let _one_at_a_time = self
             .deploy_lock
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let _span = trace::span("serve.router.deploy");
         ROUTER_DEPLOYS.incr();
-        let previous: Vec<Arc<LoadedModel>> = self
-            .replicas
-            .iter()
-            .map(|r| {
-                self.registry
-                    .get(&r.name)
-                    .expect("router replicas stay registered")
-            })
-            .collect();
+        let mut previous: Vec<Arc<LoadedModel>> = Vec::with_capacity(self.replicas.len());
+        for r in &self.replicas {
+            previous.push(registry.get(&r.name).ok_or_else(|| {
+                ServeError::Internal(format!(
+                    "replica {:?} has no registry entry; deploy aborted before promotion",
+                    r.name
+                ))
+            })?);
+        }
         // gate the checkpoint once before touching any replica: a bad
         // checkpoint dies here and the fleet never sees it (a failed
         // load keeps the previous base entry in place)
-        let base = self.registry.load(&self.model_name, dir).map_err(|e| {
+        let base = registry.load(&self.model_name, dir).map_err(|e| {
             ServeError::DeployFailed(format!("checkpoint rejected before promotion: {e}"))
         })?;
         let mut promoted = Vec::with_capacity(self.replicas.len());
         for (i, replica) in self.replicas.iter().enumerate() {
-            match self.registry.load(&replica.name, dir) {
+            match registry.load(&replica.name, dir) {
                 Ok(loaded) => promoted.push(loaded.version()),
                 Err(e) => {
                     // roll back: every already-promoted replica returns
                     // to the exact engine it served before the deploy
                     for (replica, old) in self.replicas.iter().zip(&previous).take(i) {
-                        self.registry.alias(&replica.name, old);
+                        registry.alias(&replica.name, old);
                     }
                     ROUTER_ROLLBACKS.incr();
                     return Err(ServeError::DeployFailed(format!(
@@ -538,7 +745,7 @@ impl ReplicaRouter {
     pub fn queue_depths(&self) -> Vec<usize> {
         self.replicas
             .iter()
-            .map(|r| r.server.queue_depth())
+            .map(|r| r.handle.queue_depth())
             .collect()
     }
 
@@ -562,14 +769,15 @@ impl ReplicaRouter {
     /// [`ServeError::ShuttingDown`], which ejects it and fails the
     /// request over.
     pub fn shutdown_replica(&self, index: usize) {
-        self.replicas[index].server.shutdown();
+        self.replicas[index].handle.shutdown();
     }
 
     /// Shuts every replica down (drain, then join). Idempotent; also run
-    /// on drop.
+    /// on drop. For handle-backed fleets this only releases client-side
+    /// resources — stopping the workers is the supervisor's job.
     pub fn shutdown(&self) {
         for r in &self.replicas {
-            r.server.shutdown();
+            r.handle.shutdown();
         }
     }
 }
@@ -617,6 +825,20 @@ mod tests {
             ),
             (
                 RouterConfig {
+                    probe_jitter: 1.5,
+                    ..RouterConfig::default()
+                },
+                "probe_jitter",
+            ),
+            (
+                RouterConfig {
+                    probe_jitter: -0.1,
+                    ..RouterConfig::default()
+                },
+                "probe_jitter",
+            ),
+            (
+                RouterConfig {
                     serve: ServeConfig {
                         max_batch: 0,
                         ..ServeConfig::default()
@@ -634,6 +856,34 @@ mod tests {
             }
         }
         assert_eq!(RouterConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn probe_jitter_is_deterministic_seeded_and_bounded() {
+        let base = Duration::from_millis(100);
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let wa: Vec<_> = (0..64).map(|_| jittered_wait(base, 0.5, &mut a)).collect();
+        let wb: Vec<_> = (0..64).map(|_| jittered_wait(base, 0.5, &mut b)).collect();
+        assert_eq!(wa, wb, "same seed must draw the same jitter sequence");
+        for w in &wa {
+            assert!(*w >= base, "jitter only stretches the window: {w:?}");
+            assert!(*w <= base.mul_f64(1.5), "jitter is capped at 1+j: {w:?}");
+        }
+        assert!(
+            wa.windows(2).any(|p| p[0] != p[1]),
+            "consecutive draws must decorrelate: {wa:?}"
+        );
+        let mut c = 43u64;
+        let wc: Vec<_> = (0..64).map(|_| jittered_wait(base, 0.5, &mut c)).collect();
+        assert_ne!(wa, wc, "distinct seeds must decorrelate routers");
+        // zero jitter degrades to the fixed window
+        let mut d = 7u64;
+        assert_eq!(jittered_wait(base, 0.0, &mut d), base);
+        // per-replica seeding differs across slots under one router seed
+        let s0 = HealthState::seeded(1, 0);
+        let s1 = HealthState::seeded(1, 1);
+        assert_ne!(s0.rng, s1.rng);
     }
 
     #[test]

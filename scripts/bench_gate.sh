@@ -44,6 +44,13 @@ for baseline in "$BASELINES"/BENCH_*.json; do
             echo "bench_gate: $fresh missing — running router_load"
             cargo run --release -q -p bench --bin router_load >/dev/null
             ;;
+        BENCH_supervisor.json)
+            # supervisor_load spawns the replica_worker binary from the
+            # serve crate, which `cargo run -p bench` alone won't build
+            echo "bench_gate: $fresh missing — running supervisor_load"
+            cargo build --release -q -p serve
+            cargo run --release -q -p bench --bin supervisor_load >/dev/null
+            ;;
         esac
     fi
     if [ ! -f "$fresh" ]; then

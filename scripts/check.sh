@@ -34,7 +34,8 @@ for threads in 1 2 4; do
         --test fault_tolerance --test tensor_properties \
         --test quant_properties
     TENSOR_THREADS=$threads cargo test -q -p serve \
-        --test serve_integration --test trace_integration
+        --test serve_integration --test supervisor_integration \
+        --test trace_integration
 done
 
 # End-to-end int8 accuracy gate: serve_load trains a small model, serves it
@@ -58,5 +59,15 @@ done
 echo "== replicated serving gate (router_load) =="
 cargo run --release -q -p bench --bin router_load -- \
     --min-scaling 2.5 --json "$quant_gate_dir/BENCH_router.json"
+
+# Process-isolation gate: supervisor_load drives the same stream through
+# an in-process fleet and a supervised fleet of replica_worker processes
+# (unix sockets), asserts bitwise-equal answers, then kill -9s a worker
+# under live traffic and requires zero wrong answers plus bounded
+# respawn-and-reinstate recovery. replica_worker is built by the release
+# build above and resolved as a sibling of the bench binary.
+echo "== process isolation gate (supervisor_load) =="
+cargo run --release -q -p bench --bin supervisor_load -- \
+    --max-recovery-ms 15000 --json "$quant_gate_dir/BENCH_supervisor.json"
 
 echo "all checks passed"

@@ -713,3 +713,82 @@ fn saturated_replica_is_ejected_then_probed_back() {
     }
     router.shutdown();
 }
+
+/// A model that panics when it sees the poisoned ingredient — the
+/// lock-poisoning regression fixture: one bad request must answer an
+/// error, not unwind through a lock and wedge the whole fleet.
+struct PanickyModel;
+
+impl ServingModel for PanickyModel {
+    fn kind(&self) -> &'static str {
+        "panicky"
+    }
+
+    fn num_classes(&self) -> usize {
+        2
+    }
+
+    fn featurize(&self, tokens: &[String]) -> Features {
+        Features::Ids(
+            tokens
+                .iter()
+                .map(|t| if t == "poison" { 999 } else { 1 })
+                .collect(),
+        )
+    }
+
+    fn predict(&self, batch: &[&Features]) -> Vec<Vec<f64>> {
+        for features in batch {
+            if let Features::Ids(ids) = features {
+                assert!(!ids.contains(&999), "injected model panic");
+            }
+        }
+        batch.iter().map(|_| vec![0.25, 0.75]).collect()
+    }
+}
+
+#[test]
+fn model_panic_does_not_poison_the_fleet() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("panicky", Box::new(PanickyModel)).unwrap();
+    let router = ReplicaRouter::start(
+        Arc::clone(&registry),
+        "panicky",
+        RouterConfig {
+            replicas: 2,
+            serve: ServeConfig {
+                max_batch: 2,
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+
+    assert!(router.classify("salt, pepper", None).is_ok());
+
+    // the poisoned request panics inside the model's forward pass, on a
+    // worker thread holding the batch: the panic must be contained to
+    // that batch (answered `Canceled`), not unwind into the caller
+    match router.classify("poison, salt", None) {
+        Err(ServeError::Canceled) => {}
+        other => panic!("expected Canceled from the panicked batch, got {other:?}"),
+    }
+
+    // the fleet keeps serving
+    for i in 0..20 {
+        let prediction = router
+            .classify(&format!("salt, pepper, extra-{i}"), None)
+            .unwrap();
+        assert_eq!(prediction.probs, vec![0.25, 0.75]);
+    }
+
+    // and the registry is not wedged: reads and writes both still work
+    assert!(registry.get("panicky").is_some());
+    assert!(registry.names().iter().any(|n| n == "panicky"));
+    registry.publish("second", Box::new(PanickyModel)).unwrap();
+    assert!(registry.get("second").is_some());
+
+    router.shutdown();
+}

@@ -1,0 +1,461 @@
+//! End-to-end tests of the process-isolated serving tier: a supervised
+//! fleet of `replica_worker` processes behind unix sockets, driven by
+//! the same `ReplicaRouter` that fronts in-process fleets.
+//!
+//! The acceptance bar: 4 socket-backed workers serve a stream
+//! bit-identical to in-process serving; `kill -9` of one worker
+//! mid-stream causes zero wrong answers; the supervisor respawns it
+//! through the warmup gate and the router reinstates it.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use nn::{
+    save_checkpoint, LrSchedule, LstmClassifier, LstmConfig, LstmPooling, SequenceModel, Sgd,
+    Trainer, TrainerConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::{
+    ModelManifest, ReplicaHandle, ReplicaHealth, RouterConfig, ServeConfig, ServeError, Supervisor,
+    SupervisorConfig, WorkerPhase,
+};
+use textproc::Vocabulary;
+
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_replica_worker");
+
+const TOKENS: [&str; 8] = [
+    "soy", "ginger", "rice", "basil", "tomato", "olive", "cumin", "chili",
+];
+
+const RECIPES: [(&str, usize); 6] = [
+    ("soy, ginger, rice", 0),
+    ("ginger, soy", 0),
+    ("basil, tomato, olive", 1),
+    ("tomato, olive", 1),
+    ("cumin, chili, rice", 2),
+    ("chili, cumin", 2),
+];
+
+fn vocab() -> Vocabulary {
+    Vocabulary::from_tokens(TOKENS.map(String::from))
+}
+
+fn lstm_config() -> LstmConfig {
+    LstmConfig {
+        vocab: vocab().len(),
+        emb_dim: 8,
+        hidden: 8,
+        layers: 1,
+        dropout: 0.0,
+        classes: 3,
+        pooling: LstmPooling::LastHidden,
+    }
+}
+
+fn ids(recipe: &str, v: &Vocabulary) -> Vec<usize> {
+    cuisine::featurize::entity_tokens(recipe)
+        .iter()
+        .map(|t| v.lookup_or_unk(t) as usize)
+        .collect()
+}
+
+/// Trains a tiny LSTM and writes a servable model directory; returns
+/// the in-process model as bit-exact ground truth.
+fn train_and_export_seeded(dir: &Path, seed: u64) -> LstmClassifier {
+    std::fs::create_dir_all(dir).unwrap();
+    let v = vocab();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = LstmClassifier::new(lstm_config(), &mut rng);
+    let examples: Vec<(Vec<usize>, usize)> =
+        RECIPES.iter().map(|&(r, y)| (ids(r, &v), y)).collect();
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 30,
+        batch_size: 2,
+        schedule: LrSchedule::Constant(0.1),
+        seed: 7,
+        ..TrainerConfig::default()
+    });
+    trainer
+        .fit(&mut model, &mut Sgd::new(0.0), &examples, None)
+        .unwrap();
+    ModelManifest::lstm(&lstm_config(), &v).save(dir).unwrap();
+    save_checkpoint(model.store(), &dir.join("latest.ckpt")).unwrap();
+    model
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn reference_probs(model: &LstmClassifier, recipe: &str) -> Vec<f64> {
+    model
+        .predict_proba_batch(&[&ids(recipe, &vocab())])
+        .remove(0)
+}
+
+/// Distinct recipe texts that spread across the hash ring.
+fn spread_recipes(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let (base, _) = RECIPES[i % RECIPES.len()];
+            format!("{base}, mystery-{i}")
+        })
+        .collect()
+}
+
+/// A supervisor config with test-friendly (fast) timing.
+fn test_config(name: &str, model_dir: &Path) -> SupervisorConfig {
+    let mut config = SupervisorConfig::new(WORKER_BIN, model_dir, temp_dir(name));
+    config.model_name = "lstm".into();
+    config.serve = ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(1),
+        ..ServeConfig::default()
+    };
+    config.ping_interval = Duration::from_millis(25);
+    config.backoff_base = Duration::from_millis(25);
+    config.backoff_cap = Duration::from_millis(250);
+    config.start_grace = Duration::from_secs(30);
+    config
+}
+
+fn counter(name: &str) -> u64 {
+    trace::snapshot().counter(name).unwrap_or(0)
+}
+
+/// The process-isolation acceptance test, end to end.
+#[test]
+fn socket_fleet_serves_bit_identical_and_recovers_from_kill9() {
+    trace::enable();
+    let model_dir = temp_dir("sup_it_kill9_model");
+    let reference = train_and_export_seeded(&model_dir, 42);
+    let mut config = test_config("sup_it_kill9_sockets", &model_dir);
+    config.workers = 4;
+    let supervisor = Supervisor::start(config).unwrap();
+    assert!(
+        supervisor.wait_all_up(Duration::from_secs(60)),
+        "fleet never came up: {:?}",
+        supervisor.phases()
+    );
+
+    let router = supervisor
+        .router(RouterConfig {
+            probe_after: Duration::from_millis(50),
+            ..RouterConfig::default()
+        })
+        .unwrap();
+    let recipes = spread_recipes(40);
+
+    // phase 1: the socket fleet answers bit-identically to the
+    // in-process model
+    for recipe in &recipes {
+        let prediction = router.classify(recipe, None).unwrap();
+        assert_eq!(
+            prediction.probs,
+            reference_probs(&reference, recipe),
+            "socket-backed answer drifted for {recipe:?}"
+        );
+    }
+
+    // phase 2: kill -9 one worker mid-stream. Zero wrong answers
+    // allowed — requests that hash onto the corpse fail over to ring
+    // neighbors and are answered identically.
+    let respawns_before = counter("serve.supervisor.respawns");
+    let killed_pid = supervisor.kill_worker(0).expect("worker 0 has a pid");
+    for round in 0..5 {
+        for recipe in &recipes {
+            let prediction = router
+                .classify(recipe, None)
+                .unwrap_or_else(|e| panic!("request failed after kill -9 (round {round}): {e}"));
+            assert_eq!(
+                prediction.probs,
+                reference_probs(&reference, recipe),
+                "WRONG answer after kill -9 for {recipe:?}"
+            );
+        }
+    }
+
+    // phase 3: the supervisor notices the corpse and respawns it through
+    // the warmup gate (a worker only answers pings once its checkpoint
+    // loaded and passed the gate)
+    assert!(
+        supervisor.wait_up(0, Duration::from_secs(60)),
+        "killed worker was never respawned: {:?}",
+        supervisor.phases()
+    );
+    assert!(
+        counter("serve.supervisor.respawns") > respawns_before,
+        "respawn must be counted in serve.supervisor.respawns"
+    );
+    assert_eq!(supervisor.phases()[0], WorkerPhase::Up);
+    let new_pid = supervisor
+        .worker_pid(0)
+        .expect("respawned worker has a pid");
+    assert_ne!(new_pid, killed_pid, "slot 0 must be a fresh process");
+
+    // phase 4: the router reinstates the respawned replica via
+    // probe-back, under continued (still bit-identical) traffic
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        for recipe in &recipes {
+            let prediction = router.classify(recipe, None).unwrap();
+            assert_eq!(
+                prediction.probs,
+                reference_probs(&reference, recipe),
+                "answer drifted during reinstatement for {recipe:?}"
+            );
+        }
+        if router.health().iter().all(|h| *h == ReplicaHealth::Healthy) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "respawned replica was never reinstated: {:?}",
+            router.health()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // per-replica answer counts: every worker, including the respawned
+    // one, answered real traffic
+    let stats = supervisor.pong_stats();
+    assert_eq!(stats.len(), 4);
+    for (i, stat) in stats.iter().enumerate() {
+        let stat = stat.unwrap_or_else(|| panic!("worker {i} unreachable at the end"));
+        assert!(stat.served > 0, "worker {i} answered no requests: {stat:?}");
+    }
+
+    drop(router);
+    drop(supervisor);
+    std::fs::remove_dir_all(&model_dir).unwrap();
+}
+
+#[test]
+fn crash_loop_opens_the_circuit_breaker() {
+    trace::enable();
+    let model_dir = temp_dir("sup_it_breaker_model");
+    train_and_export_seeded(&model_dir, 42);
+    let mut config = test_config("sup_it_breaker_sockets", &model_dir);
+    config.workers = 1;
+    config.backoff_base = Duration::from_millis(5);
+    config.backoff_cap = Duration::from_millis(20);
+    config.breaker_limit = 3;
+    config.breaker_window = Duration::from_secs(30);
+    // no marker file: the fault fires on every (re)spawn — a true crash loop
+    config.worker_env = vec![("REPLICA_WORKER_FAULT".into(), "exit-on-start".into())];
+    let breaker_before = counter("serve.supervisor.breaker_opens");
+    let supervisor = Supervisor::start(config).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while supervisor.phases()[0] != WorkerPhase::Broken {
+        assert!(
+            Instant::now() < deadline,
+            "crash loop never opened the breaker: {:?}",
+            supervisor.phases()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        counter("serve.supervisor.breaker_opens") > breaker_before,
+        "breaker trip must be counted"
+    );
+    assert!(counter("serve.supervisor.crashes") > 0);
+    drop(supervisor);
+    std::fs::remove_dir_all(&model_dir).unwrap();
+}
+
+/// Drives one fault-injected worker directly through its
+/// [`serve::RemoteReplica`] handle and asserts the client retried on a
+/// fresh connection and still got the right answer.
+fn frame_fault_round_trip(name: &str, fault: &str) {
+    trace::enable();
+    let model_dir = temp_dir(&format!("sup_it_{name}_model"));
+    let reference = train_and_export_seeded(&model_dir, 42);
+    let marker = temp_dir(&format!("sup_it_{name}_marker")).with_extension("fired");
+    let _ = std::fs::remove_file(&marker);
+    let mut config = test_config(&format!("sup_it_{name}_sockets"), &model_dir);
+    config.workers = 1;
+    config.worker_env = vec![
+        ("REPLICA_WORKER_FAULT".into(), fault.into()),
+        (
+            "REPLICA_WORKER_FAULT_MARKER".into(),
+            marker.display().to_string(),
+        ),
+    ];
+    let supervisor = Supervisor::start(config).unwrap();
+    assert!(supervisor.wait_all_up(Duration::from_secs(60)));
+    let handle = supervisor.handles().remove(0);
+
+    let retries_before = counter("serve.transport.retries");
+    // enough requests to cross the fault's threshold (it fires after the
+    // 2nd answered classify) and then some
+    for (i, recipe) in spread_recipes(8).iter().enumerate() {
+        let tokens = cuisine::featurize::entity_tokens(recipe);
+        let key = tokens.join("\x1f");
+        let prediction = handle
+            .classify_prepared(tokens, key, None)
+            .unwrap_or_else(|e| panic!("request {i} failed across the injected fault: {e}"));
+        assert_eq!(
+            prediction.probs,
+            reference_probs(&reference, recipe),
+            "request {i} got a wrong answer across the injected fault"
+        );
+    }
+    assert!(
+        counter("serve.transport.retries") > retries_before,
+        "the corrupted frame must surface as a client retry"
+    );
+    assert!(marker.exists(), "the fault must have fired exactly once");
+    drop(supervisor);
+    std::fs::remove_dir_all(&model_dir).unwrap();
+    let _ = std::fs::remove_file(&marker);
+}
+
+#[test]
+fn corrupt_crc_frame_is_retried_on_a_fresh_connection() {
+    frame_fault_round_trip("crc", "corrupt-crc:2");
+}
+
+#[test]
+fn truncated_frame_is_retried_on_a_fresh_connection() {
+    frame_fault_round_trip("trunc", "truncate-frame:2");
+}
+
+#[test]
+fn hung_worker_is_killed_and_respawned() {
+    trace::enable();
+    let model_dir = temp_dir("sup_it_hang_model");
+    let reference = train_and_export_seeded(&model_dir, 42);
+    let marker = temp_dir("sup_it_hang_marker").with_extension("fired");
+    let _ = std::fs::remove_file(&marker);
+    let mut config = test_config("sup_it_hang_sockets", &model_dir);
+    config.workers = 1;
+    // the hung worker binds its socket fast (the model is tiny), so a
+    // short grace keeps the test quick; strikes × interval adds ~50 ms
+    config.start_grace = Duration::from_secs(3);
+    config.ping_timeout = Duration::from_millis(200);
+    config.ping_strikes = 2;
+    config.worker_env = vec![
+        ("REPLICA_WORKER_FAULT".into(), "hang-accept".into()),
+        (
+            "REPLICA_WORKER_FAULT_MARKER".into(),
+            marker.display().to_string(),
+        ),
+    ];
+    let hangs_before = counter("serve.supervisor.hangs");
+    let supervisor = Supervisor::start(config).unwrap();
+
+    // the first incarnation hangs on accept: alive (bind succeeded, so
+    // connects ride the backlog) but never answering. The supervisor
+    // must declare it hung, kill it, and respawn it — and the respawn
+    // (marker present) comes up healthy.
+    assert!(
+        supervisor.wait_up(0, Duration::from_secs(60)),
+        "hung worker was never replaced by a healthy one: {:?}",
+        supervisor.phases()
+    );
+    assert!(
+        counter("serve.supervisor.hangs") > hangs_before,
+        "the hang must be counted in serve.supervisor.hangs"
+    );
+    assert!(marker.exists(), "the hang fault must have fired");
+
+    // the replacement serves correct answers
+    let handle = supervisor.handles().remove(0);
+    let recipe = "soy, ginger, rice";
+    let tokens = cuisine::featurize::entity_tokens(recipe);
+    let key = tokens.join("\x1f");
+    let prediction = handle.classify_prepared(tokens, key, None).unwrap();
+    assert_eq!(prediction.probs, reference_probs(&reference, recipe));
+
+    drop(supervisor);
+    std::fs::remove_dir_all(&model_dir).unwrap();
+    let _ = std::fs::remove_file(&marker);
+}
+
+#[test]
+fn rolling_deploy_promotes_and_bad_checkpoint_is_gated() {
+    trace::enable();
+    let dir_a = temp_dir("sup_it_deploy_a");
+    let dir_b = temp_dir("sup_it_deploy_b");
+    let model_a = train_and_export_seeded(&dir_a, 42);
+    let model_b = train_and_export_seeded(&dir_b, 4242);
+    let recipes = spread_recipes(8);
+    assert!(
+        recipes
+            .iter()
+            .any(|r| reference_probs(&model_a, r) != reference_probs(&model_b, r)),
+        "seeds 42 and 4242 produced identical models"
+    );
+
+    let mut config = test_config("sup_it_deploy_sockets", &dir_a);
+    config.workers = 2;
+    let supervisor = Supervisor::start(config).unwrap();
+    assert!(supervisor.wait_all_up(Duration::from_secs(60)));
+    let router = supervisor.router(RouterConfig::default()).unwrap();
+
+    for recipe in &recipes {
+        assert_eq!(
+            router.classify(recipe, None).unwrap().probs,
+            reference_probs(&model_a, recipe)
+        );
+    }
+
+    // roll B across the fleet: every Up worker reloads through its own
+    // warmup gate and reports a bumped version
+    let promoted = supervisor.deploy(&dir_b).unwrap();
+    assert_eq!(promoted.len(), 2, "both workers must be promoted");
+    for (slot, version) in &promoted {
+        assert!(
+            *version >= 2,
+            "worker {slot} must bump its registry version, got {version}"
+        );
+    }
+    for recipe in &recipes {
+        assert_eq!(
+            router.classify(recipe, None).unwrap().probs,
+            reference_probs(&model_b, recipe),
+            "fleet still serving version A after deploy"
+        );
+    }
+
+    // a handle-backed router has no registry of its own: deploys go
+    // through the supervisor
+    match router.deploy(&dir_a) {
+        Err(ServeError::Internal(what)) => {
+            assert!(what.contains("supervisor"), "{what:?}");
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+
+    // a broken checkpoint dies at the supervisor's pre-promotion gate:
+    // no worker ever sees it, the fleet keeps serving B
+    let broken = temp_dir("sup_it_deploy_broken");
+    std::fs::create_dir_all(&broken).unwrap();
+    ModelManifest::lstm(&lstm_config(), &vocab())
+        .save(&broken)
+        .unwrap();
+    std::fs::write(broken.join("latest.ckpt"), b"not a checkpoint").unwrap();
+    match supervisor.deploy(&broken) {
+        Err(ServeError::DeployFailed(what)) => {
+            assert!(what.contains("before promotion"), "{what:?}");
+        }
+        other => panic!("expected DeployFailed, got {other:?}"),
+    }
+    for recipe in &recipes {
+        assert_eq!(
+            router.classify(recipe, None).unwrap().probs,
+            reference_probs(&model_b, recipe),
+            "failed deploy disturbed serving"
+        );
+    }
+
+    drop(router);
+    drop(supervisor);
+    for dir in [dir_a, dir_b, broken] {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
