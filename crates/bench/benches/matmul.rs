@@ -1,7 +1,13 @@
 //! Criterion bench: dense matmul kernels — the hot path of the neural
-//! models' forward and backward passes — scalar (single-thread) vs the
-//! pooled parallel path, plus a `BENCH_matmul.json` emitter so runs on
-//! different machines can be compared offline.
+//! models' forward and backward passes — timed per backend (scalar vs
+//! SIMD) and per scheduling mode (single-thread vs the pooled parallel
+//! path), plus a `BENCH_matmul.json` emitter so runs on different machines
+//! can be compared offline and `scripts/bench_gate.sh` can gate SIMD
+//! regressions.
+//!
+//! Entries are keyed by `kernel` plus a string `shape` (`"MxKxN"`), so the
+//! gate's non-numeric keying distinguishes every shape (a numeric `size`
+//! field would be dropped from the key and collide across shapes).
 
 use std::time::{Duration, Instant};
 
@@ -9,35 +15,65 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tensor::{
-    matmul_a_bt_with_threads, matmul_at_b_with_threads, matmul_with_threads, num_threads,
-    Initializer, Tensor,
+    backend, matmul_a_bt_with_threads, matmul_at_b_with_threads, matmul_with_threads, num_threads,
+    with_backend, Initializer, Tensor,
 };
+
+/// `(m, k, n)` problem shapes: the square sweep plus the rectangular
+/// encoder-projection shape the SIMD speedup gate pins.
+const SHAPES: [(usize, usize, usize); 4] = [
+    (64, 64, 64),
+    (128, 128, 128),
+    (256, 256, 256),
+    (16, 320, 256),
+];
+
+/// The shape whose `a_b` SIMD speedup is gated (see [`emit_json`]).
+const GATE_SHAPE: (usize, usize, usize) = (16, 320, 256);
+
+fn simd_supported() -> bool {
+    backend::all()
+        .into_iter()
+        .any(|b| b.name() == "simd" && b.supported())
+}
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let threads = num_threads();
+    let backends: &[&str] = if simd_supported() {
+        &["scalar", "simd"]
+    } else {
+        &["scalar"]
+    };
     let mut group = c.benchmark_group("matmul");
-    for &n in &[64usize, 128, 256] {
-        let a = Initializer::XavierUniform.init(n, n, &mut rng);
-        let b = Initializer::XavierUniform.init(n, n, &mut rng);
-        group.bench_with_input(BenchmarkId::new("a_b_scalar", n), &n, |bench, _| {
-            bench.iter(|| matmul_with_threads(&a, &b, 1))
-        });
-        group.bench_with_input(BenchmarkId::new("a_b_parallel", n), &n, |bench, _| {
-            bench.iter(|| matmul_with_threads(&a, &b, threads))
-        });
-        group.bench_with_input(BenchmarkId::new("at_b_scalar", n), &n, |bench, _| {
-            bench.iter(|| matmul_at_b_with_threads(&a, &b, 1))
-        });
-        group.bench_with_input(BenchmarkId::new("at_b_parallel", n), &n, |bench, _| {
-            bench.iter(|| matmul_at_b_with_threads(&a, &b, threads))
-        });
-        group.bench_with_input(BenchmarkId::new("a_bt_scalar", n), &n, |bench, _| {
-            bench.iter(|| matmul_a_bt_with_threads(&a, &b, 1))
-        });
-        group.bench_with_input(BenchmarkId::new("a_bt_parallel", n), &n, |bench, _| {
-            bench.iter(|| matmul_a_bt_with_threads(&a, &b, threads))
-        });
+    for &(m, k, n) in &SHAPES {
+        let shape = format!("{m}x{k}x{n}");
+        let a = Initializer::XavierUniform.init(m, k, &mut rng);
+        let b = Initializer::XavierUniform.init(k, n, &mut rng);
+        let at = Initializer::XavierUniform.init(k, m, &mut rng);
+        let bt = Initializer::XavierUniform.init(n, k, &mut rng);
+        for &be in backends {
+            group.bench_with_input(
+                BenchmarkId::new(format!("a_b_{be}"), &shape),
+                &shape,
+                |bench, _| bench.iter(|| with_backend(be, || matmul_with_threads(&a, &b, 1))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("a_b_{be}_parallel"), &shape),
+                &shape,
+                |bench, _| bench.iter(|| with_backend(be, || matmul_with_threads(&a, &b, threads))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("at_b_{be}"), &shape),
+                &shape,
+                |bench, _| bench.iter(|| with_backend(be, || matmul_at_b_with_threads(&at, &b, 1))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("a_bt_{be}"), &shape),
+                &shape,
+                |bench, _| bench.iter(|| with_backend(be, || matmul_a_bt_with_threads(&a, &bt, 1))),
+            );
+        }
     }
     group.finish();
 }
@@ -67,12 +103,24 @@ fn time_ns(mut f: impl FnMut()) -> f64 {
     best
 }
 
-/// Times each kernel scalar vs parallel and writes `BENCH_matmul.json` at
-/// the workspace root. The parallel outputs are also checked bit-identical
-/// to the scalar ones before anything is recorded.
+/// Times each kernel on every registered backend (single-thread and the
+/// pooled parallel path) and writes `BENCH_matmul.json` at the workspace
+/// root with per-backend `*_ns` fields:
+///
+/// * `scalar_ns` / `parallel_ns` — scalar backend, 1 / `num_threads()`;
+/// * `simd_ns` / `simd_parallel_ns` — SIMD backend (omitted when the CPU
+///   does not support it, so the gate skips them instead of failing);
+/// * `speedup` — scalar vs parallel; `simd_speedup` — `scalar_ns /
+///   simd_ns`, the single-thread backend-vs-backend ratio.
+///
+/// Every timed configuration is first checked bit-identical to the scalar
+/// single-thread result, and the run fails unless the SIMD backend is at
+/// least `MATMUL_MIN_SIMD_SPEEDUP` (default 2.0) times faster on the
+/// `a_b` gate shape [`GATE_SHAPE`].
 fn emit_json(_c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let threads = num_threads();
+    let simd = simd_supported();
     type Kernel = fn(&Tensor, &Tensor, usize) -> Tensor;
     let kernels: [(&str, Kernel); 3] = [
         ("a_b", matmul_with_threads),
@@ -81,41 +129,108 @@ fn emit_json(_c: &mut Criterion) {
     ];
 
     let mut entries = Vec::new();
-    for &n in &[64usize, 128, 256] {
-        let a = Initializer::XavierUniform.init(n, n, &mut rng);
-        let b = Initializer::XavierUniform.init(n, n, &mut rng);
-        for (name, kernel) in kernels {
-            assert_eq!(
-                kernel(&a, &b, 1),
-                kernel(&a, &b, threads),
-                "{name}/{n}: parallel result must be bit-identical to scalar"
+    let mut gate_simd_speedup = None;
+    for &(m, k, n) in &SHAPES {
+        let shape = format!("{m}x{k}x{n}");
+        let operands = [
+            (
+                Initializer::XavierUniform.init(m, k, &mut rng),
+                Initializer::XavierUniform.init(k, n, &mut rng),
+            ),
+            (
+                Initializer::XavierUniform.init(k, m, &mut rng),
+                Initializer::XavierUniform.init(k, n, &mut rng),
+            ),
+            (
+                Initializer::XavierUniform.init(m, k, &mut rng),
+                Initializer::XavierUniform.init(n, k, &mut rng),
+            ),
+        ];
+        for ((name, kernel), (a, b)) in kernels.iter().zip(&operands) {
+            let reference = with_backend("scalar", || kernel(a, b, 1));
+            let check = |label: &str, got: &Tensor| {
+                assert_eq!(
+                    &reference, got,
+                    "{name}/{shape}: {label} must be bit-identical to scalar single-thread"
+                );
+            };
+            check(
+                "scalar parallel",
+                &with_backend("scalar", || kernel(a, b, threads)),
             );
-            let scalar_ns = time_ns(|| {
-                black_box(kernel(black_box(&a), black_box(&b), 1));
+            let scalar_ns = with_backend("scalar", || {
+                time_ns(|| {
+                    black_box(kernel(black_box(a), black_box(b), 1));
+                })
             });
-            let parallel_ns = time_ns(|| {
-                black_box(kernel(black_box(&a), black_box(&b), threads));
+            let parallel_ns = with_backend("scalar", || {
+                time_ns(|| {
+                    black_box(kernel(black_box(a), black_box(b), threads));
+                })
             });
             let speedup = scalar_ns / parallel_ns;
-            eprintln!(
-                "json: {name:>5}/{n:<4} scalar {scalar_ns:>12.0} ns  \
-                 parallel {parallel_ns:>12.0} ns  speedup {speedup:.2}x"
-            );
-            entries.push(format!(
-                "    {{\"kernel\": \"{name}\", \"size\": {n}, \
+            let mut fields = format!(
+                "\"kernel\": \"{name}\", \"shape\": \"{shape}\", \
                  \"scalar_ns\": {scalar_ns:.1}, \"parallel_ns\": {parallel_ns:.1}, \
-                 \"speedup\": {speedup:.3}}}"
-            ));
+                 \"speedup\": {speedup:.3}"
+            );
+            let mut simd_note = String::new();
+            if simd {
+                check("simd", &with_backend("simd", || kernel(a, b, 1)));
+                check(
+                    "simd parallel",
+                    &with_backend("simd", || kernel(a, b, threads)),
+                );
+                let simd_ns = with_backend("simd", || {
+                    time_ns(|| {
+                        black_box(kernel(black_box(a), black_box(b), 1));
+                    })
+                });
+                let simd_parallel_ns = with_backend("simd", || {
+                    time_ns(|| {
+                        black_box(kernel(black_box(a), black_box(b), threads));
+                    })
+                });
+                let simd_speedup = scalar_ns / simd_ns;
+                fields.push_str(&format!(
+                    ", \"simd_ns\": {simd_ns:.1}, \"simd_parallel_ns\": {simd_parallel_ns:.1}, \
+                     \"simd_speedup\": {simd_speedup:.3}"
+                ));
+                simd_note = format!("  simd {simd_ns:>12.0} ns  simd_speedup {simd_speedup:.2}x");
+                if *name == "a_b" && (m, k, n) == GATE_SHAPE {
+                    gate_simd_speedup = Some(simd_speedup);
+                }
+            }
+            eprintln!(
+                "json: {name:>5}/{shape:<12} scalar {scalar_ns:>12.0} ns  \
+                 parallel {parallel_ns:>12.0} ns{simd_note}"
+            );
+            entries.push(format!("    {{{fields}}}"));
         }
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"matmul\",\n  \"threads\": {threads},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"matmul\",\n  \"threads\": {threads},\n  \"simd_supported\": {simd},\n  \"entries\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matmul.json");
     std::fs::write(path, json).expect("write BENCH_matmul.json");
-    eprintln!("wrote {path} (threads = {threads})");
+    eprintln!("wrote {path} (threads = {threads}, simd = {simd})");
+
+    if simd {
+        let min: f64 = std::env::var("MATMUL_MIN_SIMD_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2.0);
+        let (m, k, n) = GATE_SHAPE;
+        let got = gate_simd_speedup.expect("gate shape must have been timed");
+        assert!(
+            got >= min,
+            "SIMD speedup gate: a_b {m}x{k}x{n} is {got:.2}x over scalar, below the {min:.2}x floor \
+             (override with MATMUL_MIN_SIMD_SPEEDUP)"
+        );
+        eprintln!("simd gate: a_b {m}x{k}x{n} speedup {got:.2}x >= {min:.2}x");
+    }
 }
 
 criterion_group!(benches, bench_matmul, emit_json);

@@ -18,15 +18,22 @@
 //!   debug builds only where possible;
 //! * large products run row-tiled on a persistent worker [`pool`]
 //!   (`TENSOR_THREADS`-overridable) with bit-identical results for every
-//!   thread count — see the [`matmul`] module docs for the contract.
+//!   thread count — see the [`matmul`] module docs for the contract;
+//! * kernels dispatch through a pluggable device [`backend`]
+//!   (`TENSOR_BACKEND`-selectable: portable scalar, or AVX2/AVX-512 SIMD)
+//!   with cudnn-style op descriptors and per-shape algorithm selection —
+//!   backends are bit-identical to the scalar reference by contract.
 
+pub mod backend;
 mod init;
 mod matmul;
 mod ops;
 pub mod pool;
 mod quant;
+mod simd;
 mod tensor;
 
+pub use backend::{with_backend, Backend, MatmulAlgo, MatmulDesc, MatmulOp};
 pub use init::{xavier_normal, xavier_uniform, Initializer};
 pub use matmul::{
     matmul, matmul_a_bt, matmul_a_bt_into, matmul_a_bt_with_threads, matmul_at_b, matmul_at_b_into,
@@ -38,6 +45,7 @@ pub use quant::{
     quant_matmul, quant_matmul_at_b, quant_matmul_at_b_into, quant_matmul_at_b_with_threads,
     quant_matmul_into, quant_matmul_with_threads, QuantMatrix,
 };
+pub use simd::SimdBackend;
 pub use tensor::Tensor;
 
 #[cfg(test)]

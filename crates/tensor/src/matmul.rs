@@ -1,7 +1,7 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication front-ends and the portable scalar kernels.
 //!
 //! The transformer and LSTM forward/backward passes spend almost all their
-//! time here, so three dedicated kernels are provided:
+//! time here, so three dedicated products are provided:
 //!
 //! * [`matmul`] — `C = A · B`
 //! * [`matmul_at_b`] — `C = Aᵀ · B` (weight gradients)
@@ -12,99 +12,28 @@
 //! reuses a caller-provided buffer, which keeps the backward pass
 //! allocation-free apart from the output.
 //!
+//! Each public function validates shapes, builds a
+//! [`MatmulDesc`](crate::backend::MatmulDesc), and hands off to
+//! [`crate::backend`], which selects the device backend (scalar or SIMD,
+//! per `TENSOR_BACKEND`) and a per-shape algorithm, then row-tiles the
+//! output over the persistent [`crate::pool`]. The scalar tile kernels
+//! live in this module; they are both the portable fallback and the
+//! reference every other backend must match bit for bit.
+//!
 //! # Parallelism and determinism
 //!
 //! Large products are split into contiguous *row tiles* of the output and
-//! run on the persistent [`crate::pool`]; small ones (fewer than
-//! [`PAR_THRESHOLD`] multiply-adds) stay on the calling thread. Each output
-//! element is accumulated in an order fixed by the kernel alone — ascending
-//! over the shared dimension, with `dot`'s fixed eight-lane reduction tree —
-//! and tiles never share output elements, so **results are bit-identical
-//! for every thread count and tile split**. The `*_with_threads` variants
-//! exist so tests and benches can pin the thread count explicitly.
+//! run on the pool; small ones (fewer than
+//! [`PAR_THRESHOLD`](crate::backend::PAR_THRESHOLD) multiply-adds) stay on
+//! the calling thread. Each output element is accumulated in an order
+//! fixed by the problem shape alone — ascending over the shared dimension,
+//! with `dot`'s fixed eight-lane reduction tree — and tiles never share
+//! output elements, so **results are bit-identical for every thread count,
+//! tile split, and backend**. The `*_with_threads` variants exist so tests
+//! and benches can pin the thread count explicitly.
 
-use crate::pool;
+use crate::backend::{self, Exec, MatmulDesc};
 use crate::Tensor;
-
-/// Minimum number of multiply-adds (`m · n · k`) before a kernel consults
-/// the thread pool. Below this, tiling overhead beats any speedup and the
-/// small-tensor unit tests stay on the fast sequential path.
-pub(crate) const PAR_THRESHOLD: usize = 1 << 16;
-
-/// How a kernel invocation is scheduled.
-#[derive(Clone, Copy)]
-pub(crate) enum Exec {
-    /// Sequential below [`PAR_THRESHOLD`], global pool above it.
-    Auto,
-    /// Exactly this many scoped threads, regardless of problem size.
-    Threads(usize),
-}
-
-/// Raw output pointer smuggled into tile tasks. Sound because tiles write
-/// disjoint row ranges of the same allocation.
-#[derive(Clone, Copy)]
-struct SendPtr(*mut f32);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
-
-/// Contiguous row range `[lo, hi)` of tile `t` out of `tiles` over `m`
-/// rows: the first `m % tiles` tiles get one extra row. Depends only on
-/// the problem shape, never on scheduling.
-fn tile_bounds(m: usize, tiles: usize, t: usize) -> (usize, usize) {
-    let base = m / tiles;
-    let rem = m % tiles;
-    let lo = t * base + t.min(rem);
-    (lo, lo + base + usize::from(t < rem))
-}
-
-/// Runs `tile_body(lo, hi, rows)` over a row-tiling of the `m × n` output,
-/// where `rows` is the output slice for rows `lo..hi`. Shared with the
-/// int8 kernels in [`crate::quant`], which inherit the same tiling and
-/// therefore the same determinism contract.
-pub(crate) fn drive(
-    exec: Exec,
-    m: usize,
-    n: usize,
-    k: usize,
-    out: &mut Tensor,
-    tile_body: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
-) {
-    let threads = match exec {
-        Exec::Auto => {
-            if m.saturating_mul(n).saturating_mul(k) >= PAR_THRESHOLD {
-                pool::num_threads()
-            } else {
-                1
-            }
-        }
-        Exec::Threads(t) => t.max(1),
-    };
-    let threads = threads.min(m.max(1));
-    if threads <= 1 {
-        pool::count_inline(1);
-        tile_body(0, m, out.as_mut_slice());
-        return;
-    }
-    // Over-split in pool mode so dynamic claiming can balance load; the
-    // explicit mode keeps one tile per thread so "2 threads" is literal.
-    let tiles = match exec {
-        Exec::Auto => (threads * 4).min(m),
-        Exec::Threads(_) => threads,
-    };
-    let ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
-    let task = move |t: usize| {
-        let ptr = ptr; // capture the Sync wrapper, not the raw pointer field
-        let (lo, hi) = tile_bounds(m, tiles, t);
-        // Safety: tiles own disjoint row ranges, so the views never alias,
-        // and `drive` does not return until every tile has completed.
-        let rows = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(lo * n), (hi - lo) * n) };
-        tile_body(lo, hi, rows);
-    };
-    match exec {
-        Exec::Auto => pool::global().run(tiles, &task),
-        Exec::Threads(t) => pool::run_scoped(t, tiles, &task),
-    }
-}
 
 /// `C = A · B`, allocating the output.
 ///
@@ -118,9 +47,6 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// `C = A · B` into a caller-provided output buffer (overwritten).
-///
-/// Uses the classic i-k-j loop order so the inner loop runs over contiguous
-/// rows of `B` and `C`, which lets LLVM vectorise it.
 ///
 /// # Panics
 ///
@@ -141,37 +67,124 @@ fn matmul_exec(a: &Tensor, b: &Tensor, out: &mut Tensor, exec: Exec) {
     let (k2, n) = b.shape();
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
     assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
-
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    drive(exec, m, n, k, out, &|lo, hi, rows| {
-        // Full 4-row blocks go through the register tile; row tails (and
-        // every single-row product) keep the streaming row-at-a-time loop.
-        // Both accumulate each C[i][j] over ascending `p` with the same
-        // per-row zero-skip, so the result is bitwise identical for every
-        // block size and tile split.
-        let mut i = lo;
-        while i + REG_ROWS <= hi {
-            let mut j = 0;
-            while j + REG_COLS <= n {
-                reg_tile(a_data, b_data, k, n, i, j, lo, rows);
-                j += REG_COLS;
-            }
-            if j < n {
-                row_panel(a_data, b_data, k, n, i, i + REG_ROWS, j, lo, rows);
-            }
-            i += REG_ROWS;
-        }
-        if i < hi {
-            row_panel(a_data, b_data, k, n, i, hi, 0, lo, rows);
-        }
-    });
+    let desc = MatmulDesc::a_b(m, k, n);
+    backend::execute(&desc, a.as_slice(), b.as_slice(), out, exec);
 }
 
-/// Output rows per register tile of [`matmul_exec`].
+/// `C = Aᵀ · B`, reading `A` in its stored layout.
+///
+/// Shapes: `A: k × m`, `B: k × n` → `C: m × n`.
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.cols(), b.cols());
+    matmul_at_b_exec(a, b, &mut out, Exec::Auto);
+    out
+}
+
+/// `C = Aᵀ · B` into a caller-provided output buffer (overwritten).
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    matmul_at_b_exec(a, b, out, Exec::Auto);
+}
+
+/// [`matmul_at_b`] pinned to exactly `threads` threads.
+pub fn matmul_at_b_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    let mut out = Tensor::zeros(a.cols(), b.cols());
+    matmul_at_b_exec(a, b, &mut out, Exec::Threads(threads));
+    out
+}
+
+fn matmul_at_b_exec(a: &Tensor, b: &Tensor, out: &mut Tensor, exec: Exec) {
+    let (k, m) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul_at_b shared dimension mismatch: {k} vs {k2}");
+    assert_eq!(out.shape(), (m, n), "matmul_at_b output shape mismatch");
+    let desc = MatmulDesc::at_b(m, k, n);
+    backend::execute(&desc, a.as_slice(), b.as_slice(), out, exec);
+}
+
+/// `C = A · Bᵀ`, reading `B` in its stored layout.
+///
+/// Shapes: `A: m × k`, `B: n × k` → `C: m × n`. Each output element is a dot
+/// product of two contiguous rows, the ideal memory pattern.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), b.rows());
+    matmul_a_bt_exec(a, b, &mut out, Exec::Auto);
+    out
+}
+
+/// `C = A · Bᵀ` into a caller-provided output buffer (overwritten).
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn matmul_a_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    matmul_a_bt_exec(a, b, out, Exec::Auto);
+}
+
+/// [`matmul_a_bt`] pinned to exactly `threads` threads.
+pub fn matmul_a_bt_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), b.rows());
+    matmul_a_bt_exec(a, b, &mut out, Exec::Threads(threads));
+    out
+}
+
+fn matmul_a_bt_exec(a: &Tensor, b: &Tensor, out: &mut Tensor, exec: Exec) {
+    let (m, k) = a.shape();
+    let (n, k2) = b.shape();
+    assert_eq!(k, k2, "matmul_a_bt shared dimension mismatch: {k} vs {k2}");
+    assert_eq!(out.shape(), (m, n), "matmul_a_bt output shape mismatch");
+    let desc = MatmulDesc::a_bt(m, k, n);
+    backend::execute(&desc, a.as_slice(), b.as_slice(), out, exec);
+}
+
+/// Output rows per register tile of [`a_b_tile`].
 const REG_ROWS: usize = 4;
-/// Output columns per register tile of [`matmul_exec`].
+/// Output columns per register tile of [`a_b_tile`].
 const REG_COLS: usize = 32;
+
+/// Scalar `a_b` tile kernel: rows `lo..hi` of `C = A · B`.
+///
+/// Full 4-row blocks go through the register tile; row tails (and every
+/// single-row product) keep the streaming row-at-a-time loop. Both
+/// accumulate each `C[i][j]` over ascending `p` with the same per-row
+/// zero-skip, so the result is bitwise identical for every block size and
+/// tile split.
+pub(crate) fn a_b_tile(
+    desc: &MatmulDesc,
+    a_data: &[f32],
+    b_data: &[f32],
+    lo: usize,
+    hi: usize,
+    rows: &mut [f32],
+) {
+    let (k, n) = (desc.k, desc.n);
+    let mut i = lo;
+    while i + REG_ROWS <= hi {
+        let mut j = 0;
+        while j + REG_COLS <= n {
+            reg_tile(a_data, b_data, k, n, i, j, lo, rows);
+            j += REG_COLS;
+        }
+        if j < n {
+            row_panel(a_data, b_data, k, n, i, i + REG_ROWS, j, lo, rows);
+        }
+        i += REG_ROWS;
+    }
+    if i < hi {
+        row_panel(a_data, b_data, k, n, i, hi, 0, lo, rows);
+    }
+}
 
 /// One `REG_ROWS × REG_COLS` output tile of `C = A · B`, accumulated
 /// entirely in registers so each streamed row of `B` feeds four output
@@ -240,111 +253,54 @@ fn row_panel(
     }
 }
 
-/// `C = Aᵀ · B`, reading `A` in its stored layout.
+/// Scalar `at_b` tile kernel: rows `lo..hi` of `C = Aᵀ · B`.
 ///
-/// Shapes: `A: k × m`, `B: k × n` → `C: m × n`.
-///
-/// # Panics
-///
-/// Panics if `a.rows() != b.rows()`.
-pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
-    let mut out = Tensor::zeros(a.cols(), b.cols());
-    matmul_at_b_exec(a, b, &mut out, Exec::Auto);
-    out
-}
-
-/// `C = Aᵀ · B` into a caller-provided output buffer (overwritten).
-///
-/// # Panics
-///
-/// Panics on any shape mismatch.
-pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
-    matmul_at_b_exec(a, b, out, Exec::Auto);
-}
-
-/// [`matmul_at_b`] pinned to exactly `threads` threads.
-pub fn matmul_at_b_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
-    let mut out = Tensor::zeros(a.cols(), b.cols());
-    matmul_at_b_exec(a, b, &mut out, Exec::Threads(threads));
-    out
-}
-
-fn matmul_at_b_exec(a: &Tensor, b: &Tensor, out: &mut Tensor, exec: Exec) {
-    let (k, m) = a.shape();
-    let (k2, n) = b.shape();
-    assert_eq!(k, k2, "matmul_at_b shared dimension mismatch: {k} vs {k2}");
-    assert_eq!(out.shape(), (m, n), "matmul_at_b output shape mismatch");
-
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    // C[i][j] = sum_p A[p][i] * B[p][j]; iterate p outermost so both reads
-    // stream forward through memory. Restricting i to the tile's row range
-    // keeps each element's accumulation order (ascending p) unchanged.
-    drive(exec, m, n, k, out, &|lo, hi, rows| {
-        rows.fill(0.0);
-        for p in 0..k {
-            let a_row = &a_data[p * m + lo..p * m + hi];
-            let b_row = &b_data[p * n..(p + 1) * n];
-            for (i, &a_pi) in a_row.iter().enumerate() {
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let c_row = &mut rows[i * n..(i + 1) * n];
-                for (c, &bv) in c_row.iter_mut().zip(b_row) {
-                    *c += a_pi * bv;
-                }
+/// `C[i][j] = Σ_p A[p][i] · B[p][j]`; iterate `p` outermost so both reads
+/// stream forward through memory. Restricting `i` to the tile's row range
+/// keeps each element's accumulation order (ascending `p`) unchanged.
+pub(crate) fn at_b_tile(
+    desc: &MatmulDesc,
+    a_data: &[f32],
+    b_data: &[f32],
+    lo: usize,
+    hi: usize,
+    rows: &mut [f32],
+) {
+    let (m, k, n) = (desc.m, desc.k, desc.n);
+    rows.fill(0.0);
+    for p in 0..k {
+        let a_row = &a_data[p * m + lo..p * m + hi];
+        let b_row = &b_data[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut rows[i * n..(i + 1) * n];
+            for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                *c += a_pi * bv;
             }
         }
-    });
+    }
 }
 
-/// `C = A · Bᵀ`, reading `B` in its stored layout.
-///
-/// Shapes: `A: m × k`, `B: n × k` → `C: m × n`. Each output element is a dot
-/// product of two contiguous rows, the ideal memory pattern.
-///
-/// # Panics
-///
-/// Panics if `a.cols() != b.cols()`.
-pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
-    let mut out = Tensor::zeros(a.rows(), b.rows());
-    matmul_a_bt_exec(a, b, &mut out, Exec::Auto);
-    out
-}
-
-/// `C = A · Bᵀ` into a caller-provided output buffer (overwritten).
-///
-/// # Panics
-///
-/// Panics on any shape mismatch.
-pub fn matmul_a_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
-    matmul_a_bt_exec(a, b, out, Exec::Auto);
-}
-
-/// [`matmul_a_bt`] pinned to exactly `threads` threads.
-pub fn matmul_a_bt_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
-    let mut out = Tensor::zeros(a.rows(), b.rows());
-    matmul_a_bt_exec(a, b, &mut out, Exec::Threads(threads));
-    out
-}
-
-fn matmul_a_bt_exec(a: &Tensor, b: &Tensor, out: &mut Tensor, exec: Exec) {
-    let (m, k) = a.shape();
-    let (n, k2) = b.shape();
-    assert_eq!(k, k2, "matmul_a_bt shared dimension mismatch: {k} vs {k2}");
-    assert_eq!(out.shape(), (m, n), "matmul_a_bt output shape mismatch");
-
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    drive(exec, m, n, k, out, &|lo, hi, rows| {
-        for i in lo..hi {
-            let a_row = &a_data[i * k..(i + 1) * k];
-            let c_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
-            for (j, c) in c_row.iter_mut().enumerate() {
-                *c = dot(a_row, &b_data[j * k..(j + 1) * k]);
-            }
+/// Scalar `a_bt` tile kernel: rows `lo..hi` of `C = A · Bᵀ`, one [`dot`]
+/// per output element.
+pub(crate) fn a_bt_tile(
+    desc: &MatmulDesc,
+    a_data: &[f32],
+    b_data: &[f32],
+    lo: usize,
+    hi: usize,
+    rows: &mut [f32],
+) {
+    let (k, n) = (desc.k, desc.n);
+    for i in lo..hi {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        let c_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
+        for (j, c) in c_row.iter_mut().enumerate() {
+            *c = dot(a_row, &b_data[j * k..(j + 1) * k]);
         }
-    });
+    }
 }
 
 /// Dot product of two equal-length slices, unrolled eight lanes wide.
@@ -352,6 +308,9 @@ fn matmul_a_bt_exec(a: &Tensor, b: &Tensor, out: &mut Tensor, exec: Exec) {
 /// The eight partial sums collapse through a fixed reduction tree, so the
 /// result depends only on the inputs — not on tiling or thread count —
 /// while giving LLVM straight-line code it can keep in vector registers.
+/// The SIMD backend's row-dot kernel reproduces this exact shape: one
+/// eight-lane accumulator chain per output, the same tree, the same
+/// ascending scalar tail.
 #[inline]
 pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -374,6 +333,7 @@ pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::PAR_THRESHOLD;
     use crate::Initializer;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -451,22 +411,6 @@ mod tests {
         let mut out = Tensor::full(2, 2, 42.0);
         matmul_a_bt_into(&a, &bt, &mut out);
         assert_eq!(out, matmul_a_bt(&a, &bt));
-    }
-
-    #[test]
-    fn tile_bounds_cover_rows_exactly_once() {
-        for m in [1usize, 2, 7, 16, 33] {
-            for tiles in 1..=m {
-                let mut next = 0;
-                for t in 0..tiles {
-                    let (lo, hi) = tile_bounds(m, tiles, t);
-                    assert_eq!(lo, next, "m={m} tiles={tiles} t={t}");
-                    assert!(hi > lo);
-                    next = hi;
-                }
-                assert_eq!(next, m);
-            }
-        }
     }
 
     /// Every kernel, pinned to 1 / 2 / 8 threads, must reproduce the

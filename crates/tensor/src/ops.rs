@@ -3,13 +3,21 @@
 //! Both are numerically stabilised by subtracting the per-row maximum before
 //! exponentiation, the standard trick that keeps logits of any magnitude
 //! finite.
+//!
+//! The public functions dispatch through the active
+//! [`crate::backend::Backend`]; the `*_reference` implementations in this
+//! module are the trait's default bodies and the bit-identity reference any
+//! overriding backend must match (in particular, `exp`/`ln` must remain the
+//! libm calls — serving pins f32 results to the training graph).
 
+use crate::backend;
 use crate::Tensor;
 
 /// Row-wise softmax, allocating the output.
 pub fn softmax_rows(x: &Tensor) -> Tensor {
     let mut out = x.clone();
-    softmax_rows_in_place(&mut out);
+    let cols = out.cols();
+    backend::current().softmax_rows_in_place(cols, out.as_mut_slice());
     out
 }
 
@@ -21,12 +29,16 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
 pub fn softmax_rows_into(x: &Tensor, out: &mut Tensor) {
     assert_eq!(x.shape(), out.shape(), "softmax output shape mismatch");
     out.as_mut_slice().copy_from_slice(x.as_slice());
-    softmax_rows_in_place(out);
+    let cols = out.cols();
+    backend::current().softmax_rows_in_place(cols, out.as_mut_slice());
 }
 
-fn softmax_rows_in_place(x: &mut Tensor) {
-    for r in 0..x.rows() {
-        let row = x.row_mut(r);
+/// Reference row-wise softmax over a `rows × cols` row-major buffer.
+pub(crate) fn softmax_rows_reference(cols: usize, data: &mut [f32]) {
+    if cols == 0 {
+        return;
+    }
+    for row in data.chunks_mut(cols) {
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for v in row.iter_mut() {
@@ -45,15 +57,23 @@ fn softmax_rows_in_place(x: &mut Tensor) {
 /// `log_softmax(x)_i = x_i - max - log(sum_j exp(x_j - max))`.
 pub fn log_softmax_rows(x: &Tensor) -> Tensor {
     let mut out = x.clone();
-    for r in 0..out.rows() {
-        let row = out.row_mut(r);
+    let cols = out.cols();
+    backend::current().log_softmax_rows_in_place(cols, out.as_mut_slice());
+    out
+}
+
+/// Reference row-wise log-softmax over a `rows × cols` row-major buffer.
+pub(crate) fn log_softmax_rows_reference(cols: usize, data: &mut [f32]) {
+    if cols == 0 {
+        return;
+    }
+    for row in data.chunks_mut(cols) {
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let log_sum: f32 = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
         for v in row.iter_mut() {
             *v = *v - max - log_sum;
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -100,5 +120,12 @@ mod tests {
         for c in 0..4 {
             assert!((s.get(0, c) - 0.25).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn zero_width_rows_are_a_noop() {
+        let x = Tensor::zeros(3, 0);
+        assert_eq!(softmax_rows(&x).shape(), (3, 0));
+        assert_eq!(log_softmax_rows(&x).shape(), (3, 0));
     }
 }

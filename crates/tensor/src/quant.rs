@@ -50,8 +50,11 @@
 //! serving layer. The kernels run on the same [`crate::pool`] row-tiling
 //! driver as [`crate::matmul`].
 
-use crate::matmul::{drive, Exec};
+use crate::backend::{self, drive, Exec, MatmulDesc};
 use crate::Tensor;
+
+#[cfg(target_arch = "x86_64")]
+use crate::backend::MatmulAlgo;
 
 /// Per-row affine parameters for one quantized row.
 #[derive(Clone, Copy)]
@@ -440,6 +443,16 @@ fn quant_matmul_exec(a: &Tensor, w: &QuantMatrix, out: &mut Tensor, exec: Exec) 
     assert_eq!(k, k2, "quant_matmul inner dimension mismatch: {k} vs {k2}");
     assert_eq!(out.shape(), (m, n), "quant_matmul output shape mismatch");
 
+    // The int8 product goes through the same descriptor API as the f32
+    // kernels: the active backend picks the algorithm (VNNI-packed or
+    // portable) per shape and the choice is recorded in the trace
+    // counters. Both kernels compute the same exact integers, so the
+    // selection never changes results.
+    let desc = MatmulDesc::a_b(m, k, n);
+    let algo = backend::select_quant_recorded(&desc, w.packed.is_some());
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = algo;
+
     // Dynamic per-row activation quantization, done once on the calling
     // thread (O(m·k), ~0.4% of the O(m·k·n) product) so tile workers see
     // identical inputs regardless of the split.
@@ -463,7 +476,11 @@ fn quant_matmul_exec(a: &Tensor, w: &QuantMatrix, out: &mut Tensor, exec: Exec) 
 
     let w_data = &w.data;
     #[cfg(target_arch = "x86_64")]
-    if let Some(packed) = &w.packed {
+    if algo == MatmulAlgo::QuantVnni {
+        let packed = w
+            .packed
+            .as_ref()
+            .expect("QuantVnni selected without a packed layout");
         let kp = k.div_ceil(4) * 4;
         // activation rows re-padded to the packed depth so the kernel can
         // stream whole 4-byte groups; padded bytes multiply zero weights

@@ -1,0 +1,703 @@
+//! Hand-scheduled AVX2/AVX-512 f32 kernels behind the [`Backend`] trait.
+//!
+//! # How bit-identity with the scalar backend is achieved
+//!
+//! The scalar kernels fix, per output element, a single accumulation
+//! order (see the [`crate::backend`] module docs). These kernels keep
+//! that order while changing only *how many output elements advance per
+//! instruction*:
+//!
+//! * `a_b` / `at_b` — each output element's chain runs over ascending
+//!   `p`, so the kernels broadcast one `A` element and advance 8 or 16
+//!   *independent* output columns at once (`acc = add(acc, mul(a, b))`,
+//!   never FMA — Rust never contracts `mul`+`add`, and neither may we,
+//!   since fused rounding would split from the scalar result). The
+//!   scalar zero-skip (`A` elements equal to `0.0` contribute nothing)
+//!   is mirrored with the same scalar compare before each broadcast.
+//! * `a_bt` — the scalar [`crate::matmul::dot`] is *structure*-bound:
+//!   eight partial sums collapsed by a fixed tree. The SIMD kernel keeps
+//!   exactly one eight-lane accumulator chain per output element (lane
+//!   `l` equals the scalar `acc[l]` after every chunk) and wins its
+//!   instruction-level parallelism by keeping four output dots in flight
+//!   instead of widening a single dot to 16 lanes, which would split the
+//!   chains and change the bits. The horizontal reduction replays the
+//!   scalar tree node for node, then the same ascending scalar tail.
+//!
+//! Ragged edges use masked loads/stores (`vmaskmovps` on AVX2,
+//! `k`-register masks on AVX-512), which are fault-suppressing, so no
+//! kernel ever reads past a row.
+//!
+//! Selection is per shape: outputs narrower than one vector fall back to
+//! the scalar kernels (the mask overhead cannot pay), and the AVX-512
+//! forms require 16-wide outputs. `tests/backend_conformance.rs`
+//! differentially verifies every path against the scalar reference.
+
+use crate::backend::{scalar_tile, Backend, MatmulAlgo, MatmulDesc, MatmulOp};
+
+/// x86 SIMD backend: AVX2 baseline, AVX-512 forms where detected.
+///
+/// On non-x86_64 targets the backend still registers but reports
+/// unsupported, so [`crate::backend::resolve`] routes everything to
+/// scalar.
+pub struct SimdBackend;
+
+#[cfg(target_arch = "x86_64")]
+fn has_avx2() -> bool {
+    use std::sync::OnceLock;
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+#[cfg(target_arch = "x86_64")]
+fn has_avx512() -> bool {
+    use std::sync::OnceLock;
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED.get_or_init(|| std::arch::is_x86_feature_detected!("avx512f"))
+}
+
+impl Backend for SimdBackend {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn supported(&self) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            has_avx2()
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    fn select(&self, desc: &MatmulDesc) -> MatmulAlgo {
+        #[cfg(target_arch = "x86_64")]
+        {
+            match desc.op() {
+                // Broadcast kernels vectorise over output columns: below
+                // one vector of columns the masked tail is the whole
+                // kernel, so the scalar form wins.
+                MatmulOp::AB => {
+                    if has_avx512() && desc.n >= 16 {
+                        MatmulAlgo::SimdBroadcast512
+                    } else if desc.n >= 8 {
+                        MatmulAlgo::SimdBroadcast256
+                    } else {
+                        MatmulAlgo::ScalarRegTile
+                    }
+                }
+                MatmulOp::AtB => {
+                    if has_avx512() && desc.n >= 16 {
+                        MatmulAlgo::SimdBroadcast512
+                    } else if desc.n >= 8 {
+                        MatmulAlgo::SimdBroadcast256
+                    } else {
+                        MatmulAlgo::ScalarStream
+                    }
+                }
+                // The row-dot kernel vectorises over the shared dimension.
+                MatmulOp::ABt => {
+                    if desc.k >= 8 {
+                        MatmulAlgo::SimdRowDot256
+                    } else {
+                        MatmulAlgo::ScalarRowDot
+                    }
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            match desc.op() {
+                MatmulOp::AB => MatmulAlgo::ScalarRegTile,
+                MatmulOp::AtB => MatmulAlgo::ScalarStream,
+                MatmulOp::ABt => MatmulAlgo::ScalarRowDot,
+            }
+        }
+    }
+
+    fn select_quant(&self, _desc: &MatmulDesc, packed: bool) -> MatmulAlgo {
+        // `packed` is only ever true when AVX-512 VNNI was detected at
+        // quantization time (same process), so packed ⇒ the kernel runs.
+        if packed {
+            MatmulAlgo::QuantVnni
+        } else {
+            MatmulAlgo::QuantPortable
+        }
+    }
+
+    fn matmul_tile(
+        &self,
+        desc: &MatmulDesc,
+        algo: MatmulAlgo,
+        a: &[f32],
+        b: &[f32],
+        lo: usize,
+        hi: usize,
+        rows: &mut [f32],
+    ) {
+        match algo {
+            MatmulAlgo::ScalarRegTile | MatmulAlgo::ScalarStream | MatmulAlgo::ScalarRowDot => {
+                scalar_tile(desc, algo, a, b, lo, hi, rows);
+            }
+            #[cfg(target_arch = "x86_64")]
+            // Safety: these algos are only selected after runtime feature
+            // detection (avx512f / avx2 respectively), and `drive` hands
+            // the kernels in-bounds row ranges of a correctly sized out.
+            MatmulAlgo::SimdBroadcast512 => unsafe {
+                match desc.op() {
+                    MatmulOp::AB => x86::a_b_512(desc, a, b, lo, hi, rows),
+                    MatmulOp::AtB => x86::at_b_512(desc, a, b, lo, hi, rows),
+                    MatmulOp::ABt => unreachable!("broadcast algo is never selected for a_bt"),
+                }
+            },
+            #[cfg(target_arch = "x86_64")]
+            MatmulAlgo::SimdBroadcast256 => unsafe {
+                match desc.op() {
+                    MatmulOp::AB => x86::a_b_256(desc, a, b, lo, hi, rows),
+                    MatmulOp::AtB => x86::at_b_256(desc, a, b, lo, hi, rows),
+                    MatmulOp::ABt => unreachable!("broadcast algo is never selected for a_bt"),
+                }
+            },
+            #[cfg(target_arch = "x86_64")]
+            MatmulAlgo::SimdRowDot256 => unsafe { x86::a_bt_256(desc, a, b, lo, hi, rows) },
+            other => panic!("simd backend cannot run algo {other:?}"),
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::MatmulDesc;
+    use std::arch::x86_64::*;
+
+    /// Output rows per AVX-512 register block of [`a_b_512`].
+    const BLK_ROWS: usize = 4;
+
+    /// Rows `lo..hi` of `C = A · B`, AVX-512 broadcast form.
+    ///
+    /// Full blocks run [`BLK_ROWS`] output rows × 64 columns (16 zmm
+    /// accumulators) so each streamed `B` vector feeds four rows and the
+    /// sixteen independent add chains cover the vector-add latency — a
+    /// single-row form is latency-bound and loses to the autovectorised
+    /// scalar tile. Row/column tails fall back to a one-row loop: 16-wide
+    /// blocks, then one masked block. Every path accumulates each
+    /// `C[i][j]` over ascending `p`, skipping `A[i][p] == 0.0`, with
+    /// separate mul and add (no FMA), matching the scalar kernels bitwise.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f; slices must match `desc` with `lo..hi` in range
+    /// and `rows` holding exactly those output rows.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn a_b_512(
+        desc: &MatmulDesc,
+        a: &[f32],
+        b: &[f32],
+        lo: usize,
+        hi: usize,
+        rows: &mut [f32],
+    ) {
+        let (k, n) = (desc.k, desc.n);
+        let a_ptr = a.as_ptr();
+        let b_ptr = b.as_ptr();
+        let out = rows.as_mut_ptr();
+        let mut i = lo;
+        while i + BLK_ROWS <= hi {
+            let a_rows = [
+                a_ptr.add(i * k),
+                a_ptr.add((i + 1) * k),
+                a_ptr.add((i + 2) * k),
+                a_ptr.add((i + 3) * k),
+            ];
+            // One pass over the block's A rows: when no factor is zero —
+            // the common dense case — the hot loop below drops the
+            // per-element skip check entirely (bit-identical, since the
+            // skip would never fire) and its broadcasts fold into memory
+            // operands instead of shuffle-port µops.
+            let mut block_has_zero = false;
+            for a_row in a_rows {
+                for p in 0..k {
+                    block_has_zero |= *a_row.add(p) == 0.0;
+                }
+            }
+            let mut j = 0;
+            while j + 64 <= n {
+                let mut acc = [[_mm512_setzero_ps(); 4]; BLK_ROWS];
+                if block_has_zero {
+                    for p in 0..k {
+                        let base = b_ptr.add(p * n + j);
+                        let vb = [
+                            _mm512_loadu_ps(base),
+                            _mm512_loadu_ps(base.add(16)),
+                            _mm512_loadu_ps(base.add(32)),
+                            _mm512_loadu_ps(base.add(48)),
+                        ];
+                        for (r, row_acc) in acc.iter_mut().enumerate() {
+                            let a_ip = *a_rows[r].add(p);
+                            if a_ip == 0.0 {
+                                continue; // embeddings & one-hots make zero rows common
+                            }
+                            let va = _mm512_set1_ps(a_ip);
+                            for (c, lane) in row_acc.iter_mut().enumerate() {
+                                *lane = _mm512_add_ps(*lane, _mm512_mul_ps(va, vb[c]));
+                            }
+                        }
+                    }
+                } else {
+                    for p in 0..k {
+                        let base = b_ptr.add(p * n + j);
+                        if p + 2 < k {
+                            // pull the B row two iterations out of L2 so the
+                            // loads below hit L1
+                            _mm_prefetch::<_MM_HINT_T0>(base.add(2 * n).cast());
+                            _mm_prefetch::<_MM_HINT_T0>(base.add(2 * n + 32).cast());
+                        }
+                        let vb = [
+                            _mm512_loadu_ps(base),
+                            _mm512_loadu_ps(base.add(16)),
+                            _mm512_loadu_ps(base.add(32)),
+                            _mm512_loadu_ps(base.add(48)),
+                        ];
+                        for (r, row_acc) in acc.iter_mut().enumerate() {
+                            let va = _mm512_set1_ps(*a_rows[r].add(p));
+                            for (c, lane) in row_acc.iter_mut().enumerate() {
+                                *lane = _mm512_add_ps(*lane, _mm512_mul_ps(va, vb[c]));
+                            }
+                        }
+                    }
+                }
+                for (r, row_acc) in acc.iter().enumerate() {
+                    let c_row = out.add((i + r - lo) * n);
+                    for (c, lane) in row_acc.iter().enumerate() {
+                        _mm512_storeu_ps(c_row.add(j + 16 * c), *lane);
+                    }
+                }
+                j += 64;
+            }
+            if j < n {
+                for (r, &a_row) in a_rows.iter().enumerate() {
+                    a_b_512_row(k, n, a_row, b_ptr, out.add((i + r - lo) * n), j);
+                }
+            }
+            i += BLK_ROWS;
+        }
+        while i < hi {
+            a_b_512_row(k, n, a_ptr.add(i * k), b_ptr, out.add((i - lo) * n), 0);
+            i += 1;
+        }
+    }
+
+    /// Columns `j0..n` of one output row of `C = A · B`: 16-wide blocks,
+    /// then one masked block. The tail path of [`a_b_512`]; same
+    /// accumulation order.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f; `a_row`/`c_row` must point at full rows of `A`/`C`
+    /// and `b` at the full `k × n` matrix, with `j0 <= n`.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn a_b_512_row(
+        k: usize,
+        n: usize,
+        a_row: *const f32,
+        b: *const f32,
+        c_row: *mut f32,
+        j0: usize,
+    ) {
+        let mut j = j0;
+        while j < n {
+            let rem = n - j;
+            let mask: __mmask16 = if rem >= 16 { 0xffff } else { (1u16 << rem) - 1 };
+            let mut acc = _mm512_setzero_ps();
+            for p in 0..k {
+                let a_ip = *a_row.add(p);
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let va = _mm512_set1_ps(a_ip);
+                let vb = _mm512_maskz_loadu_ps(mask, b.add(p * n + j));
+                acc = _mm512_add_ps(acc, _mm512_mul_ps(va, vb));
+            }
+            _mm512_mask_storeu_ps(c_row.add(j), mask, acc);
+            j += 16;
+        }
+    }
+
+    /// Rows `lo..hi` of `C = A · B`, AVX2 broadcast form (8-wide analogue
+    /// of [`a_b_512`]; masked ragged tail via `vmaskmovps`).
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2; same slice contract as [`a_b_512`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn a_b_256(
+        desc: &MatmulDesc,
+        a: &[f32],
+        b: &[f32],
+        lo: usize,
+        hi: usize,
+        rows: &mut [f32],
+    ) {
+        let (k, n) = (desc.k, desc.n);
+        let a_ptr = a.as_ptr();
+        let b_ptr = b.as_ptr();
+        let out = rows.as_mut_ptr();
+        for i in lo..hi {
+            let a_row = a_ptr.add(i * k);
+            let c_row = out.add((i - lo) * n);
+            let mut j = 0;
+            while j + 32 <= n {
+                let mut acc = [_mm256_setzero_ps(); 4];
+                for p in 0..k {
+                    let a_ip = *a_row.add(p);
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let va = _mm256_set1_ps(a_ip);
+                    let base = b_ptr.add(p * n + j);
+                    for (c, lane) in acc.iter_mut().enumerate() {
+                        let vb = _mm256_loadu_ps(base.add(8 * c));
+                        *lane = _mm256_add_ps(*lane, _mm256_mul_ps(va, vb));
+                    }
+                }
+                for (c, lane) in acc.iter().enumerate() {
+                    _mm256_storeu_ps(c_row.add(j + 8 * c), *lane);
+                }
+                j += 32;
+            }
+            while j + 8 <= n {
+                let mut acc = _mm256_setzero_ps();
+                for p in 0..k {
+                    let a_ip = *a_row.add(p);
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let va = _mm256_set1_ps(a_ip);
+                    let vb = _mm256_loadu_ps(b_ptr.add(p * n + j));
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+                }
+                _mm256_storeu_ps(c_row.add(j), acc);
+                j += 8;
+            }
+            if j < n {
+                let mask = tail_mask(n - j);
+                let mut acc = _mm256_setzero_ps();
+                for p in 0..k {
+                    let a_ip = *a_row.add(p);
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let va = _mm256_set1_ps(a_ip);
+                    let vb = _mm256_maskload_ps(b_ptr.add(p * n + j), mask);
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+                }
+                _mm256_maskstore_ps(c_row.add(j), mask, acc);
+            }
+        }
+    }
+
+    /// Rows `lo..hi` of `C = Aᵀ · B`, AVX-512 form.
+    ///
+    /// Structurally [`a_b_512`] with `A` read column-wise (`A[p · m + i]`,
+    /// `A` stored `k × m`): full [`BLK_ROWS`] × 64 register blocks with the
+    /// same no-zero fast path, so large products stop round-tripping
+    /// output rows through memory once per `p` (which loses to the
+    /// autovectorised scalar stream). Row/column tails keep the scalar
+    /// kernel's `p`-outer streaming loop, vectorised. Per-element order
+    /// and zero-skip match scalar everywhere.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f; same slice contract as [`a_b_512`] (with `A`
+    /// stored `k × m`).
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn at_b_512(
+        desc: &MatmulDesc,
+        a: &[f32],
+        b: &[f32],
+        lo: usize,
+        hi: usize,
+        rows: &mut [f32],
+    ) {
+        let (m, k, n) = (desc.m, desc.k, desc.n);
+        rows.fill(0.0);
+        let a_ptr = a.as_ptr();
+        let b_ptr = b.as_ptr();
+        let out = rows.as_mut_ptr();
+        let mut i = lo;
+        while i + BLK_ROWS <= hi {
+            let mut block_has_zero = false;
+            for r in 0..BLK_ROWS {
+                for p in 0..k {
+                    block_has_zero |= *a_ptr.add(p * m + i + r) == 0.0;
+                }
+            }
+            let mut j = 0;
+            while j + 64 <= n {
+                let mut acc = [[_mm512_setzero_ps(); 4]; BLK_ROWS];
+                if block_has_zero {
+                    for p in 0..k {
+                        let base = b_ptr.add(p * n + j);
+                        let vb = [
+                            _mm512_loadu_ps(base),
+                            _mm512_loadu_ps(base.add(16)),
+                            _mm512_loadu_ps(base.add(32)),
+                            _mm512_loadu_ps(base.add(48)),
+                        ];
+                        let a_col = a_ptr.add(p * m + i);
+                        for (r, row_acc) in acc.iter_mut().enumerate() {
+                            let a_pi = *a_col.add(r);
+                            if a_pi == 0.0 {
+                                continue;
+                            }
+                            let va = _mm512_set1_ps(a_pi);
+                            for (c, lane) in row_acc.iter_mut().enumerate() {
+                                *lane = _mm512_add_ps(*lane, _mm512_mul_ps(va, vb[c]));
+                            }
+                        }
+                    }
+                } else {
+                    for p in 0..k {
+                        let base = b_ptr.add(p * n + j);
+                        if p + 2 < k {
+                            _mm_prefetch::<_MM_HINT_T0>(base.add(2 * n).cast());
+                            _mm_prefetch::<_MM_HINT_T0>(base.add(2 * n + 32).cast());
+                        }
+                        let vb = [
+                            _mm512_loadu_ps(base),
+                            _mm512_loadu_ps(base.add(16)),
+                            _mm512_loadu_ps(base.add(32)),
+                            _mm512_loadu_ps(base.add(48)),
+                        ];
+                        let a_col = a_ptr.add(p * m + i);
+                        for (r, row_acc) in acc.iter_mut().enumerate() {
+                            let va = _mm512_set1_ps(*a_col.add(r));
+                            for (c, lane) in row_acc.iter_mut().enumerate() {
+                                *lane = _mm512_add_ps(*lane, _mm512_mul_ps(va, vb[c]));
+                            }
+                        }
+                    }
+                }
+                for (r, row_acc) in acc.iter().enumerate() {
+                    let c_row = out.add((i + r - lo) * n);
+                    for (c, lane) in row_acc.iter().enumerate() {
+                        _mm512_storeu_ps(c_row.add(j + 16 * c), *lane);
+                    }
+                }
+                j += 64;
+            }
+            if j < n {
+                at_b_512_stream(m, k, n, a_ptr, b_ptr, out, lo, i, i + BLK_ROWS, j);
+            }
+            i += BLK_ROWS;
+        }
+        if i < hi {
+            at_b_512_stream(m, k, n, a_ptr, b_ptr, out, lo, i, hi, 0);
+        }
+    }
+
+    /// Columns `j0..n` of output rows `row_start..row_end` of `C = Aᵀ · B`:
+    /// the scalar kernel's `p`-outer streaming loop, vectorised 16-wide
+    /// with a masked tail. The tail path of [`at_b_512`]; requires the
+    /// target rows to have been zero-filled.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f; pointer/range contract as in [`at_b_512`], with
+    /// `lo <= row_start <= row_end <= hi` and `j0 <= n`.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)] // flat coordinate bundle on the hot path
+    unsafe fn at_b_512_stream(
+        m: usize,
+        k: usize,
+        n: usize,
+        a_ptr: *const f32,
+        b_ptr: *const f32,
+        out: *mut f32,
+        lo: usize,
+        row_start: usize,
+        row_end: usize,
+        j0: usize,
+    ) {
+        for p in 0..k {
+            let b_row = b_ptr.add(p * n);
+            for i in row_start..row_end {
+                let a_pi = *a_ptr.add(p * m + i);
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let va = _mm512_set1_ps(a_pi);
+                let c_row = out.add((i - lo) * n);
+                let mut j = j0;
+                while j + 16 <= n {
+                    let vb = _mm512_loadu_ps(b_row.add(j));
+                    let vc = _mm512_loadu_ps(c_row.add(j));
+                    _mm512_storeu_ps(c_row.add(j), _mm512_add_ps(vc, _mm512_mul_ps(va, vb)));
+                    j += 16;
+                }
+                if j < n {
+                    let mask: __mmask16 = (1u16 << (n - j)) - 1;
+                    let vb = _mm512_maskz_loadu_ps(mask, b_row.add(j));
+                    let vc = _mm512_maskz_loadu_ps(mask, c_row.add(j));
+                    _mm512_mask_storeu_ps(
+                        c_row.add(j),
+                        mask,
+                        _mm512_add_ps(vc, _mm512_mul_ps(va, vb)),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rows `lo..hi` of `C = Aᵀ · B`, AVX2 analogue of [`at_b_512`].
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2; same slice contract as [`at_b_512`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn at_b_256(
+        desc: &MatmulDesc,
+        a: &[f32],
+        b: &[f32],
+        lo: usize,
+        hi: usize,
+        rows: &mut [f32],
+    ) {
+        let (m, k, n) = (desc.m, desc.k, desc.n);
+        rows.fill(0.0);
+        let a_ptr = a.as_ptr();
+        let b_ptr = b.as_ptr();
+        let out = rows.as_mut_ptr();
+        for p in 0..k {
+            let b_row = b_ptr.add(p * n);
+            for i in lo..hi {
+                let a_pi = *a_ptr.add(p * m + i);
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let va = _mm256_set1_ps(a_pi);
+                let c_row = out.add((i - lo) * n);
+                let mut j = 0;
+                while j + 8 <= n {
+                    let vb = _mm256_loadu_ps(b_row.add(j));
+                    let vc = _mm256_loadu_ps(c_row.add(j));
+                    _mm256_storeu_ps(c_row.add(j), _mm256_add_ps(vc, _mm256_mul_ps(va, vb)));
+                    j += 8;
+                }
+                if j < n {
+                    let mask = tail_mask(n - j);
+                    let vb = _mm256_maskload_ps(b_row.add(j), mask);
+                    let vc = _mm256_maskload_ps(c_row.add(j), mask);
+                    _mm256_maskstore_ps(
+                        c_row.add(j),
+                        mask,
+                        _mm256_add_ps(vc, _mm256_mul_ps(va, vb)),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rows `lo..hi` of `C = A · Bᵀ`: one eight-lane accumulator chain per
+    /// output element (lane `l` equals the scalar `dot`'s `acc[l]` after
+    /// every chunk), four output dots in flight for ILP, the scalar
+    /// reduction tree replayed by [`reduce8_tree`], and the same ascending
+    /// scalar tail.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2; slices must match `desc` (with `B` stored `n × k`)
+    /// and `rows` must hold exactly rows `lo..hi`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn a_bt_256(
+        desc: &MatmulDesc,
+        a: &[f32],
+        b: &[f32],
+        lo: usize,
+        hi: usize,
+        rows: &mut [f32],
+    ) {
+        let (k, n) = (desc.k, desc.n);
+        let a_ptr = a.as_ptr();
+        let b_ptr = b.as_ptr();
+        let out = rows.as_mut_ptr();
+        let chunks = k / 8;
+        for i in lo..hi {
+            let a_row = a_ptr.add(i * k);
+            let c_row = out.add((i - lo) * n);
+            let mut j = 0;
+            while j + 4 <= n {
+                let b_rows = [
+                    b_ptr.add(j * k),
+                    b_ptr.add((j + 1) * k),
+                    b_ptr.add((j + 2) * k),
+                    b_ptr.add((j + 3) * k),
+                ];
+                let mut acc = [_mm256_setzero_ps(); 4];
+                for c in 0..chunks {
+                    let va = _mm256_loadu_ps(a_row.add(8 * c));
+                    for (l, lane) in acc.iter_mut().enumerate() {
+                        let vb = _mm256_loadu_ps(b_rows[l].add(8 * c));
+                        *lane = _mm256_add_ps(*lane, _mm256_mul_ps(va, vb));
+                    }
+                }
+                for (l, lane) in acc.iter().enumerate() {
+                    let mut tail = 0.0f32;
+                    for t in chunks * 8..k {
+                        tail += *a_row.add(t) * *b_rows[l].add(t);
+                    }
+                    *c_row.add(j + l) = reduce8_tree(*lane) + tail;
+                }
+                j += 4;
+            }
+            while j < n {
+                let b_row = b_ptr.add(j * k);
+                let mut acc = _mm256_setzero_ps();
+                for c in 0..chunks {
+                    let va = _mm256_loadu_ps(a_row.add(8 * c));
+                    let vb = _mm256_loadu_ps(b_row.add(8 * c));
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+                }
+                let mut tail = 0.0f32;
+                for t in chunks * 8..k {
+                    tail += *a_row.add(t) * *b_row.add(t);
+                }
+                *c_row.add(j) = reduce8_tree(acc) + tail;
+                j += 1;
+            }
+        }
+    }
+
+    /// Collapses eight accumulator lanes through the exact tree of the
+    /// scalar [`crate::matmul::dot`]:
+    /// `((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))`, node for node, operand
+    /// order preserved.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2 (for the 128-bit shuffles; callers already have it).
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce8_tree(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps::<1>(v);
+        // s = [l0+l4, l1+l5, l2+l6, l3+l7]
+        let s = _mm_add_ps(lo, hi);
+        // pairs[0] = s0+s1, pairs[2] = s2+s3 (0xB1 swaps within pairs)
+        let pairs = _mm_add_ps(s, _mm_shuffle_ps::<0xB1>(s, s));
+        let r = _mm_add_ss(pairs, _mm_movehl_ps(pairs, pairs));
+        _mm_cvtss_f32(r)
+    }
+
+    /// AVX2 ragged-tail mask: lanes `< rem` enabled (high bit set).
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2. `rem` must be `< 8`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn tail_mask(rem: usize) -> __m256i {
+        debug_assert!(rem < 8);
+        let idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+        _mm256_cmpgt_epi32(_mm256_set1_epi32(rem as i32), idx)
+    }
+}

@@ -80,8 +80,9 @@ failures = []
 compared = 0
 for key, base in base_entries.items():
     fresh_entry = fresh_entries.get(key)
+    label = ", ".join(str(v) for _, v in key)
     if fresh_entry is None:
-        failures.append(f"{dict(key)}: present in baseline but missing from fresh run")
+        failures.append(f"{baseline_path} [{label}]: entry present in baseline but missing from {fresh_path}")
         continue
     for field, base_val in base.items():
         # Gate wall-time fields only: lower is better, regression = growth
@@ -91,16 +92,18 @@ for key, base in base_entries.items():
             continue
         fresh_val = fresh_entry.get(field)
         if not isinstance(fresh_val, (int, float)):
-            failures.append(f"{dict(key)}: field {field} missing from fresh run")
+            failures.append(f"{baseline_path} [{label}] field {field}: present in baseline but missing from {fresh_path}")
             continue
         compared += 1
         limit = base_val * (1 + tol_pct / 100.0)
         delta_pct = (fresh_val - base_val) / base_val * 100.0
         status = "FAIL" if fresh_val > limit else "ok"
-        label = ", ".join(str(v) for _, v in key)
         print(f"  [{status:>4}] {label:<20} {field:<12} {base_val:>14.1f} -> {fresh_val:>14.1f} ({delta_pct:+.1f}%)")
         if fresh_val > limit:
-            failures.append(f"{label} {field}: {base_val:.1f} -> {fresh_val:.1f} ns ({delta_pct:+.1f}% > +{tol_pct:.0f}%)")
+            failures.append(
+                f"{baseline_path} [{label}] field {field}: "
+                f"{base_val:.1f} -> {fresh_val:.1f} ns ({delta_pct:+.1f}% > +{tol_pct:.0f}%)"
+            )
 
 print(f"bench_gate: {fresh_path} vs {baseline_path}: {compared} timings, tolerance +{tol_pct:.0f}%")
 if failures:

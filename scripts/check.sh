@@ -25,14 +25,21 @@ cargo test -q
 # The fault-tolerance, tensor-property and quant-property suites exercise
 # code paths that differ between serial and parallel pools (panic
 # containment, shard merging, tile claiming, int8 column-tile claiming) —
-# run them at several pool widths. The serve suites (batching, replica
-# router, trace gauges) ride along because replica workers drive the
-# pool from several threads at once.
+# run them at several pool widths, crossed with each tensor backend
+# (TENSOR_BACKEND): the determinism contract says results are bit-identical
+# across backends × thread counts, and the conformance/selection suites
+# assert exactly that. The serve suites (batching, replica router, trace
+# gauges) ride along because replica workers drive the pool from several
+# threads at once.
 for threads in 1 2 4; do
-    echo "== pool-sensitive suites (TENSOR_THREADS=$threads) =="
-    TENSOR_THREADS=$threads cargo test -q -p cuisine \
-        --test fault_tolerance --test tensor_properties \
-        --test quant_properties
+    for be in scalar simd; do
+        echo "== pool-sensitive suites (TENSOR_THREADS=$threads TENSOR_BACKEND=$be) =="
+        TENSOR_THREADS=$threads TENSOR_BACKEND=$be cargo test -q -p cuisine \
+            --test fault_tolerance --test tensor_properties \
+            --test quant_properties --test backend_conformance \
+            --test backend_selection
+    done
+    echo "== serve suites (TENSOR_THREADS=$threads) =="
     TENSOR_THREADS=$threads cargo test -q -p serve \
         --test serve_integration --test supervisor_integration \
         --test trace_integration

@@ -1,0 +1,182 @@
+//! Shared fixtures for the kernel test suites.
+//!
+//! `tensor_properties.rs` (thread invariance) and `backend_conformance.rs`
+//! (backend invariance) deliberately share one shape generator and one set
+//! of naive references, so any shape either suite discovers as adversarial
+//! exercises both contracts.
+//!
+//! The naive references reproduce the documented accumulation contract
+//! exactly (see `docs/BACKENDS.md`): `a_b`/`at_b` accumulate ascending
+//! over the shared dimension skipping `A` factors that are exactly `0.0`,
+//! and `a_bt` replays the fixed eight-lane reduction tree of the `dot`
+//! kernel. That makes every differential check in these suites *bitwise*,
+//! not approximate.
+
+#![allow(dead_code)] // each test binary uses a subset of these fixtures
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{Initializer, Tensor};
+
+/// Thread counts the pool-sensitive suites sweep (`run_scoped` makes these
+/// real threads even on single-core runners).
+pub const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Shapes that stress tile boundaries: 1, primes, and a couple of sizes
+/// around the blocking factor.
+pub fn ragged_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(2),
+        Just(3),
+        Just(5),
+        Just(7),
+        Just(13),
+        Just(17),
+        Just(31)
+    ]
+}
+
+/// [`ragged_dim`] plus degenerate (zero) and vector-width-straddling sizes:
+/// one element below, at, and above the 8-lane AVX2 and 16-lane AVX-512
+/// widths and the 32/64-column register blocks, where masked-tail bugs
+/// live.
+pub fn conformance_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1),
+        Just(2),
+        Just(3),
+        Just(5),
+        Just(7),
+        Just(8),
+        Just(9),
+        Just(13),
+        Just(15),
+        Just(16),
+        Just(17),
+        Just(31),
+        Just(32),
+        Just(33),
+        Just(63),
+        Just(64),
+        Just(65)
+    ]
+}
+
+/// Deterministic grid of `(m, k, n)` shapes covering the degenerate and
+/// width-straddling cases, for non-proptest sweeps that reproduce without
+/// a seed.
+pub const FIXED_SHAPE_GRID: [(usize, usize, usize); 14] = [
+    (1, 1, 1),
+    (0, 3, 4),
+    (3, 0, 4),
+    (3, 4, 0),
+    (1, 31, 1),
+    (31, 1, 31),
+    (2, 17, 5),
+    (13, 13, 13),
+    (7, 64, 3),
+    (64, 7, 64),
+    (4, 8, 16),
+    (5, 9, 17),
+    (3, 15, 65),
+    (16, 33, 63),
+];
+
+pub fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Initializer::Uniform(2.0).init(rows, cols, &mut rng)
+}
+
+/// Naive `C = A · B` with the documented accumulation contract: ascending
+/// `p`, factors with `A[i][p] == 0.0` skipped (not multiplied), so the
+/// blocked/SIMD kernels can be compared bit-exactly even on inputs with
+/// signed zeros and non-finite values.
+pub fn naive_a_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (_, n) = b.shape();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let a_ip = a.get(i, p);
+                if a_ip == 0.0 {
+                    continue;
+                }
+                acc += a_ip * b.get(p, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Naive `C = Aᵀ · B` (`A` stored `k × m`), same contract as [`naive_a_b`].
+pub fn naive_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape();
+    let (_, n) = b.shape();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let a_pi = a.get(p, i);
+                if a_pi == 0.0 {
+                    continue;
+                }
+                acc += a_pi * b.get(p, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// The `dot` contract: eight partial sums over ascending chunks collapsed
+/// through the fixed reduction tree, then an ascending scalar tail. No
+/// zero-skip on this path.
+pub fn reference_dot(a: &[f32], b: &[f32]) -> f32 {
+    let chunks = a.len() / 8;
+    let mut acc = [0.0f32; 8];
+    for c in 0..chunks {
+        for l in 0..8 {
+            acc[l] += a[c * 8 + l] * b[c * 8 + l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 8..a.len() {
+        tail += a[i] * b[i];
+    }
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+}
+
+/// Naive `C = A · Bᵀ` (`B` stored `n × k`): one [`reference_dot`] per
+/// output element.
+pub fn naive_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (n, _) = b.shape();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        let a_row = &a.as_slice()[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b.as_slice()[j * k..(j + 1) * k];
+            out.set(i, j, reference_dot(a_row, b_row));
+        }
+    }
+    out
+}
+
+/// Bitwise tensor comparison with a per-element repro message.
+pub fn assert_bits_equal(label: &str, reference: &Tensor, got: &Tensor) {
+    assert_eq!(reference.shape(), got.shape(), "{label}: shape mismatch");
+    for (i, (r, g)) in reference.as_slice().iter().zip(got.as_slice()).enumerate() {
+        assert_eq!(
+            r.to_bits(),
+            g.to_bits(),
+            "{label}: element {i} differs: {r} vs {g}"
+        );
+    }
+}

@@ -8,11 +8,18 @@
 //! inside `gradient_check`) — what they catch is structurally wrong
 //! backward rules (dropped terms, transposed operands), not rounding.
 
-use autograd::{gradient_check, ParamStore};
+//! The per-backend checks at the bottom re-run the attention and LSTM
+//! sweeps pinned to each registered tensor backend (`with_backend`) and
+//! additionally pin the *analytic* gradients bitwise across backends:
+//! the backward pass is built from the same kernels as the forward pass,
+//! so the backend determinism contract (docs/BACKENDS.md) extends to
+//! training, not just inference.
+
+use autograd::{gradient_check, Graph, ParamStore};
 use nn::{LstmCell, LstmLayer, MultiHeadAttention};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tensor::{Initializer, Tensor};
+use tensor::{backend, with_backend, Initializer, Tensor};
 
 const EPS: f32 = 1e-2;
 const TOL: f32 = 5e-2;
@@ -108,5 +115,123 @@ fn lstm_cell_saturated_gates_gradient_check() {
             g.sum_all(sq)
         })
         .unwrap_or_else(|e| panic!("saturated lstm cell: {e}"));
+    }
+}
+
+fn supported_backends() -> Vec<&'static str> {
+    backend::all()
+        .into_iter()
+        .filter(|b| b.supported())
+        .map(|b| b.name())
+        .collect()
+}
+
+/// Finite-difference check of the attention block on every registered
+/// backend: the SIMD kernels must produce correct *gradients*, not just
+/// correct forward values, since the backward rules call the same matmuls.
+#[test]
+fn attention_gradient_check_on_each_backend() {
+    for name in supported_backends() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new(&mut store, "attn", 4, 2, &mut rng);
+        let x = Initializer::Uniform(0.8).init(3, 4, &mut rng);
+        with_backend(name, || {
+            for target in store.ids().collect::<Vec<_>>() {
+                let attn = attn.clone();
+                let x = x.clone();
+                gradient_check(&mut store, target, EPS, TOL, move |g| {
+                    let xv = g.constant(x.clone());
+                    let y = attn.forward(g, xv);
+                    let sq = g.mul(y, y);
+                    g.sum_all(sq)
+                })
+                .unwrap_or_else(|e| panic!("attention on backend {name}: {e}"));
+            }
+        });
+    }
+}
+
+/// Finite-difference check of the unrolled LSTM on every registered
+/// backend.
+#[test]
+fn lstm_layer_gradient_check_on_each_backend() {
+    for name in supported_backends() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut store = ParamStore::new();
+        let layer = LstmLayer::new(&mut store, "lstm", 3, 5, &mut rng);
+        let xs = Initializer::Uniform(0.8).init(4, 3, &mut rng);
+        with_backend(name, || {
+            for target in store.ids().collect::<Vec<_>>() {
+                let layer = layer.clone();
+                let xs = xs.clone();
+                gradient_check(&mut store, target, EPS, TOL, move |g| {
+                    let xv = g.constant(xs.clone());
+                    let hs = layer.forward(g, xv);
+                    let sq = g.mul(hs, hs);
+                    g.sum_all(sq)
+                })
+                .unwrap_or_else(|e| panic!("lstm layer on backend {name}: {e}"));
+            }
+        });
+    }
+}
+
+/// Runs one attention + LSTM forward/backward pass pinned to a backend and
+/// returns every parameter gradient by name.
+fn analytic_grads(backend_name: &str) -> Vec<(String, Tensor)> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut store = ParamStore::new();
+    let attn = MultiHeadAttention::new(&mut store, "attn", 4, 2, &mut rng);
+    let lstm = LstmLayer::new(&mut store, "lstm", 4, 5, &mut rng);
+    let x = Initializer::Uniform(0.8).init(6, 4, &mut rng);
+    with_backend(backend_name, || {
+        let mut g = Graph::new(&store);
+        let xv = g.constant(x.clone());
+        let y = attn.forward(&mut g, xv);
+        let hs = lstm.forward(&mut g, y);
+        let sq = g.mul(hs, hs);
+        let loss = g.sum_all(sq);
+        let grads = g.backward(loss);
+        grads
+            .param_grads()
+            .map(|(id, t)| (store.name(id).to_string(), t.clone()))
+            .collect()
+    })
+}
+
+/// The analytic gradients themselves — not just their finite-difference
+/// agreement — must be bit-identical across backends, so a training run is
+/// reproducible regardless of `TENSOR_BACKEND`.
+#[test]
+fn backward_pass_is_bitwise_backend_invariant() {
+    let reference = analytic_grads("scalar");
+    assert!(
+        !reference.is_empty(),
+        "backward produced no parameter gradients"
+    );
+    for name in supported_backends() {
+        let got = analytic_grads(name);
+        assert_eq!(reference.len(), got.len(), "backend {name}: gradient count");
+        for ((ref_name, ref_grad), (got_name, got_grad)) in reference.iter().zip(&got) {
+            assert_eq!(ref_name, got_name, "backend {name}: parameter order");
+            assert_eq!(
+                ref_grad.shape(),
+                got_grad.shape(),
+                "backend {name}: {ref_name} shape"
+            );
+            for (i, (r, g)) in ref_grad
+                .as_slice()
+                .iter()
+                .zip(got_grad.as_slice())
+                .enumerate()
+            {
+                assert_eq!(
+                    r.to_bits(),
+                    g.to_bits(),
+                    "backend {name}: grad {ref_name} element {i} differs: {r} vs {g}"
+                );
+            }
+        }
     }
 }

@@ -3,76 +3,34 @@
 //! The pool's contract is *determinism*: every kernel must produce
 //! bit-identical output no matter how many threads split the tiles, and
 //! the `_into` variants must match the allocating ones exactly. These
-//! tests sweep explicit thread counts (1, 2, 4) over ragged shapes —
-//! primes, single rows/columns, sizes smaller than the thread count —
-//! where tile claiming is most likely to go wrong, and differentially
-//! check the threads=1 path against a naive triple loop.
+//! tests sweep explicit thread counts (1, 2, 4) over ragged and degenerate
+//! shapes — zero dimensions, `k = 0`, primes, single rows/columns, sizes
+//! smaller than the thread count, and sizes straddling the SIMD vector
+//! widths — where tile claiming and masked tails are most likely to go
+//! wrong, and differentially check the threads=1 path against a naive
+//! triple loop.
+//!
+//! Shapes and references live in `common/mod.rs` and are shared with the
+//! backend conformance harness (`backend_conformance.rs`), so this suite
+//! exercises whichever backend is active (`TENSOR_BACKEND` — CI sweeps
+//! both) while that one pins backends explicitly.
 
+mod common;
+
+use common::*;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tensor::{
     matmul_a_bt, matmul_a_bt_into, matmul_a_bt_with_threads, matmul_at_b, matmul_at_b_into,
-    matmul_at_b_with_threads, matmul_into, matmul_with_threads, Initializer, Tensor,
+    matmul_at_b_with_threads, matmul_into, matmul_with_threads, Tensor,
 };
-
-const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
-
-/// Shapes that stress tile boundaries: 1, primes, and a couple of sizes
-/// around the blocking factor.
-fn ragged_dim() -> impl Strategy<Value = usize> {
-    prop_oneof![
-        Just(1usize),
-        Just(2),
-        Just(3),
-        Just(5),
-        Just(7),
-        Just(13),
-        Just(17),
-        Just(31)
-    ]
-}
-
-fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
-    let mut rng = StdRng::seed_from_u64(seed);
-    Initializer::Uniform(2.0).init(rows, cols, &mut rng)
-}
-
-/// Naive `a × b` with the same per-cell accumulation order as the blocked
-/// kernel (k ascending), so threads=1 output can be compared bit-exactly.
-fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k) = a.shape();
-    let (_, n) = b.shape();
-    let mut out = Tensor::zeros(m, n);
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += a.get(i, p) * b.get(p, j);
-            }
-            out.set(i, j, acc);
-        }
-    }
-    out
-}
-
-fn assert_bits_equal(label: &str, reference: &Tensor, got: &Tensor) {
-    assert_eq!(reference.shape(), got.shape(), "{label}: shape mismatch");
-    for (i, (r, g)) in reference.as_slice().iter().zip(got.as_slice()).enumerate() {
-        assert_eq!(
-            r.to_bits(),
-            g.to_bits(),
-            "{label}: element {i} differs: {r} vs {g}"
-        );
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn parallel_matmul_is_bit_identical_across_threads(
-        m in ragged_dim(), k in ragged_dim(), n in ragged_dim(), seed in 0u64..1000,
+        m in conformance_dim(), k in conformance_dim(), n in conformance_dim(),
+        seed in 0u64..1000,
     ) {
         let a = random_tensor(m, k, seed);
         let b = random_tensor(k, n, seed ^ 0x9e37);
@@ -85,7 +43,8 @@ proptest! {
 
     #[test]
     fn parallel_at_b_is_bit_identical_across_threads(
-        m in ragged_dim(), k in ragged_dim(), n in ragged_dim(), seed in 0u64..1000,
+        m in conformance_dim(), k in conformance_dim(), n in conformance_dim(),
+        seed in 0u64..1000,
     ) {
         // a is stored transposed: (k × m) input computing (m × n) output
         let a = random_tensor(k, m, seed);
@@ -99,7 +58,8 @@ proptest! {
 
     #[test]
     fn parallel_a_bt_is_bit_identical_across_threads(
-        m in ragged_dim(), k in ragged_dim(), n in ragged_dim(), seed in 0u64..1000,
+        m in conformance_dim(), k in conformance_dim(), n in conformance_dim(),
+        seed in 0u64..1000,
     ) {
         let a = random_tensor(m, k, seed);
         let b = random_tensor(n, k, seed ^ 0x9e37);
@@ -112,7 +72,8 @@ proptest! {
 
     #[test]
     fn into_variants_match_allocating_variants(
-        m in ragged_dim(), k in ragged_dim(), n in ragged_dim(), seed in 0u64..1000,
+        m in conformance_dim(), k in conformance_dim(), n in conformance_dim(),
+        seed in 0u64..1000,
     ) {
         let a = random_tensor(m, k, seed);
         let b = random_tensor(k, n, seed ^ 0x517c);
@@ -136,30 +97,23 @@ proptest! {
 
     #[test]
     fn serial_kernel_matches_naive_reference(
-        m in ragged_dim(), k in ragged_dim(), n in ragged_dim(), seed in 0u64..1000,
+        m in conformance_dim(), k in conformance_dim(), n in conformance_dim(),
+        seed in 0u64..1000,
     ) {
         let a = random_tensor(m, k, seed);
         let b = random_tensor(k, n, seed ^ 0x2545);
         let blocked = matmul_with_threads(&a, &b, 1);
-        let naive = naive_matmul(&a, &b);
+        let naive = naive_a_b(&a, &b);
         // same accumulation order → differential check can be exact
         assert_bits_equal(&format!("naive {m}x{k}x{n}"), &naive, &blocked);
     }
 }
 
-/// Deterministic (non-proptest) sweep over a fixed ragged-shape grid so a
+/// Deterministic (non-proptest) sweep over the fixed shape grid so a
 /// failure reproduces without a proptest seed.
 #[test]
 fn fixed_ragged_grid_is_thread_invariant() {
-    for &(m, k, n) in &[
-        (1, 1, 1),
-        (1, 31, 1),
-        (31, 1, 31),
-        (2, 17, 5),
-        (13, 13, 13),
-        (7, 64, 3),
-        (64, 7, 64),
-    ] {
+    for &(m, k, n) in &FIXED_SHAPE_GRID {
         let a = random_tensor(m, k, (m * 1000 + k * 10 + n) as u64);
         let b = random_tensor(k, n, (n * 1000 + m) as u64);
         let serial = matmul_with_threads(&a, &b, 1);
