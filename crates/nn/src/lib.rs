@@ -17,6 +17,8 @@
 //!   static vs dynamic masking and a longer pre-training schedule (see
 //!   [`bert::PretrainConfig`]).
 
+#![warn(missing_docs)]
+
 pub mod attention;
 pub mod batch;
 pub mod bert;

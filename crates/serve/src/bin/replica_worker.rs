@@ -2,12 +2,17 @@
 //! [`ModelRegistry`] (running the full warmup gate *before* binding the
 //! socket — a broken checkpoint means a nonzero exit, not a published
 //! model), hosts one [`BatchServer`], and serves the
-//! [`serve::transport`] wire protocol on a unix socket.
+//! [`serve::transport`] wire protocol on a unix socket through the
+//! [`serve::eventloop`] single-threaded network loop: all client
+//! connections multiplexed over one `poll(2)` loop, classifications
+//! flowing through the batch server's completion queue instead of one
+//! blocked thread per connection.
 //!
 //! ```text
 //! replica_worker --socket PATH --model-dir DIR --model-name NAME
 //!                [--max-batch N] [--max-delay-us N]
 //!                [--queue-capacity N] [--cache-capacity N]
+//!                [--max-connections N]
 //! ```
 //!
 //! Process isolation is the point: a crash here (bad deserialization,
@@ -30,24 +35,22 @@
 //! Exit codes: 0 clean shutdown, 2 checkpoint rejected, 3 injected
 //! start crash, 4 injected mid-serve crash.
 
-use std::io::Write;
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::{Path, PathBuf};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
 use std::process::exit;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use serve::transport::{
-    decode_request, encode_response, read_frame, write_frame, Request, Response,
-};
-use serve::{BatchServer, ModelRegistry, ServeConfig, ServeError};
+use serve::eventloop::{self, EventLoopConfig, FaultAction, FaultHook, LoopExit};
+use serve::{BatchServer, ModelRegistry, ServeConfig};
 
 struct Args {
     socket: PathBuf,
     model_dir: PathBuf,
     model_name: String,
     serve: ServeConfig,
+    event_loop: EventLoopConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
     let mut model_dir = None;
     let mut model_name = None;
     let mut serve = ServeConfig::default();
+    let mut event_loop = EventLoopConfig::default();
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -82,6 +86,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cache-capacity: {e}"))?;
             }
+            "--max-connections" => {
+                event_loop.max_connections = value()?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -90,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
         model_dir: model_dir.ok_or("--model-dir is required")?,
         model_name: model_name.ok_or("--model-name is required")?,
         serve,
+        event_loop,
     })
 }
 
@@ -160,6 +170,23 @@ impl FaultPlan {
         }
         true
     }
+
+    /// The per-answer fault hook the event loop consults; `served` is
+    /// the answer count including the response about to be written.
+    fn into_hook(plan: Arc<FaultPlan>) -> FaultHook {
+        Box::new(move |served| match plan.kind {
+            FaultKind::ExitAfter(after) if served >= after && plan.claim(plan.kind) => {
+                Some(FaultAction::Exit(4))
+            }
+            FaultKind::CorruptCrc(after) if served > after && plan.claim(plan.kind) => {
+                Some(FaultAction::CorruptCrc)
+            }
+            FaultKind::TruncateFrame(after) if served > after && plan.claim(plan.kind) => {
+                Some(FaultAction::TruncateAndClose)
+            }
+            _ => None,
+        })
+    }
 }
 
 fn main() {
@@ -215,141 +242,20 @@ fn main() {
         }
     }
 
-    let served = Arc::new(AtomicU64::new(0));
-    for conn in listener.incoming() {
-        let Ok(conn) = conn else { continue };
-        let server = Arc::clone(&server);
-        let registry = Arc::clone(&registry);
-        let served = Arc::clone(&served);
-        let fault = fault.clone();
-        let model_name = args.model_name.clone();
-        std::thread::spawn(move || {
-            serve_connection(
-                conn,
-                &server,
-                &registry,
-                &model_name,
-                &served,
-                fault.as_deref(),
-            );
-        });
-    }
-}
-
-fn serve_connection(
-    mut conn: UnixStream,
-    server: &BatchServer,
-    registry: &ModelRegistry,
-    model_name: &str,
-    served: &AtomicU64,
-    fault: Option<&FaultPlan>,
-) {
-    loop {
-        // a read error just ends this connection; the client retries on
-        // a fresh one
-        let Ok(payload) = read_frame(&mut conn) else {
-            return;
-        };
-        let Ok(request) = decode_request(&payload) else {
-            return;
-        };
-        let response = match request {
-            Request::Classify {
-                id,
-                deadline_us,
-                key,
-            } => {
-                let tokens: Vec<String> = key
-                    .split('\x1f')
-                    .filter(|t| !t.is_empty())
-                    .map(str::to_string)
-                    .collect();
-                if tokens.is_empty() {
-                    Response::Error {
-                        id,
-                        error: ServeError::EmptyRecipe,
-                    }
-                } else {
-                    let deadline = (deadline_us > 0).then(|| Duration::from_micros(deadline_us));
-                    match server.classify_prepared(tokens, key, deadline) {
-                        Ok(prediction) => {
-                            let n = served.fetch_add(1, Ordering::Relaxed) + 1;
-                            if let Some(f) = fault {
-                                if let FaultKind::ExitAfter(after) = f.kind {
-                                    if n >= after && f.claim(f.kind) {
-                                        exit(4);
-                                    }
-                                }
-                            }
-                            Response::Prediction { id, prediction }
-                        }
-                        Err(error) => Response::Error { id, error },
-                    }
-                }
-            }
-            Request::Ping { id } => Response::Pong {
-                id,
-                depth: server.queue_depth() as u64,
-                served: served.load(Ordering::Relaxed),
-            },
-            Request::Reload { id, dir } => match registry.load(model_name, Path::new(&dir)) {
-                Ok(loaded) => Response::ReloadOk {
-                    id,
-                    version: loaded.version(),
-                },
-                Err(e) => Response::Error {
-                    id,
-                    error: ServeError::DeployFailed(format!("reload {dir}: {e}")),
-                },
-            },
-            Request::Shutdown { .. } => {
-                server.shutdown(); // drain: every queued request answers
-                exit(0);
-            }
-        };
-        if write_response(&mut conn, &response, served, fault).is_err() {
-            return;
+    let hook = fault.map(FaultPlan::into_hook);
+    match eventloop::run(
+        listener,
+        &server,
+        &registry,
+        &args.model_name,
+        &args.event_loop,
+        hook,
+    ) {
+        Ok(LoopExit::ShutdownRequested) => exit(0),
+        Ok(LoopExit::FaultExit(code)) => exit(code),
+        Err(e) => {
+            eprintln!("replica_worker: event loop: {e}");
+            exit(2);
         }
     }
-}
-
-/// Writes one response frame, detouring through the frame-corruption
-/// faults when one is armed and due.
-fn write_response(
-    conn: &mut UnixStream,
-    response: &Response,
-    served: &AtomicU64,
-    fault: Option<&FaultPlan>,
-) -> std::io::Result<()> {
-    let payload = encode_response(response);
-    if let (Some(f), Response::Prediction { .. }) = (fault, response) {
-        let n = served.load(Ordering::Relaxed);
-        match f.kind {
-            FaultKind::CorruptCrc(after) if n > after && f.claim(f.kind) => {
-                let mut frame = Vec::with_capacity(8 + payload.len());
-                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                frame.extend_from_slice(&(nn::crc32(&payload) ^ 0xdead_beef).to_le_bytes());
-                frame.extend_from_slice(&payload);
-                conn.write_all(&frame)?;
-                conn.flush()?;
-                return Ok(());
-            }
-            FaultKind::TruncateFrame(after) if n > after && f.claim(f.kind) => {
-                let mut frame = Vec::with_capacity(8 + payload.len());
-                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                frame.extend_from_slice(&nn::crc32(&payload).to_le_bytes());
-                frame.extend_from_slice(&payload[..payload.len() / 2]);
-                conn.write_all(&frame)?;
-                conn.flush()?;
-                // close the connection mid-frame: the client sees a
-                // short read
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::ConnectionAborted,
-                    "injected truncation",
-                ));
-            }
-            _ => {}
-        }
-    }
-    write_frame(conn, &payload)
 }

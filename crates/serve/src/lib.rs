@@ -48,9 +48,12 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod completion;
 mod error;
+pub mod eventloop;
 mod manifest;
 mod model;
+pub mod netpoll;
 mod registry;
 mod router;
 mod service;
@@ -58,6 +61,7 @@ mod supervisor;
 pub mod transport;
 
 pub use cache::LruCache;
+pub use completion::{Completion, CompletionQueue, Ticket, TicketPhase};
 pub use error::ServeError;
 pub use manifest::{ModelManifest, LINEAR_FILE, MANIFEST_FILE, MANIFEST_FORMAT};
 pub use model::{

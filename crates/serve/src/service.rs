@@ -34,14 +34,14 @@
 //! latency histogram (`serve.latency_us.le_*`); see `docs/TRACING.md`.
 
 use std::collections::VecDeque;
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use trace::{Counter, Gauge};
 
 use crate::cache::LruCache;
+use crate::completion::{CompletionQueue, CompletionSender, Ticket};
 use crate::error::ServeError;
 use crate::model::Features;
 use crate::registry::ModelRegistry;
@@ -164,7 +164,7 @@ struct Pending {
     key: String,
     enqueued: Instant,
     deadline: Option<Instant>,
-    reply: SyncSender<Result<Prediction, ServeError>>,
+    reply: CompletionSender,
 }
 
 #[derive(Default)]
@@ -281,33 +281,101 @@ impl BatchServer {
         key: String,
         deadline: Option<Duration>,
     ) -> Result<Prediction, ServeError> {
+        // the blocking path is the non-blocking path plus a wait: one
+        // private queue, one ticket, block until its terminal completion
+        let cq = CompletionQueue::new();
+        self.submit(tokens, key, deadline, &cq)?;
+        cq.wait().map_or(Err(ServeError::Canceled), |c| c.result)
+    }
+
+    /// Enqueues one canonicalized request **without blocking** and
+    /// returns a [`Ticket`]; the terminal result arrives on `cq` (see
+    /// [`CompletionQueue`]). `tokens`/`key`/`deadline` mean exactly what
+    /// they do in [`classify_prepared`](Self::classify_prepared), and the
+    /// answer is bit-identical to the blocking path — both ride the same
+    /// queue, worker, and fused forward pass.
+    ///
+    /// This is the front-end an event loop wants: thousands of in-flight
+    /// requests cost a queue slot each, not a thread each
+    /// (`crates/serve/src/eventloop.rs` multiplexes every client socket
+    /// over one such queue).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use serve::{
+    ///     BatchServer, CompletionQueue, Features, ModelRegistry, ServeConfig, ServingModel,
+    /// };
+    ///
+    /// // a stand-in model so the example runs without a checkpoint dir
+    /// struct Uniform;
+    /// impl ServingModel for Uniform {
+    ///     fn kind(&self) -> &'static str {
+    ///         "uniform"
+    ///     }
+    ///     fn num_classes(&self) -> usize {
+    ///         2
+    ///     }
+    ///     fn featurize(&self, tokens: &[String]) -> Features {
+    ///         Features::Ids(vec![tokens.len()])
+    ///     }
+    ///     fn predict(&self, batch: &[&Features]) -> Vec<Vec<f64>> {
+    ///         batch.iter().map(|_| vec![0.5, 0.5]).collect()
+    ///     }
+    /// }
+    ///
+    /// let registry = Arc::new(ModelRegistry::new());
+    /// registry.publish("uniform", Box::new(Uniform))?;
+    /// let server = BatchServer::start(registry, "uniform", ServeConfig::default())?;
+    ///
+    /// let cq = CompletionQueue::new();
+    /// let ticket = server.submit(vec!["soy".into()], "soy".into(), None, &cq)?;
+    /// // ...submit more, handle other sockets, then collect:
+    /// let done = cq.wait_with_timeout(std::time::Duration::from_secs(5)).unwrap();
+    /// assert_eq!(done.ticket, ticket);
+    /// assert_eq!(done.result?.probs, vec![0.5, 0.5]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Admission failures are synchronous — [`ServeError::Overloaded`]
+    /// when the queue is full, [`ServeError::ShuttingDown`] when either
+    /// the server or `cq` is shut down — and leave nothing outstanding.
+    /// Everything that can fail *after* admission (deadline expiry,
+    /// worker death, hot-swap races) arrives as the ticket's completion.
+    pub fn submit(
+        &self,
+        tokens: Vec<String>,
+        key: String,
+        deadline: Option<Duration>,
+        cq: &CompletionQueue,
+    ) -> Result<Ticket, ServeError> {
         let now = Instant::now();
-        let (reply, rx): (_, Receiver<Result<Prediction, ServeError>>) = mpsc::sync_channel(1);
-        {
-            let mut st = self.shared.lock();
-            if st.shutting_down {
-                return Err(ServeError::ShuttingDown);
-            }
-            if st.queue.len() >= self.shared.config.queue_capacity {
-                REJECTED_OVERLOAD.incr();
-                return Err(ServeError::Overloaded {
-                    depth: st.queue.len(),
-                    capacity: self.shared.config.queue_capacity,
-                });
-            }
-            st.queue.push_back(Pending {
-                tokens,
-                key,
-                enqueued: now,
-                deadline: deadline.map(|d| now + d),
-                reply,
-            });
-            QUEUE_DEPTH.set(st.queue.len() as u64);
-            QUEUE_PEAK.set_max(st.queue.len() as u64);
-            self.shared.wake.notify_all();
+        let mut st = self.shared.lock();
+        if st.shutting_down {
+            return Err(ServeError::ShuttingDown);
         }
+        if st.queue.len() >= self.shared.config.queue_capacity {
+            REJECTED_OVERLOAD.incr();
+            return Err(ServeError::Overloaded {
+                depth: st.queue.len(),
+                capacity: self.shared.config.queue_capacity,
+            });
+        }
+        let (ticket, reply) = cq.register(now)?;
+        st.queue.push_back(Pending {
+            tokens,
+            key,
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
+            reply,
+        });
+        QUEUE_DEPTH.set(st.queue.len() as u64);
+        QUEUE_PEAK.set_max(st.queue.len() as u64);
+        self.shared.wake.notify_all();
+        drop(st);
         REQUESTS.incr();
-        rx.recv().unwrap_or(Err(ServeError::Canceled))
+        Ok(ticket)
     }
 
     /// Current number of queued (not yet batched) requests.
@@ -346,17 +414,24 @@ impl Drop for BatchServer {
 }
 
 /// Answers (and removes) every queued request whose deadline has passed,
-/// keeping the depth gauge in step. Returns whether anything expired.
+/// and drops requests whose ticket is already terminal (canceled or
+/// closed out — no one is listening, so no forward pass is owed), keeping
+/// the depth gauge in step. Returns whether anything left the queue.
 fn expire_overdue(st: &mut QueueState, now: Instant) -> bool {
     let before = st.queue.len();
-    st.queue.retain(|p| {
-        let expired = p.deadline.is_some_and(|d| now >= d);
-        if expired {
+    let mut kept = VecDeque::with_capacity(before);
+    for p in st.queue.drain(..) {
+        if p.deadline.is_some_and(|d| now >= d) {
             REJECTED_DEADLINE.incr();
-            let _ = p.reply.send(Err(ServeError::DeadlineExceeded));
+            p.reply.send(Err(ServeError::DeadlineExceeded));
+        } else if p.reply.is_dead() {
+            // dropping the sender delivers nothing new: the ticket
+            // already terminated (cancel() or a closed queue)
+        } else {
+            kept.push_back(p);
         }
-        !expired
-    });
+    }
+    st.queue = kept;
     let changed = st.queue.len() != before;
     if changed {
         QUEUE_DEPTH.set(st.queue.len() as u64);
@@ -419,6 +494,9 @@ fn worker_loop(shared: &Shared) {
             QUEUE_DEPTH.set(st.queue.len() as u64);
             batch
         };
+        for p in &batch {
+            p.reply.mark_batched();
+        }
         // contain a model panic to the batch that triggered it: the
         // unwound batch's reply senders drop (those callers see
         // `Canceled`), but the worker lives on to serve what's queued —
@@ -448,7 +526,7 @@ fn process_batch(
         .partition(|p| p.deadline.is_none_or(|d| now < d));
     for p in expired {
         REJECTED_DEADLINE.incr();
-        let _ = p.reply.send(Err(ServeError::DeadlineExceeded));
+        p.reply.send(Err(ServeError::DeadlineExceeded));
     }
     if live.is_empty() {
         return;
@@ -456,8 +534,7 @@ fn process_batch(
 
     let Some(loaded) = shared.registry.get(&shared.model_name) else {
         for p in live {
-            let _ = p
-                .reply
+            p.reply
                 .send(Err(ServeError::UnknownModel(shared.model_name.clone())));
         }
         return;
@@ -501,7 +578,7 @@ fn process_batch(
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
             .map_or(0, |(i, _)| i);
-        let _ = p.reply.send(Ok(Prediction {
+        p.reply.send(Ok(Prediction {
             probs: row,
             top_class,
             model_version: loaded.version(),

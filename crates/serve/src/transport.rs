@@ -86,6 +86,13 @@ const KIND_ERROR: u8 = 0x82;
 const KIND_PONG: u8 = 0x83;
 const KIND_RELOAD_OK: u8 = 0x84;
 
+/// Ticks the shared frame counter for a frame handled outside
+/// [`read_frame`]/[`write_frame`] (the event loop parses and writes
+/// frames incrementally through its own buffers).
+pub(crate) fn note_frame() {
+    FRAMES.incr();
+}
+
 fn invalid(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
 }

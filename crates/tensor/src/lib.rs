@@ -24,6 +24,8 @@
 //!   with cudnn-style op descriptors and per-shape algorithm selection —
 //!   backends are bit-identical to the scalar reference by contract.
 
+#![warn(missing_docs)]
+
 pub mod backend;
 mod init;
 mod matmul;

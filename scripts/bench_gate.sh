@@ -44,6 +44,10 @@ for baseline in "$BASELINES"/BENCH_*.json; do
             echo "bench_gate: $fresh missing — running router_load"
             cargo run --release -q -p bench --bin router_load >/dev/null
             ;;
+        BENCH_cq.json)
+            echo "bench_gate: $fresh missing — running cq_load"
+            cargo run --release -q -p bench --bin cq_load >/dev/null
+            ;;
         BENCH_supervisor.json)
             # supervisor_load spawns the replica_worker binary from the
             # serve crate, which `cargo run -p bench` alone won't build

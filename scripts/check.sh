@@ -10,11 +10,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
-echo "== cargo doc (deny warnings) =="
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
-
-echo "== cargo test --doc =="
-cargo test --doc -q
+# Markdown dead-link check + rustdoc -D warnings + runnable doc-examples
+echo "== documentation gate (doc_check.sh) =="
+scripts/doc_check.sh
 
 echo "== cargo build --release =="
 cargo build --release
@@ -42,7 +40,7 @@ for threads in 1 2 4; do
     echo "== serve suites (TENSOR_THREADS=$threads) =="
     TENSOR_THREADS=$threads cargo test -q -p serve \
         --test serve_integration --test supervisor_integration \
-        --test trace_integration
+        --test trace_integration --test completion_queue
 done
 
 # End-to-end int8 accuracy gate: serve_load trains a small model, serves it
@@ -66,6 +64,14 @@ done
 echo "== replicated serving gate (router_load) =="
 cargo run --release -q -p bench --bin router_load -- \
     --min-scaling 2.5 --json "$quant_gate_dir/BENCH_router.json"
+
+# Completion-queue gate: cq_load pins >= 1024 requests in flight from a
+# single submitter thread (the non-blocking front-end the event-loop
+# worker rides) and requires every answer bit-identical to the
+# sequential path.
+echo "== completion queue gate (cq_load) =="
+cargo run --release -q -p bench --bin cq_load -- \
+    --min-inflight 1024 --json "$quant_gate_dir/BENCH_cq.json"
 
 # Process-isolation gate: supervisor_load drives the same stream through
 # an in-process fleet and a supervised fleet of replica_worker processes

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Documentation gate: dead-link check over the markdown docs, rustdoc
+# with warnings denied, and the runnable doc-examples.
+#
+# Usage: scripts/doc_check.sh
+#
+# Three layers, cheapest first:
+#   1. every relative markdown link in docs/*.md and README.md must
+#      resolve to a real file, and a #fragment onto a markdown file must
+#      match a heading anchor in the target (GitHub slug rules);
+#   2. `cargo doc` must be warning-clean (broken intra-doc links and
+#      undocumented public items in crates that deny them fail here);
+#   3. `cargo test --doc` runs every doc-example (the serve submit/poll
+#      examples are real programs, not illustrations).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== markdown link check (docs/*.md, README.md) =="
+python3 - docs/*.md README.md <<'PY'
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def anchors(path):
+    """GitHub-style slugs for every markdown heading in `path`."""
+    slugs = set()
+    fenced = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced or not re.match(r"^#{1,6} ", line):
+            continue
+        heading = line.lstrip("#").strip()
+        heading = re.sub(r"`([^`]*)`", r"\1", heading)  # strip code spans
+        slug = re.sub(r"[^\w\- ]", "", heading.lower()).replace(" ", "-")
+        slugs.add(slug)
+    return slugs
+
+
+failures = []
+checked = 0
+for name in sys.argv[1:]:
+    doc = Path(name)
+    fenced = False
+    for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target, _, fragment = target.partition("#")
+            if not target:  # pure in-page fragment: check against this doc
+                target_path = doc
+            else:
+                target_path = (doc.parent / target).resolve()
+            checked += 1
+            if not target_path.exists():
+                failures.append(f"{name}:{lineno}: dead link -> {target}")
+                continue
+            if fragment and target_path.suffix == ".md":
+                if fragment not in anchors(target_path):
+                    failures.append(
+                        f"{name}:{lineno}: dead anchor -> {target or doc.name}#{fragment}"
+                    )
+
+print(f"doc_check: {checked} relative links across {len(sys.argv) - 1} files")
+if failures:
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+PY
+
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "== cargo test --doc =="
+cargo test --doc -q
+
+echo "doc_check: all documentation checks passed"

@@ -1,0 +1,350 @@
+//! Integration tests for the non-blocking completion-queue front-end
+//! (`BatchServer::submit` + `CompletionQueue`) and the replica event
+//! loop that multiplexes client sockets over it.
+//!
+//! The load-bearing contract: every admitted ticket terminates exactly
+//! once — through a model answer, a cancellation, a deadline, or a
+//! drain — no double-delivery, no leaked ticket, regardless of how
+//! shutdown races submission. check.sh runs this suite at several
+//! `TENSOR_THREADS` settings.
+
+use std::collections::HashMap;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serve::eventloop::{self, EventLoopConfig, LoopExit};
+use serve::transport::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response,
+};
+use serve::{
+    BatchServer, CompletionQueue, Features, ModelRegistry, ServeConfig, ServeError, ServingModel,
+    Ticket,
+};
+
+/// Deterministic toy model: probabilities depend only on the token
+/// count, so any two paths through the server are trivially comparable.
+struct CountModel {
+    /// Per-batch predict stall, to keep tickets in flight long enough
+    /// for shutdown/cancel races to actually race.
+    stall: Duration,
+    calls: AtomicUsize,
+}
+
+impl CountModel {
+    fn new(stall: Duration) -> Self {
+        Self {
+            stall,
+            calls: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl ServingModel for CountModel {
+    fn kind(&self) -> &'static str {
+        "count"
+    }
+    fn num_classes(&self) -> usize {
+        3
+    }
+    fn featurize(&self, tokens: &[String]) -> Features {
+        Features::Ids(vec![tokens.len()])
+    }
+    fn predict(&self, batch: &[&Features]) -> Vec<Vec<f64>> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if !self.stall.is_zero() {
+            std::thread::sleep(self.stall);
+        }
+        batch
+            .iter()
+            .map(|f| {
+                let n = match f {
+                    Features::Ids(ids) => ids[0] as f64,
+                    _ => 0.0,
+                };
+                let total = n + 2.0;
+                vec![n / total, 1.0 / total, 1.0 / total]
+            })
+            .collect()
+    }
+}
+
+fn start_server(stall: Duration, config: ServeConfig) -> (Arc<BatchServer>, Arc<ModelRegistry>) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .publish("count", Box::new(CountModel::new(stall)))
+        .unwrap();
+    let server = BatchServer::start(Arc::clone(&registry), "count", config).unwrap();
+    (Arc::new(server), registry)
+}
+
+fn tokens_for(i: usize) -> (Vec<String>, String) {
+    let tokens: Vec<String> = (0..(i % 5) + 1).map(|t| format!("tok{t}")).collect();
+    let key = format!("req-{i}:{}", tokens.join("\x1f"));
+    (tokens, key)
+}
+
+fn scratch_socket(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir();
+    dir.join(format!("cq-{tag}-{}.sock", std::process::id()))
+}
+
+#[test]
+fn shutdown_with_outstanding_tickets_terminates_each_exactly_once() {
+    let (server, _registry) = start_server(
+        Duration::from_millis(2),
+        ServeConfig {
+            max_batch: 4,
+            queue_capacity: 512,
+            ..ServeConfig::default()
+        },
+    );
+    let cq = CompletionQueue::new();
+    let mut expected: Vec<Ticket> = Vec::new();
+    for i in 0..128 {
+        let (tokens, key) = tokens_for(i);
+        expected.push(server.submit(tokens, key, None, &cq).unwrap());
+    }
+
+    // shutdown while most tickets are still queued: drain semantics say
+    // every one of them still answers through the model
+    server.shutdown();
+
+    let mut seen: HashMap<Ticket, usize> = HashMap::new();
+    while let Some(done) = cq.wait_with_timeout(Duration::from_secs(10)) {
+        *seen.entry(done.ticket).or_default() += 1;
+        let prediction = done
+            .result
+            .expect("drained tickets answer through the model");
+        assert_eq!(prediction.probs.len(), 3);
+    }
+    assert_eq!(seen.len(), expected.len(), "every ticket terminates");
+    for ticket in &expected {
+        assert_eq!(seen.get(ticket), Some(&1), "{ticket:?} delivered once");
+    }
+    assert_eq!(cq.outstanding(), 0, "no leaked tickets");
+    assert_eq!(cq.ready(), 0, "no stray completions");
+
+    // intake is closed: a late submit fails synchronously and leaves
+    // nothing outstanding
+    let (tokens, key) = tokens_for(999);
+    match server.submit(tokens, key, None, &cq) {
+        Err(ServeError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    assert_eq!(cq.outstanding(), 0);
+}
+
+#[test]
+fn canceled_tickets_terminate_once_and_skip_compute() {
+    let (server, _registry) = start_server(
+        Duration::from_millis(5),
+        ServeConfig {
+            max_batch: 2,
+            queue_capacity: 256,
+            ..ServeConfig::default()
+        },
+    );
+    let cq = CompletionQueue::new();
+    let mut tickets = Vec::new();
+    for i in 0..64 {
+        let (tokens, key) = tokens_for(i);
+        tickets.push(server.submit(tokens, key, None, &cq).unwrap());
+    }
+    // cancel every other ticket while the worker is still chewing
+    let mut canceled = Vec::new();
+    for (i, ticket) in tickets.iter().enumerate() {
+        if i % 2 == 1 && cq.cancel(*ticket) {
+            canceled.push(*ticket);
+        }
+    }
+    assert!(!canceled.is_empty(), "some cancellations must land");
+
+    let mut seen: HashMap<Ticket, usize> = HashMap::new();
+    let mut canceled_seen = 0;
+    while let Some(done) = cq.wait_with_timeout(Duration::from_secs(10)) {
+        *seen.entry(done.ticket).or_default() += 1;
+        match done.result {
+            Ok(prediction) => assert_eq!(prediction.probs.len(), 3),
+            Err(ServeError::Canceled) => {
+                assert!(canceled.contains(&done.ticket));
+                canceled_seen += 1;
+            }
+            Err(other) => panic!("unexpected terminal error {other:?}"),
+        }
+    }
+    assert_eq!(seen.len(), tickets.len(), "every ticket terminates");
+    assert!(seen.values().all(|&n| n == 1), "no double delivery");
+    assert_eq!(canceled_seen, canceled.len());
+    assert_eq!(cq.outstanding(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn submitted_answers_match_the_blocking_path_bitwise() {
+    let (server, _registry) = start_server(Duration::ZERO, ServeConfig::default());
+    let cq = CompletionQueue::new();
+    let mut by_ticket = HashMap::new();
+    for i in 0..32 {
+        let (tokens, key) = tokens_for(i);
+        let ticket = server
+            .submit(tokens.clone(), key.clone(), None, &cq)
+            .unwrap();
+        by_ticket.insert(ticket, (tokens, key));
+    }
+    let mut done = 0;
+    while let Some(completion) = cq.wait_with_timeout(Duration::from_secs(10)) {
+        let (tokens, key) = by_ticket.remove(&completion.ticket).unwrap();
+        let via_queue = completion.result.unwrap();
+        let blocking = server.classify_prepared(tokens, key, None).unwrap();
+        assert_eq!(via_queue.probs, blocking.probs, "bit-identical answers");
+        assert_eq!(via_queue.top_class, blocking.top_class);
+        done += 1;
+    }
+    assert_eq!(done, 32);
+    server.shutdown();
+}
+
+#[test]
+fn event_loop_pipelines_many_requests_on_one_connection() {
+    let (server, registry) = start_server(Duration::ZERO, ServeConfig::default());
+    let socket = scratch_socket("pipeline");
+    let _ = std::fs::remove_file(&socket);
+    let listener = UnixListener::bind(&socket).unwrap();
+    let loop_thread = {
+        let server = Arc::clone(&server);
+        let registry = Arc::clone(&registry);
+        std::thread::spawn(move || {
+            eventloop::run(
+                listener,
+                &server,
+                &registry,
+                "count",
+                &EventLoopConfig::default(),
+                None,
+            )
+        })
+    };
+
+    let mut conn = UnixStream::connect(&socket).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // pipeline every request up front without reading a single response:
+    // the old thread-per-connection worker would answer these strictly
+    // in lockstep; the event loop keeps them all in flight at once
+    let total: u64 = 200;
+    let mut expected = HashMap::new();
+    for id in 0..total {
+        let (tokens, _) = tokens_for(id as usize);
+        let key = tokens.join("\x1f");
+        let request = Request::Classify {
+            id,
+            deadline_us: 0,
+            key: key.clone(),
+        };
+        write_frame(&mut conn, &encode_request(&request)).unwrap();
+        let truth = server.classify_prepared(tokens, key, None).unwrap();
+        expected.insert(id, truth);
+    }
+    // a Ping rides the same multiplexed connection
+    write_frame(&mut conn, &encode_request(&Request::Ping { id: 9_999 })).unwrap();
+
+    let mut answered = HashMap::new();
+    let mut pong_seen = false;
+    for _ in 0..=total {
+        let payload = read_frame(&mut conn).unwrap();
+        match decode_response(&payload).unwrap() {
+            Response::Prediction { id, prediction } => {
+                assert!(
+                    answered.insert(id, prediction).is_none(),
+                    "duplicate id {id}"
+                );
+            }
+            Response::Pong { id, .. } => {
+                assert_eq!(id, 9_999);
+                pong_seen = true;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(pong_seen);
+    assert_eq!(answered.len() as u64, total);
+    for (id, truth) in &expected {
+        let got = &answered[id];
+        assert_eq!(got.probs, truth.probs, "id {id}: bit-identical answers");
+        assert_eq!(got.top_class, truth.top_class);
+    }
+
+    // a clean shutdown drains and stops the loop with exit code 0
+    write_frame(&mut conn, &encode_request(&Request::Shutdown { id: 0 })).unwrap();
+    let exit = loop_thread.join().unwrap().unwrap();
+    assert_eq!(exit, LoopExit::ShutdownRequested);
+    let _ = std::fs::remove_file(&socket);
+}
+
+#[test]
+fn event_loop_survives_client_disconnect_with_requests_in_flight() {
+    let (server, registry) = start_server(
+        Duration::from_millis(5),
+        ServeConfig {
+            max_batch: 2,
+            queue_capacity: 256,
+            ..ServeConfig::default()
+        },
+    );
+    let socket = scratch_socket("disconnect");
+    let _ = std::fs::remove_file(&socket);
+    let listener = UnixListener::bind(&socket).unwrap();
+    let loop_thread = {
+        let server = Arc::clone(&server);
+        let registry = Arc::clone(&registry);
+        std::thread::spawn(move || {
+            eventloop::run(
+                listener,
+                &server,
+                &registry,
+                "count",
+                &EventLoopConfig::default(),
+                None,
+            )
+        })
+    };
+
+    // flood and vanish: the loop must cancel the orphaned tickets and
+    // keep serving other clients
+    {
+        let mut doomed = UnixStream::connect(&socket).unwrap();
+        for id in 0..50u64 {
+            let request = Request::Classify {
+                id,
+                deadline_us: 0,
+                key: "soy\x1fginger".into(),
+            };
+            write_frame(&mut doomed, &encode_request(&request)).unwrap();
+        }
+    } // dropped with answers still in flight
+
+    let mut conn = UnixStream::connect(&socket).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let request = Request::Classify {
+        id: 7,
+        deadline_us: 0,
+        key: "soy\x1fginger\x1frice".into(),
+    };
+    write_frame(&mut conn, &encode_request(&request)).unwrap();
+    match decode_response(&read_frame(&mut conn).unwrap()).unwrap() {
+        Response::Prediction { id, prediction } => {
+            assert_eq!(id, 7);
+            assert_eq!(prediction.probs.len(), 3);
+        }
+        other => panic!("expected Prediction, got {other:?}"),
+    }
+
+    write_frame(&mut conn, &encode_request(&Request::Shutdown { id: 8 })).unwrap();
+    let exit = loop_thread.join().unwrap().unwrap();
+    assert_eq!(exit, LoopExit::ShutdownRequested);
+    let _ = std::fs::remove_file(&socket);
+}
