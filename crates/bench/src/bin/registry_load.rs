@@ -1,0 +1,522 @@
+//! Load generator for the sharded, wait-free model registry
+//! ([`serve::ModelRegistry`]) and the batch worker's parallel
+//! featurization.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin registry_load -- \
+//!     [--models 64] [--readers 4] [--writers 4] [--duration-ms 1500] \
+//!     [--swap-hold-us 900] [--swap-gap-us 100] \
+//!     [--min-lookup-scaling 3.0] [--max-p99-us 1000] \
+//!     [--feat-batch 32] [--feat-stall-us 2000] [--min-featurize-speedup 2.5] \
+//!     [--json BENCH_registry.json] [--trace]
+//! ```
+//!
+//! Three gates, emitted to `BENCH_registry.json`:
+//!
+//! 1. **Lookup scaling**: `--readers` threads hammer `get` across an
+//!    `--models` zoo while `--writers` threads storm hot-swaps (a fleet,
+//!    so swap pressure stays continuous even when CPU-bound readers
+//!    outnumber cores). The same storm runs
+//!    against a single-`RwLock<HashMap>` baseline — the registry design
+//!    this PR replaced — where the swap's expensive phase (checkpoint
+//!    I/O + warmup, modeled as an off-CPU `--swap-hold-us` sleep, the
+//!    [`bench::serving::StalledModel`] idiom) happens **under the write
+//!    lock**, the only place a single-lock design can put it and still
+//!    publish gate-checked entries atomically. The sharded registry runs
+//!    that phase off-lock and swaps wait-free, so aggregate lookup
+//!    throughput must be ≥ `--min-lookup-scaling` × the baseline's.
+//! 2. **Bounded tail**: sampled sharded lookup latency p99 must stay
+//!    under `--max-p99-us` *during* the swap storm — no reader ever
+//!    waits on a writer.
+//! 3. **Featurization**: a cold-cache batch of `--feat-batch` distinct
+//!    requests rides one fused pass whose featurize calls carry an
+//!    off-CPU stall ([`bench::serving::StalledFeaturesModel`]). The
+//!    batch worker fans them across `tensor::pool`, so the batch must
+//!    complete ≥ `--min-featurize-speedup` × faster than the serial
+//!    featurize loop (gated when the pool has ≥ 4 threads), with answers
+//!    bit-identical to the sequential pre-serve path.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use bench::serving::{content_tokens, percentile, synth_recipes, StalledFeaturesModel, CLASSES};
+use bench::HarnessArgs;
+use nn::{LstmClassifier, LstmConfig, LstmPooling};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::{
+    BatchServer, CompletionQueue, Features, LstmServing, ModelRegistry, ServeConfig, ServingModel,
+    Ticket,
+};
+use textproc::Vocabulary;
+
+/// Cheap stand-in for a zoo entry: the swap cost is modeled by the
+/// writer's off-CPU hold, not by this model's compute.
+struct ZooModel {
+    tag: u64,
+}
+
+impl ServingModel for ZooModel {
+    fn kind(&self) -> &'static str {
+        "zoo"
+    }
+
+    fn num_classes(&self) -> usize {
+        2
+    }
+
+    fn featurize(&self, tokens: &[String]) -> Features {
+        Features::Ids(vec![tokens.len()])
+    }
+
+    fn predict(&self, batch: &[&Features]) -> Vec<Vec<f64>> {
+        let p = 1.0 / (2.0 + (self.tag % 5) as f64);
+        batch.iter().map(|_| vec![p, 1.0 - p]).collect()
+    }
+}
+
+/// What the pre-shard registry kept per name behind its single lock.
+struct BaselineEntry {
+    version: u64,
+    #[allow(dead_code)] // held to model the entry's footprint, never run
+    model: Arc<dyn ServingModel>,
+}
+
+struct ArmResult {
+    wall: Duration,
+    lookups: u64,
+    swaps: u64,
+    sampled_ns: Vec<u128>,
+}
+
+impl ArmResult {
+    fn rps(&self) -> f64 {
+        self.lookups as f64 / self.wall.as_secs_f64()
+    }
+
+    fn mean_ns(&self) -> f64 {
+        self.wall.as_nanos() as f64 / self.lookups as f64
+    }
+
+    fn p99_us(&self) -> f64 {
+        if self.sampled_ns.is_empty() {
+            return 0.0; // fully starved arm: nothing to sample
+        }
+        let mut sorted = self.sampled_ns.clone();
+        sorted.sort_unstable();
+        percentile(&sorted, 0.99) as f64 / 1e3
+    }
+}
+
+struct StormConfig {
+    models: usize,
+    readers: usize,
+    writers: usize,
+    duration: Duration,
+    hold: Duration,
+    gap: Duration,
+}
+
+/// Drives one storm arm for a fixed duration: `readers` threads spin on
+/// round-robin `get`s while `writers` threads hot-swap entries. Several
+/// writers keep swap pressure continuous — one alone is starved by
+/// CPU-bound readers on a small host and the storm never materializes.
+/// `lookup` must return the resolved entry's version (panicking on a
+/// missing name); `swap` performs one hot swap including the off-CPU
+/// hold.
+fn run_storm(
+    cfg: &StormConfig,
+    names: &[String],
+    lookup: impl Fn(&str) -> u64 + Sync,
+    swap: impl Fn(usize) + Sync,
+) -> ArmResult {
+    let stop = AtomicBool::new(false);
+    let swaps = AtomicU64::new(0);
+    let mut sampled_ns = Vec::new();
+    let mut lookups = 0u64;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..cfg.writers {
+            let (stop, swaps, swap) = (&stop, &swaps, &swap);
+            scope.spawn(move || {
+                // stagger writers over the zoo so they storm distinct names
+                let mut target = w * cfg.models / cfg.writers.max(1);
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(cfg.gap);
+                    swap(target % cfg.models);
+                    target += 1;
+                    swaps.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let handles: Vec<_> = (0..cfg.readers)
+            .map(|r| {
+                let (stop, lookup) = (&stop, &lookup);
+                scope.spawn(move || {
+                    // spread readers over the zoo (and thus the shards)
+                    let offset = r * cfg.models / cfg.readers.max(1);
+                    let mut checksum = 0u64;
+                    let mut count = 0u64;
+                    let mut sampled = Vec::new();
+                    let mut it = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let name = names[(it + offset) % cfg.models].as_str();
+                        if it & 63 == 0 {
+                            let t = Instant::now();
+                            checksum ^= lookup(name);
+                            sampled.push(t.elapsed().as_nanos());
+                        } else {
+                            checksum ^= lookup(name);
+                        }
+                        count += 1;
+                        it += 1;
+                    }
+                    (checksum, count, sampled)
+                })
+            })
+            .collect();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        for handle in handles {
+            let (checksum, count, sampled) = handle.join().expect("reader thread");
+            // consume the checksum so the lookup loop cannot be elided
+            assert!(checksum < u64::MAX);
+            lookups += count;
+            sampled_ns.extend(sampled);
+        }
+    });
+    ArmResult {
+        wall: started.elapsed(),
+        lookups: lookups.max(1),
+        swaps: swaps.load(Ordering::Relaxed),
+        sampled_ns,
+    }
+}
+
+/// Small enough that per-request compute is negligible next to the
+/// injected featurize stall.
+fn tiny_lstm_config(vocab: usize) -> LstmConfig {
+    LstmConfig {
+        vocab,
+        emb_dim: 16,
+        hidden: 16,
+        layers: 1,
+        dropout: 0.0,
+        classes: CLASSES,
+        pooling: LstmPooling::LastHidden,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = HarnessArgs::parse();
+    args.init_trace();
+    let models: usize = args
+        .value_of("--models")
+        .map_or(64, |v| v.parse().expect("--models must be an integer"));
+    let readers: usize = args
+        .value_of("--readers")
+        .map_or(4, |v| v.parse().expect("--readers must be an integer"));
+    let writers: usize = args
+        .value_of("--writers")
+        .map_or(4, |v| v.parse().expect("--writers must be an integer"));
+    let duration_ms: u64 = args.value_of("--duration-ms").map_or(1500, |v| {
+        v.parse().expect("--duration-ms must be an integer")
+    });
+    let hold_us: u64 = args.value_of("--swap-hold-us").map_or(900, |v| {
+        v.parse().expect("--swap-hold-us must be an integer")
+    });
+    let gap_us: u64 = args.value_of("--swap-gap-us").map_or(100, |v| {
+        v.parse().expect("--swap-gap-us must be an integer")
+    });
+    let min_scaling: f64 = args.value_of("--min-lookup-scaling").map_or(3.0, |v| {
+        v.parse().expect("--min-lookup-scaling must be a float")
+    });
+    let max_p99_us: f64 = args
+        .value_of("--max-p99-us")
+        .map_or(1000.0, |v| v.parse().expect("--max-p99-us must be a float"));
+    let feat_batch: usize = args
+        .value_of("--feat-batch")
+        .map_or(32, |v| v.parse().expect("--feat-batch must be an integer"));
+    let feat_stall_us: u64 = args.value_of("--feat-stall-us").map_or(2000, |v| {
+        v.parse().expect("--feat-stall-us must be an integer")
+    });
+    let min_feat_speedup: f64 = args.value_of("--min-featurize-speedup").map_or(2.5, |v| {
+        v.parse().expect("--min-featurize-speedup must be a float")
+    });
+
+    let cfg = StormConfig {
+        models,
+        readers,
+        writers,
+        duration: Duration::from_millis(duration_ms),
+        hold: Duration::from_micros(hold_us),
+        gap: Duration::from_micros(gap_us),
+    };
+    let names: Vec<String> = (0..models).map(|i| format!("zoo-{i}")).collect();
+
+    // --- arm 1: sharded registry under swap storm -------------------------
+    eprintln!(
+        "sharded arm: {readers} readers vs {writers} storm writers over {models} models \
+         for {duration_ms} ms, swap hold {hold_us} us / gap {gap_us} us"
+    );
+    let registry = ModelRegistry::new();
+    // the off-CPU hold below stands in for warmup; keep cadence symmetric
+    registry.set_warmup(false);
+    for (i, name) in names.iter().enumerate() {
+        registry
+            .publish(name, Box::new(ZooModel { tag: i as u64 }))
+            .expect("seed publish");
+    }
+    let sharded = run_storm(
+        &cfg,
+        &names,
+        |name| registry.get(name).expect("zoo name loaded").version(),
+        |i| {
+            // build + checkpoint I/O + warmup happen before any lock …
+            std::thread::sleep(cfg.hold);
+            // … so only the snapshot swap itself runs under the shard mutex
+            registry
+                .publish(&names[i], Box::new(ZooModel { tag: i as u64 }))
+                .expect("storm publish");
+        },
+    );
+
+    // --- arm 2: the single-RwLock baseline this design replaced -----------
+    eprintln!("rwlock baseline arm: same storm, swap held under the write lock");
+    let zoo: RwLock<HashMap<String, Arc<BaselineEntry>>> = RwLock::new(HashMap::new());
+    let baseline_version = AtomicU64::new(0);
+    for (i, name) in names.iter().enumerate() {
+        zoo.write().unwrap().insert(
+            name.clone(),
+            Arc::new(BaselineEntry {
+                version: baseline_version.fetch_add(1, Ordering::Relaxed) + 1,
+                model: Arc::new(ZooModel { tag: i as u64 }),
+            }),
+        );
+    }
+    let baseline = run_storm(
+        &cfg,
+        &names,
+        |name| {
+            let map = zoo.read().unwrap();
+            map.get(name).cloned().expect("zoo name loaded").version
+        },
+        |i| {
+            // a single-lock registry can only publish gate-checked entries
+            // atomically by doing the swap's slow phase inside the lock
+            let mut map = zoo.write().unwrap();
+            std::thread::sleep(cfg.hold);
+            map.insert(
+                names[i].clone(),
+                Arc::new(BaselineEntry {
+                    version: baseline_version.fetch_add(1, Ordering::Relaxed) + 1,
+                    model: Arc::new(ZooModel { tag: i as u64 }),
+                }),
+            );
+        },
+    );
+
+    let scaling = sharded.rps() / baseline.rps();
+    println!("models:            {models}");
+    println!(
+        "sharded lookups:   {:.0} /s ({:.0} ns mean, p99 {:.1} us, {} swaps)",
+        sharded.rps(),
+        sharded.mean_ns(),
+        sharded.p99_us(),
+        sharded.swaps
+    );
+    println!(
+        "rwlock lookups:    {:.0} /s ({:.0} ns mean, p99 {:.1} us, {} swaps)",
+        baseline.rps(),
+        baseline.mean_ns(),
+        baseline.p99_us(),
+        baseline.swaps
+    );
+    println!("lookup scaling:    {scaling:.2}x (gate: >= {min_scaling:.2}x)");
+
+    // --- arm 3: parallel batch featurization ------------------------------
+    let pool_threads = tensor::pool::num_threads();
+    eprintln!(
+        "featurize arm: batch of {feat_batch}, {feat_stall_us} us stall per featurize, \
+         {pool_threads} pool threads"
+    );
+    let tokens = content_tokens();
+    let vocab = Vocabulary::from_tokens(tokens.iter().cloned());
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x2e9);
+    let model = LstmClassifier::new(tiny_lstm_config(vocab.len()), &mut rng);
+    let recipes = synth_recipes(feat_batch, &tokens, args.seed ^ 0xfea7);
+    let reference: Vec<Vec<f64>> = recipes
+        .iter()
+        .map(|(r, _)| {
+            let ids = bench::serving::to_ids(r, &vocab);
+            model
+                .predict_proba_batch(&[&ids])
+                .pop()
+                .expect("one row per request")
+        })
+        .collect();
+
+    let feat_registry = Arc::new(ModelRegistry::new());
+    feat_registry
+        .publish(
+            "lstm-feat-stalled",
+            Box::new(StalledFeaturesModel::new(
+                Box::new(LstmServing::new(model, vocab.clone())),
+                Duration::from_micros(feat_stall_us),
+            )),
+        )
+        .expect("publish stalled-featurize model");
+
+    // serial reference: the worker's pre-PR featurize loop, same virtual
+    // dispatch, one stall per request
+    let entry = feat_registry.get("lstm-feat-stalled").expect("published");
+    let token_lists: Vec<Vec<String>> = recipes
+        .iter()
+        .map(|(r, _)| cuisine::featurize::entity_tokens(r))
+        .collect();
+    let serial_started = Instant::now();
+    let serial_features: Vec<Features> = token_lists
+        .iter()
+        .map(|t| entry.model().featurize(t))
+        .collect();
+    let serial = serial_started.elapsed();
+    drop(serial_features);
+
+    let server = BatchServer::start(
+        Arc::clone(&feat_registry),
+        "lstm-feat-stalled",
+        ServeConfig {
+            max_batch: feat_batch,
+            // long enough for the whole cold batch to gather into one pass
+            max_delay: Duration::from_millis(10),
+            queue_capacity: feat_batch * 2,
+            cache_capacity: feat_batch * 2,
+        },
+    )
+    .expect("start batch server");
+    let cq = CompletionQueue::new();
+    let mut by_ticket: HashMap<Ticket, usize> = HashMap::with_capacity(feat_batch);
+    let parallel_started = Instant::now();
+    for (i, tokens) in token_lists.iter().enumerate() {
+        // distinct keys: every request must be a cache miss
+        let key = format!("{i}:{}", tokens.join("\x1f"));
+        let ticket = server
+            .submit(tokens.clone(), key, None, &cq)
+            .expect("submit cold batch");
+        by_ticket.insert(ticket, i);
+    }
+    let mut answers: Vec<Option<Vec<f64>>> = vec![None; feat_batch];
+    while let Some(done) = cq.wait_with_timeout(Duration::from_secs(60)) {
+        let i = by_ticket.remove(&done.ticket).expect("ticket known");
+        let prediction = done.result.expect("every submission answers");
+        assert!(answers[i].replace(prediction.probs).is_none());
+    }
+    let parallel = parallel_started.elapsed();
+    assert!(by_ticket.is_empty(), "{} tickets leaked", by_ticket.len());
+    server.shutdown();
+
+    let mismatches = answers
+        .iter()
+        .enumerate()
+        .filter(|(i, row)| row.as_ref().expect("every request answered") != &reference[*i])
+        .count();
+    let feat_speedup = serial.as_secs_f64() / parallel.as_secs_f64();
+    println!(
+        "featurize:         batch {:.1} ms vs serial {:.1} ms = {feat_speedup:.2}x \
+         ({mismatches} mismatches)",
+        parallel.as_secs_f64() * 1e3,
+        serial.as_secs_f64() * 1e3,
+    );
+
+    let json_path = PathBuf::from(args.value_of("--json").unwrap_or("BENCH_registry.json"));
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"registry\",\n",
+            "  \"models\": {},\n",
+            "  \"readers\": {},\n",
+            "  \"writers\": {},\n",
+            "  \"duration_ms\": {},\n",
+            "  \"swap_hold_us\": {},\n",
+            "  \"swap_gap_us\": {},\n",
+            "  \"entries\": [\n",
+            "    {{\"path\": \"lookup_sharded\", \"latency_ns\": {:.1}, \"p99_us\": {:.2}, ",
+            "\"rps\": {:.1}, \"swaps\": {}}},\n",
+            "    {{\"path\": \"lookup_rwlock_baseline\", \"latency_us\": {:.3}, ",
+            "\"rps\": {:.1}, \"swaps\": {}}},\n",
+            "    {{\"path\": \"lookup_scaling\", \"ratio\": {:.3}}},\n",
+            "    {{\"path\": \"featurize_batch\", \"latency_ns\": {:.1}, \"wall_ms\": {:.3}, ",
+            "\"serial_ms\": {:.3}, \"speedup\": {:.3}, \"mismatches\": {}, ",
+            "\"pool_threads\": {}}}\n",
+            "  ]\n",
+            "}}\n"
+        ),
+        models,
+        readers,
+        writers,
+        duration_ms,
+        hold_us,
+        gap_us,
+        sharded.mean_ns(),
+        sharded.p99_us(),
+        sharded.rps(),
+        sharded.swaps,
+        baseline.mean_ns() / 1e3,
+        baseline.rps(),
+        baseline.swaps,
+        scaling,
+        parallel.as_nanos() as f64 / feat_batch as f64,
+        parallel.as_secs_f64() * 1e3,
+        serial.as_secs_f64() * 1e3,
+        feat_speedup,
+        mismatches,
+        pool_threads,
+    );
+    std::fs::write(&json_path, json).expect("write BENCH_registry.json");
+    eprintln!("wrote {}", json_path.display());
+    args.finish_trace();
+
+    // --- gates ------------------------------------------------------------
+    assert!(
+        sharded.swaps >= 20 && baseline.swaps >= 20,
+        "swap storm too thin ({} sharded / {} baseline swaps): raise --duration-ms",
+        sharded.swaps,
+        baseline.swaps
+    );
+    assert!(
+        scaling >= min_scaling,
+        "sharded lookups scaled only {scaling:.2}x over the RwLock baseline \
+         (gate: {min_scaling:.2}x)"
+    );
+    let p99 = sharded.p99_us();
+    assert!(
+        p99 <= max_p99_us,
+        "sharded lookup p99 {p99:.1} us exceeds {max_p99_us:.1} us under swap storm"
+    );
+    assert_eq!(
+        mismatches, 0,
+        "parallel featurization drifted from the sequential path"
+    );
+    if pool_threads >= 4 {
+        assert!(
+            feat_speedup >= min_feat_speedup,
+            "batch featurization sped up only {feat_speedup:.2}x with {pool_threads} \
+             pool threads (gate: {min_feat_speedup:.2}x)"
+        );
+    } else {
+        eprintln!(
+            "featurize speedup gate skipped: {pool_threads} pool thread(s) \
+             (set TENSOR_THREADS>=4 to gate)"
+        );
+    }
+    println!(
+        "registry gate:     ok ({scaling:.2}x lookups, p99 {p99:.1} us, \
+         featurize {feat_speedup:.2}x, bit-identical)"
+    );
+}

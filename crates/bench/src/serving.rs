@@ -161,3 +161,45 @@ impl ServingModel for StalledModel {
         self.inner.predict(batch)
     }
 }
+
+/// Decorator that adds a fixed stall to every `featurize` call while
+/// delegating everything else, modeling a featurizer whose cost is
+/// off-CPU (an entity-linker RPC, a tokenizer sidecar, a feature-store
+/// read). Features — and therefore predictions — are exactly the inner
+/// model's.
+///
+/// This is the featurization analog of [`StalledModel`]: on a
+/// single-core host the batch worker's parallel featurize fan-out
+/// (`tensor::pool`) cannot beat the serial loop on pure compute, but
+/// off-CPU stalls overlap across pool threads, so the `registry_load`
+/// featurization gate runs against this decorator.
+pub struct StalledFeaturesModel {
+    inner: Box<dyn ServingModel>,
+    stall: Duration,
+}
+
+impl StalledFeaturesModel {
+    /// Wraps `inner`, adding `stall` of sleep per `featurize` call.
+    pub fn new(inner: Box<dyn ServingModel>, stall: Duration) -> Self {
+        Self { inner, stall }
+    }
+}
+
+impl ServingModel for StalledFeaturesModel {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn featurize(&self, tokens: &[String]) -> Features {
+        std::thread::sleep(self.stall);
+        self.inner.featurize(tokens)
+    }
+
+    fn predict(&self, batch: &[&Features]) -> Vec<Vec<f64>> {
+        self.inner.predict(batch)
+    }
+}

@@ -67,7 +67,7 @@ pub use manifest::{ModelManifest, LINEAR_FILE, MANIFEST_FILE, MANIFEST_FORMAT};
 pub use model::{
     BertServing, Features, LinearServing, LstmServing, QuantLstmServing, ServingModel,
 };
-pub use registry::{LoadedModel, ModelRegistry};
+pub use registry::{LoadedModel, ModelRegistry, SHARDS as REGISTRY_SHARDS};
 pub use router::{DeployReport, ReplicaHandle, ReplicaHealth, ReplicaRouter, RouterConfig};
 pub use service::{BatchServer, Prediction, ServeConfig};
 pub use supervisor::{Supervisor, SupervisorConfig, WorkerPhase, MAX_WORKERS};

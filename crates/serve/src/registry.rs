@@ -1,17 +1,55 @@
 //! The model registry: load checkpoints into servable models, hot-swap
 //! them under live traffic.
 //!
-//! Each entry is an [`Arc<LoadedModel>`] behind an `RwLock`ed map.
-//! Lookups clone the `Arc`, so a reload never blocks in-flight
+//! # Sharded, wait-free read path
+//!
+//! The registry is the one structure every request path touches — the
+//! batch worker re-resolves its model name before every fused pass — so
+//! lookups must never contend with loads. Entries live in a fixed array
+//! of [`SHARDS`] shards selected by a hash of the model name. Each shard
+//! publishes an immutable snapshot (`HashMap<Arc<str>, Arc<LoadedModel>>`)
+//! behind an [`AtomicPtr`]:
+//!
+//! * **Readers are wait-free.** [`get`](ModelRegistry::get) bumps the
+//!   shard's reader count, loads the snapshot pointer, clones the entry's
+//!   `Arc`, and decrements — three atomic RMWs and a hash lookup, no
+//!   lock, no retry loop, no spin. A reader can never be blocked by a
+//!   writer (not even one preempted mid-swap), and readers of one shard
+//!   never touch another shard's cache lines.
+//! * **Writers rebuild and swap.** [`load`](ModelRegistry::load),
+//!   [`publish`](ModelRegistry::publish) and
+//!   [`alias`](ModelRegistry::alias) take the *per-shard* writer mutex,
+//!   clone the current snapshot (cheap: the values are `Arc`s), apply the
+//!   change, swap the pointer, then wait for the shard's in-flight
+//!   readers to drain before freeing the old snapshot. A hot swap of one
+//!   model therefore never stalls lookups of any other model — not even
+//!   ones hashing to the same shard, whose readers keep resolving the old
+//!   snapshot until the instant of the swap.
+//!
+//! **Memory-ordering argument.** All snapshot/reader-count operations are
+//! `SeqCst`, so they form one total order. If a reader's pointer load
+//! observed the old snapshot, that load — and the reader-count increment
+//! sequenced before it — precede the writer's swap in that order. The
+//! writer's drain loop reads the count *after* the swap, so it can only
+//! observe zero once that reader's decrement (sequenced after the `Arc`
+//! clone) is also in the order. Hence no snapshot is freed while any
+//! reader still dereferences it, and a reader that starts after the swap
+//! can only load the new pointer. Version visibility is monotone per
+//! name: versions are assigned and installed under the shard writer
+//! mutex, and pointer-coherence forbids a reader from seeing an older
+//! snapshot after a newer one.
+//!
+//! Lookups clone the entry's `Arc`, so a reload never blocks in-flight
 //! prediction: requests already holding the old `Arc` finish on the old
 //! weights, and the next batch picks up the new version. The version
 //! counter is what downstream caches key invalidation on.
 
 use std::collections::HashMap;
 use std::io;
+use std::marker::PhantomData;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use nn::{BertClassifier, CheckpointManager, LstmClassifier, SequenceModel};
 use rand::rngs::StdRng;
@@ -24,10 +62,17 @@ use crate::model::{
 
 static LOADS: trace::Counter = trace::Counter::new("serve.registry.loads");
 static WARMUPS: trace::Counter = trace::Counter::new("serve.registry.warmups");
+static ALIASES: trace::Counter = trace::Counter::new("serve.registry.aliases");
+
+/// Number of registry shards. A power of two so the shard index is a
+/// mask; 16 keeps per-shard zoo slices small while staying far above any
+/// realistic writer concurrency.
+pub const SHARDS: usize = 16;
 
 /// A model the registry has materialized from disk, ready to serve.
 pub struct LoadedModel {
-    name: String,
+    /// Shared with the shard map's key: one allocation serves both.
+    name: Arc<str>,
     version: u64,
     kind: String,
     // shared, not owned: `alias` republishes the same engine under
@@ -73,20 +118,135 @@ impl std::fmt::Debug for LoadedModel {
     }
 }
 
-/// Named, hot-swappable collection of servable models.
-#[derive(Debug)]
+/// One shard's immutable published state.
+type Snapshot = HashMap<Arc<str>, Arc<LoadedModel>>;
+
+/// Decrements the reader count when the lookup closure returns (or
+/// unwinds), so a panicking reader can never wedge a writer's drain.
+struct ReadGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ReadGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One registry shard: an atomically published snapshot plus the writer
+/// machinery that rebuilds it. See the module docs for the protocol.
+struct Shard {
+    /// Current snapshot; owned by the shard, replaced by [`update`].
+    snapshot: AtomicPtr<Snapshot>,
+    /// Readers currently between the pointer load and their `Arc` clone.
+    readers: AtomicUsize,
+    /// Serializes writers to this shard (and the version assignment that
+    /// happens inside [`ModelRegistry::upsert`]'s rebuild closure).
+    writer: Mutex<()>,
+    /// The shard semantically owns the snapshot behind the raw pointer.
+    _own: PhantomData<Box<Snapshot>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            snapshot: AtomicPtr::new(Box::into_raw(Box::default())),
+            readers: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+            _own: PhantomData,
+        }
+    }
+
+    /// Wait-free read: no lock, no loop. The reader count is the only
+    /// shared line a reader writes, and only readers of this same shard
+    /// (plus a writer's post-swap drain) ever look at it.
+    fn read<R>(&self, f: impl FnOnce(&Snapshot) -> R) -> R {
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        let _g = ReadGuard(&self.readers);
+        let snap = self.snapshot.load(Ordering::SeqCst);
+        // SAFETY: the count was raised before the load, so the writer's
+        // drain (which runs after its swap) cannot have freed `snap`; see
+        // the module-level memory-ordering argument.
+        f(unsafe { &*snap })
+    }
+
+    /// The one writer-side entry point: locks this shard's writer mutex
+    /// (recovering poison), rebuilds the snapshot through `f`, swaps it
+    /// in, drains in-flight readers, and frees the old snapshot.
+    fn update<R>(&self, f: impl FnOnce(&mut Snapshot) -> R) -> R {
+        let _w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // SAFETY: writers are serialized by `writer`, so nothing swaps or
+        // frees the current snapshot while we copy it.
+        let mut next = unsafe { (*self.snapshot.load(Ordering::SeqCst)).clone() };
+        let r = f(&mut next);
+        let old = self
+            .snapshot
+            .swap(Box::into_raw(Box::new(next)), Ordering::SeqCst);
+        // Drain: readers hold the count for a few instructions, so this
+        // resolves almost immediately — unless one was preempted inside
+        // its guard, in which case yield the core instead of burning it.
+        let mut spins = 0u32;
+        while self.readers.load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // SAFETY: the pointer came from `Box::into_raw`, was unpublished
+        // by the swap above, and the drain proved no reader still
+        // dereferences it.
+        unsafe { drop(Box::from_raw(old)) };
+        r
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` — no reader or writer can exist.
+        unsafe { drop(Box::from_raw(*self.snapshot.get_mut())) };
+    }
+}
+
+/// Shard index of a model name: FNV-1a finished with the murmur3 fmix64
+/// avalanche, so structured names (`lstm@0`, `lstm@1`, …) spread instead
+/// of clustering in one shard.
+fn shard_index(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    (h as usize) & (SHARDS - 1)
+}
+
+/// Named, hot-swappable collection of servable models, sharded by name
+/// hash with wait-free lookups (see the module docs).
 pub struct ModelRegistry {
-    models: RwLock<HashMap<String, Arc<LoadedModel>>>,
+    shards: [Shard; SHARDS],
     next_version: AtomicU64,
-    warmup: std::sync::atomic::AtomicBool,
+    warmup: AtomicBool,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("shards", &SHARDS)
+            .field("models", &self.names().len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for ModelRegistry {
     fn default() -> Self {
         Self {
-            models: RwLock::default(),
+            shards: std::array::from_fn(|_| Shard::new()),
             next_version: AtomicU64::new(0),
-            warmup: std::sync::atomic::AtomicBool::new(true),
+            warmup: AtomicBool::new(true),
         }
     }
 }
@@ -95,6 +255,10 @@ impl ModelRegistry {
     /// Creates an empty registry (warmup enabled).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn shard_for(&self, name: &str) -> &Shard {
+        &self.shards[shard_index(name)]
     }
 
     /// Enables or disables the load-time warmup pass (on by default).
@@ -199,19 +363,12 @@ impl ModelRegistry {
         kind: String,
         model: Box<dyn ServingModel>,
     ) -> io::Result<Arc<LoadedModel>> {
+        // the warmup pass runs before any lock: a slow (or hung) model
+        // build must not stall other writers to the same shard
         if self.warmup.load(Ordering::Relaxed) {
             warmup(model.as_ref())?;
         }
-        let loaded = Arc::new(LoadedModel {
-            name: name.to_string(),
-            version: self.next_version.fetch_add(1, Ordering::Relaxed) + 1,
-            kind,
-            model: Arc::from(model),
-        });
-        self.models
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(name.to_string(), Arc::clone(&loaded));
+        let loaded = self.upsert(name, kind, Arc::from(model), None);
         LOADS.incr();
         Ok(loaded)
     }
@@ -222,36 +379,58 @@ impl ModelRegistry {
     /// uses this to fan one checkpoint out to per-replica names and to
     /// roll a failed deploy back to the previous version atomically.
     pub fn alias(&self, name: &str, src: &Arc<LoadedModel>) -> Arc<LoadedModel> {
-        let loaded = Arc::new(LoadedModel {
-            name: name.to_string(),
-            version: src.version,
-            kind: src.kind.clone(),
-            model: Arc::clone(&src.model),
-        });
-        self.models
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(name.to_string(), Arc::clone(&loaded));
+        let _span = trace::span("serve.registry.alias");
+        let loaded = self.upsert(
+            name,
+            src.kind.clone(),
+            Arc::clone(&src.model),
+            Some(src.version),
+        );
+        ALIASES.incr();
         loaded
     }
 
-    /// Resolves a name to its current version, if loaded.
+    /// The one place entries enter the registry: locks the name's shard
+    /// for writing (poison recovered inside [`Shard::update`]), assigns
+    /// the version — fresh from the global counter unless `alias` pins
+    /// the source's — and swaps the rebuilt snapshot in. Holding the
+    /// shard writer lock across the version assignment is what makes
+    /// versions monotone per name (alias rollback excepted).
+    fn upsert(
+        &self,
+        name: &str,
+        kind: String,
+        model: Arc<dyn ServingModel>,
+        version: Option<u64>,
+    ) -> Arc<LoadedModel> {
+        self.shard_for(name).update(|map| {
+            let version =
+                version.unwrap_or_else(|| self.next_version.fetch_add(1, Ordering::Relaxed) + 1);
+            // key and LoadedModel.name share one allocation
+            let key: Arc<str> = Arc::from(name);
+            let loaded = Arc::new(LoadedModel {
+                name: Arc::clone(&key),
+                version,
+                kind,
+                model,
+            });
+            map.insert(key, Arc::clone(&loaded));
+            loaded
+        })
+    }
+
+    /// Resolves a name to its current version, if loaded. Wait-free: no
+    /// lock is taken and no writer — however stormy — can block this.
     pub fn get(&self, name: &str) -> Option<Arc<LoadedModel>> {
-        self.models
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(name)
-            .cloned()
+        self.shard_for(name).read(|map| map.get(name).cloned())
     }
 
     /// The names currently loaded, sorted.
     pub fn names(&self) -> Vec<String> {
         let mut names: Vec<String> = self
-            .models
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .keys()
-            .cloned()
+            .shards
+            .iter()
+            .flat_map(|s| s.read(|map| map.keys().map(|k| k.to_string()).collect::<Vec<_>>()))
             .collect();
         names.sort();
         names
@@ -550,6 +729,62 @@ mod tests {
         let registry = ModelRegistry::new();
         let err = registry.load("lstm", &dir).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_index_spreads_structured_names() {
+        // replica fan-out names differ only in a short suffix — the
+        // avalanche must spread them over several shards, not one
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..SHARDS {
+            seen.insert(shard_index(&format!("lstm@{i}")));
+        }
+        assert!(
+            seen.len() >= SHARDS / 2,
+            "16 structured names landed in only {} shards",
+            seen.len()
+        );
+        for name in ["lstm", "bert", "linear", "lstm@0"] {
+            assert!(shard_index(name) < SHARDS);
+            assert_eq!(shard_index(name), shard_index(name), "stable");
+        }
+    }
+
+    #[test]
+    fn lookups_of_other_names_proceed_during_a_swap() {
+        // a slow writer to one name must not make readers of another name
+        // wait: get() is wait-free, so lookups complete while the writer
+        // holds its shard's writer mutex mid-rebuild
+        let registry = Arc::new(ModelRegistry::new());
+        registry.set_warmup(false);
+        let dir = std::env::temp_dir().join("serve_registry_waitfree");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_lstm_dir(&dir, 30);
+        registry.load("a", &dir).unwrap();
+        registry.load("b", &dir).unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    registry.load("a", &dir).unwrap();
+                }
+            })
+        };
+        let mut last = 0;
+        for _ in 0..10_000 {
+            let b = registry.get("b").expect("b never swapped");
+            assert_eq!(b.name(), "b");
+            let a = registry.get("a").expect("a always servable");
+            assert!(a.version() >= last, "version went backwards");
+            last = a.version();
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -16,6 +16,19 @@
 //! fused pass is bit-identical to evaluating each request alone (see
 //! `nn::infer` and the integration tests).
 //!
+//! # Parallel featurization
+//!
+//! Cache-miss featurization fans out across `tensor::pool` in two
+//! passes. Pass 1 walks the batch **in request order**, probing and
+//! reserving feature-cache slots so the cache performs exactly the
+//! serial sequence of `get`/`insert` operations (same hits, same misses,
+//! same LRU recency and eviction order — `cache_hit` flags and the
+//! hit/miss counters are bit-identical to the serial path). Pass 2 fills
+//! the freshly reserved slots in parallel, one pool tile per miss, each
+//! writing its own [`OnceLock`] slot. Because `featurize` is pure
+//! per-request work and every slot index is fixed by pass 1, answers and
+//! cache state are identical at every `TENSOR_THREADS`.
+//!
 //! # Lifecycle
 //!
 //! [`BatchServer::start`] resolves the model name once (failing fast on
@@ -34,7 +47,7 @@
 //! latency histogram (`serve.latency_us.le_*`); see `docs/TRACING.md`.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -439,9 +452,23 @@ fn expire_overdue(st: &mut QueueState, now: Instant) -> bool {
     changed
 }
 
+/// A feature-cache slot whose value may still be in flight: pass 1 of
+/// [`process_batch`] reserves slots in exact serial LRU order, pass 2
+/// fills the fresh ones in parallel on the tensor pool. Slots cached
+/// from earlier batches are always filled.
+struct LazyFeatures(OnceLock<Features>);
+
+impl LazyFeatures {
+    fn get(&self) -> &Features {
+        self.0
+            .get()
+            .expect("pool.run returns only after every reserved slot is filled")
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     let config = &shared.config;
-    let mut cache: LruCache<String, Arc<Features>> = LruCache::new(config.cache_capacity);
+    let mut cache: LruCache<String, Arc<LazyFeatures>> = LruCache::new(config.cache_capacity);
     let mut cache_version = 0u64;
     loop {
         let batch = {
@@ -514,7 +541,7 @@ fn worker_loop(shared: &Shared) {
 
 fn process_batch(
     shared: &Shared,
-    cache: &mut LruCache<String, Arc<Features>>,
+    cache: &mut LruCache<String, Arc<LazyFeatures>>,
     cache_version: &mut u64,
     batch: Vec<Pending>,
 ) {
@@ -547,23 +574,40 @@ fn process_batch(
     }
 
     let model = loaded.model();
+    // pass 1 (serial, request order): probe the cache and reserve a slot
+    // per miss, replicating the serial path's exact get/insert sequence —
+    // a key repeated within the batch hits the slot its first occurrence
+    // reserved, and evictions fall in the same order they would serially
     let mut hits = vec![false; live.len()];
-    let features: Vec<Arc<Features>> = live
+    let mut fresh: Vec<usize> = Vec::new();
+    let slots: Vec<Arc<LazyFeatures>> = live
         .iter()
         .enumerate()
         .map(|(i, p)| {
-            if let Some(f) = cache.get(&p.key) {
+            if let Some(slot) = cache.get(&p.key) {
                 CACHE_HITS.incr();
                 hits[i] = true;
-                return Arc::clone(f);
+                return Arc::clone(slot);
             }
             CACHE_MISSES.incr();
-            let f = Arc::new(model.featurize(&p.tokens));
-            cache.insert(p.key.clone(), Arc::clone(&f));
-            f
+            let slot = Arc::new(LazyFeatures(OnceLock::new()));
+            cache.insert(p.key.clone(), Arc::clone(&slot));
+            fresh.push(i);
+            slot
         })
         .collect();
-    let refs: Vec<&Features> = features.iter().map(Arc::as_ref).collect();
+    // pass 2 (parallel): featurize the misses across the tensor pool,
+    // one tile per miss writing its own pre-reserved slot. featurize is
+    // pure per-request work, so tile→slot being fixed by pass 1 makes
+    // the result bit-identical at every TENSOR_THREADS (a single miss,
+    // or a busy/absent pool, runs inline on this thread)
+    if !fresh.is_empty() {
+        tensor::pool::global().run(fresh.len(), &|t| {
+            let i = fresh[t];
+            let _ = slots[i].0.set(model.featurize(&live[i].tokens));
+        });
+    }
+    let refs: Vec<&Features> = slots.iter().map(|s| s.get()).collect();
 
     let probs = model.predict(&refs);
     debug_assert_eq!(probs.len(), live.len());

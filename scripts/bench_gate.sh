@@ -48,6 +48,12 @@ for baseline in "$BASELINES"/BENCH_*.json; do
             echo "bench_gate: $fresh missing — running cq_load"
             cargo run --release -q -p bench --bin cq_load >/dev/null
             ;;
+        BENCH_registry.json)
+            # the featurize arm's timing depends on the pool width, so pin
+            # the thread count the baseline was recorded at
+            echo "bench_gate: $fresh missing — running registry_load"
+            TENSOR_THREADS=4 cargo run --release -q -p bench --bin registry_load >/dev/null
+            ;;
         BENCH_supervisor.json)
             # supervisor_load spawns the replica_worker binary from the
             # serve crate, which `cargo run -p bench` alone won't build

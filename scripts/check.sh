@@ -40,7 +40,8 @@ for threads in 1 2 4; do
     echo "== serve suites (TENSOR_THREADS=$threads) =="
     TENSOR_THREADS=$threads cargo test -q -p serve \
         --test serve_integration --test supervisor_integration \
-        --test trace_integration --test completion_queue
+        --test trace_integration --test completion_queue \
+        --test registry_stress
 done
 
 # End-to-end int8 accuracy gate: serve_load trains a small model, serves it
@@ -72,6 +73,16 @@ cargo run --release -q -p bench --bin router_load -- \
 echo "== completion queue gate (cq_load) =="
 cargo run --release -q -p bench --bin cq_load -- \
     --min-inflight 1024 --json "$quant_gate_dir/BENCH_cq.json"
+
+# Sharded-registry gate: registry_load proves >= 3x aggregate lookup
+# throughput at 4 reader threads vs the single-RwLock baseline under a
+# hot-swap storm, bounded sharded lookup p99, and >= 2.5x batch
+# featurization speedup with bit-identical predictions. TENSOR_THREADS=4
+# so the featurize fan-out has a pool to run on.
+echo "== sharded registry gate (registry_load) =="
+TENSOR_THREADS=4 cargo run --release -q -p bench --bin registry_load -- \
+    --min-lookup-scaling 3.0 --min-featurize-speedup 2.5 \
+    --json "$quant_gate_dir/BENCH_registry.json"
 
 # Process-isolation gate: supervisor_load drives the same stream through
 # an in-process fleet and a supervised fleet of replica_worker processes

@@ -1,0 +1,271 @@
+//! Concurrency stress for the sharded model registry.
+//!
+//! The registry promises (docs/SERVING_TIER.md "Sharded registry"):
+//!
+//! 1. **No torn snapshot**: a concurrent `get` always returns a fully
+//!    formed entry — right name, valid kind, a model that answers — no
+//!    matter how many writers are mid-swap.
+//! 2. **Monotone versions per name**: once a reader has seen version `v`
+//!    under a name, it never sees `< v` there — except through the
+//!    documented [`ModelRegistry::alias`] rollback, which deliberately
+//!    republishes a prior entry.
+//! 3. **A failed load leaves the prior entry servable**: the
+//!    failure-keeps-prior contract holds not just sequentially (the unit
+//!    tests pin that) but while readers hammer the name mid-failure.
+//!
+//! The suite runs in the `TENSOR_THREADS` sweep of `scripts/check.sh`
+//! alongside the parallel-featurization tests.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nn::{save_checkpoint, LstmClassifier, LstmConfig, LstmPooling, SequenceModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::{Features, ModelManifest, ModelRegistry, ServingModel};
+use textproc::Vocabulary;
+
+/// A tiny valid model whose `tag` lets readers verify they got exactly
+/// the engine a writer published (not a torn or recycled one).
+struct Tagged {
+    tag: u64,
+}
+
+impl ServingModel for Tagged {
+    fn kind(&self) -> &'static str {
+        "tagged"
+    }
+
+    fn num_classes(&self) -> usize {
+        2
+    }
+
+    fn featurize(&self, tokens: &[String]) -> Features {
+        Features::Ids(vec![tokens.len()])
+    }
+
+    fn predict(&self, batch: &[&Features]) -> Vec<Vec<f64>> {
+        // encode the tag in the row, still summing to 1 so the warmup
+        // gate admits it: readers can check the answer is self-consistent
+        let p = 1.0 / (2.0 + (self.tag % 7) as f64);
+        batch.iter().map(|_| vec![p, 1.0 - p]).collect()
+    }
+}
+
+fn model_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("stress-{i}")).collect()
+}
+
+/// Readers spin on `get` across shards while writers `publish` and
+/// `alias` concurrently: every lookup must return an intact entry and
+/// versions must be monotone per name (aliases fan out to *new* names
+/// here, so base names only move forward).
+#[test]
+fn readers_never_see_torn_state_under_publish_and_alias_storm() {
+    const NAMES: usize = 12;
+    const READERS: usize = 4;
+    const READER_ITERS: usize = 4_000;
+    const WRITER_ITERS: usize = 400;
+
+    let registry = Arc::new(ModelRegistry::new());
+    let names = model_names(NAMES);
+    for (i, name) in names.iter().enumerate() {
+        registry
+            .publish(name, Box::new(Tagged { tag: i as u64 }))
+            .expect("seed publish");
+    }
+
+    let writers_done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        // writer A: republishes every base name round-robin (version bumps)
+        {
+            let registry = Arc::clone(&registry);
+            let names = names.clone();
+            scope.spawn(move || {
+                for it in 0..WRITER_ITERS {
+                    let name = &names[it % NAMES];
+                    registry
+                        .publish(name, Box::new(Tagged { tag: it as u64 }))
+                        .expect("storm publish");
+                }
+            });
+        }
+        // writer B: fans base entries out to alias names (replica-style),
+        // and deliberately fails loads against a directory with no
+        // manifest — errors must never disturb published entries
+        {
+            let registry = Arc::clone(&registry);
+            let names = names.clone();
+            let done = Arc::clone(&writers_done);
+            scope.spawn(move || {
+                let bogus = std::env::temp_dir().join("registry_stress_no_such_dir");
+                for it in 0..WRITER_ITERS {
+                    let base = registry.get(&names[it % NAMES]).expect("base loaded");
+                    registry.alias(&format!("{}@{}", base.name(), it % 3), &base);
+                    assert!(
+                        registry.load("stress-0", &bogus).is_err(),
+                        "loading a nonexistent dir must fail"
+                    );
+                }
+                done.store(true, Ordering::Relaxed);
+            });
+        }
+        for r in 0..READERS {
+            let registry = Arc::clone(&registry);
+            let names = names.clone();
+            scope.spawn(move || {
+                let mut last = [0u64; NAMES];
+                for it in 0..READER_ITERS {
+                    let i = (it + r) % NAMES;
+                    let entry = registry.get(&names[i]).expect("published name vanished");
+                    // torn-snapshot checks: the entry is internally whole
+                    assert_eq!(entry.name(), names[i]);
+                    assert_eq!(entry.kind(), "tagged");
+                    assert!(entry.version() > 0);
+                    assert!(
+                        entry.version() >= last[i],
+                        "version went backwards on {}: {} after {}",
+                        names[i],
+                        entry.version(),
+                        last[i]
+                    );
+                    last[i] = entry.version();
+                    if it % 512 == 0 {
+                        let row = &entry.model().predict(&[&Features::Ids(vec![0])])[0];
+                        assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9, "torn model");
+                    }
+                }
+            });
+        }
+    });
+    assert!(writers_done.load(Ordering::Relaxed));
+
+    // the zoo is intact: every base name still resolves, and every alias
+    // points at some version its base actually published
+    for name in &names {
+        let base = registry.get(name).expect("base survives the storm");
+        for r in 0..3 {
+            if let Some(aliased) = registry.get(&format!("{name}@{r}")) {
+                assert_eq!(aliased.kind(), "tagged");
+                assert!(aliased.version() <= base.version());
+            }
+        }
+    }
+}
+
+fn lstm_config() -> LstmConfig {
+    LstmConfig {
+        vocab: 8,
+        emb_dim: 4,
+        hidden: 5,
+        layers: 1,
+        dropout: 0.0,
+        classes: 3,
+        pooling: LstmPooling::LastHidden,
+    }
+}
+
+fn write_lstm_dir(dir: &Path, seed: u64) {
+    std::fs::create_dir_all(dir).unwrap();
+    let vocab = Vocabulary::from_tokens(["stir", "onion", "bake"].map(String::from));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = LstmClassifier::new(lstm_config(), &mut rng);
+    ModelManifest::lstm(&lstm_config(), &vocab)
+        .save(dir)
+        .unwrap();
+    save_checkpoint(model.store(), &dir.join("latest.ckpt")).unwrap();
+}
+
+/// The failure-keeps-prior contract under concurrency: a writer
+/// alternates good reloads with loads of a corrupt checkpoint while
+/// readers hammer the name. Every failed load must leave the previous
+/// entry servable and the version monotone.
+#[test]
+fn failed_load_keeps_prior_entry_servable_under_readers() {
+    let good = std::env::temp_dir().join("registry_stress_good");
+    let corrupt = std::env::temp_dir().join("registry_stress_corrupt");
+    for d in [&good, &corrupt] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    write_lstm_dir(&good, 40);
+    write_lstm_dir(&corrupt, 41);
+    std::fs::write(corrupt.join("latest.ckpt"), b"garbage").unwrap();
+
+    let registry = Arc::new(ModelRegistry::new());
+    let first = registry.load("lstm", &good).expect("initial load");
+    let highest = Arc::new(AtomicU64::new(first.version()));
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        {
+            let registry = Arc::clone(&registry);
+            let highest = Arc::clone(&highest);
+            let done = Arc::clone(&done);
+            let (good, corrupt) = (good.clone(), corrupt.clone());
+            scope.spawn(move || {
+                for it in 0..40 {
+                    if it % 2 == 0 {
+                        let v = registry.load("lstm", &good).expect("good reload").version();
+                        highest.fetch_max(v, Ordering::Relaxed);
+                    } else {
+                        registry
+                            .load("lstm", &corrupt)
+                            .expect_err("corrupt checkpoint must be rejected");
+                    }
+                }
+                done.store(true, Ordering::Relaxed);
+            });
+        }
+        for _ in 0..3 {
+            let registry = Arc::clone(&registry);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let mut last = 0u64;
+                let mut looked = 0usize;
+                while !done.load(Ordering::Relaxed) || looked == 0 {
+                    looked += 1;
+                    let entry = registry
+                        .get("lstm")
+                        .expect("a failed load must never unpublish the prior entry");
+                    assert!(entry.version() >= last, "version went backwards");
+                    last = entry.version();
+                    if looked.is_multiple_of(64) {
+                        let row = &entry.model().predict(&[&Features::Ids(vec![0])])[0];
+                        assert!(
+                            row.iter().all(|p| p.is_finite()),
+                            "prior entry not servable"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // the registry finishes on the last *good* version
+    assert_eq!(
+        registry.get("lstm").unwrap().version(),
+        highest.load(Ordering::Relaxed)
+    );
+    for d in [good, corrupt] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
+
+/// The one documented exception to per-name monotonicity: an `alias`
+/// rollback republishes a prior entry, moving the version backwards.
+#[test]
+fn alias_rollback_is_the_documented_version_regression() {
+    let registry = ModelRegistry::new();
+    let v1 = registry.publish("m", Box::new(Tagged { tag: 1 })).unwrap();
+    let v2 = registry.publish("m", Box::new(Tagged { tag: 2 })).unwrap();
+    assert!(v2.version() > v1.version());
+    assert_eq!(registry.get("m").unwrap().version(), v2.version());
+
+    // rollback: alias the name back to the prior handle (what a failed
+    // rolling deploy does) — equality with the old version, not ordering,
+    // is what cache invalidation keys on
+    let rolled = registry.alias("m", &v1);
+    assert_eq!(rolled.version(), v1.version());
+    assert_eq!(registry.get("m").unwrap().version(), v1.version());
+}

@@ -714,6 +714,173 @@ fn saturated_replica_is_ejected_then_probed_back() {
     router.shutdown();
 }
 
+/// Counts `featurize` calls: how the parallel-featurization tests prove
+/// the worker computed (or shared) exactly the features it should have.
+struct CountingModel {
+    featurizes: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl ServingModel for CountingModel {
+    fn kind(&self) -> &'static str {
+        "counting"
+    }
+
+    fn num_classes(&self) -> usize {
+        2
+    }
+
+    fn featurize(&self, tokens: &[String]) -> Features {
+        self.featurizes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Features::Ids(vec![tokens.len()])
+    }
+
+    fn predict(&self, batch: &[&Features]) -> Vec<Vec<f64>> {
+        batch.iter().map(|_| vec![0.5, 0.5]).collect()
+    }
+}
+
+fn counting_server(
+    cache_capacity: usize,
+) -> (Arc<BatchServer>, Arc<std::sync::atomic::AtomicUsize>) {
+    let featurizes = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .publish(
+            "counting",
+            Box::new(CountingModel {
+                featurizes: Arc::clone(&featurizes),
+            }),
+        )
+        .unwrap();
+    let server = Arc::new(
+        BatchServer::start(
+            registry,
+            "counting",
+            ServeConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(5),
+                queue_capacity: 16,
+                cache_capacity,
+            },
+        )
+        .unwrap(),
+    );
+    (server, featurizes)
+}
+
+/// A batch full of cache misses rides the tensor pool (one tile per
+/// miss) and must stay bit-identical to the direct in-process model —
+/// this is the suite the `TENSOR_THREADS={1,2,4}` sweep exercises.
+#[test]
+fn parallel_featurization_is_bit_identical_to_the_direct_model() {
+    let dir = temp_dir("serve_it_parallel_feat");
+    let reference = train_and_export(&dir);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load("lstm", &dir).unwrap();
+    let server = Arc::new(
+        BatchServer::start(
+            Arc::clone(&registry),
+            "lstm",
+            ServeConfig {
+                max_batch: 12,
+                max_delay: Duration::from_millis(5),
+                queue_capacity: 16,
+                cache_capacity: 16,
+            },
+        )
+        .unwrap(),
+    );
+
+    // six distinct recipes (distinct canonical cache keys) fired
+    // together: the worker featurizes every miss through the pool inside
+    // one (or few) fused passes
+    let recipes = spread_recipes(6);
+    let barrier = Arc::new(Barrier::new(recipes.len()));
+    let handles: Vec<_> = recipes
+        .iter()
+        .map(|recipe| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let recipe = recipe.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let prediction = server.classify(&recipe, None).unwrap();
+                (recipe, prediction)
+            })
+        })
+        .collect();
+    let mut max_batch_seen = 0;
+    for h in handles {
+        let (recipe, prediction) = h.join().unwrap();
+        assert_eq!(
+            prediction.probs,
+            reference_probs(&reference, &recipe),
+            "parallel featurization drifted for {recipe:?}"
+        );
+        assert!(!prediction.cache_hit, "distinct keys cannot hit the cache");
+        max_batch_seen = max_batch_seen.max(prediction.batch_size);
+    }
+    assert!(
+        max_batch_seen > 1,
+        "six concurrent requests never shared a batch"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Duplicate keys inside one batch share a single featurize call — the
+/// first occurrence misses and computes, later ones are cache hits on
+/// the just-reserved slot, exactly as the serial path behaved.
+#[test]
+fn duplicate_keys_share_one_featurize_and_report_cache_hits() {
+    let (server, featurizes) = counting_server(8);
+    let barrier = Arc::new(Barrier::new(6));
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                server.classify("soy, ginger, rice", None).unwrap()
+            })
+        })
+        .collect();
+    let mut hits = 0;
+    for h in handles {
+        let prediction = h.join().unwrap();
+        assert_eq!(prediction.probs, vec![0.5, 0.5]);
+        if prediction.cache_hit {
+            hits += 1;
+        }
+    }
+    assert_eq!(
+        featurizes.load(std::sync::atomic::Ordering::Relaxed),
+        1,
+        "six requests for one key must featurize exactly once"
+    );
+    assert_eq!(hits, 5, "every request after the first must hit the cache");
+    server.shutdown();
+}
+
+/// `cache_capacity: 0` disables memoization entirely: every request
+/// featurizes, none reports a cache hit — the lazy-slot pass must not
+/// accidentally introduce sharing the serial path didn't have.
+#[test]
+fn zero_capacity_cache_featurizes_every_request() {
+    let (server, featurizes) = counting_server(0);
+    for _ in 0..4 {
+        let prediction = server.classify("soy, ginger, rice", None).unwrap();
+        assert!(!prediction.cache_hit, "capacity 0 cannot produce hits");
+    }
+    assert_eq!(
+        featurizes.load(std::sync::atomic::Ordering::Relaxed),
+        4,
+        "a disabled cache must featurize every request"
+    );
+    server.shutdown();
+}
+
 /// A model that panics when it sees the poisoned ingredient — the
 /// lock-poisoning regression fixture: one bad request must answer an
 /// error, not unwind through a lock and wedge the whole fleet.
